@@ -1,0 +1,30 @@
+#ifndef RESUFORMER_BENCH_BENCH_COMMON_H_
+#define RESUFORMER_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <string>
+
+namespace resuformer {
+namespace bench {
+
+/// All benches honor RF_FAST=1 for a quick smoke run (scaled-down corpora,
+/// fewer epochs) so `for b in build/bench/*; do $b; done` stays tractable on
+/// a single core. The default scale is the DESIGN.md Section 6 budget.
+inline bool FastMode() {
+  const char* v = std::getenv("RF_FAST");
+  return v != nullptr && std::string(v) == "1";
+}
+
+/// Scales an integer knob down in fast mode (at least `min_value`).
+inline int Scaled(int full, int fast) { return FastMode() ? fast : full; }
+
+inline void PrintHeader(const std::string& title) {
+  std::string bar(title.size() + 8, '=');
+  std::printf("%s\n=== %s ===\n%s\n", bar.c_str(), title.c_str(),
+              bar.c_str());
+}
+
+}  // namespace bench
+}  // namespace resuformer
+
+#endif  // RESUFORMER_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,53 @@
+// Reproduces Figure 1: three different styles of resume templates.
+//
+// The paper shows three fictional resumes with different writing styles,
+// each containing several types of semantic blocks. We render one resume
+// record through three different built-in templates and print the annotated
+// layouts (gold IOB block label per visual line), demonstrating that the
+// same content appears in different positions/styles across templates.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "resumegen/corpus.h"
+#include "resumegen/renderer.h"
+
+namespace resuformer {
+namespace {
+
+void Run() {
+  bench::PrintHeader("Figure 1: three resume template styles");
+  Rng rng(71);
+  resumegen::ResumeSampler sampler(&rng);
+  const resumegen::ResumeRecord record = sampler.Sample();
+
+  for (int template_id = 0; template_id < 3; ++template_id) {
+    const resumegen::TemplateStyle& style =
+        resumegen::TemplateById(template_id);
+    Rng render_rng(100 + template_id);
+    resumegen::Renderer renderer(&render_rng);
+    const resumegen::GeneratedResume resume =
+        renderer.Render(record, style);
+    std::printf("\n----- style %d: \"%s\" (%d column%s, %d page%s, %d "
+                "sentences) -----\n",
+                template_id, style.name.c_str(), style.columns,
+                style.columns > 1 ? "s" : "", resume.document.num_pages,
+                resume.document.num_pages > 1 ? "s" : "",
+                resume.document.NumSentences());
+    std::printf("%s", resumegen::AsciiRender(
+                          resume.document,
+                          resume.document.sentence_labels).c_str());
+  }
+  std::printf(
+      "\nShape check: identical content, three different layouts — blocks\n"
+      "appear at different positions, fonts and orders, as in the paper's\n"
+      "Figure 1 (all content fictional).\n");
+}
+
+}  // namespace
+}  // namespace resuformer
+
+int main() {
+  resuformer::Run();
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Micro-benchmarks (google-benchmark) backing the Time/Resume rows of
+// Table II and the Figure 3 latency claim: per-component throughput of the
+// sentence-level vs token-level processing paths, CRF decoding, the
+// tokenizer and the sentence assembler.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "baselines/layout_token_model.h"
+#include "core/block_classifier.h"
+#include "crf/linear_crf.h"
+#include "doc/sentence_assembler.h"
+#include "resumegen/corpus.h"
+
+namespace resuformer {
+namespace {
+
+struct Env {
+  Env() {
+    resumegen::CorpusConfig cfg;
+    cfg.pretrain_docs = 4;
+    cfg.train_docs = 2;
+    cfg.val_docs = 1;
+    cfg.test_docs = 1;
+    cfg.seed = 3;
+    corpus = resumegen::GenerateCorpus(cfg);
+    tokenizer = std::make_unique<text::WordPieceTokenizer>(
+        resumegen::TrainTokenizer(corpus, 1500));
+    model_cfg.vocab_size = tokenizer->vocab().size();
+    Rng rng(1);
+    classifier = std::make_unique<core::BlockClassifier>(model_cfg, &rng);
+    classifier->SetTraining(false);
+    encoded = core::EncodeForModel(corpus.test[0].document, *tokenizer,
+                                   model_cfg);
+    token_cfg.vocab_size = tokenizer->vocab().size();
+    Rng rng2(2);
+    token_model = std::make_unique<baselines::LayoutTokenModel>(
+        token_cfg, tokenizer.get(), &rng2, 0);
+    token_model->SetTraining(false);
+  }
+  resumegen::Corpus corpus;
+  std::unique_ptr<text::WordPieceTokenizer> tokenizer;
+  core::ResuFormerConfig model_cfg;
+  baselines::TokenModelConfig token_cfg;
+  std::unique_ptr<core::BlockClassifier> classifier;
+  std::unique_ptr<baselines::LayoutTokenModel> token_model;
+  core::EncodedDocument encoded;
+};
+
+Env& GetEnv() {
+  static Env* env = new Env();
+  return *env;
+}
+
+void BM_HierarchicalPredict(benchmark::State& state) {
+  Env& env = GetEnv();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.classifier->Predict(env.encoded));
+  }
+}
+BENCHMARK(BM_HierarchicalPredict)->Unit(benchmark::kMillisecond);
+
+void BM_TokenLevelPredict(benchmark::State& state) {
+  Env& env = GetEnv();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        env.token_model->LabelSentences(env.corpus.test[0].document));
+  }
+}
+BENCHMARK(BM_TokenLevelPredict)->Unit(benchmark::kMillisecond);
+
+void BM_EncodeForModel(benchmark::State& state) {
+  Env& env = GetEnv();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::EncodeForModel(
+        env.corpus.test[0].document, *env.tokenizer, env.model_cfg));
+  }
+}
+BENCHMARK(BM_EncodeForModel)->Unit(benchmark::kMicrosecond);
+
+void BM_CrfViterbiDecode(benchmark::State& state) {
+  Rng rng(7);
+  crf::LinearCrf crf(doc::kNumIobLabels, &rng);
+  const int t_len = static_cast<int>(state.range(0));
+  Tensor emissions = Tensor::Randn({t_len, doc::kNumIobLabels}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crf.Decode(emissions));
+  }
+}
+BENCHMARK(BM_CrfViterbiDecode)->Arg(64)->Arg(350)->Unit(benchmark::kMicrosecond);
+
+void BM_CrfTrainingStep(benchmark::State& state) {
+  Rng rng(8);
+  crf::LinearCrf crf(doc::kNumIobLabels, &rng);
+  Tensor emissions =
+      Tensor::Randn({64, doc::kNumIobLabels}, &rng, 1.0f, true);
+  std::vector<int> labels(64);
+  for (int i = 0; i < 64; ++i) labels[i] = rng.UniformInt(doc::kNumIobLabels);
+  for (auto _ : state) {
+    emissions.ZeroGrad();
+    Tensor loss = crf.NegLogLikelihood(emissions, labels);
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK(BM_CrfTrainingStep)->Unit(benchmark::kMicrosecond);
+
+void BM_WordPieceEncode(benchmark::State& state) {
+  Env& env = GetEnv();
+  const std::string text =
+      "Senior Software Engineer at BrightHorizon Technologies Co. LTD";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.tokenizer->Encode(text));
+  }
+}
+BENCHMARK(BM_WordPieceEncode)->Unit(benchmark::kMicrosecond);
+
+void BM_SentenceAssembler(benchmark::State& state) {
+  Env& env = GetEnv();
+  std::vector<doc::Token> flat;
+  for (const auto& s : env.corpus.test[0].document.sentences) {
+    flat.insert(flat.end(), s.tokens.begin(), s.tokens.end());
+  }
+  doc::SentenceAssembler assembler;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(assembler.Assemble(flat));
+  }
+}
+BENCHMARK(BM_SentenceAssembler)->Unit(benchmark::kMicrosecond);
+
+void BM_GenerateResume(benchmark::State& state) {
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(resumegen::GenerateResume(&rng));
+  }
+}
+BENCHMARK(BM_GenerateResume)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace resuformer
+
+BENCHMARK_MAIN();

@@ -1,0 +1,219 @@
+// Reproduces Table IV: intra-block information extraction — F1
+// (Recall/Precision) per (block, entity tag) for five systems.
+//
+// Systems (Section V-B3):
+//   D&R Match          dictionary + regex matching, no learning
+//   BERT+BiLSTM+CRF    CRF trained on the distant labels as if gold
+//   BERT+BiLSTM+FCRF   fuzzy (constrained-lattice) CRF
+//   AutoNER            Tie-or-Break scheme
+//   Our Method         BERT+BiLSTM+MLP + self-distillation self-training
+//                      with soft labels and high-confidence selection
+//
+// Expected shape (paper): D&R has high precision / low recall (worst F1 on
+// open-class tags); CRF < FCRF < AutoNER < Ours; fixed-format tags (Gender,
+// Email, PhoneNum, Date, Degree) exceed 90 F1 for Ours.
+
+#include <cstdio>
+#include <functional>
+#include <map>
+
+#include "baselines/autoner.h"
+#include "baselines/bert_bilstm_crf.h"
+#include "baselines/dr_match.h"
+#include "bench_common.h"
+#include "common/table_printer.h"
+#include "distant/dictionary.h"
+#include "distant/ner_dataset.h"
+#include "eval/entity_metrics.h"
+#include "eval/report.h"
+#include "resumegen/corpus.h"
+#include "selftrain/self_distill.h"
+
+namespace resuformer {
+namespace {
+
+using doc::EntityTag;
+
+struct TagRow {
+  const char* block;
+  EntityTag tag;
+  // Paper F1: D&R, CRF, FCRF, AutoNER, Ours.
+  const char* paper[5];
+};
+
+const TagRow kRows[] = {
+    {"PInfo", EntityTag::kName, {"69.59", "85.10", "93.03", "94.38", "97.52"}},
+    {"PInfo", EntityTag::kGender, {"92.76", "93.00", "95.41", "96.17", "98.66"}},
+    {"PInfo", EntityTag::kPhoneNum, {"86.74", "91.83", "93.88", "95.86", "98.51"}},
+    {"PInfo", EntityTag::kEmail, {"87.98", "90.95", "93.35", "95.46", "98.31"}},
+    {"PInfo", EntityTag::kAge, {"82.06", "84.85", "87.54", "89.48", "92.98"}},
+    {"EduExp", EntityTag::kCollege, {"66.35", "71.57", "78.10", "80.04", "85.59"}},
+    {"EduExp", EntityTag::kMajor, {"66.37", "70.97", "76.44", "78.53", "83.75"}},
+    {"EduExp", EntityTag::kDegree, {"83.30", "88.08", "90.23", "91.14", "93.55"}},
+    {"EduExp", EntityTag::kDate, {"82.95", "86.73", "88.43", "90.31", "92.82"}},
+    {"WorkExp", EntityTag::kCompany, {"60.22", "69.35", "76.80", "77.92", "82.74"}},
+    {"WorkExp", EntityTag::kPosition, {"55.42", "65.80", "74.88", "77.13", "83.45"}},
+    {"WorkExp", EntityTag::kDate, {"83.62", "86.78", "88.74", "90.55", "92.76"}},
+    {"ProjExp", EntityTag::kProjName, {"43.23", "63.24", "73.37", "75.53", "80.19"}},
+    {"ProjExp", EntityTag::kDate, {"83.90", "86.41", "88.20", "89.57", "91.78"}},
+};
+
+/// Per-(block, tag) scorer: sequences are scored per block type so the Date
+/// rows can be broken out by block as the paper does.
+struct MethodScores {
+  std::string name;
+  // scorers indexed by block tag.
+  std::map<doc::BlockTag, eval::EntityScorer> per_block;
+};
+
+MethodScores Score(
+    const std::string& name,
+    const std::function<std::vector<int>(const std::vector<std::string>&)>&
+        predict,
+    const std::vector<distant::AnnotatedSequence>& test) {
+  MethodScores scores;
+  scores.name = name;
+  eval::EntityScorer overall;
+  for (const auto& seq : test) {
+    const std::vector<int> pred = predict(seq.words);
+    scores.per_block[seq.block].Add(pred, seq.labels);
+    overall.Add(pred, seq.labels);
+  }
+  std::printf("  %-18s overall F1 %.2f (P %.2f / R %.2f)\n", name.c_str(),
+              overall.Overall().f1 * 100, overall.Overall().precision * 100,
+              overall.Overall().recall * 100);
+  std::fflush(stdout);
+  return scores;
+}
+
+void Run() {
+  bench::PrintHeader(
+      "Table IV: intra-block information extraction, F1 (R/P)");
+  resumegen::CorpusConfig ccfg;
+  ccfg.pretrain_docs = bench::Scaled(30, 8);
+  ccfg.train_docs = 2;
+  ccfg.val_docs = 1;
+  ccfg.test_docs = 1;
+  ccfg.seed = 33;
+  const resumegen::Corpus corpus = resumegen::GenerateCorpus(ccfg);
+  const text::WordPieceTokenizer tokenizer =
+      resumegen::TrainTokenizer(corpus, 1500);
+
+  const distant::EntityDictionary dictionary =
+      distant::BuildDictionaries(distant::DictionaryConfig{});
+  distant::NerDatasetConfig ncfg;
+  ncfg.train_sequences = bench::Scaled(800, 150);
+  ncfg.val_sequences = bench::Scaled(120, 30);
+  ncfg.test_sequences = bench::Scaled(250, 50);
+  ncfg.seed = 31;
+  const distant::NerDataset data = distant::BuildNerDataset(ncfg, dictionary);
+  const distant::NoiseStats noise = distant::ComputeNoiseStats(data.train);
+  std::printf(
+      "distant train: %zu sequences (label precision %.2f, recall %.2f "
+      "vs gold)\n\n",
+      data.train.size(), noise.label_precision, noise.label_recall);
+
+  selftrain::NerModelConfig nmc;
+  nmc.vocab_size = tokenizer.vocab().size();
+  const int epochs = bench::Scaled(8, 3);
+  const int patience = 3;
+
+  std::vector<MethodScores> methods;
+  {
+    baselines::DrMatch model(&dictionary);
+    methods.push_back(Score(
+        "D&R Match",
+        [&](const std::vector<std::string>& w) { return model.Predict(w); },
+        data.test));
+  }
+  {
+    Rng rng(501);
+    baselines::BertBilstmCrf model(nmc, &tokenizer, /*fuzzy=*/false, &rng);
+    model.Fit(data.train, data.val, epochs, patience, &rng);
+    methods.push_back(Score(
+        "BERT+BiLSTM+CRF",
+        [&](const std::vector<std::string>& w) { return model.Predict(w); },
+        data.test));
+  }
+  {
+    Rng rng(502);
+    baselines::BertBilstmCrf model(nmc, &tokenizer, /*fuzzy=*/true, &rng);
+    model.Fit(data.train, data.val, epochs, patience, &rng);
+    methods.push_back(Score(
+        "BERT+BiLSTM+FCRF",
+        [&](const std::vector<std::string>& w) { return model.Predict(w); },
+        data.test));
+  }
+  {
+    Rng rng(503);
+    baselines::AutoNer model(nmc, &tokenizer, &rng);
+    model.Fit(data.train, data.val, epochs, patience, &rng);
+    methods.push_back(Score(
+        "AutoNER",
+        [&](const std::vector<std::string>& w) { return model.Predict(w); },
+        data.test));
+  }
+  {
+    Rng rng(504);
+    selftrain::SelfTrainOptions options;
+    options.teacher_epochs = bench::Scaled(10, 4);
+    options.teacher_patience = 4;
+    options.iterations = bench::Scaled(8, 3);
+    options.student_epochs_per_iteration = 1;
+    options.gamma = 0.7f;
+    selftrain::NerModelConfig student_cfg = nmc;
+    student_cfg.encoder_lr = 5e-4f;
+    student_cfg.head_lr = 1e-3f;
+    selftrain::SelfDistillTrainer trainer(student_cfg, options, &tokenizer,
+                                          &rng);
+    selftrain::SelfTrainResult result = trainer.Train(data.train, data.val);
+    const selftrain::NerModel* model = result.model.get();
+    methods.push_back(Score(
+        "Our Method",
+        [&, model](const std::vector<std::string>& w) {
+          return model->Predict(
+              selftrain::EncodeWordsForNer(w, tokenizer, student_cfg));
+        },
+        data.test));
+  }
+
+  std::vector<std::string> header = {"Block", "Tag"};
+  for (const auto& m : methods) header.push_back(m.name);
+  header.push_back("paper F1 (same order)");
+  TablePrinter table(header);
+  std::string previous_block;
+  for (const TagRow& row : kRows) {
+    std::vector<std::string> cells = {row.block, doc::EntityTagName(row.tag)};
+    doc::BlockTag block = doc::BlockTag::kPInfo;
+    if (std::string(row.block) == "EduExp") block = doc::BlockTag::kEduExp;
+    if (std::string(row.block) == "WorkExp") block = doc::BlockTag::kWorkExp;
+    if (std::string(row.block) == "ProjExp") block = doc::BlockTag::kProjExp;
+    for (auto& m : methods) {
+      cells.push_back(eval::PrfCell(m.per_block[block].ForTag(row.tag)));
+    }
+    std::string paper;
+    for (int i = 0; i < 5; ++i) {
+      if (i > 0) paper += " / ";
+      paper += row.paper[i];
+    }
+    cells.push_back(paper);
+    if (!previous_block.empty() && previous_block != row.block) {
+      table.AddSeparator();
+    }
+    previous_block = row.block;
+    table.AddRow(cells);
+  }
+  std::printf("\n%s", table.ToString().c_str());
+  std::printf(
+      "\nShape check: D&R precision >> recall; learned methods trade some\n"
+      "precision for large recall gains; Our Method should lead overall\n"
+      "(paper: best on all 14 tags, with fixed-format tags > 90 F1).\n");
+}
+
+}  // namespace
+}  // namespace resuformer
+
+int main() {
+  resuformer::Run();
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Example: distantly supervised intra-block extraction (Section IV-B).
+// Builds the entity dictionaries, auto-annotates training data with
+// string/regex/heuristic matching, runs the self-distillation self-training
+// loop, and compares the learned model against pure D&R matching.
+//
+//   ./examples/distant_ner
+
+#include <cstdio>
+
+#include "baselines/dr_match.h"
+#include "distant/dictionary.h"
+#include "distant/ner_dataset.h"
+#include "eval/entity_metrics.h"
+#include "resumegen/corpus.h"
+#include "selftrain/self_distill.h"
+
+int main() {
+  using namespace resuformer;
+
+  // Dictionaries: partial coverage by construction (Section IV-B1) — the
+  // compositional entity families can never be fully enumerated.
+  const distant::EntityDictionary dictionary =
+      distant::BuildDictionaries(distant::DictionaryConfig{});
+  std::printf("dictionary: %d surface forms\n", dictionary.size());
+
+  // Auto-annotated dataset (train = distant labels, val/test = gold).
+  distant::NerDatasetConfig ncfg;
+  ncfg.train_sequences = 400;
+  ncfg.val_sequences = 60;
+  ncfg.test_sequences = 80;
+  const distant::NerDataset data = distant::BuildNerDataset(ncfg, dictionary);
+  const distant::NoiseStats noise = distant::ComputeNoiseStats(data.train);
+  std::printf("distant labels vs gold: precision %.2f, recall %.2f "
+              "(precise but incomplete)\n\n",
+              noise.label_precision, noise.label_recall);
+
+  // A tokenizer for the NER model.
+  resumegen::CorpusConfig ccfg;
+  ccfg.pretrain_docs = 40;
+  ccfg.train_docs = 2;
+  ccfg.val_docs = 1;
+  ccfg.test_docs = 1;
+  const resumegen::Corpus corpus = resumegen::GenerateCorpus(ccfg);
+  const text::WordPieceTokenizer tokenizer =
+      resumegen::TrainTokenizer(corpus, 1500);
+
+  // Baseline: pure dictionary + regex decoding.
+  baselines::DrMatch matcher(&dictionary);
+  const eval::EntityScorer dr_scores = eval::ScoreNerPredictor(
+      [&](const std::vector<std::string>& w) { return matcher.Predict(w); },
+      data.test);
+  std::printf("D&R Match:   P %.2f  R %.2f  F1 %.2f  <- high precision, "
+              "low recall\n",
+              dr_scores.Overall().precision * 100,
+              dr_scores.Overall().recall * 100,
+              dr_scores.Overall().f1 * 100);
+
+  // Our method: BERT+BiLSTM+MLP trained in the self-distillation loop
+  // (Algorithm 2) with soft labels (Eq. 9) and high-confidence selection
+  // (Eq. 11).
+  selftrain::NerModelConfig cfg;
+  cfg.vocab_size = tokenizer.vocab().size();
+  cfg.encoder_lr = 5e-4f;
+  cfg.head_lr = 1e-3f;
+  selftrain::SelfTrainOptions options;
+  options.teacher_epochs = 8;
+  options.teacher_patience = 3;
+  options.iterations = 4;
+  options.student_epochs_per_iteration = 2;
+  options.verbose = true;
+  Rng rng(3);
+  selftrain::SelfDistillTrainer trainer(cfg, options, &tokenizer, &rng);
+  selftrain::SelfTrainResult result = trainer.Train(data.train, data.val);
+
+  const eval::EntityScorer our_scores = eval::ScoreNerPredictor(
+      [&](const std::vector<std::string>& w) {
+        return result.model->Predict(
+            selftrain::EncodeWordsForNer(w, tokenizer, cfg));
+      },
+      data.test);
+  std::printf("Our Method:  P %.2f  R %.2f  F1 %.2f  <- generalizes past "
+              "the dictionary\n",
+              our_scores.Overall().precision * 100,
+              our_scores.Overall().recall * 100,
+              our_scores.Overall().f1 * 100);
+
+  // Show a concrete win: entities the dictionary missed but the model got.
+  std::printf("\nexamples the dictionary missed but the model recovered:\n");
+  int shown = 0;
+  for (const auto& seq : data.test) {
+    if (shown >= 5) break;
+    const std::vector<int> dict_pred = matcher.Predict(seq.words);
+    const std::vector<int> model_pred = result.model->Predict(
+        selftrain::EncodeWordsForNer(seq.words, tokenizer, cfg));
+    const auto gold_spans = eval::ExtractEntitySpans(seq.labels);
+    const auto dict_spans = eval::ExtractEntitySpans(dict_pred);
+    auto model_spans = eval::ExtractEntitySpans(model_pred);
+    for (const auto& g : gold_spans) {
+      const bool dict_found =
+          std::find(dict_spans.begin(), dict_spans.end(), g) !=
+          dict_spans.end();
+      const bool model_found =
+          std::find(model_spans.begin(), model_spans.end(), g) !=
+          model_spans.end();
+      if (!dict_found && model_found && shown < 5) {
+        std::string text;
+        for (int t = g.start; t < g.end && t < static_cast<int>(seq.words.size());
+             ++t) {
+          if (!text.empty()) text += " ";
+          text += seq.words[t];
+        }
+        std::printf("  [%s] \"%s\"\n",
+                    doc::EntityTagName(g.tag).c_str(), text.c_str());
+        ++shown;
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+#ifndef RESUFORMER_BASELINES_AUTONER_H_
+#define RESUFORMER_BASELINES_AUTONER_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/linear.h"
+#include "selftrain/ner_model.h"
+
+namespace resuformer {
+namespace baselines {
+
+/// \brief AutoNER baseline (Shang et al., 2018): distantly supervised NER
+/// with the "Tie or Break" tagging scheme instead of IOB.
+///
+/// Two heads over a shared encoder:
+///   * a boundary head classifies each adjacent token pair as Tie (same
+///     chunk) or Break; pairs whose status is unknown under the distant
+///     annotation contribute no loss ("unknown" is the scheme's way of
+///     absorbing dictionary misses);
+///   * a type head classifies each chunk (mean-pooled span representation)
+///     into an entity tag or None.
+/// Inference: split at predicted Breaks, type each chunk, emit IOB.
+class AutoNer {
+ public:
+  AutoNer(const selftrain::NerModelConfig& config,
+          const text::WordPieceTokenizer* tokenizer, Rng* rng);
+
+  /// Trains on distant annotations with early stopping on val span F1.
+  double Fit(const std::vector<distant::AnnotatedSequence>& train,
+             const std::vector<distant::AnnotatedSequence>& val, int epochs,
+             int patience, Rng* rng);
+
+  std::vector<int> Predict(const std::vector<std::string>& words) const;
+
+  const char* name() const { return "AutoNER"; }
+
+ private:
+  /// Contextual states [T, hidden] from the shared backbone encoder.
+  Tensor States(const std::vector<int>& ids, Rng* dropout_rng) const;
+
+  selftrain::NerModelConfig config_;
+  const text::WordPieceTokenizer* tokenizer_;
+  std::unique_ptr<selftrain::NerModel> backbone_;
+  std::unique_ptr<nn::Linear> boundary_head_;  // [2h] -> {tie, break}
+  std::unique_ptr<nn::Linear> type_head_;      // [h] -> tags + none
+};
+
+}  // namespace baselines
+}  // namespace resuformer
+
+#endif  // RESUFORMER_BASELINES_AUTONER_H_

@@ -1,0 +1,56 @@
+#ifndef RESUFORMER_BASELINES_BERT_BILSTM_CRF_H_
+#define RESUFORMER_BASELINES_BERT_BILSTM_CRF_H_
+
+#include <memory>
+#include <vector>
+
+#include "crf/fuzzy_crf.h"
+#include "selftrain/ner_model.h"
+
+namespace resuformer {
+namespace baselines {
+
+/// \brief "BERT+BiLSTM+CRF" and "BERT+BiLSTM+FCRF" NER baselines.
+///
+/// Both reuse the NerModel backbone (Transformer + BiLSTM) but decode with
+/// a linear-chain CRF. The plain variant trains the CRF on the distant
+/// labels as if they were gold ("more suitable for the fully-supervised
+/// scenario", hence its weakness here); the fuzzy variant treats unmatched
+/// tokens as label-unknown via the constrained-lattice marginal likelihood
+/// (Shang et al., 2018).
+class BertBilstmCrf {
+ public:
+  BertBilstmCrf(const selftrain::NerModelConfig& config,
+                const text::WordPieceTokenizer* tokenizer, bool fuzzy,
+                Rng* rng);
+
+  /// Trains on the distantly annotated data with early stopping on val
+  /// span F1; returns the best F1.
+  double Fit(const std::vector<distant::AnnotatedSequence>& train,
+             const std::vector<distant::AnnotatedSequence>& val, int epochs,
+             int patience, Rng* rng);
+
+  /// Viterbi-decoded IOB entity labels for a word sequence.
+  std::vector<int> Predict(const std::vector<std::string>& words) const;
+
+  const char* name() const {
+    return fuzzy_ ? "BERT+BiLSTM+FCRF" : "BERT+BiLSTM+CRF";
+  }
+
+  selftrain::NerModel* backbone() { return backbone_.get(); }
+
+ private:
+  /// Emission scores come from the backbone's logits (pre-softmax).
+  Tensor Emissions(const std::vector<int>& ids, Rng* dropout_rng) const;
+
+  selftrain::NerModelConfig config_;
+  const text::WordPieceTokenizer* tokenizer_;
+  bool fuzzy_;
+  std::unique_ptr<selftrain::NerModel> backbone_;
+  std::unique_ptr<crf::FuzzyCrf> crf_;
+};
+
+}  // namespace baselines
+}  // namespace resuformer
+
+#endif  // RESUFORMER_BASELINES_BERT_BILSTM_CRF_H_

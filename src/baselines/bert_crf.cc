@@ -1,0 +1,2 @@
+// BertCrf is a configuration of TokenTaggerBase; see bert_crf.h.
+#include "baselines/bert_crf.h"

@@ -1,0 +1,28 @@
+#ifndef RESUFORMER_BASELINES_BERT_CRF_H_
+#define RESUFORMER_BASELINES_BERT_CRF_H_
+
+#include "baselines/layout_token_model.h"
+
+namespace resuformer {
+namespace baselines {
+
+/// "BERT+CRF" baseline (Li et al., 2019): token-level text-only Transformer
+/// with a CRF layer, trained from scratch on the labeled data (the paper's
+/// non-pretrained text group).
+class BertCrf : public TokenTaggerBase {
+ public:
+  BertCrf(const TokenModelConfig& config,
+          const text::WordPieceTokenizer* tokenizer, Rng* rng)
+      : TokenTaggerBase(config,
+                        Options{/*use_layout=*/false, /*use_visual=*/false,
+                                /*use_gcn=*/false, /*crf_head=*/true,
+                                /*mlm_pretrain_epochs=*/0},
+                        tokenizer, rng) {}
+
+  const char* name() const override { return "BERT+CRF"; }
+};
+
+}  // namespace baselines
+}  // namespace resuformer
+
+#endif  // RESUFORMER_BASELINES_BERT_CRF_H_

@@ -1,0 +1,120 @@
+#include "baselines/common.h"
+
+#include <algorithm>
+
+#include "doc/geometry.h"
+
+namespace resuformer {
+namespace baselines {
+
+namespace {
+
+core::LayoutTuple MakeTuple(const doc::BBox& box, float pw, float ph,
+                            int page, int num_pages) {
+  core::LayoutTuple t;
+  t[0] = doc::NormalizeCoord(box.x0, pw);
+  t[1] = doc::NormalizeCoord(box.y0, ph);
+  t[2] = doc::NormalizeCoord(box.x1, pw);
+  t[3] = doc::NormalizeCoord(box.y1, ph);
+  t[4] = doc::NormalizeCoord(box.width(), pw);
+  t[5] = doc::NormalizeCoord(box.height(), ph);
+  t[6] = std::min(page * 1000 / std::max(num_pages, 1), 1000);
+  return t;
+}
+
+int DemoteToInside(int label) {
+  doc::BlockTag tag;
+  bool begin;
+  if (!doc::ParseIobLabel(label, &tag, &begin)) return doc::kOutsideLabel;
+  return doc::IobLabel(tag, /*begin=*/false);
+}
+
+}  // namespace
+
+TokenizedDoc TokenizeFlat(const doc::Document& document,
+                          const text::WordPieceTokenizer& tokenizer,
+                          const TokenModelConfig& config) {
+  TokenizedDoc out;
+  out.num_sentences = document.NumSentences();
+  const bool has_labels =
+      document.sentence_labels.size() == document.sentences.size();
+  for (int s = 0; s < document.NumSentences(); ++s) {
+    const doc::Sentence& sentence = document.sentences[s];
+    const int sentence_label =
+        has_labels ? document.sentence_labels[s] : doc::kOutsideLabel;
+    bool first_token_of_sentence = true;
+    for (const doc::Token& token : sentence.tokens) {
+      const core::LayoutTuple tuple =
+          MakeTuple(token.box, document.page_width, document.page_height,
+                    token.page, document.num_pages);
+      for (int id : tokenizer.Encode(token.word)) {
+        if (static_cast<int>(out.ids.size()) >= config.max_total_tokens) {
+          return out;
+        }
+        out.ids.push_back(id);
+        out.layout.push_back(tuple);
+        out.font_size.push_back(std::min(token.font_size / 24.0f, 1.5f));
+        out.bold.push_back(token.bold ? 1.0f : 0.0f);
+        out.sentence_index.push_back(s);
+        out.token_labels.push_back(first_token_of_sentence
+                                       ? sentence_label
+                                       : DemoteToInside(sentence_label));
+        first_token_of_sentence = false;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<int> TokenLabelsToSentenceLabels(
+    const TokenizedDoc& doc, const std::vector<int>& predicted) {
+  std::vector<int> sentence_labels(doc.num_sentences, doc::kOutsideLabel);
+  std::vector<int> first_token(doc.num_sentences, -1);
+  // Majority block tag per sentence (index 0 = outside, 1+t = tag t).
+  std::vector<std::vector<int>> votes(
+      doc.num_sentences, std::vector<int>(doc::kNumBlockTags + 1, 0));
+  for (size_t i = 0; i < predicted.size() && i < doc.sentence_index.size();
+       ++i) {
+    const int s = doc.sentence_index[i];
+    if (first_token[s] < 0) first_token[s] = static_cast<int>(i);
+    doc::BlockTag tag;
+    bool begin;
+    if (doc::ParseIobLabel(predicted[i], &tag, &begin)) {
+      ++votes[s][1 + static_cast<int>(tag)];
+    } else {
+      ++votes[s][0];
+    }
+  }
+  int prev_tag = -1;  // -1 = outside
+  for (int s = 0; s < doc.num_sentences; ++s) {
+    int best = 0;
+    for (int c = 1; c <= doc::kNumBlockTags; ++c) {
+      if (votes[s][c] > votes[s][best]) best = c;
+    }
+    if (best == 0) {
+      sentence_labels[s] = doc::kOutsideLabel;
+      prev_tag = -1;
+      continue;
+    }
+    const int tag = best - 1;
+    bool begins = tag != prev_tag;
+    // A B- prediction on the sentence's first token splits a block even when
+    // the previous sentence shares the tag (multi-entry blocks).
+    if (!begins && first_token[s] >= 0 &&
+        first_token[s] < static_cast<int>(predicted.size())) {
+      doc::BlockTag ptag;
+      bool pbegin;
+      if (doc::ParseIobLabel(predicted[first_token[s]], &ptag, &pbegin) &&
+          pbegin && static_cast<int>(ptag) == tag) {
+        begins = true;
+      }
+    }
+    sentence_labels[s] =
+        doc::IobLabel(static_cast<doc::BlockTag>(tag), begins);
+    prev_tag = tag;
+  }
+  return sentence_labels;
+}
+
+}  // namespace baselines
+}  // namespace resuformer

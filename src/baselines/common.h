@@ -1,0 +1,76 @@
+#ifndef RESUFORMER_BASELINES_COMMON_H_
+#define RESUFORMER_BASELINES_COMMON_H_
+
+#include <vector>
+
+#include "core/distiller.h"
+#include "core/hierarchical_encoder.h"
+#include "doc/document.h"
+#include "text/wordpiece.h"
+
+namespace resuformer {
+namespace baselines {
+
+/// Shared hyper-parameters for the token-level baseline family. `window` is
+/// the analog of the 512-token limit of BERT/LayoutXLM: documents longer
+/// than one window are processed "token by token loop" in chunks, which is
+/// the root of the latency gap Table II reports.
+struct TokenModelConfig {
+  int hidden = 32;
+  int layers = 2;
+  int num_heads = 4;
+  int ffn = 64;
+  float dropout = 0.1f;
+  int vocab_size = 2000;
+  int window = 256;
+  int max_total_tokens = 1024;
+  int layout_buckets = 33;
+  float lr = 1e-3f;
+  float weight_decay = 0.01f;
+  float grad_clip = 5.0f;
+  int epochs = 8;
+  int patience = 3;
+};
+
+/// A document flattened to one token stream (the representation every
+/// token-level baseline consumes).
+struct TokenizedDoc {
+  std::vector<int> ids;
+  std::vector<core::LayoutTuple> layout;
+  std::vector<float> font_size;      // /24, like the visual features
+  std::vector<float> bold;
+  std::vector<int> sentence_index;   // provenance for label conversion
+  std::vector<int> token_labels;     // block IOB broadcast from sentences
+  int num_sentences = 0;
+};
+
+/// Flattens a document: WordPiece ids, per-token layout, style channels and
+/// token-level labels (first token of a labeled sentence keeps B-, the rest
+/// demote to I-).
+TokenizedDoc TokenizeFlat(const doc::Document& document,
+                          const text::WordPieceTokenizer& tokenizer,
+                          const TokenModelConfig& config);
+
+/// Converts token-level predictions back to sentence-level IOB labels:
+/// majority block tag per sentence; a sentence opens a new block when its
+/// first token carries a B- prediction or its tag differs from the previous
+/// sentence.
+std::vector<int> TokenLabelsToSentenceLabels(const TokenizedDoc& doc,
+                                             const std::vector<int>& predicted);
+
+/// Common interface for Table II systems: trainable on gold-labeled
+/// documents, and usable as a KD teacher through core::SentenceLabeler.
+class BlockTagger : public core::SentenceLabeler {
+ public:
+  /// Trains on documents carrying gold `sentence_labels`; `val` drives
+  /// early stopping.
+  virtual void Fit(const std::vector<const doc::Document*>& train,
+                   const std::vector<const doc::Document*>& val, Rng* rng) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace baselines
+}  // namespace resuformer
+
+#endif  // RESUFORMER_BASELINES_COMMON_H_

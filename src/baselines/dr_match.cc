@@ -1,0 +1,2 @@
+// DrMatch is fully inline; see dr_match.h.
+#include "baselines/dr_match.h"

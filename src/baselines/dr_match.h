@@ -1,0 +1,34 @@
+#ifndef RESUFORMER_BASELINES_DR_MATCH_H_
+#define RESUFORMER_BASELINES_DR_MATCH_H_
+
+#include <vector>
+
+#include "distant/auto_annotator.h"
+
+namespace resuformer {
+namespace baselines {
+
+/// "D&R Match" baseline (Section V-B3): pure dictionary string matching plus
+/// regular expressions — no learning. High precision (dictionary hits are
+/// almost always right) but low recall (anything outside the dictionaries is
+/// invisible), which is the paper's reported failure mode.
+class DrMatch {
+ public:
+  explicit DrMatch(const distant::EntityDictionary* dictionary)
+      : annotator_(dictionary) {}
+
+  /// IOB entity labels for a word sequence.
+  std::vector<int> Predict(const std::vector<std::string>& words) const {
+    return annotator_.Annotate(words);
+  }
+
+  const char* name() const { return "D&R Match"; }
+
+ private:
+  distant::AutoAnnotator annotator_;
+};
+
+}  // namespace baselines
+}  // namespace resuformer
+
+#endif  // RESUFORMER_BASELINES_DR_MATCH_H_

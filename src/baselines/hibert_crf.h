@@ -1,0 +1,72 @@
+#ifndef RESUFORMER_BASELINES_HIBERT_CRF_H_
+#define RESUFORMER_BASELINES_HIBERT_CRF_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/common.h"
+#include "crf/linear_crf.h"
+#include "nn/embedding.h"
+#include "nn/transformer.h"
+
+namespace resuformer {
+namespace baselines {
+
+/// "HiBERT+CRF" baseline (Chapuis et al., 2020): a hierarchical text-only
+/// encoder — sentence-level Transformer pooled at [CLS], document-level
+/// Transformer over sentence vectors — with a sentence CRF. No layout, no
+/// visual channel, no pre-training: this isolates the contribution of the
+/// hierarchical structure itself (it shares ResuFormer's speed but not its
+/// accuracy).
+class HiBertCrf : public nn::Module, public BlockTagger {
+ public:
+  struct Config {
+    int hidden = 32;
+    int sentence_layers = 2;
+    int document_layers = 2;
+    int num_heads = 4;
+    int ffn = 64;
+    float dropout = 0.1f;
+    int vocab_size = 2000;
+    int max_tokens_per_sentence = 24;
+    int max_sentences = 64;
+    float lr = 1e-3f;
+    float weight_decay = 0.01f;
+    float grad_clip = 5.0f;
+    int epochs = 8;
+    int patience = 3;
+  };
+
+  HiBertCrf(const Config& config, const text::WordPieceTokenizer* tokenizer,
+            Rng* rng);
+
+  void Fit(const std::vector<const doc::Document*>& train,
+           const std::vector<const doc::Document*>& val, Rng* rng) override;
+
+  std::vector<int> LabelSentences(const doc::Document& document) const override;
+
+  const char* name() const override { return "HiBERT+CRF"; }
+
+ private:
+  struct Encoded {
+    std::vector<std::vector<int>> sentences;  // token ids with [CLS]
+    std::vector<int> labels;
+  };
+  Encoded EncodeDoc(const doc::Document& document) const;
+  Tensor Emissions(const Encoded& doc, Rng* dropout_rng) const;
+
+  Config config_;
+  const text::WordPieceTokenizer* tokenizer_;
+  std::unique_ptr<nn::Embedding> token_embedding_;
+  std::unique_ptr<nn::Embedding> token_position_;
+  std::unique_ptr<nn::TransformerEncoder> sentence_encoder_;
+  std::unique_ptr<nn::Embedding> sentence_position_;
+  std::unique_ptr<nn::TransformerEncoder> document_encoder_;
+  std::unique_ptr<nn::Linear> head_;
+  std::unique_ptr<crf::LinearCrf> crf_;
+};
+
+}  // namespace baselines
+}  // namespace resuformer
+
+#endif  // RESUFORMER_BASELINES_HIBERT_CRF_H_

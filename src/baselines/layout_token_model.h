@@ -1,0 +1,100 @@
+#ifndef RESUFORMER_BASELINES_LAYOUT_TOKEN_MODEL_H_
+#define RESUFORMER_BASELINES_LAYOUT_TOKEN_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/common.h"
+#include "crf/linear_crf.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/transformer.h"
+
+namespace resuformer {
+namespace baselines {
+
+/// \brief Shared implementation of the token-level baseline family
+/// (BERT+CRF, RoBERTa+GCN, LayoutXLM-like): a flat Transformer over
+/// window-chunked token streams with optional layout / visual channels, a
+/// spatial GCN stage, CRF or softmax decoding, and optional MLM
+/// pre-training.
+///
+/// These models "run on the token-level" (Section V-A5) — the whole
+/// document is processed in `window`-sized chunks, which is what makes them
+/// an order of magnitude slower per resume than the sentence-level systems.
+class TokenTaggerBase : public nn::Module, public BlockTagger {
+ public:
+  struct Options {
+    bool use_layout = false;
+    bool use_visual = false;   // font-size / boldness channels
+    bool use_gcn = false;      // spatial graph convolution stage
+    bool crf_head = true;      // false -> per-token softmax
+    int mlm_pretrain_epochs = 0;
+  };
+
+  TokenTaggerBase(const TokenModelConfig& config, Options options,
+                  const text::WordPieceTokenizer* tokenizer, Rng* rng);
+
+  /// MLM pre-training over unlabeled documents (enabled when
+  /// options.mlm_pretrain_epochs > 0 — call before Fit).
+  void PretrainMlm(const std::vector<const doc::Document*>& docs, Rng* rng);
+
+  void Fit(const std::vector<const doc::Document*>& train,
+           const std::vector<const doc::Document*>& val, Rng* rng) override;
+
+  std::vector<int> LabelSentences(const doc::Document& document) const override;
+
+  /// Token-level IOB predictions (exposed for tests / the case study).
+  std::vector<int> PredictTokenLabels(const TokenizedDoc& doc) const;
+
+  const TokenModelConfig& config() const { return config_; }
+
+ protected:
+  /// Contextual token states [N, hidden]: windows encoded independently,
+  /// then the optional GCN mixes information across windows spatially.
+  Tensor ContextualStates(const TokenizedDoc& doc, Rng* dropout_rng) const;
+
+  /// Emissions [N, kNumIobLabels].
+  Tensor Emissions(const TokenizedDoc& doc, Rng* dropout_rng) const;
+
+  Tensor WindowStates(const TokenizedDoc& doc, int start, int len,
+                      const std::vector<int>* ids_override,
+                      Rng* dropout_rng) const;
+
+  TokenModelConfig config_;
+  Options options_;
+  const text::WordPieceTokenizer* tokenizer_;
+
+  std::unique_ptr<nn::Embedding> token_embedding_;
+  std::unique_ptr<nn::Embedding> position_embedding_;
+  std::vector<std::unique_ptr<nn::Embedding>> layout_embeddings_;
+  std::unique_ptr<nn::Linear> visual_projection_;  // 2 channels -> hidden
+  std::unique_ptr<nn::TransformerEncoder> encoder_;
+  std::unique_ptr<nn::Linear> gcn1_;
+  std::unique_ptr<nn::Linear> gcn2_;
+  std::unique_ptr<nn::Linear> head_;
+  std::unique_ptr<crf::LinearCrf> crf_;
+  Tensor mlm_bias_;
+};
+
+/// The "LayoutXLM"-analog baseline and KD teacher: token-level multi-modal
+/// (text + 2-D layout + style channels), MLM-pretrained, softmax token
+/// classification, 512-token-window chunking.
+class LayoutTokenModel : public TokenTaggerBase {
+ public:
+  LayoutTokenModel(const TokenModelConfig& config,
+                   const text::WordPieceTokenizer* tokenizer, Rng* rng,
+                   int mlm_pretrain_epochs = 2)
+      : TokenTaggerBase(config,
+                        Options{/*use_layout=*/true, /*use_visual=*/true,
+                                /*use_gcn=*/false, /*crf_head=*/false,
+                                mlm_pretrain_epochs},
+                        tokenizer, rng) {}
+
+  const char* name() const override { return "LayoutXLM-like"; }
+};
+
+}  // namespace baselines
+}  // namespace resuformer
+
+#endif  // RESUFORMER_BASELINES_LAYOUT_TOKEN_MODEL_H_

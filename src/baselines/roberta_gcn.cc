@@ -1,0 +1,2 @@
+// RobertaGcn is a configuration of TokenTaggerBase; see roberta_gcn.h.
+#include "baselines/roberta_gcn.h"

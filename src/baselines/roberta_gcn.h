@@ -1,0 +1,30 @@
+#ifndef RESUFORMER_BASELINES_ROBERTA_GCN_H_
+#define RESUFORMER_BASELINES_ROBERTA_GCN_H_
+
+#include "baselines/layout_token_model.h"
+
+namespace resuformer {
+namespace baselines {
+
+/// "RoBERTa+GCN" baseline (Wei et al., 2020): an MLM-pretrained token-level
+/// text encoder whose states are refined by a two-layer graph convolution
+/// over the spatial k-NN token graph — layout enters through the graph
+/// structure rather than through embeddings.
+class RobertaGcn : public TokenTaggerBase {
+ public:
+  RobertaGcn(const TokenModelConfig& config,
+             const text::WordPieceTokenizer* tokenizer, Rng* rng,
+             int mlm_pretrain_epochs = 2)
+      : TokenTaggerBase(config,
+                        Options{/*use_layout=*/false, /*use_visual=*/false,
+                                /*use_gcn=*/true, /*crf_head=*/false,
+                                mlm_pretrain_epochs},
+                        tokenizer, rng) {}
+
+  const char* name() const override { return "RoBERTa+GCN"; }
+};
+
+}  // namespace baselines
+}  // namespace resuformer
+
+#endif  // RESUFORMER_BASELINES_ROBERTA_GCN_H_

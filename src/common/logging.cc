@@ -1,0 +1,56 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace resuformer {
+
+namespace {
+LogLevel g_level = LogLevel::kInfo;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (static_cast<int>(level_) < static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+}
+
+FatalLogMessage::FatalLogMessage(const char* file, int line,
+                                 const char* condition) {
+  stream_ << "[FATAL " << file << ":" << line << "] Check failed: "
+          << condition << " ";
+}
+
+FatalLogMessage::~FatalLogMessage() {
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace resuformer

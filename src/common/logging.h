@@ -1,0 +1,75 @@
+#ifndef RESUFORMER_COMMON_LOGGING_H_
+#define RESUFORMER_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace resuformer {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level emitted to stderr (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; flushes one line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Aborts the process after flushing; used by RF_CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define RF_LOG(level)                                                   \
+  ::resuformer::internal::LogMessage(::resuformer::LogLevel::k##level, \
+                                     __FILE__, __LINE__)
+
+/// Invariant check: aborts with a message when `cond` is false. Used for
+/// programmer errors (shape mismatches etc.), not recoverable conditions —
+/// those return Status.
+#define RF_CHECK(cond)                                              \
+  if (!(cond))                                                      \
+  ::resuformer::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
+
+#define RF_CHECK_EQ(a, b) RF_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define RF_CHECK_LT(a, b) RF_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define RF_CHECK_LE(a, b) RF_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define RF_CHECK_GT(a, b) RF_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define RF_CHECK_GE(a, b) RF_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+}  // namespace resuformer
+
+#endif  // RESUFORMER_COMMON_LOGGING_H_

@@ -1,0 +1,56 @@
+#ifndef RESUFORMER_COMMON_RNG_H_
+#define RESUFORMER_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace resuformer {
+
+/// \brief Deterministic pseudo-random generator (xoshiro256**).
+///
+/// All stochastic components — parameter init, dropout, corpus sampling,
+/// dynamic masking — draw from an explicitly seeded Rng so every experiment
+/// is bit-reproducible. Not thread-safe; use one Rng per thread.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  int UniformInt(int n);
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Standard normal sample (Box-Muller).
+  double Normal();
+
+  /// Gaussian with the given mean/stddev.
+  double Normal(double mean, double stddev);
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+
+  /// A random permutation of {0, ..., n-1}.
+  std::vector<int> Permutation(int n);
+
+  /// Samples k distinct indices from {0, ..., n-1} (k <= n).
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+  /// Picks an index with probability proportional to weights[i].
+  int Categorical(const std::vector<double>& weights);
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace resuformer
+
+#endif  // RESUFORMER_COMMON_RNG_H_

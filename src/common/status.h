@@ -1,0 +1,112 @@
+#ifndef RESUFORMER_COMMON_STATUS_H_
+#define RESUFORMER_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace resuformer {
+
+/// Error categories used across the library (RocksDB/Arrow-style status
+/// codes; the library reports failures through Status/Result instead of
+/// throwing exceptions across its public API).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kFailedPrecondition,
+  kInternal,
+  kIoError,
+};
+
+/// \brief Lightweight success/failure result for operations without a value.
+///
+/// Usage:
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable representation, e.g. "InvalidArgument: bad shape".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief A value-or-Status holder (Arrow's Result<T> idiom).
+///
+/// Usage:
+///   Result<Vocab> r = Vocab::Load(path);
+///   if (!r.ok()) return r.status();
+///   Vocab v = std::move(r).ValueOrDie();
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions mirror Arrow: both values and error Statuses
+  // construct a Result so `return value;` and `return status;` both work.
+  Result(T value) : holder_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                           // NOLINT(runtime/explicit)
+      : holder_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(holder_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(holder_);
+  }
+
+  const T& value() const& { return std::get<T>(holder_); }
+  T& value() & { return std::get<T>(holder_); }
+  T&& ValueOrDie() && { return std::move(std::get<T>(holder_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> holder_;
+};
+
+/// Propagates a non-OK Status from an expression (Arrow's macro idiom).
+#define RF_RETURN_NOT_OK(expr)             \
+  do {                                     \
+    ::resuformer::Status _s = (expr);      \
+    if (!_s.ok()) return _s;               \
+  } while (false)
+
+}  // namespace resuformer
+
+#endif  // RESUFORMER_COMMON_STATUS_H_

@@ -1,0 +1,37 @@
+#ifndef RESUFORMER_COMMON_STRING_UTIL_H_
+#define RESUFORMER_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace resuformer {
+
+/// Splits on any of the characters in `delims`, dropping empty pieces.
+std::vector<std::string> SplitString(std::string_view text,
+                                     std::string_view delims = " \t\n");
+
+/// Joins pieces with `sep`.
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep);
+
+/// ASCII lowercase copy.
+std::string ToLowerAscii(std::string_view text);
+
+/// Whether `text` starts with / ends with the given affix.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string StripAscii(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// True when every character is an ASCII digit (and text is non-empty).
+bool IsAsciiDigits(std::string_view text);
+
+}  // namespace resuformer
+
+#endif  // RESUFORMER_COMMON_STRING_UTIL_H_

@@ -1,0 +1,54 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace resuformer {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  RF_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  RF_CHECK_EQ(cells.size(), header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddSeparator() { rows_.emplace_back(); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto format_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      line += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  auto separator = [&]() {
+    std::string line = "+";
+    for (size_t c = 0; c < header_.size(); ++c) {
+      line += std::string(widths[c] + 2, '-') + "+";
+    }
+    return line + "\n";
+  };
+
+  std::string out = separator() + format_row(header_) + separator();
+  for (const auto& row : rows_) {
+    out += row.empty() ? separator() : format_row(row);
+  }
+  out += separator();
+  return out;
+}
+
+}  // namespace resuformer

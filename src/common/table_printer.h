@@ -1,0 +1,35 @@
+#ifndef RESUFORMER_COMMON_TABLE_PRINTER_H_
+#define RESUFORMER_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace resuformer {
+
+/// \brief Fixed-width ASCII table used by the benchmark harnesses to print
+/// the paper's tables.
+///
+/// Usage:
+///   TablePrinter t({"Tag", "Ours", "paper"});
+///   t.AddRow({"PInfo", "91.2", "91.75"});
+///   std::cout << t.ToString();
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Inserts a horizontal separator before the next row.
+  void AddSeparator();
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  // Rows; an empty vector marks a separator.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace resuformer
+
+#endif  // RESUFORMER_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,3 @@
+// Intentionally empty: ResuFormerConfig is an aggregate defined in config.h.
+// This translation unit anchors the header in the build for IWYU checks.
+#include "core/config.h"

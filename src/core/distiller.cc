@@ -1,0 +1,37 @@
+#include "core/distiller.h"
+
+namespace resuformer {
+namespace core {
+
+std::vector<LabeledDocument> KnowledgeDistiller::DistillPseudoLabels(
+    const SentenceLabeler& teacher,
+    const std::vector<const doc::Document*>& unlabeled) const {
+  std::vector<LabeledDocument> pseudo;
+  pseudo.reserve(unlabeled.size());
+  for (const doc::Document* document : unlabeled) {
+    LabeledDocument example;
+    example.document = EncodeForModel(*document, *tokenizer_, config_);
+    example.labels = teacher.LabelSentences(*document);
+    example.labels.resize(example.document.sentences.size(),
+                          doc::kOutsideLabel);
+    pseudo.push_back(std::move(example));
+  }
+  return pseudo;
+}
+
+double KnowledgeDistiller::TrainWithDistillation(
+    BlockClassifier* student, const std::vector<LabeledDocument>& pseudo,
+    const std::vector<LabeledDocument>& gold_train,
+    const std::vector<LabeledDocument>& gold_val,
+    const FinetuneOptions& options, Rng* rng) const {
+  // Step 4: train on the teacher's pseudo labels (fewer epochs — this is an
+  // augmentation stage, not the final fit).
+  FinetuneOptions pseudo_options = options;
+  pseudo_options.epochs = std::max(1, options.epochs / 2);
+  FinetuneBlockClassifier(student, pseudo, gold_val, pseudo_options, rng);
+  // Step 5: fine-tune on gold data.
+  return FinetuneBlockClassifier(student, gold_train, gold_val, options, rng);
+}
+
+}  // namespace core
+}  // namespace resuformer

@@ -1,0 +1,59 @@
+#ifndef RESUFORMER_CORE_DISTILLER_H_
+#define RESUFORMER_CORE_DISTILLER_H_
+
+#include <vector>
+
+#include "core/block_classifier.h"
+#include "doc/document.h"
+
+namespace resuformer {
+namespace core {
+
+/// Abstract teacher interface for Algorithm 1's knowledge distillation: any
+/// model able to assign sentence-level IOB block labels to a document. The
+/// paper's teacher is LayoutXLM (token-level, converted to sentence labels);
+/// ours is baselines::LayoutTokenModel, which implements this interface.
+class SentenceLabeler {
+ public:
+  virtual ~SentenceLabeler() = default;
+
+  /// Predicted IOB block label per sentence of `document`.
+  virtual std::vector<int> LabelSentences(
+      const doc::Document& document) const = 0;
+};
+
+/// \brief Knowledge distillation per Algorithm 1.
+///
+/// Steps (the encoder is assumed already pre-trained by Pretrainer):
+///   2. the caller trains the teacher on the labeled set;
+///   3. DistillPseudoLabels() auto-annotates unlabeled documents;
+///   4-5. TrainWithDistillation() trains the student on pseudo labels, then
+///        fine-tunes on the gold labels.
+class KnowledgeDistiller {
+ public:
+  KnowledgeDistiller(const text::WordPieceTokenizer* tokenizer,
+                     const ResuFormerConfig& config)
+      : tokenizer_(tokenizer), config_(config) {}
+
+  /// Step 3: pseudo-labels `unlabeled` with the teacher.
+  std::vector<LabeledDocument> DistillPseudoLabels(
+      const SentenceLabeler& teacher,
+      const std::vector<const doc::Document*>& unlabeled) const;
+
+  /// Steps 4-5: pseudo-label training followed by gold fine-tuning; returns
+  /// the final validation accuracy.
+  double TrainWithDistillation(BlockClassifier* student,
+                               const std::vector<LabeledDocument>& pseudo,
+                               const std::vector<LabeledDocument>& gold_train,
+                               const std::vector<LabeledDocument>& gold_val,
+                               const FinetuneOptions& options, Rng* rng) const;
+
+ private:
+  const text::WordPieceTokenizer* tokenizer_;
+  ResuFormerConfig config_;
+};
+
+}  // namespace core
+}  // namespace resuformer
+
+#endif  // RESUFORMER_CORE_DISTILLER_H_

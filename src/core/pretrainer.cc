@@ -1,0 +1,253 @@
+#include "core/pretrainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+#include "text/vocab.h"
+
+namespace resuformer {
+namespace core {
+
+Pretrainer::Pretrainer(HierarchicalEncoder* encoder, Rng* rng,
+                       PretrainObjectives objectives)
+    : encoder_(encoder), rng_(rng), objectives_(objectives) {
+  const int d = encoder->config().hidden;
+  dnsp_matrix_ = Tensor::Randn({d, d}, rng, 0.05f);
+  dnsp_matrix_.set_requires_grad(true);
+  scl_projection_ = Tensor::Randn({d, d}, rng, 0.1f);
+  scl_projection_.set_requires_grad(true);
+  dnsp_projection_ = Tensor::Randn({d, d}, rng, 0.1f);
+  dnsp_projection_.set_requires_grad(true);
+}
+
+Tensor Pretrainer::MllmLoss(const EncodedDocument& doc) {
+  const ResuFormerConfig& cfg = encoder_->config();
+  const int m = static_cast<int>(doc.sentences.size());
+  const int sample = std::min(cfg.mllm_sentences_per_doc, m);
+  const std::vector<int> chosen = rng_->SampleWithoutReplacement(m, sample);
+
+  std::vector<Tensor> losses;
+  for (int s : chosen) {
+    const EncodedSentence& sentence = doc.sentences[s];
+    const int t_len = static_cast<int>(sentence.token_ids.size());
+    std::vector<int> masked_ids = sentence.token_ids;
+    std::vector<int> targets(t_len, -1);
+    int masked = 0;
+    for (int t = 1; t < t_len; ++t) {  // never mask [CLS]
+      if (!rng_->Bernoulli(cfg.word_mask_prob)) continue;
+      targets[t] = sentence.token_ids[t];
+      const double roll = rng_->Uniform();
+      if (roll < 0.8) {
+        masked_ids[t] = text::kMaskId;
+      } else if (roll < 0.9) {
+        masked_ids[t] = rng_->UniformInt(cfg.vocab_size);
+      }  // else keep original
+      ++masked;
+    }
+    if (masked == 0 && t_len > 1) {  // guarantee at least one masked token
+      const int t = 1 + rng_->UniformInt(t_len - 1);
+      targets[t] = sentence.token_ids[t];
+      masked_ids[t] = text::kMaskId;
+    }
+    Tensor states =
+        encoder_->SentenceTokenStates(sentence, masked_ids, rng_);
+    // Project only the masked positions into the vocabulary.
+    std::vector<int> positions;
+    std::vector<int> position_targets;
+    for (int t = 0; t < t_len; ++t) {
+      if (targets[t] >= 0) {
+        positions.push_back(t);
+        position_targets.push_back(targets[t]);
+      }
+    }
+    if (positions.empty()) continue;
+    Tensor logits =
+        encoder_->VocabLogits(ops::GatherRows(states, positions));
+    losses.push_back(ops::CrossEntropy(logits, position_targets));
+  }
+  if (losses.empty()) return Tensor::Zeros({1});
+  Tensor total = losses[0];
+  for (size_t i = 1; i < losses.size(); ++i) {
+    total = ops::Add(total, losses[i]);
+  }
+  return ops::Scale(total, 1.0f / static_cast<float>(losses.size()));
+}
+
+PretrainStats Pretrainer::Step(
+    const std::vector<const EncodedDocument*>& batch,
+    nn::Optimizer* optimizer) {
+  const ResuFormerConfig& cfg = encoder_->config();
+  PretrainStats stats;
+  optimizer->ZeroGrad();
+
+  std::vector<Tensor> loss_terms;
+
+  // Objective #1: MLLM.
+  if (objectives_.mllm) {
+    std::vector<Tensor> mllm;
+    for (const EncodedDocument* doc : batch) {
+      mllm.push_back(MllmLoss(*doc));
+    }
+    Tensor total = mllm[0];
+    for (size_t i = 1; i < mllm.size(); ++i) total = ops::Add(total, mllm[i]);
+    total = ops::Scale(total, 1.0f / static_cast<float>(mllm.size()));
+    stats.mllm_loss = total.item();
+    loss_terms.push_back(ops::Scale(total, cfg.lambda1));
+  }
+
+  // Objectives #2 and #3 share the sentence/document passes.
+  if (objectives_.scl || objectives_.dnsp) {
+    std::vector<Tensor> scl_contextual, scl_original;
+    std::vector<Tensor> dnsp_left, dnsp_right;
+    for (const EncodedDocument* doc : batch) {
+      const int m = static_cast<int>(doc->sentences.size());
+      Tensor h_star = encoder_->EncodeSentences(*doc, rng_);
+
+      // Dynamic sentence masking: a fresh sample every step (Section
+      // IV-A2's dynamic strategy).
+      std::vector<int> masked_indices;
+      Tensor doc_input = h_star;
+      if (objectives_.scl && m >= 2) {
+        const int k =
+            std::max(1, static_cast<int>(std::floor(cfg.sentence_mask_frac *
+                                                    m)));
+        masked_indices = rng_->SampleWithoutReplacement(m, k);
+        std::sort(masked_indices.begin(), masked_indices.end());
+        // Rebuild the row matrix with masked rows swapped for the learned
+        // mask vector.
+        std::vector<Tensor> rows;
+        rows.reserve(m);
+        size_t next = 0;
+        for (int i = 0; i < m; ++i) {
+          if (next < masked_indices.size() && masked_indices[next] == i) {
+            rows.push_back(encoder_->mask_vector());
+            ++next;
+          } else {
+            rows.push_back(ops::SliceRows(h_star, i, 1));
+          }
+        }
+        doc_input = ops::ConcatRows(rows);
+      }
+      Tensor contextual = encoder_->EncodeDocument(doc_input, *doc, rng_);
+
+      if (objectives_.scl) {
+        for (int idx : masked_indices) {
+          scl_contextual.push_back(ops::SliceRows(contextual, idx, 1));
+          // Stop-gradient on the ground-truth representations: letting the
+          // targets chase the predictions collapses the sentence space at
+          // this model scale (BYOL-style asymmetry; implementation note in
+          // DESIGN.md).
+          scl_original.push_back(ops::SliceRows(h_star, idx, 1).Detach());
+        }
+      }
+      if (objectives_.dnsp && m >= 2) {
+        const int l =
+            std::max(1, static_cast<int>(std::floor(cfg.next_sentence_frac *
+                                                    m)));
+        // Sample L positions with a next sentence (dynamic each step). The
+        // right side is the next sentence's *content* representation h*
+        // (detached): matching contextual states against contextual states
+        // is solvable from position embeddings alone at this model scale,
+        // which destroys content information (implementation note in
+        // DESIGN.md).
+        std::vector<int> starts =
+            rng_->SampleWithoutReplacement(m - 1, std::min(l, m - 1));
+        for (int i : starts) {
+          dnsp_left.push_back(ops::SliceRows(contextual, i, 1));
+          dnsp_right.push_back(ops::SliceRows(h_star, i + 1, 1).Detach());
+        }
+      }
+    }
+
+    // Objective #2 loss (Eq. 3-4): in-batch contrastive alignment.
+    if (objectives_.scl && scl_contextual.size() >= 2) {
+      // The contextual side passes through a projection head, and rows are
+      // L2-normalized before the similarity (cosine form): unnormalized
+      // tiny-model dot products saturate the softmax.
+      Tensor hd = ops::L2NormalizeRows(
+          ops::MatMul(ops::ConcatRows(scl_contextual), scl_projection_));
+      Tensor hs = ops::L2NormalizeRows(ops::ConcatRows(scl_original));
+      Tensor sim = ops::Scale(ops::MatMul(hd, ops::Transpose(hs)),
+                              1.0f / cfg.tau);
+      std::vector<int> diag(sim.rows());
+      for (int i = 0; i < sim.rows(); ++i) diag[i] = i;
+      Tensor loss = ops::CrossEntropy(sim, diag);
+      stats.scl_loss = loss.item();
+      loss_terms.push_back(ops::Scale(loss, cfg.lambda2));
+    }
+
+    // Objective #3 loss (Eq. 5-6): bilinear next-sentence alignment.
+    if (objectives_.dnsp && dnsp_left.size() >= 2) {
+      Tensor left = ops::MatMul(ops::ConcatRows(dnsp_left),
+                                dnsp_projection_);  // [L, D]
+      Tensor right = ops::ConcatRows(dnsp_right);   // [L, D]
+      Tensor scores = ops::MatMul(ops::MatMul(left, dnsp_matrix_),
+                                  ops::Transpose(right));
+      std::vector<int> diag(scores.rows());
+      for (int i = 0; i < scores.rows(); ++i) diag[i] = i;
+      Tensor loss = ops::CrossEntropy(scores, diag);
+      stats.dnsp_loss = loss.item();
+      loss_terms.push_back(ops::Scale(loss, cfg.lambda3));
+    }
+  }
+
+  if (loss_terms.empty()) return stats;
+  Tensor total = loss_terms[0];
+  for (size_t i = 1; i < loss_terms.size(); ++i) {
+    total = ops::Add(total, loss_terms[i]);
+  }
+  stats.total_loss = total.item();
+  total.Backward();
+  optimizer->ClipGradNorm(encoder_->config().grad_clip);
+  optimizer->Step();
+  return stats;
+}
+
+PretrainStats Pretrainer::Train(const std::vector<EncodedDocument>& corpus,
+                                int epochs, int batch_size,
+                                float learning_rate) {
+  std::vector<Tensor> params = encoder_->Parameters();
+  params.push_back(dnsp_matrix_);
+  nn::Adam adam(params, learning_rate, 0.9f, 0.999f, 1e-8f,
+                encoder_->config().weight_decay);
+
+  PretrainStats last_epoch;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    const std::vector<int> order =
+        rng_->Permutation(static_cast<int>(corpus.size()));
+    PretrainStats epoch_stats;
+    int steps = 0;
+    for (size_t begin = 0; begin < order.size();
+         begin += static_cast<size_t>(batch_size)) {
+      std::vector<const EncodedDocument*> batch;
+      for (size_t i = begin;
+           i < std::min(order.size(), begin + batch_size); ++i) {
+        if (!corpus[order[i]].sentences.empty()) {
+          batch.push_back(&corpus[order[i]]);
+        }
+      }
+      if (batch.empty()) continue;
+      const PretrainStats s = Step(batch, &adam);
+      epoch_stats.mllm_loss += s.mllm_loss;
+      epoch_stats.scl_loss += s.scl_loss;
+      epoch_stats.dnsp_loss += s.dnsp_loss;
+      epoch_stats.total_loss += s.total_loss;
+      ++steps;
+    }
+    if (steps > 0) {
+      epoch_stats.mllm_loss /= steps;
+      epoch_stats.scl_loss /= steps;
+      epoch_stats.dnsp_loss /= steps;
+      epoch_stats.total_loss /= steps;
+    }
+    last_epoch = epoch_stats;
+    RF_LOG(Debug) << "pretrain epoch " << epoch << " total="
+                  << epoch_stats.total_loss;
+  }
+  return last_epoch;
+}
+
+}  // namespace core
+}  // namespace resuformer

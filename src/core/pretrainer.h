@@ -1,0 +1,90 @@
+#ifndef RESUFORMER_CORE_PRETRAINER_H_
+#define RESUFORMER_CORE_PRETRAINER_H_
+
+#include <vector>
+
+#include "core/hierarchical_encoder.h"
+#include "nn/optimizer.h"
+
+namespace resuformer {
+namespace core {
+
+/// Which self-supervised objectives are active; the Table III ablations
+/// disable one at a time.
+struct PretrainObjectives {
+  bool mllm = true;  // masked layout-language model (w/o WMP disables)
+  bool scl = true;   // self-supervised contrastive learning
+  bool dnsp = true;  // dynamic next-sentence prediction
+};
+
+/// Per-step loss breakdown.
+struct PretrainStats {
+  double mllm_loss = 0.0;
+  double scl_loss = 0.0;
+  double dnsp_loss = 0.0;
+  double total_loss = 0.0;
+};
+
+/// \brief Runs the three pre-training objectives of Section IV-A2 on a
+/// hierarchical encoder.
+///
+/// Objective #1 (MLLM): mask `word_mask_prob` of the tokens in a few
+/// sentences per document (80/10/10 mask/random/keep, BERT convention) while
+/// retaining their 2-D layout embeddings, and predict the originals.
+/// Objective #2 (SCL, Eq. 3-4): replace k sentence representations per
+/// document with the learned mask vector, encode, and contrastively match
+/// the contextual states at masked positions to the original (pre-masking)
+/// representations pooled across the batch, with temperature tau.
+/// Objective #3 (DNSP, Eq. 5-6): sample L sentences and score adjacency
+/// against their true next sentences through the bilinear form H' W_d H''^T
+/// with an in-batch softmax.
+/// The overall loss is Eq. 7: lambda1*L_wp + lambda2*L_cl + lambda3*L_ns.
+class Pretrainer {
+ public:
+  Pretrainer(HierarchicalEncoder* encoder, Rng* rng,
+             PretrainObjectives objectives = {});
+
+  /// One optimizer step over a mini-batch of documents; returns the losses.
+  PretrainStats Step(const std::vector<const EncodedDocument*>& batch,
+                     nn::Optimizer* optimizer);
+
+  /// Runs `epochs` passes over `corpus` with the given batch size and
+  /// learning rate; returns the final-epoch mean stats.
+  PretrainStats Train(const std::vector<EncodedDocument>& corpus, int epochs,
+                      int batch_size, float learning_rate);
+
+  /// The bilinear DNSP parameter W_d (exposed for tests).
+  const Tensor& dnsp_matrix() const { return dnsp_matrix_; }
+
+ private:
+  Tensor MllmLoss(const EncodedDocument& doc);
+  /// Appends this document's (contextual, original) masked-sentence pairs.
+  void CollectSclPairs(const EncodedDocument& doc, const Tensor& h_star,
+                       const Tensor& contextual,
+                       const std::vector<int>& masked_indices,
+                       std::vector<Tensor>* contextual_rows,
+                       std::vector<Tensor>* original_rows);
+
+  HierarchicalEncoder* encoder_;
+  Rng* rng_;
+  PretrainObjectives objectives_;
+  Tensor dnsp_matrix_;  // [hidden, hidden] bilinear form W_d (Eq. 5)
+  // Projection heads between the backbone and the contrastive objectives:
+  // they absorb objective-specific distortion so the encoder states keep
+  // their content (SimCLR-style; implementation note in DESIGN.md).
+  Tensor scl_projection_;   // [hidden, hidden]
+  Tensor dnsp_projection_;  // [hidden, hidden]
+
+ public:
+  /// Parameters owned by the pre-trainer itself (bilinear form and
+  /// projection heads); callers add these to the optimizer alongside the
+  /// encoder parameters.
+  std::vector<Tensor> OwnParameters() const {
+    return {dnsp_matrix_, scl_projection_, dnsp_projection_};
+  }
+};
+
+}  // namespace core
+}  // namespace resuformer
+
+#endif  // RESUFORMER_CORE_PRETRAINER_H_

@@ -1,0 +1,181 @@
+#include "crf/fuzzy_crf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace resuformer {
+namespace crf {
+
+namespace {
+
+constexpr double kNegInf = -1e30;
+
+double LogSumExp(const std::vector<double>& v) {
+  double mx = v[0];
+  for (double x : v) mx = std::max(mx, x);
+  if (mx <= kNegInf / 2) return kNegInf;
+  double total = 0.0;
+  for (double x : v) total += std::exp(x - mx);
+  return mx + std::log(total);
+}
+
+struct LatticeResult {
+  std::vector<std::vector<double>> alpha;
+  std::vector<std::vector<double>> beta;
+  double log_z = 0.0;
+};
+
+/// Forward-backward over an optionally constrained lattice. `allowed` may be
+/// null for the unconstrained partition function.
+LatticeResult RunLattice(const float* e, int t_len, int num_labels,
+                         const float* trans, const float* start,
+                         const float* end,
+                         const std::vector<std::vector<bool>>* allowed) {
+  auto ok = [&](int t, int j) {
+    return allowed == nullptr || (*allowed)[t][j];
+  };
+  LatticeResult r;
+  r.alpha.assign(t_len, std::vector<double>(num_labels, kNegInf));
+  r.beta.assign(t_len, std::vector<double>(num_labels, kNegInf));
+  for (int j = 0; j < num_labels; ++j) {
+    if (ok(0, j)) r.alpha[0][j] = start[j] + e[j];
+  }
+  std::vector<double> scratch(num_labels);
+  for (int t = 1; t < t_len; ++t) {
+    for (int j = 0; j < num_labels; ++j) {
+      if (!ok(t, j)) continue;
+      for (int i = 0; i < num_labels; ++i) {
+        scratch[i] = r.alpha[t - 1][i] + trans[i * num_labels + j];
+      }
+      const double lse = LogSumExp(scratch);
+      r.alpha[t][j] = lse <= kNegInf / 2 ? kNegInf
+                                         : lse + e[t * num_labels + j];
+    }
+  }
+  for (int i = 0; i < num_labels; ++i) {
+    if (ok(t_len - 1, i)) r.beta[t_len - 1][i] = end[i];
+  }
+  for (int t = t_len - 2; t >= 0; --t) {
+    for (int i = 0; i < num_labels; ++i) {
+      if (!ok(t, i)) continue;
+      for (int j = 0; j < num_labels; ++j) {
+        scratch[j] = ok(t + 1, j)
+                         ? trans[i * num_labels + j] +
+                               e[(t + 1) * num_labels + j] + r.beta[t + 1][j]
+                         : kNegInf;
+      }
+      r.beta[t][i] = LogSumExp(scratch);
+    }
+  }
+  std::vector<double> finals(num_labels);
+  for (int j = 0; j < num_labels; ++j) {
+    finals[j] = r.alpha[t_len - 1][j] + end[j];
+  }
+  r.log_z = LogSumExp(finals);
+  return r;
+}
+
+}  // namespace
+
+Tensor FuzzyCrf::MarginalNegLogLikelihood(
+    const Tensor& emissions,
+    const std::vector<std::vector<bool>>& allowed) const {
+  const int t_len = emissions.rows();
+  const int num_labels = num_labels_;
+  RF_CHECK_EQ(emissions.cols(), num_labels);
+  RF_CHECK_EQ(static_cast<int>(allowed.size()), t_len);
+  for (const auto& row : allowed) {
+    RF_CHECK_EQ(static_cast<int>(row.size()), num_labels);
+    bool any = false;
+    for (bool b : row) any = any || b;
+    RF_CHECK(any) << "every position must allow at least one label";
+  }
+
+  const float* e = emissions.data();
+  const float* trans = transitions_.data();
+  const float* start = start_.data();
+  const float* end = end_.data();
+
+  const LatticeResult full =
+      RunLattice(e, t_len, num_labels, trans, start, end, nullptr);
+  const LatticeResult constrained =
+      RunLattice(e, t_len, num_labels, trans, start, end, &allowed);
+
+  Tensor loss = Tensor::Zeros({1});
+  loss.data()[0] =
+      static_cast<float>((full.log_z - constrained.log_z) / t_len);
+
+  const bool needs_grad =
+      NoGradGuard::GradEnabled() &&
+      (emissions.requires_grad() || transitions_.requires_grad());
+  if (!needs_grad) return loss;
+
+  loss.impl()->requires_grad = true;
+  loss.impl()->parents = {emissions.impl(), transitions_.impl(),
+                          start_.impl(), end_.impl()};
+  TensorImpl* self = loss.impl().get();
+  auto ei = emissions.impl();
+  auto ti = transitions_.impl();
+  auto si = start_.impl();
+  auto ni = end_.impl();
+  self->backward_fn = [self, ei, ti, si, ni, t_len, num_labels, full,
+                       constrained]() {
+    const float g = self->grad[0] / t_len;
+    const float* e = ei->data.data();
+    const float* trans = ti->data.data();
+
+    auto marginal = [&](const LatticeResult& r, int t, int j) {
+      const double logp = r.alpha[t][j] + r.beta[t][j] - r.log_z;
+      return logp <= kNegInf / 2 ? 0.0 : std::exp(logp);
+    };
+    auto pair_marginal = [&](const LatticeResult& r, int t, int i, int j) {
+      const double logp = r.alpha[t][i] + trans[i * num_labels + j] +
+                          e[(t + 1) * num_labels + j] + r.beta[t + 1][j] -
+                          r.log_z;
+      return logp <= kNegInf / 2 ? 0.0 : std::exp(logp);
+    };
+
+    if (ei->requires_grad) {
+      ei->EnsureGrad();
+      for (int t = 0; t < t_len; ++t) {
+        for (int j = 0; j < num_labels; ++j) {
+          ei->grad[t * num_labels + j] += g * static_cast<float>(
+              marginal(full, t, j) - marginal(constrained, t, j));
+        }
+      }
+    }
+    if (ti->requires_grad) {
+      ti->EnsureGrad();
+      for (int t = 0; t + 1 < t_len; ++t) {
+        for (int i = 0; i < num_labels; ++i) {
+          for (int j = 0; j < num_labels; ++j) {
+            ti->grad[i * num_labels + j] += g * static_cast<float>(
+                pair_marginal(full, t, i, j) -
+                pair_marginal(constrained, t, i, j));
+          }
+        }
+      }
+    }
+    if (si->requires_grad) {
+      si->EnsureGrad();
+      for (int j = 0; j < num_labels; ++j) {
+        si->grad[j] += g * static_cast<float>(marginal(full, 0, j) -
+                                              marginal(constrained, 0, j));
+      }
+    }
+    if (ni->requires_grad) {
+      ni->EnsureGrad();
+      for (int j = 0; j < num_labels; ++j) {
+        ni->grad[j] += g * static_cast<float>(
+            marginal(full, t_len - 1, j) -
+            marginal(constrained, t_len - 1, j));
+      }
+    }
+  };
+  return loss;
+}
+
+}  // namespace crf
+}  // namespace resuformer

@@ -1,0 +1,34 @@
+#ifndef RESUFORMER_CRF_FUZZY_CRF_H_
+#define RESUFORMER_CRF_FUZZY_CRF_H_
+
+#include <vector>
+
+#include "crf/linear_crf.h"
+
+namespace resuformer {
+namespace crf {
+
+/// \brief Fuzzy (partial / constrained-lattice) CRF for distant supervision
+/// (Shang et al., 2018).
+///
+/// Instead of one gold path, each position carries a *set* of permitted
+/// labels; the objective maximizes the total probability of all paths that
+/// stay inside the lattice:
+///   loss = log Z  -  log Z_constrained.
+/// Positions with unknown labels simply allow every label, which is how
+/// unmatched tokens in distantly-annotated data are handled.
+class FuzzyCrf : public LinearCrf {
+ public:
+  FuzzyCrf(int num_labels, Rng* rng) : LinearCrf(num_labels, rng) {}
+
+  /// allowed[t][l] == true iff label l is permitted at position t. Each
+  /// position must allow at least one label.
+  Tensor MarginalNegLogLikelihood(
+      const Tensor& emissions,
+      const std::vector<std::vector<bool>>& allowed) const;
+};
+
+}  // namespace crf
+}  // namespace resuformer
+
+#endif  // RESUFORMER_CRF_FUZZY_CRF_H_

@@ -1,0 +1,216 @@
+#include "crf/linear_crf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace resuformer {
+namespace crf {
+
+namespace {
+
+double LogSumExp(const std::vector<double>& v) {
+  double mx = v[0];
+  for (double x : v) mx = std::max(mx, x);
+  double total = 0.0;
+  for (double x : v) total += std::exp(x - mx);
+  return mx + std::log(total);
+}
+
+/// Forward messages alpha[t][j] = log sum over paths ending at (t, j).
+std::vector<std::vector<double>> ForwardMessages(const float* e, int t_len,
+                                                 int num_labels,
+                                                 const float* trans,
+                                                 const float* start) {
+  std::vector<std::vector<double>> alpha(t_len,
+                                         std::vector<double>(num_labels));
+  for (int j = 0; j < num_labels; ++j) alpha[0][j] = start[j] + e[j];
+  std::vector<double> scratch(num_labels);
+  for (int t = 1; t < t_len; ++t) {
+    for (int j = 0; j < num_labels; ++j) {
+      for (int i = 0; i < num_labels; ++i) {
+        scratch[i] = alpha[t - 1][i] + trans[i * num_labels + j];
+      }
+      alpha[t][j] = LogSumExp(scratch) + e[t * num_labels + j];
+    }
+  }
+  return alpha;
+}
+
+/// Backward messages beta[t][i] = log sum over paths starting at (t, i),
+/// excluding e[t][i] itself but including the end scores.
+std::vector<std::vector<double>> BackwardMessages(const float* e, int t_len,
+                                                  int num_labels,
+                                                  const float* trans,
+                                                  const float* end) {
+  std::vector<std::vector<double>> beta(t_len,
+                                        std::vector<double>(num_labels));
+  for (int i = 0; i < num_labels; ++i) beta[t_len - 1][i] = end[i];
+  std::vector<double> scratch(num_labels);
+  for (int t = t_len - 2; t >= 0; --t) {
+    for (int i = 0; i < num_labels; ++i) {
+      for (int j = 0; j < num_labels; ++j) {
+        scratch[j] = trans[i * num_labels + j] + e[(t + 1) * num_labels + j] +
+                     beta[t + 1][j];
+      }
+      beta[t][i] = LogSumExp(scratch);
+    }
+  }
+  return beta;
+}
+
+}  // namespace
+
+LinearCrf::LinearCrf(int num_labels, Rng* rng) : num_labels_(num_labels) {
+  transitions_ = RegisterParameter(
+      Tensor::Randn({num_labels, num_labels}, rng, 0.01f));
+  start_ = RegisterParameter(Tensor::Randn({num_labels}, rng, 0.01f));
+  end_ = RegisterParameter(Tensor::Randn({num_labels}, rng, 0.01f));
+}
+
+Tensor LinearCrf::NegLogLikelihood(const Tensor& emissions,
+                                   const std::vector<int>& labels) const {
+  const int t_len = emissions.rows();
+  const int num_labels = num_labels_;
+  RF_CHECK_EQ(emissions.cols(), num_labels);
+  RF_CHECK_EQ(static_cast<int>(labels.size()), t_len);
+  RF_CHECK_GT(t_len, 0);
+
+  const float* e = emissions.data();
+  const float* trans = transitions_.data();
+  const float* start = start_.data();
+  const float* end = end_.data();
+
+  const auto alpha = ForwardMessages(e, t_len, num_labels, trans, start);
+  std::vector<double> final_scores(num_labels);
+  for (int j = 0; j < num_labels; ++j) {
+    final_scores[j] = alpha[t_len - 1][j] + end[j];
+  }
+  const double log_z = LogSumExp(final_scores);
+
+  double gold = start[labels[0]] + e[labels[0]];
+  for (int t = 1; t < t_len; ++t) {
+    gold += trans[labels[t - 1] * num_labels + labels[t]] +
+            e[t * num_labels + labels[t]];
+  }
+  gold += end[labels[t_len - 1]];
+
+  // Build the loss node with a custom backward computing exact marginals.
+  Tensor loss = Tensor::Zeros({1});
+  loss.data()[0] = static_cast<float>((log_z - gold) / t_len);
+  const bool needs_grad =
+      NoGradGuard::GradEnabled() &&
+      (emissions.requires_grad() || transitions_.requires_grad());
+  if (!needs_grad) return loss;
+
+  loss.impl()->requires_grad = true;
+  loss.impl()->parents = {emissions.impl(), transitions_.impl(),
+                          start_.impl(), end_.impl()};
+  TensorImpl* self = loss.impl().get();
+  auto ei = emissions.impl();
+  auto ti = transitions_.impl();
+  auto si = start_.impl();
+  auto ni = end_.impl();
+  self->backward_fn = [self, ei, ti, si, ni, t_len, num_labels, labels,
+                       alpha, log_z]() {
+    const float g = self->grad[0] / t_len;
+    const float* e = ei->data.data();
+    const float* trans = ti->data.data();
+    const float* end = ni->data.data();
+    const auto beta = BackwardMessages(e, t_len, num_labels, trans, end);
+
+    // Unary marginals P(y_t = j).
+    if (ei->requires_grad) {
+      ei->EnsureGrad();
+      for (int t = 0; t < t_len; ++t) {
+        for (int j = 0; j < num_labels; ++j) {
+          const double logp = alpha[t][j] + beta[t][j] - log_z;
+          ei->grad[t * num_labels + j] +=
+              g * static_cast<float>(std::exp(logp));
+        }
+        ei->grad[t * num_labels + labels[t]] -= g;
+      }
+    }
+    // Pairwise marginals P(y_t = i, y_{t+1} = j).
+    if (ti->requires_grad) {
+      ti->EnsureGrad();
+      for (int t = 0; t + 1 < t_len; ++t) {
+        for (int i = 0; i < num_labels; ++i) {
+          for (int j = 0; j < num_labels; ++j) {
+            const double logp = alpha[t][i] + trans[i * num_labels + j] +
+                                e[(t + 1) * num_labels + j] +
+                                beta[t + 1][j] - log_z;
+            ti->grad[i * num_labels + j] +=
+                g * static_cast<float>(std::exp(logp));
+          }
+        }
+        ti->grad[labels[t] * num_labels + labels[t + 1]] -= g;
+      }
+    }
+    if (si->requires_grad) {
+      si->EnsureGrad();
+      for (int j = 0; j < num_labels; ++j) {
+        const double logp = alpha[0][j] + beta[0][j] - log_z;
+        si->grad[j] += g * static_cast<float>(std::exp(logp));
+      }
+      si->grad[labels[0]] -= g;
+    }
+    if (ni->requires_grad) {
+      ni->EnsureGrad();
+      for (int j = 0; j < num_labels; ++j) {
+        const double logp = alpha[t_len - 1][j] + beta[t_len - 1][j] - log_z;
+        ni->grad[j] += g * static_cast<float>(std::exp(logp));
+      }
+      ni->grad[labels[t_len - 1]] -= g;
+    }
+  };
+  return loss;
+}
+
+std::vector<int> LinearCrf::Decode(const Tensor& emissions) const {
+  const int t_len = emissions.rows();
+  const int num_labels = num_labels_;
+  RF_CHECK_EQ(emissions.cols(), num_labels);
+  RF_CHECK_GT(t_len, 0);
+  const float* e = emissions.data();
+  const float* trans = transitions_.data();
+
+  std::vector<std::vector<double>> score(t_len,
+                                         std::vector<double>(num_labels));
+  std::vector<std::vector<int>> back(t_len, std::vector<int>(num_labels, 0));
+  for (int j = 0; j < num_labels; ++j) {
+    score[0][j] = start_.data()[j] + e[j];
+  }
+  for (int t = 1; t < t_len; ++t) {
+    for (int j = 0; j < num_labels; ++j) {
+      double best = -1e30;
+      int arg = 0;
+      for (int i = 0; i < num_labels; ++i) {
+        const double s = score[t - 1][i] + trans[i * num_labels + j];
+        if (s > best) {
+          best = s;
+          arg = i;
+        }
+      }
+      score[t][j] = best + e[t * num_labels + j];
+      back[t][j] = arg;
+    }
+  }
+  double best = -1e30;
+  int arg = 0;
+  for (int j = 0; j < num_labels; ++j) {
+    const double s = score[t_len - 1][j] + end_.data()[j];
+    if (s > best) {
+      best = s;
+      arg = j;
+    }
+  }
+  std::vector<int> path(t_len);
+  path[t_len - 1] = arg;
+  for (int t = t_len - 1; t > 0; --t) path[t - 1] = back[t][path[t]];
+  return path;
+}
+
+}  // namespace crf
+}  // namespace resuformer

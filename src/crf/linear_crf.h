@@ -1,0 +1,45 @@
+#ifndef RESUFORMER_CRF_LINEAR_CRF_H_
+#define RESUFORMER_CRF_LINEAR_CRF_H_
+
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace resuformer {
+namespace crf {
+
+/// \brief Linear-chain conditional random field layer.
+///
+/// Score of a path y for emissions e [T, L]:
+///   start[y_0] + sum_t e[t, y_t] + sum_t trans[y_t, y_{t+1}] + end[y_{T-1}]
+///
+/// NegLogLikelihood computes -log p(y | e) with the forward algorithm in
+/// log space and backpropagates exact marginal gradients into the emissions
+/// and the transition parameters (Lafferty et al., 2001). Decode runs
+/// Viterbi.
+class LinearCrf : public nn::Module {
+ public:
+  LinearCrf(int num_labels, Rng* rng);
+
+  /// Mean (over the sequence) negative log-likelihood of the gold labels.
+  Tensor NegLogLikelihood(const Tensor& emissions,
+                          const std::vector<int>& labels) const;
+
+  /// Most likely label sequence for the emissions (no autograd).
+  std::vector<int> Decode(const Tensor& emissions) const;
+
+  int num_labels() const { return num_labels_; }
+  const Tensor& transitions() const { return transitions_; }
+
+ protected:
+  int num_labels_;
+  Tensor transitions_;  // [L, L], trans[i][j] = score of i -> j
+  Tensor start_;        // [L]
+  Tensor end_;          // [L]
+};
+
+}  // namespace crf
+}  // namespace resuformer
+
+#endif  // RESUFORMER_CRF_LINEAR_CRF_H_

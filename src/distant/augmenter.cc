@@ -1,0 +1,121 @@
+#include "distant/augmenter.h"
+
+#include "common/string_util.h"
+
+namespace resuformer {
+namespace distant {
+
+namespace {
+
+/// Contiguous labeled spans in an IOB sequence.
+struct Span {
+  int start;
+  int length;
+  doc::EntityTag tag;
+};
+
+std::vector<Span> ExtractSpans(const std::vector<int>& labels) {
+  std::vector<Span> spans;
+  for (size_t i = 0; i < labels.size();) {
+    doc::EntityTag tag;
+    bool begin;
+    if (doc::ParseEntityIobLabel(labels[i], &tag, &begin) && begin) {
+      size_t j = i + 1;
+      doc::EntityTag tag2;
+      bool begin2;
+      while (j < labels.size() &&
+             doc::ParseEntityIobLabel(labels[j], &tag2, &begin2) &&
+             !begin2 && tag2 == tag) {
+        ++j;
+      }
+      spans.push_back(Span{static_cast<int>(i),
+                           static_cast<int>(j - i), tag});
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return spans;
+}
+
+/// Copies a [start, start+len) slice of both words and labels.
+template <typename T>
+void AppendRange(const std::vector<T>& src, int start, int len,
+                 std::vector<T>* dst) {
+  dst->insert(dst->end(), src.begin() + start, src.begin() + start + len);
+}
+
+}  // namespace
+
+AnnotatedSequence Augmenter::SwapEntities(const AnnotatedSequence& sequence,
+                                          double swap_prob) const {
+  AnnotatedSequence out;
+  out.block = sequence.block;
+  const std::vector<Span> spans = ExtractSpans(sequence.labels);
+  size_t next_span = 0;
+  for (size_t i = 0; i < sequence.words.size();) {
+    if (next_span < spans.size() &&
+        spans[next_span].start == static_cast<int>(i)) {
+      const Span& span = spans[next_span++];
+      const auto& pool = dictionary_->Surfaces(span.tag);
+      if (!pool.empty() && rng_->Bernoulli(swap_prob)) {
+        const std::string& replacement =
+            pool[rng_->UniformInt(static_cast<int>(pool.size()))];
+        bool first = true;
+        for (const std::string& w : SplitString(replacement)) {
+          out.words.push_back(w);
+          out.labels.push_back(doc::EntityIobLabel(span.tag, first));
+          first = false;
+        }
+      } else {
+        AppendRange(sequence.words, span.start, span.length, &out.words);
+        AppendRange(sequence.labels, span.start, span.length, &out.labels);
+      }
+      i += span.length;
+    } else {
+      out.words.push_back(sequence.words[i]);
+      out.labels.push_back(sequence.labels[i]);
+      ++i;
+    }
+  }
+  // Gold labels are no longer aligned after augmentation; training data is
+  // distant-only by definition.
+  return out;
+}
+
+AnnotatedSequence Augmenter::ShuffleEntityOrder(
+    const AnnotatedSequence& sequence) const {
+  const std::vector<Span> spans = ExtractSpans(sequence.labels);
+  if (spans.size() < 2) return sequence;
+  // Pick a random adjacent pair of spans and swap their word ranges
+  // (inclusive of the gap between them staying in place).
+  const int k = rng_->UniformInt(static_cast<int>(spans.size()) - 1);
+  const Span& a = spans[k];
+  const Span& b = spans[k + 1];
+
+  AnnotatedSequence out;
+  out.block = sequence.block;
+  // prefix | b | middle | a | suffix
+  AppendRange(sequence.words, 0, a.start, &out.words);
+  AppendRange(sequence.labels, 0, a.start, &out.labels);
+  AppendRange(sequence.words, b.start, b.length, &out.words);
+  AppendRange(sequence.labels, b.start, b.length, &out.labels);
+  const int middle_start = a.start + a.length;
+  AppendRange(sequence.words, middle_start, b.start - middle_start,
+              &out.words);
+  AppendRange(sequence.labels, middle_start, b.start - middle_start,
+              &out.labels);
+  AppendRange(sequence.words, a.start, a.length, &out.words);
+  AppendRange(sequence.labels, a.start, a.length, &out.labels);
+  const int suffix_start = b.start + b.length;
+  AppendRange(sequence.words, suffix_start,
+              static_cast<int>(sequence.words.size()) - suffix_start,
+              &out.words);
+  AppendRange(sequence.labels, suffix_start,
+              static_cast<int>(sequence.labels.size()) - suffix_start,
+              &out.labels);
+  return out;
+}
+
+}  // namespace distant
+}  // namespace resuformer

@@ -1,0 +1,36 @@
+#ifndef RESUFORMER_DISTANT_AUGMENTER_H_
+#define RESUFORMER_DISTANT_AUGMENTER_H_
+
+#include "common/rng.h"
+#include "distant/auto_annotator.h"
+
+namespace resuformer {
+namespace distant {
+
+/// \brief Training-data augmentation (Section IV-B2, last paragraph):
+/// entity-mention replacement from the dictionaries, and reordering of
+/// adjacent entity segments within a sequence.
+class Augmenter {
+ public:
+  Augmenter(const EntityDictionary* dictionary, Rng* rng)
+      : dictionary_(dictionary), rng_(rng) {}
+
+  /// Replaces each distant-labeled entity span with a random dictionary
+  /// surface of the same tag (with probability `swap_prob` per span),
+  /// keeping labels aligned. Returns the augmented copy.
+  AnnotatedSequence SwapEntities(const AnnotatedSequence& sequence,
+                                 double swap_prob = 0.5) const;
+
+  /// Swaps two adjacent labeled segments (e.g. company <-> date in a work
+  /// header). Returns the original when fewer than two spans exist.
+  AnnotatedSequence ShuffleEntityOrder(const AnnotatedSequence& sequence) const;
+
+ private:
+  const EntityDictionary* dictionary_;
+  Rng* rng_;
+};
+
+}  // namespace distant
+}  // namespace resuformer
+
+#endif  // RESUFORMER_DISTANT_AUGMENTER_H_

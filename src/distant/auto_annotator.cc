@@ -1,0 +1,80 @@
+#include "distant/auto_annotator.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace resuformer {
+namespace distant {
+
+using doc::EntityTag;
+
+namespace {
+
+bool IsCapitalizedWord(const std::string& w) {
+  return !w.empty() && std::isupper(static_cast<unsigned char>(w[0]));
+}
+
+bool ParsesAsAge(const std::string& w) {
+  if (!IsAsciiDigits(w)) return false;
+  const int v = std::stoi(w);
+  return v >= 16 && v <= 70;
+}
+
+void Apply(const Match& m, std::vector<int>* labels) {
+  // Never overwrite existing annotations (first writer wins; dictionary and
+  // regex matches are applied before heuristics).
+  for (int k = 0; k < m.length; ++k) {
+    if ((*labels)[m.start + k] != 0) return;
+  }
+  for (int k = 0; k < m.length; ++k) {
+    (*labels)[m.start + k] = doc::EntityIobLabel(m.tag, k == 0);
+  }
+}
+
+}  // namespace
+
+std::vector<int> AutoAnnotator::Annotate(
+    const std::vector<std::string>& words) const {
+  std::vector<int> labels(words.size(), 0);
+
+  // 1. Regular expressions (email / phone / dates) — unambiguous formats.
+  for (const Match& m : FindRegexMatches(words)) Apply(m, &labels);
+  // 2. Dictionary string matching.
+  for (const Match& m : dictionary_->FindMatches(words)) Apply(m, &labels);
+
+  // 3. Heuristic prefix rules.
+  for (size_t i = 0; i + 1 < words.size(); ++i) {
+    const std::string lower = ToLowerAscii(words[i]);
+    if ((lower == "age:" || lower == "age") && ParsesAsAge(words[i + 1])) {
+      Apply(Match{static_cast<int>(i + 1), 1, EntityTag::kAge}, &labels);
+    }
+    if (lower == "name:" && IsCapitalizedWord(words[i + 1])) {
+      const int len =
+          (i + 2 < words.size() && IsCapitalizedWord(words[i + 2])) ? 2 : 1;
+      Apply(Match{static_cast<int>(i + 1), len, EntityTag::kName}, &labels);
+    }
+  }
+  // Company suffix rule: "... <Cap> <Cap> Co. LTD" / "... Inc.".
+  for (size_t i = 0; i < words.size(); ++i) {
+    const std::string& w = words[i];
+    const bool suffix = EndsWith(w, "LTD") || w == "Inc." || w == "LLC" ||
+                        w == "Group" || w == "Inc";
+    if (!suffix || labels[i] != 0) continue;
+    // Extend left over capitalized, unlabeled words (at most 4).
+    int start = static_cast<int>(i);
+    while (start > 0 && i - start < 4 &&
+           IsCapitalizedWord(words[start - 1]) && labels[start - 1] == 0) {
+      --start;
+    }
+    if (start < static_cast<int>(i)) {
+      Apply(Match{start, static_cast<int>(i) - start + 1,
+                  EntityTag::kCompany},
+            &labels);
+    }
+  }
+  return labels;
+}
+
+}  // namespace distant
+}  // namespace resuformer

@@ -1,0 +1,46 @@
+#ifndef RESUFORMER_DISTANT_AUTO_ANNOTATOR_H_
+#define RESUFORMER_DISTANT_AUTO_ANNOTATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "distant/dictionary.h"
+#include "distant/regex_matcher.h"
+
+namespace resuformer {
+namespace distant {
+
+/// A token sequence with distant (auto) labels and, when available, gold
+/// labels from the generator — both in the entity IOB space.
+struct AnnotatedSequence {
+  std::vector<std::string> words;
+  std::vector<int> labels;       // distant supervision
+  std::vector<int> gold_labels;  // empty for purely unlabeled text
+  doc::BlockTag block = doc::BlockTag::kPInfo;
+};
+
+/// \brief Automatic data annotation (Section IV-B2): combines dictionary
+/// string matching, regular expressions, and heuristic prefix rules into
+/// IOB entity labels.
+///
+/// Heuristic rules implemented (footnote 4 of the paper):
+///   * "Age:" followed by a number in [16, 70] labels the number as Age;
+///   * "Name:" followed by two capitalized words labels them as Name;
+///   * a word ending in "LTD"/"Inc."/"LLC"/"Group" extends a preceding
+///     unmatched capitalized run into a Company span.
+class AutoAnnotator {
+ public:
+  explicit AutoAnnotator(const EntityDictionary* dictionary)
+      : dictionary_(dictionary) {}
+
+  /// IOB labels over `words` (kNumEntityIobLabels space).
+  std::vector<int> Annotate(const std::vector<std::string>& words) const;
+
+ private:
+  const EntityDictionary* dictionary_;
+};
+
+}  // namespace distant
+}  // namespace resuformer
+
+#endif  // RESUFORMER_DISTANT_AUTO_ANNOTATOR_H_

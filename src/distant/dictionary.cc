@@ -1,0 +1,113 @@
+#include "distant/dictionary.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "resumegen/entity_pools.h"
+#include "resumegen/resume_sampler.h"
+#include "text/normalizer.h"
+
+namespace resuformer {
+namespace distant {
+
+using doc::EntityTag;
+
+void EntityDictionary::Add(EntityTag tag, const std::string& surface) {
+  Entry entry;
+  entry.tag = tag;
+  for (const std::string& w : SplitString(surface)) {
+    const std::string norm = text::NormalizeForMatch(w);
+    if (!norm.empty()) entry.normalized_words.push_back(norm);
+  }
+  if (entry.normalized_words.empty()) return;
+  auto& bucket = index_[entry.normalized_words[0]];
+  bucket.push_back(std::move(entry));
+  // Longest-first so the greedy scan prefers maximal spans.
+  std::sort(bucket.begin(), bucket.end(), [](const Entry& a, const Entry& b) {
+    return a.normalized_words.size() > b.normalized_words.size();
+  });
+  surfaces_[static_cast<int>(tag)].push_back(surface);
+  ++size_;
+}
+
+std::vector<Match> EntityDictionary::FindMatches(
+    const std::vector<std::string>& words) const {
+  std::vector<std::string> normalized(words.size());
+  for (size_t i = 0; i < words.size(); ++i) {
+    normalized[i] = text::NormalizeForMatch(words[i]);
+  }
+  std::vector<Match> matches;
+  size_t i = 0;
+  while (i < words.size()) {
+    auto it = index_.find(normalized[i]);
+    bool matched = false;
+    if (it != index_.end()) {
+      for (const Entry& entry : it->second) {
+        const size_t len = entry.normalized_words.size();
+        if (i + len > words.size()) continue;
+        bool ok = true;
+        for (size_t k = 0; k < len; ++k) {
+          if (normalized[i + k] != entry.normalized_words[k]) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) {
+          matches.push_back(Match{static_cast<int>(i),
+                                  static_cast<int>(len), entry.tag});
+          i += len;
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (!matched) ++i;
+  }
+  return matches;
+}
+
+const std::vector<std::string>& EntityDictionary::Surfaces(
+    EntityTag tag) const {
+  return surfaces_[static_cast<int>(tag)];
+}
+
+EntityDictionary BuildDictionaries(const DictionaryConfig& config) {
+  Rng rng(config.seed);
+  EntityDictionary dict;
+
+  auto add_fraction = [&](EntityTag tag,
+                          const std::vector<std::string>& pool,
+                          double coverage) {
+    for (const std::string& s : pool) {
+      if (rng.Uniform() < coverage) dict.Add(tag, s);
+    }
+  };
+  add_fraction(EntityTag::kCollege, resumegen::Colleges(),
+               config.college_coverage);
+  add_fraction(EntityTag::kMajor, resumegen::Majors(),
+               config.major_coverage);
+  add_fraction(EntityTag::kDegree, resumegen::Degrees(),
+               config.degree_coverage);
+  dict.Add(EntityTag::kGender, "Male");
+  dict.Add(EntityTag::kGender, "Female");
+
+  // Compositional families: sampling covers only part of the space.
+  resumegen::ResumeSampler sampler(&rng);
+  for (int i = 0; i < config.company_samples; ++i) {
+    dict.Add(EntityTag::kCompany, sampler.SampleCompany());
+  }
+  for (int i = 0; i < config.position_samples; ++i) {
+    dict.Add(EntityTag::kPosition, sampler.SamplePosition());
+  }
+  for (int i = 0; i < config.project_samples; ++i) {
+    dict.Add(EntityTag::kProjName, sampler.SampleProjectName());
+  }
+  for (int i = 0; i < config.name_samples; ++i) {
+    dict.Add(EntityTag::kName, sampler.SampleFullName());
+  }
+  return dict;
+}
+
+}  // namespace distant
+}  // namespace resuformer

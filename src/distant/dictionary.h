@@ -1,0 +1,77 @@
+#ifndef RESUFORMER_DISTANT_DICTIONARY_H_
+#define RESUFORMER_DISTANT_DICTIONARY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "doc/block_tags.h"
+
+namespace resuformer {
+namespace distant {
+
+/// A matched entity span over a word sequence.
+struct Match {
+  int start = 0;
+  int length = 0;
+  doc::EntityTag tag = doc::EntityTag::kName;
+};
+
+/// \brief Multi-class gazetteer with greedy longest-match lookup
+/// (Section IV-B1: entity dictionaries built from name databases, web
+/// encyclopedias and recruitment sites).
+///
+/// Surfaces are stored as sequences of case/punctuation-normalized words;
+/// FindMatches scans left-to-right preferring longer matches and never
+/// overlaps spans.
+class EntityDictionary {
+ public:
+  /// Registers a surface form (whitespace-split) for `tag`.
+  void Add(doc::EntityTag tag, const std::string& surface);
+
+  /// Number of stored surface forms.
+  int size() const { return size_; }
+
+  /// Non-overlapping matches over the word sequence.
+  std::vector<Match> FindMatches(const std::vector<std::string>& words) const;
+
+  /// All surfaces of one tag (used by the entity-swap augmenter).
+  const std::vector<std::string>& Surfaces(doc::EntityTag tag) const;
+
+ private:
+  struct Entry {
+    std::vector<std::string> normalized_words;
+    doc::EntityTag tag;
+  };
+  // First normalized word -> candidate entries (longest first).
+  std::unordered_map<std::string, std::vector<Entry>> index_;
+  std::vector<std::vector<std::string>> surfaces_ =
+      std::vector<std::vector<std::string>>(doc::kNumEntityTags);
+  int size_ = 0;
+};
+
+/// Coverage knobs for dictionary construction. Fractions below 1 introduce
+/// the false-negative noise distant supervision must cope with; the
+/// compositional families (companies, positions, projects, names) are
+/// covered by drawing `*_samples` random compositions, which misses part of
+/// the combinatorial space by construction.
+struct DictionaryConfig {
+  double college_coverage = 0.5;
+  double major_coverage = 0.55;
+  double degree_coverage = 1.0;  // degrees have "the limited value type"
+  int company_samples = 250;
+  int position_samples = 50;
+  int project_samples = 120;
+  int name_samples = 900;
+  uint64_t seed = 97;
+};
+
+/// Builds the resume-domain dictionaries from the generator's entity pools
+/// (the paper's "self-built dictionary" step).
+EntityDictionary BuildDictionaries(const DictionaryConfig& config);
+
+}  // namespace distant
+}  // namespace resuformer
+
+#endif  // RESUFORMER_DISTANT_DICTIONARY_H_

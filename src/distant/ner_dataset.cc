@@ -1,0 +1,144 @@
+#include "distant/ner_dataset.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace resuformer {
+namespace distant {
+
+using doc::BlockTag;
+
+NerSplitStats ComputeNerStats(const std::vector<AnnotatedSequence>& split) {
+  NerSplitStats stats;
+  stats.num_samples = static_cast<int>(split.size());
+  if (split.empty()) return stats;
+  double tokens = 0, entities = 0;
+  for (const AnnotatedSequence& s : split) {
+    tokens += static_cast<double>(s.words.size());
+    for (int label : s.labels) {
+      doc::EntityTag tag;
+      bool begin;
+      if (doc::ParseEntityIobLabel(label, &tag, &begin) && begin) {
+        entities += 1;
+      }
+    }
+  }
+  stats.avg_tokens = tokens / split.size();
+  stats.avg_entities = entities / split.size();
+  return stats;
+}
+
+std::vector<AnnotatedSequence> ExtractBlockSequences(
+    const resumegen::GeneratedResume& resume) {
+  std::vector<AnnotatedSequence> sequences;
+  for (const doc::Block& block : resume.document.blocks) {
+    switch (block.tag) {
+      case BlockTag::kPInfo:
+      case BlockTag::kEduExp:
+      case BlockTag::kWorkExp:
+      case BlockTag::kProjExp:
+        break;
+      default:
+        continue;  // entity-free block types
+    }
+    AnnotatedSequence seq;
+    seq.block = block.tag;
+    for (int s = block.first_sentence; s <= block.last_sentence; ++s) {
+      const doc::Sentence& sentence = resume.document.sentences[s];
+      for (size_t t = 0; t < sentence.tokens.size(); ++t) {
+        seq.words.push_back(sentence.tokens[t].word);
+        seq.gold_labels.push_back(resume.entity_labels[s][t]);
+      }
+    }
+    if (!seq.words.empty()) sequences.push_back(std::move(seq));
+  }
+  return sequences;
+}
+
+NerDataset BuildNerDataset(const NerDatasetConfig& config,
+                           const EntityDictionary& dictionary) {
+  Rng rng(config.seed);
+  AutoAnnotator annotator(&dictionary);
+  Augmenter augmenter(&dictionary, &rng);
+
+  NerDataset dataset;
+  const int total_needed = config.train_sequences + config.val_sequences +
+                           config.test_sequences;
+  std::vector<AnnotatedSequence> collected;
+  int guard = 0;
+  while (static_cast<int>(collected.size()) < total_needed &&
+         guard++ < total_needed * 4) {
+    const resumegen::GeneratedResume resume = resumegen::GenerateResume(&rng);
+    for (AnnotatedSequence& seq : ExtractBlockSequences(resume)) {
+      collected.push_back(std::move(seq));
+      if (static_cast<int>(collected.size()) >= total_needed) break;
+    }
+  }
+  RF_CHECK_GE(static_cast<int>(collected.size()), total_needed)
+      << "corpus generation under-produced block sequences";
+
+  int cursor = 0;
+  // Training split: distant annotation; keep only sequences with at least
+  // one matched entity (paper Section V-B1).
+  while (static_cast<int>(dataset.train.size()) < config.train_sequences &&
+         cursor < static_cast<int>(collected.size()) -
+                      (config.val_sequences + config.test_sequences)) {
+    AnnotatedSequence seq = collected[cursor++];
+    seq.labels = annotator.Annotate(seq.words);
+    const bool has_entity =
+        std::any_of(seq.labels.begin(), seq.labels.end(),
+                    [](int l) { return l != 0; });
+    if (!has_entity) continue;
+    dataset.train.push_back(std::move(seq));
+  }
+  // Augmentation: extra swapped/shuffled copies.
+  const int augment_count = static_cast<int>(
+      config.augment_fraction * static_cast<double>(dataset.train.size()));
+  for (int i = 0; i < augment_count; ++i) {
+    const AnnotatedSequence& base =
+        dataset.train[rng.UniformInt(static_cast<int>(dataset.train.size()))];
+    AnnotatedSequence aug = rng.Bernoulli(0.5)
+                                ? augmenter.SwapEntities(base)
+                                : augmenter.ShuffleEntityOrder(base);
+    dataset.train.push_back(std::move(aug));
+  }
+
+  // Validation/test: gold ("expert") labels.
+  auto take_gold = [&](int count, std::vector<AnnotatedSequence>* split) {
+    while (static_cast<int>(split->size()) < count &&
+           cursor < static_cast<int>(collected.size())) {
+      AnnotatedSequence seq = collected[cursor++];
+      seq.labels = seq.gold_labels;
+      split->push_back(std::move(seq));
+    }
+  };
+  take_gold(config.val_sequences, &dataset.val);
+  take_gold(config.test_sequences, &dataset.test);
+  return dataset;
+}
+
+NoiseStats ComputeNoiseStats(const std::vector<AnnotatedSequence>& split) {
+  int64_t distant_nonzero = 0, gold_nonzero = 0, agree = 0;
+  for (const AnnotatedSequence& seq : split) {
+    if (seq.gold_labels.size() != seq.labels.size()) continue;  // augmented
+    for (size_t i = 0; i < seq.labels.size(); ++i) {
+      if (seq.labels[i] != 0) ++distant_nonzero;
+      if (seq.gold_labels[i] != 0) ++gold_nonzero;
+      if (seq.labels[i] != 0 && seq.labels[i] == seq.gold_labels[i]) ++agree;
+    }
+  }
+  NoiseStats stats;
+  if (distant_nonzero > 0) {
+    stats.label_precision =
+        static_cast<double>(agree) / static_cast<double>(distant_nonzero);
+  }
+  if (gold_nonzero > 0) {
+    stats.label_recall =
+        static_cast<double>(agree) / static_cast<double>(gold_nonzero);
+  }
+  return stats;
+}
+
+}  // namespace distant
+}  // namespace resuformer

@@ -1,0 +1,63 @@
+#ifndef RESUFORMER_DISTANT_NER_DATASET_H_
+#define RESUFORMER_DISTANT_NER_DATASET_H_
+
+#include <vector>
+
+#include "distant/augmenter.h"
+#include "resumegen/renderer.h"
+
+namespace resuformer {
+namespace distant {
+
+/// Split sizes (paper: 20,000 train / 400 val / 600 test, Table VI).
+struct NerDatasetConfig {
+  int train_sequences = 2000;
+  int val_sequences = 100;
+  int test_sequences = 150;
+  double augment_fraction = 0.3;  // extra augmented copies of train data
+  uint64_t seed = 31;
+};
+
+/// The intra-block extraction dataset: train carries distant labels,
+/// val/test carry gold ("expert") labels.
+struct NerDataset {
+  std::vector<AnnotatedSequence> train;
+  std::vector<AnnotatedSequence> val;   // labels == gold
+  std::vector<AnnotatedSequence> test;  // labels == gold
+};
+
+/// Statistics for Table VI.
+struct NerSplitStats {
+  int num_samples = 0;
+  double avg_tokens = 0.0;
+  double avg_entities = 0.0;
+};
+
+NerSplitStats ComputeNerStats(const std::vector<AnnotatedSequence>& split);
+
+/// Extracts one AnnotatedSequence per entity-bearing block (PInfo, EduExp,
+/// WorkExp, ProjExp) of a generated resume, carrying the generator's gold
+/// entity labels. Section V-B1: blocks come from the block segmentation
+/// stage; here the generator's gold segmentation decouples the two tasks.
+std::vector<AnnotatedSequence> ExtractBlockSequences(
+    const resumegen::GeneratedResume& resume);
+
+/// Builds the dataset: generates resumes, extracts block sequences,
+/// annotates the training split with the dictionaries + regex + heuristics
+/// (keeping only sequences with >= 1 matched entity, as in the paper), and
+/// applies entity-swap / order-shuffle augmentation.
+NerDataset BuildNerDataset(const NerDatasetConfig& config,
+                           const EntityDictionary& dictionary);
+
+/// Token-level distant-label noise metrics against gold (how noisy the
+/// distant supervision actually is — reported by the bench harnesses).
+struct NoiseStats {
+  double label_precision = 0.0;  // distant non-O labels that match gold
+  double label_recall = 0.0;     // gold non-O labels recovered by distant
+};
+NoiseStats ComputeNoiseStats(const std::vector<AnnotatedSequence>& split);
+
+}  // namespace distant
+}  // namespace resuformer
+
+#endif  // RESUFORMER_DISTANT_NER_DATASET_H_

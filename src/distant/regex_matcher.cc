@@ -1,0 +1,86 @@
+#include "distant/regex_matcher.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace resuformer {
+namespace distant {
+
+using doc::EntityTag;
+
+bool LooksLikeEmail(const std::string& word) {
+  const size_t at = word.find('@');
+  if (at == std::string::npos || at == 0 || at + 1 >= word.size()) {
+    return false;
+  }
+  const size_t dot = word.find('.', at);
+  return dot != std::string::npos && dot + 1 < word.size();
+}
+
+bool LooksLikePhone(const std::string& word) {
+  // Accepts digit groups separated by '-' with at least 7 digits total,
+  // e.g. "134-2561-9078".
+  int digits = 0;
+  int groups = 1;
+  for (char c : word) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      ++digits;
+    } else if (c == '-') {
+      ++groups;
+    } else {
+      return false;
+    }
+  }
+  return digits >= 7 && groups >= 2;
+}
+
+bool LooksLikeYearMonth(const std::string& word) {
+  // "dddd.dd" or "dddd/dd"
+  if (word.size() != 7) return false;
+  for (int i = 0; i < 4; ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(word[i]))) return false;
+  }
+  if (word[4] != '.' && word[4] != '/') return false;
+  for (int i = 5; i < 7; ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(word[i]))) return false;
+  }
+  const int year = (word[0] - '0') * 1000 + (word[1] - '0') * 100 +
+                   (word[2] - '0') * 10 + (word[3] - '0');
+  const int month = (word[5] - '0') * 10 + (word[6] - '0');
+  return year >= 1950 && year <= 2035 && month >= 1 && month <= 12;
+}
+
+std::vector<Match> FindRegexMatches(const std::vector<std::string>& words) {
+  std::vector<Match> matches;
+  size_t i = 0;
+  while (i < words.size()) {
+    if (LooksLikeEmail(words[i])) {
+      matches.push_back(Match{static_cast<int>(i), 1, EntityTag::kEmail});
+      ++i;
+      continue;
+    }
+    if (LooksLikePhone(words[i])) {
+      matches.push_back(Match{static_cast<int>(i), 1, EntityTag::kPhoneNum});
+      ++i;
+      continue;
+    }
+    if (LooksLikeYearMonth(words[i])) {
+      // Date range: "<ym> - <ym|Present>".
+      if (i + 2 < words.size() && words[i + 1] == "-" &&
+          (LooksLikeYearMonth(words[i + 2]) || words[i + 2] == "Present")) {
+        matches.push_back(Match{static_cast<int>(i), 3, EntityTag::kDate});
+        i += 3;
+      } else {
+        matches.push_back(Match{static_cast<int>(i), 1, EntityTag::kDate});
+        ++i;
+      }
+      continue;
+    }
+    ++i;
+  }
+  return matches;
+}
+
+}  // namespace distant
+}  // namespace resuformer

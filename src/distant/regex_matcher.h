@@ -1,0 +1,29 @@
+#ifndef RESUFORMER_DISTANT_REGEX_MATCHER_H_
+#define RESUFORMER_DISTANT_REGEX_MATCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "distant/dictionary.h"
+
+namespace resuformer {
+namespace distant {
+
+/// Pattern recognizers for the fixed-format entities the paper matches with
+/// regular expressions (email, phone number, date). Implemented as
+/// hand-rolled scanners — faster and dependency-free compared to
+/// std::regex, and the grammar is tiny.
+bool LooksLikeEmail(const std::string& word);
+bool LooksLikePhone(const std::string& word);
+/// "2016.09" / "2016/09" style year-month token.
+bool LooksLikeYearMonth(const std::string& word);
+
+/// Finds regex-matchable entities over a word sequence: single-token emails
+/// and phones, and date *ranges* ("2016.09 - 2019.06", "2016.09 - Present")
+/// spanning three tokens, or standalone year-month tokens.
+std::vector<Match> FindRegexMatches(const std::vector<std::string>& words);
+
+}  // namespace distant
+}  // namespace resuformer
+
+#endif  // RESUFORMER_DISTANT_REGEX_MATCHER_H_

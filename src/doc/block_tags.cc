@@ -1,0 +1,79 @@
+#include "doc/block_tags.h"
+
+#include <array>
+
+#include "common/logging.h"
+
+namespace resuformer {
+namespace doc {
+
+namespace {
+const std::array<std::string, kNumBlockTags>& TagNames() {
+  static const std::array<std::string, kNumBlockTags> kNames = {
+      "PInfo",   "EduExp", "WorkExp",  "ProjExp",
+      "Summary", "Awards", "SkillDes", "Title"};
+  return kNames;
+}
+}  // namespace
+
+int IobLabel(BlockTag tag, bool begin) {
+  return 1 + 2 * static_cast<int>(tag) + (begin ? 0 : 1);
+}
+
+bool ParseIobLabel(int label, BlockTag* tag, bool* begin) {
+  RF_CHECK_GE(label, 0);
+  RF_CHECK_LT(label, kNumIobLabels);
+  if (label == kOutsideLabel) return false;
+  const int rem = label - 1;
+  *tag = static_cast<BlockTag>(rem / 2);
+  *begin = (rem % 2) == 0;
+  return true;
+}
+
+const std::string& BlockTagName(BlockTag tag) {
+  return TagNames()[static_cast<int>(tag)];
+}
+
+std::string IobLabelName(int label) {
+  BlockTag tag;
+  bool begin;
+  if (!ParseIobLabel(label, &tag, &begin)) return "O";
+  return (begin ? "B-" : "I-") + BlockTagName(tag);
+}
+
+namespace {
+const std::array<std::string, kNumEntityTags>& EntityNames() {
+  static const std::array<std::string, kNumEntityTags> kNames = {
+      "Name",    "Gender", "PhoneNum", "Email",   "Age",      "College",
+      "Major",   "Degree", "Date",     "Company", "Position", "ProjName"};
+  return kNames;
+}
+}  // namespace
+
+int EntityIobLabel(EntityTag tag, bool begin) {
+  return 1 + 2 * static_cast<int>(tag) + (begin ? 0 : 1);
+}
+
+bool ParseEntityIobLabel(int label, EntityTag* tag, bool* begin) {
+  RF_CHECK_GE(label, 0);
+  RF_CHECK_LT(label, kNumEntityIobLabels);
+  if (label == 0) return false;
+  const int rem = label - 1;
+  *tag = static_cast<EntityTag>(rem / 2);
+  *begin = (rem % 2) == 0;
+  return true;
+}
+
+const std::string& EntityTagName(EntityTag tag) {
+  return EntityNames()[static_cast<int>(tag)];
+}
+
+std::string EntityIobLabelName(int label) {
+  EntityTag tag;
+  bool begin;
+  if (!ParseEntityIobLabel(label, &tag, &begin)) return "O";
+  return (begin ? "B-" : "I-") + EntityTagName(tag);
+}
+
+}  // namespace doc
+}  // namespace resuformer

@@ -1,0 +1,67 @@
+#ifndef RESUFORMER_DOC_BLOCK_TAGS_H_
+#define RESUFORMER_DOC_BLOCK_TAGS_H_
+
+#include <string>
+
+namespace resuformer {
+namespace doc {
+
+/// The eight semantic block classes of Section III-A.
+enum class BlockTag {
+  kPInfo = 0,
+  kEduExp,
+  kWorkExp,
+  kProjExp,
+  kSummary,
+  kAwards,
+  kSkillDes,
+  kTitle,
+};
+
+inline constexpr int kNumBlockTags = 8;
+
+/// IOB label space over the block classes: label 0 is "O"; for class c,
+/// 1 + 2c is "B-c" and 2 + 2c is "I-c".
+inline constexpr int kOutsideLabel = 0;
+inline constexpr int kNumIobLabels = 1 + 2 * kNumBlockTags;
+
+/// IOB label id for (tag, begin?).
+int IobLabel(BlockTag tag, bool begin);
+
+/// Decomposes an IOB label; returns false for "O".
+bool ParseIobLabel(int label, BlockTag* tag, bool* begin);
+
+/// Names: "PInfo", "EduExp", ... and "B-WorkExp"-style IOB names.
+const std::string& BlockTagName(BlockTag tag);
+std::string IobLabelName(int label);
+
+/// Fine-grained entity classes for intra-block extraction (Table IV).
+/// `kDate` is shared by EduExp, WorkExp and ProjExp blocks.
+enum class EntityTag {
+  kName = 0,
+  kGender,
+  kPhoneNum,
+  kEmail,
+  kAge,
+  kCollege,
+  kMajor,
+  kDegree,
+  kDate,
+  kCompany,
+  kPosition,
+  kProjName,
+};
+
+inline constexpr int kNumEntityTags = 12;
+inline constexpr int kNumEntityIobLabels = 1 + 2 * kNumEntityTags;
+
+/// IOB label id over the entity space (0 is "O").
+int EntityIobLabel(EntityTag tag, bool begin);
+bool ParseEntityIobLabel(int label, EntityTag* tag, bool* begin);
+const std::string& EntityTagName(EntityTag tag);
+std::string EntityIobLabelName(int label);
+
+}  // namespace doc
+}  // namespace resuformer
+
+#endif  // RESUFORMER_DOC_BLOCK_TAGS_H_

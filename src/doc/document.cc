@@ -1,0 +1,59 @@
+#include "doc/document.h"
+
+#include "common/logging.h"
+
+namespace resuformer {
+namespace doc {
+
+std::string Sentence::Text() const {
+  std::string out;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) out += " ";
+    out += tokens[i].word;
+  }
+  return out;
+}
+
+float Sentence::MaxFontSize() const {
+  float mx = 0.0f;
+  for (const Token& t : tokens) mx = std::max(mx, t.font_size);
+  return mx;
+}
+
+bool Sentence::AnyBold() const {
+  for (const Token& t : tokens) {
+    if (t.bold) return true;
+  }
+  return false;
+}
+
+int Document::NumTokens() const {
+  int n = 0;
+  for (const Sentence& s : sentences) n += static_cast<int>(s.tokens.size());
+  return n;
+}
+
+std::vector<Block> Document::BlocksFromLabels(const std::vector<int>& labels) {
+  std::vector<Block> blocks;
+  BlockTag current_tag = BlockTag::kPInfo;
+  bool in_block = false;
+  for (int i = 0; i < static_cast<int>(labels.size()); ++i) {
+    BlockTag tag;
+    bool begin;
+    if (!ParseIobLabel(labels[i], &tag, &begin)) {
+      in_block = false;
+      continue;
+    }
+    if (begin || !in_block || tag != current_tag) {
+      blocks.push_back(Block{tag, i, i});
+      current_tag = tag;
+      in_block = true;
+    } else {
+      blocks.back().last_sentence = i;
+    }
+  }
+  return blocks;
+}
+
+}  // namespace doc
+}  // namespace resuformer

@@ -1,0 +1,71 @@
+#ifndef RESUFORMER_DOC_DOCUMENT_H_
+#define RESUFORMER_DOC_DOCUMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "doc/block_tags.h"
+#include "doc/geometry.h"
+
+namespace resuformer {
+namespace doc {
+
+/// One parsed word with its spatial layout — the `(w, (x0,y0,x1,y1), p)`
+/// tuple of Section III-A, plus the style attributes a PDF parser exposes
+/// (our renderer substitutes for PyMuPDF; see DESIGN.md).
+struct Token {
+  std::string word;
+  BBox box;
+  int page = 0;
+  float font_size = 10.0f;
+  bool bold = false;
+};
+
+/// A "sentence" in the paper's sense: a visual line of adjacent tokens with
+/// the merged bounding box (not a grammatical sentence).
+struct Sentence {
+  std::vector<Token> tokens;
+  BBox box;
+  int page = 0;
+
+  /// Words joined with single spaces.
+  std::string Text() const;
+  /// Maximum token font size (drives the visual features).
+  float MaxFontSize() const;
+  bool AnyBold() const;
+};
+
+/// A contiguous run of sentences forming one semantic block.
+struct Block {
+  BlockTag tag = BlockTag::kPInfo;
+  int first_sentence = 0;  // inclusive
+  int last_sentence = 0;   // inclusive
+};
+
+/// A resume document after parsing/assembly. `sentence_labels` and `blocks`
+/// carry the gold annotation when the document came from the generator or
+/// from the (simulated) expert annotation; they are empty for unlabeled
+/// pre-training documents only in the sense that training code ignores them.
+struct Document {
+  std::vector<Sentence> sentences;
+  int num_pages = 1;
+  float page_width = 612.0f;   // US letter, points
+  float page_height = 792.0f;
+
+  /// Gold IOB label per sentence (same size as `sentences`).
+  std::vector<int> sentence_labels;
+  /// Gold block segmentation (consistent with sentence_labels).
+  std::vector<Block> blocks;
+
+  int NumSentences() const { return static_cast<int>(sentences.size()); }
+  int NumTokens() const;
+
+  /// Derives `blocks` from `sentence_labels` (B- starts a block, I- extends
+  /// it, O closes it). Used both for gold docs and for predictions.
+  static std::vector<Block> BlocksFromLabels(const std::vector<int>& labels);
+};
+
+}  // namespace doc
+}  // namespace resuformer
+
+#endif  // RESUFORMER_DOC_DOCUMENT_H_

@@ -1,0 +1,33 @@
+#include "doc/geometry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace resuformer {
+namespace doc {
+
+BBox Union(const BBox& a, const BBox& b) {
+  return BBox{std::min(a.x0, b.x0), std::min(a.y0, b.y0),
+              std::max(a.x1, b.x1), std::max(a.y1, b.y1)};
+}
+
+float VerticalOverlap(const BBox& a, const BBox& b) {
+  return std::min(a.y1, b.y1) - std::max(a.y0, b.y0);
+}
+
+bool SameRow(const BBox& a, const BBox& b, float min_ratio) {
+  const float overlap = VerticalOverlap(a, b);
+  if (overlap <= 0.0f) return false;
+  const float smaller = std::min(a.height(), b.height());
+  if (smaller <= 0.0f) return false;
+  return overlap >= min_ratio * smaller;
+}
+
+int NormalizeCoord(float value, float extent) {
+  if (extent <= 0.0f) return 0;
+  const float clamped = std::clamp(value, 0.0f, extent);
+  return static_cast<int>(std::lround(clamped / extent * 1000.0f));
+}
+
+}  // namespace doc
+}  // namespace resuformer

@@ -1,0 +1,39 @@
+#ifndef RESUFORMER_DOC_GEOMETRY_H_
+#define RESUFORMER_DOC_GEOMETRY_H_
+
+namespace resuformer {
+namespace doc {
+
+/// Axis-aligned bounding box in page coordinates (origin top-left, y grows
+/// downward, as produced by PDF parsers).
+struct BBox {
+  float x0 = 0.0f;
+  float y0 = 0.0f;
+  float x1 = 0.0f;
+  float y1 = 0.0f;
+
+  float width() const { return x1 - x0; }
+  float height() const { return y1 - y0; }
+  float area() const { return width() > 0 && height() > 0 ? width() * height() : 0.0f; }
+  float center_x() const { return 0.5f * (x0 + x1); }
+  float center_y() const { return 0.5f * (y0 + y1); }
+};
+
+/// Smallest box containing both inputs.
+BBox Union(const BBox& a, const BBox& b);
+
+/// Overlap of the two vertical extents in absolute units (<= 0 if disjoint).
+float VerticalOverlap(const BBox& a, const BBox& b);
+
+/// Whether two boxes lie on the same text row: their vertical overlap is at
+/// least `min_ratio` of the smaller height.
+bool SameRow(const BBox& a, const BBox& b, float min_ratio = 0.5f);
+
+/// Quantizes a coordinate in [0, extent] to an integer in [0, 1000]
+/// (LayoutLMv2 convention).
+int NormalizeCoord(float value, float extent);
+
+}  // namespace doc
+}  // namespace resuformer
+
+#endif  // RESUFORMER_DOC_GEOMETRY_H_

@@ -1,0 +1,77 @@
+#include "doc/sentence_assembler.h"
+
+#include <algorithm>
+
+namespace resuformer {
+namespace doc {
+
+std::vector<Sentence> SentenceAssembler::Assemble(
+    const std::vector<Token>& tokens) const {
+  std::vector<Sentence> sentences;
+  if (tokens.empty()) return sentences;
+
+  int max_page = 0;
+  for (const Token& t : tokens) max_page = std::max(max_page, t.page);
+
+  for (int page = 0; page <= max_page; ++page) {
+    std::vector<Token> page_tokens;
+    for (const Token& t : tokens) {
+      if (t.page == page) page_tokens.push_back(t);
+    }
+    if (page_tokens.empty()) continue;
+    std::sort(page_tokens.begin(), page_tokens.end(),
+              [](const Token& a, const Token& b) {
+                if (a.box.y0 != b.box.y0) return a.box.y0 < b.box.y0;
+                return a.box.x0 < b.box.x0;
+              });
+
+    // Cluster into rows greedily: a token joins the current row when it
+    // vertically overlaps the row's running box.
+    std::vector<std::vector<Token>> rows;
+    for (const Token& t : page_tokens) {
+      if (!rows.empty()) {
+        BBox row_box = rows.back().front().box;
+        for (const Token& rt : rows.back()) row_box = Union(row_box, rt.box);
+        if (SameRow(row_box, t.box, options_.same_row_ratio)) {
+          rows.back().push_back(t);
+          continue;
+        }
+      }
+      rows.push_back({t});
+    }
+
+    // Split each row at large horizontal gaps (column boundaries) and emit
+    // sentences in left-to-right order.
+    for (auto& row : rows) {
+      std::sort(row.begin(), row.end(), [](const Token& a, const Token& b) {
+        return a.box.x0 < b.box.x0;
+      });
+      float mean_height = 0.0f;
+      for (const Token& t : row) mean_height += t.box.height();
+      mean_height /= static_cast<float>(row.size());
+      const float max_gap =
+          options_.max_gap_ratio * std::max(mean_height, 1.0f);
+
+      Sentence current;
+      current.page = page;
+      for (const Token& t : row) {
+        if (!current.tokens.empty() && t.box.x0 - current.box.x1 > max_gap) {
+          sentences.push_back(current);
+          current = Sentence();
+          current.page = page;
+        }
+        if (current.tokens.empty()) {
+          current.box = t.box;
+        } else {
+          current.box = Union(current.box, t.box);
+        }
+        current.tokens.push_back(t);
+      }
+      if (!current.tokens.empty()) sentences.push_back(current);
+    }
+  }
+  return sentences;
+}
+
+}  // namespace doc
+}  // namespace resuformer

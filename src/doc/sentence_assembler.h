@@ -1,0 +1,42 @@
+#ifndef RESUFORMER_DOC_SENTENCE_ASSEMBLER_H_
+#define RESUFORMER_DOC_SENTENCE_ASSEMBLER_H_
+
+#include <vector>
+
+#include "doc/document.h"
+
+namespace resuformer {
+namespace doc {
+
+/// Parameters for grouping tokens into sentences (Section III-A: "the two
+/// tokens are closely spaced and in a row in the document").
+struct AssemblerOptions {
+  /// Horizontal gap (as a multiple of the mean token height) beyond which
+  /// two same-row tokens start separate sentences — this is what splits
+  /// two-column layouts.
+  float max_gap_ratio = 2.0f;
+  /// Minimum vertical-overlap ratio for two tokens to share a row.
+  float same_row_ratio = 0.5f;
+};
+
+/// \brief Groups a flat token stream into reading-order sentences.
+///
+/// Tokens are bucketed per page, sorted top-to-bottom then left-to-right,
+/// clustered into rows by vertical overlap, and rows are split at large
+/// horizontal gaps. The merged bounding box of each group becomes the
+/// sentence box.
+class SentenceAssembler {
+ public:
+  explicit SentenceAssembler(AssemblerOptions options = {})
+      : options_(options) {}
+
+  std::vector<Sentence> Assemble(const std::vector<Token>& tokens) const;
+
+ private:
+  AssemblerOptions options_;
+};
+
+}  // namespace doc
+}  // namespace resuformer
+
+#endif  // RESUFORMER_DOC_SENTENCE_ASSEMBLER_H_

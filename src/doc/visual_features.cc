@@ -1,0 +1,43 @@
+#include "doc/visual_features.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace resuformer {
+namespace doc {
+
+std::vector<float> ComputeVisualFeatures(const Sentence& sentence,
+                                         float page_width, float page_height,
+                                         int num_pages) {
+  std::vector<float> f(kVisualFeatureDim, 0.0f);
+  f[0] = std::min(sentence.MaxFontSize() / 24.0f, 1.5f);
+  f[1] = sentence.AnyBold() ? 1.0f : 0.0f;
+  f[2] = sentence.box.center_x() / std::max(page_width, 1.0f);
+  f[3] = sentence.box.center_y() / std::max(page_height, 1.0f);
+  f[4] = sentence.box.width() / std::max(page_width, 1.0f);
+  f[5] = sentence.box.height() / std::max(page_height, 1.0f);
+  f[6] = num_pages > 1 ? static_cast<float>(sentence.page) / (num_pages - 1)
+                       : 0.0f;
+
+  int digits = 0, punct = 0, upper = 0, chars = 0;
+  for (const Token& t : sentence.tokens) {
+    for (char c : t.word) {
+      const unsigned char uc = static_cast<unsigned char>(c);
+      ++chars;
+      if (std::isdigit(uc)) ++digits;
+      if (std::ispunct(uc)) ++punct;
+      if (std::isupper(uc)) ++upper;
+    }
+  }
+  if (chars > 0) {
+    f[7] = static_cast<float>(digits) / chars;
+    f[8] = static_cast<float>(punct) / chars;
+    f[9] = static_cast<float>(upper) / chars;
+  }
+  f[10] = std::min(static_cast<float>(sentence.tokens.size()) / 16.0f, 1.0f);
+  f[11] = sentence.box.x0 / std::max(page_width, 1.0f);
+  return f;
+}
+
+}  // namespace doc
+}  // namespace resuformer

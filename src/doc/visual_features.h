@@ -1,0 +1,38 @@
+#ifndef RESUFORMER_DOC_VISUAL_FEATURES_H_
+#define RESUFORMER_DOC_VISUAL_FEATURES_H_
+
+#include <vector>
+
+#include "doc/document.h"
+
+namespace resuformer {
+namespace doc {
+
+/// Width of the engineered per-sentence visual feature vector. This stands
+/// in for the paper's Faster R-CNN region features (see DESIGN.md): the
+/// signal the paper attributes to vision — "a section title usually has a
+/// different font color or a larger font size" — is carried by font size,
+/// boldness, geometry and character-class statistics.
+inline constexpr int kVisualFeatureDim = 12;
+
+/// Features (all roughly in [0, 1]):
+///   0 font size / 24
+///   1 any bold token
+///   2 x-center / page width
+///   3 y-center / page height
+///   4 width / page width
+///   5 height / page height
+///   6 page index / max(1, num_pages - 1)
+///   7 digit character fraction
+///   8 punctuation character fraction
+///   9 uppercase character fraction
+///  10 token count / 16 (capped)
+///  11 indentation: x0 / page width
+std::vector<float> ComputeVisualFeatures(const Sentence& sentence,
+                                         float page_width, float page_height,
+                                         int num_pages);
+
+}  // namespace doc
+}  // namespace resuformer
+
+#endif  // RESUFORMER_DOC_VISUAL_FEATURES_H_

@@ -1,0 +1,66 @@
+#include "eval/block_metrics.h"
+
+namespace resuformer {
+namespace eval {
+
+namespace {
+/// Maps an IOB label to a tag index, or -1 for outside.
+int TagIndex(int label) {
+  doc::BlockTag tag;
+  bool begin;
+  if (!doc::ParseIobLabel(label, &tag, &begin)) return -1;
+  return static_cast<int>(tag);
+}
+}  // namespace
+
+void BlockScorer::Add(const doc::Document& document,
+                      const std::vector<int>& predicted) {
+  for (int s = 0; s < document.NumSentences(); ++s) {
+    const int gold_tag =
+        s < static_cast<int>(document.sentence_labels.size())
+            ? TagIndex(document.sentence_labels[s])
+            : -1;
+    const int pred_tag = s < static_cast<int>(predicted.size())
+                             ? TagIndex(predicted[s])
+                             : -1;
+    double area = 0.0;
+    for (const doc::Token& t : document.sentences[s].tokens) {
+      area += t.box.area();
+    }
+    if (pred_tag >= 0) per_tag_[pred_tag].detected += area;
+    if (gold_tag >= 0) per_tag_[gold_tag].gold += area;
+    if (pred_tag >= 0 && pred_tag == gold_tag) {
+      per_tag_[pred_tag].intersection += area;
+    }
+  }
+}
+
+Prf BlockScorer::ForTag(doc::BlockTag tag) const {
+  const Areas& a = per_tag_[static_cast<int>(tag)];
+  Prf prf;
+  if (a.detected > 0) prf.precision = a.intersection / a.detected;
+  if (a.gold > 0) prf.recall = a.intersection / a.gold;
+  if (prf.precision + prf.recall > 0) {
+    prf.f1 = 2 * prf.precision * prf.recall / (prf.precision + prf.recall);
+  }
+  return prf;
+}
+
+Prf BlockScorer::Overall() const {
+  Areas total;
+  for (const Areas& a : per_tag_) {
+    total.intersection += a.intersection;
+    total.detected += a.detected;
+    total.gold += a.gold;
+  }
+  Prf prf;
+  if (total.detected > 0) prf.precision = total.intersection / total.detected;
+  if (total.gold > 0) prf.recall = total.intersection / total.gold;
+  if (prf.precision + prf.recall > 0) {
+    prf.f1 = 2 * prf.precision * prf.recall / (prf.precision + prf.recall);
+  }
+  return prf;
+}
+
+}  // namespace eval
+}  // namespace resuformer

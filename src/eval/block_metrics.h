@@ -1,0 +1,45 @@
+#ifndef RESUFORMER_EVAL_BLOCK_METRICS_H_
+#define RESUFORMER_EVAL_BLOCK_METRICS_H_
+
+#include <array>
+#include <vector>
+
+#include "doc/document.h"
+#include "eval/entity_metrics.h"
+
+namespace resuformer {
+namespace eval {
+
+/// \brief Area-weighted precision/recall/F1 for resume block classification
+/// (Eq. 13-15), following the document layout analysis convention of
+/// DocBank rather than IOB-tagging evaluation.
+///
+/// For each block tag c:
+///   P = area(gold-c tokens within detected-c tokens) / area(detected-c),
+///   R = same numerator / area(gold-c tokens).
+/// A token is "detected as c" when its sentence's predicted IOB label maps
+/// to tag c; token area is its bounding-box area.
+class BlockScorer {
+ public:
+  /// Adds one document: `predicted` is the per-sentence IOB prediction; the
+  /// gold comes from document.sentence_labels.
+  void Add(const doc::Document& document, const std::vector<int>& predicted);
+
+  Prf ForTag(doc::BlockTag tag) const;
+
+  /// Area-micro-averaged score over all tags.
+  Prf Overall() const;
+
+ private:
+  struct Areas {
+    double intersection = 0.0;
+    double detected = 0.0;
+    double gold = 0.0;
+  };
+  std::array<Areas, doc::kNumBlockTags> per_tag_{};
+};
+
+}  // namespace eval
+}  // namespace resuformer
+
+#endif  // RESUFORMER_EVAL_BLOCK_METRICS_H_

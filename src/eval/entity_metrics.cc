@@ -1,0 +1,93 @@
+#include "eval/entity_metrics.h"
+
+#include <algorithm>
+#include <set>
+
+namespace resuformer {
+namespace eval {
+
+std::vector<EntitySpan> ExtractEntitySpans(const std::vector<int>& labels) {
+  std::vector<EntitySpan> spans;
+  size_t i = 0;
+  while (i < labels.size()) {
+    doc::EntityTag tag;
+    bool begin;
+    if (doc::ParseEntityIobLabel(labels[i], &tag, &begin)) {
+      // Treat an orphan I- as starting a span (robust decoding).
+      size_t j = i + 1;
+      doc::EntityTag tag2;
+      bool begin2;
+      while (j < labels.size() &&
+             doc::ParseEntityIobLabel(labels[j], &tag2, &begin2) && !begin2 &&
+             tag2 == tag) {
+        ++j;
+      }
+      spans.push_back(EntitySpan{static_cast<int>(i), static_cast<int>(j),
+                                 tag});
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return spans;
+}
+
+Prf MakePrf(int64_t correct, int64_t predicted, int64_t gold) {
+  Prf prf;
+  if (predicted > 0) {
+    prf.precision = static_cast<double>(correct) / predicted;
+  }
+  if (gold > 0) prf.recall = static_cast<double>(correct) / gold;
+  if (prf.precision + prf.recall > 0) {
+    prf.f1 = 2 * prf.precision * prf.recall / (prf.precision + prf.recall);
+  }
+  return prf;
+}
+
+void EntityScorer::Add(const std::vector<int>& predicted,
+                       const std::vector<int>& gold) {
+  std::vector<int> p = predicted, g = gold;
+  const size_t n = std::max(p.size(), g.size());
+  p.resize(n, 0);
+  g.resize(n, 0);
+  const std::vector<EntitySpan> pred_spans = ExtractEntitySpans(p);
+  const std::vector<EntitySpan> gold_spans = ExtractEntitySpans(g);
+  std::set<EntitySpan> gold_set(gold_spans.begin(), gold_spans.end());
+  for (const EntitySpan& s : pred_spans) {
+    auto& c = per_tag_[static_cast<int>(s.tag)];
+    ++c.predicted;
+    if (gold_set.count(s)) ++c.correct;
+  }
+  for (const EntitySpan& s : gold_spans) {
+    ++per_tag_[static_cast<int>(s.tag)].gold;
+  }
+}
+
+Prf EntityScorer::Overall() const {
+  int64_t correct = 0, predicted = 0, gold = 0;
+  for (const Counts& c : per_tag_) {
+    correct += c.correct;
+    predicted += c.predicted;
+    gold += c.gold;
+  }
+  return MakePrf(correct, predicted, gold);
+}
+
+Prf EntityScorer::ForTag(doc::EntityTag tag) const {
+  const Counts& c = per_tag_[static_cast<int>(tag)];
+  return MakePrf(c.correct, c.predicted, c.gold);
+}
+
+EntityScorer ScoreNerPredictor(
+    const std::function<std::vector<int>(const std::vector<std::string>&)>&
+        predict,
+    const std::vector<distant::AnnotatedSequence>& data) {
+  EntityScorer scorer;
+  for (const auto& seq : data) {
+    scorer.Add(predict(seq.words), seq.labels);
+  }
+  return scorer;
+}
+
+}  // namespace eval
+}  // namespace resuformer

@@ -1,0 +1,69 @@
+#ifndef RESUFORMER_EVAL_ENTITY_METRICS_H_
+#define RESUFORMER_EVAL_ENTITY_METRICS_H_
+
+#include <array>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "distant/auto_annotator.h"
+#include "doc/block_tags.h"
+
+namespace resuformer {
+namespace eval {
+
+/// An entity span: token interval [start, end) of one tag.
+struct EntitySpan {
+  int start = 0;
+  int end = 0;
+  doc::EntityTag tag = doc::EntityTag::kName;
+
+  bool operator==(const EntitySpan& other) const = default;
+  bool operator<(const EntitySpan& other) const {
+    return std::tie(start, end, tag) <
+           std::tie(other.start, other.end, other.tag);
+  }
+};
+
+/// Decodes IOB entity labels into spans (robust to orphan I- tags).
+std::vector<EntitySpan> ExtractEntitySpans(const std::vector<int>& labels);
+
+/// Precision / recall / F1 triple (Eq. 16-18).
+struct Prf {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+Prf MakePrf(int64_t correct, int64_t predicted, int64_t gold);
+
+/// Accumulates exact-span-match counts per entity tag and overall.
+class EntityScorer {
+ public:
+  /// Adds one sequence's predictions vs gold (both IOB label vectors; the
+  /// shorter is padded with O).
+  void Add(const std::vector<int>& predicted, const std::vector<int>& gold);
+
+  Prf Overall() const;
+  Prf ForTag(doc::EntityTag tag) const;
+
+ private:
+  struct Counts {
+    int64_t correct = 0;
+    int64_t predicted = 0;
+    int64_t gold = 0;
+  };
+  std::array<Counts, doc::kNumEntityTags> per_tag_{};
+};
+
+/// Evaluates a predictor over gold-labeled sequences and returns the filled
+/// scorer (the Table IV/V harness loop).
+EntityScorer ScoreNerPredictor(
+    const std::function<std::vector<int>(const std::vector<std::string>&)>&
+        predict,
+    const std::vector<distant::AnnotatedSequence>& data);
+
+}  // namespace eval
+}  // namespace resuformer
+
+#endif  // RESUFORMER_EVAL_ENTITY_METRICS_H_

@@ -1,0 +1,23 @@
+#include "eval/report.h"
+
+#include "common/string_util.h"
+
+namespace resuformer {
+namespace eval {
+
+std::string PrfCell(const Prf& prf) {
+  return StringPrintf("%.2f (%.2f / %.2f)", prf.f1 * 100.0,
+                      prf.recall * 100.0, prf.precision * 100.0);
+}
+
+std::string F1Cell(const Prf& prf) {
+  return StringPrintf("%.2f", prf.f1 * 100.0);
+}
+
+std::string LatencyCell(double seconds) {
+  if (seconds < 0.0995) return StringPrintf("%.3fs", seconds);
+  return StringPrintf("%.2fs", seconds);
+}
+
+}  // namespace eval
+}  // namespace resuformer

@@ -1,0 +1,24 @@
+#ifndef RESUFORMER_EVAL_REPORT_H_
+#define RESUFORMER_EVAL_REPORT_H_
+
+#include <string>
+
+#include "eval/entity_metrics.h"
+
+namespace resuformer {
+namespace eval {
+
+/// "91.75 (95.91 / 87.93)" — the paper's F1 (Recall / Precision) cell
+/// format, percentages with two decimals.
+std::string PrfCell(const Prf& prf);
+
+/// "91.75" — F1 only.
+std::string F1Cell(const Prf& prf);
+
+/// "0.27s" — latency cell.
+std::string LatencyCell(double seconds);
+
+}  // namespace eval
+}  // namespace resuformer
+
+#endif  // RESUFORMER_EVAL_REPORT_H_

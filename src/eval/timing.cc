@@ -1,0 +1,2 @@
+// Stopwatch and LatencyMeter are header-only; see timing.h.
+#include "eval/timing.h"

@@ -1,0 +1,45 @@
+#ifndef RESUFORMER_EVAL_TIMING_H_
+#define RESUFORMER_EVAL_TIMING_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace resuformer {
+namespace eval {
+
+/// Monotonic wall-clock stopwatch for the Time/Resume rows.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction/Reset.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Running mean of per-item latencies.
+class LatencyMeter {
+ public:
+  void Add(double seconds) {
+    total_ += seconds;
+    ++count_;
+  }
+  double MeanSeconds() const { return count_ ? total_ / count_ : 0.0; }
+  int64_t count() const { return count_; }
+
+ private:
+  double total_ = 0.0;
+  int64_t count_ = 0;
+};
+
+}  // namespace eval
+}  // namespace resuformer
+
+#endif  // RESUFORMER_EVAL_TIMING_H_

@@ -1,0 +1,41 @@
+#ifndef RESUFORMER_NN_ATTENTION_H_
+#define RESUFORMER_NN_ATTENTION_H_
+
+#include <memory>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace resuformer {
+namespace nn {
+
+/// \brief Multi-head scaled-dot-product self-attention.
+///
+/// Single-sequence formulation: the input is [T, D]; heads are column slices
+/// of the projected Q/K/V matrices. An optional additive attention bias
+/// [T, T] supports padding masks (-inf entries) and locality priors.
+class MultiHeadSelfAttention : public Module {
+ public:
+  MultiHeadSelfAttention(int dim, int num_heads, Rng* rng);
+
+  /// x: [T, dim] -> [T, dim]. `bias` (optional) is added to the raw
+  /// attention scores of every head.
+  Tensor Forward(const Tensor& x, const Tensor& bias = Tensor()) const;
+
+  int dim() const { return dim_; }
+  int num_heads() const { return num_heads_; }
+
+ private:
+  int dim_;
+  int num_heads_;
+  int head_dim_;
+  std::unique_ptr<Linear> wq_;
+  std::unique_ptr<Linear> wk_;
+  std::unique_ptr<Linear> wv_;
+  std::unique_ptr<Linear> wo_;
+};
+
+}  // namespace nn
+}  // namespace resuformer
+
+#endif  // RESUFORMER_NN_ATTENTION_H_

@@ -1,0 +1,17 @@
+#include "nn/embedding.h"
+
+namespace resuformer {
+namespace nn {
+
+Embedding::Embedding(int num_embeddings, int dim, Rng* rng)
+    : num_embeddings_(num_embeddings), dim_(dim) {
+  weight_ =
+      RegisterParameter(Tensor::Randn({num_embeddings, dim}, rng, 0.02f));
+}
+
+Tensor Embedding::Forward(const std::vector<int>& ids) const {
+  return ops::EmbeddingLookup(weight_, ids);
+}
+
+}  // namespace nn
+}  // namespace resuformer

@@ -1,0 +1,34 @@
+#ifndef RESUFORMER_NN_EMBEDDING_H_
+#define RESUFORMER_NN_EMBEDDING_H_
+
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace resuformer {
+namespace nn {
+
+/// Lookup table mapping integer ids to dense rows, N(0, 0.02) initialized
+/// (BERT convention).
+class Embedding : public Module {
+ public:
+  Embedding(int num_embeddings, int dim, Rng* rng);
+
+  /// ids (each in [0, num_embeddings)) -> [ids.size(), dim].
+  Tensor Forward(const std::vector<int>& ids) const;
+
+  int num_embeddings() const { return num_embeddings_; }
+  int dim() const { return dim_; }
+  const Tensor& weight() const { return weight_; }
+
+ private:
+  int num_embeddings_;
+  int dim_;
+  Tensor weight_;  // [num_embeddings, dim]
+};
+
+}  // namespace nn
+}  // namespace resuformer
+
+#endif  // RESUFORMER_NN_EMBEDDING_H_

@@ -1,0 +1,16 @@
+#include "nn/layer_norm.h"
+
+namespace resuformer {
+namespace nn {
+
+LayerNorm::LayerNorm(int dim, float eps) : eps_(eps) {
+  gamma_ = RegisterParameter(Tensor::Full({dim}, 1.0f));
+  beta_ = RegisterParameter(Tensor::Zeros({dim}));
+}
+
+Tensor LayerNorm::Forward(const Tensor& x) const {
+  return ops::LayerNormOp(x, gamma_, beta_, eps_);
+}
+
+}  // namespace nn
+}  // namespace resuformer

@@ -1,0 +1,26 @@
+#ifndef RESUFORMER_NN_LAYER_NORM_H_
+#define RESUFORMER_NN_LAYER_NORM_H_
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace resuformer {
+namespace nn {
+
+/// Row-wise layer normalization with learned gain (init 1) and bias (init 0).
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int dim, float eps = 1e-5f);
+
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  Tensor gamma_;
+  Tensor beta_;
+  float eps_;
+};
+
+}  // namespace nn
+}  // namespace resuformer
+
+#endif  // RESUFORMER_NN_LAYER_NORM_H_

@@ -1,0 +1,26 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+namespace resuformer {
+namespace nn {
+
+Linear::Linear(int in_features, int out_features, Rng* rng, bool bias)
+    : in_features_(in_features), out_features_(out_features) {
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(in_features + out_features));
+  weight_ = RegisterParameter(
+      Tensor::Uniform({in_features, out_features}, rng, -bound, bound));
+  if (bias) {
+    bias_ = RegisterParameter(Tensor::Zeros({out_features}));
+  }
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  Tensor y = ops::MatMul(x, weight_);
+  if (bias_.defined()) y = ops::Add(y, bias_);
+  return y;
+}
+
+}  // namespace nn
+}  // namespace resuformer

@@ -1,0 +1,32 @@
+#ifndef RESUFORMER_NN_LINEAR_H_
+#define RESUFORMER_NN_LINEAR_H_
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace resuformer {
+namespace nn {
+
+/// Fully-connected layer y = xW + b with Xavier-uniform initialization.
+class Linear : public Module {
+ public:
+  Linear(int in_features, int out_features, Rng* rng, bool bias = true);
+
+  /// x: [m, in_features] -> [m, out_features].
+  Tensor Forward(const Tensor& x) const;
+
+  int in_features() const { return in_features_; }
+  int out_features() const { return out_features_; }
+  const Tensor& weight() const { return weight_; }
+
+ private:
+  int in_features_;
+  int out_features_;
+  Tensor weight_;  // [in, out]
+  Tensor bias_;    // [out] or undefined
+};
+
+}  // namespace nn
+}  // namespace resuformer
+
+#endif  // RESUFORMER_NN_LINEAR_H_

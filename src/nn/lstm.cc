@@ -1,0 +1,68 @@
+#include "nn/lstm.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace resuformer {
+namespace nn {
+
+Lstm::Lstm(int input_dim, int hidden_dim, Rng* rng)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim) {
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(input_dim + 4 * hidden_dim));
+  w_ih_ = RegisterParameter(
+      Tensor::Uniform({input_dim, 4 * hidden_dim}, rng, -bound, bound));
+  const float rbound = std::sqrt(6.0f / static_cast<float>(5 * hidden_dim));
+  w_hh_ = RegisterParameter(
+      Tensor::Uniform({hidden_dim, 4 * hidden_dim}, rng, -rbound, rbound));
+  // Forget-gate bias initialized to 1 (standard trick for gradient flow).
+  Tensor bias = Tensor::Zeros({4 * hidden_dim});
+  for (int j = hidden_dim; j < 2 * hidden_dim; ++j) bias.at(j) = 1.0f;
+  bias_ = RegisterParameter(bias);
+}
+
+Tensor Lstm::Forward(const Tensor& x, bool reverse) const {
+  const int t_len = x.rows();
+  const int h = hidden_dim_;
+  // Precompute input projections for every step at once.
+  Tensor proj = ops::Add(ops::MatMul(x, w_ih_), bias_);  // [T, 4H]
+
+  Tensor h_prev = Tensor::Zeros({1, h});
+  Tensor c_prev = Tensor::Zeros({1, h});
+  std::vector<Tensor> outputs(t_len);
+  for (int step = 0; step < t_len; ++step) {
+    const int t = reverse ? t_len - 1 - step : step;
+    Tensor gates = ops::Add(ops::SliceRows(proj, t, 1),
+                            ops::MatMul(h_prev, w_hh_));  // [1, 4H]
+    Tensor i_gate = ops::Sigmoid(ops::SliceCols(gates, 0, h));
+    Tensor f_gate = ops::Sigmoid(ops::SliceCols(gates, h, h));
+    Tensor g_gate = ops::Tanh(ops::SliceCols(gates, 2 * h, h));
+    Tensor o_gate = ops::Sigmoid(ops::SliceCols(gates, 3 * h, h));
+    Tensor c_new =
+        ops::Add(ops::Mul(f_gate, c_prev), ops::Mul(i_gate, g_gate));
+    Tensor h_new = ops::Mul(o_gate, ops::Tanh(c_new));
+    outputs[t] = h_new;
+    h_prev = h_new;
+    c_prev = c_new;
+  }
+  return ops::ConcatRows(outputs);
+}
+
+BiLstm::BiLstm(int input_dim, int hidden_dim, Rng* rng) {
+  forward_ = std::make_unique<Lstm>(input_dim, hidden_dim, rng);
+  backward_ = std::make_unique<Lstm>(input_dim, hidden_dim, rng);
+  RegisterModule(forward_.get());
+  RegisterModule(backward_.get());
+}
+
+Tensor BiLstm::Forward(const Tensor& x) const {
+  Tensor fwd = forward_->Forward(x, /*reverse=*/false);
+  Tensor bwd = backward_->Forward(x, /*reverse=*/true);
+  return ops::ConcatCols({fwd, bwd});
+}
+
+int BiLstm::output_dim() const { return 2 * forward_->hidden_dim(); }
+
+}  // namespace nn
+}  // namespace resuformer

@@ -1,0 +1,51 @@
+#ifndef RESUFORMER_NN_LSTM_H_
+#define RESUFORMER_NN_LSTM_H_
+
+#include <memory>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace resuformer {
+namespace nn {
+
+/// Single-direction LSTM over a [T, input_dim] sequence; returns the hidden
+/// states [T, hidden_dim]. Gate layout in the packed weights: i, f, g, o.
+class Lstm : public Module {
+ public:
+  Lstm(int input_dim, int hidden_dim, Rng* rng);
+
+  /// When `reverse` is true the sequence is processed right-to-left and the
+  /// output rows are returned re-aligned to input order.
+  Tensor Forward(const Tensor& x, bool reverse = false) const;
+
+  int hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int input_dim_;
+  int hidden_dim_;
+  Tensor w_ih_;  // [input_dim, 4*hidden]
+  Tensor w_hh_;  // [hidden, 4*hidden]
+  Tensor bias_;  // [4*hidden]
+};
+
+/// Bidirectional LSTM; output is the concatenation [T, 2*hidden_dim] of the
+/// forward and backward passes (Eq. 8 of the paper).
+class BiLstm : public Module {
+ public:
+  BiLstm(int input_dim, int hidden_dim, Rng* rng);
+
+  Tensor Forward(const Tensor& x) const;
+
+  /// Output feature width (2 * hidden_dim).
+  int output_dim() const;
+
+ private:
+  std::unique_ptr<Lstm> forward_;
+  std::unique_ptr<Lstm> backward_;
+};
+
+}  // namespace nn
+}  // namespace resuformer
+
+#endif  // RESUFORMER_NN_LSTM_H_

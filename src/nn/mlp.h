@@ -1,0 +1,28 @@
+#ifndef RESUFORMER_NN_MLP_H_
+#define RESUFORMER_NN_MLP_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace resuformer {
+namespace nn {
+
+/// Multi-layer perceptron with GELU between layers (none after the last).
+class Mlp : public Module {
+ public:
+  /// dims: {in, hidden..., out}; at least two entries.
+  Mlp(const std::vector<int>& dims, Rng* rng);
+
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+};
+
+}  // namespace nn
+}  // namespace resuformer
+
+#endif  // RESUFORMER_NN_MLP_H_

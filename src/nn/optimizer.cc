@@ -1,0 +1,99 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace resuformer {
+namespace nn {
+
+void Optimizer::ZeroGrad() {
+  for (Tensor& p : params_) p.ZeroGrad();
+}
+
+float Optimizer::ClipGradNorm(float max_norm) {
+  double total = 0.0;
+  for (Tensor& p : params_) {
+    const float* g = p.grad();
+    for (int64_t i = 0; i < p.size(); ++i) total += double(g[i]) * g[i];
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (Tensor& p : params_) {
+      float* g = p.grad();
+      for (int64_t i = 0; i < p.size(); ++i) g[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+void Optimizer::SetLearningRateFor(const std::vector<Tensor>& params,
+                                   float lr) {
+  for (const Tensor& p : params) lr_overrides_[p.impl().get()] = lr;
+}
+
+float Optimizer::LearningRateFor(const TensorImpl* p,
+                                 float default_lr) const {
+  auto it = lr_overrides_.find(p);
+  return it == lr_overrides_.end() ? default_lr : it->second;
+}
+
+Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {}
+
+void Adam::Step() {
+  ++step_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(step_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(step_));
+  for (Tensor& p : params_) {
+    const TensorImpl* key = p.impl().get();
+    auto& m = m_[key];
+    auto& v = v_[key];
+    if (m.size() != static_cast<size_t>(p.size())) {
+      m.assign(p.size(), 0.0f);
+      v.assign(p.size(), 0.0f);
+    }
+    const float lr = LearningRateFor(key, lr_);
+    float* w = p.data();
+    const float* g = p.grad();
+    for (int64_t i = 0; i < p.size(); ++i) {
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g[i];
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g[i] * g[i];
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      w[i] -= lr * (mhat / (std::sqrt(vhat) + eps_) + weight_decay_ * w[i]);
+    }
+  }
+}
+
+Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {}
+
+void Sgd::Step() {
+  for (Tensor& p : params_) {
+    const TensorImpl* key = p.impl().get();
+    const float lr = LearningRateFor(key, lr_);
+    float* w = p.data();
+    const float* g = p.grad();
+    if (momentum_ > 0.0f) {
+      auto& vel = velocity_[key];
+      if (vel.size() != static_cast<size_t>(p.size())) {
+        vel.assign(p.size(), 0.0f);
+      }
+      for (int64_t i = 0; i < p.size(); ++i) {
+        vel[i] = momentum_ * vel[i] + g[i];
+        w[i] -= lr * vel[i];
+      }
+    } else {
+      for (int64_t i = 0; i < p.size(); ++i) w[i] -= lr * g[i];
+    }
+  }
+}
+
+}  // namespace nn
+}  // namespace resuformer

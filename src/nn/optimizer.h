@@ -1,0 +1,78 @@
+#ifndef RESUFORMER_NN_OPTIMIZER_H_
+#define RESUFORMER_NN_OPTIMIZER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace resuformer {
+namespace nn {
+
+/// Common optimizer interface over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the gradients currently stored in the params.
+  virtual void Step() = 0;
+
+  void ZeroGrad();
+
+  /// Rescales gradients so their global L2 norm is at most `max_norm`;
+  /// returns the pre-clip norm.
+  float ClipGradNorm(float max_norm);
+
+  /// Per-parameter-group learning-rate override: parameters added here use
+  /// `lr` instead of the optimizer default (the paper fine-tunes the encoder
+  /// at 5e-5 but the BiLSTM+CRF head at 1e-3).
+  void SetLearningRateFor(const std::vector<Tensor>& params, float lr);
+
+ protected:
+  float LearningRateFor(const TensorImpl* p, float default_lr) const;
+
+  std::vector<Tensor> params_;
+  std::unordered_map<const TensorImpl*, float> lr_overrides_;
+};
+
+/// Adam with decoupled weight decay (AdamW-style; the paper uses Adam with
+/// weight decay 0.01).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float lr = 1e-3f, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void Step() override;
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t step_ = 0;
+  std::unordered_map<const TensorImpl*, std::vector<float>> m_;
+  std::unordered_map<const TensorImpl*, std::vector<float>> v_;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float momentum = 0.0f);
+
+  void Step() override;
+
+ private:
+  float lr_;
+  float momentum_;
+  std::unordered_map<const TensorImpl*, std::vector<float>> velocity_;
+};
+
+}  // namespace nn
+}  // namespace resuformer
+
+#endif  // RESUFORMER_NN_OPTIMIZER_H_

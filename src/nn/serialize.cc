@@ -1,0 +1,78 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace resuformer {
+namespace nn {
+
+namespace {
+constexpr uint32_t kMagic = 0x52465031;  // "RFP1"
+}
+
+Status SaveParameters(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  const std::vector<Tensor> params = module.Parameters();
+  const uint64_t count = params.size();
+  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Tensor& p : params) {
+    const uint64_t n = static_cast<uint64_t>(p.size());
+    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    out.write(reinterpret_cast<const char*>(p.data()),
+              static_cast<std::streamsize>(n * sizeof(float)));
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadParameters(Module* module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  uint32_t magic = 0;
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || magic != kMagic) {
+    return Status::IoError("bad parameter file header: " + path);
+  }
+  std::vector<Tensor> params = module->Parameters();
+  if (count != params.size()) {
+    return Status::InvalidArgument(StringPrintf(
+        "parameter count mismatch: file has %llu, module has %zu",
+        static_cast<unsigned long long>(count), params.size()));
+  }
+  for (Tensor& p : params) {
+    uint64_t n = 0;
+    in.read(reinterpret_cast<char*>(&n), sizeof(n));
+    if (!in || n != static_cast<uint64_t>(p.size())) {
+      return Status::InvalidArgument("parameter size mismatch in " + path);
+    }
+    in.read(reinterpret_cast<char*>(p.data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+    if (!in) return Status::IoError("truncated parameter file: " + path);
+  }
+  return Status::OK();
+}
+
+Status CopyParameters(const Module& source, Module* target) {
+  const std::vector<Tensor> src = source.Parameters();
+  std::vector<Tensor> dst = target->Parameters();
+  if (src.size() != dst.size()) {
+    return Status::InvalidArgument("module structures differ");
+  }
+  for (size_t i = 0; i < src.size(); ++i) {
+    if (src[i].size() != dst[i].size()) {
+      return Status::InvalidArgument("parameter shapes differ");
+    }
+    std::copy(src[i].data(), src[i].data() + src[i].size(), dst[i].data());
+  }
+  return Status::OK();
+}
+
+}  // namespace nn
+}  // namespace resuformer

@@ -1,0 +1,29 @@
+#ifndef RESUFORMER_NN_SERIALIZE_H_
+#define RESUFORMER_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/module.h"
+
+namespace resuformer {
+namespace nn {
+
+/// Writes the module's parameters (flattened in Parameters() order) to a
+/// binary file. Format: magic, parameter count, then per parameter the
+/// element count followed by raw float32 data.
+Status SaveParameters(const Module& module, const std::string& path);
+
+/// Loads parameters saved by SaveParameters into an identically-shaped
+/// module. Fails if the parameter count or any size differs.
+Status LoadParameters(Module* module, const std::string& path);
+
+/// Copies parameters between two identically-structured modules (used to
+/// clone teacher -> student in the self-distillation loop).
+Status CopyParameters(const Module& source, Module* target);
+
+}  // namespace nn
+}  // namespace resuformer
+
+#endif  // RESUFORMER_NN_SERIALIZE_H_

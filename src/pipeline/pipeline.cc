@@ -1,0 +1,202 @@
+#include "pipeline/pipeline.h"
+
+#include "common/logging.h"
+#include "distant/dictionary.h"
+#include "nn/serialize.h"
+
+namespace resuformer {
+namespace pipeline {
+
+std::unique_ptr<ResuFormerPipeline> ResuFormerPipeline::TrainFromCorpus(
+    const resumegen::Corpus& corpus, const PipelineOptions& options,
+    TrainReport* report) {
+  auto pipeline =
+      std::unique_ptr<ResuFormerPipeline>(new ResuFormerPipeline());
+  pipeline->options_ = options;
+  Rng rng(options.seed);
+
+  // Tokenizer from the pre-training corpus.
+  pipeline->tokenizer_ = std::make_unique<text::WordPieceTokenizer>(
+      resumegen::TrainTokenizer(corpus, options.vocab_size));
+  core::ResuFormerConfig model_cfg = options.model;
+  model_cfg.vocab_size = pipeline->tokenizer_->vocab().size();
+
+  // Stage 1: pre-train the hierarchical encoder (Eq. 7).
+  pipeline->block_classifier_ =
+      std::make_unique<core::BlockClassifier>(model_cfg, &rng);
+  std::vector<core::EncodedDocument> pretrain_docs;
+  for (const resumegen::GeneratedResume& r : corpus.pretrain) {
+    pretrain_docs.push_back(core::EncodeForModel(
+        r.document, *pipeline->tokenizer_, model_cfg));
+  }
+  core::Pretrainer pretrainer(pipeline->block_classifier_->encoder(), &rng);
+  core::PretrainStats pretrain_stats;
+  if (!pretrain_docs.empty() && options.pretrain_epochs > 0) {
+    pretrain_stats =
+        pretrainer.Train(pretrain_docs, options.pretrain_epochs,
+                         options.pretrain_batch, model_cfg.pretrain_lr);
+  }
+
+  // Stage 2: fine-tune the block classifier on labeled data.
+  std::vector<core::LabeledDocument> train, val;
+  for (const resumegen::GeneratedResume& r : corpus.train) {
+    train.push_back(core::MakeLabeledDocument(
+        r.document, *pipeline->tokenizer_, model_cfg));
+  }
+  for (const resumegen::GeneratedResume& r : corpus.val) {
+    val.push_back(core::MakeLabeledDocument(r.document,
+                                            *pipeline->tokenizer_,
+                                            model_cfg));
+  }
+  const double block_acc = core::FinetuneBlockClassifier(
+      pipeline->block_classifier_.get(), train, val, options.finetune, &rng);
+
+  // Stage 3: distantly supervised NER with self-distillation.
+  const distant::EntityDictionary dictionary =
+      distant::BuildDictionaries(distant::DictionaryConfig{});
+  const distant::NerDataset ner_data =
+      distant::BuildNerDataset(options.ner_data, dictionary);
+  selftrain::NerModelConfig ner_cfg = options.ner;
+  ner_cfg.vocab_size = pipeline->tokenizer_->vocab().size();
+  selftrain::SelfDistillTrainer trainer(ner_cfg, options.selftrain,
+                                        pipeline->tokenizer_.get(), &rng);
+  selftrain::SelfTrainResult result =
+      trainer.Train(ner_data.train, ner_data.val);
+  pipeline->ner_model_ = std::move(result.model);
+
+  if (report != nullptr) {
+    report->pretrain = pretrain_stats;
+    report->block_val_accuracy = block_acc;
+    report->ner_val_f1 = result.best_val_f1;
+  }
+  return pipeline;
+}
+
+StructuredResume ResuFormerPipeline::Parse(
+    const doc::Document& document) const {
+  StructuredResume out;
+  core::ResuFormerConfig model_cfg = options_.model;
+  model_cfg.vocab_size = tokenizer_->vocab().size();
+  const core::EncodedDocument encoded =
+      core::EncodeForModel(document, *tokenizer_, model_cfg);
+  if (encoded.sentences.empty()) return out;
+  const std::vector<int> labels = block_classifier_->Predict(encoded);
+  const std::vector<doc::Block> blocks =
+      doc::Document::BlocksFromLabels(labels);
+
+  selftrain::NerModelConfig ner_cfg = options_.ner;
+  ner_cfg.vocab_size = tokenizer_->vocab().size();
+  for (const doc::Block& block : blocks) {
+    StructuredBlock sb;
+    sb.tag = block.tag;
+    std::vector<std::string> words;
+    for (int s = block.first_sentence;
+         s <= block.last_sentence && s < document.NumSentences(); ++s) {
+      sb.lines.push_back(document.sentences[s].Text());
+      for (const doc::Token& t : document.sentences[s].tokens) {
+        words.push_back(t.word);
+      }
+    }
+    const bool entity_bearing = block.tag == doc::BlockTag::kPInfo ||
+                                block.tag == doc::BlockTag::kEduExp ||
+                                block.tag == doc::BlockTag::kWorkExp ||
+                                block.tag == doc::BlockTag::kProjExp;
+    if (entity_bearing && !words.empty() && ner_model_ != nullptr) {
+      const std::vector<int> ids =
+          selftrain::EncodeWordsForNer(words, *tokenizer_, ner_cfg);
+      const std::vector<int> entity_labels = ner_model_->Predict(ids);
+      // Reconstruct entity strings from IOB runs.
+      size_t i = 0;
+      while (i < entity_labels.size()) {
+        doc::EntityTag tag;
+        bool begin;
+        if (doc::ParseEntityIobLabel(entity_labels[i], &tag, &begin)) {
+          std::string textval = words[i];
+          size_t j = i + 1;
+          doc::EntityTag tag2;
+          bool begin2;
+          while (j < entity_labels.size() && j < words.size() &&
+                 doc::ParseEntityIobLabel(entity_labels[j], &tag2, &begin2) &&
+                 !begin2 && tag2 == tag) {
+            textval += " " + words[j];
+            ++j;
+          }
+          sb.entities.push_back(StructuredEntity{tag, textval});
+          i = j;
+        } else {
+          ++i;
+        }
+      }
+    }
+    out.blocks.push_back(std::move(sb));
+  }
+  return out;
+}
+
+Status ResuFormerPipeline::Save(const std::string& directory) const {
+  RF_RETURN_NOT_OK(tokenizer_->vocab().Save(directory + "/vocab.txt"));
+  RF_RETURN_NOT_OK(
+      nn::SaveParameters(*block_classifier_, directory + "/block.bin"));
+  if (ner_model_ != nullptr) {
+    RF_RETURN_NOT_OK(
+        nn::SaveParameters(*ner_model_, directory + "/ner.bin"));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ResuFormerPipeline>> ResuFormerPipeline::Load(
+    const std::string& directory, const PipelineOptions& options) {
+  Result<text::Vocab> vocab = text::Vocab::Load(directory + "/vocab.txt");
+  if (!vocab.ok()) return vocab.status();
+
+  auto pipeline =
+      std::unique_ptr<ResuFormerPipeline>(new ResuFormerPipeline());
+  pipeline->options_ = options;
+  pipeline->tokenizer_ = std::make_unique<text::WordPieceTokenizer>(
+      std::move(vocab).ValueOrDie());
+
+  Rng rng(options.seed);  // architecture init; weights overwritten below
+  core::ResuFormerConfig model_cfg = options.model;
+  model_cfg.vocab_size = pipeline->tokenizer_->vocab().size();
+  pipeline->block_classifier_ =
+      std::make_unique<core::BlockClassifier>(model_cfg, &rng);
+  Status s = nn::LoadParameters(pipeline->block_classifier_.get(),
+                                directory + "/block.bin");
+  if (!s.ok()) return s;
+  pipeline->block_classifier_->SetTraining(false);
+
+  selftrain::NerModelConfig ner_cfg = options.ner;
+  ner_cfg.vocab_size = pipeline->tokenizer_->vocab().size();
+  pipeline->ner_model_ = std::make_unique<selftrain::NerModel>(ner_cfg, &rng);
+  s = nn::LoadParameters(pipeline->ner_model_.get(), directory + "/ner.bin");
+  if (!s.ok()) return s;
+  pipeline->ner_model_->SetTraining(false);
+  return pipeline;
+}
+
+std::string ResuFormerPipeline::ToPrettyString(const StructuredResume& resume) {
+  std::string out = "{\n";
+  for (const StructuredBlock& block : resume.blocks) {
+    out += "  \"" + doc::BlockTagName(block.tag) + "\": {\n";
+    if (!block.entities.empty()) {
+      out += "    \"entities\": {";
+      for (size_t i = 0; i < block.entities.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += "\"" + doc::EntityTagName(block.entities[i].tag) + "\": \"" +
+               block.entities[i].text + "\"";
+      }
+      out += "},\n";
+    }
+    out += "    \"lines\": [";
+    for (size_t i = 0; i < block.lines.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + block.lines[i] + "\"";
+    }
+    out += "]\n  },\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace pipeline
+}  // namespace resuformer

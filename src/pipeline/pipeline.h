@@ -1,0 +1,99 @@
+#ifndef RESUFORMER_PIPELINE_PIPELINE_H_
+#define RESUFORMER_PIPELINE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/block_classifier.h"
+#include "core/pretrainer.h"
+#include "distant/ner_dataset.h"
+#include "resumegen/corpus.h"
+#include "selftrain/self_distill.h"
+
+namespace resuformer {
+namespace pipeline {
+
+/// One extracted entity within a block.
+struct StructuredEntity {
+  doc::EntityTag tag;
+  std::string text;
+};
+
+/// One recovered semantic block with its text lines and entities.
+struct StructuredBlock {
+  doc::BlockTag tag;
+  std::vector<std::string> lines;
+  std::vector<StructuredEntity> entities;
+};
+
+/// The hierarchical structure ResuFormer extracts from a resume.
+struct StructuredResume {
+  std::vector<StructuredBlock> blocks;
+};
+
+/// Training budgets for the end-to-end pipeline.
+struct PipelineOptions {
+  core::ResuFormerConfig model;
+  selftrain::NerModelConfig ner;
+  int vocab_size = 2000;
+  int pretrain_epochs = 2;
+  int pretrain_batch = 4;
+  core::FinetuneOptions finetune;
+  selftrain::SelfTrainOptions selftrain;
+  distant::NerDatasetConfig ner_data;
+  uint64_t seed = 7;
+  bool verbose = false;
+};
+
+/// Summary of an end-to-end training run.
+struct TrainReport {
+  core::PretrainStats pretrain;
+  double block_val_accuracy = 0.0;
+  double ner_val_f1 = 0.0;
+};
+
+/// \brief End-to-end resume semantic structure understanding: block
+/// segmentation (pre-trained hierarchical model + BiLSTM/CRF) followed by
+/// intra-block extraction (self-distilled distantly supervised NER).
+class ResuFormerPipeline {
+ public:
+  /// Trains all stages from a generated corpus; `report` (optional)
+  /// receives the training summary.
+  static std::unique_ptr<ResuFormerPipeline> TrainFromCorpus(
+      const resumegen::Corpus& corpus, const PipelineOptions& options,
+      TrainReport* report = nullptr);
+
+  /// Full parse: segment into blocks, then extract entities inside the
+  /// entity-bearing blocks.
+  StructuredResume Parse(const doc::Document& document) const;
+
+  /// Persists the trained pipeline (vocabulary + both models' parameters)
+  /// into `directory` (must exist). Load() requires the same
+  /// PipelineOptions used for training.
+  Status Save(const std::string& directory) const;
+  static Result<std::unique_ptr<ResuFormerPipeline>> Load(
+      const std::string& directory, const PipelineOptions& options);
+
+  /// Renders a StructuredResume as indented JSON-like text.
+  static std::string ToPrettyString(const StructuredResume& resume);
+
+  const text::WordPieceTokenizer& tokenizer() const { return *tokenizer_; }
+  const core::BlockClassifier& block_classifier() const {
+    return *block_classifier_;
+  }
+  const selftrain::NerModel& ner_model() const { return *ner_model_; }
+
+ private:
+  ResuFormerPipeline() = default;
+
+  PipelineOptions options_;
+  std::unique_ptr<text::WordPieceTokenizer> tokenizer_;
+  std::unique_ptr<core::BlockClassifier> block_classifier_;
+  std::unique_ptr<selftrain::NerModel> ner_model_;
+};
+
+}  // namespace pipeline
+}  // namespace resuformer
+
+#endif  // RESUFORMER_PIPELINE_PIPELINE_H_

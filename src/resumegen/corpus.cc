@@ -1,0 +1,51 @@
+#include "resumegen/corpus.h"
+
+namespace resuformer {
+namespace resumegen {
+
+SplitStats ComputeStats(const std::vector<GeneratedResume>& docs) {
+  SplitStats stats;
+  stats.num_docs = static_cast<int>(docs.size());
+  if (docs.empty()) return stats;
+  double tokens = 0, sentences = 0, pages = 0;
+  for (const GeneratedResume& r : docs) {
+    tokens += r.document.NumTokens();
+    sentences += r.document.NumSentences();
+    pages += r.document.num_pages;
+  }
+  stats.avg_tokens = tokens / docs.size();
+  stats.avg_sentences = sentences / docs.size();
+  stats.avg_pages = pages / docs.size();
+  return stats;
+}
+
+Corpus GenerateCorpus(const CorpusConfig& config) {
+  Rng rng(config.seed);
+  Corpus corpus;
+  auto fill = [&rng](std::vector<GeneratedResume>* split, int count) {
+    split->reserve(count);
+    for (int i = 0; i < count; ++i) split->push_back(GenerateResume(&rng));
+  };
+  fill(&corpus.pretrain, config.pretrain_docs);
+  fill(&corpus.train, config.train_docs);
+  fill(&corpus.val, config.val_docs);
+  fill(&corpus.test, config.test_docs);
+  return corpus;
+}
+
+text::WordPieceTokenizer TrainTokenizer(const Corpus& corpus, int max_vocab) {
+  std::vector<std::string> words;
+  auto collect = [&words](const std::vector<GeneratedResume>& split) {
+    for (const GeneratedResume& r : split) {
+      for (const doc::Sentence& s : r.document.sentences) {
+        for (const doc::Token& t : s.tokens) words.push_back(t.word);
+      }
+    }
+  };
+  collect(corpus.pretrain);
+  collect(corpus.train);
+  return text::WordPieceTokenizer::Train(words, max_vocab);
+}
+
+}  // namespace resumegen
+}  // namespace resuformer

@@ -1,0 +1,53 @@
+#ifndef RESUFORMER_RESUMEGEN_CORPUS_H_
+#define RESUFORMER_RESUMEGEN_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "resumegen/renderer.h"
+#include "text/wordpiece.h"
+
+namespace resuformer {
+namespace resumegen {
+
+/// Split sizes for corpus generation. Paper scale is 80,000 pre-training
+/// documents and 1,100/500/500 fine-tuning splits (Table I); defaults here
+/// are CPU-scale with the same ratios (see DESIGN.md Section 6).
+struct CorpusConfig {
+  int pretrain_docs = 300;
+  int train_docs = 110;
+  int val_docs = 50;
+  int test_docs = 50;
+  uint64_t seed = 17;
+};
+
+/// Generated corpus with the Table I splits.
+struct Corpus {
+  std::vector<GeneratedResume> pretrain;
+  std::vector<GeneratedResume> train;
+  std::vector<GeneratedResume> val;
+  std::vector<GeneratedResume> test;
+};
+
+/// Summary statistics of one split (rows of Table I).
+struct SplitStats {
+  int num_docs = 0;
+  double avg_tokens = 0.0;
+  double avg_sentences = 0.0;
+  double avg_pages = 0.0;
+};
+
+SplitStats ComputeStats(const std::vector<GeneratedResume>& docs);
+
+/// Deterministic corpus generation from the config seed.
+Corpus GenerateCorpus(const CorpusConfig& config);
+
+/// Trains a WordPiece tokenizer on every word of the pre-training split
+/// (the stand-in for the paper's pretrained RoBERTa vocabulary).
+text::WordPieceTokenizer TrainTokenizer(const Corpus& corpus, int max_vocab);
+
+}  // namespace resumegen
+}  // namespace resuformer
+
+#endif  // RESUFORMER_RESUMEGEN_CORPUS_H_

@@ -1,0 +1,279 @@
+#include "resumegen/entity_pools.h"
+
+#include "common/logging.h"
+#include "doc/block_tags.h"
+
+namespace resuformer {
+namespace resumegen {
+
+// Each pool is a function-local static vector built once; the accessor
+// returns a reference (allowed for function-local statics).
+
+const std::vector<std::string>& FirstNames() {
+  static const auto* kPool = new std::vector<std::string>{
+      "James",  "Mary",    "Robert", "Patricia", "John",    "Jennifer",
+      "Michael", "Linda",  "David",  "Elizabeth", "William", "Barbara",
+      "Richard", "Susan",  "Joseph", "Jessica",  "Thomas",  "Sarah",
+      "Charles", "Karen",  "Wei",    "Fang",     "Lei",     "Na",
+      "Min",    "Jing",    "Li",     "Qiang",    "Yan",     "Jun",
+      "Ana",    "Luis",    "Carlos", "Sofia",    "Diego",   "Lucia",
+      "Hiro",   "Yuki",    "Kenji",  "Aiko",     "Raj",     "Priya",
+      "Arjun",  "Divya",   "Omar",   "Layla",    "Ivan",    "Olga",
+      "Pierre", "Claire",  "Hans",   "Greta",    "Erik",    "Astrid",
+      "Noah",   "Emma",    "Liam",   "Olivia",   "Ethan",   "Ava"};
+  return *kPool;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const auto* kPool = new std::vector<std::string>{
+      "Smith",   "Johnson", "Williams", "Brown",   "Jones",    "Garcia",
+      "Miller",  "Davis",   "Rodriguez", "Martinez", "Hernandez", "Lopez",
+      "Gonzalez", "Wilson", "Anderson", "Taylor",  "Moore",    "Jackson",
+      "Martin",  "Lee",     "Wang",     "Zhang",   "Chen",     "Liu",
+      "Yang",    "Huang",   "Zhao",     "Wu",      "Zhou",     "Xu",
+      "Sun",     "Ma",      "Zhu",      "Hu",      "Guo",      "He",
+      "Tanaka",  "Suzuki",  "Sato",     "Kim",     "Park",     "Choi",
+      "Singh",   "Patel",   "Kumar",    "Sharma",  "Ali",      "Hassan",
+      "Ivanov",  "Petrov",  "Muller",   "Schmidt", "Schneider", "Fischer",
+      "Dubois",  "Moreau",  "Rossi",    "Ferrari", "Silva",    "Santos"};
+  return *kPool;
+}
+
+const std::vector<std::string>& Colleges() {
+  static const auto* kPool = new std::vector<std::string>{
+      "Northgate University",          "Riverside Institute of Technology",
+      "Lakeshore State University",    "Summit Polytechnic University",
+      "Harborview University",         "Eastfield Technical University",
+      "Westbrook University",          "Crestwood College of Engineering",
+      "Silverpine University",         "Maplewood State University",
+      "Stonebridge University",        "Clearwater Institute of Science",
+      "Oakhill University",            "Brightland University",
+      "Fairmont Technological University", "Greenfield University",
+      "Hillcrest University",          "Kingsford Institute of Technology",
+      "Longview University",           "Meadowbrook University",
+      "Northern Plains University",    "Pacific Crest University",
+      "Queensbury University",         "Redwood Valley University",
+      "Southport University",          "Thornton State University",
+      "Valleyforge University",        "Whitfield University",
+      "Ashford University of Science", "Beaconsfield University",
+      "Cedarville Institute",          "Dunmore University",
+      "Eastgate Normal University",    "Foxglove University",
+      "Glenhaven University",          "Ironwood Institute of Technology",
+      "Juniper State University",      "Kestrel University",
+      "Larkspur University",           "Midland University of Technology"};
+  return *kPool;
+}
+
+const std::vector<std::string>& Majors() {
+  static const auto* kPool = new std::vector<std::string>{
+      "Computer Science",          "Software Engineering",
+      "Electrical Engineering",    "Mechanical Engineering",
+      "Information Systems",       "Data Science",
+      "Applied Mathematics",       "Statistics",
+      "Physics",                   "Chemistry",
+      "Civil Engineering",         "Industrial Engineering",
+      "Business Administration",   "Accounting",
+      "Finance",                   "Economics",
+      "Marketing",                 "Human Resource Management",
+      "Communication Engineering", "Automation",
+      "Biomedical Engineering",    "Materials Science",
+      "Environmental Engineering", "Chemical Engineering",
+      "Computer Engineering",      "Artificial Intelligence",
+      "Information Security",      "Digital Media Technology",
+      "Logistics Management",      "International Trade"};
+  return *kPool;
+}
+
+const std::vector<std::string>& Degrees() {
+  static const auto* kPool = new std::vector<std::string>{
+      "Bachelor", "Master", "Ph.D.", "B.Sc.", "M.Sc.",
+      "B.Eng.",   "M.Eng.", "MBA",   "Associate", "Doctorate"};
+  return *kPool;
+}
+
+const std::vector<std::string>& CompanyAdjectives() {
+  static const auto* kPool = new std::vector<std::string>{
+      "Blue",   "Bright", "Swift",  "Nova",   "Prime",  "Apex",
+      "Global", "United", "Quantum", "Vertex", "Golden", "Silver",
+      "Rapid",  "Smart",  "Deep",   "Clear",  "Grand",  "Solar",
+      "Lunar",  "Astral", "Crimson", "Emerald", "Pioneer", "Summit"};
+  return *kPool;
+}
+
+const std::vector<std::string>& CompanyNouns() {
+  static const auto* kPool = new std::vector<std::string>{
+      "Horizon", "Data",    "Cloud",  "Link",   "Wave",   "Byte",
+      "Logic",   "Matrix",  "Pulse",  "Bridge", "Forge",  "Stream",
+      "Circuit", "Vision",  "Signal", "Orbit",  "Vector", "Nexus",
+      "Harbor",  "Compass", "Beacon", "Anchor", "Lattice", "Spark"};
+  return *kPool;
+}
+
+const std::vector<std::string>& CompanySuffixes() {
+  static const auto* kPool = new std::vector<std::string>{
+      "Technologies Co. LTD", "Software Co. LTD", "Systems Inc.",
+      "Solutions Inc.",       "Networks Co. LTD", "Group",
+      "Holdings LLC",         "Labs Inc.",        "Digital Co. LTD",
+      "Information Co. LTD"};
+  return *kPool;
+}
+
+const std::vector<std::string>& PositionLevels() {
+  static const auto* kPool = new std::vector<std::string>{
+      "", "Junior", "Senior", "Lead", "Principal", "Staff", "Chief",
+      "Associate", "Deputy"};
+  return *kPool;
+}
+
+const std::vector<std::string>& PositionRoles() {
+  static const auto* kPool = new std::vector<std::string>{
+      "Software Engineer",   "Backend Engineer",   "Frontend Engineer",
+      "Data Engineer",       "Data Analyst",       "Data Scientist",
+      "Product Manager",     "Project Manager",    "QA Engineer",
+      "Test Engineer",       "DevOps Engineer",    "System Architect",
+      "Algorithm Engineer",  "Research Scientist", "UI Designer",
+      "Operations Manager",  "Sales Manager",      "Account Executive",
+      "HR Specialist",       "Financial Analyst",  "Marketing Specialist",
+      "Technical Writer",    "Database Administrator", "Security Engineer"};
+  return *kPool;
+}
+
+const std::vector<std::string>& ProjectAdjectives() {
+  static const auto* kPool = new std::vector<std::string>{
+      "Intelligent", "Distributed", "Realtime", "Unified", "Scalable",
+      "Automated",   "Secure",      "Mobile",   "Enterprise", "Hybrid",
+      "Adaptive",    "Integrated",  "Modular",  "Predictive", "Streaming"};
+  return *kPool;
+}
+
+const std::vector<std::string>& ProjectNouns() {
+  static const auto* kPool = new std::vector<std::string>{
+      "Payment",   "Recommendation", "Inventory", "Logistics", "Monitoring",
+      "Analytics", "Messaging",      "Search",    "Billing",   "Scheduling",
+      "Risk",      "Trading",        "Content",   "Identity",  "Reporting"};
+  return *kPool;
+}
+
+const std::vector<std::string>& ProjectSuffixes() {
+  static const auto* kPool = new std::vector<std::string>{
+      "Platform", "System", "Engine", "Service", "Pipeline",
+      "Portal",   "Gateway", "Dashboard", "Framework", "Toolkit"};
+  return *kPool;
+}
+
+const std::vector<std::string>& Skills() {
+  static const auto* kPool = new std::vector<std::string>{
+      "Python",     "Java",       "C++",       "Go",         "Rust",
+      "JavaScript", "TypeScript", "SQL",       "NoSQL",      "Redis",
+      "MySQL",      "PostgreSQL", "MongoDB",   "Kafka",      "Spark",
+      "Hadoop",     "Flink",      "Docker",    "Kubernetes", "Linux",
+      "Git",        "Jenkins",    "TensorFlow", "PyTorch",   "Scikit-learn",
+      "React",      "Vue",        "Angular",   "Spring",     "Django",
+      "Flask",      "gRPC",       "REST",      "GraphQL",    "AWS",
+      "Azure",      "GCP",        "Terraform", "Ansible",    "Elasticsearch"};
+  return *kPool;
+}
+
+const std::vector<std::string>& Awards() {
+  static const auto* kPool = new std::vector<std::string>{
+      "National Scholarship",            "First Class Scholarship",
+      "Outstanding Graduate Award",      "Best Employee of the Year",
+      "Excellent Team Award",            "Innovation Prize",
+      "Dean's List",                     "Merit Student Award",
+      "Hackathon First Prize",           "Mathematical Contest Honorable Mention",
+      "Programming Contest Gold Medal",  "Outstanding Intern Award",
+      "Second Class Scholarship",        "Excellent Student Leader",
+      "Annual Technical Breakthrough Award", "Presidential Scholarship"};
+  return *kPool;
+}
+
+const std::vector<std::string>& SummaryPhrases() {
+  static const auto* kPool = new std::vector<std::string>{
+      "Results-driven engineer with strong problem solving skills",
+      "Experienced professional passionate about large scale systems",
+      "Self-motivated team player with excellent communication",
+      "Detail oriented developer focused on code quality",
+      "Proven track record of delivering projects on time",
+      "Strong background in algorithms and data structures",
+      "Skilled at cross functional collaboration and mentoring",
+      "Enthusiastic about learning new technologies quickly",
+      "Solid foundation in distributed systems and databases",
+      "Creative thinker with a pragmatic engineering mindset",
+      "Dedicated to building reliable and maintainable software",
+      "Comfortable working in fast paced agile environments"};
+  return *kPool;
+}
+
+const std::vector<std::string>& WorkContentPhrases() {
+  static const auto* kPool = new std::vector<std::string>{
+      "Designed and implemented core backend services",
+      "Led a team of five engineers to deliver key features",
+      "Improved system throughput by optimizing database queries",
+      "Built continuous integration pipelines for daily releases",
+      "Collaborated with product managers to refine requirements",
+      "Reduced infrastructure costs through capacity planning",
+      "Migrated legacy services to a microservice architecture",
+      "Developed monitoring dashboards and alerting rules",
+      "Owned the on call rotation and incident response process",
+      "Mentored junior engineers through code reviews",
+      "Automated deployment workflows across environments",
+      "Maintained high availability for customer facing services",
+      "Wrote design documents and drove architecture reviews",
+      "Partnered with data team on analytics requirements"};
+  return *kPool;
+}
+
+const std::vector<std::string>& ProjectContentPhrases() {
+  static const auto* kPool = new std::vector<std::string>{
+      "Implemented the service layer and storage schema",
+      "Responsible for module design and interface definition",
+      "Integrated third party APIs and payment channels",
+      "Optimized query latency with caching and indexing",
+      "Developed unit and integration test suites",
+      "Deployed the system with containers and orchestration",
+      "Conducted load testing and performance tuning",
+      "Coordinated requirements with business stakeholders",
+      "Designed the data model and reporting pipeline",
+      "Implemented authentication and access control"};
+  return *kPool;
+}
+
+const std::vector<std::string>& EmailDomains() {
+  static const auto* kPool = new std::vector<std::string>{
+      "example.com", "mailbox.org", "postbox.net", "webmail.io",
+      "inbox.dev",   "mailhub.co",  "letterbox.app"};
+  return *kPool;
+}
+
+const std::vector<std::string>& Cities() {
+  static const auto* kPool = new std::vector<std::string>{
+      "Springfield", "Rivertown", "Lakeside", "Hillsboro", "Fairview",
+      "Greenville",  "Bridgeport", "Clayton", "Ashland",   "Milford",
+      "Oakdale",     "Burlington", "Clinton", "Dayton",    "Easton"};
+  return *kPool;
+}
+
+const std::vector<std::string>& HeaderVariants(int block_tag) {
+  using doc::BlockTag;
+  static const auto* kVariants = new std::vector<std::vector<std::string>>{
+      /*PInfo*/ {"Personal Information", "Contact", "Basic Information",
+                 "About Me"},
+      /*EduExp*/ {"Education", "Education Experience", "Educational Background",
+                  "Academic History"},
+      /*WorkExp*/ {"Work Experience", "Employment History",
+                   "Professional Experience", "Career History"},
+      /*ProjExp*/ {"Project Experience", "Projects", "Key Projects",
+                   "Selected Projects"},
+      /*Summary*/ {"Summary", "Profile", "Professional Summary", "Objective"},
+      /*Awards*/ {"Awards", "Honors", "Honors and Awards", "Achievements"},
+      /*SkillDes*/ {"Skills", "Technical Skills", "Skill Description",
+                    "Core Competencies"},
+      /*Title*/ {"Resume", "Curriculum Vitae", "CV"},
+  };
+  RF_CHECK_GE(block_tag, 0);
+  RF_CHECK_LT(block_tag, static_cast<int>(kVariants->size()));
+  return (*kVariants)[block_tag];
+}
+
+}  // namespace resumegen
+}  // namespace resuformer

@@ -1,0 +1,46 @@
+#ifndef RESUFORMER_RESUMEGEN_ENTITY_POOLS_H_
+#define RESUFORMER_RESUMEGEN_ENTITY_POOLS_H_
+
+#include <string>
+#include <vector>
+
+namespace resuformer {
+namespace resumegen {
+
+/// Static word pools backing the synthetic resume generator. These replace
+/// the paper's proprietary data sources (name databases, web encyclopedia,
+/// recruitment sites; Section IV-B1). All content is fictional.
+///
+/// Entities like companies and project names are produced *compositionally*
+/// (adjective + noun + suffix), so the space of surface forms is much larger
+/// than any dictionary built from a sample — exactly the partial-coverage
+/// regime distant supervision faces in the paper.
+const std::vector<std::string>& FirstNames();
+const std::vector<std::string>& LastNames();
+const std::vector<std::string>& Colleges();
+const std::vector<std::string>& Majors();
+const std::vector<std::string>& Degrees();
+const std::vector<std::string>& CompanyAdjectives();
+const std::vector<std::string>& CompanyNouns();
+const std::vector<std::string>& CompanySuffixes();
+const std::vector<std::string>& PositionLevels();
+const std::vector<std::string>& PositionRoles();
+const std::vector<std::string>& ProjectAdjectives();
+const std::vector<std::string>& ProjectNouns();
+const std::vector<std::string>& ProjectSuffixes();
+const std::vector<std::string>& Skills();
+const std::vector<std::string>& Awards();
+const std::vector<std::string>& SummaryPhrases();
+const std::vector<std::string>& WorkContentPhrases();
+const std::vector<std::string>& ProjectContentPhrases();
+const std::vector<std::string>& EmailDomains();
+const std::vector<std::string>& Cities();
+
+/// Section-header wording variants per block, e.g. WorkExp ->
+/// {"Work Experience", "Employment History", ...}.
+const std::vector<std::string>& HeaderVariants(int block_tag);
+
+}  // namespace resumegen
+}  // namespace resuformer
+
+#endif  // RESUFORMER_RESUMEGEN_ENTITY_POOLS_H_

@@ -1,0 +1,521 @@
+#include "resumegen/renderer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "resumegen/entity_pools.h"
+
+namespace resuformer {
+namespace resumegen {
+
+using doc::BlockTag;
+using doc::EntityTag;
+
+namespace {
+
+// Page geometry (US letter, points).
+constexpr float kPageWidth = 612.0f;
+constexpr float kPageHeight = 792.0f;
+constexpr float kTopMargin = 50.0f;
+constexpr float kBottomLimit = 742.0f;
+constexpr float kSingleX0 = 50.0f;
+constexpr float kSingleWidth = 512.0f;
+constexpr float kSidebarX0 = 40.0f;
+constexpr float kSidebarWidth = 150.0f;
+constexpr float kMainX0 = 215.0f;
+constexpr float kMainWidth = 357.0f;
+
+struct WordSpec {
+  std::string text;
+  int entity_label = 0;  // entity IOB
+};
+
+/// One logical line before wrapping.
+struct LineSpec {
+  std::vector<WordSpec> words;
+  int block_label = doc::kOutsideLabel;  // block IOB of the first visual line
+  float font_size = 10.0f;
+  bool bold = false;
+  int column = 0;  // 0 = main flow, 1 = sidebar
+  float extra_gap = 0.0f;  // additional vertical space before the line
+};
+
+void AppendPlain(LineSpec* line, const std::string& text) {
+  for (const std::string& w : SplitString(text)) {
+    line->words.push_back({w, 0});
+  }
+}
+
+void AppendEntity(LineSpec* line, const std::string& text, EntityTag tag) {
+  bool first = true;
+  for (const std::string& w : SplitString(text)) {
+    line->words.push_back({w, doc::EntityIobLabel(tag, first)});
+    first = false;
+  }
+}
+
+/// I-variant of a block IOB label (continuation lines of a wrapped line).
+int ContinuationLabel(int block_label) {
+  BlockTag tag;
+  bool begin;
+  if (!doc::ParseIobLabel(block_label, &tag, &begin)) {
+    return doc::kOutsideLabel;
+  }
+  return doc::IobLabel(tag, /*begin=*/false);
+}
+
+/// Builder for one semantic block: emits an optional section-title line then
+/// content lines. `begin_label` tracks B-/I- within the block.
+class BlockBuilder {
+ public:
+  BlockBuilder(const TemplateStyle& style, Rng* rng,
+               std::vector<LineSpec>* out)
+      : style_(style), rng_(rng), out_(out) {}
+
+  void SectionHeader(BlockTag tag, int column) {
+    // Some resumes omit section titles entirely; the block must then be
+    // recognized from content, fonts and position.
+    if (rng_->Bernoulli(style_.header_skip_prob)) return;
+    const auto& variants = HeaderVariants(static_cast<int>(tag));
+    LineSpec line;
+    line.block_label = doc::IobLabel(BlockTag::kTitle, true);
+    line.font_size = style_.header_font;
+    line.bold = style_.bold_headers;
+    line.column = column;
+    line.extra_gap = style_.body_font * 0.8f;
+    std::string text = variants[rng_->UniformInt(
+        static_cast<int>(variants.size()))];
+    if (rng_->Bernoulli(0.2)) text = ToUpper(text);
+    AppendPlain(&line, text);
+    out_->push_back(line);
+  }
+
+  LineSpec NewLine(BlockTag tag, bool begin, int column,
+                   float font_scale = 1.0f, bool bold = false) {
+    LineSpec line;
+    line.block_label = doc::IobLabel(tag, begin);
+    line.font_size = style_.body_font * font_scale;
+    line.bold = bold;
+    line.column = column;
+    return line;
+  }
+
+  void Emit(LineSpec line) { out_->push_back(std::move(line)); }
+
+  Rng* rng() { return rng_; }
+  const TemplateStyle& style() const { return style_; }
+
+ private:
+  static std::string ToUpper(const std::string& s) {
+    std::string out = s;
+    for (char& c : out) {
+      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+    return out;
+  }
+
+  const TemplateStyle& style_;
+  Rng* rng_;
+  std::vector<LineSpec>* out_;
+};
+
+void BuildPInfo(const ResumeRecord& rec, BlockBuilder* b, int column) {
+  const TemplateStyle& style = b->style();
+  if (style.pinfo_header && b->rng()->Bernoulli(0.5)) {
+    b->SectionHeader(BlockTag::kPInfo, column);
+  }
+  // Name line: large font, bold.
+  LineSpec name_line = b->NewLine(BlockTag::kPInfo, true, column,
+                                  style.name_font / style.body_font, true);
+  AppendEntity(&name_line, rec.FullName(), EntityTag::kName);
+  b->Emit(name_line);
+
+  // Contact lines; 50/50 combined vs separate.
+  if (b->rng()->Bernoulli(0.5)) {
+    LineSpec contact = b->NewLine(BlockTag::kPInfo, false, column);
+    AppendPlain(&contact, "Email:");
+    AppendEntity(&contact, rec.email, EntityTag::kEmail);
+    AppendPlain(&contact, "| Phone:");
+    AppendEntity(&contact, rec.phone, EntityTag::kPhoneNum);
+    b->Emit(contact);
+    LineSpec detail = b->NewLine(BlockTag::kPInfo, false, column);
+    AppendPlain(&detail, "Gender:");
+    AppendEntity(&detail, rec.gender, EntityTag::kGender);
+    AppendPlain(&detail, "| Age:");
+    AppendEntity(&detail, StringPrintf("%d", rec.age), EntityTag::kAge);
+    AppendPlain(&detail, "| City: " + rec.city);
+    b->Emit(detail);
+  } else {
+    LineSpec l1 = b->NewLine(BlockTag::kPInfo, false, column);
+    AppendPlain(&l1, "Email:");
+    AppendEntity(&l1, rec.email, EntityTag::kEmail);
+    b->Emit(l1);
+    LineSpec l2 = b->NewLine(BlockTag::kPInfo, false, column);
+    AppendPlain(&l2, "Phone:");
+    AppendEntity(&l2, rec.phone, EntityTag::kPhoneNum);
+    b->Emit(l2);
+    LineSpec l3 = b->NewLine(BlockTag::kPInfo, false, column);
+    AppendPlain(&l3, "Gender:");
+    AppendEntity(&l3, rec.gender, EntityTag::kGender);
+    AppendPlain(&l3, "Age:");
+    AppendEntity(&l3, StringPrintf("%d", rec.age), EntityTag::kAge);
+    b->Emit(l3);
+  }
+}
+
+void BuildEduExp(const ResumeRecord& rec, BlockBuilder* b, int column) {
+  b->SectionHeader(BlockTag::kEduExp, column);
+  const int date_style = b->style().date_style;
+  for (const EducationEntry& e : rec.education) {
+    LineSpec head = b->NewLine(BlockTag::kEduExp, true, column, 1.0f,
+                               b->style().bold_headers);
+    AppendEntity(&head, FormatDateRange(e.dates, date_style),
+                 EntityTag::kDate);
+    AppendEntity(&head, e.college, EntityTag::kCollege);
+    b->Emit(head);
+    LineSpec detail = b->NewLine(BlockTag::kEduExp, false, column);
+    if (b->rng()->Bernoulli(0.5)) {
+      AppendEntity(&detail, e.major, EntityTag::kMajor);
+      AppendPlain(&detail, ",");
+      AppendEntity(&detail, e.degree, EntityTag::kDegree);
+    } else {
+      AppendEntity(&detail, e.degree, EntityTag::kDegree);
+      AppendPlain(&detail, "in");
+      AppendEntity(&detail, e.major, EntityTag::kMajor);
+    }
+    b->Emit(detail);
+    // Inline scholarships: gold-labeled Awards inside the education section
+    // (the Figure 3 scenario).
+    bool first_award = true;
+    for (const std::string& award : e.inline_awards) {
+      LineSpec al = b->NewLine(BlockTag::kAwards, first_award, column);
+      AppendPlain(&al, award);
+      b->Emit(al);
+      first_award = false;
+    }
+  }
+}
+
+void BuildWorkExp(const ResumeRecord& rec, BlockBuilder* b, int column) {
+  b->SectionHeader(BlockTag::kWorkExp, column);
+  const int date_style = b->style().date_style;
+  for (const WorkEntry& w : rec.work) {
+    LineSpec head = b->NewLine(BlockTag::kWorkExp, true, column, 1.0f,
+                               b->style().bold_headers);
+    if (b->rng()->Bernoulli(0.5)) {
+      AppendEntity(&head, FormatDateRange(w.dates, date_style),
+                   EntityTag::kDate);
+      AppendEntity(&head, w.company, EntityTag::kCompany);
+      AppendEntity(&head, w.position, EntityTag::kPosition);
+    } else {
+      AppendEntity(&head, w.company, EntityTag::kCompany);
+      AppendPlain(&head, "|");
+      AppendEntity(&head, w.position, EntityTag::kPosition);
+      AppendPlain(&head, "|");
+      AppendEntity(&head, FormatDateRange(w.dates, date_style),
+                   EntityTag::kDate);
+    }
+    b->Emit(head);
+    for (const std::string& content : w.content_lines) {
+      LineSpec cl = b->NewLine(BlockTag::kWorkExp, false, column);
+      AppendPlain(&cl, b->style().bullets ? "- " + content : content);
+      b->Emit(cl);
+    }
+  }
+}
+
+void BuildProjExp(const ResumeRecord& rec, BlockBuilder* b, int column) {
+  if (rec.projects.empty()) return;
+  b->SectionHeader(BlockTag::kProjExp, column);
+  const int date_style = b->style().date_style;
+  for (const ProjectEntry& p : rec.projects) {
+    LineSpec head = b->NewLine(BlockTag::kProjExp, true, column, 1.0f,
+                               b->style().bold_headers);
+    AppendEntity(&head, p.name, EntityTag::kProjName);
+    AppendEntity(&head, FormatDateRange(p.dates, date_style),
+                 EntityTag::kDate);
+    b->Emit(head);
+    for (const std::string& content : p.content_lines) {
+      LineSpec cl = b->NewLine(BlockTag::kProjExp, false, column);
+      AppendPlain(&cl, b->style().bullets ? "- " + content : content);
+      b->Emit(cl);
+    }
+  }
+}
+
+void BuildSummary(const ResumeRecord& rec, BlockBuilder* b, int column) {
+  if (rec.summary_lines.empty()) return;
+  b->SectionHeader(BlockTag::kSummary, column);
+  bool first = true;
+  for (const std::string& s : rec.summary_lines) {
+    LineSpec line = b->NewLine(BlockTag::kSummary, first, column);
+    AppendPlain(&line, s + ".");
+    b->Emit(line);
+    first = false;
+  }
+}
+
+void BuildAwards(const ResumeRecord& rec, BlockBuilder* b, int column) {
+  if (rec.awards.empty()) return;
+  b->SectionHeader(BlockTag::kAwards, column);
+  bool first = true;
+  for (const std::string& a : rec.awards) {
+    LineSpec line = b->NewLine(BlockTag::kAwards, first, column);
+    AppendPlain(&line, b->style().bullets ? "- " + a : a);
+    b->Emit(line);
+    first = false;
+  }
+}
+
+void BuildSkillDes(const ResumeRecord& rec, BlockBuilder* b, int column) {
+  if (rec.skills.empty()) return;
+  b->SectionHeader(BlockTag::kSkillDes, column);
+  // Skills rendered a few per line, comma separated.
+  bool first = true;
+  size_t i = 0;
+  while (i < rec.skills.size()) {
+    LineSpec line = b->NewLine(BlockTag::kSkillDes, first, column);
+    const size_t per_line =
+        1 + static_cast<size_t>(b->rng()->UniformInt(4));
+    std::string text;
+    for (size_t k = 0; k < per_line && i < rec.skills.size(); ++k, ++i) {
+      if (!text.empty()) text += ", ";
+      text += rec.skills[i];
+    }
+    AppendPlain(&line, text);
+    b->Emit(line);
+    first = false;
+  }
+}
+
+void BuildBlock(BlockTag tag, const ResumeRecord& rec, BlockBuilder* b,
+                int column) {
+  switch (tag) {
+    case BlockTag::kPInfo:
+      BuildPInfo(rec, b, column);
+      break;
+    case BlockTag::kEduExp:
+      BuildEduExp(rec, b, column);
+      break;
+    case BlockTag::kWorkExp:
+      BuildWorkExp(rec, b, column);
+      break;
+    case BlockTag::kProjExp:
+      BuildProjExp(rec, b, column);
+      break;
+    case BlockTag::kSummary:
+      BuildSummary(rec, b, column);
+      break;
+    case BlockTag::kAwards:
+      BuildAwards(rec, b, column);
+      break;
+    case BlockTag::kSkillDes:
+      BuildSkillDes(rec, b, column);
+      break;
+    case BlockTag::kTitle:
+      break;  // section titles are emitted with their blocks
+  }
+}
+
+float WordWidth(const std::string& word, float font) {
+  return 0.52f * font * static_cast<float>(word.size());
+}
+
+}  // namespace
+
+GeneratedResume Renderer::Render(const ResumeRecord& record,
+                                 const TemplateStyle& base_style) const {
+  // Per-document style jitter: a random date wording and (half the time) a
+  // shuffled main-block order — "the semantic blocks randomly appear in
+  // different positions in the documents" (Section I).
+  TemplateStyle style = base_style;
+  const int date_roll = rng_->UniformInt(100);
+  style.date_style = date_roll < 45 ? 0 : (date_roll < 80 ? 1 : 2);
+  if (style.block_order.size() > 2 && rng_->Bernoulli(0.5)) {
+    // Keep the first block (typically PInfo) anchored; shuffle the rest.
+    const size_t begin = style.block_order[0] == BlockTag::kPInfo ? 1 : 0;
+    for (size_t i = style.block_order.size() - 1; i > begin; --i) {
+      const size_t j =
+          begin + rng_->UniformInt(static_cast<int>(i - begin + 1));
+      std::swap(style.block_order[i], style.block_order[j]);
+    }
+  }
+
+  std::vector<LineSpec> lines;
+  BlockBuilder builder(style, rng_, &lines);
+
+  if (style.columns == 2) {
+    // Sidebar: contact, skills, standalone awards.
+    BuildPInfo(record, &builder, /*column=*/1);
+    BuildSkillDes(record, &builder, /*column=*/1);
+    BuildAwards(record, &builder, /*column=*/1);
+    for (BlockTag tag : style.block_order) {
+      BuildBlock(tag, record, &builder, /*column=*/0);
+    }
+  } else {
+    for (BlockTag tag : style.block_order) {
+      BuildBlock(tag, record, &builder, /*column=*/0);
+    }
+  }
+
+  GeneratedResume out;
+  out.record = record;
+  out.template_id = style.id;
+  out.document.page_width = kPageWidth;
+  out.document.page_height = kPageHeight;
+
+  // Layout: wrap each logical line into visual lines, advance per-column
+  // cursors, break pages on the main flow.
+  struct Cursor {
+    float y = kTopMargin;
+    int page = 0;
+  };
+  Cursor main_cursor, side_cursor;
+
+  // Sidebar lines are emitted first in `lines` (two-column templates), and
+  // reading order within a page is approximated by emission order.
+  for (const LineSpec& line : lines) {
+    if (line.words.empty()) continue;
+    const bool sidebar = line.column == 1;
+    Cursor& cursor = sidebar ? side_cursor : main_cursor;
+    const float x0 = style.columns == 2
+                         ? (sidebar ? kSidebarX0 : kMainX0)
+                         : kSingleX0;
+    const float col_width = style.columns == 2
+                                ? (sidebar ? kSidebarWidth : kMainWidth)
+                                : kSingleWidth;
+    cursor.y += line.extra_gap;
+
+    const float font = line.font_size;
+    const float space = 0.30f * font;
+    int label = line.block_label;
+
+    size_t i = 0;
+    while (i < line.words.size()) {
+      // Fill one visual line.
+      if (cursor.y + font > kBottomLimit) {
+        cursor.y = kTopMargin;
+        cursor.page += 1;
+      }
+      doc::Sentence sentence;
+      sentence.page = cursor.page;
+      std::vector<int> sent_entities;
+      float x = x0;
+      while (i < line.words.size()) {
+        const WordSpec& w = line.words[i];
+        const float width = WordWidth(w.text, font);
+        if (!sentence.tokens.empty() && x + width > x0 + col_width) break;
+        doc::Token token;
+        token.word = w.text;
+        token.box = doc::BBox{x, cursor.y, x + width, cursor.y + font};
+        token.page = cursor.page;
+        token.font_size = font;
+        token.bold = line.bold;
+        sentence.tokens.push_back(token);
+        // Entity continuation across wraps keeps IOB consistency because
+        // labels are per word and already B-/I- tagged.
+        sent_entities.push_back(w.entity_label);
+        x += width + space;
+        ++i;
+      }
+      sentence.box = sentence.tokens.front().box;
+      for (const doc::Token& t : sentence.tokens) {
+        sentence.box = doc::Union(sentence.box, t.box);
+      }
+      out.document.sentences.push_back(std::move(sentence));
+      out.document.sentence_labels.push_back(label);
+      out.entity_labels.push_back(std::move(sent_entities));
+      label = ContinuationLabel(label);  // wrapped continuations
+      cursor.y += font * style.line_spacing;
+    }
+  }
+
+  out.document.num_pages =
+      1 + std::max(main_cursor.page, side_cursor.page);
+  out.document.blocks =
+      doc::Document::BlocksFromLabels(out.document.sentence_labels);
+
+  // Occasional footer noise lines labeled "O".
+  if (rng_->Bernoulli(0.25)) {
+    for (int p = 0; p < out.document.num_pages; ++p) {
+      doc::Sentence footer;
+      footer.page = p;
+      const std::string text = StringPrintf("Page %d / %d", p + 1,
+                                            out.document.num_pages);
+      float x = kPageWidth / 2 - 40.0f;
+      for (const std::string& w : SplitString(text)) {
+        doc::Token token;
+        token.word = w;
+        token.box = doc::BBox{x, 760.0f, x + WordWidth(w, 8.0f), 768.0f};
+        token.page = p;
+        token.font_size = 8.0f;
+        footer.tokens.push_back(token);
+        x += WordWidth(w, 8.0f) + 2.4f;
+      }
+      footer.box = footer.tokens.front().box;
+      for (const doc::Token& t : footer.tokens) {
+        footer.box = doc::Union(footer.box, t.box);
+      }
+      out.document.sentences.push_back(footer);
+      out.document.sentence_labels.push_back(doc::kOutsideLabel);
+      out.entity_labels.emplace_back(footer.tokens.size(), 0);
+    }
+  }
+
+  RF_CHECK_EQ(out.document.sentences.size(),
+              out.document.sentence_labels.size());
+  RF_CHECK_EQ(out.document.sentences.size(), out.entity_labels.size());
+  return out;
+}
+
+GeneratedResume GenerateResume(Rng* rng) {
+  ResumeSampler sampler(rng);
+  const ResumeRecord record = sampler.Sample();
+  const auto& templates = BuiltinTemplates();
+  const TemplateStyle& style =
+      templates[rng->UniformInt(static_cast<int>(templates.size()))];
+  Renderer renderer(rng);
+  return renderer.Render(record, style);
+}
+
+std::string AsciiRender(const doc::Document& document,
+                        const std::vector<int>& sentence_labels,
+                        int max_width) {
+  std::string out;
+  for (int page = 0; page < document.num_pages; ++page) {
+    out += StringPrintf("=== page %d ===\n", page + 1);
+    // Sentences in y-then-x order for this page.
+    std::vector<int> order;
+    for (int i = 0; i < document.NumSentences(); ++i) {
+      if (document.sentences[i].page == page) order.push_back(i);
+    }
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      const auto& sa = document.sentences[a].box;
+      const auto& sb = document.sentences[b].box;
+      if (sa.y0 != sb.y0) return sa.y0 < sb.y0;
+      return sa.x0 < sb.x0;
+    });
+    for (int idx : order) {
+      const doc::Sentence& s = document.sentences[idx];
+      const int indent =
+          static_cast<int>(s.box.x0 / document.page_width * 28.0f);
+      std::string label = idx < static_cast<int>(sentence_labels.size())
+                              ? doc::IobLabelName(sentence_labels[idx])
+                              : "?";
+      std::string text = s.Text();
+      const int budget = max_width - indent - 14;
+      if (static_cast<int>(text.size()) > budget && budget > 3) {
+        text = text.substr(0, budget - 3) + "...";
+      }
+      out += StringPrintf("%-12s %s%s\n", ("[" + label + "]").c_str(),
+                          std::string(indent, ' ').c_str(), text.c_str());
+    }
+  }
+  return out;
+}
+
+}  // namespace resumegen
+}  // namespace resuformer

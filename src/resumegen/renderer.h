@@ -1,0 +1,57 @@
+#ifndef RESUFORMER_RESUMEGEN_RENDERER_H_
+#define RESUFORMER_RESUMEGEN_RENDERER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "doc/document.h"
+#include "resumegen/resume_sampler.h"
+#include "resumegen/templates.h"
+
+namespace resuformer {
+namespace resumegen {
+
+/// A fully labeled synthetic resume: the structured record, the rendered
+/// multi-page document (tokens with bounding boxes + gold IOB block labels
+/// per sentence) and gold IOB entity labels per token.
+struct GeneratedResume {
+  ResumeRecord record;
+  doc::Document document;
+  /// entity_labels[s][t]: entity IOB label of token t in sentence s
+  /// (doc::kNumEntityIobLabels space).
+  std::vector<std::vector<int>> entity_labels;
+  int template_id = 0;
+};
+
+/// \brief Renders a ResumeRecord through a TemplateStyle into a token
+/// stream with page-coordinate bounding boxes — the stand-in for
+/// "PDF + PyMuPDF parsing" in the paper (see DESIGN.md).
+///
+/// Layout model: monospaced-ish word widths proportional to font size,
+/// top-down line flow with page breaks, optional sidebar column. Each
+/// visual line becomes one doc::Sentence; wrapped continuations inherit the
+/// I- form of the line's block label.
+class Renderer {
+ public:
+  explicit Renderer(Rng* rng) : rng_(rng) {}
+
+  GeneratedResume Render(const ResumeRecord& record,
+                         const TemplateStyle& style) const;
+
+ private:
+  Rng* rng_;
+};
+
+/// Convenience: sample a record, pick a random template, render.
+GeneratedResume GenerateResume(Rng* rng);
+
+/// Renders the document as annotated ASCII art (used by the Figure 1 and
+/// Figure 3 harnesses and the examples).
+std::string AsciiRender(const doc::Document& document,
+                        const std::vector<int>& sentence_labels,
+                        int max_width = 100);
+
+}  // namespace resumegen
+}  // namespace resuformer
+
+#endif  // RESUFORMER_RESUMEGEN_RENDERER_H_

@@ -1,0 +1,153 @@
+#include "resumegen/resume_sampler.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "resumegen/entity_pools.h"
+
+namespace resuformer {
+namespace resumegen {
+
+namespace {
+template <typename T>
+const T& Pick(Rng* rng, const std::vector<T>& pool) {
+  return pool[rng->UniformInt(static_cast<int>(pool.size()))];
+}
+}  // namespace
+
+std::string FormatDateRange(const DateRange& range, int style) {
+  const char* sep = style == 1 ? "/" : ".";
+  std::string start =
+      StringPrintf("%04d%s%02d", range.start_year, sep, range.start_month);
+  std::string end =
+      range.current
+          ? "Present"
+          : StringPrintf("%04d%s%02d", range.end_year, sep, range.end_month);
+  // Style 2: compact single token ("2016.09-2019.06") — deliberately outside
+  // what the date regular expressions cover, a realistic recall gap for
+  // distant supervision.
+  if (style == 2) return start + "-" + end;
+  return start + " - " + end;
+}
+
+std::string ResumeSampler::SampleCompany() const {
+  return Pick(rng_, CompanyAdjectives()) + Pick(rng_, CompanyNouns()) + " " +
+         Pick(rng_, CompanySuffixes());
+}
+
+std::string ResumeSampler::SamplePosition() const {
+  const std::string& level = Pick(rng_, PositionLevels());
+  const std::string& role = Pick(rng_, PositionRoles());
+  return level.empty() ? role : level + " " + role;
+}
+
+std::string ResumeSampler::SampleProjectName() const {
+  return Pick(rng_, ProjectAdjectives()) + " " + Pick(rng_, ProjectNouns()) +
+         " " + Pick(rng_, ProjectSuffixes());
+}
+
+std::string ResumeSampler::SampleFullName() const {
+  return Pick(rng_, FirstNames()) + " " + Pick(rng_, LastNames());
+}
+
+DateRange ResumeSampler::SampleDateRange(int earliest_year,
+                                         int latest_year) const {
+  DateRange r;
+  r.start_year = earliest_year + rng_->UniformInt(
+                                     std::max(1, latest_year - earliest_year));
+  r.start_month = 1 + rng_->UniformInt(12);
+  const int duration_months = 6 + rng_->UniformInt(48);
+  const int total = r.start_year * 12 + (r.start_month - 1) + duration_months;
+  r.end_year = total / 12;
+  r.end_month = total % 12 + 1;
+  if (r.end_year >= latest_year) {
+    r.end_year = latest_year;
+    r.current = rng_->Bernoulli(0.4);
+  }
+  return r;
+}
+
+ResumeRecord ResumeSampler::Sample() const {
+  ResumeRecord rec;
+  rec.first_name = Pick(rng_, FirstNames());
+  rec.last_name = Pick(rng_, LastNames());
+  rec.gender = rng_->Bernoulli(0.5) ? "Male" : "Female";
+  rec.age = 22 + rng_->UniformInt(20);
+  rec.phone = StringPrintf("1%02d-%04d-%04d", rng_->UniformInt(100),
+                           rng_->UniformInt(10000), rng_->UniformInt(10000));
+  rec.email = ToLowerAscii(rec.first_name) + "." + ToLowerAscii(rec.last_name) +
+              StringPrintf("%d", rng_->UniformInt(100)) + "@" +
+              Pick(rng_, EmailDomains());
+  rec.city = Pick(rng_, Cities());
+
+  // Education: 1-2 entries, newest first.
+  const int num_edu = 1 + (rng_->Bernoulli(0.35) ? 1 : 0);
+  int grad_year = 2024 - rng_->UniformInt(8);
+  for (int i = 0; i < num_edu; ++i) {
+    EducationEntry e;
+    e.college = Pick(rng_, Colleges());
+    e.major = Pick(rng_, Majors());
+    e.degree = Pick(rng_, Degrees());
+    e.dates.end_year = grad_year;
+    e.dates.end_month = 6 + rng_->UniformInt(2);
+    e.dates.start_year = grad_year - (i == 0 ? 2 + rng_->UniformInt(3) : 4);
+    e.dates.start_month = 9;
+    if (rng_->Bernoulli(0.3)) {
+      const int n = 1 + rng_->UniformInt(2);
+      for (int a = 0; a < n; ++a) {
+        e.inline_awards.push_back(Pick(rng_, Awards()));
+      }
+    }
+    rec.education.push_back(e);
+    grad_year = e.dates.start_year;
+  }
+
+  // Work experience: 2-4 entries.
+  const int num_work = 2 + rng_->UniformInt(3);
+  for (int i = 0; i < num_work; ++i) {
+    WorkEntry w;
+    w.company = SampleCompany();
+    w.position = SamplePosition();
+    w.dates = SampleDateRange(2012, 2025);
+    const int n = 3 + rng_->UniformInt(3);
+    for (int c = 0; c < n; ++c) {
+      w.content_lines.push_back(Pick(rng_, WorkContentPhrases()));
+    }
+    rec.work.push_back(w);
+  }
+
+  // Projects: 1-3 entries.
+  const int num_proj = 1 + rng_->UniformInt(3);
+  for (int i = 0; i < num_proj; ++i) {
+    ProjectEntry p;
+    p.name = SampleProjectName();
+    p.dates = SampleDateRange(2014, 2025);
+    const int n = 2 + rng_->UniformInt(3);
+    for (int c = 0; c < n; ++c) {
+      p.content_lines.push_back(Pick(rng_, ProjectContentPhrases()));
+    }
+    rec.projects.push_back(p);
+  }
+
+  // Skills: 6-13.
+  const int num_skills = 6 + rng_->UniformInt(8);
+  for (int i = 0; i < num_skills; ++i) {
+    rec.skills.push_back(Pick(rng_, Skills()));
+  }
+
+  // Standalone awards block: 0-3.
+  const int num_awards = rng_->UniformInt(4);
+  for (int i = 0; i < num_awards; ++i) {
+    rec.awards.push_back(Pick(rng_, Awards()));
+  }
+
+  // Summary: 2-4 lines.
+  const int num_summary = 2 + rng_->UniformInt(3);
+  for (int i = 0; i < num_summary; ++i) {
+    rec.summary_lines.push_back(Pick(rng_, SummaryPhrases()));
+  }
+  return rec;
+}
+
+}  // namespace resumegen
+}  // namespace resuformer

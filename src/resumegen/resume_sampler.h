@@ -1,0 +1,95 @@
+#ifndef RESUFORMER_RESUMEGEN_RESUME_SAMPLER_H_
+#define RESUFORMER_RESUMEGEN_RESUME_SAMPLER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace resuformer {
+namespace resumegen {
+
+/// A date interval such as "2016.09 - 2019.06"; `current` renders the end
+/// as "Present".
+struct DateRange {
+  int start_year = 2015;
+  int start_month = 9;
+  int end_year = 2019;
+  int end_month = 6;
+  bool current = false;
+};
+
+struct EducationEntry {
+  std::string college;
+  std::string major;
+  std::string degree;
+  DateRange dates;
+  /// Scholarships earned during this degree — the Figure 3 case study hinges
+  /// on awards being embedded inside an education block.
+  std::vector<std::string> inline_awards;
+};
+
+struct WorkEntry {
+  std::string company;
+  std::string position;
+  DateRange dates;
+  std::vector<std::string> content_lines;
+};
+
+struct ProjectEntry {
+  std::string name;
+  DateRange dates;
+  std::vector<std::string> content_lines;
+};
+
+/// The structured ground truth behind one synthetic resume.
+struct ResumeRecord {
+  std::string first_name;
+  std::string last_name;
+  std::string gender;  // "Male" / "Female"
+  int age = 25;
+  std::string phone;
+  std::string email;
+  std::string city;
+  std::vector<EducationEntry> education;
+  std::vector<WorkEntry> work;
+  std::vector<ProjectEntry> projects;
+  std::vector<std::string> skills;
+  std::vector<std::string> awards;
+  std::vector<std::string> summary_lines;
+
+  std::string FullName() const { return first_name + " " + last_name; }
+};
+
+/// Rendering helper shared by the renderer and the dictionaries: the
+/// canonical textual form of a date range.
+std::string FormatDateRange(const DateRange& range, int style);
+
+/// \brief Samples structured resume records from the entity pools.
+///
+/// Companies / positions / project names are composed from parts, so their
+/// surface-form space is combinatorial; `ResumeSampler` is also the source
+/// from which distant-supervision dictionaries draw a *partial* sample
+/// (see distant::BuildDictionaries).
+class ResumeSampler {
+ public:
+  explicit ResumeSampler(Rng* rng) : rng_(rng) {}
+
+  ResumeRecord Sample() const;
+
+  /// Individual entity samplers (used for dictionary construction and data
+  /// augmentation as well).
+  std::string SampleCompany() const;
+  std::string SamplePosition() const;
+  std::string SampleProjectName() const;
+  std::string SampleFullName() const;
+  DateRange SampleDateRange(int earliest_year, int latest_year) const;
+
+ private:
+  Rng* rng_;
+};
+
+}  // namespace resumegen
+}  // namespace resuformer
+
+#endif  // RESUFORMER_RESUMEGEN_RESUME_SAMPLER_H_

@@ -1,0 +1,86 @@
+#include "resumegen/templates.h"
+
+#include "common/logging.h"
+
+namespace resuformer {
+namespace resumegen {
+
+using doc::BlockTag;
+
+const std::vector<TemplateStyle>& BuiltinTemplates() {
+  static const auto* kTemplates = new std::vector<TemplateStyle>{
+      // Style 0: classic chronological single column.
+      {0,
+       "classic",
+       /*columns=*/1,
+       /*body_font=*/10.0f,
+       /*header_font=*/13.0f,
+       /*name_font=*/18.0f,
+       /*bold_headers=*/true,
+       /*bullets=*/false,
+       /*pinfo_header=*/true,
+       /*date_style=*/0,
+       /*header_skip_prob=*/0.15f,
+       /*line_spacing=*/1.35f,
+       {BlockTag::kPInfo, BlockTag::kSummary, BlockTag::kEduExp,
+        BlockTag::kWorkExp, BlockTag::kProjExp, BlockTag::kSkillDes,
+        BlockTag::kAwards}},
+      // Style 1: two-column with a contact/skills sidebar.
+      {1,
+       "two-column",
+       /*columns=*/2,
+       /*body_font=*/9.5f,
+       /*header_font=*/12.0f,
+       /*name_font=*/16.0f,
+       /*bold_headers=*/true,
+       /*bullets=*/true,
+       /*pinfo_header=*/false,
+       /*date_style=*/1,
+       /*header_skip_prob=*/0.35f,
+       /*line_spacing=*/1.3f,
+       {BlockTag::kSummary, BlockTag::kWorkExp, BlockTag::kProjExp,
+        BlockTag::kEduExp}},
+      // Style 2: compact, experience-first, no summary.
+      {2,
+       "compact",
+       /*columns=*/1,
+       /*body_font=*/9.0f,
+       /*header_font=*/11.5f,
+       /*name_font=*/14.0f,
+       /*bold_headers=*/false,
+       /*bullets=*/true,
+       /*pinfo_header=*/false,
+       /*date_style=*/1,
+       /*header_skip_prob=*/0.5f,
+       /*line_spacing=*/1.2f,
+       {BlockTag::kPInfo, BlockTag::kWorkExp, BlockTag::kProjExp,
+        BlockTag::kEduExp, BlockTag::kAwards, BlockTag::kSkillDes}},
+      // Style 3: academic CV, education-first with generous spacing.
+      {3,
+       "academic",
+       /*columns=*/1,
+       /*body_font=*/10.5f,
+       /*header_font=*/14.0f,
+       /*name_font=*/20.0f,
+       /*bold_headers=*/true,
+       /*bullets=*/false,
+       /*pinfo_header=*/true,
+       /*date_style=*/0,
+       /*header_skip_prob=*/0.1f,
+       /*line_spacing=*/1.5f,
+       {BlockTag::kPInfo, BlockTag::kEduExp, BlockTag::kAwards,
+        BlockTag::kProjExp, BlockTag::kWorkExp, BlockTag::kSummary,
+        BlockTag::kSkillDes}},
+  };
+  return *kTemplates;
+}
+
+const TemplateStyle& TemplateById(int id) {
+  const auto& all = BuiltinTemplates();
+  RF_CHECK_GE(id, 0);
+  RF_CHECK_LT(id, static_cast<int>(all.size()));
+  return all[id];
+}
+
+}  // namespace resumegen
+}  // namespace resuformer

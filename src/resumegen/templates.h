@@ -1,0 +1,43 @@
+#ifndef RESUFORMER_RESUMEGEN_TEMPLATES_H_
+#define RESUFORMER_RESUMEGEN_TEMPLATES_H_
+
+#include <string>
+#include <vector>
+
+#include "doc/block_tags.h"
+
+namespace resuformer {
+namespace resumegen {
+
+/// Visual style of a resume template (Figure 1 shows three styles; we ship
+/// three plus a compact variant).
+struct TemplateStyle {
+  int id = 0;
+  std::string name;
+  int columns = 1;          // 1 = single column, 2 = sidebar + main
+  float body_font = 10.0f;
+  float header_font = 13.0f;
+  float name_font = 18.0f;
+  bool bold_headers = true;
+  bool bullets = false;      // prefix content lines with "-"
+  bool pinfo_header = true;  // whether PInfo gets its own section title
+  int date_style = 0;        // forwarded to FormatDateRange
+  /// Probability that a section title line is omitted entirely — block
+  /// identity must then come from content, fonts and position, which is
+  /// what makes the classification task non-trivial.
+  float header_skip_prob = 0.2f;
+  float line_spacing = 1.35f;
+  /// Block order for the main flow (sidebar order is fixed for 2-column).
+  std::vector<doc::BlockTag> block_order;
+};
+
+/// The built-in template set.
+const std::vector<TemplateStyle>& BuiltinTemplates();
+
+/// Template by id (checked).
+const TemplateStyle& TemplateById(int id);
+
+}  // namespace resumegen
+}  // namespace resuformer
+
+#endif  // RESUFORMER_RESUMEGEN_TEMPLATES_H_

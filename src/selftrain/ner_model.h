@@ -1,0 +1,81 @@
+#ifndef RESUFORMER_SELFTRAIN_NER_MODEL_H_
+#define RESUFORMER_SELFTRAIN_NER_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "distant/auto_annotator.h"
+#include "nn/embedding.h"
+#include "nn/lstm.h"
+#include "nn/mlp.h"
+#include "nn/module.h"
+#include "nn/transformer.h"
+#include "text/wordpiece.h"
+
+namespace resuformer {
+namespace selftrain {
+
+/// Hyper-parameters of the intra-block NER model (Section IV-B3's
+/// "BERT+BiLSTM+MLP"; paper scale 12 layers / 768 hidden / LSTM 256).
+struct NerModelConfig {
+  int hidden = 32;
+  int layers = 2;
+  int num_heads = 4;
+  int ffn = 64;
+  float dropout = 0.1f;
+  int vocab_size = 2000;
+  int max_tokens = 120;
+  int lstm_hidden = 24;
+  int num_labels = doc::kNumEntityIobLabels;
+  float encoder_lr = 1e-3f;  // paper: 1e-5 for BERT (scaled, see DESIGN.md)
+  float head_lr = 2e-3f;     // paper: 1e-3 for BiLSTM/MLP
+  float weight_decay = 0.01f;
+  float grad_clip = 5.0f;
+};
+
+/// Word-level encoding: each word maps to its first WordPiece id (the
+/// standard first-subtoken convention for BERT NER), truncated to
+/// `max_tokens`.
+std::vector<int> EncodeWordsForNer(const std::vector<std::string>& words,
+                                   const text::WordPieceTokenizer& tokenizer,
+                                   const NerModelConfig& config);
+
+/// \brief Token classifier: Transformer encoder ("BERT") -> BiLSTM -> MLP
+/// producing per-token label logits. Word-level, text-only (the paper's
+/// intra-block model uses no layout features).
+class NerModel : public nn::Module {
+ public:
+  NerModel(const NerModelConfig& config, Rng* rng);
+
+  /// Contextual states [T, 2*lstm_hidden] (Transformer + BiLSTM output,
+  /// before the MLP head). Exposed so AutoNER can reuse the backbone.
+  Tensor ContextualStates(const std::vector<int>& token_ids,
+                          Rng* dropout_rng) const;
+
+  /// Logits [T, num_labels] for a word-id sequence.
+  Tensor Logits(const std::vector<int>& token_ids, Rng* dropout_rng) const;
+
+  /// Class probabilities (softmax over Logits; no autograd).
+  Tensor Probabilities(const std::vector<int>& token_ids) const;
+
+  /// Argmax labels (MLP head decodes independently per token).
+  std::vector<int> Predict(const std::vector<int>& token_ids) const;
+
+  const NerModelConfig& config() const { return config_; }
+
+  /// Head (BiLSTM + MLP) parameters for the higher learning-rate group.
+  std::vector<Tensor> HeadParameters() const;
+
+ private:
+  NerModelConfig config_;
+  std::unique_ptr<nn::Embedding> token_embedding_;
+  std::unique_ptr<nn::Embedding> position_embedding_;
+  std::unique_ptr<nn::TransformerEncoder> encoder_;
+  std::unique_ptr<nn::BiLstm> bilstm_;
+  std::unique_ptr<nn::Mlp> head_;
+};
+
+}  // namespace selftrain
+}  // namespace resuformer
+
+#endif  // RESUFORMER_SELFTRAIN_NER_MODEL_H_

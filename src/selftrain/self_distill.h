@@ -1,0 +1,85 @@
+#ifndef RESUFORMER_SELFTRAIN_SELF_DISTILL_H_
+#define RESUFORMER_SELFTRAIN_SELF_DISTILL_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/optimizer.h"
+#include "selftrain/ner_model.h"
+
+namespace resuformer {
+namespace selftrain {
+
+/// Options for the self-distillation self-training loop (Algorithm 2 and
+/// Section IV-B5). The three ablation switches correspond to Table V:
+///   * soft_labels=false      -> "w/o SL"  (hard pseudo labels)
+///   * confidence_selection=false -> "w/o HCS"
+///   * self_distillation=false    -> "w/o SD" (teacher only, early-stopped)
+struct SelfTrainOptions {
+  int teacher_epochs = 6;
+  int teacher_patience = 2;          // early stopping (Adam + early stop)
+  int iterations = 3;                // T in Algorithm 2
+  int student_epochs_per_iteration = 1;
+  float gamma = 0.8f;                // Eq. 11 threshold
+  bool soft_labels = true;
+  bool confidence_selection = true;
+  bool self_distillation = true;
+  bool verbose = false;
+};
+
+/// Result of a training run.
+struct SelfTrainResult {
+  std::unique_ptr<NerModel> model;
+  double best_val_f1 = 0.0;
+};
+
+/// \brief Self-distillation based self-training (Algorithm 2).
+///
+/// 1. Train a teacher on the distantly supervised data with early stopping.
+/// 2. Initialize an identical student from the teacher.
+/// 3. Each iteration: the teacher produces squared-re-weighted soft labels
+///    (Eq. 9); the student minimizes the KL objective on high-confidence
+///    tokens (Eq. 10-12); if the student improves on validation, the
+///    teacher is re-initialized from the student.
+class SelfDistillTrainer {
+ public:
+  SelfDistillTrainer(const NerModelConfig& model_config,
+                     const SelfTrainOptions& options,
+                     const text::WordPieceTokenizer* tokenizer, Rng* rng)
+      : model_config_(model_config),
+        options_(options),
+        tokenizer_(tokenizer),
+        rng_(rng) {}
+
+  /// Runs the full pipeline and returns the best model.
+  SelfTrainResult Train(const std::vector<distant::AnnotatedSequence>& train,
+                        const std::vector<distant::AnnotatedSequence>& val);
+
+  /// Entity-span F1 of `model` on gold-labeled sequences (exposed for the
+  /// benches; exact-span match over the entity IOB space).
+  double EvaluateSpanF1(const NerModel& model,
+                        const std::vector<distant::AnnotatedSequence>& data);
+
+ private:
+  /// Supervised training pass on (sequence, labels) with early stopping on
+  /// validation F1. Returns the best F1.
+  double TrainSupervised(NerModel* model,
+                         const std::vector<distant::AnnotatedSequence>& train,
+                         const std::vector<distant::AnnotatedSequence>& val,
+                         int epochs, int patience);
+
+  /// One student epoch on teacher-generated (soft) pseudo labels.
+  void StudentEpoch(const NerModel& teacher, NerModel* student,
+                    const std::vector<distant::AnnotatedSequence>& train,
+                    nn::Adam* optimizer);
+
+  NerModelConfig model_config_;
+  SelfTrainOptions options_;
+  const text::WordPieceTokenizer* tokenizer_;
+  Rng* rng_;
+};
+
+}  // namespace selftrain
+}  // namespace resuformer
+
+#endif  // RESUFORMER_SELFTRAIN_SELF_DISTILL_H_

@@ -1,0 +1,55 @@
+#include "tensor/autograd.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "tensor/tensor.h"
+
+namespace resuformer {
+
+namespace autograd_internal {
+
+std::vector<TensorImpl*> TopologicalOrder(TensorImpl* root) {
+  std::vector<TensorImpl*> order;
+  std::unordered_set<TensorImpl*> visited;
+  // Iterative DFS: graphs for long documents can be deep enough that the
+  // recursive form risks stack overflow.
+  struct Frame {
+    TensorImpl* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (visited.insert(root).second) stack.push_back({root, 0});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_parent < frame.node->parents.size()) {
+      TensorImpl* parent = frame.node->parents[frame.next_parent++].get();
+      if (parent != nullptr && visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+  return order;  // parents first, root last
+}
+
+}  // namespace autograd_internal
+
+void RunBackward(const std::shared_ptr<TensorImpl>& root) {
+  RF_CHECK(root != nullptr);
+  RF_CHECK_EQ(root->size(), 1);
+  root->EnsureGrad();
+  root->grad[0] = 1.0f;
+
+  std::vector<TensorImpl*> order =
+      autograd_internal::TopologicalOrder(root.get());
+  // Visit root first, then inputs: iterate the topological order in reverse.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TensorImpl* node = *it;
+    if (node->backward_fn) node->backward_fn();
+  }
+}
+
+}  // namespace resuformer

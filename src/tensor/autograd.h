@@ -1,0 +1,24 @@
+#ifndef RESUFORMER_TENSOR_AUTOGRAD_H_
+#define RESUFORMER_TENSOR_AUTOGRAD_H_
+
+#include <memory>
+#include <vector>
+
+namespace resuformer {
+
+struct TensorImpl;
+
+/// Runs reverse-mode autodiff from `root` (must be a scalar): seeds its
+/// gradient with 1, topologically sorts the graph reachable through
+/// parents edges, and calls each node's backward function in reverse order.
+void RunBackward(const std::shared_ptr<TensorImpl>& root);
+
+namespace autograd_internal {
+/// Depth-first topological order (parents before children) of the graph
+/// reachable from root. Exposed for tests.
+std::vector<TensorImpl*> TopologicalOrder(TensorImpl* root);
+}  // namespace autograd_internal
+
+}  // namespace resuformer
+
+#endif  // RESUFORMER_TENSOR_AUTOGRAD_H_

@@ -1,0 +1,768 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace resuformer {
+namespace ops {
+
+namespace {
+
+using ImplPtr = std::shared_ptr<TensorImpl>;
+
+/// Creates the result node of an op: allocates storage, records parents, and
+/// decides whether the node participates in autograd.
+Tensor MakeNode(std::vector<int> shape, std::vector<ImplPtr> parents) {
+  Tensor out = Tensor::Zeros(std::move(shape));
+  bool needs_grad = false;
+  if (NoGradGuard::GradEnabled()) {
+    for (const auto& p : parents) {
+      if (p && p->requires_grad) {
+        needs_grad = true;
+        break;
+      }
+    }
+  }
+  if (needs_grad) {
+    out.impl()->requires_grad = true;
+    out.impl()->parents = std::move(parents);
+  }
+  return out;
+}
+
+/// Installs the backward closure only when the node tracks gradients.
+template <typename Fn>
+void SetBackward(Tensor* out, Fn fn) {
+  if (out->impl()->requires_grad) out->impl()->backward_fn = std::move(fn);
+}
+
+bool SameShape(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape();
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  RF_CHECK_EQ(a.rank(), 2);
+  RF_CHECK_EQ(b.rank(), 2);
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  RF_CHECK_EQ(k, b.dim(0));
+  Tensor out = MakeNode({m, n}, {a.impl(), b.impl()});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  // ikj loop order: streams pb/pc rows for cache friendliness.
+  for (int i = 0; i < m; ++i) {
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = pa[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  TensorImpl* self = out.impl().get();
+  auto ai = a.impl(), bi = b.impl();
+  SetBackward(&out, [self, ai, bi, m, k, n]() {
+    const float* dc = self->grad.data();
+    if (ai->requires_grad) {
+      ai->EnsureGrad();
+      float* da = ai->grad.data();
+      const float* pb = bi->data.data();
+      // dA = dC * B^T
+      for (int i = 0; i < m; ++i) {
+        for (int kk = 0; kk < k; ++kk) {
+          const float* brow = pb + kk * n;
+          const float* dcrow = dc + i * n;
+          float acc = 0.0f;
+          for (int j = 0; j < n; ++j) acc += dcrow[j] * brow[j];
+          da[i * k + kk] += acc;
+        }
+      }
+    }
+    if (bi->requires_grad) {
+      bi->EnsureGrad();
+      float* db = bi->grad.data();
+      const float* pa = ai->data.data();
+      // dB = A^T * dC
+      for (int i = 0; i < m; ++i) {
+        const float* dcrow = dc + i * n;
+        for (int kk = 0; kk < k; ++kk) {
+          const float av = pa[i * k + kk];
+          if (av == 0.0f) continue;
+          float* dbrow = db + kk * n;
+          for (int j = 0; j < n; ++j) dbrow[j] += av * dcrow[j];
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  RF_CHECK_EQ(a.rank(), 2);
+  const int m = a.dim(0), n = a.dim(1);
+  Tensor out = MakeNode({n, m}, {a.impl()});
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) out.at(j, i) = a.at(i, j);
+  }
+  TensorImpl* self = out.impl().get();
+  auto ai = a.impl();
+  SetBackward(&out, [self, ai, m, n]() {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        ai->grad[i * n + j] += self->grad[j * m + i];
+      }
+    }
+  });
+  return out;
+}
+
+namespace {
+Tensor AddSubImpl(const Tensor& a, const Tensor& b, float sign) {
+  const bool broadcast = b.rank() == 1 && a.rank() == 2 &&
+                         b.size() == a.cols() && !SameShape(a, b);
+  if (!broadcast) {
+    RF_CHECK(SameShape(a, b)) << a.ShapeString() << " vs " << b.ShapeString();
+  }
+  Tensor out = MakeNode(a.shape(), {a.impl(), b.impl()});
+  const int64_t n = a.size();
+  const int cols = a.cols();
+  for (int64_t i = 0; i < n; ++i) {
+    const float bv = broadcast ? b.data()[i % cols] : b.data()[i];
+    out.data()[i] = a.data()[i] + sign * bv;
+  }
+  TensorImpl* self = out.impl().get();
+  auto ai = a.impl(), bi = b.impl();
+  SetBackward(&out, [self, ai, bi, n, cols, broadcast, sign]() {
+    if (ai->requires_grad) {
+      ai->EnsureGrad();
+      for (int64_t i = 0; i < n; ++i) ai->grad[i] += self->grad[i];
+    }
+    if (bi->requires_grad) {
+      bi->EnsureGrad();
+      if (broadcast) {
+        for (int64_t i = 0; i < n; ++i) {
+          bi->grad[i % cols] += sign * self->grad[i];
+        }
+      } else {
+        for (int64_t i = 0; i < n; ++i) bi->grad[i] += sign * self->grad[i];
+      }
+    }
+  });
+  return out;
+}
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) { return AddSubImpl(a, b, 1.0f); }
+Tensor Sub(const Tensor& a, const Tensor& b) { return AddSubImpl(a, b, -1.0f); }
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  RF_CHECK(SameShape(a, b));
+  Tensor out = MakeNode(a.shape(), {a.impl(), b.impl()});
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) out.data()[i] = a.data()[i] * b.data()[i];
+  TensorImpl* self = out.impl().get();
+  auto ai = a.impl(), bi = b.impl();
+  SetBackward(&out, [self, ai, bi, n]() {
+    if (ai->requires_grad) {
+      ai->EnsureGrad();
+      for (int64_t i = 0; i < n; ++i) {
+        ai->grad[i] += self->grad[i] * bi->data[i];
+      }
+    }
+    if (bi->requires_grad) {
+      bi->EnsureGrad();
+      for (int64_t i = 0; i < n; ++i) {
+        bi->grad[i] += self->grad[i] * ai->data[i];
+      }
+    }
+  });
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  Tensor out = MakeNode(a.shape(), {a.impl()});
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) out.data()[i] = a.data()[i] * s;
+  TensorImpl* self = out.impl().get();
+  auto ai = a.impl();
+  SetBackward(&out, [self, ai, n, s]() {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (int64_t i = 0; i < n; ++i) ai->grad[i] += self->grad[i] * s;
+  });
+  return out;
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  Tensor out = MakeNode(a.shape(), {a.impl()});
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) out.data()[i] = a.data()[i] + s;
+  TensorImpl* self = out.impl().get();
+  auto ai = a.impl();
+  SetBackward(&out, [self, ai, n]() {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (int64_t i = 0; i < n; ++i) ai->grad[i] += self->grad[i];
+  });
+  return out;
+}
+
+namespace {
+/// Generic elementwise op: forward(x) and dydx computed from (x, y).
+template <typename FwdFn, typename BwdFn>
+Tensor Elementwise(const Tensor& a, FwdFn fwd, BwdFn dydx) {
+  Tensor out = MakeNode(a.shape(), {a.impl()});
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) out.data()[i] = fwd(a.data()[i]);
+  TensorImpl* self = out.impl().get();
+  auto ai = a.impl();
+  SetBackward(&out, [self, ai, n, dydx]() {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (int64_t i = 0; i < n; ++i) {
+      ai->grad[i] += self->grad[i] * dydx(ai->data[i], self->data[i]);
+    }
+  });
+  return out;
+}
+}  // namespace
+
+Tensor Relu(const Tensor& a) {
+  return Elementwise(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return Elementwise(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return Elementwise(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Gelu(const Tensor& a) {
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  return Elementwise(
+      a,
+      [](float x) {
+        const float u = kC * (x + 0.044715f * x * x * x);
+        return 0.5f * x * (1.0f + std::tanh(u));
+      },
+      [](float x, float) {
+        const float u = kC * (x + 0.044715f * x * x * x);
+        const float t = std::tanh(u);
+        const float du = kC * (1.0f + 3.0f * 0.044715f * x * x);
+        return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+      });
+}
+
+Tensor Softmax(const Tensor& a) {
+  const int m = a.rows(), n = a.cols();
+  Tensor out = MakeNode(a.shape(), {a.impl()});
+  for (int i = 0; i < m; ++i) {
+    const float* row = a.data() + static_cast<int64_t>(i) * n;
+    float* orow = out.data() + static_cast<int64_t>(i) * n;
+    float mx = row[0];
+    for (int j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+    float total = 0.0f;
+    for (int j = 0; j < n; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      total += orow[j];
+    }
+    for (int j = 0; j < n; ++j) orow[j] /= total;
+  }
+  TensorImpl* self = out.impl().get();
+  auto ai = a.impl();
+  SetBackward(&out, [self, ai, m, n]() {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (int i = 0; i < m; ++i) {
+      const float* y = self->data.data() + static_cast<int64_t>(i) * n;
+      const float* dy = self->grad.data() + static_cast<int64_t>(i) * n;
+      float* dx = ai->grad.data() + static_cast<int64_t>(i) * n;
+      float dot = 0.0f;
+      for (int j = 0; j < n; ++j) dot += dy[j] * y[j];
+      for (int j = 0; j < n; ++j) dx[j] += (dy[j] - dot) * y[j];
+    }
+  });
+  return out;
+}
+
+Tensor LogSoftmax(const Tensor& a) {
+  const int m = a.rows(), n = a.cols();
+  Tensor out = MakeNode(a.shape(), {a.impl()});
+  for (int i = 0; i < m; ++i) {
+    const float* row = a.data() + static_cast<int64_t>(i) * n;
+    float* orow = out.data() + static_cast<int64_t>(i) * n;
+    float mx = row[0];
+    for (int j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+    float total = 0.0f;
+    for (int j = 0; j < n; ++j) total += std::exp(row[j] - mx);
+    const float lse = mx + std::log(total);
+    for (int j = 0; j < n; ++j) orow[j] = row[j] - lse;
+  }
+  TensorImpl* self = out.impl().get();
+  auto ai = a.impl();
+  SetBackward(&out, [self, ai, m, n]() {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (int i = 0; i < m; ++i) {
+      const float* y = self->data.data() + static_cast<int64_t>(i) * n;
+      const float* dy = self->grad.data() + static_cast<int64_t>(i) * n;
+      float* dx = ai->grad.data() + static_cast<int64_t>(i) * n;
+      float total = 0.0f;
+      for (int j = 0; j < n; ++j) total += dy[j];
+      for (int j = 0; j < n; ++j) dx[j] += dy[j] - std::exp(y[j]) * total;
+    }
+  });
+  return out;
+}
+
+Tensor CrossEntropy(const Tensor& logits, const std::vector<int>& targets,
+                    int ignore_index) {
+  const int m = logits.rows(), n = logits.cols();
+  RF_CHECK_EQ(static_cast<int>(targets.size()), m);
+  // Fused: compute softmax rows once, reuse them in backward.
+  std::vector<float> probs(static_cast<size_t>(m) * n);
+  int active = 0;
+  double loss = 0.0;
+  for (int i = 0; i < m; ++i) {
+    const float* row = logits.data() + static_cast<int64_t>(i) * n;
+    float* prow = probs.data() + static_cast<int64_t>(i) * n;
+    float mx = row[0];
+    for (int j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+    float total = 0.0f;
+    for (int j = 0; j < n; ++j) {
+      prow[j] = std::exp(row[j] - mx);
+      total += prow[j];
+    }
+    for (int j = 0; j < n; ++j) prow[j] /= total;
+    if (targets[i] == ignore_index) continue;
+    RF_CHECK_GE(targets[i], 0);
+    RF_CHECK_LT(targets[i], n);
+    loss += -std::log(std::max(prow[targets[i]], 1e-12f));
+    ++active;
+  }
+  Tensor out = MakeNode({1}, {logits.impl()});
+  out.data()[0] = active > 0 ? static_cast<float>(loss / active) : 0.0f;
+  TensorImpl* self = out.impl().get();
+  auto li = logits.impl();
+  SetBackward(&out, [self, li, m, n, targets, ignore_index, active,
+                     probs = std::move(probs)]() {
+    if (!li->requires_grad || active == 0) return;
+    li->EnsureGrad();
+    const float g = self->grad[0] / active;
+    for (int i = 0; i < m; ++i) {
+      if (targets[i] == ignore_index) continue;
+      const float* prow = probs.data() + static_cast<int64_t>(i) * n;
+      float* drow = li->grad.data() + static_cast<int64_t>(i) * n;
+      for (int j = 0; j < n; ++j) {
+        drow[j] += g * (prow[j] - (j == targets[i] ? 1.0f : 0.0f));
+      }
+    }
+  });
+  return out;
+}
+
+Tensor SoftCrossEntropy(const Tensor& logits, const Tensor& soft_targets,
+                        const std::vector<float>& row_weights) {
+  const int m = logits.rows(), n = logits.cols();
+  RF_CHECK(logits.shape() == soft_targets.shape());
+  std::vector<float> weights = row_weights;
+  if (weights.empty()) weights.assign(m, 1.0f);
+  RF_CHECK_EQ(static_cast<int>(weights.size()), m);
+
+  std::vector<float> probs(static_cast<size_t>(m) * n);
+  double loss = 0.0;
+  double weight_total = 0.0;
+  for (int i = 0; i < m; ++i) {
+    const float* row = logits.data() + static_cast<int64_t>(i) * n;
+    float* prow = probs.data() + static_cast<int64_t>(i) * n;
+    float mx = row[0];
+    for (int j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+    float total = 0.0f;
+    for (int j = 0; j < n; ++j) {
+      prow[j] = std::exp(row[j] - mx);
+      total += prow[j];
+    }
+    const float lse = mx + std::log(total);
+    for (int j = 0; j < n; ++j) prow[j] /= total;
+    if (weights[i] == 0.0f) continue;
+    weight_total += weights[i];
+    const float* trow = soft_targets.data() + static_cast<int64_t>(i) * n;
+    double row_loss = 0.0;
+    for (int j = 0; j < n; ++j) row_loss += trow[j] * (lse - row[j]);
+    loss += weights[i] * row_loss;
+  }
+  Tensor out = MakeNode({1}, {logits.impl(), soft_targets.impl()});
+  out.data()[0] =
+      weight_total > 0.0 ? static_cast<float>(loss / weight_total) : 0.0f;
+  TensorImpl* self = out.impl().get();
+  auto li = logits.impl();
+  auto ti = soft_targets.impl();
+  SetBackward(&out, [self, li, ti, m, n, weights = std::move(weights),
+                     weight_total, probs = std::move(probs)]() {
+    if (!li->requires_grad || weight_total <= 0.0) return;
+    li->EnsureGrad();
+    const float g = self->grad[0] / static_cast<float>(weight_total);
+    for (int i = 0; i < m; ++i) {
+      if (weights[i] == 0.0f) continue;
+      const float* prow = probs.data() + static_cast<int64_t>(i) * n;
+      const float* trow = ti->data.data() + static_cast<int64_t>(i) * n;
+      float* drow = li->grad.data() + static_cast<int64_t>(i) * n;
+      float tsum = 0.0f;
+      for (int j = 0; j < n; ++j) tsum += trow[j];
+      for (int j = 0; j < n; ++j) {
+        drow[j] += g * weights[i] * (prow[j] * tsum - trow[j]);
+      }
+    }
+  });
+  return out;
+}
+
+Tensor Mean(const Tensor& a) {
+  const int64_t n = a.size();
+  Tensor out = MakeNode({1}, {a.impl()});
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) total += a.data()[i];
+  out.data()[0] = static_cast<float>(total / n);
+  TensorImpl* self = out.impl().get();
+  auto ai = a.impl();
+  SetBackward(&out, [self, ai, n]() {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    const float g = self->grad[0] / n;
+    for (int64_t i = 0; i < n; ++i) ai->grad[i] += g;
+  });
+  return out;
+}
+
+Tensor Sum(const Tensor& a) {
+  const int64_t n = a.size();
+  Tensor out = MakeNode({1}, {a.impl()});
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) total += a.data()[i];
+  out.data()[0] = static_cast<float>(total);
+  TensorImpl* self = out.impl().get();
+  auto ai = a.impl();
+  SetBackward(&out, [self, ai, n]() {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    const float g = self->grad[0];
+    for (int64_t i = 0; i < n; ++i) ai->grad[i] += g;
+  });
+  return out;
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  RF_CHECK(!parts.empty());
+  const int n = parts[0].cols();
+  int total_rows = 0;
+  std::vector<ImplPtr> parents;
+  for (const auto& p : parts) {
+    RF_CHECK_EQ(p.cols(), n);
+    total_rows += p.rows();
+    parents.push_back(p.impl());
+  }
+  Tensor out = MakeNode({total_rows, n}, parents);
+  int row = 0;
+  for (const auto& p : parts) {
+    std::copy(p.data(), p.data() + p.size(),
+              out.data() + static_cast<int64_t>(row) * n);
+    row += p.rows();
+  }
+  TensorImpl* self = out.impl().get();
+  std::vector<ImplPtr> srcs;
+  srcs.reserve(parts.size());
+  for (const auto& p : parts) srcs.push_back(p.impl());
+  SetBackward(&out, [self, srcs = std::move(srcs), n]() {
+    int row = 0;
+    for (const auto& src : srcs) {
+      const int r = static_cast<int>(src->size()) / n;
+      if (src->requires_grad) {
+        src->EnsureGrad();
+        const float* g = self->grad.data() + static_cast<int64_t>(row) * n;
+        for (int64_t i = 0; i < static_cast<int64_t>(r) * n; ++i) {
+          src->grad[i] += g[i];
+        }
+      }
+      row += r;
+    }
+  });
+  return out;
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& parts) {
+  RF_CHECK(!parts.empty());
+  const int m = parts[0].rows();
+  int total_cols = 0;
+  std::vector<ImplPtr> parents;
+  for (const auto& p : parts) {
+    RF_CHECK_EQ(p.rows(), m);
+    total_cols += p.cols();
+    parents.push_back(p.impl());
+  }
+  Tensor out = MakeNode({m, total_cols}, parents);
+  int col = 0;
+  for (const auto& p : parts) {
+    const int pc = p.cols();
+    for (int i = 0; i < m; ++i) {
+      std::copy(p.data() + static_cast<int64_t>(i) * pc,
+                p.data() + static_cast<int64_t>(i + 1) * pc,
+                out.data() + static_cast<int64_t>(i) * total_cols + col);
+    }
+    col += pc;
+  }
+  TensorImpl* self = out.impl().get();
+  std::vector<ImplPtr> srcs;
+  std::vector<int> widths;
+  for (const auto& p : parts) {
+    srcs.push_back(p.impl());
+    widths.push_back(p.cols());
+  }
+  SetBackward(&out, [self, srcs = std::move(srcs), widths = std::move(widths),
+                     m, total_cols]() {
+    int col = 0;
+    for (size_t s = 0; s < srcs.size(); ++s) {
+      const auto& src = srcs[s];
+      const int pc = widths[s];
+      if (src->requires_grad) {
+        src->EnsureGrad();
+        for (int i = 0; i < m; ++i) {
+          const float* g =
+              self->grad.data() + static_cast<int64_t>(i) * total_cols + col;
+          float* dst = src->grad.data() + static_cast<int64_t>(i) * pc;
+          for (int j = 0; j < pc; ++j) dst[j] += g[j];
+        }
+      }
+      col += pc;
+    }
+  });
+  return out;
+}
+
+Tensor SliceRows(const Tensor& a, int start, int len) {
+  RF_CHECK_EQ(a.rank(), 2);
+  const int n = a.cols();
+  RF_CHECK_GE(start, 0);
+  RF_CHECK_LE(start + len, a.rows());
+  Tensor out = MakeNode({len, n}, {a.impl()});
+  std::copy(a.data() + static_cast<int64_t>(start) * n,
+            a.data() + static_cast<int64_t>(start + len) * n, out.data());
+  TensorImpl* self = out.impl().get();
+  auto ai = a.impl();
+  SetBackward(&out, [self, ai, start, len, n]() {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (int64_t i = 0; i < static_cast<int64_t>(len) * n; ++i) {
+      ai->grad[static_cast<int64_t>(start) * n + i] += self->grad[i];
+    }
+  });
+  return out;
+}
+
+Tensor SliceCols(const Tensor& a, int start, int len) {
+  RF_CHECK_EQ(a.rank(), 2);
+  const int m = a.rows(), n = a.cols();
+  RF_CHECK_GE(start, 0);
+  RF_CHECK_LE(start + len, n);
+  Tensor out = MakeNode({m, len}, {a.impl()});
+  for (int i = 0; i < m; ++i) {
+    std::copy(a.data() + static_cast<int64_t>(i) * n + start,
+              a.data() + static_cast<int64_t>(i) * n + start + len,
+              out.data() + static_cast<int64_t>(i) * len);
+  }
+  TensorImpl* self = out.impl().get();
+  auto ai = a.impl();
+  SetBackward(&out, [self, ai, start, len, m, n]() {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < len; ++j) {
+        ai->grad[static_cast<int64_t>(i) * n + start + j] +=
+            self->grad[static_cast<int64_t>(i) * len + j];
+      }
+    }
+  });
+  return out;
+}
+
+Tensor GatherRows(const Tensor& a, const std::vector<int>& indices) {
+  RF_CHECK_EQ(a.rank(), 2);
+  const int n = a.cols();
+  const int m = static_cast<int>(indices.size());
+  Tensor out = MakeNode({m, n}, {a.impl()});
+  for (int i = 0; i < m; ++i) {
+    RF_CHECK_GE(indices[i], 0);
+    RF_CHECK_LT(indices[i], a.rows());
+    std::copy(a.data() + static_cast<int64_t>(indices[i]) * n,
+              a.data() + static_cast<int64_t>(indices[i] + 1) * n,
+              out.data() + static_cast<int64_t>(i) * n);
+  }
+  TensorImpl* self = out.impl().get();
+  auto ai = a.impl();
+  SetBackward(&out, [self, ai, indices, m, n]() {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (int i = 0; i < m; ++i) {
+      const float* g = self->grad.data() + static_cast<int64_t>(i) * n;
+      float* dst = ai->grad.data() + static_cast<int64_t>(indices[i]) * n;
+      for (int j = 0; j < n; ++j) dst[j] += g[j];
+    }
+  });
+  return out;
+}
+
+Tensor EmbeddingLookup(const Tensor& weight, const std::vector<int>& ids) {
+  return GatherRows(weight, ids);
+}
+
+Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                   float eps) {
+  const int m = x.rows(), n = x.cols();
+  RF_CHECK_EQ(gamma.size(), n);
+  RF_CHECK_EQ(beta.size(), n);
+  Tensor out = MakeNode(x.shape(), {x.impl(), gamma.impl(), beta.impl()});
+  std::vector<float> inv_std(m);
+  std::vector<float> means(m);
+  for (int i = 0; i < m; ++i) {
+    const float* row = x.data() + static_cast<int64_t>(i) * n;
+    float mean = 0.0f;
+    for (int j = 0; j < n; ++j) mean += row[j];
+    mean /= n;
+    float var = 0.0f;
+    for (int j = 0; j < n; ++j) var += (row[j] - mean) * (row[j] - mean);
+    var /= n;
+    const float is = 1.0f / std::sqrt(var + eps);
+    means[i] = mean;
+    inv_std[i] = is;
+    float* orow = out.data() + static_cast<int64_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      orow[j] = (row[j] - mean) * is * gamma.data()[j] + beta.data()[j];
+    }
+  }
+  TensorImpl* self = out.impl().get();
+  auto xi = x.impl(), gi = gamma.impl(), bi = beta.impl();
+  SetBackward(&out, [self, xi, gi, bi, m, n, means = std::move(means),
+                     inv_std = std::move(inv_std)]() {
+    for (int i = 0; i < m; ++i) {
+      const float* xrow = xi->data.data() + static_cast<int64_t>(i) * n;
+      const float* dy = self->grad.data() + static_cast<int64_t>(i) * n;
+      const float is = inv_std[i];
+      const float mean = means[i];
+      if (gi->requires_grad) {
+        gi->EnsureGrad();
+        for (int j = 0; j < n; ++j) {
+          gi->grad[j] += dy[j] * (xrow[j] - mean) * is;
+        }
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        for (int j = 0; j < n; ++j) bi->grad[j] += dy[j];
+      }
+      if (xi->requires_grad) {
+        xi->EnsureGrad();
+        // dx = (g*dy - mean(g*dy) - xhat * mean(g*dy*xhat)) * inv_std
+        float s1 = 0.0f, s2 = 0.0f;
+        for (int j = 0; j < n; ++j) {
+          const float gdy = dy[j] * gi->data[j];
+          const float xhat = (xrow[j] - mean) * is;
+          s1 += gdy;
+          s2 += gdy * xhat;
+        }
+        s1 /= n;
+        s2 /= n;
+        float* dx = xi->grad.data() + static_cast<int64_t>(i) * n;
+        for (int j = 0; j < n; ++j) {
+          const float gdy = dy[j] * gi->data[j];
+          const float xhat = (xrow[j] - mean) * is;
+          dx[j] += (gdy - s1 - xhat * s2) * is;
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Tensor Dropout(const Tensor& x, float p, Rng* rng, bool training) {
+  if (!training || p <= 0.0f) return x;
+  RF_CHECK_LT(p, 1.0f);
+  const int64_t n = x.size();
+  std::vector<float> mask(n);
+  const float keep = 1.0f - p;
+  for (int64_t i = 0; i < n; ++i) {
+    mask[i] = rng->Bernoulli(keep) ? 1.0f / keep : 0.0f;
+  }
+  Tensor out = MakeNode(x.shape(), {x.impl()});
+  for (int64_t i = 0; i < n; ++i) out.data()[i] = x.data()[i] * mask[i];
+  TensorImpl* self = out.impl().get();
+  auto xi = x.impl();
+  SetBackward(&out, [self, xi, n, mask = std::move(mask)]() {
+    if (!xi->requires_grad) return;
+    xi->EnsureGrad();
+    for (int64_t i = 0; i < n; ++i) xi->grad[i] += self->grad[i] * mask[i];
+  });
+  return out;
+}
+
+Tensor L2NormalizeRows(const Tensor& a, float eps) {
+  const int m = a.rows(), n = a.cols();
+  Tensor out = MakeNode(a.shape(), {a.impl()});
+  std::vector<float> inv_norm(m);
+  for (int i = 0; i < m; ++i) {
+    const float* row = a.data() + static_cast<int64_t>(i) * n;
+    float sq = 0.0f;
+    for (int j = 0; j < n; ++j) sq += row[j] * row[j];
+    const float in = 1.0f / (std::sqrt(sq) + eps);
+    inv_norm[i] = in;
+    float* orow = out.data() + static_cast<int64_t>(i) * n;
+    for (int j = 0; j < n; ++j) orow[j] = row[j] * in;
+  }
+  TensorImpl* self = out.impl().get();
+  auto ai = a.impl();
+  SetBackward(&out, [self, ai, m, n, inv_norm = std::move(inv_norm)]() {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (int i = 0; i < m; ++i) {
+      const float* y = self->data.data() + static_cast<int64_t>(i) * n;
+      const float* dy = self->grad.data() + static_cast<int64_t>(i) * n;
+      float* dx = ai->grad.data() + static_cast<int64_t>(i) * n;
+      float dot = 0.0f;
+      for (int j = 0; j < n; ++j) dot += dy[j] * y[j];
+      for (int j = 0; j < n; ++j) {
+        dx[j] += (dy[j] - y[j] * dot) * inv_norm[i];
+      }
+    }
+  });
+  return out;
+}
+
+Tensor Reshape(const Tensor& a, std::vector<int> shape) {
+  int64_t prod = 1;
+  for (int d : shape) prod *= d;
+  RF_CHECK_EQ(prod, a.size());
+  Tensor out = MakeNode(shape, {a.impl()});
+  std::copy(a.data(), a.data() + a.size(), out.data());
+  TensorImpl* self = out.impl().get();
+  auto ai = a.impl();
+  const int64_t n = a.size();
+  SetBackward(&out, [self, ai, n]() {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (int64_t i = 0; i < n; ++i) ai->grad[i] += self->grad[i];
+  });
+  return out;
+}
+
+}  // namespace ops
+}  // namespace resuformer

@@ -1,0 +1,52 @@
+#include "text/normalizer.h"
+
+#include <cctype>
+
+namespace resuformer {
+namespace text {
+
+namespace {
+bool IsPunct(char c) {
+  return std::ispunct(static_cast<unsigned char>(c)) != 0;
+}
+}  // namespace
+
+std::vector<std::string> BasicTokenize(const std::string& word) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char raw : word) {
+    const char c =
+        static_cast<char>(std::tolower(static_cast<unsigned char>(raw)));
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!current.empty()) {
+        out.push_back(current);
+        current.clear();
+      }
+    } else if (IsPunct(c)) {
+      if (!current.empty()) {
+        out.push_back(current);
+        current.clear();
+      }
+      out.push_back(std::string(1, c));
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) out.push_back(current);
+  return out;
+}
+
+std::string NormalizeForMatch(const std::string& word) {
+  std::string out;
+  for (char raw : word) {
+    if (IsPunct(raw) || std::isspace(static_cast<unsigned char>(raw))) {
+      continue;
+    }
+    out.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(raw))));
+  }
+  return out;
+}
+
+}  // namespace text
+}  // namespace resuformer

@@ -1,0 +1,22 @@
+#ifndef RESUFORMER_TEXT_NORMALIZER_H_
+#define RESUFORMER_TEXT_NORMALIZER_H_
+
+#include <string>
+#include <vector>
+
+namespace resuformer {
+namespace text {
+
+/// \brief Pre-tokenization normalization: lowercases ASCII and splits
+/// punctuation into standalone tokens (BERT's BasicTokenizer behaviour).
+///
+/// "B.Sc, 2019" -> {"b", ".", "sc", ",", "2019"}
+std::vector<std::string> BasicTokenize(const std::string& word);
+
+/// Lowercased, punctuation-stripped form used as a dictionary key.
+std::string NormalizeForMatch(const std::string& word);
+
+}  // namespace text
+}  // namespace resuformer
+
+#endif  // RESUFORMER_TEXT_NORMALIZER_H_

@@ -1,0 +1,70 @@
+#include "text/vocab.h"
+
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace resuformer {
+namespace text {
+
+Vocab::Vocab() {
+  AddToken(kPadToken);
+  AddToken(kUnkToken);
+  AddToken(kClsToken);
+  AddToken(kSepToken);
+  AddToken(kMaskToken);
+}
+
+int Vocab::AddToken(const std::string& token) {
+  auto it = ids_.find(token);
+  if (it != ids_.end()) return it->second;
+  const int id = static_cast<int>(tokens_.size());
+  tokens_.push_back(token);
+  ids_.emplace(token, id);
+  return id;
+}
+
+int Vocab::Id(const std::string& token) const {
+  auto it = ids_.find(token);
+  return it == ids_.end() ? kUnkId : it->second;
+}
+
+bool Vocab::Contains(const std::string& token) const {
+  return ids_.count(token) > 0;
+}
+
+const std::string& Vocab::Token(int id) const {
+  RF_CHECK_GE(id, 0);
+  RF_CHECK_LT(id, size());
+  return tokens_[id];
+}
+
+Status Vocab::Save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  for (const std::string& t : tokens_) out << t << "\n";
+  return out ? Status::OK() : Status::IoError("write failed: " + path);
+}
+
+Result<Vocab> Vocab::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  Vocab vocab;
+  std::string line;
+  int index = 0;
+  while (std::getline(in, line)) {
+    if (index < vocab.size()) {
+      // First five lines must be the special tokens.
+      if (line != vocab.tokens_[index]) {
+        return Status::InvalidArgument("vocab file missing special tokens");
+      }
+    } else {
+      vocab.AddToken(line);
+    }
+    ++index;
+  }
+  return vocab;
+}
+
+}  // namespace text
+}  // namespace resuformer

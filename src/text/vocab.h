@@ -1,0 +1,57 @@
+#ifndef RESUFORMER_TEXT_VOCAB_H_
+#define RESUFORMER_TEXT_VOCAB_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace resuformer {
+namespace text {
+
+/// Reserved token ids (fixed positions, BERT convention).
+inline constexpr int kPadId = 0;
+inline constexpr int kUnkId = 1;
+inline constexpr int kClsId = 2;
+inline constexpr int kSepId = 3;
+inline constexpr int kMaskId = 4;
+
+inline constexpr const char* kPadToken = "[PAD]";
+inline constexpr const char* kUnkToken = "[UNK]";
+inline constexpr const char* kClsToken = "[CLS]";
+inline constexpr const char* kSepToken = "[SEP]";
+inline constexpr const char* kMaskToken = "[MASK]";
+
+/// \brief Bidirectional token <-> id map with the five special tokens
+/// pre-registered at fixed ids.
+class Vocab {
+ public:
+  Vocab();
+
+  /// Adds a token if absent; returns its id either way.
+  int AddToken(const std::string& token);
+
+  /// Id of `token`, or kUnkId when unknown.
+  int Id(const std::string& token) const;
+
+  /// Whether `token` is present.
+  bool Contains(const std::string& token) const;
+
+  /// Token string for an id (checked).
+  const std::string& Token(int id) const;
+
+  int size() const { return static_cast<int>(tokens_.size()); }
+
+  Status Save(const std::string& path) const;
+  static Result<Vocab> Load(const std::string& path);
+
+ private:
+  std::vector<std::string> tokens_;
+  std::unordered_map<std::string, int> ids_;
+};
+
+}  // namespace text
+}  // namespace resuformer
+
+#endif  // RESUFORMER_TEXT_VOCAB_H_

@@ -1,0 +1,117 @@
+#include "text/wordpiece.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "text/normalizer.h"
+
+namespace resuformer {
+namespace text {
+
+WordPieceTokenizer::WordPieceTokenizer(Vocab vocab, int max_chars_per_word)
+    : vocab_(std::move(vocab)), max_chars_per_word_(max_chars_per_word) {}
+
+WordPieceTokenizer WordPieceTokenizer::Train(
+    const std::vector<std::string>& words, int max_vocab, int min_frequency) {
+  // Count normalized word and suffix frequencies.
+  std::unordered_map<std::string, int64_t> word_freq;
+  for (const std::string& raw : words) {
+    for (const std::string& w : BasicTokenize(raw)) ++word_freq[w];
+  }
+
+  Vocab vocab;
+  // Single characters (and punctuation) always enter the vocabulary so every
+  // word is representable.
+  std::map<std::string, int64_t> char_freq;
+  for (const auto& [word, freq] : word_freq) {
+    for (char c : word) {
+      ++char_freq[std::string(1, c)];
+      ++char_freq["##" + std::string(1, c)];
+    }
+  }
+  for (const auto& [piece, freq] : char_freq) vocab.AddToken(piece);
+
+  // Whole words by descending frequency.
+  std::vector<std::pair<std::string, int64_t>> sorted(word_freq.begin(),
+                                                      word_freq.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // deterministic tie break
+  });
+  for (const auto& [word, freq] : sorted) {
+    if (vocab.size() >= max_vocab) break;
+    if (freq < min_frequency) break;
+    vocab.AddToken(word);
+  }
+  // Frequent suffix pieces (length 2..4) for unseen-word back-off.
+  std::unordered_map<std::string, int64_t> suffix_freq;
+  for (const auto& [word, freq] : word_freq) {
+    for (size_t len = 2; len <= 4 && len < word.size(); ++len) {
+      suffix_freq["##" + word.substr(word.size() - len)] += freq;
+    }
+  }
+  std::vector<std::pair<std::string, int64_t>> suffixes(suffix_freq.begin(),
+                                                        suffix_freq.end());
+  std::sort(suffixes.begin(), suffixes.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  for (const auto& [piece, freq] : suffixes) {
+    if (vocab.size() >= max_vocab) break;
+    if (freq < min_frequency * 4) break;
+    vocab.AddToken(piece);
+  }
+  return WordPieceTokenizer(std::move(vocab));
+}
+
+std::vector<int> WordPieceTokenizer::EncodeWord(const std::string& word) const {
+  if (static_cast<int>(word.size()) > max_chars_per_word_) return {kUnkId};
+  std::vector<int> pieces;
+  size_t start = 0;
+  while (start < word.size()) {
+    size_t end = word.size();
+    int found = -1;
+    while (end > start) {
+      std::string piece = word.substr(start, end - start);
+      if (start > 0) piece = "##" + piece;
+      if (vocab_.Contains(piece)) {
+        found = vocab_.Id(piece);
+        break;
+      }
+      --end;
+    }
+    if (found < 0) return {kUnkId};
+    pieces.push_back(found);
+    start = end;
+  }
+  return pieces;
+}
+
+std::vector<int> WordPieceTokenizer::Encode(const std::string& text) const {
+  std::vector<int> out;
+  for (const std::string& w : BasicTokenize(text)) {
+    const std::vector<int> pieces = EncodeWord(w);
+    out.insert(out.end(), pieces.begin(), pieces.end());
+  }
+  return out;
+}
+
+std::string WordPieceTokenizer::Decode(const std::vector<int>& ids) const {
+  std::string out;
+  for (int id : ids) {
+    const std::string& piece = vocab_.Token(id);
+    if (StartsWith(piece, "##")) {
+      out += piece.substr(2);
+    } else {
+      if (!out.empty()) out += " ";
+      out += piece;
+    }
+  }
+  return out;
+}
+
+}  // namespace text
+}  // namespace resuformer

@@ -1,0 +1,50 @@
+#ifndef RESUFORMER_TEXT_WORDPIECE_H_
+#define RESUFORMER_TEXT_WORDPIECE_H_
+
+#include <string>
+#include <vector>
+
+#include "text/vocab.h"
+
+namespace resuformer {
+namespace text {
+
+/// \brief WordPiece tokenizer (greedy longest-match-first with "##"
+/// continuation pieces), plus a frequency-based vocabulary trainer.
+///
+/// The trainer is a simplified WordPiece learner: it keeps whole words above
+/// a frequency threshold and backs off to character pieces plus frequent
+/// suffix pieces, which is sufficient for the synthetic corpus while
+/// exercising the same subword code path the paper's RoBERTa stack does.
+class WordPieceTokenizer {
+ public:
+  explicit WordPieceTokenizer(Vocab vocab,
+                              int max_chars_per_word = 32);
+
+  /// Trains a vocabulary on whitespace-separated words.
+  /// `max_vocab` bounds the total size (including specials);
+  /// `min_frequency` gates whole-word entries.
+  static WordPieceTokenizer Train(const std::vector<std::string>& words,
+                                  int max_vocab, int min_frequency = 2);
+
+  /// Splits a single word into piece ids; falls back to [UNK] when the word
+  /// cannot be covered.
+  std::vector<int> EncodeWord(const std::string& word) const;
+
+  /// Normalizes and encodes a text fragment (multiple words / punctuation).
+  std::vector<int> Encode(const std::string& text) const;
+
+  /// Joins piece ids back into a readable string (## pieces merged).
+  std::string Decode(const std::vector<int>& ids) const;
+
+  const Vocab& vocab() const { return vocab_; }
+
+ private:
+  Vocab vocab_;
+  int max_chars_per_word_;
+};
+
+}  // namespace text
+}  // namespace resuformer
+
+#endif  // RESUFORMER_TEXT_WORDPIECE_H_

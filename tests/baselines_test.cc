@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include "baselines/autoner.h"
+#include "baselines/bert_bilstm_crf.h"
+#include "baselines/bert_crf.h"
+#include "baselines/common.h"
+#include "baselines/dr_match.h"
+#include "baselines/hibert_crf.h"
+#include "baselines/layout_token_model.h"
+#include "baselines/roberta_gcn.h"
+#include "distant/ner_dataset.h"
+#include "eval/entity_metrics.h"
+#include "resumegen/corpus.h"
+
+namespace resuformer {
+namespace baselines {
+namespace {
+
+TokenModelConfig TinyTokenConfig(int vocab) {
+  TokenModelConfig cfg;
+  cfg.hidden = 16;
+  cfg.layers = 1;
+  cfg.num_heads = 2;
+  cfg.ffn = 32;
+  cfg.vocab_size = vocab;
+  cfg.window = 64;
+  cfg.max_total_tokens = 200;
+  cfg.epochs = 4;
+  cfg.patience = 4;
+  return cfg;
+}
+
+struct Fixture {
+  Fixture() {
+    resumegen::CorpusConfig ccfg;
+    ccfg.pretrain_docs = 4;
+    ccfg.train_docs = 4;
+    ccfg.val_docs = 2;
+    ccfg.test_docs = 2;
+    ccfg.seed = 21;
+    corpus = resumegen::GenerateCorpus(ccfg);
+    tokenizer = std::make_unique<text::WordPieceTokenizer>(
+        resumegen::TrainTokenizer(corpus, 600));
+  }
+  resumegen::Corpus corpus;
+  std::unique_ptr<text::WordPieceTokenizer> tokenizer;
+};
+
+Fixture& GetFixture() {
+  static Fixture* fx = new Fixture();
+  return *fx;
+}
+
+TEST(TokenizeFlatTest, AlignmentAndLabels) {
+  auto& fx = GetFixture();
+  TokenModelConfig cfg = TinyTokenConfig(fx.tokenizer->vocab().size());
+  const doc::Document& d = fx.corpus.train[0].document;
+  const TokenizedDoc flat = TokenizeFlat(d, *fx.tokenizer, cfg);
+  EXPECT_GT(flat.ids.size(), 10u);
+  EXPECT_LE(static_cast<int>(flat.ids.size()), cfg.max_total_tokens);
+  EXPECT_EQ(flat.ids.size(), flat.layout.size());
+  EXPECT_EQ(flat.ids.size(), flat.token_labels.size());
+  EXPECT_EQ(flat.ids.size(), flat.sentence_index.size());
+  // Sentence indices are non-decreasing.
+  for (size_t i = 1; i < flat.sentence_index.size(); ++i) {
+    EXPECT_GE(flat.sentence_index[i], flat.sentence_index[i - 1]);
+  }
+  // Only the first token of a labeled sentence may carry a B- label.
+  for (size_t i = 1; i < flat.token_labels.size(); ++i) {
+    if (flat.sentence_index[i] == flat.sentence_index[i - 1]) {
+      doc::BlockTag tag;
+      bool begin;
+      if (doc::ParseIobLabel(flat.token_labels[i], &tag, &begin)) {
+        EXPECT_FALSE(begin);
+      }
+    }
+  }
+}
+
+TEST(TokenLabelsToSentenceLabelsTest, MajorityVoteRoundTrip) {
+  auto& fx = GetFixture();
+  TokenModelConfig cfg = TinyTokenConfig(fx.tokenizer->vocab().size());
+  const doc::Document& d = fx.corpus.train[1].document;
+  const TokenizedDoc flat = TokenizeFlat(d, *fx.tokenizer, cfg);
+  // Perfect token predictions must reconstruct the sentence labels for all
+  // sentences covered by the (possibly truncated) token stream.
+  const std::vector<int> reconstructed =
+      TokenLabelsToSentenceLabels(flat, flat.token_labels);
+  const int covered = flat.sentence_index.empty()
+                          ? 0
+                          : flat.sentence_index.back() + 1;
+  int mismatches = 0;
+  for (int s = 0; s < covered; ++s) {
+    if (reconstructed[s] != d.sentence_labels[s]) ++mismatches;
+  }
+  EXPECT_EQ(mismatches, 0);
+}
+
+TEST(TokenTaggerTest, FitAndLabelSmoke) {
+  auto& fx = GetFixture();
+  TokenModelConfig cfg = TinyTokenConfig(fx.tokenizer->vocab().size());
+  cfg.epochs = 2;
+  Rng rng(1);
+  BertCrf model(cfg, fx.tokenizer.get(), &rng);
+  std::vector<const doc::Document*> train, val;
+  for (const auto& r : fx.corpus.train) train.push_back(&r.document);
+  for (const auto& r : fx.corpus.val) val.push_back(&r.document);
+  model.Fit(train, val, &rng);
+  const std::vector<int> labels =
+      model.LabelSentences(fx.corpus.test[0].document);
+  EXPECT_EQ(labels.size(),
+            static_cast<size_t>(fx.corpus.test[0].document.NumSentences()));
+}
+
+TEST(TokenTaggerTest, MlmPretrainingRuns) {
+  auto& fx = GetFixture();
+  TokenModelConfig cfg = TinyTokenConfig(fx.tokenizer->vocab().size());
+  Rng rng(2);
+  LayoutTokenModel model(cfg, fx.tokenizer.get(), &rng,
+                         /*mlm_pretrain_epochs=*/1);
+  std::vector<const doc::Document*> docs;
+  for (const auto& r : fx.corpus.pretrain) docs.push_back(&r.document);
+  model.PretrainMlm(docs, &rng);  // must not crash and must leave eval mode
+  EXPECT_FALSE(model.training());
+}
+
+TEST(TokenTaggerTest, GcnVariantRuns) {
+  auto& fx = GetFixture();
+  TokenModelConfig cfg = TinyTokenConfig(fx.tokenizer->vocab().size());
+  cfg.epochs = 1;
+  Rng rng(3);
+  RobertaGcn model(cfg, fx.tokenizer.get(), &rng, /*mlm_pretrain_epochs=*/0);
+  std::vector<const doc::Document*> train, val;
+  for (const auto& r : fx.corpus.train) train.push_back(&r.document);
+  for (const auto& r : fx.corpus.val) val.push_back(&r.document);
+  model.Fit(train, val, &rng);
+  const auto labels = model.LabelSentences(fx.corpus.test[0].document);
+  EXPECT_FALSE(labels.empty());
+}
+
+TEST(HiBertCrfTest, FitImprovesOverUntrained) {
+  auto& fx = GetFixture();
+  HiBertCrf::Config cfg;
+  cfg.hidden = 16;
+  cfg.sentence_layers = 1;
+  cfg.document_layers = 1;
+  cfg.num_heads = 2;
+  cfg.ffn = 32;
+  cfg.vocab_size = fx.tokenizer->vocab().size();
+  cfg.max_tokens_per_sentence = 12;
+  cfg.max_sentences = 32;
+  cfg.epochs = 12;
+  cfg.patience = 12;
+  Rng rng(4);
+  HiBertCrf model(cfg, fx.tokenizer.get(), &rng);
+  std::vector<const doc::Document*> train;
+  for (const auto& r : fx.corpus.train) train.push_back(&r.document);
+  model.Fit(train, train, &rng);  // overfit check on the training docs
+  int correct = 0, total = 0;
+  for (const auto& r : fx.corpus.train) {
+    const auto pred = model.LabelSentences(r.document);
+    for (size_t i = 0; i < pred.size() &&
+                       i < r.document.sentence_labels.size() && i < 32;
+         ++i) {
+      correct += pred[i] == r.document.sentence_labels[i];
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / total, 0.6);
+}
+
+TEST(DrMatchTest, HighPrecisionLowRecallShape) {
+  const distant::EntityDictionary dict =
+      distant::BuildDictionaries(distant::DictionaryConfig{});
+  distant::NerDatasetConfig ncfg;
+  ncfg.train_sequences = 10;
+  ncfg.val_sequences = 5;
+  ncfg.test_sequences = 30;
+  const distant::NerDataset data = distant::BuildNerDataset(ncfg, dict);
+  DrMatch matcher(&dict);
+  eval::EntityScorer scorer = eval::ScoreNerPredictor(
+      [&](const std::vector<std::string>& w) { return matcher.Predict(w); },
+      data.test);
+  const eval::Prf overall = scorer.Overall();
+  EXPECT_GT(overall.precision, overall.recall);  // the paper's signature
+  EXPECT_GT(overall.precision, 0.7);
+}
+
+TEST(BertBilstmCrfTest, PredictsValidLabels) {
+  auto& fx = GetFixture();
+  selftrain::NerModelConfig cfg;
+  cfg.hidden = 16;
+  cfg.layers = 1;
+  cfg.num_heads = 2;
+  cfg.ffn = 32;
+  cfg.vocab_size = fx.tokenizer->vocab().size();
+  cfg.max_tokens = 60;
+  cfg.lstm_hidden = 8;
+  Rng rng(5);
+  BertBilstmCrf model(cfg, fx.tokenizer.get(), /*fuzzy=*/false, &rng);
+  const auto labels = model.Predict({"Email:", "a@b.com", "Phone:"});
+  EXPECT_EQ(labels.size(), 3u);
+  for (int l : labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, doc::kNumEntityIobLabels);
+  }
+}
+
+TEST(BertBilstmCrfTest, FuzzyVariantTrainsSmoke) {
+  auto& fx = GetFixture();
+  const distant::EntityDictionary dict =
+      distant::BuildDictionaries(distant::DictionaryConfig{});
+  distant::NerDatasetConfig ncfg;
+  ncfg.train_sequences = 20;
+  ncfg.val_sequences = 8;
+  ncfg.test_sequences = 8;
+  const distant::NerDataset data = distant::BuildNerDataset(ncfg, dict);
+  selftrain::NerModelConfig cfg;
+  cfg.hidden = 16;
+  cfg.layers = 1;
+  cfg.num_heads = 2;
+  cfg.ffn = 32;
+  cfg.vocab_size = fx.tokenizer->vocab().size();
+  cfg.max_tokens = 60;
+  cfg.lstm_hidden = 8;
+  Rng rng(6);
+  BertBilstmCrf model(cfg, fx.tokenizer.get(), /*fuzzy=*/true, &rng);
+  const double f1 = model.Fit(data.train, data.val, /*epochs=*/2,
+                              /*patience=*/2, &rng);
+  EXPECT_GE(f1, 0.0);
+}
+
+TEST(AutoNerTest, TrainsAndPredicts) {
+  auto& fx = GetFixture();
+  const distant::EntityDictionary dict =
+      distant::BuildDictionaries(distant::DictionaryConfig{});
+  distant::NerDatasetConfig ncfg;
+  ncfg.train_sequences = 20;
+  ncfg.val_sequences = 8;
+  ncfg.test_sequences = 8;
+  const distant::NerDataset data = distant::BuildNerDataset(ncfg, dict);
+  selftrain::NerModelConfig cfg;
+  cfg.hidden = 16;
+  cfg.layers = 1;
+  cfg.num_heads = 2;
+  cfg.ffn = 32;
+  cfg.vocab_size = fx.tokenizer->vocab().size();
+  cfg.max_tokens = 60;
+  cfg.lstm_hidden = 8;
+  Rng rng(7);
+  AutoNer model(cfg, fx.tokenizer.get(), &rng);
+  model.Fit(data.train, data.val, /*epochs=*/2, /*patience=*/2, &rng);
+  const auto labels = model.Predict(data.test[0].words);
+  EXPECT_EQ(labels.size(),
+            std::min(data.test[0].words.size(), static_cast<size_t>(60)));
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace resuformer

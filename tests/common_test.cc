@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+namespace resuformer {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad shape");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad shape");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto inner = []() { return Status::NotFound("x"); };
+  auto outer = [&]() -> Status {
+    RF_RETURN_NOT_OK(inner());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r = Status::Internal("boom");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.UniformInt(10);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 10);
+  }
+}
+
+TEST(RngTest, UniformMeanApproximatesHalf) {
+  Rng rng(9);
+  double total = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += rng.Uniform();
+  EXPECT_NEAR(total / n, 0.5, 0.02);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyStandard) {
+  Rng rng(11);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(5);
+  const std::vector<int> perm = rng.Permutation(50);
+  std::set<int> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 49);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(5);
+  const std::vector<int> sample = rng.SampleWithoutReplacement(20, 8);
+  EXPECT_EQ(sample.size(), 8u);
+  std::set<int> seen(sample.begin(), sample.end());
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(13);
+  int count0 = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Categorical({9.0, 1.0}) == 0) ++count0;
+  }
+  EXPECT_NEAR(count0 / 10000.0, 0.9, 0.03);
+}
+
+TEST(StringUtilTest, SplitAndJoin) {
+  const auto pieces = SplitString("a b\tc\nd");
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(JoinStrings(pieces, "-"), "a-b-c-d");
+}
+
+TEST(StringUtilTest, SplitDropsEmpty) {
+  EXPECT_EQ(SplitString("  a   b  ").size(), 2u);
+  EXPECT_TRUE(SplitString("").empty());
+}
+
+TEST(StringUtilTest, AffixChecks) {
+  EXPECT_TRUE(StartsWith("##ing", "##"));
+  EXPECT_FALSE(StartsWith("#", "##"));
+  EXPECT_TRUE(EndsWith("Acme Co. LTD", "Co. LTD"));
+}
+
+TEST(StringUtilTest, StripAndLower) {
+  EXPECT_EQ(StripAscii("  Hello \n"), "Hello");
+  EXPECT_EQ(ToLowerAscii("MiXeD"), "mixed");
+}
+
+TEST(StringUtilTest, StringPrintfFormats) {
+  EXPECT_EQ(StringPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StringPrintf("%.2f", 3.14159), "3.14");
+}
+
+TEST(StringUtilTest, IsAsciiDigits) {
+  EXPECT_TRUE(IsAsciiDigits("2019"));
+  EXPECT_FALSE(IsAsciiDigits("20a9"));
+  EXPECT_FALSE(IsAsciiDigits(""));
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"Tag", "F1"});
+  t.AddRow({"PInfo", "91.75"});
+  t.AddRow({"EduExp", "91.00"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| Tag    | F1    |"), std::string::npos);
+  EXPECT_NE(s.find("| PInfo  | 91.75 |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, SeparatorRows) {
+  TablePrinter t({"A"});
+  t.AddRow({"1"});
+  t.AddSeparator();
+  t.AddRow({"2"});
+  const std::string s = t.ToString();
+  // Header sep + inserted sep + trailing sep + top = 4 separator lines.
+  int count = 0;
+  for (size_t pos = 0; (pos = s.find("+--", pos)) != std::string::npos; ++pos) {
+    ++count;
+  }
+  EXPECT_EQ(count, 4);
+}
+
+}  // namespace
+}  // namespace resuformer

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "crf/fuzzy_crf.h"
+#include "crf/linear_crf.h"
+#include "gradcheck.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace resuformer {
+namespace crf {
+namespace {
+
+using resuformer::testing::GradCheck;
+constexpr double kTol = 5e-2;
+
+/// Subclass exposing start/end for brute-force verification.
+class TestableCrf : public LinearCrf {
+ public:
+  TestableCrf(int num_labels, Rng* rng) : LinearCrf(num_labels, rng) {}
+  const Tensor& start() const { return start_; }
+  const Tensor& end() const { return end_; }
+
+  double PathScore(const Tensor& e, const std::vector<int>& path) const {
+    double s = start_.data()[path[0]] + e.at(0, path[0]);
+    for (size_t t = 1; t < path.size(); ++t) {
+      s += transitions_.at(path[t - 1], path[t]) +
+           e.at(static_cast<int>(t), path[t]);
+    }
+    s += end_.data()[path.back()];
+    return s;
+  }
+
+  double BruteLogZ(const Tensor& e) const {
+    const int t_len = e.rows();
+    std::vector<int> path(t_len, 0);
+    std::vector<double> scores;
+    while (true) {
+      scores.push_back(PathScore(e, path));
+      int pos = t_len - 1;
+      while (pos >= 0 && ++path[pos] == num_labels_) {
+        path[pos] = 0;
+        --pos;
+      }
+      if (pos < 0) break;
+    }
+    double mx = scores[0];
+    for (double x : scores) mx = std::max(mx, x);
+    double total = 0.0;
+    for (double x : scores) total += std::exp(x - mx);
+    return mx + std::log(total);
+  }
+
+  std::vector<int> BruteBestPath(const Tensor& e) const {
+    const int t_len = e.rows();
+    std::vector<int> path(t_len, 0), best_path(t_len, 0);
+    double best = -1e30;
+    while (true) {
+      const double s = PathScore(e, path);
+      if (s > best) {
+        best = s;
+        best_path = path;
+      }
+      int pos = t_len - 1;
+      while (pos >= 0 && ++path[pos] == num_labels_) {
+        path[pos] = 0;
+        --pos;
+      }
+      if (pos < 0) break;
+    }
+    return best_path;
+  }
+};
+
+TEST(LinearCrfTest, NllMatchesBruteForce) {
+  Rng rng(1);
+  TestableCrf crf(3, &rng);
+  Tensor e = Tensor::Randn({4, 3}, &rng);
+  const std::vector<int> labels = {0, 2, 1, 1};
+  NoGradGuard guard;
+  const double nll = crf.NegLogLikelihood(e, labels).item() * 4;
+  const double expected = crf.BruteLogZ(e) - crf.PathScore(e, labels);
+  EXPECT_NEAR(nll, expected, 1e-4);
+}
+
+TEST(LinearCrfTest, DecodeMatchesBruteForce) {
+  Rng rng(2);
+  TestableCrf crf(3, &rng);
+  for (int trial = 0; trial < 5; ++trial) {
+    Tensor e = Tensor::Randn({5, 3}, &rng, 2.0f);
+    EXPECT_EQ(crf.Decode(e), crf.BruteBestPath(e));
+  }
+}
+
+TEST(LinearCrfTest, EmissionGradCheck) {
+  Rng rng(3);
+  LinearCrf crf(4, &rng);
+  Tensor e = Tensor::Randn({5, 4}, &rng);
+  const std::vector<int> labels = {0, 1, 2, 3, 1};
+  EXPECT_LT(GradCheck(e, [&]() { return crf.NegLogLikelihood(e, labels); }),
+            kTol);
+}
+
+TEST(LinearCrfTest, TransitionGradCheck) {
+  Rng rng(4);
+  LinearCrf crf(3, &rng);
+  Tensor e = Tensor::Randn({4, 3}, &rng);
+  const std::vector<int> labels = {2, 0, 1, 0};
+  Tensor trans = crf.Parameters()[0];
+  EXPECT_LT(
+      GradCheck(trans, [&]() { return crf.NegLogLikelihood(e, labels); }),
+      kTol);
+}
+
+TEST(LinearCrfTest, LearnsDeterministicSequence) {
+  // Emissions are uninformative; the CRF must learn transitions that always
+  // produce 0,1,0,1,... alternation.
+  Rng rng(5);
+  LinearCrf crf(2, &rng);
+  nn::Adam adam(crf.Parameters(), 0.1f);
+  Tensor e = Tensor::Zeros({6, 2});
+  const std::vector<int> labels = {0, 1, 0, 1, 0, 1};
+  for (int step = 0; step < 150; ++step) {
+    adam.ZeroGrad();
+    Tensor loss = crf.NegLogLikelihood(e, labels);
+    loss.Backward();
+    adam.Step();
+  }
+  EXPECT_EQ(crf.Decode(e), labels);
+}
+
+TEST(LinearCrfTest, SingleTokenSequence) {
+  Rng rng(6);
+  LinearCrf crf(3, &rng);
+  Tensor e = Tensor::FromData({1, 3}, {0.0f, 5.0f, 0.0f});
+  EXPECT_EQ(crf.Decode(e), std::vector<int>({1}));
+  NoGradGuard guard;
+  const float nll = crf.NegLogLikelihood(e, {1}).item();
+  EXPECT_GT(nll, 0.0f);
+  EXPECT_LT(nll, 1.0f);
+}
+
+TEST(FuzzyCrfTest, SingletonSetsEqualExactNll) {
+  Rng rng(7);
+  FuzzyCrf crf(3, &rng);
+  Tensor e = Tensor::Randn({4, 3}, &rng);
+  const std::vector<int> labels = {1, 0, 2, 2};
+  std::vector<std::vector<bool>> allowed(4, std::vector<bool>(3, false));
+  for (int t = 0; t < 4; ++t) allowed[t][labels[t]] = true;
+  NoGradGuard guard;
+  EXPECT_NEAR(crf.MarginalNegLogLikelihood(e, allowed).item(),
+              crf.NegLogLikelihood(e, labels).item(), 1e-4f);
+}
+
+TEST(FuzzyCrfTest, AllAllowedGivesZeroLoss) {
+  Rng rng(8);
+  FuzzyCrf crf(3, &rng);
+  Tensor e = Tensor::Randn({4, 3}, &rng);
+  std::vector<std::vector<bool>> allowed(4, std::vector<bool>(3, true));
+  NoGradGuard guard;
+  EXPECT_NEAR(crf.MarginalNegLogLikelihood(e, allowed).item(), 0.0f, 1e-5f);
+}
+
+TEST(FuzzyCrfTest, EmissionGradCheck) {
+  Rng rng(9);
+  FuzzyCrf crf(3, &rng);
+  Tensor e = Tensor::Randn({4, 3}, &rng);
+  std::vector<std::vector<bool>> allowed(4, std::vector<bool>(3, true));
+  allowed[0] = {true, false, false};
+  allowed[2] = {false, true, true};
+  EXPECT_LT(GradCheck(
+                e, [&]() { return crf.MarginalNegLogLikelihood(e, allowed); }),
+            kTol);
+}
+
+TEST(FuzzyCrfTest, TransitionGradCheck) {
+  Rng rng(10);
+  FuzzyCrf crf(3, &rng);
+  Tensor e = Tensor::Randn({4, 3}, &rng);
+  std::vector<std::vector<bool>> allowed(4, std::vector<bool>(3, true));
+  allowed[1] = {false, false, true};
+  Tensor trans = crf.Parameters()[0];
+  EXPECT_LT(GradCheck(trans,
+                      [&]() {
+                        return crf.MarginalNegLogLikelihood(e, allowed);
+                      }),
+            kTol);
+}
+
+TEST(FuzzyCrfTest, LearnsFromPartialLabels) {
+  // Only half the positions are constrained; decoding should still recover
+  // the consistent alternating pattern on constrained positions.
+  Rng rng(11);
+  FuzzyCrf crf(2, &rng);
+  nn::Adam adam(crf.Parameters(), 0.1f);
+  Tensor e = Tensor::Zeros({6, 2});
+  std::vector<std::vector<bool>> allowed(6, std::vector<bool>(2, true));
+  allowed[0] = {true, false};
+  allowed[2] = {true, false};
+  allowed[4] = {true, false};
+  allowed[1] = {false, true};
+  for (int step = 0; step < 200; ++step) {
+    adam.ZeroGrad();
+    Tensor loss = crf.MarginalNegLogLikelihood(e, allowed);
+    loss.Backward();
+    adam.Step();
+  }
+  const std::vector<int> decoded = crf.Decode(e);
+  EXPECT_EQ(decoded[0], 0);
+  EXPECT_EQ(decoded[1], 1);
+  EXPECT_EQ(decoded[2], 0);
+  EXPECT_EQ(decoded[4], 0);
+}
+
+}  // namespace
+}  // namespace crf
+}  // namespace resuformer

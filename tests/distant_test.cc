@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "distant/augmenter.h"
+#include "distant/auto_annotator.h"
+#include "distant/dictionary.h"
+#include "distant/ner_dataset.h"
+#include "distant/regex_matcher.h"
+
+namespace resuformer {
+namespace distant {
+namespace {
+
+using doc::EntityTag;
+
+TEST(EntityDictionaryTest, ExactMatchSingleWord) {
+  EntityDictionary dict;
+  dict.Add(EntityTag::kGender, "Male");
+  const auto matches = dict.FindMatches({"Gender:", "Male"});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].start, 1);
+  EXPECT_EQ(matches[0].length, 1);
+  EXPECT_EQ(matches[0].tag, EntityTag::kGender);
+}
+
+TEST(EntityDictionaryTest, MultiWordLongestMatchWins) {
+  EntityDictionary dict;
+  dict.Add(EntityTag::kCollege, "Northgate University");
+  dict.Add(EntityTag::kCollege, "Northgate");
+  const auto matches = dict.FindMatches({"Northgate", "University", "x"});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].length, 2);
+}
+
+TEST(EntityDictionaryTest, MatchIsCaseAndPunctInsensitive) {
+  EntityDictionary dict;
+  dict.Add(EntityTag::kCompany, "BlueData Systems Inc.");
+  const auto matches = dict.FindMatches({"bluedata", "SYSTEMS", "inc"});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].length, 3);
+}
+
+TEST(EntityDictionaryTest, NoOverlappingMatches) {
+  EntityDictionary dict;
+  dict.Add(EntityTag::kMajor, "Computer Science");
+  dict.Add(EntityTag::kCompany, "Science Lab");
+  // "Computer Science" consumes "Science"; "Science Lab" cannot overlap it.
+  const auto matches = dict.FindMatches({"Computer", "Science", "Lab"});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].tag, EntityTag::kMajor);
+  EXPECT_EQ(matches[0].length, 2);
+}
+
+TEST(EntityDictionaryTest, SurfacesReturnsPerTagPool) {
+  EntityDictionary dict;
+  dict.Add(EntityTag::kDegree, "Bachelor");
+  dict.Add(EntityTag::kDegree, "Master");
+  EXPECT_EQ(dict.Surfaces(EntityTag::kDegree).size(), 2u);
+  EXPECT_TRUE(dict.Surfaces(EntityTag::kCompany).empty());
+}
+
+TEST(BuildDictionariesTest, CoverageRoughlyRespected) {
+  DictionaryConfig cfg;
+  cfg.college_coverage = 0.5;
+  const EntityDictionary dict = BuildDictionaries(cfg);
+  EXPECT_GT(dict.size(), 100);
+  const size_t colleges = dict.Surfaces(EntityTag::kCollege).size();
+  EXPECT_GT(colleges, 5u);
+  EXPECT_LT(colleges, 40u);  // only a fraction of the 40-college pool
+}
+
+TEST(RegexMatcherTest, EmailDetection) {
+  EXPECT_TRUE(LooksLikeEmail("john.doe3@example.com"));
+  EXPECT_FALSE(LooksLikeEmail("john.doe"));
+  EXPECT_FALSE(LooksLikeEmail("@example.com"));
+}
+
+TEST(RegexMatcherTest, PhoneDetection) {
+  EXPECT_TRUE(LooksLikePhone("134-2561-9078"));
+  EXPECT_FALSE(LooksLikePhone("134"));
+  EXPECT_FALSE(LooksLikePhone("134-ab-9078"));
+}
+
+TEST(RegexMatcherTest, YearMonthDetection) {
+  EXPECT_TRUE(LooksLikeYearMonth("2016.09"));
+  EXPECT_TRUE(LooksLikeYearMonth("2019/06"));
+  EXPECT_FALSE(LooksLikeYearMonth("2016.13"));  // bad month
+  EXPECT_FALSE(LooksLikeYearMonth("1016.09"));  // implausible year
+  EXPECT_FALSE(LooksLikeYearMonth("2016-09"));
+}
+
+TEST(RegexMatcherTest, DateRangeSpansThreeTokens) {
+  const auto matches =
+      FindRegexMatches({"2016.09", "-", "2019.06", "Northgate"});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].length, 3);
+  EXPECT_EQ(matches[0].tag, EntityTag::kDate);
+}
+
+TEST(RegexMatcherTest, PresentEndsRange) {
+  const auto matches = FindRegexMatches({"2021/03", "-", "Present"});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].length, 3);
+}
+
+TEST(AutoAnnotatorTest, CombinesAllSources) {
+  EntityDictionary dict;
+  dict.Add(EntityTag::kCollege, "Northgate University");
+  AutoAnnotator annotator(&dict);
+  const std::vector<std::string> words = {
+      "Email:", "a.b@example.com", "Age:", "27",
+      "Northgate", "University", "2016.09", "-", "2019.06"};
+  const std::vector<int> labels = annotator.Annotate(words);
+  EXPECT_EQ(labels[1], doc::EntityIobLabel(EntityTag::kEmail, true));
+  EXPECT_EQ(labels[3], doc::EntityIobLabel(EntityTag::kAge, true));
+  EXPECT_EQ(labels[4], doc::EntityIobLabel(EntityTag::kCollege, true));
+  EXPECT_EQ(labels[5], doc::EntityIobLabel(EntityTag::kCollege, false));
+  EXPECT_EQ(labels[6], doc::EntityIobLabel(EntityTag::kDate, true));
+  EXPECT_EQ(labels[8], doc::EntityIobLabel(EntityTag::kDate, false));
+}
+
+TEST(AutoAnnotatorTest, CompanySuffixHeuristic) {
+  EntityDictionary dict;  // empty: force the heuristic path
+  AutoAnnotator annotator(&dict);
+  const std::vector<std::string> words = {"at", "NovaWave", "Software",
+                                          "Co.", "LTD", "as"};
+  const std::vector<int> labels = annotator.Annotate(words);
+  EXPECT_EQ(labels[1], doc::EntityIobLabel(EntityTag::kCompany, true));
+  EXPECT_EQ(labels[4], doc::EntityIobLabel(EntityTag::kCompany, false));
+  EXPECT_EQ(labels[0], 0);
+  EXPECT_EQ(labels[5], 0);
+}
+
+TEST(AutoAnnotatorTest, HighPrecisionAgainstGold) {
+  // Over generated resumes, distant labels that fire should mostly agree
+  // with gold (precision >> recall — the paper's D&R behaviour).
+  const EntityDictionary dict = BuildDictionaries(DictionaryConfig{});
+  NerDatasetConfig cfg;
+  cfg.train_sequences = 60;
+  cfg.val_sequences = 5;
+  cfg.test_sequences = 5;
+  cfg.augment_fraction = 0.0;
+  const NerDataset data = BuildNerDataset(cfg, dict);
+  const NoiseStats noise = ComputeNoiseStats(data.train);
+  EXPECT_GT(noise.label_precision, 0.85);
+  EXPECT_LT(noise.label_recall, 0.99);  // dictionary gaps exist
+  EXPECT_GT(noise.label_recall, 0.30);
+}
+
+TEST(AugmenterTest, SwapPreservesLabelStructure) {
+  EntityDictionary dict;
+  dict.Add(EntityTag::kCollege, "Northgate University");
+  dict.Add(EntityTag::kCollege, "Riverside Institute");
+  Rng rng(1);
+  Augmenter augmenter(&dict, &rng);
+  AnnotatedSequence seq;
+  seq.words = {"studied", "at", "Northgate", "University", "in", "2019"};
+  AutoAnnotator annotator(&dict);
+  seq.labels = annotator.Annotate(seq.words);
+  const AnnotatedSequence aug = augmenter.SwapEntities(seq, 1.0);
+  EXPECT_EQ(aug.words.size(), aug.labels.size());
+  // The span must still exist with the same tag.
+  int begins = 0;
+  for (int l : aug.labels) {
+    doc::EntityTag tag;
+    bool begin;
+    if (doc::ParseEntityIobLabel(l, &tag, &begin) && begin) {
+      EXPECT_EQ(tag, EntityTag::kCollege);
+      ++begins;
+    }
+  }
+  EXPECT_EQ(begins, 1);
+  EXPECT_EQ(aug.words.front(), "studied");
+  EXPECT_EQ(aug.words.back(), "2019");
+}
+
+TEST(AugmenterTest, ShuffleSwapsAdjacentSpans) {
+  EntityDictionary dict;
+  Rng rng(2);
+  Augmenter augmenter(&dict, &rng);
+  AnnotatedSequence seq;
+  seq.words = {"2016.09", "Acme", "Corp"};
+  seq.labels = {doc::EntityIobLabel(EntityTag::kDate, true),
+                doc::EntityIobLabel(EntityTag::kCompany, true),
+                doc::EntityIobLabel(EntityTag::kCompany, false)};
+  const AnnotatedSequence out = augmenter.ShuffleEntityOrder(seq);
+  ASSERT_EQ(out.words.size(), 3u);
+  EXPECT_EQ(out.words[0], "Acme");
+  EXPECT_EQ(out.words[1], "Corp");
+  EXPECT_EQ(out.words[2], "2016.09");
+  EXPECT_EQ(out.labels[0], doc::EntityIobLabel(EntityTag::kCompany, true));
+  EXPECT_EQ(out.labels[2], doc::EntityIobLabel(EntityTag::kDate, true));
+}
+
+TEST(NerDatasetTest, SplitSizesAndLabelSemantics) {
+  const EntityDictionary dict = BuildDictionaries(DictionaryConfig{});
+  NerDatasetConfig cfg;
+  cfg.train_sequences = 40;
+  cfg.val_sequences = 10;
+  cfg.test_sequences = 10;
+  cfg.augment_fraction = 0.25;
+  const NerDataset data = BuildNerDataset(cfg, dict);
+  EXPECT_EQ(data.val.size(), 10u);
+  EXPECT_EQ(data.test.size(), 10u);
+  EXPECT_GE(data.train.size(), 40u);  // plus augmented copies
+  // Train sequences all contain at least one distant entity.
+  for (const auto& seq : data.train) {
+    bool any = false;
+    for (int l : seq.labels) any = any || l != 0;
+    EXPECT_TRUE(any);
+  }
+  // Val/test labels equal gold.
+  for (const auto& seq : data.val) EXPECT_EQ(seq.labels, seq.gold_labels);
+}
+
+TEST(NerDatasetTest, StatsReasonable) {
+  const EntityDictionary dict = BuildDictionaries(DictionaryConfig{});
+  NerDatasetConfig cfg;
+  cfg.train_sequences = 30;
+  cfg.val_sequences = 5;
+  cfg.test_sequences = 5;
+  const NerDataset data = BuildNerDataset(cfg, dict);
+  const NerSplitStats stats = ComputeNerStats(data.test);
+  EXPECT_EQ(stats.num_samples, 5);
+  EXPECT_GT(stats.avg_tokens, 3.0);
+  EXPECT_GT(stats.avg_entities, 0.5);
+}
+
+TEST(ExtractBlockSequencesTest, OnlyEntityBearingBlocks) {
+  Rng rng(11);
+  const resumegen::GeneratedResume resume = resumegen::GenerateResume(&rng);
+  const auto sequences = ExtractBlockSequences(resume);
+  EXPECT_FALSE(sequences.empty());
+  for (const auto& seq : sequences) {
+    EXPECT_TRUE(seq.block == doc::BlockTag::kPInfo ||
+                seq.block == doc::BlockTag::kEduExp ||
+                seq.block == doc::BlockTag::kWorkExp ||
+                seq.block == doc::BlockTag::kProjExp);
+    EXPECT_EQ(seq.words.size(), seq.gold_labels.size());
+  }
+}
+
+}  // namespace
+}  // namespace distant
+}  // namespace resuformer

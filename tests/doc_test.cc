@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "doc/block_tags.h"
+#include "doc/document.h"
+#include "doc/geometry.h"
+#include "doc/sentence_assembler.h"
+#include "doc/visual_features.h"
+
+namespace resuformer {
+namespace doc {
+namespace {
+
+TEST(GeometryTest, BBoxBasics) {
+  BBox b{10, 20, 30, 50};
+  EXPECT_FLOAT_EQ(b.width(), 20.0f);
+  EXPECT_FLOAT_EQ(b.height(), 30.0f);
+  EXPECT_FLOAT_EQ(b.area(), 600.0f);
+  EXPECT_FLOAT_EQ(b.center_x(), 20.0f);
+}
+
+TEST(GeometryTest, UnionCovers) {
+  BBox u = Union(BBox{0, 0, 10, 10}, BBox{5, 5, 20, 8});
+  EXPECT_FLOAT_EQ(u.x0, 0);
+  EXPECT_FLOAT_EQ(u.y0, 0);
+  EXPECT_FLOAT_EQ(u.x1, 20);
+  EXPECT_FLOAT_EQ(u.y1, 10);
+}
+
+TEST(GeometryTest, SameRowDetection) {
+  BBox a{0, 100, 50, 110};
+  BBox b{60, 102, 90, 112};   // mostly overlapping vertically
+  BBox c{60, 120, 90, 130};   // next line
+  EXPECT_TRUE(SameRow(a, b));
+  EXPECT_FALSE(SameRow(a, c));
+}
+
+TEST(GeometryTest, NormalizeCoordRange) {
+  EXPECT_EQ(NormalizeCoord(0.0f, 612.0f), 0);
+  EXPECT_EQ(NormalizeCoord(612.0f, 612.0f), 1000);
+  EXPECT_EQ(NormalizeCoord(306.0f, 612.0f), 500);
+  EXPECT_EQ(NormalizeCoord(-5.0f, 612.0f), 0);     // clamped
+  EXPECT_EQ(NormalizeCoord(700.0f, 612.0f), 1000);  // clamped
+}
+
+TEST(BlockTagsTest, IobRoundTrip) {
+  for (int t = 0; t < kNumBlockTags; ++t) {
+    for (bool begin : {true, false}) {
+      const int label = IobLabel(static_cast<BlockTag>(t), begin);
+      BlockTag tag;
+      bool b;
+      ASSERT_TRUE(ParseIobLabel(label, &tag, &b));
+      EXPECT_EQ(static_cast<int>(tag), t);
+      EXPECT_EQ(b, begin);
+    }
+  }
+  BlockTag tag;
+  bool b;
+  EXPECT_FALSE(ParseIobLabel(kOutsideLabel, &tag, &b));
+}
+
+TEST(BlockTagsTest, LabelNames) {
+  EXPECT_EQ(IobLabelName(kOutsideLabel), "O");
+  EXPECT_EQ(IobLabelName(IobLabel(BlockTag::kWorkExp, true)), "B-WorkExp");
+  EXPECT_EQ(IobLabelName(IobLabel(BlockTag::kTitle, false)), "I-Title");
+}
+
+TEST(EntityTagsTest, IobRoundTrip) {
+  for (int t = 0; t < kNumEntityTags; ++t) {
+    for (bool begin : {true, false}) {
+      const int label = EntityIobLabel(static_cast<EntityTag>(t), begin);
+      EntityTag tag;
+      bool b;
+      ASSERT_TRUE(ParseEntityIobLabel(label, &tag, &b));
+      EXPECT_EQ(static_cast<int>(tag), t);
+      EXPECT_EQ(b, begin);
+    }
+  }
+  EXPECT_EQ(EntityIobLabelName(EntityIobLabel(EntityTag::kCompany, true)),
+            "B-Company");
+}
+
+TEST(DocumentTest, BlocksFromLabelsSegments) {
+  // B-PInfo I-PInfo B-WorkExp I-WorkExp B-WorkExp O B-Awards
+  std::vector<int> labels = {
+      IobLabel(BlockTag::kPInfo, true),   IobLabel(BlockTag::kPInfo, false),
+      IobLabel(BlockTag::kWorkExp, true), IobLabel(BlockTag::kWorkExp, false),
+      IobLabel(BlockTag::kWorkExp, true), kOutsideLabel,
+      IobLabel(BlockTag::kAwards, true)};
+  const auto blocks = Document::BlocksFromLabels(labels);
+  ASSERT_EQ(blocks.size(), 4u);
+  EXPECT_EQ(blocks[0].tag, BlockTag::kPInfo);
+  EXPECT_EQ(blocks[0].last_sentence, 1);
+  EXPECT_EQ(blocks[1].first_sentence, 2);
+  EXPECT_EQ(blocks[1].last_sentence, 3);
+  EXPECT_EQ(blocks[2].first_sentence, 4);
+  EXPECT_EQ(blocks[3].tag, BlockTag::kAwards);
+}
+
+TEST(DocumentTest, OrphanContinuationStartsBlock) {
+  // I-EduExp without a preceding B- still opens a block (robust decoding).
+  std::vector<int> labels = {IobLabel(BlockTag::kEduExp, false)};
+  const auto blocks = Document::BlocksFromLabels(labels);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].tag, BlockTag::kEduExp);
+}
+
+Token MakeToken(const std::string& w, float x0, float y0, float x1, float y1,
+                int page = 0) {
+  Token t;
+  t.word = w;
+  t.box = BBox{x0, y0, x1, y1};
+  t.page = page;
+  return t;
+}
+
+TEST(SentenceAssemblerTest, MergesSameRowTokens) {
+  SentenceAssembler assembler;
+  std::vector<Token> tokens = {
+      MakeToken("John", 50, 100, 80, 110),
+      MakeToken("Smith", 85, 100, 120, 110),
+      MakeToken("Engineer", 50, 120, 110, 130),
+  };
+  const auto sentences = assembler.Assemble(tokens);
+  ASSERT_EQ(sentences.size(), 2u);
+  EXPECT_EQ(sentences[0].Text(), "John Smith");
+  EXPECT_EQ(sentences[1].Text(), "Engineer");
+  EXPECT_FLOAT_EQ(sentences[0].box.x1, 120.0f);
+}
+
+TEST(SentenceAssemblerTest, SplitsAtColumnGap) {
+  SentenceAssembler assembler;
+  std::vector<Token> tokens = {
+      MakeToken("Skills", 40, 100, 80, 110),
+      MakeToken("Work", 300, 100, 330, 110),  // far right: second column
+      MakeToken("Experience", 335, 100, 400, 110),
+  };
+  const auto sentences = assembler.Assemble(tokens);
+  ASSERT_EQ(sentences.size(), 2u);
+  EXPECT_EQ(sentences[0].Text(), "Skills");
+  EXPECT_EQ(sentences[1].Text(), "Work Experience");
+}
+
+TEST(SentenceAssemblerTest, SeparatesPages) {
+  SentenceAssembler assembler;
+  std::vector<Token> tokens = {
+      MakeToken("first", 50, 100, 80, 110, 0),
+      MakeToken("second", 50, 100, 90, 110, 1),
+  };
+  const auto sentences = assembler.Assemble(tokens);
+  ASSERT_EQ(sentences.size(), 2u);
+  EXPECT_EQ(sentences[0].page, 0);
+  EXPECT_EQ(sentences[1].page, 1);
+}
+
+TEST(SentenceAssemblerTest, UnsortedInputHandled) {
+  SentenceAssembler assembler;
+  std::vector<Token> tokens = {
+      MakeToken("world", 90, 100, 130, 110),
+      MakeToken("hello", 50, 100, 85, 110),
+  };
+  const auto sentences = assembler.Assemble(tokens);
+  ASSERT_EQ(sentences.size(), 1u);
+  EXPECT_EQ(sentences[0].Text(), "hello world");
+}
+
+TEST(SentenceAssemblerTest, EmptyInput) {
+  SentenceAssembler assembler;
+  EXPECT_TRUE(assembler.Assemble({}).empty());
+}
+
+TEST(VisualFeaturesTest, TitleHasLargerFontFeature) {
+  Sentence title;
+  Token t = MakeToken("Experience", 50, 50, 150, 66);
+  t.font_size = 16.0f;
+  t.bold = true;
+  title.tokens = {t};
+  title.box = t.box;
+
+  Sentence body;
+  Token b = MakeToken("worked", 50, 80, 100, 90);
+  b.font_size = 10.0f;
+  body.tokens = {b};
+  body.box = b.box;
+
+  const auto ft = ComputeVisualFeatures(title, 612, 792, 2);
+  const auto fb = ComputeVisualFeatures(body, 612, 792, 2);
+  EXPECT_GT(ft[0], fb[0]);  // font size
+  EXPECT_GT(ft[1], fb[1]);  // bold
+  EXPECT_EQ(ft.size(), static_cast<size_t>(kVisualFeatureDim));
+}
+
+TEST(VisualFeaturesTest, DigitFractionReflectsContent) {
+  Sentence dates;
+  Token t = MakeToken("2019.06", 50, 50, 100, 60);
+  dates.tokens = {t};
+  dates.box = t.box;
+  const auto f = ComputeVisualFeatures(dates, 612, 792, 1);
+  EXPECT_GT(f[7], 0.8f);  // mostly digits
+}
+
+}  // namespace
+}  // namespace doc
+}  // namespace resuformer

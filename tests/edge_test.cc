@@ -1,0 +1,275 @@
+// Edge-case and behavioural tests that go beyond the per-module basics:
+// degenerate op inputs, optimizer corner cases, pre-training objective
+// behaviour, renderer geometry, and augmenter identities.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/pretrainer.h"
+#include "distant/augmenter.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+#include "resumegen/corpus.h"
+#include "tensor/ops.h"
+
+namespace resuformer {
+namespace {
+
+// ------------------------------------------------------------- ops edges
+
+TEST(OpsEdgeTest, SoftmaxSingleColumnIsOne) {
+  Tensor x = Tensor::FromData({3, 1}, {5.0f, -2.0f, 0.0f});
+  Tensor s = ops::Softmax(x);
+  for (int i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(s.at(i, 0), 1.0f);
+}
+
+TEST(OpsEdgeTest, CrossEntropyAllIgnoredIsZero) {
+  Tensor logits = Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor loss = ops::CrossEntropy(logits, {-1, -1}, -1);
+  EXPECT_EQ(loss.item(), 0.0f);
+}
+
+TEST(OpsEdgeTest, CrossEntropyExtremeLogitsFinite) {
+  Tensor logits = Tensor::FromData({1, 3}, {1000.0f, -1000.0f, 0.0f});
+  Tensor loss = ops::CrossEntropy(logits, {1});
+  EXPECT_TRUE(std::isfinite(loss.item()));
+  // The probability is clamped at 1e-12 before the log, so the loss is
+  // large but bounded (-log(1e-12) ~ 27.6) instead of inf.
+  EXPECT_GT(loss.item(), 20.0f);
+  EXPECT_LT(loss.item(), 30.0f);
+}
+
+TEST(OpsEdgeTest, L2NormalizeZeroRowStaysFinite) {
+  Tensor x = Tensor::Zeros({2, 4});
+  x.at(1, 0) = 3.0f;
+  Tensor n = ops::L2NormalizeRows(x);
+  for (int64_t i = 0; i < n.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(n.data()[i]));
+  }
+  EXPECT_NEAR(n.at(1, 0), 1.0f, 1e-4f);
+}
+
+TEST(OpsEdgeTest, ConcatSingletonIsIdentityCopy) {
+  Rng rng(1);
+  Tensor a = Tensor::Randn({2, 3}, &rng);
+  Tensor c = ops::ConcatRows({a});
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.data()[i], c.data()[i]);
+  }
+}
+
+TEST(OpsEdgeTest, SliceFullRangeEqualsInput) {
+  Rng rng(2);
+  Tensor a = Tensor::Randn({3, 4}, &rng);
+  Tensor s = ops::SliceRows(a, 0, 3);
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.data()[i], s.data()[i]);
+  }
+}
+
+TEST(OpsEdgeTest, GatherRepeatedRowsAccumulatesGradient) {
+  Tensor a = Tensor::Full({2, 2}, 1.0f, /*requires_grad=*/true);
+  Tensor g = ops::GatherRows(a, {0, 0, 0});
+  Tensor loss = ops::Sum(g);
+  loss.Backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 3.0f);  // row 0 used three times
+  EXPECT_FLOAT_EQ(a.grad()[2], 0.0f);  // row 1 unused
+}
+
+TEST(OpsEdgeTest, DropoutFullGraphStillBackprops) {
+  Rng rng(3);
+  Tensor x = Tensor::Full({1, 8}, 2.0f, true);
+  Tensor d = ops::Dropout(x, 0.5f, &rng, /*training=*/true);
+  ops::Mean(d).Backward();
+  // Gradient exists and is zero exactly where the mask dropped units.
+  for (int i = 0; i < 8; ++i) {
+    if (d.at(0, i) == 0.0f) {
+      EXPECT_EQ(x.grad()[i], 0.0f);
+    } else {
+      EXPECT_GT(x.grad()[i], 0.0f);
+    }
+  }
+}
+
+// --------------------------------------------------------- optimizer edges
+
+TEST(OptimizerEdgeTest, AdamWeightDecayShrinksWithZeroGrad) {
+  Tensor w = Tensor::Full({1}, 1.0f, true);
+  w.ZeroGrad();
+  nn::Adam adam({w}, /*lr=*/0.1f, 0.9f, 0.999f, 1e-8f,
+                /*weight_decay=*/0.5f);
+  adam.Step();
+  EXPECT_LT(w.at(0), 1.0f);  // decoupled decay applies without gradient
+}
+
+TEST(OptimizerEdgeTest, ClipNoopBelowThreshold) {
+  Tensor w = Tensor::Full({2}, 0.0f, true);
+  w.grad()[0] = 0.3f;
+  w.grad()[1] = 0.4f;  // norm 0.5
+  nn::Sgd sgd({w}, 0.1f);
+  const float norm = sgd.ClipGradNorm(1.0f);
+  EXPECT_FLOAT_EQ(norm, 0.5f);
+  EXPECT_FLOAT_EQ(w.grad()[0], 0.3f);  // unchanged
+}
+
+// ------------------------------------------------------ pretrainer edges
+
+TEST(PretrainerEdgeTest, SingleSentenceDocumentHandled) {
+  // SCL and DNSP need >= 2 sentences; a 1-sentence document must not crash
+  // and MLLM must still produce a loss.
+  resumegen::CorpusConfig ccfg;
+  ccfg.pretrain_docs = 2;
+  ccfg.train_docs = 1;
+  ccfg.val_docs = 1;
+  ccfg.test_docs = 1;
+  ccfg.seed = 91;
+  const resumegen::Corpus corpus = resumegen::GenerateCorpus(ccfg);
+  const text::WordPieceTokenizer tokenizer =
+      resumegen::TrainTokenizer(corpus, 400);
+  core::ResuFormerConfig cfg;
+  cfg.hidden = 16;
+  cfg.sentence_layers = 1;
+  cfg.document_layers = 1;
+  cfg.num_heads = 2;
+  cfg.ffn = 32;
+  cfg.vocab_size = tokenizer.vocab().size();
+  Rng rng(1);
+  core::HierarchicalEncoder encoder(cfg, &rng);
+  core::Pretrainer pretrainer(&encoder, &rng);
+
+  core::EncodedDocument doc =
+      core::EncodeForModel(corpus.train[0].document, tokenizer, cfg);
+  doc.sentences.resize(1);  // truncate to a single sentence
+  std::vector<Tensor> params = encoder.Parameters();
+  for (const Tensor& p : pretrainer.OwnParameters()) params.push_back(p);
+  nn::Adam adam(params, 1e-3f);
+  const core::PretrainStats stats = pretrainer.Step({&doc}, &adam);
+  EXPECT_GT(stats.mllm_loss, 0.0);
+  EXPECT_EQ(stats.scl_loss, 0.0);
+  EXPECT_EQ(stats.dnsp_loss, 0.0);
+}
+
+TEST(PretrainerEdgeTest, DnspMatrixReceivesGradient) {
+  resumegen::CorpusConfig ccfg;
+  ccfg.pretrain_docs = 1;
+  ccfg.train_docs = 1;
+  ccfg.val_docs = 1;
+  ccfg.test_docs = 1;
+  ccfg.seed = 92;
+  const resumegen::Corpus corpus = resumegen::GenerateCorpus(ccfg);
+  const text::WordPieceTokenizer tokenizer =
+      resumegen::TrainTokenizer(corpus, 400);
+  core::ResuFormerConfig cfg;
+  cfg.hidden = 16;
+  cfg.sentence_layers = 1;
+  cfg.document_layers = 1;
+  cfg.num_heads = 2;
+  cfg.ffn = 32;
+  cfg.vocab_size = tokenizer.vocab().size();
+  Rng rng(2);
+  core::HierarchicalEncoder encoder(cfg, &rng);
+  core::PretrainObjectives obj;
+  obj.mllm = false;
+  obj.scl = false;
+  core::Pretrainer pretrainer(&encoder, &rng, obj);
+  const core::EncodedDocument doc =
+      core::EncodeForModel(corpus.pretrain[0].document, tokenizer, cfg);
+  Tensor w = pretrainer.OwnParameters()[0];
+  const float before = w.at(0, 0);
+  std::vector<Tensor> params = encoder.Parameters();
+  params.push_back(w);
+  nn::Adam adam(params, 1e-2f);
+  pretrainer.Step({&doc}, &adam);
+  EXPECT_NE(w.at(0, 0), before);  // the bilinear form trained
+}
+
+// -------------------------------------------------------- renderer edges
+
+TEST(RendererEdgeTest, TwoColumnSidebarGeometry) {
+  Rng rng(7);
+  resumegen::ResumeSampler sampler(&rng);
+  resumegen::Renderer renderer(&rng);
+  const resumegen::GeneratedResume r =
+      renderer.Render(sampler.Sample(), resumegen::TemplateById(1));
+  // Two-column layout: some sentences must start left of x=200 (sidebar)
+  // and some right of x=210 (main column).
+  bool has_sidebar = false, has_main = false;
+  for (const auto& s : r.document.sentences) {
+    if (s.box.x0 < 200.0f) has_sidebar = true;
+    if (s.box.x0 > 210.0f) has_main = true;
+  }
+  EXPECT_TRUE(has_sidebar);
+  EXPECT_TRUE(has_main);
+}
+
+TEST(RendererEdgeTest, FooterNoiseLinesAreOutsideLabel) {
+  // Across many documents, some carry "Page x / y" footers labeled O.
+  Rng rng(8);
+  int footers = 0;
+  for (int i = 0; i < 30; ++i) {
+    const resumegen::GeneratedResume r = resumegen::GenerateResume(&rng);
+    for (int s = 0; s < r.document.NumSentences(); ++s) {
+      if (r.document.sentences[s].tokens[0].word == "Page") {
+        EXPECT_EQ(r.document.sentence_labels[s], doc::kOutsideLabel);
+        ++footers;
+      }
+    }
+  }
+  EXPECT_GT(footers, 0);
+}
+
+// -------------------------------------------------------- augmenter edges
+
+TEST(AugmenterEdgeTest, ZeroSwapProbabilityIsIdentity) {
+  distant::EntityDictionary dict;
+  dict.Add(doc::EntityTag::kCollege, "Northgate University");
+  Rng rng(9);
+  distant::Augmenter augmenter(&dict, &rng);
+  distant::AnnotatedSequence seq;
+  seq.words = {"Northgate", "University", "x"};
+  seq.labels = {doc::EntityIobLabel(doc::EntityTag::kCollege, true),
+                doc::EntityIobLabel(doc::EntityTag::kCollege, false), 0};
+  const auto out = augmenter.SwapEntities(seq, 0.0);
+  EXPECT_EQ(out.words, seq.words);
+  EXPECT_EQ(out.labels, seq.labels);
+}
+
+TEST(AugmenterEdgeTest, ShuffleWithoutTwoSpansIsIdentity) {
+  distant::EntityDictionary dict;
+  Rng rng(10);
+  distant::Augmenter augmenter(&dict, &rng);
+  distant::AnnotatedSequence seq;
+  seq.words = {"just", "words"};
+  seq.labels = {0, 0};
+  const auto out = augmenter.ShuffleEntityOrder(seq);
+  EXPECT_EQ(out.words, seq.words);
+}
+
+// ------------------------------------------------------- serialize edges
+
+TEST(SerializeEdgeTest, LargeModuleRoundTrip) {
+  Rng rng(11);
+  core::ResuFormerConfig cfg;
+  cfg.hidden = 16;
+  cfg.sentence_layers = 1;
+  cfg.document_layers = 1;
+  cfg.num_heads = 2;
+  cfg.ffn = 32;
+  cfg.vocab_size = 200;
+  core::HierarchicalEncoder a(cfg, &rng);
+  core::HierarchicalEncoder b(cfg, &rng);
+  const std::string path = ::testing::TempDir() + "/encoder.bin";
+  ASSERT_TRUE(nn::SaveParameters(a, path).ok());
+  ASSERT_TRUE(nn::LoadParameters(&b, path).ok());
+  const auto pa = a.Parameters(), pb = b.Parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i].size(), pb[i].size());
+    EXPECT_EQ(pa[i].data()[0], pb[i].data()[0]);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace resuformer

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "eval/block_metrics.h"
+#include "eval/entity_metrics.h"
+#include "eval/report.h"
+#include "eval/timing.h"
+
+namespace resuformer {
+namespace eval {
+namespace {
+
+using doc::BlockTag;
+using doc::EntityTag;
+
+TEST(ExtractEntitySpansTest, BasicSpans) {
+  // B-Name I-Name O B-Date
+  const std::vector<int> labels = {
+      doc::EntityIobLabel(EntityTag::kName, true),
+      doc::EntityIobLabel(EntityTag::kName, false), 0,
+      doc::EntityIobLabel(EntityTag::kDate, true)};
+  const auto spans = ExtractEntitySpans(labels);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].start, 0);
+  EXPECT_EQ(spans[0].end, 2);
+  EXPECT_EQ(spans[0].tag, EntityTag::kName);
+  EXPECT_EQ(spans[1].start, 3);
+}
+
+TEST(ExtractEntitySpansTest, OrphanInsideStartsSpan) {
+  const std::vector<int> labels = {
+      0, doc::EntityIobLabel(EntityTag::kCompany, false)};
+  const auto spans = ExtractEntitySpans(labels);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].tag, EntityTag::kCompany);
+}
+
+TEST(ExtractEntitySpansTest, AdjacentBeginsSeparateSpans) {
+  const std::vector<int> labels = {
+      doc::EntityIobLabel(EntityTag::kDate, true),
+      doc::EntityIobLabel(EntityTag::kDate, true)};
+  EXPECT_EQ(ExtractEntitySpans(labels).size(), 2u);
+}
+
+TEST(MakePrfTest, Math) {
+  const Prf prf = MakePrf(8, 10, 16);
+  EXPECT_DOUBLE_EQ(prf.precision, 0.8);
+  EXPECT_DOUBLE_EQ(prf.recall, 0.5);
+  EXPECT_NEAR(prf.f1, 2 * 0.8 * 0.5 / 1.3, 1e-9);
+}
+
+TEST(MakePrfTest, ZeroDenominators) {
+  const Prf prf = MakePrf(0, 0, 0);
+  EXPECT_EQ(prf.precision, 0.0);
+  EXPECT_EQ(prf.recall, 0.0);
+  EXPECT_EQ(prf.f1, 0.0);
+}
+
+TEST(EntityScorerTest, ExactSpanMatching) {
+  EntityScorer scorer;
+  // Gold: Name[0,2), Date[3,4). Pred: Name[0,2) correct, Date[2,4) wrong.
+  const std::vector<int> gold = {
+      doc::EntityIobLabel(EntityTag::kName, true),
+      doc::EntityIobLabel(EntityTag::kName, false), 0,
+      doc::EntityIobLabel(EntityTag::kDate, true)};
+  const std::vector<int> pred = {
+      doc::EntityIobLabel(EntityTag::kName, true),
+      doc::EntityIobLabel(EntityTag::kName, false),
+      doc::EntityIobLabel(EntityTag::kDate, true),
+      doc::EntityIobLabel(EntityTag::kDate, false)};
+  scorer.Add(pred, gold);
+  const Prf name = scorer.ForTag(EntityTag::kName);
+  EXPECT_DOUBLE_EQ(name.f1, 1.0);
+  const Prf date = scorer.ForTag(EntityTag::kDate);
+  EXPECT_DOUBLE_EQ(date.f1, 0.0);
+  const Prf overall = scorer.Overall();
+  EXPECT_DOUBLE_EQ(overall.precision, 0.5);
+  EXPECT_DOUBLE_EQ(overall.recall, 0.5);
+}
+
+TEST(EntityScorerTest, LengthMismatchPadded) {
+  EntityScorer scorer;
+  scorer.Add({doc::EntityIobLabel(EntityTag::kAge, true)},
+             {doc::EntityIobLabel(EntityTag::kAge, true), 0, 0});
+  EXPECT_DOUBLE_EQ(scorer.ForTag(EntityTag::kAge).f1, 1.0);
+}
+
+doc::Document MakeDocWithAreas() {
+  doc::Document d;
+  auto add_sentence = [&d](float area_side, int gold_label) {
+    doc::Sentence s;
+    doc::Token t;
+    t.word = "x";
+    t.box = doc::BBox{0, 0, area_side, 1};  // area = area_side
+    s.tokens = {t};
+    s.box = t.box;
+    d.sentences.push_back(s);
+    d.sentence_labels.push_back(gold_label);
+  };
+  // Two PInfo sentences (areas 10 and 30), one WorkExp (area 60).
+  add_sentence(10, doc::IobLabel(BlockTag::kPInfo, true));
+  add_sentence(30, doc::IobLabel(BlockTag::kPInfo, false));
+  add_sentence(60, doc::IobLabel(BlockTag::kWorkExp, true));
+  return d;
+}
+
+TEST(BlockScorerTest, AreaWeightedScores) {
+  doc::Document d = MakeDocWithAreas();
+  // Prediction: first sentence correct, second mislabeled WorkExp, third
+  // correct.
+  const std::vector<int> pred = {doc::IobLabel(BlockTag::kPInfo, true),
+                                 doc::IobLabel(BlockTag::kWorkExp, true),
+                                 doc::IobLabel(BlockTag::kWorkExp, false)};
+  BlockScorer scorer;
+  scorer.Add(d, pred);
+  const Prf pinfo = scorer.ForTag(BlockTag::kPInfo);
+  // detected PInfo area 10, gold 40, correct 10.
+  EXPECT_DOUBLE_EQ(pinfo.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pinfo.recall, 0.25);
+  const Prf work = scorer.ForTag(BlockTag::kWorkExp);
+  // detected 90, gold 60, correct 60.
+  EXPECT_NEAR(work.precision, 60.0 / 90.0, 1e-9);
+  EXPECT_DOUBLE_EQ(work.recall, 1.0);
+}
+
+TEST(BlockScorerTest, BAndIVariantsMapToSameTag) {
+  doc::Document d = MakeDocWithAreas();
+  const std::vector<int> pred = {doc::IobLabel(BlockTag::kPInfo, false),
+                                 doc::IobLabel(BlockTag::kPInfo, true),
+                                 doc::IobLabel(BlockTag::kWorkExp, false)};
+  BlockScorer scorer;
+  scorer.Add(d, pred);
+  EXPECT_DOUBLE_EQ(scorer.ForTag(BlockTag::kPInfo).f1, 1.0);
+  EXPECT_DOUBLE_EQ(scorer.ForTag(BlockTag::kWorkExp).f1, 1.0);
+  EXPECT_DOUBLE_EQ(scorer.Overall().f1, 1.0);
+}
+
+TEST(ReportTest, CellFormats) {
+  Prf prf;
+  prf.precision = 0.8793;
+  prf.recall = 0.9591;
+  prf.f1 = 0.9175;
+  EXPECT_EQ(PrfCell(prf), "91.75 (95.91 / 87.93)");
+  EXPECT_EQ(F1Cell(prf), "91.75");
+  EXPECT_EQ(LatencyCell(0.27), "0.27s");
+  EXPECT_EQ(LatencyCell(0.012), "0.012s");
+}
+
+TEST(TimingTest, StopwatchAndMeter) {
+  Stopwatch sw;
+  double x = 0;
+  for (int i = 0; i < 100000; ++i) x += i;
+  EXPECT_GE(sw.Seconds(), 0.0);
+  (void)x;
+  LatencyMeter meter;
+  meter.Add(0.2);
+  meter.Add(0.4);
+  EXPECT_DOUBLE_EQ(meter.MeanSeconds(), 0.3);
+  EXPECT_EQ(meter.count(), 2);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace resuformer

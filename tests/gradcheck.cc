@@ -1,0 +1,31 @@
+#include "gradcheck.h"
+
+#include <cmath>
+
+namespace resuformer {
+namespace testing {
+
+double GradCheck(Tensor input, const std::function<Tensor()>& loss_fn,
+                 double epsilon) {
+  input.set_requires_grad(true);
+  input.ZeroGrad();
+  Tensor loss = loss_fn();
+  loss.Backward();
+  std::vector<float> analytic(input.grad(), input.grad() + input.size());
+
+  double max_diff = 0.0;
+  for (int64_t i = 0; i < input.size(); ++i) {
+    const float original = input.data()[i];
+    input.data()[i] = original + static_cast<float>(epsilon);
+    const double plus = loss_fn().item();
+    input.data()[i] = original - static_cast<float>(epsilon);
+    const double minus = loss_fn().item();
+    input.data()[i] = original;
+    const double numeric = (plus - minus) / (2.0 * epsilon);
+    max_diff = std::max(max_diff, std::fabs(numeric - analytic[i]));
+  }
+  return max_diff;
+}
+
+}  // namespace testing
+}  // namespace resuformer

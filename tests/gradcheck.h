@@ -1,0 +1,21 @@
+#ifndef RESUFORMER_TESTS_GRADCHECK_H_
+#define RESUFORMER_TESTS_GRADCHECK_H_
+
+#include <functional>
+
+#include "tensor/tensor.h"
+
+namespace resuformer {
+namespace testing {
+
+/// Compares the analytic gradient of `loss_fn` w.r.t. `input` against
+/// central finite differences. `loss_fn` must be a pure function of the
+/// current contents of `input` returning a scalar Tensor.
+/// Returns the maximum absolute difference found.
+double GradCheck(Tensor input, const std::function<Tensor()>& loss_fn,
+                 double epsilon = 1e-3);
+
+}  // namespace testing
+}  // namespace resuformer
+
+#endif  // RESUFORMER_TESTS_GRADCHECK_H_

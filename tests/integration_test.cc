@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "pipeline/pipeline.h"
+
+namespace resuformer {
+namespace pipeline {
+namespace {
+
+PipelineOptions TinyOptions() {
+  PipelineOptions options;
+  options.model.hidden = 16;
+  options.model.sentence_layers = 1;
+  options.model.document_layers = 1;
+  options.model.num_heads = 2;
+  options.model.ffn = 32;
+  options.model.max_tokens_per_sentence = 12;
+  options.model.max_sentences = 32;
+  options.model.lstm_hidden = 12;
+  options.ner.hidden = 16;
+  options.ner.layers = 1;
+  options.ner.num_heads = 2;
+  options.ner.ffn = 32;
+  options.ner.max_tokens = 60;
+  options.ner.lstm_hidden = 8;
+  options.vocab_size = 600;
+  options.pretrain_epochs = 1;
+  options.finetune.epochs = 10;
+  options.finetune.patience = 10;
+  options.selftrain.teacher_epochs = 5;
+  options.selftrain.teacher_patience = 5;
+  options.selftrain.iterations = 1;
+  options.ner_data.train_sequences = 80;
+  options.ner_data.val_sequences = 20;
+  options.ner_data.test_sequences = 20;
+  return options;
+}
+
+TEST(PipelineIntegrationTest, EndToEndTrainAndParse) {
+  resumegen::CorpusConfig ccfg;
+  ccfg.pretrain_docs = 6;
+  ccfg.train_docs = 10;
+  ccfg.val_docs = 4;
+  ccfg.test_docs = 3;
+  ccfg.seed = 77;
+  const resumegen::Corpus corpus = resumegen::GenerateCorpus(ccfg);
+
+  TrainReport report;
+  auto pipeline =
+      ResuFormerPipeline::TrainFromCorpus(corpus, TinyOptions(), &report);
+  ASSERT_NE(pipeline, nullptr);
+  EXPECT_GT(report.block_val_accuracy, 0.3);  // far above the 1/17 chance
+  EXPECT_GT(report.ner_val_f1, 0.1);
+
+  const StructuredResume parsed =
+      pipeline->Parse(corpus.test[0].document);
+  EXPECT_FALSE(parsed.blocks.empty());
+  // At least one entity should be extracted somewhere in the resume.
+  int entities = 0;
+  for (const StructuredBlock& b : parsed.blocks) {
+    entities += static_cast<int>(b.entities.size());
+  }
+  EXPECT_GT(entities, 0);
+
+  const std::string pretty = ResuFormerPipeline::ToPrettyString(parsed);
+  EXPECT_NE(pretty.find("lines"), std::string::npos);
+
+  // Save/Load round-trip: the reloaded pipeline must reproduce the same
+  // parse on the same document.
+  const std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(pipeline->Save(dir).ok());
+  auto loaded = ResuFormerPipeline::Load(dir, TinyOptions());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const StructuredResume reparsed =
+      (*loaded)->Parse(corpus.test[0].document);
+  ASSERT_EQ(reparsed.blocks.size(), parsed.blocks.size());
+  for (size_t i = 0; i < parsed.blocks.size(); ++i) {
+    EXPECT_EQ(reparsed.blocks[i].tag, parsed.blocks[i].tag);
+    EXPECT_EQ(reparsed.blocks[i].entities.size(),
+              parsed.blocks[i].entities.size());
+  }
+}
+
+TEST(PipelineIntegrationTest, LoadFromMissingDirectoryFails) {
+  auto loaded = ResuFormerPipeline::Load("/nonexistent/path", TinyOptions());
+  EXPECT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace pipeline
+}  // namespace resuformer

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "gradcheck.h"
+#include "nn/attention.h"
+#include "nn/embedding.h"
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "nn/mlp.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+#include "nn/transformer.h"
+#include "tensor/ops.h"
+
+namespace resuformer {
+namespace nn {
+namespace {
+
+using resuformer::testing::GradCheck;
+constexpr double kTol = 8e-2;
+
+TEST(ModuleTest, ParameterRegistryFlattensChildren) {
+  Rng rng(1);
+  Mlp mlp({4, 8, 2}, &rng);
+  // Two linears, each weight+bias.
+  EXPECT_EQ(mlp.Parameters().size(), 4u);
+  EXPECT_EQ(mlp.ParameterCount(), 4 * 8 + 8 + 8 * 2 + 2);
+}
+
+TEST(ModuleTest, TrainingFlagPropagates) {
+  Rng rng(1);
+  TransformerEncoder enc(TransformerConfig{8, 2, 2, 16, 0.1f}, &rng);
+  enc.SetTraining(false);
+  EXPECT_FALSE(enc.training());
+}
+
+TEST(LinearTest, ShapesAndBias) {
+  Rng rng(2);
+  Linear lin(3, 5, &rng);
+  Tensor x = Tensor::Randn({4, 3}, &rng);
+  Tensor y = lin.Forward(x);
+  EXPECT_EQ(y.rows(), 4);
+  EXPECT_EQ(y.cols(), 5);
+}
+
+TEST(LinearTest, GradThroughLayer) {
+  Rng rng(3);
+  Linear lin(4, 3, &rng);
+  Tensor x = Tensor::Randn({2, 4}, &rng);
+  EXPECT_LT(GradCheck(x, [&]() { return ops::Mean(lin.Forward(x)); }), kTol);
+}
+
+TEST(EmbeddingTest, LookupMatchesWeightRows) {
+  Rng rng(4);
+  Embedding emb(10, 6, &rng);
+  Tensor out = emb.Forward({3, 3, 7});
+  for (int j = 0; j < 6; ++j) {
+    EXPECT_EQ(out.at(0, j), emb.weight().at(3, j));
+    EXPECT_EQ(out.at(1, j), emb.weight().at(3, j));
+    EXPECT_EQ(out.at(2, j), emb.weight().at(7, j));
+  }
+}
+
+TEST(LayerNormTest, NormalizesRows) {
+  Rng rng(5);
+  LayerNorm ln(8);
+  Tensor x = Tensor::Randn({3, 8}, &rng, 5.0f);
+  Tensor y = ln.Forward(x);
+  for (int i = 0; i < 3; ++i) {
+    float mean = 0.0f, var = 0.0f;
+    for (int j = 0; j < 8; ++j) mean += y.at(i, j);
+    mean /= 8;
+    for (int j = 0; j < 8; ++j) var += (y.at(i, j) - mean) * (y.at(i, j) - mean);
+    var /= 8;
+    EXPECT_NEAR(mean, 0.0f, 1e-4f);
+    EXPECT_NEAR(var, 1.0f, 1e-2f);
+  }
+}
+
+TEST(AttentionTest, OutputShapeAndGrad) {
+  Rng rng(6);
+  MultiHeadSelfAttention attn(8, 2, &rng);
+  Tensor x = Tensor::Randn({5, 8}, &rng);
+  Tensor y = attn.Forward(x);
+  EXPECT_EQ(y.rows(), 5);
+  EXPECT_EQ(y.cols(), 8);
+  EXPECT_LT(GradCheck(x, [&]() { return ops::Mean(attn.Forward(x)); }), kTol);
+}
+
+TEST(AttentionTest, MaskBiasBlocksPositions) {
+  Rng rng(7);
+  MultiHeadSelfAttention attn(8, 2, &rng);
+  Tensor x = Tensor::Randn({3, 8}, &rng);
+  // Bias that forbids attending to position 2 from anywhere.
+  Tensor bias = Tensor::Zeros({3, 3});
+  for (int i = 0; i < 3; ++i) bias.at(i, 2) = -1e9f;
+  Tensor masked = attn.Forward(x, bias);
+  // Changing row 2's content must not affect rows 0-1 outputs beyond its own
+  // query path. Perturb x row 2 and compare outputs of row 0.
+  Tensor x2 = x.Detach();
+  for (int j = 0; j < 8; ++j) x2.at(2, j) += 10.0f;
+  Tensor masked2 = attn.Forward(x2, bias);
+  for (int j = 0; j < 8; ++j) {
+    EXPECT_NEAR(masked.at(0, j), masked2.at(0, j), 1e-4f);
+  }
+}
+
+TEST(TransformerTest, StackPreservesShape) {
+  Rng rng(8);
+  TransformerConfig cfg{12, 3, 2, 24, 0.0f};
+  TransformerEncoder enc(cfg, &rng);
+  Tensor x = Tensor::Randn({6, 12}, &rng);
+  Tensor y = enc.Forward(x);
+  EXPECT_EQ(y.rows(), 6);
+  EXPECT_EQ(y.cols(), 12);
+}
+
+TEST(TransformerTest, GradFlowsThroughStack) {
+  Rng rng(9);
+  TransformerConfig cfg{8, 2, 2, 16, 0.0f};
+  TransformerEncoder enc(cfg, &rng);
+  Tensor x = Tensor::Randn({4, 8}, &rng);
+  EXPECT_LT(GradCheck(x, [&]() { return ops::Mean(enc.Forward(x)); }),
+            2e-1);  // deep stack, float32
+}
+
+TEST(LstmTest, ShapesAndReverseAlignment) {
+  Rng rng(10);
+  Lstm lstm(6, 4, &rng);
+  Tensor x = Tensor::Randn({5, 6}, &rng);
+  Tensor fwd = lstm.Forward(x, false);
+  EXPECT_EQ(fwd.rows(), 5);
+  EXPECT_EQ(fwd.cols(), 4);
+  // Reverse: output row 4 should equal forward-over-reversed-input row 0.
+  Tensor rev = lstm.Forward(x, true);
+  EXPECT_EQ(rev.rows(), 5);
+}
+
+TEST(LstmTest, GradThroughTime) {
+  Rng rng(11);
+  Lstm lstm(4, 3, &rng);
+  Tensor x = Tensor::Randn({4, 4}, &rng);
+  EXPECT_LT(GradCheck(x, [&]() { return ops::Mean(lstm.Forward(x)); }), kTol);
+}
+
+TEST(BiLstmTest, ConcatenatesDirections) {
+  Rng rng(12);
+  BiLstm bilstm(6, 5, &rng);
+  Tensor x = Tensor::Randn({3, 6}, &rng);
+  Tensor y = bilstm.Forward(x);
+  EXPECT_EQ(y.cols(), 10);
+  EXPECT_EQ(bilstm.output_dim(), 10);
+}
+
+TEST(OptimizerTest, AdamMinimizesQuadratic) {
+  // min ||w - target||^2
+  Rng rng(13);
+  Tensor w = Tensor::Randn({4}, &rng);
+  w.set_requires_grad(true);
+  Tensor target = Tensor::FromData({4}, {1.0f, -2.0f, 0.5f, 3.0f});
+  Adam adam({w}, 0.1f);
+  for (int step = 0; step < 300; ++step) {
+    adam.ZeroGrad();
+    Tensor diff = ops::Sub(w, target);
+    Tensor loss = ops::Mean(ops::Mul(diff, diff));
+    loss.Backward();
+    adam.Step();
+  }
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(w.at(i), target.at(i), 1e-2f);
+}
+
+TEST(OptimizerTest, SgdMomentumMinimizes) {
+  Rng rng(14);
+  Tensor w = Tensor::Randn({3}, &rng);
+  w.set_requires_grad(true);
+  Sgd sgd({w}, 0.05f, 0.9f);
+  for (int step = 0; step < 200; ++step) {
+    sgd.ZeroGrad();
+    Tensor loss = ops::Mean(ops::Mul(w, w));
+    loss.Backward();
+    sgd.Step();
+  }
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(w.at(i), 0.0f, 1e-2f);
+}
+
+TEST(OptimizerTest, ClipGradNormRescales) {
+  Tensor w = Tensor::Full({4}, 1.0f, true);
+  for (int i = 0; i < 4; ++i) w.grad()[i] = 10.0f;
+  Adam adam({w}, 0.1f);
+  const float norm = adam.ClipGradNorm(1.0f);
+  EXPECT_NEAR(norm, 20.0f, 1e-3f);
+  float new_norm = 0.0f;
+  for (int i = 0; i < 4; ++i) new_norm += w.grad()[i] * w.grad()[i];
+  EXPECT_NEAR(std::sqrt(new_norm), 1.0f, 1e-4f);
+}
+
+TEST(OptimizerTest, PerGroupLearningRate) {
+  Tensor a = Tensor::Full({1}, 0.0f, true);
+  Tensor b = Tensor::Full({1}, 0.0f, true);
+  a.grad()[0] = 1.0f;
+  b.grad()[0] = 1.0f;
+  Sgd sgd({a, b}, 0.1f);
+  sgd.SetLearningRateFor({b}, 0.01f);
+  sgd.Step();
+  EXPECT_NEAR(a.at(0), -0.1f, 1e-6f);
+  EXPECT_NEAR(b.at(0), -0.01f, 1e-6f);
+}
+
+TEST(OptimizerTest, TrainTinyClassifier) {
+  // End-to-end sanity: a 2-layer MLP separates two Gaussian blobs.
+  Rng rng(15);
+  Mlp mlp({2, 16, 2}, &rng);
+  Adam adam(mlp.Parameters(), 0.02f);
+  std::vector<float> xs;
+  std::vector<int> ys;
+  for (int i = 0; i < 60; ++i) {
+    const int label = i % 2;
+    xs.push_back(static_cast<float>(rng.Normal()) + (label ? 2.5f : -2.5f));
+    xs.push_back(static_cast<float>(rng.Normal()) + (label ? 2.5f : -2.5f));
+    ys.push_back(label);
+  }
+  Tensor x = Tensor::FromData({60, 2}, xs);
+  for (int epoch = 0; epoch < 60; ++epoch) {
+    adam.ZeroGrad();
+    Tensor loss = ops::CrossEntropy(mlp.Forward(x), ys);
+    loss.Backward();
+    adam.Step();
+  }
+  NoGradGuard guard;
+  Tensor logits = mlp.Forward(x);
+  int correct = 0;
+  for (int i = 0; i < 60; ++i) {
+    if ((logits.at(i, 1) > logits.at(i, 0)) == (ys[i] == 1)) ++correct;
+  }
+  EXPECT_GE(correct, 57);
+}
+
+TEST(SerializeTest, SaveLoadRoundTrip) {
+  Rng rng(16);
+  Mlp a({3, 5, 2}, &rng);
+  Mlp b({3, 5, 2}, &rng);
+  const std::string path = ::testing::TempDir() + "/params.bin";
+  ASSERT_TRUE(SaveParameters(a, path).ok());
+  ASSERT_TRUE(LoadParameters(&b, path).ok());
+  auto pa = a.Parameters();
+  auto pb = b.Parameters();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    for (int64_t j = 0; j < pa[i].size(); ++j) {
+      EXPECT_EQ(pa[i].data()[j], pb[i].data()[j]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadRejectsMismatchedModule) {
+  Rng rng(17);
+  Mlp a({3, 5, 2}, &rng);
+  Mlp b({3, 7, 2}, &rng);
+  const std::string path = ::testing::TempDir() + "/params2.bin";
+  ASSERT_TRUE(SaveParameters(a, path).ok());
+  EXPECT_FALSE(LoadParameters(&b, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, CopyParametersClones) {
+  Rng rng(18);
+  Mlp a({2, 4, 2}, &rng);
+  Mlp b({2, 4, 2}, &rng);
+  ASSERT_TRUE(CopyParameters(a, &b).ok());
+  auto pa = a.Parameters();
+  auto pb = b.Parameters();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].data()[0], pb[i].data()[0]);
+  }
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace resuformer

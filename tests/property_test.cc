@@ -1,0 +1,307 @@
+// Property-based tests: randomized invariants swept with parameterized
+// gtest (TEST_P / INSTANTIATE_TEST_SUITE_P).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "crf/fuzzy_crf.h"
+#include "crf/linear_crf.h"
+#include "doc/document.h"
+#include "eval/block_metrics.h"
+#include "eval/entity_metrics.h"
+#include "gradcheck.h"
+#include "resumegen/entity_pools.h"
+#include "resumegen/renderer.h"
+#include "tensor/ops.h"
+#include "text/normalizer.h"
+#include "text/wordpiece.h"
+
+namespace resuformer {
+namespace {
+
+using resuformer::testing::GradCheck;
+
+// ---------------------------------------------------------------- softmax
+
+class SoftmaxPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SoftmaxPropertyTest, ShiftInvariantAndNormalized) {
+  Rng rng(GetParam());
+  Tensor x = Tensor::Randn({3, 7}, &rng, 3.0f);
+  Tensor shifted = ops::AddScalar(x, 17.5f);
+  Tensor a = ops::Softmax(x);
+  Tensor b = ops::Softmax(shifted);
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a.data()[i], b.data()[i], 1e-5f);
+  }
+  for (int r = 0; r < 3; ++r) {
+    float total = 0.0f;
+    for (int c = 0; c < 7; ++c) total += a.at(r, c);
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoftmaxPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ------------------------------------------------------------ CRF sweeps
+
+struct CrfShape {
+  int t_len;
+  int num_labels;
+};
+
+class CrfGradSweepTest : public ::testing::TestWithParam<CrfShape> {};
+
+TEST_P(CrfGradSweepTest, EmissionGradMatchesFiniteDifference) {
+  const CrfShape shape = GetParam();
+  Rng rng(shape.t_len * 31 + shape.num_labels);
+  crf::LinearCrf crf(shape.num_labels, &rng);
+  Tensor e = Tensor::Randn({shape.t_len, shape.num_labels}, &rng);
+  std::vector<int> labels(shape.t_len);
+  for (int t = 0; t < shape.t_len; ++t) {
+    labels[t] = rng.UniformInt(shape.num_labels);
+  }
+  EXPECT_LT(GradCheck(e, [&]() { return crf.NegLogLikelihood(e, labels); }),
+            5e-2);
+}
+
+TEST_P(CrfGradSweepTest, ViterbiPathScoresAtLeastRandomPaths) {
+  const CrfShape shape = GetParam();
+  Rng rng(shape.t_len * 77 + shape.num_labels);
+  crf::LinearCrf crf(shape.num_labels, &rng);
+  Tensor e = Tensor::Randn({shape.t_len, shape.num_labels}, &rng, 2.0f);
+  const std::vector<int> best = crf.Decode(e);
+  NoGradGuard guard;
+  // NLL(best) must be <= NLL(random) for any path (same partition function,
+  // so comparing NLLs compares path scores).
+  const float best_nll = crf.NegLogLikelihood(e, best).item();
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<int> random_path(shape.t_len);
+    for (int t = 0; t < shape.t_len; ++t) {
+      random_path[t] = rng.UniformInt(shape.num_labels);
+    }
+    EXPECT_LE(best_nll,
+              crf.NegLogLikelihood(e, random_path).item() + 1e-4f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CrfGradSweepTest,
+                         ::testing::Values(CrfShape{1, 3}, CrfShape{2, 2},
+                                           CrfShape{4, 3}, CrfShape{6, 5},
+                                           CrfShape{9, 4}));
+
+class FuzzyCrfPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzyCrfPropertyTest, MarginalLossNeverExceedsExactLoss) {
+  // Any allowed-set lattice containing the gold path admits at least as
+  // much probability mass as the single gold path, so the marginal NLL is
+  // a lower bound of the exact NLL.
+  Rng rng(GetParam());
+  crf::FuzzyCrf crf(4, &rng);
+  const int t_len = 5;
+  Tensor e = Tensor::Randn({t_len, 4}, &rng);
+  std::vector<int> gold(t_len);
+  std::vector<std::vector<bool>> allowed(t_len, std::vector<bool>(4, false));
+  for (int t = 0; t < t_len; ++t) {
+    gold[t] = rng.UniformInt(4);
+    allowed[t][gold[t]] = true;
+    // Randomly widen the set.
+    for (int l = 0; l < 4; ++l) {
+      if (rng.Bernoulli(0.4)) allowed[t][l] = true;
+    }
+  }
+  NoGradGuard guard;
+  EXPECT_LE(crf.MarginalNegLogLikelihood(e, allowed).item(),
+            crf.NegLogLikelihood(e, gold).item() + 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzyCrfPropertyTest,
+                         ::testing::Values(11, 12, 13, 14, 15, 16));
+
+// -------------------------------------------------------- tokenizer props
+
+class TokenizerRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TokenizerRoundTripTest, DecodeEncodeRecoversNormalizedText) {
+  Rng rng(GetParam());
+  // Train on a random sample of generator vocabulary.
+  std::vector<std::string> words;
+  for (int i = 0; i < 300; ++i) {
+    const auto& pool = resumegen::Skills();
+    words.push_back(pool[rng.UniformInt(static_cast<int>(pool.size()))]);
+  }
+  auto tok = text::WordPieceTokenizer::Train(words, 2000, 1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto& pool = resumegen::Skills();
+    const std::string w =
+        pool[rng.UniformInt(static_cast<int>(pool.size()))];
+    const std::vector<int> ids = tok.Encode(w);
+    // All training-set words must round-trip without [UNK].
+    for (int id : ids) EXPECT_NE(id, text::kUnkId) << w;
+    // Decoding reproduces the normalized form (lowercase, punct split).
+    std::string expected;
+    for (const std::string& piece : text::BasicTokenize(w)) {
+      if (!expected.empty()) expected += " ";
+      expected += piece;
+    }
+    EXPECT_EQ(tok.Decode(ids), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenizerRoundTripTest,
+                         ::testing::Values(21, 22, 23, 24));
+
+// ----------------------------------------------------- IOB/blocks duality
+
+class IobBlocksPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IobBlocksPropertyTest, BlocksRoundTripThroughLabels) {
+  Rng rng(GetParam());
+  // Random IOB sequence -> blocks -> canonical labels -> blocks is a fixed
+  // point (the canonicalization is idempotent).
+  const int n = 12;
+  std::vector<int> labels(n);
+  for (int i = 0; i < n; ++i) {
+    labels[i] = rng.UniformInt(doc::kNumIobLabels);
+  }
+  const auto blocks = doc::Document::BlocksFromLabels(labels);
+  std::vector<int> canonical(n, doc::kOutsideLabel);
+  for (const doc::Block& b : blocks) {
+    for (int i = b.first_sentence; i <= b.last_sentence; ++i) {
+      canonical[i] = doc::IobLabel(b.tag, i == b.first_sentence);
+    }
+  }
+  const auto blocks2 = doc::Document::BlocksFromLabels(canonical);
+  ASSERT_EQ(blocks.size(), blocks2.size());
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    EXPECT_EQ(blocks[i].tag, blocks2[i].tag);
+    EXPECT_EQ(blocks[i].first_sentence, blocks2[i].first_sentence);
+    EXPECT_EQ(blocks[i].last_sentence, blocks2[i].last_sentence);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IobBlocksPropertyTest,
+                         ::testing::Values(31, 32, 33, 34, 35, 36, 37, 38));
+
+// --------------------------------------------------------- metric duality
+
+class MetricIdentityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricIdentityTest, PerfectPredictionsScorePerfectly) {
+  Rng rng(GetParam());
+  const resumegen::GeneratedResume resume = resumegen::GenerateResume(&rng);
+  eval::BlockScorer scorer;
+  scorer.Add(resume.document, resume.document.sentence_labels);
+  EXPECT_NEAR(scorer.Overall().f1, 1.0, 1e-9);
+  EXPECT_NEAR(scorer.Overall().precision, 1.0, 1e-9);
+  EXPECT_NEAR(scorer.Overall().recall, 1.0, 1e-9);
+
+  eval::EntityScorer entity_scorer;
+  for (size_t s = 0; s < resume.entity_labels.size(); ++s) {
+    entity_scorer.Add(resume.entity_labels[s], resume.entity_labels[s]);
+  }
+  EXPECT_NEAR(entity_scorer.Overall().f1, 1.0, 1e-9);
+}
+
+TEST_P(MetricIdentityTest, AllOutsidePredictionsScoreZeroRecall) {
+  Rng rng(GetParam() + 100);
+  const resumegen::GeneratedResume resume = resumegen::GenerateResume(&rng);
+  eval::BlockScorer scorer;
+  scorer.Add(resume.document,
+             std::vector<int>(resume.document.NumSentences(),
+                              doc::kOutsideLabel));
+  EXPECT_EQ(scorer.Overall().recall, 0.0);
+  EXPECT_EQ(scorer.Overall().f1, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricIdentityTest,
+                         ::testing::Values(41, 42, 43, 44, 45));
+
+// -------------------------------------------------- generator invariants
+
+class GeneratorSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratorSweepTest, DocumentsAreWellFormed) {
+  Rng rng(GetParam());
+  const resumegen::GeneratedResume r = resumegen::GenerateResume(&rng);
+  const doc::Document& d = r.document;
+  ASSERT_EQ(d.sentences.size(), d.sentence_labels.size());
+  ASSERT_EQ(d.sentences.size(), r.entity_labels.size());
+  // Geometry: tokens in page bounds, sentences' boxes cover their tokens.
+  for (int s = 0; s < d.NumSentences(); ++s) {
+    const doc::Sentence& sentence = d.sentences[s];
+    for (const doc::Token& t : sentence.tokens) {
+      EXPECT_GE(t.box.x0, 0.0f);
+      EXPECT_LE(t.box.x1, d.page_width + 1.0f);
+      EXPECT_GE(t.box.y1, t.box.y0);
+      EXPECT_GE(sentence.box.x0 - 0.01f, -1.0f);
+      EXPECT_LE(t.box.x0 + 0.01f, sentence.box.x1 + 1.0f);
+    }
+  }
+  // Entity IOB labels are internally consistent: within a sentence, I-x
+  // follows B-x or I-x of the same tag. A sentence-initial I-x is legal —
+  // it continues an entity wrapped from the previous visual line — and the
+  // previous sentence must then end with the same tag.
+  for (size_t sent = 0; sent < r.entity_labels.size(); ++sent) {
+    const auto& sent_labels = r.entity_labels[sent];
+    for (size_t i = 0; i < sent_labels.size(); ++i) {
+      doc::EntityTag tag;
+      bool begin;
+      if (doc::ParseEntityIobLabel(sent_labels[i], &tag, &begin) && !begin) {
+        doc::EntityTag prev_tag;
+        bool prev_begin;
+        if (i > 0) {
+          ASSERT_TRUE(doc::ParseEntityIobLabel(sent_labels[i - 1], &prev_tag,
+                                               &prev_begin));
+          EXPECT_EQ(prev_tag, tag);
+        } else {
+          ASSERT_GT(sent, 0u);
+          const auto& prev = r.entity_labels[sent - 1];
+          ASSERT_FALSE(prev.empty());
+          ASSERT_TRUE(doc::ParseEntityIobLabel(prev.back(), &prev_tag,
+                                               &prev_begin));
+          EXPECT_EQ(prev_tag, tag);
+        }
+      }
+    }
+  }
+  // Block labels: every I-x is preceded (in sentence order) by B-x or I-x
+  // of the same tag, except wrapped continuations which the renderer emits
+  // consistently by construction.
+  const auto blocks = doc::Document::BlocksFromLabels(d.sentence_labels);
+  EXPECT_FALSE(blocks.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSweepTest,
+                         ::testing::Range<uint64_t>(100, 120));
+
+// ---------------------------------------------------- layer-norm algebra
+
+class LayerNormPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LayerNormPropertyTest, OutputRowsAreStandardizedForUnitGain) {
+  Rng rng(GetParam());
+  Tensor x = Tensor::Randn({4, 16}, &rng, 7.0f);
+  Tensor gamma = Tensor::Full({16}, 1.0f);
+  Tensor beta = Tensor::Zeros({16});
+  Tensor y = ops::LayerNormOp(x, gamma, beta);
+  for (int r = 0; r < 4; ++r) {
+    double mean = 0, var = 0;
+    for (int c = 0; c < 16; ++c) mean += y.at(r, c);
+    mean /= 16;
+    for (int c = 0; c < 16; ++c) {
+      var += (y.at(r, c) - mean) * (y.at(r, c) - mean);
+    }
+    var /= 16;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LayerNormPropertyTest,
+                         ::testing::Values(51, 52, 53, 54));
+
+}  // namespace
+}  // namespace resuformer

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "doc/sentence_assembler.h"
+#include "resumegen/corpus.h"
+#include "resumegen/entity_pools.h"
+#include "resumegen/renderer.h"
+#include "resumegen/resume_sampler.h"
+#include "resumegen/templates.h"
+
+namespace resuformer {
+namespace resumegen {
+namespace {
+
+using doc::BlockTag;
+
+TEST(EntityPoolsTest, PoolsAreNonTrivial) {
+  EXPECT_GE(FirstNames().size(), 40u);
+  EXPECT_GE(LastNames().size(), 40u);
+  EXPECT_GE(Colleges().size(), 30u);
+  EXPECT_GE(Majors().size(), 20u);
+  EXPECT_GE(Skills().size(), 30u);
+  EXPECT_GE(Awards().size(), 10u);
+}
+
+TEST(EntityPoolsTest, HeaderVariantsPerTag) {
+  for (int t = 0; t < doc::kNumBlockTags; ++t) {
+    EXPECT_GE(HeaderVariants(t).size(), 2u);
+  }
+}
+
+TEST(ResumeSamplerTest, RecordWellFormed) {
+  Rng rng(1);
+  ResumeSampler sampler(&rng);
+  for (int i = 0; i < 20; ++i) {
+    const ResumeRecord rec = sampler.Sample();
+    EXPECT_FALSE(rec.first_name.empty());
+    EXPECT_NE(rec.email.find('@'), std::string::npos);
+    EXPECT_GE(rec.age, 22);
+    EXPECT_GE(rec.education.size(), 1u);
+    EXPECT_GE(rec.work.size(), 1u);
+    EXPECT_LE(rec.work.size(), 4u);
+    for (const WorkEntry& w : rec.work) {
+      EXPECT_FALSE(w.company.empty());
+      EXPECT_GE(w.content_lines.size(), 2u);
+      EXPECT_LE(w.dates.start_year * 12 + w.dates.start_month,
+                w.dates.end_year * 12 + w.dates.end_month);
+    }
+  }
+}
+
+TEST(ResumeSamplerTest, CompositionalCompaniesAreDiverse) {
+  Rng rng(2);
+  ResumeSampler sampler(&rng);
+  std::set<std::string> companies;
+  for (int i = 0; i < 200; ++i) companies.insert(sampler.SampleCompany());
+  EXPECT_GE(companies.size(), 150u);  // combinatorial space
+}
+
+TEST(FormatDateRangeTest, Styles) {
+  DateRange r{2016, 9, 2019, 6, false};
+  EXPECT_EQ(FormatDateRange(r, 0), "2016.09 - 2019.06");
+  EXPECT_EQ(FormatDateRange(r, 1), "2016/09 - 2019/06");
+  r.current = true;
+  EXPECT_EQ(FormatDateRange(r, 0), "2016.09 - Present");
+}
+
+TEST(TemplatesTest, BuiltinsCoverStyles) {
+  const auto& templates = BuiltinTemplates();
+  EXPECT_GE(templates.size(), 3u);
+  bool has_two_column = false;
+  for (const auto& t : templates) {
+    if (t.columns == 2) has_two_column = true;
+    EXPECT_FALSE(t.block_order.empty());
+  }
+  EXPECT_TRUE(has_two_column);
+}
+
+class RendererInvariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RendererInvariantTest, LabelsAlignedAndConsistent) {
+  Rng rng(100 + GetParam());
+  ResumeSampler sampler(&rng);
+  Renderer renderer(&rng);
+  const ResumeRecord rec = sampler.Sample();
+  const GeneratedResume r = renderer.Render(rec, TemplateById(GetParam()));
+
+  const auto& d = r.document;
+  ASSERT_EQ(d.sentences.size(), d.sentence_labels.size());
+  ASSERT_EQ(d.sentences.size(), r.entity_labels.size());
+  EXPECT_GT(d.NumSentences(), 5);
+  EXPECT_GT(d.NumTokens(), 30);
+
+  for (int i = 0; i < d.NumSentences(); ++i) {
+    const auto& s = d.sentences[i];
+    ASSERT_FALSE(s.tokens.empty());
+    ASSERT_EQ(s.tokens.size(), r.entity_labels[i].size());
+    // Tokens stay within page bounds and inside the sentence box.
+    for (const auto& t : s.tokens) {
+      EXPECT_GE(t.box.x0, 0.0f);
+      EXPECT_LE(t.box.x1, d.page_width + 1.0f);
+      EXPECT_GE(t.box.y0, 0.0f);
+      EXPECT_LE(t.box.y1, d.page_height + 1.0f);
+      EXPECT_GE(t.page, 0);
+      EXPECT_LT(t.page, d.num_pages);
+      EXPECT_EQ(t.page, s.page);
+    }
+  }
+  // Every generated resume must contain PInfo and WorkExp blocks. (Title
+  // blocks are frequent but optional: templates may skip section headers.)
+  std::set<BlockTag> seen;
+  for (const auto& b : d.blocks) seen.insert(b.tag);
+  EXPECT_TRUE(seen.count(BlockTag::kPInfo));
+  EXPECT_TRUE(seen.count(BlockTag::kWorkExp));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTemplates, RendererInvariantTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(RendererTest, EntityLabelsMarkGoldEntities) {
+  Rng rng(7);
+  ResumeSampler sampler(&rng);
+  Renderer renderer(&rng);
+  const ResumeRecord rec = sampler.Sample();
+  const GeneratedResume r = renderer.Render(rec, TemplateById(0));
+
+  // The rendered document must contain a token span labeled Name matching
+  // the record's name.
+  bool found_name = false;
+  for (size_t s = 0; s < r.entity_labels.size(); ++s) {
+    for (size_t t = 0; t < r.entity_labels[s].size(); ++t) {
+      doc::EntityTag tag;
+      bool begin;
+      if (doc::ParseEntityIobLabel(r.entity_labels[s][t], &tag, &begin) &&
+          tag == doc::EntityTag::kName && begin) {
+        EXPECT_EQ(r.document.sentences[s].tokens[t].word, rec.first_name);
+        found_name = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_name);
+}
+
+TEST(RendererTest, WorkEntriesEachStartABlock) {
+  Rng rng(8);
+  ResumeSampler sampler(&rng);
+  Renderer renderer(&rng);
+  ResumeRecord rec = sampler.Sample();
+  const GeneratedResume r = renderer.Render(rec, TemplateById(0));
+  int work_blocks = 0;
+  for (const auto& b : r.document.blocks) {
+    if (b.tag == BlockTag::kWorkExp) ++work_blocks;
+  }
+  EXPECT_EQ(work_blocks, static_cast<int>(rec.work.size()));
+}
+
+TEST(RendererTest, MultiPageResumesOccur) {
+  Rng rng(9);
+  int multipage = 0;
+  for (int i = 0; i < 30; ++i) {
+    const GeneratedResume r = GenerateResume(&rng);
+    if (r.document.num_pages > 1) ++multipage;
+  }
+  EXPECT_GT(multipage, 3);
+}
+
+TEST(RendererTest, AssemblerRecoversRendererSentences) {
+  // Integration: flattening the rendered tokens and re-assembling them should
+  // produce nearly the same sentence segmentation (the renderer is the
+  // ground truth the assembler approximates).
+  Rng rng(10);
+  ResumeSampler sampler(&rng);
+  Renderer renderer(&rng);
+  const GeneratedResume r = renderer.Render(sampler.Sample(), TemplateById(0));
+  std::vector<doc::Token> flat;
+  for (const auto& s : r.document.sentences) {
+    flat.insert(flat.end(), s.tokens.begin(), s.tokens.end());
+  }
+  doc::SentenceAssembler assembler;
+  const auto reassembled = assembler.Assemble(flat);
+  const int diff = std::abs(static_cast<int>(reassembled.size()) -
+                            r.document.NumSentences());
+  EXPECT_LE(diff, r.document.NumSentences() / 5 + 2);
+}
+
+TEST(RendererTest, AsciiRenderMentionsLabels) {
+  Rng rng(11);
+  const GeneratedResume r = GenerateResume(&rng);
+  const std::string art =
+      AsciiRender(r.document, r.document.sentence_labels);
+  EXPECT_NE(art.find("page 1"), std::string::npos);
+  EXPECT_NE(art.find("B-PInfo"), std::string::npos);
+}
+
+TEST(CorpusTest, GenerateRespectsConfig) {
+  CorpusConfig cfg;
+  cfg.pretrain_docs = 12;
+  cfg.train_docs = 6;
+  cfg.val_docs = 3;
+  cfg.test_docs = 3;
+  const Corpus corpus = GenerateCorpus(cfg);
+  EXPECT_EQ(corpus.pretrain.size(), 12u);
+  EXPECT_EQ(corpus.train.size(), 6u);
+  EXPECT_EQ(corpus.val.size(), 3u);
+  EXPECT_EQ(corpus.test.size(), 3u);
+}
+
+TEST(CorpusTest, DeterministicBySeed) {
+  CorpusConfig cfg;
+  cfg.pretrain_docs = 3;
+  cfg.train_docs = 2;
+  cfg.val_docs = 1;
+  cfg.test_docs = 1;
+  const Corpus a = GenerateCorpus(cfg);
+  const Corpus b = GenerateCorpus(cfg);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (size_t i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train[i].record.FullName(), b.train[i].record.FullName());
+    EXPECT_EQ(a.train[i].document.NumTokens(),
+              b.train[i].document.NumTokens());
+  }
+}
+
+TEST(CorpusTest, StatsMatchDocumentContents) {
+  CorpusConfig cfg;
+  cfg.pretrain_docs = 0;
+  cfg.train_docs = 5;
+  cfg.val_docs = 0;
+  cfg.test_docs = 0;
+  const Corpus corpus = GenerateCorpus(cfg);
+  const SplitStats stats = ComputeStats(corpus.train);
+  EXPECT_EQ(stats.num_docs, 5);
+  EXPECT_GT(stats.avg_tokens, 50.0);
+  EXPECT_GT(stats.avg_sentences, 10.0);
+  EXPECT_GE(stats.avg_pages, 1.0);
+}
+
+}  // namespace
+}  // namespace resumegen
+}  // namespace resuformer

@@ -1,0 +1,325 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gradcheck.h"
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace resuformer {
+namespace {
+
+using testing::GradCheck;
+
+constexpr double kTol = 5e-2;  // float32 + finite differences
+
+Tensor RandTensor(std::vector<int> shape, uint64_t seed, float scale = 1.0f) {
+  Rng rng(seed);
+  return Tensor::Randn(std::move(shape), &rng, scale);
+}
+
+TEST(TensorTest, FactoriesAndAccessors) {
+  Tensor z = Tensor::Zeros({2, 3});
+  EXPECT_EQ(z.rank(), 2);
+  EXPECT_EQ(z.rows(), 2);
+  EXPECT_EQ(z.cols(), 3);
+  EXPECT_EQ(z.size(), 6);
+  EXPECT_EQ(z.at(1, 2), 0.0f);
+
+  Tensor f = Tensor::Full({4}, 2.5f);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(f.at(i), 2.5f);
+
+  Tensor d = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(d.at(1, 0), 3.0f);
+  EXPECT_EQ(d.ShapeString(), "[2, 2]");
+}
+
+TEST(TensorTest, DetachSharesNoHistory) {
+  Tensor a = Tensor::Full({2}, 3.0f, /*requires_grad=*/true);
+  Tensor b = ops::Scale(a, 2.0f);
+  Tensor d = b.Detach();
+  EXPECT_FALSE(d.requires_grad());
+  EXPECT_EQ(d.at(0), 6.0f);
+}
+
+TEST(AutogradTest, TopologicalOrderVisitsParentsFirst) {
+  Tensor a = Tensor::Full({1}, 1.0f, true);
+  Tensor b = ops::Scale(a, 2.0f);
+  Tensor c = ops::Add(a, b);
+  auto order = autograd_internal::TopologicalOrder(c.impl().get());
+  // c must come after both a and b.
+  EXPECT_EQ(order.back(), c.impl().get());
+  EXPECT_EQ(order.size(), 3u);
+}
+
+TEST(AutogradTest, ChainRuleThroughSharedNode) {
+  // y = (2a) + (2a) => dy/da = 4.
+  Tensor a = Tensor::Full({1}, 1.5f, true);
+  Tensor b = ops::Scale(a, 2.0f);
+  Tensor y = ops::Add(b, b);
+  y.Backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 4.0f);
+}
+
+TEST(AutogradTest, NoGradGuardSuppressesGraph) {
+  Tensor a = Tensor::Full({2, 2}, 1.0f, true);
+  NoGradGuard guard;
+  Tensor b = ops::MatMul(a, a);
+  EXPECT_FALSE(b.requires_grad());
+  EXPECT_TRUE(b.impl()->parents.empty());
+}
+
+TEST(OpsForwardTest, MatMulValues) {
+  Tensor a = Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromData({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = ops::MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(OpsForwardTest, SoftmaxRowsSumToOne) {
+  Tensor a = RandTensor({3, 5}, 1);
+  Tensor s = ops::Softmax(a);
+  for (int i = 0; i < 3; ++i) {
+    float total = 0.0f;
+    for (int j = 0; j < 5; ++j) total += s.at(i, j);
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+  }
+}
+
+TEST(OpsForwardTest, LogSoftmaxMatchesLogOfSoftmax) {
+  Tensor a = RandTensor({2, 4}, 2);
+  Tensor s = ops::Softmax(a);
+  Tensor ls = ops::LogSoftmax(a);
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_NEAR(ls.at(i, j), std::log(s.at(i, j)), 1e-5f);
+    }
+  }
+}
+
+TEST(OpsForwardTest, TransposeRoundTrip) {
+  Tensor a = RandTensor({3, 4}, 3);
+  Tensor t = ops::Transpose(ops::Transpose(a));
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 4; ++j) EXPECT_EQ(a.at(i, j), t.at(i, j));
+  }
+}
+
+TEST(OpsForwardTest, ConcatAndSliceInverse) {
+  Tensor a = RandTensor({2, 3}, 4);
+  Tensor b = RandTensor({1, 3}, 5);
+  Tensor c = ops::ConcatRows({a, b});
+  EXPECT_EQ(c.rows(), 3);
+  Tensor back = ops::SliceRows(c, 0, 2);
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 3; ++j) EXPECT_EQ(back.at(i, j), a.at(i, j));
+  }
+}
+
+TEST(OpsForwardTest, GatherRowsSelects) {
+  Tensor a = Tensor::FromData({3, 2}, {0, 1, 10, 11, 20, 21});
+  Tensor g = ops::GatherRows(a, {2, 0, 2});
+  EXPECT_FLOAT_EQ(g.at(0, 0), 20.0f);
+  EXPECT_FLOAT_EQ(g.at(1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(g.at(2, 1), 21.0f);
+}
+
+TEST(OpsForwardTest, L2NormalizeRowsUnitNorm) {
+  Tensor a = RandTensor({4, 6}, 6);
+  Tensor n = ops::L2NormalizeRows(a);
+  for (int i = 0; i < 4; ++i) {
+    float sq = 0.0f;
+    for (int j = 0; j < 6; ++j) sq += n.at(i, j) * n.at(i, j);
+    EXPECT_NEAR(sq, 1.0f, 1e-4f);
+  }
+}
+
+TEST(OpsForwardTest, CrossEntropyIgnoresIndex) {
+  Tensor logits = Tensor::FromData({2, 3}, {10, 0, 0, 0, 10, 0});
+  Tensor l1 = ops::CrossEntropy(logits, {0, -1}, -1);
+  Tensor l2 = ops::CrossEntropy(ops::SliceRows(logits, 0, 1), {0});
+  EXPECT_NEAR(l1.item(), l2.item(), 1e-6f);
+}
+
+TEST(OpsForwardTest, DropoutIdentityWhenEval) {
+  Rng rng(1);
+  Tensor a = RandTensor({3, 3}, 7);
+  Tensor d = ops::Dropout(a, 0.5f, &rng, /*training=*/false);
+  for (int64_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.data()[i], d.data()[i]);
+}
+
+TEST(OpsForwardTest, DropoutPreservesExpectation) {
+  Rng rng(2);
+  Tensor a = Tensor::Full({1, 10000}, 1.0f);
+  Tensor d = ops::Dropout(a, 0.3f, &rng, /*training=*/true);
+  double total = 0;
+  for (int64_t i = 0; i < d.size(); ++i) total += d.data()[i];
+  EXPECT_NEAR(total / d.size(), 1.0, 0.05);
+}
+
+// ---------- gradient checks ----------
+
+TEST(OpsGradTest, MatMulGrad) {
+  Tensor a = RandTensor({3, 4}, 10);
+  Tensor b = RandTensor({4, 2}, 11);
+  b.set_requires_grad(true);
+  EXPECT_LT(GradCheck(a, [&]() { return ops::Mean(ops::MatMul(a, b)); }),
+            kTol);
+}
+
+TEST(OpsGradTest, MatMulGradRhs) {
+  Tensor a = RandTensor({3, 4}, 12);
+  Tensor b = RandTensor({4, 2}, 13);
+  a.set_requires_grad(true);
+  EXPECT_LT(GradCheck(b, [&]() { return ops::Mean(ops::MatMul(a, b)); }),
+            kTol);
+}
+
+TEST(OpsGradTest, AddBroadcastGrad) {
+  Tensor a = RandTensor({3, 4}, 14);
+  Tensor bias = RandTensor({4}, 15);
+  a.set_requires_grad(true);
+  EXPECT_LT(GradCheck(bias,
+                      [&]() {
+                        return ops::Mean(
+                            ops::Mul(ops::Add(a, bias), ops::Add(a, bias)));
+                      }),
+            kTol);
+}
+
+TEST(OpsGradTest, ElementwiseActivations) {
+  for (uint64_t seed : {20ull, 21ull}) {
+    Tensor x = RandTensor({2, 5}, seed);
+    EXPECT_LT(GradCheck(x, [&]() { return ops::Mean(ops::Tanh(x)); }), kTol);
+    EXPECT_LT(GradCheck(x, [&]() { return ops::Mean(ops::Sigmoid(x)); }),
+              kTol);
+    EXPECT_LT(GradCheck(x, [&]() { return ops::Mean(ops::Gelu(x)); }), kTol);
+  }
+}
+
+TEST(OpsGradTest, SoftmaxGrad) {
+  Tensor x = RandTensor({2, 4}, 22);
+  Tensor w = RandTensor({2, 4}, 23);
+  EXPECT_LT(
+      GradCheck(x, [&]() { return ops::Mean(ops::Mul(ops::Softmax(x), w)); }),
+      kTol);
+}
+
+TEST(OpsGradTest, LogSoftmaxGrad) {
+  Tensor x = RandTensor({2, 4}, 24);
+  Tensor w = RandTensor({2, 4}, 25);
+  EXPECT_LT(GradCheck(
+                x, [&]() { return ops::Mean(ops::Mul(ops::LogSoftmax(x), w)); }),
+            kTol);
+}
+
+TEST(OpsGradTest, CrossEntropyGrad) {
+  Tensor logits = RandTensor({4, 5}, 26);
+  const std::vector<int> targets = {0, 3, -1, 2};
+  EXPECT_LT(GradCheck(logits,
+                      [&]() { return ops::CrossEntropy(logits, targets, -1); }),
+            kTol);
+}
+
+TEST(OpsGradTest, SoftCrossEntropyGrad) {
+  Tensor logits = RandTensor({3, 4}, 27);
+  Tensor targets = ops::Softmax(RandTensor({3, 4}, 28)).Detach();
+  const std::vector<float> weights = {1.0f, 0.0f, 2.0f};
+  EXPECT_LT(GradCheck(logits,
+                      [&]() {
+                        return ops::SoftCrossEntropy(logits, targets, weights);
+                      }),
+            kTol);
+}
+
+TEST(OpsGradTest, LayerNormGrad) {
+  Tensor x = RandTensor({3, 6}, 29);
+  Tensor gamma = RandTensor({6}, 30, 0.5f);
+  Tensor beta = RandTensor({6}, 31, 0.5f);
+  Tensor w = RandTensor({3, 6}, 32);
+  auto loss = [&]() {
+    return ops::Mean(ops::Mul(ops::LayerNormOp(x, gamma, beta), w));
+  };
+  EXPECT_LT(GradCheck(x, loss), kTol);
+  EXPECT_LT(GradCheck(gamma, loss), kTol);
+  EXPECT_LT(GradCheck(beta, loss), kTol);
+}
+
+TEST(OpsGradTest, ConcatSliceGatherGrad) {
+  Tensor a = RandTensor({2, 3}, 33);
+  Tensor b = RandTensor({2, 3}, 34);
+  Tensor w = RandTensor({4, 3}, 35);
+  EXPECT_LT(GradCheck(a,
+                      [&]() {
+                        return ops::Mean(
+                            ops::Mul(ops::ConcatRows({a, b}), w));
+                      }),
+            kTol);
+  Tensor w2 = RandTensor({2, 6}, 36);
+  EXPECT_LT(GradCheck(a,
+                      [&]() {
+                        return ops::Mean(
+                            ops::Mul(ops::ConcatCols({a, b}), w2));
+                      }),
+            kTol);
+  Tensor w3 = RandTensor({3, 3}, 37);
+  EXPECT_LT(GradCheck(a,
+                      [&]() {
+                        return ops::Mean(
+                            ops::Mul(ops::GatherRows(a, {0, 1, 0}), w3));
+                      }),
+            kTol);
+}
+
+TEST(OpsGradTest, L2NormalizeGrad) {
+  Tensor x = RandTensor({2, 5}, 38);
+  Tensor w = RandTensor({2, 5}, 39);
+  EXPECT_LT(GradCheck(x,
+                      [&]() {
+                        return ops::Mean(ops::Mul(ops::L2NormalizeRows(x), w));
+                      }),
+            kTol);
+}
+
+TEST(OpsGradTest, TransposeSliceColsGrad) {
+  Tensor x = RandTensor({3, 4}, 40);
+  Tensor w = RandTensor({4, 3}, 41);
+  EXPECT_LT(GradCheck(
+                x, [&]() { return ops::Mean(ops::Mul(ops::Transpose(x), w)); }),
+            kTol);
+  Tensor w2 = RandTensor({3, 2}, 42);
+  EXPECT_LT(GradCheck(x,
+                      [&]() {
+                        return ops::Mean(
+                            ops::Mul(ops::SliceCols(x, 1, 2), w2));
+                      }),
+            kTol);
+}
+
+TEST(OpsGradTest, ScaleSubMulGrad) {
+  Tensor x = RandTensor({2, 3}, 43);
+  Tensor y = RandTensor({2, 3}, 44);
+  EXPECT_LT(GradCheck(x,
+                      [&]() {
+                        return ops::Mean(ops::Mul(ops::Sub(x, y),
+                                                  ops::Scale(x, 0.5f)));
+                      }),
+            kTol);
+}
+
+TEST(OpsGradTest, SumAndReshapeGrad) {
+  Tensor x = RandTensor({2, 6}, 45);
+  EXPECT_LT(GradCheck(x,
+                      [&]() {
+                        Tensor r = ops::Reshape(x, {3, 4});
+                        return ops::Scale(ops::Sum(ops::Mul(r, r)), 0.1f);
+                      }),
+            kTol);
+}
+
+}  // namespace
+}  // namespace resuformer

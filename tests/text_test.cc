@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "text/normalizer.h"
+#include "text/vocab.h"
+#include "text/wordpiece.h"
+
+namespace resuformer {
+namespace text {
+namespace {
+
+TEST(VocabTest, SpecialTokensAtFixedIds) {
+  Vocab v;
+  EXPECT_EQ(v.Id(kPadToken), kPadId);
+  EXPECT_EQ(v.Id(kUnkToken), kUnkId);
+  EXPECT_EQ(v.Id(kClsToken), kClsId);
+  EXPECT_EQ(v.Id(kSepToken), kSepId);
+  EXPECT_EQ(v.Id(kMaskToken), kMaskId);
+  EXPECT_EQ(v.size(), 5);
+}
+
+TEST(VocabTest, AddTokenIdempotent) {
+  Vocab v;
+  const int id1 = v.AddToken("hello");
+  const int id2 = v.AddToken("hello");
+  EXPECT_EQ(id1, id2);
+  EXPECT_EQ(v.Token(id1), "hello");
+}
+
+TEST(VocabTest, UnknownMapsToUnk) {
+  Vocab v;
+  EXPECT_EQ(v.Id("nonexistent"), kUnkId);
+  EXPECT_FALSE(v.Contains("nonexistent"));
+}
+
+TEST(VocabTest, SaveLoadRoundTrip) {
+  Vocab v;
+  v.AddToken("alpha");
+  v.AddToken("##beta");
+  const std::string path = ::testing::TempDir() + "/vocab.txt";
+  ASSERT_TRUE(v.Save(path).ok());
+  auto loaded = Vocab::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), v.size());
+  EXPECT_EQ(loaded->Id("alpha"), v.Id("alpha"));
+  EXPECT_EQ(loaded->Id("##beta"), v.Id("##beta"));
+  std::remove(path.c_str());
+}
+
+TEST(NormalizerTest, LowercasesAndSplitsPunct) {
+  const auto pieces = BasicTokenize("B.Sc, 2019");
+  ASSERT_EQ(pieces.size(), 5u);
+  EXPECT_EQ(pieces[0], "b");
+  EXPECT_EQ(pieces[1], ".");
+  EXPECT_EQ(pieces[2], "sc");
+  EXPECT_EQ(pieces[3], ",");
+  EXPECT_EQ(pieces[4], "2019");
+}
+
+TEST(NormalizerTest, NormalizeForMatchStripsPunct) {
+  EXPECT_EQ(NormalizeForMatch("Co.-LTD"), "coltd");
+  EXPECT_EQ(NormalizeForMatch("  A B "), "ab");
+}
+
+TEST(WordPieceTest, TrainCoversTrainingWords) {
+  std::vector<std::string> words;
+  for (int i = 0; i < 10; ++i) {
+    words.push_back("engineer");
+    words.push_back("engineering");
+    words.push_back("software");
+  }
+  auto tok = WordPieceTokenizer::Train(words, 500, 2);
+  const auto ids = tok.EncodeWord("engineer");
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(tok.vocab().Token(ids[0]), "engineer");
+}
+
+TEST(WordPieceTest, UnseenWordsFallBackToSubwords) {
+  std::vector<std::string> words;
+  for (int i = 0; i < 10; ++i) {
+    words.push_back("testing");
+    words.push_back("coding");
+  }
+  auto tok = WordPieceTokenizer::Train(words, 500, 2);
+  // "bling" was never seen whole; must decompose via chars/suffixes, not UNK,
+  // since all its characters appear in training words.
+  const auto ids = tok.EncodeWord("ting");
+  EXPECT_GE(ids.size(), 1u);
+  for (int id : ids) EXPECT_NE(id, kUnkId);
+}
+
+TEST(WordPieceTest, UnknownCharactersYieldUnk) {
+  auto tok = WordPieceTokenizer::Train({"abc", "abc"}, 100, 1);
+  const auto ids = tok.EncodeWord("xyz");
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], kUnkId);
+}
+
+TEST(WordPieceTest, EncodeSplitsPunctuation) {
+  std::vector<std::string> words = {"john", "john", "doe", "doe", "com",
+                                    "com", "example", "example"};
+  auto tok = WordPieceTokenizer::Train(words, 500, 2);
+  const auto ids = tok.Encode("john.doe");
+  // "john", ".", "doe"
+  EXPECT_EQ(ids.size(), 3u);
+}
+
+TEST(WordPieceTest, DecodeMergesContinuations) {
+  std::vector<std::string> words;
+  for (int i = 0; i < 5; ++i) words.push_back("resume");
+  auto tok = WordPieceTokenizer::Train(words, 500, 2);
+  const auto ids = tok.Encode("resume resume");
+  EXPECT_EQ(tok.Decode(ids), "resume resume");
+}
+
+TEST(WordPieceTest, GreedyLongestMatchFirst) {
+  // If both "work" and "working" are in vocab, "working" must win.
+  std::vector<std::string> words;
+  for (int i = 0; i < 10; ++i) {
+    words.push_back("work");
+    words.push_back("working");
+  }
+  auto tok = WordPieceTokenizer::Train(words, 500, 2);
+  const auto ids = tok.EncodeWord("working");
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(tok.vocab().Token(ids[0]), "working");
+}
+
+TEST(WordPieceTest, MaxVocabRespected) {
+  std::vector<std::string> words;
+  for (int i = 0; i < 200; ++i) {
+    words.push_back("word" + std::to_string(i));
+    words.push_back("word" + std::to_string(i));
+  }
+  auto tok = WordPieceTokenizer::Train(words, 120, 2);
+  EXPECT_LE(tok.vocab().size(), 120);
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace resuformer

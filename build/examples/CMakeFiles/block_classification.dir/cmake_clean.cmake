@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_classification.dir/block_classification.cpp.o"
+  "CMakeFiles/block_classification.dir/block_classification.cpp.o.d"
+  "block_classification"
+  "block_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

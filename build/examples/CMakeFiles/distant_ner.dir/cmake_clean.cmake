@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distant_ner.dir/distant_ner.cpp.o"
+  "CMakeFiles/distant_ner.dir/distant_ner.cpp.o.d"
+  "distant_ner"
+  "distant_ner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distant_ner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

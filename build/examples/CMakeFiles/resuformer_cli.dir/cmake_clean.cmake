@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resuformer_cli.dir/resuformer_cli.cpp.o"
+  "CMakeFiles/resuformer_cli.dir/resuformer_cli.cpp.o.d"
+  "resuformer_cli"
+  "resuformer_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resuformer_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resume_pipeline.dir/resume_pipeline.cpp.o"
+  "CMakeFiles/resume_pipeline.dir/resume_pipeline.cpp.o.d"
+  "resume_pipeline"
+  "resume_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resume_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/autoner.cc" "src/CMakeFiles/rf_baselines.dir/baselines/autoner.cc.o" "gcc" "src/CMakeFiles/rf_baselines.dir/baselines/autoner.cc.o.d"
+  "/root/repo/src/baselines/bert_bilstm_crf.cc" "src/CMakeFiles/rf_baselines.dir/baselines/bert_bilstm_crf.cc.o" "gcc" "src/CMakeFiles/rf_baselines.dir/baselines/bert_bilstm_crf.cc.o.d"
+  "/root/repo/src/baselines/bert_crf.cc" "src/CMakeFiles/rf_baselines.dir/baselines/bert_crf.cc.o" "gcc" "src/CMakeFiles/rf_baselines.dir/baselines/bert_crf.cc.o.d"
+  "/root/repo/src/baselines/common.cc" "src/CMakeFiles/rf_baselines.dir/baselines/common.cc.o" "gcc" "src/CMakeFiles/rf_baselines.dir/baselines/common.cc.o.d"
+  "/root/repo/src/baselines/dr_match.cc" "src/CMakeFiles/rf_baselines.dir/baselines/dr_match.cc.o" "gcc" "src/CMakeFiles/rf_baselines.dir/baselines/dr_match.cc.o.d"
+  "/root/repo/src/baselines/hibert_crf.cc" "src/CMakeFiles/rf_baselines.dir/baselines/hibert_crf.cc.o" "gcc" "src/CMakeFiles/rf_baselines.dir/baselines/hibert_crf.cc.o.d"
+  "/root/repo/src/baselines/layout_token_model.cc" "src/CMakeFiles/rf_baselines.dir/baselines/layout_token_model.cc.o" "gcc" "src/CMakeFiles/rf_baselines.dir/baselines/layout_token_model.cc.o.d"
+  "/root/repo/src/baselines/roberta_gcn.cc" "src/CMakeFiles/rf_baselines.dir/baselines/roberta_gcn.cc.o" "gcc" "src/CMakeFiles/rf_baselines.dir/baselines/roberta_gcn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_selftrain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_crf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_distant.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_resumegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_doc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

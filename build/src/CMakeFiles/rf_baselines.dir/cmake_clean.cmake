@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_baselines.dir/baselines/autoner.cc.o"
+  "CMakeFiles/rf_baselines.dir/baselines/autoner.cc.o.d"
+  "CMakeFiles/rf_baselines.dir/baselines/bert_bilstm_crf.cc.o"
+  "CMakeFiles/rf_baselines.dir/baselines/bert_bilstm_crf.cc.o.d"
+  "CMakeFiles/rf_baselines.dir/baselines/bert_crf.cc.o"
+  "CMakeFiles/rf_baselines.dir/baselines/bert_crf.cc.o.d"
+  "CMakeFiles/rf_baselines.dir/baselines/common.cc.o"
+  "CMakeFiles/rf_baselines.dir/baselines/common.cc.o.d"
+  "CMakeFiles/rf_baselines.dir/baselines/dr_match.cc.o"
+  "CMakeFiles/rf_baselines.dir/baselines/dr_match.cc.o.d"
+  "CMakeFiles/rf_baselines.dir/baselines/hibert_crf.cc.o"
+  "CMakeFiles/rf_baselines.dir/baselines/hibert_crf.cc.o.d"
+  "CMakeFiles/rf_baselines.dir/baselines/layout_token_model.cc.o"
+  "CMakeFiles/rf_baselines.dir/baselines/layout_token_model.cc.o.d"
+  "CMakeFiles/rf_baselines.dir/baselines/roberta_gcn.cc.o"
+  "CMakeFiles/rf_baselines.dir/baselines/roberta_gcn.cc.o.d"
+  "librf_baselines.a"
+  "librf_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_common.dir/common/logging.cc.o"
+  "CMakeFiles/rf_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/rf_common.dir/common/rng.cc.o"
+  "CMakeFiles/rf_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/rf_common.dir/common/status.cc.o"
+  "CMakeFiles/rf_common.dir/common/status.cc.o.d"
+  "CMakeFiles/rf_common.dir/common/string_util.cc.o"
+  "CMakeFiles/rf_common.dir/common/string_util.cc.o.d"
+  "CMakeFiles/rf_common.dir/common/table_printer.cc.o"
+  "CMakeFiles/rf_common.dir/common/table_printer.cc.o.d"
+  "librf_common.a"
+  "librf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/block_classifier.cc" "src/CMakeFiles/rf_core.dir/core/block_classifier.cc.o" "gcc" "src/CMakeFiles/rf_core.dir/core/block_classifier.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/CMakeFiles/rf_core.dir/core/config.cc.o" "gcc" "src/CMakeFiles/rf_core.dir/core/config.cc.o.d"
+  "/root/repo/src/core/distiller.cc" "src/CMakeFiles/rf_core.dir/core/distiller.cc.o" "gcc" "src/CMakeFiles/rf_core.dir/core/distiller.cc.o.d"
+  "/root/repo/src/core/hierarchical_encoder.cc" "src/CMakeFiles/rf_core.dir/core/hierarchical_encoder.cc.o" "gcc" "src/CMakeFiles/rf_core.dir/core/hierarchical_encoder.cc.o.d"
+  "/root/repo/src/core/pretrainer.cc" "src/CMakeFiles/rf_core.dir/core/pretrainer.cc.o" "gcc" "src/CMakeFiles/rf_core.dir/core/pretrainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_doc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_crf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_resumegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

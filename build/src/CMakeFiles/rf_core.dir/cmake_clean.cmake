@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_core.dir/core/block_classifier.cc.o"
+  "CMakeFiles/rf_core.dir/core/block_classifier.cc.o.d"
+  "CMakeFiles/rf_core.dir/core/config.cc.o"
+  "CMakeFiles/rf_core.dir/core/config.cc.o.d"
+  "CMakeFiles/rf_core.dir/core/distiller.cc.o"
+  "CMakeFiles/rf_core.dir/core/distiller.cc.o.d"
+  "CMakeFiles/rf_core.dir/core/hierarchical_encoder.cc.o"
+  "CMakeFiles/rf_core.dir/core/hierarchical_encoder.cc.o.d"
+  "CMakeFiles/rf_core.dir/core/pretrainer.cc.o"
+  "CMakeFiles/rf_core.dir/core/pretrainer.cc.o.d"
+  "librf_core.a"
+  "librf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/CMakeFiles/rf_core.dir/core/config.cc.o: \
+ /root/repo/src/core/config.cc /usr/include/stdc-predef.h \
+ /root/repo/src/core/config.h

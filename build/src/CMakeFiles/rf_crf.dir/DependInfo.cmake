@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crf/fuzzy_crf.cc" "src/CMakeFiles/rf_crf.dir/crf/fuzzy_crf.cc.o" "gcc" "src/CMakeFiles/rf_crf.dir/crf/fuzzy_crf.cc.o.d"
+  "/root/repo/src/crf/linear_crf.cc" "src/CMakeFiles/rf_crf.dir/crf/linear_crf.cc.o" "gcc" "src/CMakeFiles/rf_crf.dir/crf/linear_crf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_crf.dir/crf/fuzzy_crf.cc.o"
+  "CMakeFiles/rf_crf.dir/crf/fuzzy_crf.cc.o.d"
+  "CMakeFiles/rf_crf.dir/crf/linear_crf.cc.o"
+  "CMakeFiles/rf_crf.dir/crf/linear_crf.cc.o.d"
+  "librf_crf.a"
+  "librf_crf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_crf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

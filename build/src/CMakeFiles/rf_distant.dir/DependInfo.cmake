@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/distant/augmenter.cc" "src/CMakeFiles/rf_distant.dir/distant/augmenter.cc.o" "gcc" "src/CMakeFiles/rf_distant.dir/distant/augmenter.cc.o.d"
+  "/root/repo/src/distant/auto_annotator.cc" "src/CMakeFiles/rf_distant.dir/distant/auto_annotator.cc.o" "gcc" "src/CMakeFiles/rf_distant.dir/distant/auto_annotator.cc.o.d"
+  "/root/repo/src/distant/dictionary.cc" "src/CMakeFiles/rf_distant.dir/distant/dictionary.cc.o" "gcc" "src/CMakeFiles/rf_distant.dir/distant/dictionary.cc.o.d"
+  "/root/repo/src/distant/ner_dataset.cc" "src/CMakeFiles/rf_distant.dir/distant/ner_dataset.cc.o" "gcc" "src/CMakeFiles/rf_distant.dir/distant/ner_dataset.cc.o.d"
+  "/root/repo/src/distant/regex_matcher.cc" "src/CMakeFiles/rf_distant.dir/distant/regex_matcher.cc.o" "gcc" "src/CMakeFiles/rf_distant.dir/distant/regex_matcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rf_doc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_resumegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_distant.dir/distant/augmenter.cc.o"
+  "CMakeFiles/rf_distant.dir/distant/augmenter.cc.o.d"
+  "CMakeFiles/rf_distant.dir/distant/auto_annotator.cc.o"
+  "CMakeFiles/rf_distant.dir/distant/auto_annotator.cc.o.d"
+  "CMakeFiles/rf_distant.dir/distant/dictionary.cc.o"
+  "CMakeFiles/rf_distant.dir/distant/dictionary.cc.o.d"
+  "CMakeFiles/rf_distant.dir/distant/ner_dataset.cc.o"
+  "CMakeFiles/rf_distant.dir/distant/ner_dataset.cc.o.d"
+  "CMakeFiles/rf_distant.dir/distant/regex_matcher.cc.o"
+  "CMakeFiles/rf_distant.dir/distant/regex_matcher.cc.o.d"
+  "librf_distant.a"
+  "librf_distant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_distant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/doc/block_tags.cc" "src/CMakeFiles/rf_doc.dir/doc/block_tags.cc.o" "gcc" "src/CMakeFiles/rf_doc.dir/doc/block_tags.cc.o.d"
+  "/root/repo/src/doc/document.cc" "src/CMakeFiles/rf_doc.dir/doc/document.cc.o" "gcc" "src/CMakeFiles/rf_doc.dir/doc/document.cc.o.d"
+  "/root/repo/src/doc/geometry.cc" "src/CMakeFiles/rf_doc.dir/doc/geometry.cc.o" "gcc" "src/CMakeFiles/rf_doc.dir/doc/geometry.cc.o.d"
+  "/root/repo/src/doc/sentence_assembler.cc" "src/CMakeFiles/rf_doc.dir/doc/sentence_assembler.cc.o" "gcc" "src/CMakeFiles/rf_doc.dir/doc/sentence_assembler.cc.o.d"
+  "/root/repo/src/doc/visual_features.cc" "src/CMakeFiles/rf_doc.dir/doc/visual_features.cc.o" "gcc" "src/CMakeFiles/rf_doc.dir/doc/visual_features.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

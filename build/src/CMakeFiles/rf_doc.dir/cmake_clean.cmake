@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_doc.dir/doc/block_tags.cc.o"
+  "CMakeFiles/rf_doc.dir/doc/block_tags.cc.o.d"
+  "CMakeFiles/rf_doc.dir/doc/document.cc.o"
+  "CMakeFiles/rf_doc.dir/doc/document.cc.o.d"
+  "CMakeFiles/rf_doc.dir/doc/geometry.cc.o"
+  "CMakeFiles/rf_doc.dir/doc/geometry.cc.o.d"
+  "CMakeFiles/rf_doc.dir/doc/sentence_assembler.cc.o"
+  "CMakeFiles/rf_doc.dir/doc/sentence_assembler.cc.o.d"
+  "CMakeFiles/rf_doc.dir/doc/visual_features.cc.o"
+  "CMakeFiles/rf_doc.dir/doc/visual_features.cc.o.d"
+  "librf_doc.a"
+  "librf_doc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_doc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/block_metrics.cc" "src/CMakeFiles/rf_eval.dir/eval/block_metrics.cc.o" "gcc" "src/CMakeFiles/rf_eval.dir/eval/block_metrics.cc.o.d"
+  "/root/repo/src/eval/entity_metrics.cc" "src/CMakeFiles/rf_eval.dir/eval/entity_metrics.cc.o" "gcc" "src/CMakeFiles/rf_eval.dir/eval/entity_metrics.cc.o.d"
+  "/root/repo/src/eval/report.cc" "src/CMakeFiles/rf_eval.dir/eval/report.cc.o" "gcc" "src/CMakeFiles/rf_eval.dir/eval/report.cc.o.d"
+  "/root/repo/src/eval/timing.cc" "src/CMakeFiles/rf_eval.dir/eval/timing.cc.o" "gcc" "src/CMakeFiles/rf_eval.dir/eval/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rf_doc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_distant.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_resumegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

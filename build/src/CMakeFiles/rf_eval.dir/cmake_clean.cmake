@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_eval.dir/eval/block_metrics.cc.o"
+  "CMakeFiles/rf_eval.dir/eval/block_metrics.cc.o.d"
+  "CMakeFiles/rf_eval.dir/eval/entity_metrics.cc.o"
+  "CMakeFiles/rf_eval.dir/eval/entity_metrics.cc.o.d"
+  "CMakeFiles/rf_eval.dir/eval/report.cc.o"
+  "CMakeFiles/rf_eval.dir/eval/report.cc.o.d"
+  "CMakeFiles/rf_eval.dir/eval/timing.cc.o"
+  "CMakeFiles/rf_eval.dir/eval/timing.cc.o.d"
+  "librf_eval.a"
+  "librf_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

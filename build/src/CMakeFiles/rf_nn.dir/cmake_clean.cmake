@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_nn.dir/nn/attention.cc.o"
+  "CMakeFiles/rf_nn.dir/nn/attention.cc.o.d"
+  "CMakeFiles/rf_nn.dir/nn/embedding.cc.o"
+  "CMakeFiles/rf_nn.dir/nn/embedding.cc.o.d"
+  "CMakeFiles/rf_nn.dir/nn/layer_norm.cc.o"
+  "CMakeFiles/rf_nn.dir/nn/layer_norm.cc.o.d"
+  "CMakeFiles/rf_nn.dir/nn/linear.cc.o"
+  "CMakeFiles/rf_nn.dir/nn/linear.cc.o.d"
+  "CMakeFiles/rf_nn.dir/nn/lstm.cc.o"
+  "CMakeFiles/rf_nn.dir/nn/lstm.cc.o.d"
+  "CMakeFiles/rf_nn.dir/nn/mlp.cc.o"
+  "CMakeFiles/rf_nn.dir/nn/mlp.cc.o.d"
+  "CMakeFiles/rf_nn.dir/nn/module.cc.o"
+  "CMakeFiles/rf_nn.dir/nn/module.cc.o.d"
+  "CMakeFiles/rf_nn.dir/nn/optimizer.cc.o"
+  "CMakeFiles/rf_nn.dir/nn/optimizer.cc.o.d"
+  "CMakeFiles/rf_nn.dir/nn/serialize.cc.o"
+  "CMakeFiles/rf_nn.dir/nn/serialize.cc.o.d"
+  "CMakeFiles/rf_nn.dir/nn/transformer.cc.o"
+  "CMakeFiles/rf_nn.dir/nn/transformer.cc.o.d"
+  "librf_nn.a"
+  "librf_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_pipeline.dir/pipeline/pipeline.cc.o"
+  "CMakeFiles/rf_pipeline.dir/pipeline/pipeline.cc.o.d"
+  "librf_pipeline.a"
+  "librf_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resumegen/corpus.cc" "src/CMakeFiles/rf_resumegen.dir/resumegen/corpus.cc.o" "gcc" "src/CMakeFiles/rf_resumegen.dir/resumegen/corpus.cc.o.d"
+  "/root/repo/src/resumegen/entity_pools.cc" "src/CMakeFiles/rf_resumegen.dir/resumegen/entity_pools.cc.o" "gcc" "src/CMakeFiles/rf_resumegen.dir/resumegen/entity_pools.cc.o.d"
+  "/root/repo/src/resumegen/renderer.cc" "src/CMakeFiles/rf_resumegen.dir/resumegen/renderer.cc.o" "gcc" "src/CMakeFiles/rf_resumegen.dir/resumegen/renderer.cc.o.d"
+  "/root/repo/src/resumegen/resume_sampler.cc" "src/CMakeFiles/rf_resumegen.dir/resumegen/resume_sampler.cc.o" "gcc" "src/CMakeFiles/rf_resumegen.dir/resumegen/resume_sampler.cc.o.d"
+  "/root/repo/src/resumegen/templates.cc" "src/CMakeFiles/rf_resumegen.dir/resumegen/templates.cc.o" "gcc" "src/CMakeFiles/rf_resumegen.dir/resumegen/templates.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rf_doc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_resumegen.dir/resumegen/corpus.cc.o"
+  "CMakeFiles/rf_resumegen.dir/resumegen/corpus.cc.o.d"
+  "CMakeFiles/rf_resumegen.dir/resumegen/entity_pools.cc.o"
+  "CMakeFiles/rf_resumegen.dir/resumegen/entity_pools.cc.o.d"
+  "CMakeFiles/rf_resumegen.dir/resumegen/renderer.cc.o"
+  "CMakeFiles/rf_resumegen.dir/resumegen/renderer.cc.o.d"
+  "CMakeFiles/rf_resumegen.dir/resumegen/resume_sampler.cc.o"
+  "CMakeFiles/rf_resumegen.dir/resumegen/resume_sampler.cc.o.d"
+  "CMakeFiles/rf_resumegen.dir/resumegen/templates.cc.o"
+  "CMakeFiles/rf_resumegen.dir/resumegen/templates.cc.o.d"
+  "librf_resumegen.a"
+  "librf_resumegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_resumegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

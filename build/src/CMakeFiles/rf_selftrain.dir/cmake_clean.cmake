@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_selftrain.dir/selftrain/ner_model.cc.o"
+  "CMakeFiles/rf_selftrain.dir/selftrain/ner_model.cc.o.d"
+  "CMakeFiles/rf_selftrain.dir/selftrain/self_distill.cc.o"
+  "CMakeFiles/rf_selftrain.dir/selftrain/self_distill.cc.o.d"
+  "librf_selftrain.a"
+  "librf_selftrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_selftrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

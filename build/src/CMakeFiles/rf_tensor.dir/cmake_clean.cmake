@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_tensor.dir/tensor/autograd.cc.o"
+  "CMakeFiles/rf_tensor.dir/tensor/autograd.cc.o.d"
+  "CMakeFiles/rf_tensor.dir/tensor/ops.cc.o"
+  "CMakeFiles/rf_tensor.dir/tensor/ops.cc.o.d"
+  "CMakeFiles/rf_tensor.dir/tensor/tensor.cc.o"
+  "CMakeFiles/rf_tensor.dir/tensor/tensor.cc.o.d"
+  "librf_tensor.a"
+  "librf_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

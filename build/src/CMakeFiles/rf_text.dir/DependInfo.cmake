@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/normalizer.cc" "src/CMakeFiles/rf_text.dir/text/normalizer.cc.o" "gcc" "src/CMakeFiles/rf_text.dir/text/normalizer.cc.o.d"
+  "/root/repo/src/text/vocab.cc" "src/CMakeFiles/rf_text.dir/text/vocab.cc.o" "gcc" "src/CMakeFiles/rf_text.dir/text/vocab.cc.o.d"
+  "/root/repo/src/text/wordpiece.cc" "src/CMakeFiles/rf_text.dir/text/wordpiece.cc.o" "gcc" "src/CMakeFiles/rf_text.dir/text/wordpiece.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_text.dir/text/normalizer.cc.o"
+  "CMakeFiles/rf_text.dir/text/normalizer.cc.o.d"
+  "CMakeFiles/rf_text.dir/text/vocab.cc.o"
+  "CMakeFiles/rf_text.dir/text/vocab.cc.o.d"
+  "CMakeFiles/rf_text.dir/text/wordpiece.cc.o"
+  "CMakeFiles/rf_text.dir/text/wordpiece.cc.o.d"
+  "librf_text.a"
+  "librf_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/common_test.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rf_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_selftrain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_crf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_distant.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_resumegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_doc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

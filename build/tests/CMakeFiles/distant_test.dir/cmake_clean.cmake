@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distant_test.dir/distant_test.cc.o"
+  "CMakeFiles/distant_test.dir/distant_test.cc.o.d"
+  "distant_test"
+  "distant_test.pdb"
+  "distant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resumegen_test.dir/resumegen_test.cc.o"
+  "CMakeFiles/resumegen_test.dir/resumegen_test.cc.o.d"
+  "resumegen_test"
+  "resumegen_test.pdb"
+  "resumegen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resumegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selftrain_test.dir/selftrain_test.cc.o"
+  "CMakeFiles/selftrain_test.dir/selftrain_test.cc.o.d"
+  "selftrain_test"
+  "selftrain_test.pdb"
+  "selftrain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selftrain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

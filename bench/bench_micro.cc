@@ -1,17 +1,21 @@
 // Micro-benchmarks (google-benchmark) backing the Time/Resume rows of
 // Table II and the Figure 3 latency claim: per-component throughput of the
 // sentence-level vs token-level processing paths, CRF decoding, the
-// tokenizer and the sentence assembler.
+// tokenizer and the sentence assembler — plus serial-vs-parallel tensor
+// kernel throughput (the Arg is the thread count) so the thread-pool
+// speedup is visible in CI output.
 
 #include <benchmark/benchmark.h>
 
 #include <memory>
 
 #include "baselines/layout_token_model.h"
+#include "common/thread_pool.h"
 #include "core/block_classifier.h"
 #include "crf/linear_crf.h"
 #include "doc/sentence_assembler.h"
 #include "resumegen/corpus.h"
+#include "tensor/ops.h"
 
 namespace resuformer {
 namespace {
@@ -60,6 +64,79 @@ void BM_HierarchicalPredict(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HierarchicalPredict)->Unit(benchmark::kMillisecond);
+
+// --- tensor-kernel throughput, serial vs parallel (Arg = thread count) ---
+
+void BM_GemmForward(benchmark::State& state) {
+  ThreadPool::Global().SetNumThreads(static_cast<int>(state.range(0)));
+  Rng rng(21);
+  Tensor a = Tensor::Randn({256, 256}, &rng);
+  Tensor b = Tensor::Randn({256, 256}, &rng);
+  NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * 256 * 256 * 256);
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  ThreadPool::Global().SetNumThreads(1);
+}
+BENCHMARK(BM_GemmForward)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_GemmTrainStep(benchmark::State& state) {
+  // Forward plus both backward products (dA = dC*B^T, dB = A^T*dC) on the
+  // acceptance shape: 256x256 activations into a 256-class projection.
+  ThreadPool::Global().SetNumThreads(static_cast<int>(state.range(0)));
+  Rng rng(22);
+  Tensor a = Tensor::Randn({256, 256}, &rng, 1.0f, /*requires_grad=*/true);
+  Tensor b = Tensor::Randn({256, 256}, &rng, 1.0f, /*requires_grad=*/true);
+  for (auto _ : state) {
+    a.ZeroGrad();
+    b.ZeroGrad();
+    Tensor loss = ops::Mean(ops::MatMul(a, b));
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+  state.SetItemsProcessed(state.iterations() * 3 * 2LL * 256 * 256 * 256);
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  ThreadPool::Global().SetNumThreads(1);
+}
+BENCHMARK(BM_GemmTrainStep)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_RowSoftmax(benchmark::State& state) {
+  ThreadPool::Global().SetNumThreads(static_cast<int>(state.range(0)));
+  Rng rng(23);
+  Tensor x = Tensor::Randn({512, 256}, &rng);
+  NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::Softmax(x));
+  }
+  state.SetItemsProcessed(state.iterations() * 512LL * 256);
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  ThreadPool::Global().SetNumThreads(1);
+}
+BENCHMARK(BM_RowSoftmax)->Arg(1)->Arg(4)->Unit(benchmark::kMicrosecond);
+
+void BM_EncoderForward(benchmark::State& state) {
+  // Encoder-forward at a width where the per-op sizes clear the parallel
+  // thresholds (the Table-scale config with hidden=32 stays serial by
+  // design — its matrices are too small to amortize a fork-join).
+  Env& env = GetEnv();
+  core::ResuFormerConfig cfg = env.model_cfg;
+  cfg.hidden = 128;
+  cfg.ffn = 256;
+  cfg.threads = static_cast<int>(state.range(0));
+  Rng rng(24);
+  core::BlockClassifier classifier(cfg, &rng);
+  classifier.SetTraining(false);
+  const core::EncodedDocument encoded =
+      core::EncodeForModel(env.corpus.test[0].document, *env.tokenizer, cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classifier.Predict(encoded));
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  ThreadPool::Global().SetNumThreads(1);
+}
+BENCHMARK(BM_EncoderForward)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_TokenLevelPredict(benchmark::State& state) {
   Env& env = GetEnv();

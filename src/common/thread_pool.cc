@@ -1,0 +1,134 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace resuformer {
+
+namespace {
+// True on threads owned by a pool; forces nested ParallelFor calls inline.
+thread_local bool g_in_pool_worker = false;
+}  // namespace
+
+int DefaultThreadCount() {
+  if (const char* env = std::getenv("RESUFORMER_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return std::min(n, 256);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::ThreadPool() { StartWorkers(DefaultThreadCount()); }
+
+ThreadPool::~ThreadPool() { StopWorkers(); }
+
+void ThreadPool::SetNumThreads(int n) {
+  if (n <= 0) n = DefaultThreadCount();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (n == num_threads_) return;
+  }
+  StopWorkers();
+  StartWorkers(n);
+}
+
+int ThreadPool::NumThreads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_threads_;
+}
+
+void ThreadPool::StartWorkers(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  num_threads_ = n;
+  shutting_down_ = false;
+  // The caller of ParallelFor acts as worker 0; spawn the other n-1.
+  for (int i = 1; i < n; ++i) {
+    workers_.emplace_back([this, i]() { WorkerLoop(i); });
+  }
+}
+
+void ThreadPool::StopWorkers() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+}
+
+void ThreadPool::Chunk(int64_t count, int workers, int w, int64_t* begin,
+                       int64_t* end) {
+  const int64_t base = count / workers;
+  const int64_t rem = count % workers;
+  *begin = w * base + std::min<int64_t>(w, rem);
+  *end = *begin + base + (w < rem ? 1 : 0);
+}
+
+void ThreadPool::ParallelFor(int64_t count, const RangeFn& fn) {
+  if (count <= 0) return;
+  int workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    workers = num_threads_;
+  }
+  if (workers > count) workers = static_cast<int>(count);
+  if (workers <= 1 || g_in_pool_worker) {
+    fn(0, 0, count);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RF_CHECK(job_fn_ == nullptr) << "concurrent ParallelFor on one pool";
+    job_fn_ = &fn;
+    job_count_ = count;
+    job_workers_ = workers;
+    pending_ = workers - 1;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  int64_t begin = 0, end = 0;
+  Chunk(count, workers, 0, &begin, &end);
+  fn(0, begin, end);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this]() { return pending_ == 0; });
+  job_fn_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(int index) {
+  g_in_pool_worker = true;
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const RangeFn* fn = nullptr;
+    int64_t count = 0;
+    int workers = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&]() {
+        return shutting_down_ || generation_ != seen_generation;
+      });
+      if (shutting_down_) return;
+      seen_generation = generation_;
+      fn = job_fn_;
+      count = job_count_;
+      workers = job_workers_;
+    }
+    if (index < workers && fn != nullptr) {
+      int64_t begin = 0, end = 0;
+      Chunk(count, workers, index, &begin, &end);
+      (*fn)(index, begin, end);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace resuformer

@@ -1,0 +1,85 @@
+#ifndef RESUFORMER_COMMON_THREAD_POOL_H_
+#define RESUFORMER_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace resuformer {
+
+/// Resolves the process-wide default worker count: the RESUFORMER_THREADS
+/// environment variable when set to a positive integer, otherwise
+/// std::thread::hardware_concurrency() (minimum 1).
+int DefaultThreadCount();
+
+/// \brief Persistent fork-join pool with static (fixed) partitioning.
+///
+/// ParallelFor splits an index range into one contiguous chunk per worker;
+/// chunk boundaries depend only on (count, NumThreads()), never on runtime
+/// scheduling, so results that accumulate per-chunk are deterministic for a
+/// fixed thread count. There is no work stealing and no task queue: worker w
+/// always executes chunk w, and the calling thread executes chunk 0.
+///
+/// With NumThreads() == 1 the body runs inline on the caller — byte-for-byte
+/// the legacy serial behavior, with no synchronization cost.
+///
+/// SetNumThreads must not race with ParallelFor; callers configure the pool
+/// at startup (or between steps), not from inside kernels.
+class ThreadPool {
+ public:
+  /// Process-wide pool used by the tensor kernels. Sized on first use from
+  /// DefaultThreadCount().
+  static ThreadPool& Global();
+
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Resizes the pool. `n <= 0` resolves to DefaultThreadCount(); `1` keeps
+  /// no background workers (pure serial execution).
+  void SetNumThreads(int n);
+  int NumThreads() const;
+
+  /// Body invoked per chunk: fn(worker, begin, end) over [begin, end).
+  /// `worker` is in [0, NumThreads()) and identifies the chunk — use it to
+  /// index per-worker accumulation buffers.
+  using RangeFn = std::function<void(int worker, int64_t begin, int64_t end)>;
+
+  /// Runs fn over [0, count) split into min(NumThreads(), count) contiguous
+  /// chunks. Blocks until every chunk finished. Runs inline when the pool is
+  /// serial, count <= 1, or when called from inside a pool worker (no nested
+  /// parallelism).
+  void ParallelFor(int64_t count, const RangeFn& fn);
+
+ private:
+  ThreadPool();
+
+  void StartWorkers(int n);
+  void StopWorkers();
+  void WorkerLoop(int index);
+
+  /// Chunk w of W over [0, count): sizes differ by at most one element.
+  static void Chunk(int64_t count, int workers, int w, int64_t* begin,
+                    int64_t* end);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  int num_threads_ = 1;
+
+  // One in-flight job, published under mu_ and identified by generation_.
+  const RangeFn* job_fn_ = nullptr;
+  int64_t job_count_ = 0;
+  int job_workers_ = 0;
+  uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace resuformer
+
+#endif  // RESUFORMER_COMMON_THREAD_POOL_H_

@@ -1,3 +1,15 @@
-// Intentionally empty: ResuFormerConfig is an aggregate defined in config.h.
-// This translation unit anchors the header in the build for IWYU checks.
 #include "core/config.h"
+
+#include "common/thread_pool.h"
+
+namespace resuformer {
+namespace core {
+
+void ApplyThreadConfig(const ResuFormerConfig& config) {
+  // SetNumThreads resolves <= 0 to the RESUFORMER_THREADS env override or
+  // hardware concurrency, and is a no-op when the size is unchanged.
+  ThreadPool::Global().SetNumThreads(config.threads);
+}
+
+}  // namespace core
+}  // namespace resuformer

@@ -40,7 +40,19 @@ struct ResuFormerConfig {
   float finetune_head_lr = 1e-3f;
   float weight_decay = 0.01f;
   float grad_clip = 5.0f;
+
+  // --- runtime ---
+  // Worker threads for the tensor kernels (GEMM, softmax, layernorm, ...).
+  // 0 = the RESUFORMER_THREADS env var when set, else hardware concurrency;
+  // 1 = exact legacy serial behavior. Results are deterministic for any
+  // fixed value. Applied via ApplyThreadConfig when a model is constructed.
+  int threads = 0;
 };
+
+/// Sizes the global tensor thread pool from config.threads (see above).
+/// Idempotent; model constructors call it so the knob takes effect without
+/// any extra wiring at call sites.
+void ApplyThreadConfig(const ResuFormerConfig& config);
 
 }  // namespace core
 }  // namespace resuformer

@@ -74,6 +74,7 @@ EncodedDocument EncodeForModel(const doc::Document& document,
 HierarchicalEncoder::HierarchicalEncoder(const ResuFormerConfig& config,
                                          Rng* rng)
     : config_(config) {
+  ApplyThreadConfig(config);
   const int d = config.hidden;
   token_embedding_ =
       std::make_unique<nn::Embedding>(config.vocab_size, d, rng);

@@ -5,21 +5,39 @@
 namespace resuformer {
 namespace nn {
 
+namespace {
+/// A parameter that never flowed into a loss has an empty grad buffer
+/// (EnsureGrad never ran for it — e.g. partial fine-tuning where only one
+/// encoder participates). Treat it as zero gradient: reading grad() for
+/// size() elements would touch storage that was never allocated, and
+/// stepping it would still apply weight decay / momentum to frozen weights.
+bool HasGrad(const Tensor& p) {
+  return p.impl()->grad.size() == p.impl()->data.size();
+}
+}  // namespace
+
 void Optimizer::ZeroGrad() {
-  for (Tensor& p : params_) p.ZeroGrad();
+  // Only clear buffers that exist. Allocating here would mark every
+  // parameter as "has a gradient", defeating the empty-grad skip in Step /
+  // ClipGradNorm for parameters that never participate in the loss.
+  for (Tensor& p : params_) {
+    if (HasGrad(p)) p.ZeroGrad();
+  }
 }
 
 float Optimizer::ClipGradNorm(float max_norm) {
   double total = 0.0;
   for (Tensor& p : params_) {
-    const float* g = p.grad();
+    if (!HasGrad(p)) continue;
+    const float* g = p.impl()->grad.data();
     for (int64_t i = 0; i < p.size(); ++i) total += double(g[i]) * g[i];
   }
   const float norm = static_cast<float>(std::sqrt(total));
   if (norm > max_norm && norm > 0.0f) {
     const float scale = max_norm / norm;
     for (Tensor& p : params_) {
-      float* g = p.grad();
+      if (!HasGrad(p)) continue;
+      float* g = p.impl()->grad.data();
       for (int64_t i = 0; i < p.size(); ++i) g[i] *= scale;
     }
   }
@@ -51,6 +69,7 @@ void Adam::Step() {
   const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(step_));
   const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(step_));
   for (Tensor& p : params_) {
+    if (!HasGrad(p)) continue;  // never received a gradient: no update
     const TensorImpl* key = p.impl().get();
     auto& m = m_[key];
     auto& v = v_[key];
@@ -76,6 +95,7 @@ Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum)
 
 void Sgd::Step() {
   for (Tensor& p : params_) {
+    if (!HasGrad(p)) continue;  // never received a gradient: no update
     const TensorImpl* key = p.impl().get();
     const float lr = LearningRateFor(key, lr_);
     float* w = p.data();

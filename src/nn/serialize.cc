@@ -10,21 +10,39 @@ namespace resuformer {
 namespace nn {
 
 namespace {
-constexpr uint32_t kMagic = 0x52465031;  // "RFP1"
+// RFP1 stored only flattened element counts, so two same-size parameters
+// with different shapes (e.g. a transposed projection) loaded silently into
+// the wrong layout. RFP2 stores per-tensor shapes and verifies them; RFP1
+// files remain readable with the legacy size-only check.
+constexpr uint32_t kMagicV1 = 0x52465031;  // "RFP1"
+constexpr uint32_t kMagicV2 = 0x52465032;  // "RFP2"
+
+std::string ShapeToString(const std::vector<int>& shape) {
+  std::string s = "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += std::to_string(shape[i]);
+  }
+  return s + "]";
 }
+}  // namespace
 
 Status SaveParameters(const Module& module, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IoError("cannot open for write: " + path);
   const std::vector<Tensor> params = module.Parameters();
   const uint64_t count = params.size();
-  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&kMagicV2), sizeof(kMagicV2));
   out.write(reinterpret_cast<const char*>(&count), sizeof(count));
   for (const Tensor& p : params) {
-    const uint64_t n = static_cast<uint64_t>(p.size());
-    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    const uint32_t rank = static_cast<uint32_t>(p.rank());
+    out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+    for (int d = 0; d < p.rank(); ++d) {
+      const int32_t extent = p.dim(d);
+      out.write(reinterpret_cast<const char*>(&extent), sizeof(extent));
+    }
     out.write(reinterpret_cast<const char*>(p.data()),
-              static_cast<std::streamsize>(n * sizeof(float)));
+              static_cast<std::streamsize>(p.size() * sizeof(float)));
   }
   if (!out) return Status::IoError("write failed: " + path);
   return Status::OK();
@@ -37,7 +55,7 @@ Status LoadParameters(Module* module, const std::string& path) {
   uint64_t count = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
   in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in || magic != kMagic) {
+  if (!in || (magic != kMagicV1 && magic != kMagicV2)) {
     return Status::IoError("bad parameter file header: " + path);
   }
   std::vector<Tensor> params = module->Parameters();
@@ -46,15 +64,41 @@ Status LoadParameters(Module* module, const std::string& path) {
         "parameter count mismatch: file has %llu, module has %zu",
         static_cast<unsigned long long>(count), params.size()));
   }
+  size_t index = 0;
   for (Tensor& p : params) {
-    uint64_t n = 0;
-    in.read(reinterpret_cast<char*>(&n), sizeof(n));
-    if (!in || n != static_cast<uint64_t>(p.size())) {
-      return Status::InvalidArgument("parameter size mismatch in " + path);
+    if (magic == kMagicV2) {
+      uint32_t rank = 0;
+      in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+      if (!in || rank > 8) {
+        return Status::IoError("corrupt parameter record in " + path);
+      }
+      std::vector<int> shape(rank);
+      for (uint32_t d = 0; d < rank; ++d) {
+        int32_t extent = 0;
+        in.read(reinterpret_cast<char*>(&extent), sizeof(extent));
+        if (!in || extent < 0) {
+          return Status::IoError("corrupt parameter record in " + path);
+        }
+        shape[d] = extent;
+      }
+      if (shape != p.shape()) {
+        return Status::InvalidArgument(StringPrintf(
+            "parameter %zu shape mismatch in %s: file has %s, module has %s",
+            index, path.c_str(), ShapeToString(shape).c_str(),
+            ShapeToString(p.shape()).c_str()));
+      }
+    } else {
+      // Legacy RFP1 record: flattened element count only.
+      uint64_t n = 0;
+      in.read(reinterpret_cast<char*>(&n), sizeof(n));
+      if (!in || n != static_cast<uint64_t>(p.size())) {
+        return Status::InvalidArgument("parameter size mismatch in " + path);
+      }
     }
     in.read(reinterpret_cast<char*>(p.data()),
-            static_cast<std::streamsize>(n * sizeof(float)));
+            static_cast<std::streamsize>(p.size() * sizeof(float)));
     if (!in) return Status::IoError("truncated parameter file: " + path);
+    ++index;
   }
   return Status::OK();
 }

@@ -1,8 +1,10 @@
 #include "tensor/ops.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace resuformer {
 namespace ops {
@@ -10,6 +12,141 @@ namespace ops {
 namespace {
 
 using ImplPtr = std::shared_ptr<TensorImpl>;
+
+// ---------------------------------------------------------------------------
+// Parallel substrate. Kernels route through ThreadPool::Global() with static
+// row partitioning once the work exceeds a threshold; below it (or with a
+// single-thread pool) they run the serial path inline. Partitions are over
+// *output* rows wherever possible so no two workers ever write the same
+// element, and per-element accumulation order matches the serial loops —
+// which keeps results bit-identical to the legacy kernels at any thread
+// count for those paths. The only reductions that need per-worker buffers
+// (LayerNorm dgamma/dbeta, CrossEntropy loss) reduce the buffers in worker
+// order, so they are deterministic for a fixed thread count.
+// ---------------------------------------------------------------------------
+
+// Minimum multiply-accumulate count (m*k*n) before a GEMM goes parallel.
+constexpr int64_t kGemmParallelWork = 1 << 16;
+// Minimum element count before row-wise ops (softmax/layernorm/losses) and
+// elementwise ops go parallel.
+constexpr int64_t kRowParallelWork = 1 << 14;
+constexpr int64_t kElemwiseParallelWork = 1 << 15;
+
+bool ShouldParallelize(int64_t work, int64_t threshold) {
+  return work >= threshold && ThreadPool::Global().NumThreads() > 1;
+}
+
+/// Runs fn(worker, row_begin, row_end) over [0, rows), parallel when `work`
+/// crosses `threshold`, inline otherwise.
+template <typename Fn>
+void ForRows(int64_t rows, int64_t work, int64_t threshold, Fn&& fn) {
+  if (ShouldParallelize(work, threshold)) {
+    ThreadPool::Global().ParallelFor(
+        rows, [&fn](int worker, int64_t begin, int64_t end) {
+          fn(worker, begin, end);
+        });
+  } else {
+    fn(0, 0, rows);
+  }
+}
+
+/// Runs fn(begin, end) over [0, n), chunked across the pool for large n.
+template <typename Fn>
+void ForElems(int64_t n, Fn&& fn) {
+  if (ShouldParallelize(n, kElemwiseParallelWork)) {
+    ThreadPool::Global().ParallelFor(
+        n, [&fn](int /*worker*/, int64_t begin, int64_t end) {
+          fn(begin, end);
+        });
+  } else {
+    fn(0, n);
+  }
+}
+
+// Cache tile sizes for the blocked GEMM: a KB x JB tile of B (~16 KiB) stays
+// L1-resident while successive A rows stream over it.
+constexpr int kGemmKB = 32;
+constexpr int kGemmJB = 128;
+
+/// C[r0:r1, :] += A[r0:r1, :] * B for row-major A[m,k], B[k,n], C[m,n].
+/// k-tiles are visited in ascending order, so each C element accumulates its
+/// k products in the same order as the naive ikj loop (bit-identical).
+void GemmAccRows(const float* a, const float* b, float* c, int k, int n,
+                 int64_t r0, int64_t r1) {
+  for (int kk0 = 0; kk0 < k; kk0 += kGemmKB) {
+    const int kk1 = std::min(k, kk0 + kGemmKB);
+    for (int j0 = 0; j0 < n; j0 += kGemmJB) {
+      const int j1 = std::min(n, j0 + kGemmJB);
+      for (int64_t i = r0; i < r1; ++i) {
+        const float* arow = a + i * k;
+        float* crow = c + i * n;
+        for (int kk = kk0; kk < kk1; ++kk) {
+          // No zero-skip here: 0 * NaN must stay NaN so divergence during
+          // pre-training is not silently suppressed.
+          const float av = arow[kk];
+          const float* brow = b + static_cast<int64_t>(kk) * n;
+          for (int j = j0; j < j1; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+/// dA[r0:r1, :] += dC[r0:r1, :] * B^T for dC[m,n], B[k,n], dA[m,k].
+/// Four dot products against consecutive B rows share one pass over the dC
+/// row; each dot sums j ascending, matching the serial kernel exactly.
+void GemmAccRowsNT(const float* dc, const float* b, float* da, int k, int n,
+                   int64_t r0, int64_t r1) {
+  for (int64_t i = r0; i < r1; ++i) {
+    const float* dcrow = dc + i * n;
+    float* darow = da + i * k;
+    int kk = 0;
+    for (; kk + 4 <= k; kk += 4) {
+      const float* b0 = b + static_cast<int64_t>(kk) * n;
+      const float* b1 = b0 + n;
+      const float* b2 = b1 + n;
+      const float* b3 = b2 + n;
+      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+      for (int j = 0; j < n; ++j) {
+        const float d = dcrow[j];
+        acc0 += d * b0[j];
+        acc1 += d * b1[j];
+        acc2 += d * b2[j];
+        acc3 += d * b3[j];
+      }
+      darow[kk] += acc0;
+      darow[kk + 1] += acc1;
+      darow[kk + 2] += acc2;
+      darow[kk + 3] += acc3;
+    }
+    for (; kk < k; ++kk) {
+      const float* brow = b + static_cast<int64_t>(kk) * n;
+      float acc = 0.0f;
+      for (int j = 0; j < n; ++j) acc += dcrow[j] * brow[j];
+      darow[kk] += acc;
+    }
+  }
+}
+
+/// dB[k0:k1, :] += A^T * dC restricted to dB rows [k0, k1), for A[m,k],
+/// dC[m,n]. The i loop stays outermost so every dB element accumulates its m
+/// contributions in ascending i order — the serial order — and the row
+/// restriction means workers never share an output element.
+void GemmAccRowsTN(const float* a, const float* dc, float* db, int64_t m,
+                   int k, int n, int64_t k0, int64_t k1) {
+  for (int j0 = 0; j0 < n; j0 += kGemmJB) {
+    const int j1 = std::min(n, j0 + kGemmJB);
+    for (int64_t i = 0; i < m; ++i) {
+      const float* arow = a + i * k;
+      const float* dcrow = dc + i * n;
+      for (int64_t kk = k0; kk < k1; ++kk) {
+        const float av = arow[kk];  // no zero-skip: preserve NaN propagation
+        float* dbrow = db + kk * n;
+        for (int j = j0; j < j1; ++j) dbrow[j] += av * dcrow[j];
+      }
+    }
+  }
+}
 
 /// Creates the result node of an op: allocates storage, records parents, and
 /// decides whether the node participates in autograd.
@@ -52,49 +189,35 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = out.data();
-  // ikj loop order: streams pb/pc rows for cache friendliness.
-  for (int i = 0; i < m; ++i) {
-    for (int kk = 0; kk < k; ++kk) {
-      const float av = pa[i * k + kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      float* crow = pc + i * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  const int64_t work = static_cast<int64_t>(m) * k * n;
+  ForRows(m, work, kGemmParallelWork,
+          [&](int /*worker*/, int64_t r0, int64_t r1) {
+            GemmAccRows(pa, pb, pc, k, n, r0, r1);
+          });
   TensorImpl* self = out.impl().get();
   auto ai = a.impl(), bi = b.impl();
-  SetBackward(&out, [self, ai, bi, m, k, n]() {
+  SetBackward(&out, [self, ai, bi, m, k, n, work]() {
     const float* dc = self->grad.data();
     if (ai->requires_grad) {
       ai->EnsureGrad();
       float* da = ai->grad.data();
       const float* pb = bi->data.data();
-      // dA = dC * B^T
-      for (int i = 0; i < m; ++i) {
-        for (int kk = 0; kk < k; ++kk) {
-          const float* brow = pb + kk * n;
-          const float* dcrow = dc + i * n;
-          float acc = 0.0f;
-          for (int j = 0; j < n; ++j) acc += dcrow[j] * brow[j];
-          da[i * k + kk] += acc;
-        }
-      }
+      // dA = dC * B^T, partitioned over dA rows.
+      ForRows(m, work, kGemmParallelWork,
+              [&](int /*worker*/, int64_t r0, int64_t r1) {
+                GemmAccRowsNT(dc, pb, da, k, n, r0, r1);
+              });
     }
     if (bi->requires_grad) {
       bi->EnsureGrad();
       float* db = bi->grad.data();
       const float* pa = ai->data.data();
-      // dB = A^T * dC
-      for (int i = 0; i < m; ++i) {
-        const float* dcrow = dc + i * n;
-        for (int kk = 0; kk < k; ++kk) {
-          const float av = pa[i * k + kk];
-          if (av == 0.0f) continue;
-          float* dbrow = db + kk * n;
-          for (int j = 0; j < n; ++j) dbrow[j] += av * dcrow[j];
-        }
-      }
+      // dB = A^T * dC, partitioned over dB rows so the shared output needs
+      // no atomics or per-worker buffers.
+      ForRows(k, work, kGemmParallelWork,
+              [&](int /*worker*/, int64_t k0, int64_t k1) {
+                GemmAccRowsTN(pa, dc, db, m, k, n, k0, k1);
+              });
     }
   });
   return out;
@@ -131,25 +254,38 @@ Tensor AddSubImpl(const Tensor& a, const Tensor& b, float sign) {
   Tensor out = MakeNode(a.shape(), {a.impl(), b.impl()});
   const int64_t n = a.size();
   const int cols = a.cols();
-  for (int64_t i = 0; i < n; ++i) {
-    const float bv = broadcast ? b.data()[i % cols] : b.data()[i];
-    out.data()[i] = a.data()[i] + sign * bv;
-  }
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  ForElems(n, [pa, pb, po, cols, broadcast, sign](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const float bv = broadcast ? pb[i % cols] : pb[i];
+      po[i] = pa[i] + sign * bv;
+    }
+  });
   TensorImpl* self = out.impl().get();
   auto ai = a.impl(), bi = b.impl();
   SetBackward(&out, [self, ai, bi, n, cols, broadcast, sign]() {
     if (ai->requires_grad) {
       ai->EnsureGrad();
-      for (int64_t i = 0; i < n; ++i) ai->grad[i] += self->grad[i];
+      ForElems(n, [self, ai](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) ai->grad[i] += self->grad[i];
+      });
     }
     if (bi->requires_grad) {
       bi->EnsureGrad();
       if (broadcast) {
+        // Broadcast rows fold into one shared vector: stays serial (cheap,
+        // and parallel accumulation would need per-worker buffers).
         for (int64_t i = 0; i < n; ++i) {
           bi->grad[i % cols] += sign * self->grad[i];
         }
       } else {
-        for (int64_t i = 0; i < n; ++i) bi->grad[i] += sign * self->grad[i];
+        ForElems(n, [self, bi, sign](int64_t begin, int64_t end) {
+          for (int64_t i = begin; i < end; ++i) {
+            bi->grad[i] += sign * self->grad[i];
+          }
+        });
       }
     }
   });
@@ -164,21 +300,30 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   RF_CHECK(SameShape(a, b));
   Tensor out = MakeNode(a.shape(), {a.impl(), b.impl()});
   const int64_t n = a.size();
-  for (int64_t i = 0; i < n; ++i) out.data()[i] = a.data()[i] * b.data()[i];
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  ForElems(n, [pa, pb, po](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) po[i] = pa[i] * pb[i];
+  });
   TensorImpl* self = out.impl().get();
   auto ai = a.impl(), bi = b.impl();
   SetBackward(&out, [self, ai, bi, n]() {
     if (ai->requires_grad) {
       ai->EnsureGrad();
-      for (int64_t i = 0; i < n; ++i) {
-        ai->grad[i] += self->grad[i] * bi->data[i];
-      }
+      ForElems(n, [self, ai, bi](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          ai->grad[i] += self->grad[i] * bi->data[i];
+        }
+      });
     }
     if (bi->requires_grad) {
       bi->EnsureGrad();
-      for (int64_t i = 0; i < n; ++i) {
-        bi->grad[i] += self->grad[i] * ai->data[i];
-      }
+      ForElems(n, [self, ai, bi](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          bi->grad[i] += self->grad[i] * ai->data[i];
+        }
+      });
     }
   });
   return out;
@@ -187,13 +332,19 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
 Tensor Scale(const Tensor& a, float s) {
   Tensor out = MakeNode(a.shape(), {a.impl()});
   const int64_t n = a.size();
-  for (int64_t i = 0; i < n; ++i) out.data()[i] = a.data()[i] * s;
+  const float* pa = a.data();
+  float* po = out.data();
+  ForElems(n, [pa, po, s](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) po[i] = pa[i] * s;
+  });
   TensorImpl* self = out.impl().get();
   auto ai = a.impl();
   SetBackward(&out, [self, ai, n, s]() {
     if (!ai->requires_grad) return;
     ai->EnsureGrad();
-    for (int64_t i = 0; i < n; ++i) ai->grad[i] += self->grad[i] * s;
+    ForElems(n, [self, ai, s](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) ai->grad[i] += self->grad[i] * s;
+    });
   });
   return out;
 }
@@ -218,15 +369,21 @@ template <typename FwdFn, typename BwdFn>
 Tensor Elementwise(const Tensor& a, FwdFn fwd, BwdFn dydx) {
   Tensor out = MakeNode(a.shape(), {a.impl()});
   const int64_t n = a.size();
-  for (int64_t i = 0; i < n; ++i) out.data()[i] = fwd(a.data()[i]);
+  const float* pa = a.data();
+  float* po = out.data();
+  ForElems(n, [pa, po, fwd](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) po[i] = fwd(pa[i]);
+  });
   TensorImpl* self = out.impl().get();
   auto ai = a.impl();
   SetBackward(&out, [self, ai, n, dydx]() {
     if (!ai->requires_grad) return;
     ai->EnsureGrad();
-    for (int64_t i = 0; i < n; ++i) {
-      ai->grad[i] += self->grad[i] * dydx(ai->data[i], self->data[i]);
-    }
+    ForElems(n, [self, ai, dydx](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) {
+        ai->grad[i] += self->grad[i] * dydx(ai->data[i], self->data[i]);
+      }
+    });
   });
   return out;
 }
@@ -269,31 +426,40 @@ Tensor Gelu(const Tensor& a) {
 Tensor Softmax(const Tensor& a) {
   const int m = a.rows(), n = a.cols();
   Tensor out = MakeNode(a.shape(), {a.impl()});
-  for (int i = 0; i < m; ++i) {
-    const float* row = a.data() + static_cast<int64_t>(i) * n;
-    float* orow = out.data() + static_cast<int64_t>(i) * n;
-    float mx = row[0];
-    for (int j = 1; j < n; ++j) mx = std::max(mx, row[j]);
-    float total = 0.0f;
-    for (int j = 0; j < n; ++j) {
-      orow[j] = std::exp(row[j] - mx);
-      total += orow[j];
-    }
-    for (int j = 0; j < n; ++j) orow[j] /= total;
-  }
+  const int64_t work = static_cast<int64_t>(m) * n;
+  const float* pa = a.data();
+  float* po = out.data();
+  ForRows(m, work, kRowParallelWork,
+          [pa, po, n](int /*worker*/, int64_t r0, int64_t r1) {
+            for (int64_t i = r0; i < r1; ++i) {
+              const float* row = pa + i * n;
+              float* orow = po + i * n;
+              float mx = row[0];
+              for (int j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+              float total = 0.0f;
+              for (int j = 0; j < n; ++j) {
+                orow[j] = std::exp(row[j] - mx);
+                total += orow[j];
+              }
+              for (int j = 0; j < n; ++j) orow[j] /= total;
+            }
+          });
   TensorImpl* self = out.impl().get();
   auto ai = a.impl();
-  SetBackward(&out, [self, ai, m, n]() {
+  SetBackward(&out, [self, ai, m, n, work]() {
     if (!ai->requires_grad) return;
     ai->EnsureGrad();
-    for (int i = 0; i < m; ++i) {
-      const float* y = self->data.data() + static_cast<int64_t>(i) * n;
-      const float* dy = self->grad.data() + static_cast<int64_t>(i) * n;
-      float* dx = ai->grad.data() + static_cast<int64_t>(i) * n;
-      float dot = 0.0f;
-      for (int j = 0; j < n; ++j) dot += dy[j] * y[j];
-      for (int j = 0; j < n; ++j) dx[j] += (dy[j] - dot) * y[j];
-    }
+    ForRows(m, work, kRowParallelWork,
+            [self, ai, n](int /*worker*/, int64_t r0, int64_t r1) {
+              for (int64_t i = r0; i < r1; ++i) {
+                const float* y = self->data.data() + i * n;
+                const float* dy = self->grad.data() + i * n;
+                float* dx = ai->grad.data() + i * n;
+                float dot = 0.0f;
+                for (int j = 0; j < n; ++j) dot += dy[j] * y[j];
+                for (int j = 0; j < n; ++j) dx[j] += (dy[j] - dot) * y[j];
+              }
+            });
   });
   return out;
 }
@@ -301,29 +467,40 @@ Tensor Softmax(const Tensor& a) {
 Tensor LogSoftmax(const Tensor& a) {
   const int m = a.rows(), n = a.cols();
   Tensor out = MakeNode(a.shape(), {a.impl()});
-  for (int i = 0; i < m; ++i) {
-    const float* row = a.data() + static_cast<int64_t>(i) * n;
-    float* orow = out.data() + static_cast<int64_t>(i) * n;
-    float mx = row[0];
-    for (int j = 1; j < n; ++j) mx = std::max(mx, row[j]);
-    float total = 0.0f;
-    for (int j = 0; j < n; ++j) total += std::exp(row[j] - mx);
-    const float lse = mx + std::log(total);
-    for (int j = 0; j < n; ++j) orow[j] = row[j] - lse;
-  }
+  const int64_t work = static_cast<int64_t>(m) * n;
+  const float* pa = a.data();
+  float* po = out.data();
+  ForRows(m, work, kRowParallelWork,
+          [pa, po, n](int /*worker*/, int64_t r0, int64_t r1) {
+            for (int64_t i = r0; i < r1; ++i) {
+              const float* row = pa + i * n;
+              float* orow = po + i * n;
+              float mx = row[0];
+              for (int j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+              float total = 0.0f;
+              for (int j = 0; j < n; ++j) total += std::exp(row[j] - mx);
+              const float lse = mx + std::log(total);
+              for (int j = 0; j < n; ++j) orow[j] = row[j] - lse;
+            }
+          });
   TensorImpl* self = out.impl().get();
   auto ai = a.impl();
-  SetBackward(&out, [self, ai, m, n]() {
+  SetBackward(&out, [self, ai, m, n, work]() {
     if (!ai->requires_grad) return;
     ai->EnsureGrad();
-    for (int i = 0; i < m; ++i) {
-      const float* y = self->data.data() + static_cast<int64_t>(i) * n;
-      const float* dy = self->grad.data() + static_cast<int64_t>(i) * n;
-      float* dx = ai->grad.data() + static_cast<int64_t>(i) * n;
-      float total = 0.0f;
-      for (int j = 0; j < n; ++j) total += dy[j];
-      for (int j = 0; j < n; ++j) dx[j] += dy[j] - std::exp(y[j]) * total;
-    }
+    ForRows(m, work, kRowParallelWork,
+            [self, ai, n](int /*worker*/, int64_t r0, int64_t r1) {
+              for (int64_t i = r0; i < r1; ++i) {
+                const float* y = self->data.data() + i * n;
+                const float* dy = self->grad.data() + i * n;
+                float* dx = ai->grad.data() + i * n;
+                float total = 0.0f;
+                for (int j = 0; j < n; ++j) total += dy[j];
+                for (int j = 0; j < n; ++j) {
+                  dx[j] += dy[j] - std::exp(y[j]) * total;
+                }
+              }
+            });
   });
   return out;
 }
@@ -332,44 +509,61 @@ Tensor CrossEntropy(const Tensor& logits, const std::vector<int>& targets,
                     int ignore_index) {
   const int m = logits.rows(), n = logits.cols();
   RF_CHECK_EQ(static_cast<int>(targets.size()), m);
-  // Fused: compute softmax rows once, reuse them in backward.
+  // Fused: compute softmax rows once, reuse them in backward. Per-row loss
+  // terms are stored and reduced serially in row order, so the total is
+  // bit-identical to the legacy serial kernel at any thread count.
   std::vector<float> probs(static_cast<size_t>(m) * n);
-  int active = 0;
+  std::vector<float> row_loss(m, 0.0f);
+  std::vector<unsigned char> row_active(m, 0);
+  const int64_t work = static_cast<int64_t>(m) * n;
+  const float* plogits = logits.data();
+  ForRows(m, work, kRowParallelWork,
+          [&](int /*worker*/, int64_t r0, int64_t r1) {
+            for (int64_t i = r0; i < r1; ++i) {
+              const float* row = plogits + i * n;
+              float* prow = probs.data() + i * n;
+              float mx = row[0];
+              for (int j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+              float total = 0.0f;
+              for (int j = 0; j < n; ++j) {
+                prow[j] = std::exp(row[j] - mx);
+                total += prow[j];
+              }
+              for (int j = 0; j < n; ++j) prow[j] /= total;
+              if (targets[i] == ignore_index) continue;
+              RF_CHECK_GE(targets[i], 0);
+              RF_CHECK_LT(targets[i], n);
+              row_loss[i] = -std::log(std::max(prow[targets[i]], 1e-12f));
+              row_active[i] = 1;
+            }
+          });
   double loss = 0.0;
+  int active = 0;
   for (int i = 0; i < m; ++i) {
-    const float* row = logits.data() + static_cast<int64_t>(i) * n;
-    float* prow = probs.data() + static_cast<int64_t>(i) * n;
-    float mx = row[0];
-    for (int j = 1; j < n; ++j) mx = std::max(mx, row[j]);
-    float total = 0.0f;
-    for (int j = 0; j < n; ++j) {
-      prow[j] = std::exp(row[j] - mx);
-      total += prow[j];
-    }
-    for (int j = 0; j < n; ++j) prow[j] /= total;
-    if (targets[i] == ignore_index) continue;
-    RF_CHECK_GE(targets[i], 0);
-    RF_CHECK_LT(targets[i], n);
-    loss += -std::log(std::max(prow[targets[i]], 1e-12f));
+    if (!row_active[i]) continue;
+    loss += row_loss[i];
     ++active;
   }
   Tensor out = MakeNode({1}, {logits.impl()});
   out.data()[0] = active > 0 ? static_cast<float>(loss / active) : 0.0f;
   TensorImpl* self = out.impl().get();
   auto li = logits.impl();
-  SetBackward(&out, [self, li, m, n, targets, ignore_index, active,
+  SetBackward(&out, [self, li, m, n, work, targets, ignore_index, active,
                      probs = std::move(probs)]() {
     if (!li->requires_grad || active == 0) return;
     li->EnsureGrad();
     const float g = self->grad[0] / active;
-    for (int i = 0; i < m; ++i) {
-      if (targets[i] == ignore_index) continue;
-      const float* prow = probs.data() + static_cast<int64_t>(i) * n;
-      float* drow = li->grad.data() + static_cast<int64_t>(i) * n;
-      for (int j = 0; j < n; ++j) {
-        drow[j] += g * (prow[j] - (j == targets[i] ? 1.0f : 0.0f));
-      }
-    }
+    ForRows(m, work, kRowParallelWork,
+            [&](int /*worker*/, int64_t r0, int64_t r1) {
+              for (int64_t i = r0; i < r1; ++i) {
+                if (targets[i] == ignore_index) continue;
+                const float* prow = probs.data() + i * n;
+                float* drow = li->grad.data() + i * n;
+                for (int j = 0; j < n; ++j) {
+                  drow[j] += g * (prow[j] - (j == targets[i] ? 1.0f : 0.0f));
+                }
+              }
+            });
   });
   return out;
 }
@@ -635,59 +829,140 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   Tensor out = MakeNode(x.shape(), {x.impl(), gamma.impl(), beta.impl()});
   std::vector<float> inv_std(m);
   std::vector<float> means(m);
-  for (int i = 0; i < m; ++i) {
-    const float* row = x.data() + static_cast<int64_t>(i) * n;
-    float mean = 0.0f;
-    for (int j = 0; j < n; ++j) mean += row[j];
-    mean /= n;
-    float var = 0.0f;
-    for (int j = 0; j < n; ++j) var += (row[j] - mean) * (row[j] - mean);
-    var /= n;
-    const float is = 1.0f / std::sqrt(var + eps);
-    means[i] = mean;
-    inv_std[i] = is;
-    float* orow = out.data() + static_cast<int64_t>(i) * n;
-    for (int j = 0; j < n; ++j) {
-      orow[j] = (row[j] - mean) * is * gamma.data()[j] + beta.data()[j];
-    }
-  }
+  const int64_t work = static_cast<int64_t>(m) * n;
+  const float* px = x.data();
+  const float* pg = gamma.data();
+  const float* pbeta = beta.data();
+  float* po = out.data();
+  ForRows(m, work, kRowParallelWork,
+          [&](int /*worker*/, int64_t r0, int64_t r1) {
+            for (int64_t i = r0; i < r1; ++i) {
+              const float* row = px + i * n;
+              float mean = 0.0f;
+              for (int j = 0; j < n; ++j) mean += row[j];
+              mean /= n;
+              float var = 0.0f;
+              for (int j = 0; j < n; ++j) {
+                var += (row[j] - mean) * (row[j] - mean);
+              }
+              var /= n;
+              const float is = 1.0f / std::sqrt(var + eps);
+              means[i] = mean;
+              inv_std[i] = is;
+              float* orow = po + i * n;
+              for (int j = 0; j < n; ++j) {
+                orow[j] = (row[j] - mean) * is * pg[j] + pbeta[j];
+              }
+            }
+          });
   TensorImpl* self = out.impl().get();
   auto xi = x.impl(), gi = gamma.impl(), bi = beta.impl();
-  SetBackward(&out, [self, xi, gi, bi, m, n, means = std::move(means),
+  SetBackward(&out, [self, xi, gi, bi, m, n, work, means = std::move(means),
                      inv_std = std::move(inv_std)]() {
-    for (int i = 0; i < m; ++i) {
-      const float* xrow = xi->data.data() + static_cast<int64_t>(i) * n;
-      const float* dy = self->grad.data() + static_cast<int64_t>(i) * n;
-      const float is = inv_std[i];
-      const float mean = means[i];
-      if (gi->requires_grad) {
-        gi->EnsureGrad();
-        for (int j = 0; j < n; ++j) {
-          gi->grad[j] += dy[j] * (xrow[j] - mean) * is;
+    // dgamma/dbeta are summed over rows — a shared output. Each worker
+    // accumulates into its own buffer; buffers reduce in worker order so
+    // the result is deterministic for a fixed thread count.
+    const bool need_dgamma = gi->requires_grad;
+    const bool need_dbeta = bi->requires_grad;
+    const bool need_dx = xi->requires_grad;
+    if (need_dgamma) gi->EnsureGrad();
+    if (need_dbeta) bi->EnsureGrad();
+    if (need_dx) xi->EnsureGrad();
+    if (!ShouldParallelize(work, kRowParallelWork)) {
+      // Serial path accumulates straight into the shared grad buffers in the
+      // legacy row order (bit-identical to the pre-pool kernel).
+      for (int64_t i = 0; i < m; ++i) {
+        const float* xrow = xi->data.data() + i * n;
+        const float* dy = self->grad.data() + i * n;
+        const float is = inv_std[i];
+        const float mean = means[i];
+        if (need_dgamma) {
+          for (int j = 0; j < n; ++j) {
+            gi->grad[j] += dy[j] * (xrow[j] - mean) * is;
+          }
+        }
+        if (need_dbeta) {
+          for (int j = 0; j < n; ++j) bi->grad[j] += dy[j];
+        }
+        if (need_dx) {
+          float s1 = 0.0f, s2 = 0.0f;
+          for (int j = 0; j < n; ++j) {
+            const float gdy = dy[j] * gi->data[j];
+            const float xhat = (xrow[j] - mean) * is;
+            s1 += gdy;
+            s2 += gdy * xhat;
+          }
+          s1 /= n;
+          s2 /= n;
+          float* dx = xi->grad.data() + i * n;
+          for (int j = 0; j < n; ++j) {
+            const float gdy = dy[j] * gi->data[j];
+            const float xhat = (xrow[j] - mean) * is;
+            dx[j] += (gdy - s1 - xhat * s2) * is;
+          }
         }
       }
-      if (bi->requires_grad) {
-        bi->EnsureGrad();
-        for (int j = 0; j < n; ++j) bi->grad[j] += dy[j];
+      return;
+    }
+    const int pool_width = ThreadPool::Global().NumThreads();
+    std::vector<float> dgamma_parts, dbeta_parts;
+    if (need_dgamma) {
+      dgamma_parts.assign(static_cast<size_t>(pool_width) * n, 0.0f);
+    }
+    if (need_dbeta) {
+      dbeta_parts.assign(static_cast<size_t>(pool_width) * n, 0.0f);
+    }
+    ForRows(m, work, kRowParallelWork,
+            [&](int worker, int64_t r0, int64_t r1) {
+              float* dgamma = need_dgamma
+                                  ? dgamma_parts.data() +
+                                        static_cast<int64_t>(worker) * n
+                                  : nullptr;
+              float* dbeta = need_dbeta
+                                 ? dbeta_parts.data() +
+                                       static_cast<int64_t>(worker) * n
+                                 : nullptr;
+              for (int64_t i = r0; i < r1; ++i) {
+                const float* xrow = xi->data.data() + i * n;
+                const float* dy = self->grad.data() + i * n;
+                const float is = inv_std[i];
+                const float mean = means[i];
+                if (dgamma != nullptr) {
+                  for (int j = 0; j < n; ++j) {
+                    dgamma[j] += dy[j] * (xrow[j] - mean) * is;
+                  }
+                }
+                if (dbeta != nullptr) {
+                  for (int j = 0; j < n; ++j) dbeta[j] += dy[j];
+                }
+                if (need_dx) {
+                  // dx = (g*dy - mean(g*dy) - xhat*mean(g*dy*xhat)) * inv_std
+                  float s1 = 0.0f, s2 = 0.0f;
+                  for (int j = 0; j < n; ++j) {
+                    const float gdy = dy[j] * gi->data[j];
+                    const float xhat = (xrow[j] - mean) * is;
+                    s1 += gdy;
+                    s2 += gdy * xhat;
+                  }
+                  s1 /= n;
+                  s2 /= n;
+                  float* dx = xi->grad.data() + i * n;
+                  for (int j = 0; j < n; ++j) {
+                    const float gdy = dy[j] * gi->data[j];
+                    const float xhat = (xrow[j] - mean) * is;
+                    dx[j] += (gdy - s1 - xhat * s2) * is;
+                  }
+                }
+              }
+            });
+    for (int w = 0; w < pool_width; ++w) {
+      if (need_dgamma) {
+        const float* part = dgamma_parts.data() + static_cast<int64_t>(w) * n;
+        for (int j = 0; j < n; ++j) gi->grad[j] += part[j];
       }
-      if (xi->requires_grad) {
-        xi->EnsureGrad();
-        // dx = (g*dy - mean(g*dy) - xhat * mean(g*dy*xhat)) * inv_std
-        float s1 = 0.0f, s2 = 0.0f;
-        for (int j = 0; j < n; ++j) {
-          const float gdy = dy[j] * gi->data[j];
-          const float xhat = (xrow[j] - mean) * is;
-          s1 += gdy;
-          s2 += gdy * xhat;
-        }
-        s1 /= n;
-        s2 /= n;
-        float* dx = xi->grad.data() + static_cast<int64_t>(i) * n;
-        for (int j = 0; j < n; ++j) {
-          const float gdy = dy[j] * gi->data[j];
-          const float xhat = (xrow[j] - mean) * is;
-          dx[j] += (gdy - s1 - xhat * s2) * is;
-        }
+      if (need_dbeta) {
+        const float* part = dbeta_parts.data() + static_cast<int64_t>(w) * n;
+        for (int j = 0; j < n; ++j) bi->grad[j] += part[j];
       }
     }
   });

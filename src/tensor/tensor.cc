@@ -133,7 +133,9 @@ bool Tensor::requires_grad() const {
 void Tensor::set_requires_grad(bool requires_grad) {
   RF_CHECK(defined());
   impl_->requires_grad = requires_grad;
-  if (requires_grad) impl_->EnsureGrad();
+  // The grad buffer stays unallocated until backward (or grad()) touches it:
+  // an empty buffer is how optimizers recognize parameters that never
+  // participated in a loss.
 }
 
 void Tensor::ZeroGrad() {

@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
 #include <set>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 
 namespace resuformer {
 namespace {
@@ -168,6 +172,67 @@ TEST(TablePrinterTest, SeparatorRows) {
     ++count;
   }
   EXPECT_EQ(count, 4);
+}
+
+TEST(ThreadPoolTest, CoversRangeExactlyOnce) {
+  ThreadPool& pool = ThreadPool::Global();
+  pool.SetNumThreads(4);
+  for (int64_t count : {1, 3, 4, 7, 1000}) {
+    std::vector<std::atomic<int>> hits(count);
+    for (auto& h : hits) h = 0;
+    pool.ParallelFor(count, [&](int /*worker*/, int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) ++hits[i];
+    });
+    for (int64_t i = 0; i < count; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " of " << count;
+    }
+  }
+  pool.SetNumThreads(1);
+}
+
+TEST(ThreadPoolTest, StaticPartitionIsDeterministic) {
+  ThreadPool& pool = ThreadPool::Global();
+  pool.SetNumThreads(3);
+  auto partition = [&]() {
+    std::vector<std::pair<int64_t, int64_t>> chunks(3, {-1, -1});
+    pool.ParallelFor(100, [&](int worker, int64_t begin, int64_t end) {
+      chunks[worker] = {begin, end};
+    });
+    return chunks;
+  };
+  const auto first = partition();
+  // Chunks are contiguous, ordered by worker id, and stable across runs.
+  EXPECT_EQ(first[0].first, 0);
+  EXPECT_EQ(first[0].second, first[1].first);
+  EXPECT_EQ(first[1].second, first[2].first);
+  EXPECT_EQ(first[2].second, 100);
+  for (int run = 0; run < 5; ++run) EXPECT_EQ(partition(), first);
+  pool.SetNumThreads(1);
+}
+
+TEST(ThreadPoolTest, SetNumThreadsResizesAndSerialRunsInline) {
+  ThreadPool& pool = ThreadPool::Global();
+  pool.SetNumThreads(1);
+  EXPECT_EQ(pool.NumThreads(), 1);
+  // With one thread the body runs on the calling thread as a single chunk.
+  int calls = 0;
+  int64_t begin = -1, end = -1;
+  pool.ParallelFor(42, [&](int worker, int64_t b, int64_t e) {
+    ++calls;
+    EXPECT_EQ(worker, 0);
+    begin = b;
+    end = e;
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(begin, 0);
+  EXPECT_EQ(end, 42);
+  pool.SetNumThreads(8);
+  EXPECT_EQ(pool.NumThreads(), 8);
+  pool.SetNumThreads(1);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(DefaultThreadCount(), 1);
 }
 
 }  // namespace

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "gradcheck.h"
 #include "nn/attention.h"
@@ -239,6 +243,58 @@ TEST(OptimizerTest, TrainTinyClassifier) {
   EXPECT_GE(correct, 57);
 }
 
+TEST(OptimizerTest, SkipsParametersThatNeverReceivedGradients) {
+  // Partial fine-tuning: `frozen` is registered with the optimizer but never
+  // flows into the loss, so its grad buffer is never allocated. The
+  // optimizer must treat it as zero-gradient: no out-of-bounds read, no
+  // allocation, and crucially no weight-decay/momentum update.
+  Rng rng(40);
+  Tensor active = Tensor::Randn({4}, &rng, 1.0f, /*requires_grad=*/true);
+  Tensor frozen = Tensor::Randn({4}, &rng, 1.0f, /*requires_grad=*/true);
+  const std::vector<float> active_before(active.data(),
+                                         active.data() + active.size());
+  const std::vector<float> frozen_before(frozen.data(),
+                                         frozen.data() + frozen.size());
+  Adam adam({active, frozen}, 0.1f, 0.9f, 0.999f, 1e-8f,
+            /*weight_decay=*/0.1f);
+  for (int step = 0; step < 3; ++step) {
+    adam.ZeroGrad();
+    Tensor loss = ops::Mean(ops::Mul(active, active));
+    loss.Backward();
+    adam.ClipGradNorm(1.0f);
+    adam.Step();
+  }
+  EXPECT_TRUE(frozen.impl()->grad.empty())
+      << "optimizer must not allocate grads for untouched parameters";
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(frozen.at(i), frozen_before[i])
+        << "weight decay applied to a parameter outside the loss";
+  }
+  // The active parameter did get updates.
+  bool active_moved = false;
+  for (int i = 0; i < 4; ++i) {
+    if (active.at(i) != active_before[i]) active_moved = true;
+  }
+  EXPECT_TRUE(active_moved);
+}
+
+TEST(OptimizerTest, SgdSkipsParametersThatNeverReceivedGradients) {
+  Rng rng(41);
+  Tensor active = Tensor::Randn({3}, &rng, 1.0f, /*requires_grad=*/true);
+  Tensor frozen = Tensor::Randn({3}, &rng, 1.0f, /*requires_grad=*/true);
+  const std::vector<float> frozen_before(frozen.data(),
+                                         frozen.data() + frozen.size());
+  Sgd sgd({active, frozen}, 0.05f, /*momentum=*/0.9f);
+  for (int step = 0; step < 3; ++step) {
+    sgd.ZeroGrad();
+    Tensor loss = ops::Mean(ops::Mul(active, active));
+    loss.Backward();
+    sgd.Step();
+  }
+  EXPECT_TRUE(frozen.impl()->grad.empty());
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(frozen.at(i), frozen_before[i]);
+}
+
 TEST(SerializeTest, SaveLoadRoundTrip) {
   Rng rng(16);
   Mlp a({3, 5, 2}, &rng);
@@ -263,6 +319,57 @@ TEST(SerializeTest, LoadRejectsMismatchedModule) {
   const std::string path = ::testing::TempDir() + "/params2.bin";
   ASSERT_TRUE(SaveParameters(a, path).ok());
   EXPECT_FALSE(LoadParameters(&b, path).ok());
+  std::remove(path.c_str());
+}
+
+namespace {
+
+/// Module with a single 2-D weight; lets tests pick exact parameter shapes.
+class SingleWeightModule : public Module {
+ public:
+  explicit SingleWeightModule(std::vector<int> shape) {
+    weight_ = RegisterParameter(Tensor::Zeros(std::move(shape)));
+  }
+  Tensor weight_;
+};
+
+}  // namespace
+
+TEST(SerializeTest, LoadRejectsTransposedShapes) {
+  // Same flattened size, different layout: RFP1 loaded this silently into
+  // the wrong layout; RFP2 records per-tensor shapes and must reject it.
+  SingleWeightModule a({3, 5});
+  SingleWeightModule b({5, 3});
+  for (int i = 0; i < 15; ++i) a.weight_.data()[i] = static_cast<float>(i);
+  const std::string path = ::testing::TempDir() + "/params_t.bin";
+  ASSERT_TRUE(SaveParameters(a, path).ok());
+  const Status status = LoadParameters(&b, path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("shape mismatch"), std::string::npos)
+      << status.message();
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ReadsLegacyRfp1Files) {
+  // Hand-write an RFP1 record (magic, count, flat size, raw floats) and
+  // check the loader still accepts it.
+  SingleWeightModule m({2, 3});
+  const std::string path = ::testing::TempDir() + "/params_v1.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    const uint32_t magic = 0x52465031;  // "RFP1"
+    const uint64_t count = 1;
+    const uint64_t n = 6;
+    const float values[6] = {1, 2, 3, 4, 5, 6};
+    out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    out.write(reinterpret_cast<const char*>(values), sizeof(values));
+  }
+  ASSERT_TRUE(LoadParameters(&m, path).ok());
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(m.weight_.data()[i], static_cast<float>(i + 1));
+  }
   std::remove(path.c_str());
 }
 

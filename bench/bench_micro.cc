@@ -7,14 +7,21 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "baselines/layout_token_model.h"
 #include "common/thread_pool.h"
 #include "core/block_classifier.h"
 #include "crf/linear_crf.h"
 #include "doc/sentence_assembler.h"
+#include "pipeline/pipeline.h"
 #include "resumegen/corpus.h"
+#include "tensor/arena.h"
 #include "tensor/ops.h"
 
 namespace resuformer {
@@ -138,6 +145,202 @@ void BM_EncoderForward(benchmark::State& state) {
 }
 BENCHMARK(BM_EncoderForward)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
+// --- inference fast path: fused attention, buffer arena, batched parse ---
+
+// Attention core at the paper dimensions (T=350 sentences, D=768, H=12;
+// Section V). Composed = the reference per-head op chain with materialized
+// transposes and slice/concat copies; fused = one FusedMultiHeadAttention
+// node over strided head views. Arg = thread count.
+constexpr int kPaperT = 350, kPaperD = 768, kPaperH = 12;
+
+Tensor ComposedAttentionCore(const Tensor& q, const Tensor& k,
+                             const Tensor& v, int num_heads) {
+  const int head_dim = q.cols() / num_heads;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
+  std::vector<Tensor> heads;
+  for (int h = 0; h < num_heads; ++h) {
+    const int off = h * head_dim;
+    Tensor qh = ops::SliceCols(q, off, head_dim);
+    Tensor kh = ops::SliceCols(k, off, head_dim);
+    Tensor vh = ops::SliceCols(v, off, head_dim);
+    Tensor scores = ops::Scale(ops::MatMul(qh, ops::Transpose(kh)), scale);
+    heads.push_back(ops::MatMul(ops::Softmax(scores), vh));
+  }
+  return ops::ConcatCols(heads);
+}
+
+void BM_AttentionComposed(benchmark::State& state) {
+  ThreadPool::Global().SetNumThreads(static_cast<int>(state.range(0)));
+  Rng rng(31);
+  Tensor q = Tensor::Randn({kPaperT, kPaperD}, &rng, 0.1f);
+  Tensor k = Tensor::Randn({kPaperT, kPaperD}, &rng, 0.1f);
+  Tensor v = Tensor::Randn({kPaperT, kPaperD}, &rng, 0.1f);
+  NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComposedAttentionCore(q, k, v, kPaperH));
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  ThreadPool::Global().SetNumThreads(1);
+}
+BENCHMARK(BM_AttentionComposed)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_AttentionFused(benchmark::State& state) {
+  ThreadPool::Global().SetNumThreads(static_cast<int>(state.range(0)));
+  Rng rng(31);  // same seed: identical inputs to the composed run
+  Tensor q = Tensor::Randn({kPaperT, kPaperD}, &rng, 0.1f);
+  Tensor k = Tensor::Randn({kPaperT, kPaperD}, &rng, 0.1f);
+  Tensor v = Tensor::Randn({kPaperT, kPaperD}, &rng, 0.1f);
+  NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ops::FusedMultiHeadAttention(q, k, v, Tensor(), kPaperH));
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  ThreadPool::Global().SetNumThreads(1);
+}
+BENCHMARK(BM_AttentionFused)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_MatMulTransposedB(benchmark::State& state) {
+  // Weight-tied vocab projection shape: [tokens, hidden] x [vocab, hidden]^T.
+  ThreadPool::Global().SetNumThreads(static_cast<int>(state.range(0)));
+  Rng rng(32);
+  Tensor a = Tensor::Randn({128, 256}, &rng);
+  Tensor b = Tensor::Randn({2000, 256}, &rng);
+  NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatMulTransposedB(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * 128 * 256 * 2000);
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  ThreadPool::Global().SetNumThreads(1);
+}
+BENCHMARK(BM_MatMulTransposedB)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_MatMulWithTranspose(benchmark::State& state) {
+  // The composed equivalent of BM_MatMulTransposedB (materializes B^T).
+  ThreadPool::Global().SetNumThreads(static_cast<int>(state.range(0)));
+  Rng rng(32);
+  Tensor a = Tensor::Randn({128, 256}, &rng);
+  Tensor b = Tensor::Randn({2000, 256}, &rng);
+  NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatMul(a, ops::Transpose(b)));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * 128 * 256 * 2000);
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  ThreadPool::Global().SetNumThreads(1);
+}
+BENCHMARK(BM_MatMulWithTranspose)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EncoderForwardArena(benchmark::State& state) {
+  // Same forward as BM_EncoderForward (threads=1); Arg toggles the arena so
+  // its allocation savings are visible in isolation.
+  Env& env = GetEnv();
+  core::ResuFormerConfig cfg = env.model_cfg;
+  cfg.hidden = 128;
+  cfg.ffn = 256;
+  cfg.threads = 1;
+  cfg.use_tensor_arena = state.range(0) != 0;
+  Rng rng(33);
+  core::BlockClassifier classifier(cfg, &rng);
+  classifier.SetTraining(false);
+  const core::EncodedDocument encoded =
+      core::EncodeForModel(env.corpus.test[0].document, *env.tokenizer, cfg);
+  TensorArena::Global().SetEnabled(cfg.use_tensor_arena);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classifier.Predict(encoded));
+  }
+  state.counters["arena"] = static_cast<double>(state.range(0));
+  TensorArena::Global().SetEnabled(true);
+}
+BENCHMARK(BM_EncoderForwardArena)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Document-batch throughput (docs/sec): serial Parse loop vs the pooled
+// ParseBatch entry point, on a fused-attention pipeline and a composed-
+// reference pipeline. Arg0: 0 = serial/fused, 1 = batched/fused,
+// 2 = serial/reference, 3 = batched/reference.
+struct ParseEnv {
+  ParseEnv() {
+    resumegen::CorpusConfig ccfg;
+    ccfg.pretrain_docs = 4;
+    ccfg.train_docs = 6;
+    ccfg.val_docs = 2;
+    ccfg.test_docs = 8;
+    ccfg.seed = 55;
+    corpus = resumegen::GenerateCorpus(ccfg);
+    for (const resumegen::GeneratedResume& r : corpus.test) {
+      documents.push_back(r.document);
+    }
+    pipeline::PipelineOptions options;
+    options.model.hidden = 64;
+    options.model.sentence_layers = 1;
+    options.model.document_layers = 1;
+    options.model.num_heads = 4;
+    options.model.ffn = 128;
+    options.model.max_tokens_per_sentence = 16;
+    options.model.max_sentences = 48;
+    options.model.lstm_hidden = 16;
+    options.ner.hidden = 32;
+    options.ner.layers = 1;
+    options.ner.num_heads = 2;
+    options.ner.ffn = 64;
+    options.ner.max_tokens = 48;
+    options.ner.lstm_hidden = 12;
+    options.vocab_size = 600;
+    options.pretrain_epochs = 1;
+    options.finetune.epochs = 2;
+    options.finetune.patience = 2;
+    options.selftrain.teacher_epochs = 1;
+    options.selftrain.teacher_patience = 1;
+    options.selftrain.iterations = 1;
+    options.ner_data.train_sequences = 20;
+    options.ner_data.val_sequences = 8;
+    options.ner_data.test_sequences = 8;
+    fused = pipeline::ResuFormerPipeline::TrainFromCorpus(corpus, options,
+                                                          nullptr);
+    options.model.use_fused_attention = false;
+    reference = pipeline::ResuFormerPipeline::TrainFromCorpus(
+        corpus, options, nullptr);
+  }
+  resumegen::Corpus corpus;
+  std::vector<doc::Document> documents;
+  std::unique_ptr<pipeline::ResuFormerPipeline> fused;
+  std::unique_ptr<pipeline::ResuFormerPipeline> reference;
+};
+
+ParseEnv& GetParseEnv() {
+  static ParseEnv* env = new ParseEnv();
+  return *env;
+}
+
+void BM_ParseThroughput(benchmark::State& state) {
+  ParseEnv& env = GetParseEnv();
+  const bool batched = (state.range(0) % 2) == 1;
+  const bool use_fused = state.range(0) < 2;
+  const pipeline::ResuFormerPipeline& pipe =
+      use_fused ? *env.fused : *env.reference;
+  ThreadPool::Global().SetNumThreads(batched ? 4 : 1);
+  for (auto _ : state) {
+    if (batched) {
+      benchmark::DoNotOptimize(pipe.ParseBatch(env.documents));
+    } else {
+      for (const doc::Document& document : env.documents) {
+        benchmark::DoNotOptimize(pipe.Parse(document));
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(env.documents.size()));
+  state.counters["docs"] = static_cast<double>(env.documents.size());
+  state.counters["threads"] = batched ? 4.0 : 1.0;
+  state.counters["fused"] = use_fused ? 1.0 : 0.0;
+  ThreadPool::Global().SetNumThreads(1);
+}
+BENCHMARK(BM_ParseThroughput)->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_TokenLevelPredict(benchmark::State& state) {
   Env& env = GetEnv();
   for (auto _ : state) {
@@ -214,7 +417,85 @@ void BM_GenerateResume(benchmark::State& state) {
 }
 BENCHMARK(BM_GenerateResume)->Unit(benchmark::kMicrosecond);
 
+// Machine-readable sidecar: one JSON record per benchmark run with the
+// fields CI trend-lines need (op, size, threads, ns/op). Written next to
+// the working directory as BENCH_MICRO.json (override with the
+// RESUFORMER_BENCH_JSON env var).
+class MicroJsonReporter : public benchmark::BenchmarkReporter {
+ public:
+  explicit MicroJsonReporter(std::string path) : path_(std::move(path)) {}
+
+  bool ReportContext(const Context& context) override {
+    cpus_ = context.cpu_info.num_cpus;
+    return true;
+  }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      const std::string name = run.benchmark_name();
+      // "BM_Foo/4" -> op "BM_Foo", size "4"; unparameterized stay whole.
+      const size_t slash = name.find('/');
+      const std::string op = name.substr(0, slash);
+      const std::string size =
+          slash == std::string::npos ? "" : name.substr(slash + 1);
+      const double ns_per_op =
+          run.iterations == 0
+              ? 0.0
+              : run.real_accumulated_time /
+                    static_cast<double>(run.iterations) * 1e9;
+      double threads = 1.0;
+      auto it = run.counters.find("threads");
+      if (it != run.counters.end()) threads = it->second;
+      char buf[512];
+      std::snprintf(buf, sizeof(buf),
+                    "  {\"op\": \"%s\", \"size\": \"%s\", \"threads\": %d, "
+                    "\"ns_per_op\": %.1f, \"iterations\": %lld}",
+                    op.c_str(), size.c_str(), static_cast<int>(threads),
+                    ns_per_op, static_cast<long long>(run.iterations));
+      records_.push_back(buf);
+    }
+  }
+
+  void Finalize() override {
+    std::ofstream out(path_);
+    if (!out) return;
+    out << "{\n\"num_cpus\": " << cpus_ << ",\n\"benchmarks\": [\n";
+    for (size_t i = 0; i < records_.size(); ++i) {
+      out << records_[i] << (i + 1 < records_.size() ? ",\n" : "\n");
+    }
+    out << "]\n}\n";
+  }
+
+ private:
+  std::string path_;
+  int cpus_ = 0;
+  std::vector<std::string> records_;
+};
+
 }  // namespace
 }  // namespace resuformer
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // The library refuses a custom file reporter unless --benchmark_out is
+  // set; our reporter writes its own path, so point the built-in stream at
+  // /dev/null when the caller didn't pass the flag.
+  std::vector<char*> args(argv, argv + argc);
+  static char null_out[] = "--benchmark_out=/dev/null";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  if (!has_out) args.push_back(null_out);
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data()))
+    return 1;
+  const char* json_path = std::getenv("RESUFORMER_BENCH_JSON");
+  resuformer::MicroJsonReporter json_reporter(
+      json_path != nullptr ? json_path : "BENCH_MICRO.json");
+  benchmark::ConsoleReporter console_reporter;
+  benchmark::RunSpecifiedBenchmarks(&console_reporter, &json_reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -207,8 +207,8 @@ void TokenTaggerBase::PretrainMlm(
       adam.ZeroGrad();
       Tensor states = WindowStates(doc, start, len, &masked, rng);
       Tensor logits = ops::Add(
-          ops::MatMul(ops::GatherRows(states, positions),
-                      ops::Transpose(token_embedding_->weight())),
+          ops::MatMulTransposedB(ops::GatherRows(states, positions),
+                                 token_embedding_->weight()),
           mlm_bias_);
       Tensor loss = ops::CrossEntropy(logits, targets);
       loss.Backward();

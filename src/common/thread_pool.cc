@@ -97,7 +97,12 @@ void ThreadPool::ParallelFor(int64_t count, const RangeFn& fn) {
   work_cv_.notify_all();
   int64_t begin = 0, end = 0;
   Chunk(count, workers, 0, &begin, &end);
+  // The driving thread acts as worker 0: mark it pool-owned while it runs
+  // its chunk so nested ParallelFor calls inside fn inline (as they do on
+  // the resident workers) instead of re-entering the busy pool.
+  g_in_pool_worker = true;
   fn(0, begin, end);
+  g_in_pool_worker = false;
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this]() { return pending_ == 0; });
   job_fn_ = nullptr;

@@ -1,6 +1,7 @@
 #include "core/config.h"
 
 #include "common/thread_pool.h"
+#include "tensor/arena.h"
 
 namespace resuformer {
 namespace core {
@@ -9,6 +10,7 @@ void ApplyThreadConfig(const ResuFormerConfig& config) {
   // SetNumThreads resolves <= 0 to the RESUFORMER_THREADS env override or
   // hardware concurrency, and is a no-op when the size is unchanged.
   ThreadPool::Global().SetNumThreads(config.threads);
+  TensorArena::Global().SetEnabled(config.use_tensor_arena);
 }
 
 }  // namespace core

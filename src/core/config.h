@@ -47,6 +47,16 @@ struct ResuFormerConfig {
   // 1 = exact legacy serial behavior. Results are deterministic for any
   // fixed value. Applied via ApplyThreadConfig when a model is constructed.
   int threads = 0;
+
+  // Fused multi-head attention kernel (ops::FusedMultiHeadAttention). The
+  // fused forward is bit-identical to the composed reference at any thread
+  // count; gradients agree to float rounding. false selects the composed
+  // per-head op chain (the equivalence oracle used by the tests).
+  bool use_fused_attention = true;
+
+  // Recycle tensor storage through the global TensorArena free-list instead
+  // of hitting the allocator on every op. Applied via ApplyThreadConfig.
+  bool use_tensor_arena = true;
 };
 
 /// Sizes the global tensor thread pool from config.threads (see above).

@@ -87,7 +87,8 @@ HierarchicalEncoder::HierarchicalEncoder(const ResuFormerConfig& config,
     RegisterModule(layout_embeddings_.back().get());
   }
   nn::TransformerConfig sent_cfg{d, config.sentence_layers, config.num_heads,
-                                 config.ffn, config.dropout};
+                                 config.ffn, config.dropout,
+                                 config.use_fused_attention};
   sentence_encoder_ = std::make_unique<nn::TransformerEncoder>(sent_cfg, rng);
   sentence_dense_ = std::make_unique<nn::Linear>(d, d, rng);
   mlm_bias_ = RegisterParameter(Tensor::Zeros({config.vocab_size}));
@@ -97,7 +98,8 @@ HierarchicalEncoder::HierarchicalEncoder(const ResuFormerConfig& config,
   sentence_position_embedding_ =
       std::make_unique<nn::Embedding>(config.max_sentences, d, rng);
   nn::TransformerConfig doc_cfg{d, config.document_layers, config.num_heads,
-                                config.ffn, config.dropout};
+                                config.ffn, config.dropout,
+                                config.use_fused_attention};
   document_encoder_ = std::make_unique<nn::TransformerEncoder>(doc_cfg, rng);
   mask_vector_ = RegisterParameter(Tensor::Randn({1, d}, rng, 0.02f));
 
@@ -192,9 +194,10 @@ Tensor HierarchicalEncoder::Encode(const EncodedDocument& document,
 }
 
 Tensor HierarchicalEncoder::VocabLogits(const Tensor& token_states) const {
-  // Weight tying: logits = states * E^T + b.
+  // Weight tying: logits = states * E^T + b (transpose-free kernel — the
+  // vocab-sized transpose would be the largest temporary in pre-training).
   Tensor logits =
-      ops::MatMul(token_states, ops::Transpose(token_embedding_->weight()));
+      ops::MatMulTransposedB(token_states, token_embedding_->weight());
   return ops::Add(logits, mlm_bias_);
 }
 

@@ -169,8 +169,7 @@ PretrainStats Pretrainer::Step(
       Tensor hd = ops::L2NormalizeRows(
           ops::MatMul(ops::ConcatRows(scl_contextual), scl_projection_));
       Tensor hs = ops::L2NormalizeRows(ops::ConcatRows(scl_original));
-      Tensor sim = ops::Scale(ops::MatMul(hd, ops::Transpose(hs)),
-                              1.0f / cfg.tau);
+      Tensor sim = ops::Scale(ops::MatMulTransposedB(hd, hs), 1.0f / cfg.tau);
       std::vector<int> diag(sim.rows());
       for (int i = 0; i < sim.rows(); ++i) diag[i] = i;
       Tensor loss = ops::CrossEntropy(sim, diag);
@@ -183,8 +182,8 @@ PretrainStats Pretrainer::Step(
       Tensor left = ops::MatMul(ops::ConcatRows(dnsp_left),
                                 dnsp_projection_);  // [L, D]
       Tensor right = ops::ConcatRows(dnsp_right);   // [L, D]
-      Tensor scores = ops::MatMul(ops::MatMul(left, dnsp_matrix_),
-                                  ops::Transpose(right));
+      Tensor scores =
+          ops::MatMulTransposedB(ops::MatMul(left, dnsp_matrix_), right);
       std::vector<int> diag(scores.rows());
       for (int i = 0; i < scores.rows(); ++i) diag[i] = i;
       Tensor loss = ops::CrossEntropy(scores, diag);

@@ -9,8 +9,11 @@ namespace resuformer {
 namespace nn {
 
 MultiHeadSelfAttention::MultiHeadSelfAttention(int dim, int num_heads,
-                                               Rng* rng)
-    : dim_(dim), num_heads_(num_heads), head_dim_(dim / num_heads) {
+                                               Rng* rng, bool fused)
+    : dim_(dim),
+      num_heads_(num_heads),
+      head_dim_(dim / num_heads),
+      fused_(fused) {
   RF_CHECK_EQ(head_dim_ * num_heads_, dim_);
   wq_ = std::make_unique<Linear>(dim, dim, rng);
   wk_ = std::make_unique<Linear>(dim, dim, rng);
@@ -27,8 +30,15 @@ Tensor MultiHeadSelfAttention::Forward(const Tensor& x,
   const Tensor q = wq_->Forward(x);
   const Tensor k = wk_->Forward(x);
   const Tensor v = wv_->Forward(x);
-  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
 
+  if (fused_) {
+    return wo_->Forward(ops::FusedMultiHeadAttention(q, k, v, bias,
+                                                     num_heads_));
+  }
+
+  // Reference composed-ops path: one slice/transpose/scale/softmax/concat
+  // chain per head. Kept as the equivalence oracle for the fused kernel.
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
   std::vector<Tensor> head_outputs;
   head_outputs.reserve(num_heads_);
   for (int h = 0; h < num_heads_; ++h) {

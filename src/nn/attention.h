@@ -14,9 +14,20 @@ namespace nn {
 /// Single-sequence formulation: the input is [T, D]; heads are column slices
 /// of the projected Q/K/V matrices. An optional additive attention bias
 /// [T, T] supports padding masks (-inf entries) and locality priors.
+///
+/// Two execution paths compute the same function:
+///  * fused (default): one ops::FusedMultiHeadAttention node over strided
+///    head views — no per-head slice/transpose/concat copies, one fork-join
+///    for all heads, full autograd support;
+///  * reference (`fused = false`): the composed per-head op chain
+///    (SliceCols / MatMul / Transpose / Scale / Add / Softmax / ConcatCols).
+/// Fused results are deterministic and bit-identical across thread counts;
+/// against the reference path they agree to float rounding (within 1e-5
+/// relative on forward and backward — the score reductions run as
+/// SIMD-reassociated dots, see kernels::GemmNTVec).
 class MultiHeadSelfAttention : public Module {
  public:
-  MultiHeadSelfAttention(int dim, int num_heads, Rng* rng);
+  MultiHeadSelfAttention(int dim, int num_heads, Rng* rng, bool fused = true);
 
   /// x: [T, dim] -> [T, dim]. `bias` (optional) is added to the raw
   /// attention scores of every head.
@@ -24,11 +35,13 @@ class MultiHeadSelfAttention : public Module {
 
   int dim() const { return dim_; }
   int num_heads() const { return num_heads_; }
+  bool fused() const { return fused_; }
 
  private:
   int dim_;
   int num_heads_;
   int head_dim_;
+  bool fused_;
   std::unique_ptr<Linear> wq_;
   std::unique_ptr<Linear> wk_;
   std::unique_ptr<Linear> wv_;

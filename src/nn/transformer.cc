@@ -10,7 +10,7 @@ TransformerEncoderLayer::TransformerEncoderLayer(
     : config_(config) {
   attention_ =
       std::make_unique<MultiHeadSelfAttention>(config.dim, config.num_heads,
-                                               rng);
+                                               rng, config.fused_attention);
   norm1_ = std::make_unique<LayerNorm>(config.dim);
   ffn1_ = std::make_unique<Linear>(config.dim, config.ffn_dim, rng);
   ffn2_ = std::make_unique<Linear>(config.ffn_dim, config.dim, rng);

@@ -1,6 +1,7 @@
 #include "pipeline/pipeline.h"
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "distant/dictionary.h"
 #include "nn/serialize.h"
 
@@ -74,6 +75,9 @@ std::unique_ptr<ResuFormerPipeline> ResuFormerPipeline::TrainFromCorpus(
 
 StructuredResume ResuFormerPipeline::Parse(
     const doc::Document& document) const {
+  // Inference never needs the tape; without the guard every op in the
+  // encoder would record parents and backward closures just to drop them.
+  NoGradGuard no_grad;
   StructuredResume out;
   core::ResuFormerConfig model_cfg = options_.model;
   model_cfg.vocab_size = tokenizer_->vocab().size();
@@ -130,6 +134,24 @@ StructuredResume ResuFormerPipeline::Parse(
     }
     out.blocks.push_back(std::move(sb));
   }
+  return out;
+}
+
+std::vector<StructuredResume> ResuFormerPipeline::ParseBatch(
+    const std::vector<doc::Document>& documents) const {
+  std::vector<StructuredResume> out(documents.size());
+  // Parallelism moves up a level for batches: each worker takes a chunk of
+  // documents, and the per-document kernels run inline (ParallelFor from a
+  // pool worker does not nest). NoGradGuard state is thread-local, so each
+  // worker needs its own guard.
+  ThreadPool::Global().ParallelFor(
+      static_cast<int64_t>(documents.size()),
+      [&](int /*worker*/, int64_t begin, int64_t end) {
+        NoGradGuard no_grad;
+        for (int64_t i = begin; i < end; ++i) {
+          out[i] = Parse(documents[i]);
+        }
+      });
   return out;
 }
 

@@ -65,8 +65,17 @@ class ResuFormerPipeline {
       TrainReport* report = nullptr);
 
   /// Full parse: segment into blocks, then extract entities inside the
-  /// entity-bearing blocks.
+  /// entity-bearing blocks. Inference-only: runs under NoGradGuard, so no
+  /// autograd tape is built.
   StructuredResume Parse(const doc::Document& document) const;
+
+  /// Batched inference: parses `documents` by fanning them across the global
+  /// tensor thread pool (one contiguous chunk of documents per worker, each
+  /// worker under its own NoGradGuard; per-document tensor kernels then run
+  /// inline). Output order matches input order, and every document produces
+  /// the same StructuredResume as a serial Parse call.
+  std::vector<StructuredResume> ParseBatch(
+      const std::vector<doc::Document>& documents) const;
 
   /// Persists the trained pipeline (vocabulary + both models' parameters)
   /// into `directory` (must exist). Load() requires the same

@@ -1,0 +1,156 @@
+#include "tensor/arena.h"
+
+#include <utility>
+
+namespace resuformer {
+
+namespace {
+
+/// Index of the smallest class holding >= n floats, or -1 when n exceeds
+/// the largest class.
+int CeilClassIndex(int64_t n, int min_log2, int max_log2) {
+  for (int c = min_log2; c <= max_log2; ++c) {
+    if ((int64_t{1} << c) >= n) return c - min_log2;
+  }
+  return -1;
+}
+
+/// Index of the largest class with size <= capacity, or -1 when the buffer
+/// is below the minimum class.
+int FloorClassIndex(int64_t capacity, int min_log2, int max_log2) {
+  int idx = -1;
+  for (int c = min_log2; c <= max_log2; ++c) {
+    if ((int64_t{1} << c) <= capacity) idx = c - min_log2;
+  }
+  return idx;
+}
+
+}  // namespace
+
+TensorArena& TensorArena::Global() {
+  static TensorArena* arena = new TensorArena();
+  return *arena;
+}
+
+void TensorArena::SetEnabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = enabled;
+}
+
+bool TensorArena::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enabled_;
+}
+
+std::vector<float> TensorArena::Acquire(int64_t n, bool* from_arena) {
+  if (from_arena != nullptr) *from_arena = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (enabled_) {
+      const int cls = CeilClassIndex(n, kMinClassLog2, kMaxClassLog2);
+      if (cls >= 0 && !free_lists_[cls].empty()) {
+        std::vector<float> buf = std::move(free_lists_[cls].back());
+        free_lists_[cls].pop_back();
+        stats_.cached_bytes -=
+            static_cast<int64_t>(buf.capacity()) * sizeof(float);
+        ++stats_.hits;
+        ++stats_.outstanding;
+        stats_.bytes_recycled += n * static_cast<int64_t>(sizeof(float));
+        if (from_arena != nullptr) *from_arena = true;
+        // Capacity >= class size >= n, so this fill never reallocates.
+        buf.assign(static_cast<size_t>(n), 0.0f);
+        return buf;
+      }
+      ++stats_.misses;
+      ++stats_.outstanding;
+      if (from_arena != nullptr) *from_arena = true;
+      // Reserve the full class so the buffer files back into the same
+      // class on release (oversized requests reserve exactly n).
+      std::vector<float> buf;
+      buf.reserve(static_cast<size_t>(
+          cls >= 0 ? int64_t{1} << (cls + kMinClassLog2) : n));
+      buf.assign(static_cast<size_t>(n), 0.0f);
+      return buf;
+    }
+    ++stats_.misses;
+  }
+  return std::vector<float>(static_cast<size_t>(n), 0.0f);
+}
+
+void TensorArena::Release(std::vector<float>&& buffer, bool was_acquired) {
+  std::vector<float> local = std::move(buffer);  // free outside the lock
+  std::lock_guard<std::mutex> lock(mu_);
+  if (was_acquired) --stats_.outstanding;
+  if (!enabled_) return;
+  const int64_t capacity = static_cast<int64_t>(local.capacity());
+  const int cls = FloorClassIndex(capacity, kMinClassLog2, kMaxClassLog2);
+  if (cls < 0) return;  // below the minimum class: not worth caching
+  const int64_t bytes = capacity * static_cast<int64_t>(sizeof(float));
+  if (stats_.cached_bytes + bytes > budget_bytes_) return;
+  stats_.cached_bytes += bytes;
+  free_lists_[cls].push_back(std::move(local));
+}
+
+TensorArena::Stats TensorArena::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void TensorArena::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t outstanding = stats_.outstanding;
+  const int64_t cached = stats_.cached_bytes;
+  stats_ = Stats{};
+  stats_.outstanding = outstanding;  // live buffers don't reset
+  stats_.cached_bytes = cached;
+}
+
+void TensorArena::Clear() {
+  std::vector<std::vector<float>> graveyard;  // free outside the lock
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& list : free_lists_) {
+      for (auto& buf : list) graveyard.push_back(std::move(buf));
+      list.clear();
+    }
+    stats_.cached_bytes = 0;
+  }
+}
+
+void TensorArena::SetBudgetBytes(int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  budget_bytes_ = bytes;
+}
+
+ArenaBuffer::ArenaBuffer(int64_t n) {
+  // Assigned in the body: an init-list Acquire(n, &from_arena_) would have
+  // its write overwritten by from_arena_'s own (later) default initializer.
+  buffer_ = TensorArena::Global().Acquire(n, &from_arena_);
+}
+
+ArenaBuffer::~ArenaBuffer() {
+  if (!buffer_.empty() || from_arena_) {
+    TensorArena::Global().Release(std::move(buffer_), from_arena_);
+  }
+}
+
+ArenaBuffer::ArenaBuffer(ArenaBuffer&& other) noexcept
+    : buffer_(std::move(other.buffer_)), from_arena_(other.from_arena_) {
+  other.buffer_.clear();
+  other.from_arena_ = false;
+}
+
+ArenaBuffer& ArenaBuffer::operator=(ArenaBuffer&& other) noexcept {
+  if (this != &other) {
+    if (!buffer_.empty() || from_arena_) {
+      TensorArena::Global().Release(std::move(buffer_), from_arena_);
+    }
+    buffer_ = std::move(other.buffer_);
+    from_arena_ = other.from_arena_;
+    other.buffer_.clear();
+    other.from_arena_ = false;
+  }
+  return *this;
+}
+
+}  // namespace resuformer

@@ -1,0 +1,117 @@
+#ifndef RESUFORMER_TENSOR_ARENA_H_
+#define RESUFORMER_TENSOR_ARENA_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace resuformer {
+
+/// \brief Process-wide recycling arena for tensor storage.
+///
+/// Every op output allocates a fresh std::vector<float>; inside an encoder
+/// forward that is thousands of short-lived heap round-trips per document.
+/// The arena turns them into free-list hits: Acquire(n) hands out a
+/// zero-filled vector of size n whose capacity comes from a power-of-two
+/// size-class free list, and Release(...) parks a dead buffer for reuse
+/// instead of freeing it.
+///
+/// Ownership rules:
+///  * The arena never owns live data — Acquire transfers the buffer to the
+///    caller (normally a TensorImpl), Release transfers it back. In between
+///    the buffer is a plain std::vector<float> with value semantics.
+///  * Buffers are keyed by the largest power-of-two <= capacity, so a
+///    released buffer whose capacity is not itself a size class (e.g. one
+///    adopted from Tensor::FromData) still serves any request it can hold.
+///  * Requests larger than the maximum size class bypass the free lists
+///    (plain allocation, counted as a miss); tiny buffers below the minimum
+///    class are not worth caching and are dropped on release.
+///  * The cache is bounded: once cached_bytes exceeds the budget, released
+///    buffers are freed instead of parked.
+///
+/// Thread safety: all public methods are safe to call concurrently (one
+/// mutex; the arena is only touched at tensor construction/destruction,
+/// never inside kernels).
+class TensorArena {
+ public:
+  /// Process-wide arena used by Tensor factories. Intentionally leaked so
+  /// tensors destroyed during static teardown can still release safely.
+  static TensorArena& Global();
+
+  /// Counters since the last ResetStats(). `outstanding` tracks buffers
+  /// currently held by live tensors (Acquire minus Release of acquired
+  /// buffers) — zero once every tensor from an arena-enabled run is gone.
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t outstanding = 0;
+    int64_t bytes_recycled = 0;  // bytes served from the free lists
+    int64_t cached_bytes = 0;    // bytes currently parked
+  };
+
+  /// Enables/disables recycling. Disabled, Acquire degrades to a plain
+  /// zero-filled allocation (still counted as a miss) and Release frees.
+  void SetEnabled(bool enabled);
+  bool enabled() const;
+
+  /// Zero-filled vector of size n (capacity >= n). `from_arena` (optional)
+  /// reports whether the buffer must be returned via Release(..., true)
+  /// for the outstanding count to balance.
+  std::vector<float> Acquire(int64_t n, bool* from_arena = nullptr);
+
+  /// Returns a buffer to the free lists (or frees it when disabled / over
+  /// budget / below the minimum class). `was_acquired` must be the value
+  /// reported by Acquire for this buffer; foreign buffers pass false and
+  /// are still recycled, they just never touched the outstanding count.
+  void Release(std::vector<float>&& buffer, bool was_acquired);
+
+  Stats stats() const;
+  void ResetStats();
+
+  /// Frees every cached buffer (outstanding buffers are unaffected).
+  void Clear();
+
+  /// Cache budget in bytes; releases beyond it are freed. Default 256 MiB.
+  void SetBudgetBytes(int64_t bytes);
+
+ private:
+  TensorArena() = default;
+
+  // Size classes are powers of two from 2^6 to 2^24 floats.
+  static constexpr int kMinClassLog2 = 6;
+  static constexpr int kMaxClassLog2 = 24;
+  static constexpr int kNumClasses = kMaxClassLog2 - kMinClassLog2 + 1;
+
+  mutable std::mutex mu_;
+  bool enabled_ = true;
+  int64_t budget_bytes_ = 256LL << 20;
+  std::vector<std::vector<float>> free_lists_[kNumClasses];
+  Stats stats_;
+};
+
+/// \brief RAII scratch buffer drawn from the arena.
+///
+/// For op-internal workspaces (attention probabilities, backward scratch)
+/// that never become tensors: acquires on construction, releases on
+/// destruction. Movable so it can be captured into backward closures.
+class ArenaBuffer {
+ public:
+  explicit ArenaBuffer(int64_t n);
+  ~ArenaBuffer();
+  ArenaBuffer(ArenaBuffer&& other) noexcept;
+  ArenaBuffer& operator=(ArenaBuffer&& other) noexcept;
+  ArenaBuffer(const ArenaBuffer&) = delete;
+  ArenaBuffer& operator=(const ArenaBuffer&) = delete;
+
+  float* data() { return buffer_.data(); }
+  const float* data() const { return buffer_.data(); }
+  int64_t size() const { return static_cast<int64_t>(buffer_.size()); }
+
+ private:
+  std::vector<float> buffer_;
+  bool from_arena_ = false;
+};
+
+}  // namespace resuformer
+
+#endif  // RESUFORMER_TENSOR_ARENA_H_

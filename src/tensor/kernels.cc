@@ -1,0 +1,189 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+// The generic-vector helpers below pass Vf8 values through always-inlined
+// internal functions; GCC warns that the by-value ABI would differ if AVX
+// were enabled, which is irrelevant inside one TU.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wpsabi"
+#endif
+
+namespace resuformer {
+namespace kernels {
+
+namespace {
+// Tile sizes mirror the ops.cc blocked GEMM: a KB x JB tile of B (~16 KiB)
+// stays L1-resident while successive A rows stream over it.
+constexpr int kKB = 32;
+constexpr int kJB = 128;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define RESUFORMER_HAVE_VEC 1
+// 8-lane float vector via the compiler's generic vector extension: lowered
+// to AVX where available, pairs of SSE ops otherwise, and plain scalar code
+// on targets without SIMD. memcpy in/out keeps loads/stores unaligned-safe.
+typedef float Vf8 __attribute__((vector_size(32)));
+
+inline Vf8 LoadVf8(const float* p) {
+  Vf8 v;
+  __builtin_memcpy(&v, p, sizeof(Vf8));
+  return v;
+}
+
+inline void StoreVf8(float* p, Vf8 v) { __builtin_memcpy(p, &v, sizeof(Vf8)); }
+#endif
+
+// Reassociated dot product: 16 partial lanes accumulated in a fixed order,
+// then a fixed-shape lane reduction. NOT bit-identical to the serial
+// ascending-t dot (floating-point addition is not associative) but always
+// deterministic, and within ~1e-6 relative of it. Only the fused attention
+// path uses this; the transposed-GEMM ops keep the strict serial order.
+inline float DotReassoc(const float* a, const float* b, int d) {
+  int t = 0;
+  float sum = 0.0f;
+#if defined(RESUFORMER_HAVE_VEC)
+  if (d >= 16) {
+    Vf8 acc0 = {};
+    Vf8 acc1 = {};
+    for (; t + 16 <= d; t += 16) {
+      acc0 += LoadVf8(a + t) * LoadVf8(b + t);
+      acc1 += LoadVf8(a + t + 8) * LoadVf8(b + t + 8);
+    }
+    const Vf8 acc = acc0 + acc1;
+    float lanes[8];
+    __builtin_memcpy(lanes, &acc, sizeof(lanes));
+    sum = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+          ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+  }
+#endif
+  for (; t < d; ++t) sum += a[t] * b[t];
+  return sum;
+}
+}  // namespace
+
+void GemmNT(const float* a, int lda, const float* b, int ldb, float* c,
+            int ldc, int bn, int d, int64_t r0, int64_t r1) {
+  for (int64_t i = r0; i < r1; ++i) {
+    const float* arow = a + i * lda;
+    float* crow = c + i * ldc;
+    int j = 0;
+    for (; j + 4 <= bn; j += 4) {
+      const float* b0 = b + static_cast<int64_t>(j) * ldb;
+      const float* b1 = b0 + ldb;
+      const float* b2 = b1 + ldb;
+      const float* b3 = b2 + ldb;
+      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+      for (int t = 0; t < d; ++t) {
+        const float av = arow[t];
+        acc0 += av * b0[t];
+        acc1 += av * b1[t];
+        acc2 += av * b2[t];
+        acc3 += av * b3[t];
+      }
+      crow[j] += acc0;
+      crow[j + 1] += acc1;
+      crow[j + 2] += acc2;
+      crow[j + 3] += acc3;
+    }
+    for (; j < bn; ++j) {
+      const float* brow = b + static_cast<int64_t>(j) * ldb;
+      float acc = 0.0f;
+      for (int t = 0; t < d; ++t) acc += arow[t] * brow[t];
+      crow[j] += acc;
+    }
+  }
+}
+
+namespace {
+// crow[j] += av * brow[j] for j in [j0, j1). Vector lanes hold independent
+// output elements, so this is bit-identical to the scalar loop: each c[j]
+// sees the exact same multiply-add, just eight at a time.
+inline void AxpyRow(float av, const float* brow, float* crow, int j0,
+                    int j1) {
+  int j = j0;
+#if defined(RESUFORMER_HAVE_VEC)
+  const Vf8 avv = {av, av, av, av, av, av, av, av};
+  for (; j + 8 <= j1; j += 8) {
+    StoreVf8(crow + j, LoadVf8(crow + j) + avv * LoadVf8(brow + j));
+  }
+#endif
+  for (; j < j1; ++j) crow[j] += av * brow[j];
+}
+}  // namespace
+
+void GemmNN(const float* a, int lda, const float* b, int ldb, float* c,
+            int ldc, int d, int bn, int64_t r0, int64_t r1) {
+  for (int t0 = 0; t0 < d; t0 += kKB) {
+    const int t1 = std::min(d, t0 + kKB);
+    for (int j0 = 0; j0 < bn; j0 += kJB) {
+      const int j1 = std::min(bn, j0 + kJB);
+      for (int64_t i = r0; i < r1; ++i) {
+        const float* arow = a + i * lda;
+        float* crow = c + i * ldc;
+        for (int t = t0; t < t1; ++t) {
+          // No zero-skip: 0 * NaN must stay NaN (divergence stays visible).
+          const float av = arow[t];
+          const float* brow = b + static_cast<int64_t>(t) * ldb;
+          AxpyRow(av, brow, crow, j0, j1);
+        }
+      }
+    }
+  }
+}
+
+void GemmTN(const float* a, int lda, const float* b, int ldb, float* c,
+            int ldc, int d, int bn, int64_t r0, int64_t r1) {
+  for (int j0 = 0; j0 < bn; j0 += kJB) {
+    const int j1 = std::min(bn, j0 + kJB);
+    for (int t = 0; t < d; ++t) {
+      const float* arow = a + static_cast<int64_t>(t) * lda;
+      const float* brow = b + static_cast<int64_t>(t) * ldb;
+      for (int64_t i = r0; i < r1; ++i) {
+        AxpyRow(arow[i], brow, c + i * ldc, j0, j1);
+      }
+    }
+  }
+}
+
+void GemmNTVec(const float* a, int lda, const float* b, int ldb, float* c,
+               int ldc, int bn, int d, int64_t r0, int64_t r1) {
+  for (int64_t i = r0; i < r1; ++i) {
+    const float* arow = a + i * lda;
+    float* crow = c + i * ldc;
+    for (int j = 0; j < bn; ++j) {
+      crow[j] += DotReassoc(arow, b + static_cast<int64_t>(j) * ldb, d);
+    }
+  }
+}
+
+void ScaleAddSoftmaxRow(float* row, const float* bias, int n, float scale) {
+  if (bias != nullptr) {
+    for (int j = 0; j < n; ++j) row[j] = row[j] * scale + bias[j];
+  } else {
+    for (int j = 0; j < n; ++j) row[j] *= scale;
+  }
+  float mx = row[0];
+  for (int j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+  float total = 0.0f;
+  for (int j = 0; j < n; ++j) {
+    row[j] = std::exp(row[j] - mx);
+    total += row[j];
+  }
+  for (int j = 0; j < n; ++j) row[j] /= total;
+}
+
+void SoftmaxBackwardRow(const float* y, const float* dy, float* dx, int n,
+                        bool out_overwrite) {
+  float dot = 0.0f;
+  for (int j = 0; j < n; ++j) dot += dy[j] * y[j];
+  if (out_overwrite) {
+    for (int j = 0; j < n; ++j) dx[j] = (dy[j] - dot) * y[j];
+  } else {
+    for (int j = 0; j < n; ++j) dx[j] += (dy[j] - dot) * y[j];
+  }
+}
+
+}  // namespace kernels
+}  // namespace resuformer

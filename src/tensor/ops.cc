@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "tensor/arena.h"
+#include "tensor/kernels.h"
 
 namespace resuformer {
 namespace ops {
@@ -217,6 +220,90 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       ForRows(k, work, kGemmParallelWork,
               [&](int /*worker*/, int64_t k0, int64_t k1) {
                 GemmAccRowsTN(pa, dc, db, m, k, n, k0, k1);
+              });
+    }
+  });
+  return out;
+}
+
+Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
+  RF_CHECK_EQ(a.rank(), 2);
+  RF_CHECK_EQ(b.rank(), 2);
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  RF_CHECK_EQ(k, b.dim(1));
+  Tensor out = MakeNode({m, n}, {a.impl(), b.impl()});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  const int64_t work = static_cast<int64_t>(m) * k * n;
+  ForRows(m, work, kGemmParallelWork,
+          [&](int /*worker*/, int64_t r0, int64_t r1) {
+            kernels::GemmNT(pa, k, pb, k, pc, n, n, k, r0, r1);
+          });
+  TensorImpl* self = out.impl().get();
+  auto ai = a.impl(), bi = b.impl();
+  SetBackward(&out, [self, ai, bi, m, k, n, work]() {
+    const float* dc = self->grad.data();
+    if (ai->requires_grad) {
+      ai->EnsureGrad();
+      float* da = ai->grad.data();
+      const float* pb = bi->data.data();
+      // dA = dC * B ([m,n] x [n,k]), partitioned over dA rows.
+      ForRows(m, work, kGemmParallelWork,
+              [&](int /*worker*/, int64_t r0, int64_t r1) {
+                kernels::GemmNN(dc, n, pb, k, da, k, n, k, r0, r1);
+              });
+    }
+    if (bi->requires_grad) {
+      bi->EnsureGrad();
+      float* db = bi->grad.data();
+      const float* pa = ai->data.data();
+      // dB = dC^T * A ([n,m] x [m,k]), partitioned over dB rows.
+      ForRows(n, work, kGemmParallelWork,
+              [&](int /*worker*/, int64_t r0, int64_t r1) {
+                kernels::GemmTN(dc, n, pa, k, db, k, m, k, r0, r1);
+              });
+    }
+  });
+  return out;
+}
+
+Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
+  RF_CHECK_EQ(a.rank(), 2);
+  RF_CHECK_EQ(b.rank(), 2);
+  const int k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  RF_CHECK_EQ(k, b.dim(0));
+  Tensor out = MakeNode({m, n}, {a.impl(), b.impl()});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  const int64_t work = static_cast<int64_t>(m) * k * n;
+  ForRows(m, work, kGemmParallelWork,
+          [&](int /*worker*/, int64_t r0, int64_t r1) {
+            kernels::GemmTN(pa, m, pb, n, pc, n, k, n, r0, r1);
+          });
+  TensorImpl* self = out.impl().get();
+  auto ai = a.impl(), bi = b.impl();
+  SetBackward(&out, [self, ai, bi, m, k, n, work]() {
+    const float* dc = self->grad.data();
+    if (ai->requires_grad) {
+      ai->EnsureGrad();
+      float* da = ai->grad.data();
+      const float* pb = bi->data.data();
+      // dA = B * dC^T ([k,n] x [n,m]), partitioned over dA rows.
+      ForRows(k, work, kGemmParallelWork,
+              [&](int /*worker*/, int64_t r0, int64_t r1) {
+                kernels::GemmNT(pb, n, dc, n, da, m, m, n, r0, r1);
+              });
+    }
+    if (bi->requires_grad) {
+      bi->EnsureGrad();
+      float* db = bi->grad.data();
+      const float* pa = ai->data.data();
+      // dB = A * dC ([k,m] x [m,n]), partitioned over dB rows.
+      ForRows(k, work, kGemmParallelWork,
+              [&](int /*worker*/, int64_t r0, int64_t r1) {
+                kernels::GemmNN(pa, m, dc, n, db, n, m, n, r0, r1);
               });
     }
   });
@@ -501,6 +588,242 @@ Tensor LogSoftmax(const Tensor& a) {
                 }
               }
             });
+  });
+  return out;
+}
+
+Tensor ScaleAddSoftmax(const Tensor& a, float scale, const Tensor& bias) {
+  const int m = a.rows(), n = a.cols();
+  const bool has_bias = bias.defined();
+  bool bias_broadcast = false;
+  if (has_bias) {
+    if (bias.rank() == 1 && a.rank() == 2 && bias.size() == n &&
+        !SameShape(a, bias)) {
+      bias_broadcast = true;
+    } else {
+      RF_CHECK(SameShape(a, bias))
+          << a.ShapeString() << " vs " << bias.ShapeString();
+    }
+  }
+  std::vector<ImplPtr> parents = {a.impl()};
+  if (has_bias) parents.push_back(bias.impl());
+  Tensor out = MakeNode(a.shape(), std::move(parents));
+  const int64_t work = static_cast<int64_t>(m) * n;
+  const float* pa = a.data();
+  const float* pb = has_bias ? bias.data() : nullptr;
+  float* po = out.data();
+  ForRows(m, work, kRowParallelWork,
+          [&](int /*worker*/, int64_t r0, int64_t r1) {
+            for (int64_t i = r0; i < r1; ++i) {
+              float* orow = po + i * n;
+              std::copy(pa + i * n, pa + (i + 1) * n, orow);
+              const float* brow =
+                  pb == nullptr ? nullptr : (bias_broadcast ? pb : pb + i * n);
+              kernels::ScaleAddSoftmaxRow(orow, brow, n, scale);
+            }
+          });
+  TensorImpl* self = out.impl().get();
+  auto ai = a.impl();
+  auto bi = has_bias ? bias.impl() : ImplPtr();
+  SetBackward(&out, [self, ai, bi, m, n, work, scale, bias_broadcast]() {
+    const bool need_da = ai->requires_grad;
+    const bool need_dbias = bi != nullptr && bi->requires_grad;
+    if (!need_da && !need_dbias) return;
+    if (need_da) ai->EnsureGrad();
+    if (need_dbias) bi->EnsureGrad();
+    if (need_dbias && bias_broadcast) {
+      // The broadcast bias gradient folds every row into one shared vector;
+      // stay serial (rare: attention biases are buffers, not parameters).
+      std::vector<float> dt(n);
+      for (int64_t i = 0; i < m; ++i) {
+        const float* y = self->data.data() + i * n;
+        const float* dy = self->grad.data() + i * n;
+        kernels::SoftmaxBackwardRow(y, dy, dt.data(), n, /*out_overwrite=*/true);
+        for (int j = 0; j < n; ++j) bi->grad[j] += dt[j];
+        if (need_da) {
+          float* da = ai->grad.data() + i * n;
+          for (int j = 0; j < n; ++j) da[j] += scale * dt[j];
+        }
+      }
+      return;
+    }
+    ForRows(m, work, kRowParallelWork,
+            [&](int /*worker*/, int64_t r0, int64_t r1) {
+              std::vector<float> dt(n);
+              for (int64_t i = r0; i < r1; ++i) {
+                const float* y = self->data.data() + i * n;
+                const float* dy = self->grad.data() + i * n;
+                kernels::SoftmaxBackwardRow(y, dy, dt.data(), n,
+                                            /*out_overwrite=*/true);
+                if (need_da) {
+                  float* da = ai->grad.data() + i * n;
+                  for (int j = 0; j < n; ++j) da[j] += scale * dt[j];
+                }
+                if (need_dbias) {
+                  float* db = bi->grad.data() + i * n;
+                  for (int j = 0; j < n; ++j) db[j] += dt[j];
+                }
+              }
+            });
+  });
+  return out;
+}
+
+Tensor FusedMultiHeadAttention(const Tensor& q, const Tensor& k,
+                               const Tensor& v, const Tensor& bias,
+                               int num_heads) {
+  RF_CHECK_EQ(q.rank(), 2);
+  RF_CHECK(SameShape(q, k));
+  RF_CHECK(SameShape(q, v));
+  const int t_len = q.dim(0), dim = q.dim(1);
+  RF_CHECK_GT(num_heads, 0);
+  RF_CHECK_EQ(dim % num_heads, 0);
+  const int head_dim = dim / num_heads;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
+  const bool has_bias = bias.defined();
+  if (has_bias) {
+    RF_CHECK_EQ(bias.rank(), 2);
+    RF_CHECK_EQ(bias.dim(0), t_len);
+    RF_CHECK_EQ(bias.dim(1), t_len);
+  }
+  std::vector<ImplPtr> parents = {q.impl(), k.impl(), v.impl()};
+  if (has_bias) parents.push_back(bias.impl());
+  Tensor out = MakeNode({t_len, dim}, std::move(parents));
+
+  // Attention probabilities for every head, [H, T, T]; kept alive by the
+  // backward closure when gradients are tracked, recycled immediately
+  // otherwise. shared_ptr because std::function requires copyability.
+  auto attn = std::make_shared<ArenaBuffer>(static_cast<int64_t>(num_heads) *
+                                            t_len * t_len);
+  const float* pq = q.data();
+  const float* pk = k.data();
+  const float* pv = v.data();
+  const float* pbias = has_bias ? bias.data() : nullptr;
+  float* pattn = attn->data();
+  float* po = out.data();
+  const int64_t rows = static_cast<int64_t>(num_heads) * t_len;
+  const int64_t work = 2 * rows * t_len * head_dim;
+  // One fork for the whole op; each (head, row) pair computes its score
+  // row, softmaxes it in place, and accumulates its slice of the output —
+  // no transposes, slices or concats, and no worker shares an output row.
+  ForRows(rows, work, kGemmParallelWork,
+          [&](int /*worker*/, int64_t r0, int64_t r1) {
+            for (int64_t idx = r0; idx < r1; ++idx) {
+              const int h = static_cast<int>(idx / t_len);
+              const int64_t i = idx % t_len;
+              const int off = h * head_dim;
+              float* ahead = pattn + static_cast<int64_t>(h) * t_len * t_len;
+              kernels::GemmNTVec(pq + off, dim, pk + off, dim, ahead,
+                                 t_len, t_len, head_dim, i, i + 1);
+              kernels::ScaleAddSoftmaxRow(
+                  ahead + i * t_len,
+                  pbias == nullptr ? nullptr : pbias + i * t_len, t_len,
+                  scale);
+              kernels::GemmNN(ahead, t_len, pv + off, dim, po + off, dim,
+                              t_len, head_dim, i, i + 1);
+            }
+          });
+
+  TensorImpl* self = out.impl().get();
+  auto qi = q.impl(), ki = k.impl(), vi = v.impl();
+  auto bi = has_bias ? bias.impl() : ImplPtr();
+  SetBackward(&out, [self, qi, ki, vi, bi, attn, t_len, dim, head_dim,
+                     num_heads, scale, rows, work]() {
+    const bool need_dq = qi->requires_grad;
+    const bool need_dk = ki->requires_grad;
+    const bool need_dv = vi->requires_grad;
+    const bool need_dbias = bi != nullptr && bi->requires_grad;
+    const bool need_dscores = need_dq || need_dk || need_dbias;
+    if (!need_dscores && !need_dv) return;
+    if (need_dq) qi->EnsureGrad();
+    if (need_dk) ki->EnsureGrad();
+    if (need_dv) vi->EnsureGrad();
+    if (need_dbias) bi->EnsureGrad();
+    const float* pattn = attn->data();
+    const float* pdy = self->grad.data();
+    const float* pq = qi->data.data();
+    const float* pk = ki->data.data();
+    const float* pv = vi->data.data();
+    const int64_t hsz = static_cast<int64_t>(t_len) * t_len;
+
+    // Phase 1: dScores[h,i,:] = softmax_backward(dAttn[h,i,:]) where
+    // dAttn[h,i,j] = dot(dY[i, head h], V[j, head h]). Unscaled — the bias
+    // gradient is taken before the 1/sqrt(d) factor, exactly like the
+    // composed Scale->Add->Softmax chain.
+    ArenaBuffer dscores_buf(need_dscores ? rows * t_len : 0);
+    float* pds = dscores_buf.data();
+    if (need_dscores) {
+      ForRows(rows, work, kGemmParallelWork,
+              [&](int /*worker*/, int64_t r0, int64_t r1) {
+                for (int64_t idx = r0; idx < r1; ++idx) {
+                  const int h = static_cast<int>(idx / t_len);
+                  const int64_t i = idx % t_len;
+                  const int off = h * head_dim;
+                  float* dshead = pds + h * hsz;
+                  kernels::GemmNTVec(pdy + off, dim, pv + off, dim, dshead,
+                                     t_len, t_len, head_dim, i, i + 1);
+                  float* dsrow = dshead + i * t_len;
+                  kernels::SoftmaxBackwardRow(pattn + h * hsz + i * t_len,
+                                              dsrow, dsrow, t_len,
+                                              /*out_overwrite=*/true);
+                }
+              });
+    }
+
+    // Phase 2: the bias is shared across heads, so its gradient reduces
+    // over h — serial in ascending head order (deterministic, cheap).
+    if (need_dbias) {
+      for (int h = 0; h < num_heads; ++h) {
+        const float* dshead = pds + h * hsz;
+        for (int64_t e = 0; e < hsz; ++e) bi->grad[e] += dshead[e];
+      }
+    }
+
+    if (need_dq || need_dk) {
+      // Fold the score scale into dScores once; dQ/dK read the scaled copy.
+      ForElems(rows * t_len, [pds, scale](int64_t begin, int64_t end) {
+        for (int64_t e = begin; e < end; ++e) pds[e] *= scale;
+      });
+    }
+
+    // Phase 3: dQ[i, head h] += dS[h,i,:] * K[:, head h] — row-partitioned.
+    if (need_dq) {
+      float* dq = qi->grad.data();
+      ForRows(rows, work, kGemmParallelWork,
+              [&](int /*worker*/, int64_t r0, int64_t r1) {
+                for (int64_t idx = r0; idx < r1; ++idx) {
+                  const int h = static_cast<int>(idx / t_len);
+                  const int64_t i = idx % t_len;
+                  const int off = h * head_dim;
+                  kernels::GemmNN(pds + h * hsz, t_len, pk + off, dim,
+                                  dq + off, dim, t_len, head_dim, i, i + 1);
+                }
+              });
+    }
+
+    // Phase 4: dK[j, h] += dS[h,:,j]^T Q[:, h]; dV[j, h] += A[h,:,j]^T dY.
+    // Both reduce over query rows i for a fixed key/value row j, so the
+    // (h, j) partition keeps writers disjoint.
+    if (need_dk || need_dv) {
+      float* dk = need_dk ? ki->grad.data() : nullptr;
+      float* dv = need_dv ? vi->grad.data() : nullptr;
+      ForRows(rows, work, kGemmParallelWork,
+              [&](int /*worker*/, int64_t r0, int64_t r1) {
+                for (int64_t idx = r0; idx < r1; ++idx) {
+                  const int h = static_cast<int>(idx / t_len);
+                  const int64_t j = idx % t_len;
+                  const int off = h * head_dim;
+                  if (dk != nullptr) {
+                    kernels::GemmTN(pds + h * hsz, t_len, pq + off, dim,
+                                    dk + off, dim, t_len, head_dim, j, j + 1);
+                  }
+                  if (dv != nullptr) {
+                    kernels::GemmTN(pattn + h * hsz, t_len, pdy + off, dim,
+                                    dv + off, dim, t_len, head_dim, j, j + 1);
+                  }
+                }
+              });
+    }
   });
   return out;
 }

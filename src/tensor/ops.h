@@ -12,6 +12,14 @@ namespace ops {
 /// Matrix product [m,k] x [k,n] -> [m,n].
 Tensor MatMul(const Tensor& a, const Tensor& b);
 
+/// C = A * B^T for A [m,k], B [n,k] -> [m,n], without materializing the
+/// transpose. Bit-identical to MatMul(a, Transpose(b)) at any thread count.
+Tensor MatMulTransposedB(const Tensor& a, const Tensor& b);
+
+/// C = A^T * B for A [k,m], B [k,n] -> [m,n], without materializing the
+/// transpose. Bit-identical to MatMul(Transpose(a), b) at any thread count.
+Tensor MatMulTransposedA(const Tensor& a, const Tensor& b);
+
 /// Transpose of a rank-2 tensor.
 Tensor Transpose(const Tensor& a);
 
@@ -40,6 +48,26 @@ Tensor Sigmoid(const Tensor& a);
 /// Row-wise softmax / log-softmax over the last dimension.
 Tensor Softmax(const Tensor& a);
 Tensor LogSoftmax(const Tensor& a);
+
+/// Fused softmax(a * scale + bias) in one pass over the rows. `bias` is
+/// optional (undefined Tensor): same shape as `a`, or rank-1 of size
+/// a.cols() broadcast over rows. Bit-identical to the composed
+/// Softmax(Add(Scale(a, scale), bias)) at any thread count.
+Tensor ScaleAddSoftmax(const Tensor& a, float scale,
+                       const Tensor& bias = Tensor());
+
+/// Fused multi-head scaled-dot-product self-attention core:
+/// q/k/v are [T, dim] with dim = num_heads * head_dim (heads are column
+/// blocks); returns concat_h(softmax(Qh Kh^T / sqrt(head_dim) + bias) Vh)
+/// as [T, dim]. `bias` (optional, [T, T]) is shared across heads. Operates
+/// on strided head views — no per-head slice/transpose/concat copies — and
+/// differentiates through q, k, v and bias. Results are deterministic and
+/// bit-identical across thread counts; against the composed per-head
+/// reference they agree within 1e-5 relative on forward and backward (the
+/// score reductions use the SIMD-reassociated kernels::GemmNTVec).
+Tensor FusedMultiHeadAttention(const Tensor& q, const Tensor& k,
+                               const Tensor& v, const Tensor& bias,
+                               int num_heads);
 
 /// Mean negative log-likelihood of `targets` under row-wise softmax of
 /// `logits` [m, n]. Rows whose target equals `ignore_index` contribute

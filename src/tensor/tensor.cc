@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "tensor/arena.h"
 #include "tensor/autograd.h"
 
 namespace resuformer {
@@ -20,6 +21,16 @@ int64_t ShapeProduct(const std::vector<int>& shape) {
 }
 }  // namespace
 
+TensorImpl::~TensorImpl() {
+  // Recycle storage through the arena. Foreign buffers (FromData, plain
+  // grads) are parked too — they just never touched the outstanding count.
+  TensorArena& arena = TensorArena::Global();
+  if (!data.empty() || data_from_arena) {
+    arena.Release(std::move(data), data_from_arena);
+  }
+  if (!grad.empty()) arena.Release(std::move(grad), /*was_acquired=*/false);
+}
+
 NoGradGuard::NoGradGuard() : previous_(g_grad_enabled) {
   g_grad_enabled = false;
 }
@@ -28,7 +39,8 @@ bool NoGradGuard::GradEnabled() { return g_grad_enabled; }
 
 Tensor Tensor::Zeros(std::vector<int> shape, bool requires_grad) {
   auto impl = std::make_shared<TensorImpl>();
-  impl->data.assign(ShapeProduct(shape), 0.0f);
+  impl->data =
+      TensorArena::Global().Acquire(ShapeProduct(shape), &impl->data_from_arena);
   impl->shape = std::move(shape);
   impl->requires_grad = requires_grad;
   return Tensor(std::move(impl));

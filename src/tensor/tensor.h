@@ -13,10 +13,15 @@ namespace resuformer {
 /// Shared storage + autograd metadata behind a Tensor handle.
 /// Not part of the public API; use Tensor.
 struct TensorImpl {
+  ~TensorImpl();  // returns data/grad buffers to the TensorArena
+
   std::vector<int> shape;
   std::vector<float> data;
   std::vector<float> grad;  // same size as data once EnsureGrad() ran
   bool requires_grad = false;
+  // True when `data` was drawn from the TensorArena free lists; balances
+  // the arena's outstanding-buffer count on destruction.
+  bool data_from_arena = false;
 
   // Reverse-mode autograd: when this node was produced by an op, parents
   // holds its inputs and backward_fn accumulates into their grad buffers.

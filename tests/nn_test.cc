@@ -113,6 +113,91 @@ TEST(AttentionTest, MaskBiasBlocksPositions) {
   }
 }
 
+TEST(AttentionTest, FusedMatchesReferenceForwardAndGradients) {
+  // Same Rng seed -> identical projection weights in both modules; the only
+  // difference is the execution path. Head counts cover the paper's 12-head
+  // regime shape-wise (dim 32 divides by all of them); T != dim throughout.
+  const int dim = 32;
+  for (int num_heads : {1, 4, 8}) {
+    for (bool with_bias : {false, true}) {
+      for (int t_len : {5, 11}) {
+        Rng rng_fused(42), rng_ref(42), rng_data(43);
+        MultiHeadSelfAttention fused(dim, num_heads, &rng_fused,
+                                     /*fused=*/true);
+        MultiHeadSelfAttention reference(dim, num_heads, &rng_ref,
+                                         /*fused=*/false);
+        ASSERT_TRUE(fused.fused());
+        ASSERT_FALSE(reference.fused());
+
+        Tensor x = Tensor::Randn({t_len, dim}, &rng_data);
+        x.set_requires_grad(true);
+        Tensor bias = with_bias
+                          ? Tensor::Randn({t_len, t_len}, &rng_data, 0.5f)
+                          : Tensor();
+
+        x.ZeroGrad();
+        for (Tensor& p : fused.Parameters()) p.ZeroGrad();
+        Tensor yf = fused.Forward(x, bias);
+        ops::Mean(yf).Backward();
+        std::vector<float> fused_dx = x.impl()->grad;
+        std::vector<std::vector<float>> fused_dp;
+        for (Tensor& p : fused.Parameters()) fused_dp.push_back(p.impl()->grad);
+
+        x.ZeroGrad();
+        for (Tensor& p : reference.Parameters()) p.ZeroGrad();
+        Tensor yr = reference.Forward(x, bias);
+        ops::Mean(yr).Backward();
+
+        // Forward and gradients: float-rounding agreement (the fused path's
+        // score reductions are SIMD-reassociated, so not bitwise).
+        ASSERT_EQ(yf.shape(), yr.shape());
+        for (int64_t i = 0; i < yf.size(); ++i) {
+          ASSERT_NEAR(yf.data()[i], yr.data()[i],
+                      1e-5f * (1.0f + std::abs(yr.data()[i])))
+              << "heads=" << num_heads << " bias=" << with_bias
+              << " t=" << t_len << " element " << i;
+        }
+        for (size_t i = 0; i < fused_dx.size(); ++i) {
+          ASSERT_NEAR(fused_dx[i], x.impl()->grad[i],
+                      1e-5f * (1.0f + std::abs(fused_dx[i])));
+        }
+        std::vector<Tensor> ref_params = reference.Parameters();
+        for (size_t p = 0; p < fused_dp.size(); ++p) {
+          const std::vector<float>& ref_grad = ref_params[p].impl()->grad;
+          ASSERT_EQ(fused_dp[p].size(), ref_grad.size());
+          for (size_t i = 0; i < ref_grad.size(); ++i) {
+            ASSERT_NEAR(fused_dp[p][i], ref_grad[i],
+                        1e-5f * (1.0f + std::abs(ref_grad[i])))
+                << "param " << p << " element " << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(AttentionTest, FusedGradCheck) {
+  Rng rng(11);
+  MultiHeadSelfAttention attn(8, 4, &rng, /*fused=*/true);
+  Tensor x = Tensor::Randn({5, 8}, &rng);
+  EXPECT_LT(GradCheck(x, [&]() { return ops::Mean(attn.Forward(x)); }), kTol);
+}
+
+TEST(TransformerTest, FusedFlagReachesAttentionLayers) {
+  Rng rng(12);
+  TransformerConfig ref_cfg{8, 1, 2, 16, 0.0f, /*fused_attention=*/false};
+  TransformerConfig fused_cfg{8, 1, 2, 16, 0.0f, /*fused_attention=*/true};
+  Rng rng2(12);
+  TransformerEncoder ref_enc(ref_cfg, &rng);
+  TransformerEncoder fused_enc(fused_cfg, &rng2);
+  Tensor x = Tensor::Randn({4, 8}, &rng);
+  Tensor yr = ref_enc.Forward(x);
+  Tensor yf = fused_enc.Forward(x);
+  for (int64_t i = 0; i < yr.size(); ++i) {
+    ASSERT_NEAR(yr.data()[i], yf.data()[i], 1e-4f) << i;
+  }
+}
+
 TEST(TransformerTest, StackPreservesShape) {
   Rng rng(8);
   TransformerConfig cfg{12, 3, 2, 24, 0.0f};

@@ -2,10 +2,12 @@
 
 #include <cmath>
 #include <limits>
+#include <tuple>
 #include <vector>
 
 #include "common/thread_pool.h"
 #include "gradcheck.h"
+#include "tensor/arena.h"
 #include "tensor/autograd.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
@@ -519,6 +521,397 @@ TEST(ParallelOpsTest, ElementwiseMatchesSerialAcrossThreshold) {
       ASSERT_EQ(serial_dx, GradOf(x));
     }
   }
+}
+
+// ---------- transpose-free GEMM and fused softmax/attention ----------
+
+namespace {
+
+/// Composed-ops reference for the fused attention core, mirroring the
+/// per-head chain in MultiHeadSelfAttention's reference path.
+Tensor ComposedAttention(const Tensor& q, const Tensor& k, const Tensor& v,
+                         const Tensor& bias, int num_heads) {
+  const int head_dim = q.cols() / num_heads;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
+  std::vector<Tensor> heads;
+  for (int h = 0; h < num_heads; ++h) {
+    const int off = h * head_dim;
+    Tensor qh = ops::SliceCols(q, off, head_dim);
+    Tensor kh = ops::SliceCols(k, off, head_dim);
+    Tensor vh = ops::SliceCols(v, off, head_dim);
+    Tensor scores = ops::Scale(ops::MatMul(qh, ops::Transpose(kh)), scale);
+    if (bias.defined()) scores = ops::Add(scores, bias);
+    heads.push_back(ops::MatMul(ops::Softmax(scores), vh));
+  }
+  return ops::ConcatCols(heads);
+}
+
+void ExpectBitEqual(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  for (int64_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i]) << "element " << i;
+  }
+}
+
+void ExpectTensorNear(const Tensor& a, const Tensor& b, float tol) {
+  ASSERT_EQ(a.shape(), b.shape());
+  for (int64_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a.data()[i], b.data()[i],
+                tol * (1.0f + std::abs(b.data()[i])))
+        << "element " << i;
+  }
+}
+
+void ExpectAllNear(const std::vector<float>& a, const std::vector<float>& b,
+                   float tol) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a[i], b[i], tol * (1.0f + std::abs(a[i]))) << "element " << i;
+  }
+}
+
+}  // namespace
+
+TEST(FusedOpsTest, MatMulTransposedBMatchesComposed) {
+  // Non-square shapes on both sides of the GEMM parallel threshold.
+  for (auto [m, kdim, n] : {std::tuple{3, 5, 4}, std::tuple{48, 96, 80}}) {
+    Tensor a = RandTensor({m, kdim}, 900 + m);
+    Tensor b = RandTensor({n, kdim}, 910 + m);
+    Tensor w = RandTensor({m, n}, 920 + m);
+    a.set_requires_grad(true);
+    b.set_requires_grad(true);
+
+    Tensor fused = ops::MatMulTransposedB(a, b);
+    ops::Mean(ops::Mul(fused, w)).Backward();
+    std::vector<float> fused_da = GradOf(a), fused_db = GradOf(b);
+
+    a.ZeroGrad();
+    b.ZeroGrad();
+    Tensor composed = ops::MatMul(a, ops::Transpose(b));
+    ops::Mean(ops::Mul(composed, w)).Backward();
+
+    ExpectBitEqual(fused, composed);
+    ExpectAllNear(fused_da, GradOf(a), 1e-5f);
+    ExpectAllNear(fused_db, GradOf(b), 1e-5f);
+  }
+}
+
+TEST(FusedOpsTest, MatMulTransposedAMatchesComposed) {
+  for (auto [kdim, m, n] : {std::tuple{5, 3, 4}, std::tuple{96, 48, 80}}) {
+    Tensor a = RandTensor({kdim, m}, 930 + m);
+    Tensor b = RandTensor({kdim, n}, 940 + m);
+    Tensor w = RandTensor({m, n}, 950 + m);
+    a.set_requires_grad(true);
+    b.set_requires_grad(true);
+
+    Tensor fused = ops::MatMulTransposedA(a, b);
+    ops::Mean(ops::Mul(fused, w)).Backward();
+    std::vector<float> fused_da = GradOf(a), fused_db = GradOf(b);
+
+    a.ZeroGrad();
+    b.ZeroGrad();
+    Tensor composed = ops::MatMul(ops::Transpose(a), b);
+    ops::Mean(ops::Mul(composed, w)).Backward();
+
+    ExpectBitEqual(fused, composed);
+    ExpectAllNear(fused_da, GradOf(a), 1e-5f);
+    ExpectAllNear(fused_db, GradOf(b), 1e-5f);
+  }
+}
+
+TEST(FusedOpsTest, MatMulTransposedGradCheck) {
+  Tensor a = RandTensor({4, 6}, 960, 0.5f);
+  Tensor b = RandTensor({5, 6}, 961, 0.5f);
+  a.set_requires_grad(true);
+  b.set_requires_grad(true);
+  auto loss_bt = [&]() { return ops::Mean(ops::MatMulTransposedB(a, b)); };
+  EXPECT_LT(GradCheck(a, loss_bt), kTol);
+  EXPECT_LT(GradCheck(b, loss_bt), kTol);
+
+  Tensor c = RandTensor({6, 4}, 962, 0.5f);
+  Tensor d = RandTensor({6, 5}, 963, 0.5f);
+  c.set_requires_grad(true);
+  d.set_requires_grad(true);
+  auto loss_at = [&]() { return ops::Mean(ops::MatMulTransposedA(c, d)); };
+  EXPECT_LT(GradCheck(c, loss_at), kTol);
+  EXPECT_LT(GradCheck(d, loss_at), kTol);
+}
+
+TEST(FusedOpsTest, ScaleAddSoftmaxMatchesComposed) {
+  const float scale = 0.37f;
+  Tensor x = RandTensor({7, 9}, 970);
+  Tensor full_bias = RandTensor({7, 9}, 971);
+  Tensor row_bias = RandTensor({9}, 972);
+  Tensor w = RandTensor({7, 9}, 973);
+  // Bias variants: none, same-shape, rank-1 broadcast over rows.
+  for (int variant = 0; variant < 3; ++variant) {
+    Tensor bias =
+        variant == 0 ? Tensor() : (variant == 1 ? full_bias : row_bias);
+    x.set_requires_grad(true);
+    if (bias.defined()) bias.set_requires_grad(true);
+
+    x.ZeroGrad();
+    if (bias.defined()) bias.ZeroGrad();
+    Tensor fused = ops::ScaleAddSoftmax(x, scale, bias);
+    ops::Mean(ops::Mul(fused, w)).Backward();
+    std::vector<float> fused_dx = GradOf(x);
+    std::vector<float> fused_dbias = bias.defined() ? GradOf(bias)
+                                                    : std::vector<float>();
+
+    x.ZeroGrad();
+    if (bias.defined()) bias.ZeroGrad();
+    Tensor scaled = ops::Scale(x, scale);
+    Tensor composed =
+        ops::Softmax(bias.defined() ? ops::Add(scaled, bias) : scaled);
+    ops::Mean(ops::Mul(composed, w)).Backward();
+
+    ExpectBitEqual(fused, composed);
+    ExpectAllNear(fused_dx, GradOf(x), 1e-5f);
+    if (bias.defined()) ExpectAllNear(fused_dbias, GradOf(bias), 1e-5f);
+  }
+}
+
+TEST(FusedOpsTest, ScaleAddSoftmaxGradCheck) {
+  Tensor x = RandTensor({3, 6}, 980, 0.5f);
+  Tensor bias = RandTensor({6}, 981, 0.5f);
+  Tensor w = RandTensor({3, 6}, 982);
+  x.set_requires_grad(true);
+  bias.set_requires_grad(true);
+  auto loss = [&]() {
+    return ops::Mean(ops::Mul(ops::ScaleAddSoftmax(x, 0.61f, bias), w));
+  };
+  EXPECT_LT(GradCheck(x, loss), kTol);
+  EXPECT_LT(GradCheck(bias, loss), kTol);
+}
+
+TEST(FusedOpsTest, FusedAttentionMatchesComposed) {
+  // Non-square (T != dim) shapes; every head-count divides dim = 8.
+  const int t_len = 6, dim = 8;
+  for (int num_heads : {1, 2, 4}) {
+    for (bool with_bias : {false, true}) {
+      Tensor q = RandTensor({t_len, dim}, 1000 + num_heads);
+      Tensor k = RandTensor({t_len, dim}, 1010 + num_heads);
+      Tensor v = RandTensor({t_len, dim}, 1020 + num_heads);
+      Tensor bias =
+          with_bias ? RandTensor({t_len, t_len}, 1030 + num_heads) : Tensor();
+      Tensor w = RandTensor({t_len, dim}, 1040 + num_heads);
+      for (Tensor* t : {&q, &k, &v}) t->set_requires_grad(true);
+      if (with_bias) bias.set_requires_grad(true);
+
+      auto zero_all = [&]() {
+        for (Tensor* t : {&q, &k, &v}) t->ZeroGrad();
+        if (with_bias) bias.ZeroGrad();
+      };
+
+      zero_all();
+      Tensor fused = ops::FusedMultiHeadAttention(q, k, v, bias, num_heads);
+      ops::Mean(ops::Mul(fused, w)).Backward();
+      std::vector<float> dq = GradOf(q), dk = GradOf(k), dv = GradOf(v);
+      std::vector<float> dbias = with_bias ? GradOf(bias)
+                                           : std::vector<float>();
+
+      zero_all();
+      Tensor composed = ComposedAttention(q, k, v, bias, num_heads);
+      ops::Mean(ops::Mul(composed, w)).Backward();
+
+      // Forward is 1e-5-close, not bitwise: the fused score reductions are
+      // SIMD-reassociated (kernels::GemmNTVec).
+      ExpectTensorNear(fused, composed, 1e-5f);
+      ExpectAllNear(dq, GradOf(q), 1e-5f);
+      ExpectAllNear(dk, GradOf(k), 1e-5f);
+      ExpectAllNear(dv, GradOf(v), 1e-5f);
+      if (with_bias) ExpectAllNear(dbias, GradOf(bias), 1e-5f);
+    }
+  }
+}
+
+TEST(FusedOpsTest, FusedAttentionGradCheck) {
+  const int t_len = 4, dim = 6, num_heads = 2;
+  Tensor q = RandTensor({t_len, dim}, 1100, 0.5f);
+  Tensor k = RandTensor({t_len, dim}, 1101, 0.5f);
+  Tensor v = RandTensor({t_len, dim}, 1102, 0.5f);
+  Tensor bias = RandTensor({t_len, t_len}, 1103, 0.5f);
+  Tensor w = RandTensor({t_len, dim}, 1104);
+  for (Tensor* t : {&q, &k, &v, &bias}) t->set_requires_grad(true);
+  auto loss = [&]() {
+    return ops::Mean(
+        ops::Mul(ops::FusedMultiHeadAttention(q, k, v, bias, num_heads), w));
+  };
+  EXPECT_LT(GradCheck(q, loss), kTol);
+  EXPECT_LT(GradCheck(k, loss), kTol);
+  EXPECT_LT(GradCheck(v, loss), kTol);
+  EXPECT_LT(GradCheck(bias, loss), kTol);
+}
+
+TEST(ParallelOpsTest, FusedAttentionBitIdenticalAcrossThreads) {
+  // Big enough to cross the GEMM work threshold; every backward phase
+  // partitions over disjoint output elements, so gradients are bit-identical
+  // between thread counts too.
+  const int t_len = 64, dim = 32, num_heads = 4;
+  Tensor q = RandTensor({t_len, dim}, 1200);
+  Tensor k = RandTensor({t_len, dim}, 1201);
+  Tensor v = RandTensor({t_len, dim}, 1202);
+  Tensor bias = RandTensor({t_len, t_len}, 1203);
+  Tensor w = RandTensor({t_len, dim}, 1204);
+  for (Tensor* t : {&q, &k, &v, &bias}) t->set_requires_grad(true);
+  auto run = [&]() {
+    for (Tensor* t : {&q, &k, &v, &bias}) t->ZeroGrad();
+    Tensor y = ops::FusedMultiHeadAttention(q, k, v, bias, num_heads);
+    ops::Mean(ops::Mul(y, w)).Backward();
+    return y;
+  };
+  ThreadPool::Global().SetNumThreads(1);
+  Tensor serial = run();
+  std::vector<float> dq = GradOf(q), dk = GradOf(k), dv = GradOf(v),
+                     dbias = GradOf(bias);
+  {
+    PoolGuard guard(4);
+    Tensor parallel = run();
+    ExpectBitEqual(serial, parallel);
+    ASSERT_EQ(dq, GradOf(q));
+    ASSERT_EQ(dk, GradOf(k));
+    ASSERT_EQ(dv, GradOf(v));
+    ASSERT_EQ(dbias, GradOf(bias));
+  }
+}
+
+TEST(ParallelOpsTest, MatMulTransposedBitIdenticalAcrossThreads) {
+  Tensor a = RandTensor({96, 128}, 1300);
+  Tensor b = RandTensor({112, 128}, 1301);
+  Tensor w = RandTensor({96, 112}, 1302);
+  a.set_requires_grad(true);
+  b.set_requires_grad(true);
+  auto run = [&]() {
+    a.ZeroGrad();
+    b.ZeroGrad();
+    Tensor c = ops::MatMulTransposedB(a, b);
+    ops::Mean(ops::Mul(c, w)).Backward();
+    return c;
+  };
+  ThreadPool::Global().SetNumThreads(1);
+  Tensor serial = run();
+  std::vector<float> da = GradOf(a), db = GradOf(b);
+  {
+    PoolGuard guard(4);
+    Tensor parallel = run();
+    ExpectBitEqual(serial, parallel);
+    ASSERT_EQ(da, GradOf(a));
+    ASSERT_EQ(db, GradOf(b));
+  }
+}
+
+// ---------- tensor buffer arena ----------
+
+TEST(ArenaTest, RecyclesReleasedBuffers) {
+  TensorArena& arena = TensorArena::Global();
+  arena.SetEnabled(true);
+  arena.Clear();
+  arena.ResetStats();
+  const int64_t before_outstanding = arena.stats().outstanding;
+  {
+    Tensor t = Tensor::Zeros({256});
+    EXPECT_EQ(arena.stats().outstanding, before_outstanding + 1);
+  }
+  // The released buffer must serve the next same-class request as a hit,
+  // zero-filled despite the previous tenant's writes.
+  {
+    Tensor t = Tensor::Full({256}, 3.0f);
+  }
+  const int64_t misses_before = arena.stats().misses;
+  Tensor t = Tensor::Zeros({256});
+  EXPECT_EQ(arena.stats().misses, misses_before);
+  EXPECT_GE(arena.stats().hits, 1);
+  EXPECT_GT(arena.stats().bytes_recycled, 0);
+  for (int i = 0; i < 256; ++i) ASSERT_EQ(t.at(i), 0.0f);
+}
+
+TEST(ArenaTest, OutstandingReturnsToBaselineAfterGraphRuns) {
+  TensorArena& arena = TensorArena::Global();
+  arena.SetEnabled(true);
+  const int64_t before = arena.stats().outstanding;
+  {
+    // Forward + backward builds and destroys a whole graph, including the
+    // fused attention's ArenaBuffer workspaces.
+    Tensor q = RandTensor({16, 8}, 1400);
+    q.set_requires_grad(true);
+    Tensor y = ops::FusedMultiHeadAttention(q, q, q, Tensor(), 2);
+    ops::Mean(y).Backward();
+  }
+  EXPECT_EQ(arena.stats().outstanding, before);
+}
+
+TEST(ArenaTest, OddCapacityBuffersLandInFloorClass) {
+  TensorArena& arena = TensorArena::Global();
+  arena.SetEnabled(true);
+  arena.Clear();
+  arena.ResetStats();
+  // 192 floats is not a size class: Acquire rounds the capacity up to 256
+  // (ceil class), so the release parks it back where a 256-float request
+  // finds it.
+  { Tensor t = Tensor::Zeros({192}); }
+  const int64_t hits_before = arena.stats().hits;
+  { Tensor t = Tensor::Zeros({256}); }
+  EXPECT_EQ(arena.stats().hits, hits_before + 1);
+
+  // A foreign buffer (FromData: capacity 300, never Acquired) is adopted
+  // into its floor class 256 and can serve a 200-float request.
+  {
+    std::vector<float> data(300, 1.0f);
+    Tensor t = Tensor::FromData({300}, std::move(data));
+  }
+  const int64_t hits_before2 = arena.stats().hits;
+  { Tensor t = Tensor::Zeros({200}); }
+  EXPECT_EQ(arena.stats().hits, hits_before2 + 1);
+}
+
+TEST(ArenaTest, SubClassForeignBuffersAreDropped) {
+  TensorArena& arena = TensorArena::Global();
+  arena.SetEnabled(true);
+  arena.Clear();
+  arena.ResetStats();
+  // A foreign buffer below the minimum size class (FromData with capacity 8;
+  // arena-acquired buffers always reserve at least the minimum class) is
+  // freed on release, not cached.
+  {
+    std::vector<float> d(8, 1.0f);
+    Tensor t = Tensor::FromData({8}, std::move(d));
+  }
+  EXPECT_EQ(arena.stats().cached_bytes, 0);
+  { Tensor t = Tensor::Zeros({8}); }  // nothing cached: a miss, not a hit
+  EXPECT_EQ(arena.stats().hits, 0);
+  EXPECT_EQ(arena.stats().outstanding, 0);
+}
+
+TEST(ArenaTest, DisabledArenaStillBalancesOutstanding) {
+  TensorArena& arena = TensorArena::Global();
+  arena.SetEnabled(false);
+  arena.Clear();
+  arena.ResetStats();
+  {
+    Tensor t = Tensor::Zeros({1024});
+    Tensor u = ops::Scale(t, 2.0f);
+  }
+  const TensorArena::Stats stats = arena.stats();
+  EXPECT_EQ(stats.hits, 0);
+  EXPECT_EQ(stats.outstanding, 0);
+  EXPECT_EQ(stats.cached_bytes, 0);
+  arena.SetEnabled(true);
+}
+
+TEST(ArenaTest, BudgetBoundsCachedBytes) {
+  TensorArena& arena = TensorArena::Global();
+  arena.SetEnabled(true);
+  arena.Clear();
+  arena.ResetStats();
+  arena.SetBudgetBytes(1024 * sizeof(float));
+  { Tensor t = Tensor::Zeros({1024}); }       // fills the whole budget
+  { Tensor t = Tensor::Zeros({1024}); }       // hit, then re-parked
+  const int64_t cached = arena.stats().cached_bytes;
+  EXPECT_LE(cached, 1024 * static_cast<int64_t>(sizeof(float)));
+  { Tensor t = Tensor::Zeros({512}); }        // release would exceed budget
+  EXPECT_EQ(arena.stats().cached_bytes, cached);
+  arena.SetBudgetBytes(256LL << 20);
+  arena.Clear();
 }
 
 }  // namespace

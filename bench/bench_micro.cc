@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "baselines/layout_token_model.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/block_classifier.h"
 #include "crf/linear_crf.h"
 #include "doc/sentence_assembler.h"
@@ -131,7 +133,7 @@ void BM_EncoderForward(benchmark::State& state) {
   core::ResuFormerConfig cfg = env.model_cfg;
   cfg.hidden = 128;
   cfg.ffn = 256;
-  cfg.threads = static_cast<int>(state.range(0));
+  cfg.runtime.threads = static_cast<int>(state.range(0));
   Rng rng(24);
   core::BlockClassifier classifier(cfg, &rng);
   classifier.SetTraining(false);
@@ -240,14 +242,14 @@ void BM_EncoderForwardArena(benchmark::State& state) {
   core::ResuFormerConfig cfg = env.model_cfg;
   cfg.hidden = 128;
   cfg.ffn = 256;
-  cfg.threads = 1;
-  cfg.use_tensor_arena = state.range(0) != 0;
+  cfg.runtime.threads = 1;
+  cfg.runtime.use_tensor_arena = state.range(0) != 0;
   Rng rng(33);
   core::BlockClassifier classifier(cfg, &rng);
   classifier.SetTraining(false);
   const core::EncodedDocument encoded =
       core::EncodeForModel(env.corpus.test[0].document, *env.tokenizer, cfg);
-  TensorArena::Global().SetEnabled(cfg.use_tensor_arena);
+  TensorArena::Global().SetEnabled(cfg.runtime.use_tensor_arena);
   for (auto _ : state) {
     benchmark::DoNotOptimize(classifier.Predict(encoded));
   }
@@ -300,7 +302,7 @@ struct ParseEnv {
     options.ner_data.test_sequences = 8;
     fused = pipeline::ResuFormerPipeline::TrainFromCorpus(corpus, options,
                                                           nullptr);
-    options.model.use_fused_attention = false;
+    options.model.runtime.use_fused_attention = false;
     reference = pipeline::ResuFormerPipeline::TrainFromCorpus(
         corpus, options, nullptr);
   }
@@ -340,6 +342,51 @@ void BM_ParseThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_ParseThroughput)->Arg(0)->Arg(1)->Arg(2)->Arg(3)
     ->Unit(benchmark::kMillisecond);
+
+// --- observability overhead: the costs the instrumentation layer claims ---
+
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  // The price every instrumented function pays when tracing is off: one
+  // relaxed atomic load and a branch, no clock read.
+  trace::TraceRecorder::Global().SetEnabled(false);
+  for (auto _ : state) {
+    TRACE_SPAN("bench.noop");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TraceSpanDisabled)->Unit(benchmark::kNanosecond);
+
+void BM_TraceSpanEnabled(benchmark::State& state) {
+  trace::TraceRecorder::Global().SetEnabled(true);
+  for (auto _ : state) {
+    TRACE_SPAN("bench.noop");
+    benchmark::ClobberMemory();
+  }
+  trace::TraceRecorder::Global().SetEnabled(false);
+  trace::TraceRecorder::Global().Reset();
+}
+BENCHMARK(BM_TraceSpanEnabled)->Unit(benchmark::kNanosecond);
+
+void BM_CounterIncrement(benchmark::State& state) {
+  metrics::Counter* counter =
+      metrics::MetricsRegistry::Global().GetCounter("bench.counter");
+  for (auto _ : state) {
+    counter->Increment();
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_CounterIncrement)->Unit(benchmark::kNanosecond);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  metrics::Histogram* hist =
+      metrics::MetricsRegistry::Global().GetHistogram("bench.histogram");
+  int64_t v = 0;
+  for (auto _ : state) {
+    hist->Record(v++ & 0xfff);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_HistogramRecord)->Unit(benchmark::kNanosecond);
 
 void BM_TokenLevelPredict(benchmark::State& state) {
   Env& env = GetEnv();
@@ -464,7 +511,12 @@ class MicroJsonReporter : public benchmark::BenchmarkReporter {
     for (size_t i = 0; i < records_.size(); ++i) {
       out << records_[i] << (i + 1 < records_.size() ? ",\n" : "\n");
     }
-    out << "]\n}\n";
+    // Counters accumulated across every run above (GEMM calls/FLOPs, arena
+    // hits, pool dispatches, pipeline tallies) — the structural side of a
+    // bench run, alongside the timings.
+    out << "],\n\"metrics\": "
+        << resuformer::metrics::MetricsRegistry::Global().Snapshot().ToJson()
+        << "\n}\n";
   }
 
  private:

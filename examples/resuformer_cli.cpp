@@ -10,14 +10,26 @@
 //   resuformer_cli bench-latency                      per-resume latency of the
 //                                                     untrained hierarchical
 //                                                     vs token-level paths
+//
+// Global observability flags (any command; see common/runtime_options.h for
+// the matching RESUFORMER_* environment overrides):
+//   --trace-out FILE     enable tracing, write a chrome://tracing JSON file
+//   --metrics-out FILE   enable timed metrics, write a metrics snapshot JSON
+//   --threads N          thread-pool width (0 = auto)
+// With no command, train-and-parse runs — `resuformer_cli --trace-out t.json`
+// captures a trace of the full pipeline.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "baselines/layout_token_model.h"
+#include "common/metrics.h"
+#include "common/runtime_options.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "distant/dictionary.h"
 #include "eval/timing.h"
 #include "pipeline/pipeline.h"
@@ -26,12 +38,25 @@
 namespace resuformer {
 namespace {
 
+// Resolved once in main (env, then flags) and injected into every model
+// config a command builds: model constructors re-apply their config's
+// runtime options, so a config built from defaults would silently switch
+// tracing/metrics back off.
+RuntimeOptions g_runtime;
+
 int64_t FlagValue(int argc, char** argv, const char* name,
                   int64_t fallback) {
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], name) == 0) return std::atoll(argv[i + 1]);
   }
   return fallback;
+}
+
+const char* StringFlagValue(int argc, char** argv, const char* name) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return nullptr;
 }
 
 int CmdGenerate(int argc, char** argv) {
@@ -96,6 +121,7 @@ int CmdTrainAndParse(int argc, char** argv) {
   ccfg.seed = static_cast<uint64_t>(FlagValue(argc, argv, "--seed", 7));
   const resumegen::Corpus corpus = resumegen::GenerateCorpus(ccfg);
   pipeline::PipelineOptions options;
+  options.model.runtime = g_runtime;
   options.pretrain_epochs = 2;
   options.finetune.epochs = 10;
   options.finetune.patience = 4;
@@ -128,6 +154,7 @@ int CmdBenchLatency(int argc, char** argv) {
       resumegen::TrainTokenizer(corpus, 1500);
 
   core::ResuFormerConfig cfg;
+  cfg.runtime = g_runtime;
   cfg.vocab_size = tokenizer.vocab().size();
   Rng rng(1);
   core::BlockClassifier hierarchical(cfg, &rng);
@@ -161,22 +188,62 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: resuformer_cli <generate|stats|annotate|train-and-parse|"
-      "bench-latency> [flags]\n");
+      "bench-latency> [flags]\n"
+      "global flags: --trace-out FILE  --metrics-out FILE  --threads N\n");
   return 1;
+}
+
+int Dispatch(const std::string& cmd, int argc, char** argv) {
+  if (cmd == "generate") return CmdGenerate(argc, argv);
+  if (cmd == "stats") return CmdStats(argc, argv);
+  if (cmd == "annotate") return CmdAnnotate(argc, argv);
+  if (cmd == "train-and-parse") return CmdTrainAndParse(argc, argv);
+  if (cmd == "bench-latency") return CmdBenchLatency(argc, argv);
+  return Usage();
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) return Usage();
+
+  g_runtime = RuntimeOptions::FromEnv();
+  const char* trace_out = StringFlagValue(argc, argv, "--trace-out");
+  const char* metrics_out = StringFlagValue(argc, argv, "--metrics-out");
+  if (trace_out != nullptr) g_runtime.enable_tracing = true;
+  if (metrics_out != nullptr) g_runtime.enable_metrics = true;
+  g_runtime.threads = static_cast<int>(
+      FlagValue(argc, argv, "--threads", g_runtime.threads));
+  core::ApplyRuntimeOptions(g_runtime);
+
+  // A leading flag means "no command": default to the end-to-end pipeline
+  // demo, the most useful thing to capture a trace of.
+  const std::string cmd =
+      argv[1][0] == '-' ? std::string("train-and-parse") : argv[1];
+  const int rc = Dispatch(cmd, argc, argv);
+
+  if (metrics_out != nullptr) {
+    std::ofstream out(metrics_out);
+    out << metrics::MetricsRegistry::Global().Snapshot().ToJson() << '\n';
+    if (!out.flush()) {
+      std::fprintf(stderr, "error: cannot write %s\n", metrics_out);
+      return 1;
+    }
+    std::fprintf(stderr, "metrics snapshot written to %s\n", metrics_out);
+  }
+  if (trace_out != nullptr) {
+    const Status s =
+        trace::TraceRecorder::Global().WriteChromeJson(trace_out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.message().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "trace written to %s (load via chrome://tracing)\n",
+                 trace_out);
+  }
+  return rc;
 }
 
 }  // namespace
 }  // namespace resuformer
 
-int main(int argc, char** argv) {
-  if (argc < 2) return resuformer::Usage();
-  const std::string cmd = argv[1];
-  if (cmd == "generate") return resuformer::CmdGenerate(argc, argv);
-  if (cmd == "stats") return resuformer::CmdStats(argc, argv);
-  if (cmd == "annotate") return resuformer::CmdAnnotate(argc, argv);
-  if (cmd == "train-and-parse") {
-    return resuformer::CmdTrainAndParse(argc, argv);
-  }
-  if (cmd == "bench-latency") return resuformer::CmdBenchLatency(argc, argv);
-  return resuformer::Usage();
-}
+int main(int argc, char** argv) { return resuformer::Run(argc, argv); }

@@ -1,0 +1,167 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace resuformer {
+namespace metrics {
+
+namespace {
+
+/// Bucket index for a sample: 0 for v <= 0, else 1 + floor(log2(v)),
+/// clamped to the top bucket.
+int BucketIndex(int64_t v) {
+  if (v <= 0) return 0;
+  int b = 1;
+  while (v > 1 && b < Histogram::kNumBuckets - 1) {
+    v >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+void AppendJsonKey(std::string* out, const std::string& name) {
+  out->push_back('"');
+  // Instrument names are dotted identifiers; escape the two characters that
+  // could break the JSON framing anyway.
+  for (char c : name) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->append("\": ");
+}
+
+}  // namespace
+
+void Histogram::Record(int64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  int64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+int64_t Histogram::BucketUpperBound(int b) {
+  if (b <= 0) return 0;
+  return (int64_t{1} << b) - 1;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(INT64_MAX, std::memory_order_relaxed);
+  max_.store(INT64_MIN, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RF_CHECK(gauges_.find(name) == gauges_.end() &&
+           histograms_.find(name) == histograms_.end())
+      << "metric '" << name << "' already registered as another kind";
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RF_CHECK(counters_.find(name) == counters_.end() &&
+           histograms_.find(name) == histograms_.end())
+      << "metric '" << name << "' already registered as another kind";
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RF_CHECK(counters_.find(name) == counters_.end() &&
+           gauges_.find(name) == gauges_.end())
+      << "metric '" << name << "' already registered as another kind";
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter->value()});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge->value()});
+  }
+  for (const auto& [name, hist] : histograms_) {
+    MetricsSnapshot::HistogramValue h;
+    h.name = name;
+    h.count = hist->count();
+    h.sum = hist->sum();
+    h.min = h.count > 0 ? hist->min() : 0;
+    h.max = h.count > 0 ? hist->max() : 0;
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      const int64_t c = hist->bucket_count(b);
+      if (c > 0) h.buckets.push_back({Histogram::BucketUpperBound(b), c});
+    }
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetCountersAndHistograms() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    AppendJsonKey(&out, counters[i].name);
+    out += std::to_string(counters[i].value);
+  }
+  out += counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    AppendJsonKey(&out, gauges[i].name);
+    out += std::to_string(gauges[i].value);
+  }
+  out += gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramValue& h = histograms[i];
+    out += i == 0 ? "\n    " : ",\n    ";
+    AppendJsonKey(&out, h.name);
+    out += "{\"count\": " + std::to_string(h.count) +
+           ", \"sum\": " + std::to_string(h.sum) +
+           ", \"min\": " + std::to_string(h.min) +
+           ", \"max\": " + std::to_string(h.max) + ", \"buckets\": [";
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) out += ", ";
+      out += "{\"le\": " + std::to_string(h.buckets[b].upper_bound) +
+             ", \"count\": " + std::to_string(h.buckets[b].count) + "}";
+    }
+    out += "]}";
+  }
+  out += histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}";
+  return out;
+}
+
+}  // namespace metrics
+}  // namespace resuformer

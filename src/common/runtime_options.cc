@@ -1,0 +1,51 @@
+#include "common/runtime_options.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace resuformer {
+
+namespace {
+
+/// "0", "false", "off", "no" (any case) → false; anything else set → true.
+bool ParseBoolEnv(const char* name, bool fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return fallback;
+  std::string v(env);
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return !(v == "0" || v == "false" || v == "off" || v == "no");
+}
+
+int ParseIntEnv(const char* name, int fallback, int min_value,
+                int max_value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return fallback;
+  const int v = std::atoi(env);
+  if (v < min_value || v > max_value) return fallback;
+  return v;
+}
+
+}  // namespace
+
+RuntimeOptions RuntimeOptions::FromEnv() {
+  RuntimeOptions opts;
+  // threads stays 0 ("auto") unless the env names an explicit width; the
+  // thread pool resolves 0 through the same variable, so either path agrees.
+  opts.threads = ParseIntEnv("RESUFORMER_THREADS", 0, 1, 256);
+  opts.use_fused_attention =
+      ParseBoolEnv("RESUFORMER_FUSED_ATTENTION", opts.use_fused_attention);
+  opts.use_tensor_arena =
+      ParseBoolEnv("RESUFORMER_TENSOR_ARENA", opts.use_tensor_arena);
+  opts.enable_metrics =
+      ParseBoolEnv("RESUFORMER_METRICS", opts.enable_metrics);
+  opts.enable_tracing = ParseBoolEnv("RESUFORMER_TRACE", opts.enable_tracing);
+  opts.trace_buffer_capacity =
+      ParseIntEnv("RESUFORMER_TRACE_CAPACITY", opts.trace_buffer_capacity, 16,
+                  1 << 24);
+  return opts;
+}
+
+}  // namespace resuformer

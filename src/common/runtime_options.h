@@ -1,0 +1,61 @@
+#ifndef RESUFORMER_COMMON_RUNTIME_OPTIONS_H_
+#define RESUFORMER_COMMON_RUNTIME_OPTIONS_H_
+
+namespace resuformer {
+
+/// \brief Every process-level runtime knob in one struct.
+///
+/// Model hyper-parameters describe *what* to compute; RuntimeOptions
+/// describes *how* the process executes it (pool width, kernel selection,
+/// allocator recycling, observability). `ResuFormerConfig` embeds one as
+/// `runtime`, and model constructors apply it via
+/// `core::ApplyRuntimeOptions`, so a single struct flows from config files,
+/// env vars or CLI flags down to the thread pool, arena, metrics registry
+/// and tracer.
+///
+/// Environment overrides are resolved in exactly one place —
+/// `RuntimeOptions::FromEnv()` — instead of scattered getenv calls:
+///
+///   RESUFORMER_THREADS          int    worker threads (>=1; 0 = auto)
+///   RESUFORMER_FUSED_ATTENTION  0/1    fused vs composed attention path
+///   RESUFORMER_TENSOR_ARENA     0/1    tensor-storage recycling
+///   RESUFORMER_METRICS          0/1    timed metrics (histograms/timers)
+///   RESUFORMER_TRACE            0/1    scoped-span tracing
+///   RESUFORMER_TRACE_CAPACITY   int    per-thread span ring capacity
+struct RuntimeOptions {
+  // Worker threads for the tensor kernels (GEMM, softmax, layernorm, ...).
+  // 0 = the RESUFORMER_THREADS env var when set, else hardware concurrency;
+  // 1 = exact legacy serial behavior. Results are deterministic for any
+  // fixed value.
+  int threads = 0;
+
+  // Fused multi-head attention kernel (ops::FusedMultiHeadAttention). The
+  // fused forward is bit-identical to the composed reference at any thread
+  // count; gradients agree to float rounding. false selects the composed
+  // per-head op chain (the equivalence oracle used by the tests).
+  bool use_fused_attention = true;
+
+  // Recycle tensor storage through the global TensorArena free-list instead
+  // of hitting the allocator on every op.
+  bool use_tensor_arena = true;
+
+  // Enables the *timed* metrics (latency histograms, thread-pool queue-wait
+  // sampling). Structural counters (arena hits, documents parsed, GEMM
+  // calls) are always live; this knob only gates clock reads.
+  bool enable_metrics = false;
+
+  // Enables scoped-span tracing (TRACE_SPAN). Off, every span site costs
+  // one relaxed atomic load; on, spans land in per-thread ring buffers
+  // exportable as Chrome trace JSON.
+  bool enable_tracing = false;
+
+  // Per-thread span ring capacity (most recent spans are kept).
+  int trace_buffer_capacity = 8192;
+
+  /// Defaults overridden by the RESUFORMER_* environment variables above.
+  static RuntimeOptions FromEnv();
+};
+
+}  // namespace resuformer
+
+#endif  // RESUFORMER_COMMON_RUNTIME_OPTIONS_H_

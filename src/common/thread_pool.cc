@@ -4,12 +4,36 @@
 #include <cstdlib>
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace resuformer {
 
 namespace {
 // True on threads owned by a pool; forces nested ParallelFor calls inline.
 thread_local bool g_in_pool_worker = false;
+
+// Fork-join observability (resolved once; see common/metrics.h): how often
+// the pool actually forks, how long workers sit between publish and pickup
+// (queue wait), and how long each chunk runs. Wait/run sampling needs the
+// clock, so it is gated on MetricsRegistry::Enabled() via job_publish_ns_.
+metrics::Counter* DispatchCounter() {
+  static metrics::Counter* c = metrics::MetricsRegistry::Global().GetCounter(
+      "threadpool.parallel_for.dispatches");
+  return c;
+}
+metrics::Histogram* QueueWaitHistogram() {
+  static metrics::Histogram* h =
+      metrics::MetricsRegistry::Global().GetHistogram(
+          "threadpool.queue_wait_us");
+  return h;
+}
+metrics::Histogram* WorkerRunHistogram() {
+  static metrics::Histogram* h =
+      metrics::MetricsRegistry::Global().GetHistogram(
+          "threadpool.worker_run_us");
+  return h;
+}
 }  // namespace
 
 int DefaultThreadCount() {
@@ -85,12 +109,17 @@ void ThreadPool::ParallelFor(int64_t count, const RangeFn& fn) {
     fn(0, 0, count);
     return;
   }
+  TRACE_SPAN("threadpool.parallel_for");
+  DispatchCounter()->Increment();
+  const int64_t publish_ns =
+      metrics::MetricsRegistry::Enabled() ? trace::NowNs() : 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     RF_CHECK(job_fn_ == nullptr) << "concurrent ParallelFor on one pool";
     job_fn_ = &fn;
     job_count_ = count;
     job_workers_ = workers;
+    job_publish_ns_ = publish_ns;
     pending_ = workers - 1;
     ++generation_;
   }
@@ -101,7 +130,13 @@ void ThreadPool::ParallelFor(int64_t count, const RangeFn& fn) {
   // its chunk so nested ParallelFor calls inside fn inline (as they do on
   // the resident workers) instead of re-entering the busy pool.
   g_in_pool_worker = true;
-  fn(0, begin, end);
+  {
+    TRACE_SPAN("threadpool.worker_run");
+    fn(0, begin, end);
+  }
+  if (publish_ns != 0) {
+    WorkerRunHistogram()->Record((trace::NowNs() - publish_ns) / 1000);
+  }
   g_in_pool_worker = false;
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this]() { return pending_ == 0; });
@@ -115,6 +150,7 @@ void ThreadPool::WorkerLoop(int index) {
     const RangeFn* fn = nullptr;
     int64_t count = 0;
     int workers = 0;
+    int64_t publish_ns = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [&]() {
@@ -125,11 +161,23 @@ void ThreadPool::WorkerLoop(int index) {
       fn = job_fn_;
       count = job_count_;
       workers = job_workers_;
+      publish_ns = job_publish_ns_;
     }
     if (index < workers && fn != nullptr) {
+      int64_t start_ns = 0;
+      if (publish_ns != 0) {
+        start_ns = trace::NowNs();
+        QueueWaitHistogram()->Record((start_ns - publish_ns) / 1000);
+      }
       int64_t begin = 0, end = 0;
       Chunk(count, workers, index, &begin, &end);
-      (*fn)(index, begin, end);
+      {
+        TRACE_SPAN("threadpool.worker_run");
+        (*fn)(index, begin, end);
+      }
+      if (publish_ns != 0) {
+        WorkerRunHistogram()->Record((trace::NowNs() - start_ns) / 1000);
+      }
       std::lock_guard<std::mutex> lock(mu_);
       if (--pending_ == 0) done_cv_.notify_one();
     }

@@ -75,6 +75,9 @@ class ThreadPool {
   const RangeFn* job_fn_ = nullptr;
   int64_t job_count_ = 0;
   int job_workers_ = 0;
+  // Publish timestamp (trace::NowNs) of the in-flight job, or 0 when timed
+  // metrics are disabled; workers subtract it to report queue-wait time.
+  int64_t job_publish_ns_ = 0;
   uint64_t generation_ = 0;
   int pending_ = 0;
   bool shutting_down_ = false;

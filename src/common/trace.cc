@@ -1,0 +1,165 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+namespace resuformer {
+namespace trace {
+
+namespace {
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - TraceEpoch())
+      .count();
+}
+
+/// One thread's ring. The owning thread writes under `mu`; Collect /
+/// SetBufferCapacity lock the same mutex, so export can run while other
+/// threads keep recording.
+struct TraceRecorder::ThreadBuffer {
+  ThreadBuffer(int capacity, int tid) : ring(capacity), tid(tid) {}
+
+  std::mutex mu;
+  std::vector<SpanRecord> ring;
+  int64_t total = 0;    // retained-window position; ring slot = total % size
+  int64_t dropped = 0;  // spans overwritten or discarded since Reset()
+  int tid;
+};
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
+  thread_local ThreadBuffer* buffer = nullptr;
+  if (buffer == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(std::make_unique<ThreadBuffer>(
+        capacity_, static_cast<int>(buffers_.size())));
+    buffer = buffers_.back().get();
+  }
+  return buffer;
+}
+
+void TraceRecorder::SetBufferCapacity(int spans) {
+  spans = std::max(spans, 16);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans == capacity_) return;
+  capacity_ = spans;
+  for (auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    // Keep the newest spans that fit the new capacity, oldest-first so the
+    // ring restarts in a clean state.
+    std::vector<SpanRecord> kept;
+    const int64_t have =
+        std::min<int64_t>(buffer->total, static_cast<int64_t>(buffer->ring.size()));
+    const int64_t take = std::min<int64_t>(have, spans);
+    for (int64_t i = buffer->total - take; i < buffer->total; ++i) {
+      kept.push_back(buffer->ring[i % buffer->ring.size()]);
+    }
+    buffer->ring.assign(spans, SpanRecord{});
+    for (int64_t i = 0; i < static_cast<int64_t>(kept.size()); ++i) {
+      buffer->ring[i] = kept[i];
+    }
+    buffer->dropped += have - static_cast<int64_t>(kept.size());
+    buffer->total = static_cast<int64_t>(kept.size());
+  }
+}
+
+int TraceRecorder::buffer_capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void TraceRecorder::Record(const char* name, int64_t start_ns,
+                           int64_t dur_ns) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  if (buffer->total >= static_cast<int64_t>(buffer->ring.size())) {
+    ++buffer->dropped;  // this write overwrites the oldest retained span
+  }
+  buffer->ring[buffer->total % buffer->ring.size()] =
+      SpanRecord{name, start_ns, dur_ns, buffer->tid};
+  ++buffer->total;
+}
+
+std::vector<SpanRecord> TraceRecorder::Collect() const {
+  std::vector<SpanRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      const int64_t size = static_cast<int64_t>(buffer->ring.size());
+      const int64_t have = std::min(buffer->total, size);
+      for (int64_t i = buffer->total - have; i < buffer->total; ++i) {
+        out.push_back(buffer->ring[i % size]);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.tid < b.tid;
+            });
+  return out;
+}
+
+int64_t TraceRecorder::dropped() const {
+  int64_t dropped = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    dropped += buffer->dropped;
+  }
+  return dropped;
+}
+
+std::string TraceRecorder::ToChromeJson() const {
+  const std::vector<SpanRecord> spans = Collect();
+  std::string out = "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
+  char buf[256];
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n  {\"name\": \"%s\", \"cat\": \"resuformer\", "
+                  "\"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, "
+                  "\"pid\": 1, \"tid\": %d}",
+                  i == 0 ? "" : ",", s.name, s.start_ns / 1000.0,
+                  s.dur_ns / 1000.0, s.tid);
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status TraceRecorder::WriteChromeJson(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open trace output: " + path);
+  file << ToChromeJson();
+  if (!file.good()) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+void TraceRecorder::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->total = 0;
+    buffer->dropped = 0;
+  }
+}
+
+}  // namespace trace
+}  // namespace resuformer

@@ -1,0 +1,134 @@
+#ifndef RESUFORMER_COMMON_TRACE_H_
+#define RESUFORMER_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace resuformer {
+namespace trace {
+
+/// \brief Scoped-span tracer with per-thread ring buffers.
+///
+/// Usage: drop `TRACE_SPAN("gemm.nn");` at the top of a scope. When tracing
+/// is enabled the span records {name, thread, start, duration} into the
+/// calling thread's ring buffer on scope exit; the buffers are exportable as
+/// Chrome trace-event JSON (load in chrome://tracing or https://ui.perfetto.dev).
+///
+/// Cost model:
+///  * Disabled (the default), a span is one relaxed atomic load and a
+///    branch — no clock read, no buffer touch, nothing captured. This is
+///    the state benchmarks and production-throughput paths run in.
+///  * Enabled, a span is two steady_clock reads plus an uncontended
+///    per-thread mutex'd ring write (the mutex exists so export can run
+///    concurrently with recording; it is never contended between spans).
+///
+/// Ring semantics: each thread keeps the most recent `buffer_capacity`
+/// spans; older spans are overwritten and tallied in dropped(). Buffers are
+/// bounded and reused, so tracing an arbitrarily long run cannot exhaust
+/// memory.
+///
+/// Span names must be string literals (or otherwise outlive the recorder):
+/// records store the pointer, not a copy — that keeps the hot path
+/// allocation-free.
+
+struct SpanRecord {
+  const char* name = nullptr;
+  int64_t start_ns = 0;  // relative to the process trace epoch
+  int64_t dur_ns = 0;
+  int tid = 0;  // sequential trace thread id (not the OS id)
+};
+
+/// Nanoseconds since the process trace epoch (steady clock; first call
+/// pins the epoch).
+int64_t NowNs();
+
+class TraceRecorder {
+ public:
+  /// Process-wide recorder. Intentionally leaked (threads may record
+  /// during static teardown).
+  static TraceRecorder& Global();
+
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  static bool Enabled() {
+    return Global().enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Per-thread ring capacity in spans (default 8192, minimum 16). Applies
+  /// to every existing and future thread buffer; shrinking drops the oldest
+  /// spans. No-op when unchanged.
+  void SetBufferCapacity(int spans);
+  int buffer_capacity() const;
+
+  /// Appends one finished span to the calling thread's ring buffer.
+  /// Normally called by ~TraceSpan, not directly.
+  void Record(const char* name, int64_t start_ns, int64_t dur_ns);
+
+  /// All retained spans across threads, ordered by start time.
+  std::vector<SpanRecord> Collect() const;
+
+  /// Spans overwritten by ring wraparound since the last Reset().
+  int64_t dropped() const;
+
+  /// Chrome trace-event JSON ("X" complete events, ts/dur in µs).
+  std::string ToChromeJson() const;
+  Status WriteChromeJson(const std::string& path) const;
+
+  /// Discards every retained span and the dropped tally. Thread buffers
+  /// (and their tids) persist.
+  void Reset();
+
+ private:
+  struct ThreadBuffer;
+
+  TraceRecorder() = default;
+  ThreadBuffer* BufferForThisThread();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;  // guards buffers_ and capacity_
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  int capacity_ = 8192;
+};
+
+/// RAII span (see TRACE_SPAN). Captures the start time if tracing was
+/// enabled at construction; records on destruction.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (TraceRecorder::Enabled()) {
+      name_ = name;
+      start_ns_ = NowNs();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      TraceRecorder::Global().Record(name_, start_ns_, NowNs() - start_ns_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  int64_t start_ns_ = 0;
+};
+
+}  // namespace trace
+}  // namespace resuformer
+
+#define RF_TRACE_CONCAT_IMPL(a, b) a##b
+#define RF_TRACE_CONCAT(a, b) RF_TRACE_CONCAT_IMPL(a, b)
+
+/// Traces the enclosing scope under `name` (a string literal).
+#define TRACE_SPAN(name)                                      \
+  ::resuformer::trace::TraceSpan RF_TRACE_CONCAT(rf_trace_span_, \
+                                                 __LINE__)(name)
+
+#endif  // RESUFORMER_COMMON_TRACE_H_

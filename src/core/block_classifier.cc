@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/trace.h"
 #include "doc/block_tags.h"
 #include "nn/optimizer.h"
 #include "nn/serialize.h"
@@ -42,6 +43,7 @@ Tensor BlockClassifier::Loss(const LabeledDocument& example,
 
 std::vector<int> BlockClassifier::Predict(
     const EncodedDocument& document) const {
+  TRACE_SPAN("block_classifier.predict");
   NoGradGuard guard;
   if (document.sentences.empty()) return {};
   Tensor emissions = Emissions(document, nullptr);

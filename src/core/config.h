@@ -1,6 +1,8 @@
 #ifndef RESUFORMER_CORE_CONFIG_H_
 #define RESUFORMER_CORE_CONFIG_H_
 
+#include "common/runtime_options.h"
+
 namespace resuformer {
 namespace core {
 
@@ -42,26 +44,21 @@ struct ResuFormerConfig {
   float grad_clip = 5.0f;
 
   // --- runtime ---
-  // Worker threads for the tensor kernels (GEMM, softmax, layernorm, ...).
-  // 0 = the RESUFORMER_THREADS env var when set, else hardware concurrency;
-  // 1 = exact legacy serial behavior. Results are deterministic for any
-  // fixed value. Applied via ApplyThreadConfig when a model is constructed.
-  int threads = 0;
-
-  // Fused multi-head attention kernel (ops::FusedMultiHeadAttention). The
-  // fused forward is bit-identical to the composed reference at any thread
-  // count; gradients agree to float rounding. false selects the composed
-  // per-head op chain (the equivalence oracle used by the tests).
-  bool use_fused_attention = true;
-
-  // Recycle tensor storage through the global TensorArena free-list instead
-  // of hitting the allocator on every op. Applied via ApplyThreadConfig.
-  bool use_tensor_arena = true;
+  // Process-level execution knobs (pool width, fused attention, arena,
+  // metrics, tracing) in one struct; see common/runtime_options.h. Applied
+  // via ApplyRuntimeOptions when a model is constructed. Env overrides come
+  // from RuntimeOptions::FromEnv(), resolved once, not per knob.
+  RuntimeOptions runtime;
 };
 
-/// Sizes the global tensor thread pool from config.threads (see above).
-/// Idempotent; model constructors call it so the knob takes effect without
-/// any extra wiring at call sites.
+/// Applies every RuntimeOptions field to the process-wide singletons it
+/// governs: thread-pool width, arena recycling, timed-metrics gate, tracer
+/// gate and ring capacity. Idempotent; model constructors call it (through
+/// ApplyThreadConfig) so the knobs take effect without extra wiring.
+void ApplyRuntimeOptions(const RuntimeOptions& options);
+
+/// Back-compat shim: applies config.runtime (historical name from when the
+/// only runtime knob was the pool width).
 void ApplyThreadConfig(const ResuFormerConfig& config);
 
 }  // namespace core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/trace.h"
 #include "doc/geometry.h"
 #include "tensor/ops.h"
 
@@ -88,7 +89,7 @@ HierarchicalEncoder::HierarchicalEncoder(const ResuFormerConfig& config,
   }
   nn::TransformerConfig sent_cfg{d, config.sentence_layers, config.num_heads,
                                  config.ffn, config.dropout,
-                                 config.use_fused_attention};
+                                 config.runtime.use_fused_attention};
   sentence_encoder_ = std::make_unique<nn::TransformerEncoder>(sent_cfg, rng);
   sentence_dense_ = std::make_unique<nn::Linear>(d, d, rng);
   mlm_bias_ = RegisterParameter(Tensor::Zeros({config.vocab_size}));
@@ -99,7 +100,7 @@ HierarchicalEncoder::HierarchicalEncoder(const ResuFormerConfig& config,
       std::make_unique<nn::Embedding>(config.max_sentences, d, rng);
   nn::TransformerConfig doc_cfg{d, config.document_layers, config.num_heads,
                                 config.ffn, config.dropout,
-                                config.use_fused_attention};
+                                config.runtime.use_fused_attention};
   document_encoder_ = std::make_unique<nn::TransformerEncoder>(doc_cfg, rng);
   mask_vector_ = RegisterParameter(Tensor::Randn({1, d}, rng, 0.02f));
 
@@ -147,6 +148,7 @@ Tensor HierarchicalEncoder::SentenceTokenStates(
 
 Tensor HierarchicalEncoder::EncodeSentences(const EncodedDocument& document,
                                             Rng* dropout_rng) const {
+  TRACE_SPAN("encoder.sentences");
   RF_CHECK(!document.sentences.empty());
   std::vector<Tensor> reps;
   reps.reserve(document.sentences.size());
@@ -174,6 +176,7 @@ Tensor HierarchicalEncoder::EncodeSentences(const EncodedDocument& document,
 Tensor HierarchicalEncoder::EncodeDocument(const Tensor& h_star,
                                            const EncodedDocument& document,
                                            Rng* dropout_rng) const {
+  TRACE_SPAN("encoder.document");
   const int m = h_star.rows();
   RF_CHECK_EQ(m, static_cast<int>(document.sentences.size()));
   std::vector<int> positions(m);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace resuformer {
 namespace crf {
@@ -169,6 +170,7 @@ Tensor LinearCrf::NegLogLikelihood(const Tensor& emissions,
 }
 
 std::vector<int> LinearCrf::Decode(const Tensor& emissions) const {
+  TRACE_SPAN("crf.decode");
   const int t_len = emissions.rows();
   const int num_labels = num_labels_;
   RF_CHECK_EQ(emissions.cols(), num_labels);

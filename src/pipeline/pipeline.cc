@@ -1,12 +1,69 @@
 #include "pipeline/pipeline.h"
 
+#include <fstream>
+#include <map>
+#include <utility>
+
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "distant/dictionary.h"
 #include "nn/serialize.h"
+#include "tensor/arena.h"
 
 namespace resuformer {
 namespace pipeline {
+
+namespace {
+
+std::string ManifestPath(const std::string& directory) {
+  return directory + "/manifest.txt";
+}
+
+/// Architecture fields persisted by Save and verified by Load. The value is
+/// whatever the supplied options resolve to; vocab_size comes from the
+/// trained tokenizer, not the (placeholder) config field.
+std::vector<std::pair<std::string, int64_t>> ManifestFields(
+    int vocab_size, const PipelineOptions& options) {
+  const core::ResuFormerConfig& m = options.model;
+  const selftrain::NerModelConfig& n = options.ner;
+  return {
+      {"vocab_size", vocab_size},
+      {"model_hidden", m.hidden},
+      {"model_sentence_layers", m.sentence_layers},
+      {"model_document_layers", m.document_layers},
+      {"model_num_heads", m.num_heads},
+      {"model_ffn", m.ffn},
+      {"model_max_tokens", m.max_tokens_per_sentence},
+      {"model_max_sentences", m.max_sentences},
+      {"model_layout_buckets", m.layout_buckets},
+      {"model_lstm_hidden", m.lstm_hidden},
+      {"ner_hidden", n.hidden},
+      {"ner_layers", n.layers},
+      {"ner_num_heads", n.num_heads},
+      {"ner_ffn", n.ffn},
+      {"ner_max_tokens", n.max_tokens},
+      {"ner_lstm_hidden", n.lstm_hidden},
+      {"ner_num_labels", n.num_labels},
+  };
+}
+
+/// Stamps wall time and the arena hit rate over [start_ns, now] into stats.
+void FinalizeParseStats(int64_t start_ns, const TensorArena::Stats& before,
+                        ParseStats* stats) {
+  stats->wall_time_us =
+      static_cast<double>(trace::NowNs() - start_ns) / 1000.0;
+  const TensorArena::Stats after = TensorArena::Global().stats();
+  const int64_t hits = after.hits - before.hits;
+  const int64_t misses = after.misses - before.misses;
+  if (hits + misses > 0) {
+    stats->arena_hit_rate =
+        static_cast<double>(hits) / static_cast<double>(hits + misses);
+  }
+}
+
+}  // namespace
 
 std::unique_ptr<ResuFormerPipeline> ResuFormerPipeline::TrainFromCorpus(
     const resumegen::Corpus& corpus, const PipelineOptions& options,
@@ -75,18 +132,57 @@ std::unique_ptr<ResuFormerPipeline> ResuFormerPipeline::TrainFromCorpus(
 
 StructuredResume ResuFormerPipeline::Parse(
     const doc::Document& document) const {
+  return ParseWithStats(document).resume;
+}
+
+ParseResult ResuFormerPipeline::ParseWithStats(
+    const doc::Document& document) const {
+  TRACE_SPAN("pipeline.parse");
+  auto& registry = metrics::MetricsRegistry::Global();
+  static metrics::Counter* documents_counter =
+      registry.GetCounter("pipeline.documents");
+  static metrics::Counter* sentences_counter =
+      registry.GetCounter("pipeline.sentences");
+  static metrics::Counter* blocks_counter =
+      registry.GetCounter("pipeline.blocks");
+  static metrics::Counter* entities_counter =
+      registry.GetCounter("pipeline.entities");
+  static metrics::Histogram* parse_hist =
+      registry.GetHistogram("pipeline.parse_us");
+  metrics::ScopedTimerUs parse_timer(parse_hist);
+
   // Inference never needs the tape; without the guard every op in the
   // encoder would record parents and backward closures just to drop them.
   NoGradGuard no_grad;
-  StructuredResume out;
+  const int64_t start_ns = trace::NowNs();
+  const TensorArena::Stats arena_before = TensorArena::Global().stats();
+  documents_counter->Increment();
+
+  ParseResult result;
+  StructuredResume& out = result.resume;
   core::ResuFormerConfig model_cfg = options_.model;
   model_cfg.vocab_size = tokenizer_->vocab().size();
-  const core::EncodedDocument encoded =
-      core::EncodeForModel(document, *tokenizer_, model_cfg);
-  if (encoded.sentences.empty()) return out;
-  const std::vector<int> labels = block_classifier_->Predict(encoded);
-  const std::vector<doc::Block> blocks =
-      doc::Document::BlocksFromLabels(labels);
+  core::EncodedDocument encoded;
+  {
+    TRACE_SPAN("pipeline.encode");
+    encoded = core::EncodeForModel(document, *tokenizer_, model_cfg);
+  }
+  result.stats.num_sentences = static_cast<int>(encoded.sentences.size());
+  sentences_counter->Increment(result.stats.num_sentences);
+  if (encoded.sentences.empty()) {
+    FinalizeParseStats(start_ns, arena_before, &result.stats);
+    return result;
+  }
+  std::vector<int> labels;
+  {
+    TRACE_SPAN("pipeline.block_classify");
+    labels = block_classifier_->Predict(encoded);
+  }
+  std::vector<doc::Block> blocks;
+  {
+    TRACE_SPAN("pipeline.segment");
+    blocks = doc::Document::BlocksFromLabels(labels);
+  }
 
   selftrain::NerModelConfig ner_cfg = options_.ner;
   ner_cfg.vocab_size = tokenizer_->vocab().size();
@@ -106,6 +202,7 @@ StructuredResume ResuFormerPipeline::Parse(
                                 block.tag == doc::BlockTag::kWorkExp ||
                                 block.tag == doc::BlockTag::kProjExp;
     if (entity_bearing && !words.empty() && ner_model_ != nullptr) {
+      TRACE_SPAN("pipeline.ner");
       const std::vector<int> ids =
           selftrain::EncodeWordsForNer(words, *tokenizer_, ner_cfg);
       const std::vector<int> entity_labels = ner_model_->Predict(ids);
@@ -132,14 +229,29 @@ StructuredResume ResuFormerPipeline::Parse(
         }
       }
     }
+    result.stats.num_entities += static_cast<int>(sb.entities.size());
     out.blocks.push_back(std::move(sb));
   }
-  return out;
+  result.stats.num_blocks = static_cast<int>(out.blocks.size());
+  blocks_counter->Increment(result.stats.num_blocks);
+  entities_counter->Increment(result.stats.num_entities);
+  FinalizeParseStats(start_ns, arena_before, &result.stats);
+  return result;
 }
 
 std::vector<StructuredResume> ResuFormerPipeline::ParseBatch(
     const std::vector<doc::Document>& documents) const {
-  std::vector<StructuredResume> out(documents.size());
+  std::vector<ParseResult> results = ParseBatchWithStats(documents);
+  std::vector<StructuredResume> out;
+  out.reserve(results.size());
+  for (ParseResult& r : results) out.push_back(std::move(r.resume));
+  return out;
+}
+
+std::vector<ParseResult> ResuFormerPipeline::ParseBatchWithStats(
+    const std::vector<doc::Document>& documents) const {
+  TRACE_SPAN("pipeline.parse_batch");
+  std::vector<ParseResult> out(documents.size());
   // Parallelism moves up a level for batches: each worker takes a chunk of
   // documents, and the per-document kernels run inline (ParallelFor from a
   // pool worker does not nest). NoGradGuard state is thread-local, so each
@@ -149,7 +261,7 @@ std::vector<StructuredResume> ResuFormerPipeline::ParseBatch(
       [&](int /*worker*/, int64_t begin, int64_t end) {
         NoGradGuard no_grad;
         for (int64_t i = begin; i < end; ++i) {
-          out[i] = Parse(documents[i]);
+          out[i] = ParseWithStats(documents[i]);
         }
       });
   return out;
@@ -162,6 +274,20 @@ Status ResuFormerPipeline::Save(const std::string& directory) const {
   if (ner_model_ != nullptr) {
     RF_RETURN_NOT_OK(
         nn::SaveParameters(*ner_model_, directory + "/ner.bin"));
+  }
+  std::ofstream manifest(ManifestPath(directory));
+  if (!manifest) {
+    return Status::IoError("cannot write " + ManifestPath(directory));
+  }
+  manifest << "RFMANIFEST 1\n";
+  const int vocab_size = tokenizer_->vocab().size();
+  for (const auto& [key, value] : ManifestFields(vocab_size, options_)) {
+    manifest << key << ' ' << value << '\n';
+  }
+  manifest << "has_ner " << (ner_model_ != nullptr ? 1 : 0) << '\n';
+  manifest.flush();
+  if (!manifest) {
+    return Status::IoError("failed writing " + ManifestPath(directory));
   }
   return Status::OK();
 }
@@ -177,6 +303,52 @@ Result<std::unique_ptr<ResuFormerPipeline>> ResuFormerPipeline::Load(
   pipeline->tokenizer_ = std::make_unique<text::WordPieceTokenizer>(
       std::move(vocab).ValueOrDie());
 
+  // Verify the checkpoint's manifest against the supplied options before
+  // touching the parameter files: a dimension mismatch would otherwise
+  // surface as a cryptic tensor-count/shape error (or load garbage).
+  bool has_ner = true;
+  std::ifstream manifest(ManifestPath(directory));
+  if (!manifest) {
+    RF_LOG(Warning) << "no manifest.txt in " << directory
+                    << "; legacy checkpoint, loading without architecture"
+                       " validation";
+  } else {
+    std::string magic;
+    int version = 0;
+    manifest >> magic >> version;
+    if (magic != "RFMANIFEST") {
+      return Status::FailedPrecondition(
+          ManifestPath(directory) + " is not a checkpoint manifest");
+    }
+    if (version != 1) {
+      return Status::FailedPrecondition(
+          "unsupported manifest format version " + std::to_string(version) +
+          " in " + ManifestPath(directory) + " (this build reads version 1)");
+    }
+    std::map<std::string, int64_t> stored;
+    std::string key;
+    int64_t value = 0;
+    while (manifest >> key >> value) stored[key] = value;
+    const int vocab_size = pipeline->tokenizer_->vocab().size();
+    for (const auto& [field, expected] : ManifestFields(vocab_size, options)) {
+      auto it = stored.find(field);
+      if (it == stored.end()) {
+        return Status::FailedPrecondition(
+            "checkpoint manifest in " + directory + " is missing field '" +
+            field + "'");
+      }
+      if (it->second != expected) {
+        return Status::FailedPrecondition(
+            "checkpoint in " + directory + " was saved with " + field + "=" +
+            std::to_string(it->second) + " but the supplied options expect " +
+            field + "=" + std::to_string(expected) +
+            "; refusing to load a mismatched architecture");
+      }
+    }
+    auto ner_it = stored.find("has_ner");
+    if (ner_it != stored.end()) has_ner = ner_it->second != 0;
+  }
+
   Rng rng(options.seed);  // architecture init; weights overwritten below
   core::ResuFormerConfig model_cfg = options.model;
   model_cfg.vocab_size = pipeline->tokenizer_->vocab().size();
@@ -187,12 +359,16 @@ Result<std::unique_ptr<ResuFormerPipeline>> ResuFormerPipeline::Load(
   if (!s.ok()) return s;
   pipeline->block_classifier_->SetTraining(false);
 
-  selftrain::NerModelConfig ner_cfg = options.ner;
-  ner_cfg.vocab_size = pipeline->tokenizer_->vocab().size();
-  pipeline->ner_model_ = std::make_unique<selftrain::NerModel>(ner_cfg, &rng);
-  s = nn::LoadParameters(pipeline->ner_model_.get(), directory + "/ner.bin");
-  if (!s.ok()) return s;
-  pipeline->ner_model_->SetTraining(false);
+  if (has_ner) {
+    selftrain::NerModelConfig ner_cfg = options.ner;
+    ner_cfg.vocab_size = pipeline->tokenizer_->vocab().size();
+    pipeline->ner_model_ =
+        std::make_unique<selftrain::NerModel>(ner_cfg, &rng);
+    s = nn::LoadParameters(pipeline->ner_model_.get(),
+                           directory + "/ner.bin");
+    if (!s.ok()) return s;
+    pipeline->ner_model_->SetTraining(false);
+  }
   return pipeline;
 }
 

@@ -32,6 +32,25 @@ struct StructuredResume {
   std::vector<StructuredBlock> blocks;
 };
 
+/// Per-document measurements captured alongside a parse. Counts are exact;
+/// arena_hit_rate is read from the process-wide arena counters over the
+/// parse window, so when several documents parse concurrently
+/// (ParseBatchWithStats) it reflects the mixed traffic of that window
+/// rather than this document alone.
+struct ParseStats {
+  double wall_time_us = 0.0;
+  int num_sentences = 0;  // sentences after encoding truncation
+  int num_blocks = 0;
+  int num_entities = 0;
+  double arena_hit_rate = 0.0;  // hits / (hits + misses); 0 when no traffic
+};
+
+/// A parse plus its measurements — returned by the *WithStats entry points.
+struct ParseResult {
+  StructuredResume resume;
+  ParseStats stats;
+};
+
 /// Training budgets for the end-to-end pipeline.
 struct PipelineOptions {
   core::ResuFormerConfig model;
@@ -69,6 +88,11 @@ class ResuFormerPipeline {
   /// autograd tape is built.
   StructuredResume Parse(const doc::Document& document) const;
 
+  /// Parse plus per-document measurements (wall time, sentence/block/entity
+  /// counts, arena hit rate). Same output as Parse — Parse delegates here
+  /// and drops the stats.
+  ParseResult ParseWithStats(const doc::Document& document) const;
+
   /// Batched inference: parses `documents` by fanning them across the global
   /// tensor thread pool (one contiguous chunk of documents per worker, each
   /// worker under its own NoGradGuard; per-document tensor kernels then run
@@ -77,9 +101,17 @@ class ResuFormerPipeline {
   std::vector<StructuredResume> ParseBatch(
       const std::vector<doc::Document>& documents) const;
 
+  /// ParseBatch with per-document stats, same fan-out and ordering.
+  std::vector<ParseResult> ParseBatchWithStats(
+      const std::vector<doc::Document>& documents) const;
+
   /// Persists the trained pipeline (vocabulary + both models' parameters)
-  /// into `directory` (must exist). Load() requires the same
-  /// PipelineOptions used for training.
+  /// into `directory` (must exist), plus a manifest recording the vocab
+  /// size and model dimensions. Load() requires the same PipelineOptions
+  /// used for training; with a manifest present it verifies the options
+  /// against it and fails with FailedPrecondition (naming the mismatched
+  /// field) instead of deserializing garbage. Checkpoints predating the
+  /// manifest load with a warning.
   Status Save(const std::string& directory) const;
   static Result<std::unique_ptr<ResuFormerPipeline>> Load(
       const std::string& directory, const PipelineOptions& options);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/trace.h"
 #include "tensor/ops.h"
 #include "text/vocab.h"
 
@@ -67,6 +68,7 @@ Tensor NerModel::Probabilities(const std::vector<int>& token_ids) const {
 }
 
 std::vector<int> NerModel::Predict(const std::vector<int>& token_ids) const {
+  TRACE_SPAN("ner.predict");
   NoGradGuard guard;
   Tensor logits = Logits(token_ids, nullptr);
   std::vector<int> labels(logits.rows());

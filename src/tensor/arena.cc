@@ -32,6 +32,15 @@ TensorArena& TensorArena::Global() {
   return *arena;
 }
 
+TensorArena::TensorArena() {
+  auto& registry = metrics::MetricsRegistry::Global();
+  hits_ = registry.GetCounter("arena.hits");
+  misses_ = registry.GetCounter("arena.misses");
+  bytes_recycled_ = registry.GetCounter("arena.bytes_recycled");
+  outstanding_ = registry.GetGauge("arena.outstanding");
+  cached_bytes_ = registry.GetGauge("arena.cached_bytes");
+}
+
 void TensorArena::SetEnabled(bool enabled) {
   std::lock_guard<std::mutex> lock(mu_);
   enabled_ = enabled;
@@ -51,18 +60,18 @@ std::vector<float> TensorArena::Acquire(int64_t n, bool* from_arena) {
       if (cls >= 0 && !free_lists_[cls].empty()) {
         std::vector<float> buf = std::move(free_lists_[cls].back());
         free_lists_[cls].pop_back();
-        stats_.cached_bytes -=
-            static_cast<int64_t>(buf.capacity()) * sizeof(float);
-        ++stats_.hits;
-        ++stats_.outstanding;
-        stats_.bytes_recycled += n * static_cast<int64_t>(sizeof(float));
+        cached_bytes_->Add(-static_cast<int64_t>(buf.capacity()) *
+                           static_cast<int64_t>(sizeof(float)));
+        hits_->Increment();
+        outstanding_->Add(1);
+        bytes_recycled_->Increment(n * static_cast<int64_t>(sizeof(float)));
         if (from_arena != nullptr) *from_arena = true;
         // Capacity >= class size >= n, so this fill never reallocates.
         buf.assign(static_cast<size_t>(n), 0.0f);
         return buf;
       }
-      ++stats_.misses;
-      ++stats_.outstanding;
+      misses_->Increment();
+      outstanding_->Add(1);
       if (from_arena != nullptr) *from_arena = true;
       // Reserve the full class so the buffer files back into the same
       // class on release (oversized requests reserve exactly n).
@@ -72,7 +81,7 @@ std::vector<float> TensorArena::Acquire(int64_t n, bool* from_arena) {
       buf.assign(static_cast<size_t>(n), 0.0f);
       return buf;
     }
-    ++stats_.misses;
+    misses_->Increment();
   }
   return std::vector<float>(static_cast<size_t>(n), 0.0f);
 }
@@ -80,29 +89,32 @@ std::vector<float> TensorArena::Acquire(int64_t n, bool* from_arena) {
 void TensorArena::Release(std::vector<float>&& buffer, bool was_acquired) {
   std::vector<float> local = std::move(buffer);  // free outside the lock
   std::lock_guard<std::mutex> lock(mu_);
-  if (was_acquired) --stats_.outstanding;
+  if (was_acquired) outstanding_->Add(-1);
   if (!enabled_) return;
   const int64_t capacity = static_cast<int64_t>(local.capacity());
   const int cls = FloorClassIndex(capacity, kMinClassLog2, kMaxClassLog2);
   if (cls < 0) return;  // below the minimum class: not worth caching
   const int64_t bytes = capacity * static_cast<int64_t>(sizeof(float));
-  if (stats_.cached_bytes + bytes > budget_bytes_) return;
-  stats_.cached_bytes += bytes;
+  if (cached_bytes_->value() + bytes > budget_bytes_) return;
+  cached_bytes_->Add(bytes);
   free_lists_[cls].push_back(std::move(local));
 }
 
 TensorArena::Stats TensorArena::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats out;
+  out.hits = hits_->value();
+  out.misses = misses_->value();
+  out.outstanding = outstanding_->value();
+  out.bytes_recycled = bytes_recycled_->value();
+  out.cached_bytes = cached_bytes_->value();
+  return out;
 }
 
 void TensorArena::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
-  const int64_t outstanding = stats_.outstanding;
-  const int64_t cached = stats_.cached_bytes;
-  stats_ = Stats{};
-  stats_.outstanding = outstanding;  // live buffers don't reset
-  stats_.cached_bytes = cached;
+  // outstanding and cached_bytes mirror live state; only the tallies reset.
+  hits_->Reset();
+  misses_->Reset();
+  bytes_recycled_->Reset();
 }
 
 void TensorArena::Clear() {
@@ -113,7 +125,7 @@ void TensorArena::Clear() {
       for (auto& buf : list) graveyard.push_back(std::move(buf));
       list.clear();
     }
-    stats_.cached_bytes = 0;
+    cached_bytes_->Set(0);
   }
 }
 

@@ -5,6 +5,8 @@
 #include <mutex>
 #include <vector>
 
+#include "common/metrics.h"
+
 namespace resuformer {
 
 /// \brief Process-wide recycling arena for tensor storage.
@@ -41,6 +43,10 @@ class TensorArena {
   /// Counters since the last ResetStats(). `outstanding` tracks buffers
   /// currently held by live tensors (Acquire minus Release of acquired
   /// buffers) — zero once every tensor from an arena-enabled run is gone.
+  /// The values live on the process MetricsRegistry ("arena.hits",
+  /// "arena.misses", "arena.bytes_recycled" counters; "arena.outstanding",
+  /// "arena.cached_bytes" gauges), so metrics snapshots and this struct
+  /// always agree; stats() just reads them back.
   struct Stats {
     int64_t hits = 0;
     int64_t misses = 0;
@@ -75,7 +81,7 @@ class TensorArena {
   void SetBudgetBytes(int64_t bytes);
 
  private:
-  TensorArena() = default;
+  TensorArena();
 
   // Size classes are powers of two from 2^6 to 2^24 floats.
   static constexpr int kMinClassLog2 = 6;
@@ -86,7 +92,14 @@ class TensorArena {
   bool enabled_ = true;
   int64_t budget_bytes_ = 256LL << 20;
   std::vector<std::vector<float>> free_lists_[kNumClasses];
-  Stats stats_;
+
+  // Registry-backed instruments (see Stats). Updated under mu_ alongside
+  // the free lists; reads are lock-free for metric snapshots.
+  metrics::Counter* hits_;
+  metrics::Counter* misses_;
+  metrics::Counter* bytes_recycled_;
+  metrics::Gauge* outstanding_;
+  metrics::Gauge* cached_bytes_;
 };
 
 /// \brief RAII scratch buffer drawn from the arena.

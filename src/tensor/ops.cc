@@ -5,7 +5,9 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "tensor/arena.h"
 #include "tensor/kernels.h"
 
@@ -181,13 +183,32 @@ bool SameShape(const Tensor& a, const Tensor& b) {
   return a.shape() == b.shape();
 }
 
+// ---------------------------------------------------------------------------
+// Observability. Each GEMM-bearing op opens a TRACE_SPAN (one relaxed load
+// when tracing is off) and bumps a call + forward-flop counter (relaxed
+// atomic adds, always on — these are the structural tallies bench_micro
+// snapshots into BENCH_MICRO.json). Instrument pointers are resolved once
+// through function-local statics; the hot path never touches the registry.
+// ---------------------------------------------------------------------------
+
+void CountGemm(metrics::Counter* calls, int64_t mul_adds) {
+  static metrics::Counter* flops =
+      metrics::MetricsRegistry::Global().GetCounter("ops.gemm.forward_flops");
+  calls->Increment();
+  flops->Increment(2 * mul_adds);
+}
+
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
+  TRACE_SPAN("gemm.nn");
   RF_CHECK_EQ(a.rank(), 2);
   RF_CHECK_EQ(b.rank(), 2);
   const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
   RF_CHECK_EQ(k, b.dim(0));
+  static metrics::Counter* calls =
+      metrics::MetricsRegistry::Global().GetCounter("ops.gemm_nn.calls");
+  CountGemm(calls, static_cast<int64_t>(m) * k * n);
   Tensor out = MakeNode({m, n}, {a.impl(), b.impl()});
   const float* pa = a.data();
   const float* pb = b.data();
@@ -227,10 +248,14 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
+  TRACE_SPAN("gemm.nt");
   RF_CHECK_EQ(a.rank(), 2);
   RF_CHECK_EQ(b.rank(), 2);
   const int m = a.dim(0), k = a.dim(1), n = b.dim(0);
   RF_CHECK_EQ(k, b.dim(1));
+  static metrics::Counter* calls =
+      metrics::MetricsRegistry::Global().GetCounter("ops.gemm_nt.calls");
+  CountGemm(calls, static_cast<int64_t>(m) * k * n);
   Tensor out = MakeNode({m, n}, {a.impl(), b.impl()});
   const float* pa = a.data();
   const float* pb = b.data();
@@ -269,10 +294,14 @@ Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
 }
 
 Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
+  TRACE_SPAN("gemm.tn");
   RF_CHECK_EQ(a.rank(), 2);
   RF_CHECK_EQ(b.rank(), 2);
   const int k = a.dim(0), m = a.dim(1), n = b.dim(1);
   RF_CHECK_EQ(k, b.dim(0));
+  static metrics::Counter* calls =
+      metrics::MetricsRegistry::Global().GetCounter("ops.gemm_tn.calls");
+  CountGemm(calls, static_cast<int64_t>(m) * k * n);
   Tensor out = MakeNode({m, n}, {a.impl(), b.impl()});
   const float* pa = a.data();
   const float* pb = b.data();
@@ -672,6 +701,7 @@ Tensor ScaleAddSoftmax(const Tensor& a, float scale, const Tensor& bias) {
 Tensor FusedMultiHeadAttention(const Tensor& q, const Tensor& k,
                                const Tensor& v, const Tensor& bias,
                                int num_heads) {
+  TRACE_SPAN("attention.fused");
   RF_CHECK_EQ(q.rank(), 2);
   RF_CHECK(SameShape(q, k));
   RF_CHECK(SameShape(q, v));
@@ -703,6 +733,10 @@ Tensor FusedMultiHeadAttention(const Tensor& q, const Tensor& k,
   float* po = out.data();
   const int64_t rows = static_cast<int64_t>(num_heads) * t_len;
   const int64_t work = 2 * rows * t_len * head_dim;
+  static metrics::Counter* calls =
+      metrics::MetricsRegistry::Global().GetCounter(
+          "ops.fused_attention.calls");
+  CountGemm(calls, work);  // scores + output GEMMs: 2·H·T·T·head_dim MACs
   // One fork for the whole op; each (head, row) pair computes its score
   // row, softmaxes it in place, and accumulates its slice of the output —
   // no transposes, slices or concats, and no worker shares an output row.

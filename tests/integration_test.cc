@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 #include "pipeline/pipeline.h"
 
 namespace resuformer {
@@ -78,6 +81,41 @@ TEST(PipelineIntegrationTest, EndToEndTrainAndParse) {
     EXPECT_EQ(reparsed.blocks[i].entities.size(),
               parsed.blocks[i].entities.size());
   }
+
+  // Save wrote an architecture manifest alongside the parameters.
+  std::ifstream manifest(dir + "/manifest.txt");
+  ASSERT_TRUE(manifest.good());
+  std::string magic;
+  manifest >> magic;
+  EXPECT_EQ(magic, "RFMANIFEST");
+
+  // Loading with mismatched dimensions must fail up front with a message
+  // naming the offending field, not deserialize garbage.
+  PipelineOptions wrong = TinyOptions();
+  wrong.model.hidden = 24;
+  auto mismatched = ResuFormerPipeline::Load(dir, wrong);
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(mismatched.status().message().find("model_hidden"),
+            std::string::npos)
+      << mismatched.status().ToString();
+
+  PipelineOptions wrong_ner = TinyOptions();
+  wrong_ner.ner.lstm_hidden = 99;
+  auto ner_mismatched = ResuFormerPipeline::Load(dir, wrong_ner);
+  ASSERT_FALSE(ner_mismatched.ok());
+  EXPECT_NE(ner_mismatched.status().message().find("ner_lstm_hidden"),
+            std::string::npos)
+      << ner_mismatched.status().ToString();
+
+  // A checkpoint predating the manifest (legacy layout) still loads: the
+  // options are trusted, as before this format existed.
+  ASSERT_EQ(std::remove((dir + "/manifest.txt").c_str()), 0);
+  auto legacy = ResuFormerPipeline::Load(dir, TinyOptions());
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+  const StructuredResume legacy_parsed =
+      (*legacy)->Parse(corpus.test[0].document);
+  EXPECT_EQ(legacy_parsed.blocks.size(), parsed.blocks.size());
 }
 
 TEST(PipelineIntegrationTest, LoadFromMissingDirectoryFails) {

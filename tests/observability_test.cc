@@ -1,0 +1,352 @@
+// Tests for the observability layer: MetricsRegistry (counters, gauges,
+// log-scale histograms, JSON snapshots), the scoped-span tracer (ring
+// buffers, Chrome trace export) and RuntimeOptions::FromEnv. Labeled
+// `observability` in ctest for selective runs.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/runtime_options.h"
+#include "common/trace.h"
+
+namespace resuformer {
+namespace {
+
+using metrics::MetricsRegistry;
+
+TEST(MetricsCounterTest, ConcurrentIncrementsAreLossless) {
+  metrics::Counter* counter =
+      MetricsRegistry::Global().GetCounter("test.concurrent_counter");
+  counter->Reset();
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter]() {
+      for (int i = 0; i < kIncrements; ++i) counter->Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter->value(), int64_t{kThreads} * kIncrements);
+}
+
+TEST(MetricsCounterTest, PointersAreStableAcrossLookups) {
+  metrics::Counter* first =
+      MetricsRegistry::Global().GetCounter("test.stable_counter");
+  metrics::Counter* second =
+      MetricsRegistry::Global().GetCounter("test.stable_counter");
+  EXPECT_EQ(first, second);
+}
+
+TEST(MetricsGaugeTest, SetAndAdd) {
+  metrics::Gauge* gauge = MetricsRegistry::Global().GetGauge("test.gauge");
+  gauge->Set(10);
+  gauge->Add(5);
+  gauge->Add(-12);
+  EXPECT_EQ(gauge->value(), 3);
+  gauge->Reset();
+  EXPECT_EQ(gauge->value(), 0);
+}
+
+TEST(MetricsHistogramTest, BucketingIsLogScale) {
+  metrics::Histogram* hist =
+      MetricsRegistry::Global().GetHistogram("test.bucketing");
+  hist->Reset();
+  // Bucket 0: v <= 0. Bucket b >= 1: [2^(b-1), 2^b).
+  hist->Record(-5);
+  hist->Record(0);
+  hist->Record(1);    // bucket 1: [1, 2)
+  hist->Record(2);    // bucket 2: [2, 4)
+  hist->Record(3);    // bucket 2
+  hist->Record(4);    // bucket 3: [4, 8)
+  hist->Record(1023);  // bucket 10: [512, 1024)
+  hist->Record(1024);  // bucket 11: [1024, 2048)
+  EXPECT_EQ(hist->bucket_count(0), 2);
+  EXPECT_EQ(hist->bucket_count(1), 1);
+  EXPECT_EQ(hist->bucket_count(2), 2);
+  EXPECT_EQ(hist->bucket_count(3), 1);
+  EXPECT_EQ(hist->bucket_count(10), 1);
+  EXPECT_EQ(hist->bucket_count(11), 1);
+  EXPECT_EQ(hist->count(), 8);
+  EXPECT_EQ(hist->min(), -5);
+  EXPECT_EQ(hist->max(), 1024);
+  EXPECT_EQ(hist->sum(), -5 + 0 + 1 + 2 + 3 + 4 + 1023 + 1024);
+}
+
+TEST(MetricsHistogramTest, BucketUpperBounds) {
+  EXPECT_EQ(metrics::Histogram::BucketUpperBound(0), 0);
+  EXPECT_EQ(metrics::Histogram::BucketUpperBound(1), 1);
+  EXPECT_EQ(metrics::Histogram::BucketUpperBound(2), 3);
+  EXPECT_EQ(metrics::Histogram::BucketUpperBound(10), 1023);
+}
+
+TEST(MetricsHistogramTest, ConcurrentRecordsKeepCountAndSum) {
+  metrics::Histogram* hist =
+      MetricsRegistry::Global().GetHistogram("test.concurrent_histogram");
+  hist->Reset();
+  constexpr int kThreads = 4;
+  constexpr int kRecords = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([hist]() {
+      for (int i = 0; i < kRecords; ++i) hist->Record(7);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(hist->count(), int64_t{kThreads} * kRecords);
+  EXPECT_EQ(hist->sum(), int64_t{kThreads} * kRecords * 7);
+  EXPECT_EQ(hist->min(), 7);
+  EXPECT_EQ(hist->max(), 7);
+}
+
+TEST(MetricsRegistryTest, SnapshotContainsRegisteredInstruments) {
+  auto& registry = MetricsRegistry::Global();
+  registry.GetCounter("test.snapshot_counter")->Reset();
+  registry.GetCounter("test.snapshot_counter")->Increment(42);
+  registry.GetGauge("test.snapshot_gauge")->Set(-3);
+  metrics::Histogram* hist = registry.GetHistogram("test.snapshot_histogram");
+  hist->Reset();
+  hist->Record(100);
+
+  const metrics::MetricsSnapshot snap = registry.Snapshot();
+  bool found_counter = false, found_gauge = false, found_histogram = false;
+  for (const auto& c : snap.counters) {
+    if (c.name == "test.snapshot_counter") {
+      found_counter = true;
+      EXPECT_EQ(c.value, 42);
+    }
+  }
+  for (const auto& g : snap.gauges) {
+    if (g.name == "test.snapshot_gauge") {
+      found_gauge = true;
+      EXPECT_EQ(g.value, -3);
+    }
+  }
+  for (const auto& h : snap.histograms) {
+    if (h.name == "test.snapshot_histogram") {
+      found_histogram = true;
+      EXPECT_EQ(h.count, 1);
+      EXPECT_EQ(h.sum, 100);
+      ASSERT_EQ(h.buckets.size(), 1u);
+      EXPECT_EQ(h.buckets[0].count, 1);
+      EXPECT_GE(h.buckets[0].upper_bound, 100);
+    }
+  }
+  EXPECT_TRUE(found_counter);
+  EXPECT_TRUE(found_gauge);
+  EXPECT_TRUE(found_histogram);
+}
+
+TEST(MetricsRegistryTest, SnapshotJsonIsWellFormed) {
+  auto& registry = MetricsRegistry::Global();
+  registry.GetCounter("test.json_counter")->Increment();
+  registry.GetHistogram("test.json_histogram")->Record(5);
+  const std::string json = registry.Snapshot().ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_histogram\""), std::string::npos);
+  // Balanced braces/brackets (no string values contain either).
+  int braces = 0, brackets = 0;
+  for (char c : json) {
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(MetricsRegistryTest, ResetSparesGauges) {
+  auto& registry = MetricsRegistry::Global();
+  registry.GetCounter("test.reset_counter")->Increment(9);
+  registry.GetGauge("test.reset_gauge")->Set(11);
+  registry.GetHistogram("test.reset_histogram")->Record(4);
+  registry.ResetCountersAndHistograms();
+  EXPECT_EQ(registry.GetCounter("test.reset_counter")->value(), 0);
+  EXPECT_EQ(registry.GetHistogram("test.reset_histogram")->count(), 0);
+  EXPECT_EQ(registry.GetGauge("test.reset_gauge")->value(), 11);
+}
+
+TEST(MetricsScopedTimerTest, RecordsOnlyWhenEnabled) {
+  auto& registry = MetricsRegistry::Global();
+  metrics::Histogram* hist = registry.GetHistogram("test.scoped_timer");
+  hist->Reset();
+  registry.SetEnabled(false);
+  { metrics::ScopedTimerUs timer(hist); }
+  EXPECT_EQ(hist->count(), 0);
+  registry.SetEnabled(true);
+  { metrics::ScopedTimerUs timer(hist); }
+  EXPECT_EQ(hist->count(), 1);
+  registry.SetEnabled(false);
+}
+
+// Tracer tests share the process-global recorder; each enables tracing
+// against a clean slate and disables it on exit.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace::TraceRecorder::Global().Reset();
+    trace::TraceRecorder::Global().SetEnabled(true);
+  }
+  void TearDown() override {
+    trace::TraceRecorder::Global().SetEnabled(false);
+    trace::TraceRecorder::Global().Reset();
+    trace::TraceRecorder::Global().SetBufferCapacity(8192);
+  }
+};
+
+TEST_F(TraceTest, NestedSpansAreRecordedInnermostFirst) {
+  {
+    TRACE_SPAN("outer");
+    {
+      TRACE_SPAN("inner");
+    }
+  }
+  const std::vector<trace::SpanRecord> spans =
+      trace::TraceRecorder::Global().Collect();
+  ASSERT_EQ(spans.size(), 2u);
+  // Collect orders by start time: outer opened first.
+  EXPECT_STREQ(spans[0].name, "outer");
+  EXPECT_STREQ(spans[1].name, "inner");
+  // The inner span nests inside the outer window.
+  EXPECT_GE(spans[1].start_ns, spans[0].start_ns);
+  EXPECT_LE(spans[1].start_ns + spans[1].dur_ns,
+            spans[0].start_ns + spans[0].dur_ns);
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  trace::TraceRecorder::Global().SetEnabled(false);
+  {
+    TRACE_SPAN("invisible");
+  }
+  EXPECT_TRUE(trace::TraceRecorder::Global().Collect().empty());
+}
+
+TEST_F(TraceTest, RingBufferKeepsNewestAndTalliesDropped) {
+  trace::TraceRecorder::Global().SetBufferCapacity(16);
+  for (int i = 0; i < 40; ++i) {
+    TRACE_SPAN("wrap");
+  }
+  const std::vector<trace::SpanRecord> spans =
+      trace::TraceRecorder::Global().Collect();
+  EXPECT_EQ(spans.size(), 16u);
+  EXPECT_EQ(trace::TraceRecorder::Global().dropped(), 24);
+  // Retained spans are the newest: strictly increasing start times and the
+  // last recorded span present.
+  for (size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_GE(spans[i].start_ns, spans[i - 1].start_ns);
+  }
+}
+
+TEST_F(TraceTest, ChromeJsonIsLoadable) {
+  {
+    TRACE_SPAN("span.a");
+  }
+  {
+    TRACE_SPAN("span.b");
+  }
+  const std::string json = trace::TraceRecorder::Global().ToChromeJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json[json.find_last_not_of(" \n")], '}');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"span.a\""), std::string::npos);
+  EXPECT_NE(json.find("\"span.b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 1"), std::string::npos);
+  int braces = 0, brackets = 0;
+  for (char c : json) {
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST_F(TraceTest, SpansFromMultipleThreadsGetDistinctTids) {
+  {
+    TRACE_SPAN("main.thread");
+  }
+  std::thread other([]() {
+    TRACE_SPAN("other.thread");
+  });
+  other.join();
+  const std::vector<trace::SpanRecord> spans =
+      trace::TraceRecorder::Global().Collect();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_NE(spans[0].tid, spans[1].tid);
+}
+
+TEST_F(TraceTest, ResetDiscardsSpans) {
+  {
+    TRACE_SPAN("gone");
+  }
+  trace::TraceRecorder::Global().Reset();
+  EXPECT_TRUE(trace::TraceRecorder::Global().Collect().empty());
+  EXPECT_EQ(trace::TraceRecorder::Global().dropped(), 0);
+}
+
+TEST(RuntimeOptionsTest, DefaultsWhenEnvUnset) {
+  unsetenv("RESUFORMER_THREADS");
+  unsetenv("RESUFORMER_FUSED_ATTENTION");
+  unsetenv("RESUFORMER_TENSOR_ARENA");
+  unsetenv("RESUFORMER_METRICS");
+  unsetenv("RESUFORMER_TRACE");
+  unsetenv("RESUFORMER_TRACE_CAPACITY");
+  const RuntimeOptions options = RuntimeOptions::FromEnv();
+  EXPECT_EQ(options.threads, 0);
+  EXPECT_TRUE(options.use_fused_attention);
+  EXPECT_TRUE(options.use_tensor_arena);
+  EXPECT_FALSE(options.enable_metrics);
+  EXPECT_FALSE(options.enable_tracing);
+  EXPECT_EQ(options.trace_buffer_capacity, 8192);
+}
+
+TEST(RuntimeOptionsTest, EnvOverridesApply) {
+  setenv("RESUFORMER_THREADS", "3", 1);
+  setenv("RESUFORMER_FUSED_ATTENTION", "off", 1);
+  setenv("RESUFORMER_TENSOR_ARENA", "0", 1);
+  setenv("RESUFORMER_METRICS", "1", 1);
+  setenv("RESUFORMER_TRACE", "true", 1);
+  setenv("RESUFORMER_TRACE_CAPACITY", "1024", 1);
+  const RuntimeOptions options = RuntimeOptions::FromEnv();
+  EXPECT_EQ(options.threads, 3);
+  EXPECT_FALSE(options.use_fused_attention);
+  EXPECT_FALSE(options.use_tensor_arena);
+  EXPECT_TRUE(options.enable_metrics);
+  EXPECT_TRUE(options.enable_tracing);
+  EXPECT_EQ(options.trace_buffer_capacity, 1024);
+  unsetenv("RESUFORMER_THREADS");
+  unsetenv("RESUFORMER_FUSED_ATTENTION");
+  unsetenv("RESUFORMER_TENSOR_ARENA");
+  unsetenv("RESUFORMER_METRICS");
+  unsetenv("RESUFORMER_TRACE");
+  unsetenv("RESUFORMER_TRACE_CAPACITY");
+}
+
+TEST(RuntimeOptionsTest, OutOfRangeEnvValuesAreIgnored) {
+  setenv("RESUFORMER_THREADS", "-2", 1);
+  setenv("RESUFORMER_TRACE_CAPACITY", "4", 1);  // below the minimum of 16
+  const RuntimeOptions options = RuntimeOptions::FromEnv();
+  EXPECT_EQ(options.threads, 0);
+  EXPECT_EQ(options.trace_buffer_capacity, 8192);
+  unsetenv("RESUFORMER_THREADS");
+  unsetenv("RESUFORMER_TRACE_CAPACITY");
+}
+
+}  // namespace
+}  // namespace resuformer

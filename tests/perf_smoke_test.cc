@@ -5,10 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/hierarchical_encoder.h"
 #include "pipeline/pipeline.h"
 #include "resumegen/corpus.h"
@@ -47,9 +50,9 @@ TEST(PerfSmokeTest, BatchedInferenceFusedMatchesReference) {
 
   core::ResuFormerConfig fused_cfg = SmallModelConfig();
   fused_cfg.vocab_size = tokenizer.vocab().size();
-  fused_cfg.use_fused_attention = true;
+  fused_cfg.runtime.use_fused_attention = true;
   core::ResuFormerConfig ref_cfg = fused_cfg;
-  ref_cfg.use_fused_attention = false;
+  ref_cfg.runtime.use_fused_attention = false;
 
   // Same seed -> identical weights; only the attention execution path
   // differs.
@@ -155,6 +158,43 @@ TEST(PerfSmokeTest, ParseBatchMatchesSerialParse) {
   const int64_t outstanding_before = TensorArena::Global().stats().outstanding;
   { pipeline->ParseBatch(documents); }
   EXPECT_EQ(TensorArena::Global().stats().outstanding, outstanding_before);
+
+  // ParseWithStats returns the same resume as Parse plus sane measurements,
+  // and enabling the full observability stack must not change results.
+  metrics::MetricsRegistry::Global().SetEnabled(true);
+  trace::TraceRecorder::Global().SetEnabled(true);
+  const pipeline::ParseResult with_stats =
+      pipeline->ParseWithStats(documents[0]);
+  metrics::MetricsRegistry::Global().SetEnabled(false);
+  trace::TraceRecorder::Global().SetEnabled(false);
+  trace::TraceRecorder::Global().Reset();
+  const pipeline::StructuredResume plain = pipeline->Parse(documents[0]);
+  ASSERT_EQ(with_stats.resume.blocks.size(), plain.blocks.size());
+  EXPECT_EQ(with_stats.stats.num_blocks,
+            static_cast<int>(plain.blocks.size()));
+  EXPECT_GT(with_stats.stats.num_sentences, 0);
+  EXPECT_GT(with_stats.stats.wall_time_us, 0.0);
+  EXPECT_GE(with_stats.stats.arena_hit_rate, 0.0);
+  EXPECT_LE(with_stats.stats.arena_hit_rate, 1.0);
+}
+
+TEST(PerfSmokeTest, DisabledInstrumentationIsCheap) {
+  // The off-path contract: a disabled TRACE_SPAN is one relaxed atomic load
+  // and a branch. 10M of them must finish far inside a second even on a
+  // loaded CI machine (the real <2% regression gate rides on bench_micro's
+  // BENCH_MICRO.json; this guards against order-of-magnitude mistakes like
+  // reading the clock while disabled).
+  trace::TraceRecorder::Global().SetEnabled(false);
+  metrics::MetricsRegistry::Global().SetEnabled(false);
+  constexpr int kIterations = 10'000'000;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIterations; ++i) {
+    TRACE_SPAN("perf.noop");
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(seconds, 1.0) << "disabled TRACE_SPAN is not near-zero cost";
 }
 
 }  // namespace

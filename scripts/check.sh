@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# One-command verification driver.
+#
+#   scripts/check.sh          tier-1: release build, full test suite
+#                             (includes the rf_lint checker + its selftest),
+#                             plus the advisory clang-tidy pass
+#   scripts/check.sh --full   tier-1, then the ASan+UBSan and TSan suites
+#                             (separate build trees via CMakePresets.json;
+#                             TSan also runs the `stress` label)
+#
+# Every build tree is a preset from CMakePresets.json, so this script and
+# `cmake --preset <name>` always agree on flags.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "${repo_root}"
+
+full=0
+if [[ "${1:-}" == "--full" ]]; then full=1; shift; fi
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+run_preset() {
+  local preset="$1"
+  echo "==> [${preset}] configure"
+  cmake --preset "${preset}" >/dev/null
+  echo "==> [${preset}] build"
+  cmake --build --preset "${preset}" -j "${jobs}"
+  echo "==> [${preset}] test"
+  ctest --preset "${preset}" -j "${jobs}"
+}
+
+run_preset release
+
+echo "==> clang-tidy (advisory; skipped when not installed)"
+tools/run_clang_tidy.sh "${repo_root}/build"
+
+if [[ "${full}" == "1" ]]; then
+  run_preset asan
+  run_preset tsan
+fi
+
+echo "==> all checks passed"

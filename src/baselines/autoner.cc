@@ -161,17 +161,23 @@ double AutoNer::Fit(const std::vector<distant::AnnotatedSequence>& train,
     if (f1 > best) {
       best = f1;
       bad = 0;
-      nn::SaveParameters(*backbone_, snap_backbone);
-      nn::SaveParameters(*boundary_head_, snap_b);
-      nn::SaveParameters(*type_head_, snap_t);
+      WarnIfError(nn::SaveParameters(*backbone_, snap_backbone),
+                  "autoner backbone snapshot save");
+      WarnIfError(nn::SaveParameters(*boundary_head_, snap_b),
+                  "autoner boundary-head snapshot save");
+      WarnIfError(nn::SaveParameters(*type_head_, snap_t),
+                  "autoner type-head snapshot save");
     } else if (++bad >= patience) {
       break;
     }
   }
   if (best >= 0.0) {
-    nn::LoadParameters(backbone_.get(), snap_backbone);
-    nn::LoadParameters(boundary_head_.get(), snap_b);
-    nn::LoadParameters(type_head_.get(), snap_t);
+    WarnIfError(nn::LoadParameters(backbone_.get(), snap_backbone),
+                "autoner backbone snapshot restore");
+    WarnIfError(nn::LoadParameters(boundary_head_.get(), snap_b),
+                "autoner boundary-head snapshot restore");
+    WarnIfError(nn::LoadParameters(type_head_.get(), snap_t),
+                "autoner type-head snapshot restore");
   }
   backbone_->SetTraining(false);
   return best;

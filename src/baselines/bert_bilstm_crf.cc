@@ -45,12 +45,16 @@ double BertBilstmCrf::Fit(
   const std::string snapshot =
       std::string("/tmp/rf_bbc_") + (fuzzy_ ? "fcrf" : "crf") + ".bin";
   auto save = [&]() {
-    nn::SaveParameters(*backbone_, snapshot);
-    nn::SaveParameters(*crf_, snapshot + ".crf");
+    WarnIfError(nn::SaveParameters(*backbone_, snapshot),
+                "bilstm-crf backbone snapshot save");
+    WarnIfError(nn::SaveParameters(*crf_, snapshot + ".crf"),
+                "bilstm-crf head snapshot save");
   };
   auto load = [&]() {
-    nn::LoadParameters(backbone_.get(), snapshot);
-    nn::LoadParameters(crf_.get(), snapshot + ".crf");
+    WarnIfError(nn::LoadParameters(backbone_.get(), snapshot),
+                "bilstm-crf backbone snapshot restore");
+    WarnIfError(nn::LoadParameters(crf_.get(), snapshot + ".crf"),
+                "bilstm-crf head snapshot restore");
   };
 
   double best = -1.0;

@@ -134,12 +134,16 @@ void HiBertCrf::Fit(const std::vector<const doc::Document*>& train,
     if (acc > best) {
       best = acc;
       bad = 0;
-      nn::SaveParameters(*this, snapshot);
+      WarnIfError(nn::SaveParameters(*this, snapshot),
+                  "hibert-crf snapshot save");
     } else if (++bad >= config_.patience) {
       break;
     }
   }
-  if (best >= 0.0) nn::LoadParameters(this, snapshot);
+  if (best >= 0.0) {
+    WarnIfError(nn::LoadParameters(this, snapshot),
+                "hibert-crf snapshot restore");
+  }
   SetTraining(false);
 }
 

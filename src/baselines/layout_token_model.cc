@@ -271,12 +271,16 @@ void TokenTaggerBase::Fit(const std::vector<const doc::Document*>& train,
     if (acc > best) {
       best = acc;
       bad = 0;
-      nn::SaveParameters(*this, snapshot);
+      WarnIfError(nn::SaveParameters(*this, snapshot),
+                  "layout-token snapshot save");
     } else if (++bad >= config_.patience) {
       break;
     }
   }
-  if (best >= 0.0) nn::LoadParameters(this, snapshot);
+  if (best >= 0.0) {
+    WarnIfError(nn::LoadParameters(this, snapshot),
+                "layout-token snapshot restore");
+  }
   SetTraining(false);
 }
 

@@ -70,6 +70,50 @@ class FatalLogMessage {
 #define RF_CHECK_GT(a, b) RF_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
 #define RF_CHECK_GE(a, b) RF_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
 
+/// Debug-only invariant checks for hot-path preconditions (tensor shapes,
+/// kernel strides, autograd graph structure). Active in Debug builds and
+/// whenever the build sets -DRESUFORMER_DCHECK_ENABLED=1 (CMake option
+/// RESUFORMER_DCHECK=ON, or the `dcheck` preset); compiled out otherwise —
+/// the condition is parsed but never evaluated, so a disabled RF_DCHECK
+/// costs nothing at runtime.
+#if !defined(RESUFORMER_DCHECK_ENABLED)
+#if !defined(NDEBUG)
+#define RESUFORMER_DCHECK_ENABLED 1
+#else
+#define RESUFORMER_DCHECK_ENABLED 0
+#endif
+#endif
+
+#if RESUFORMER_DCHECK_ENABLED
+#define RF_DCHECK(cond) RF_CHECK(cond)
+#define RF_DCHECK_EQ(a, b) RF_CHECK_EQ(a, b)
+#define RF_DCHECK_LT(a, b) RF_CHECK_LT(a, b)
+#define RF_DCHECK_LE(a, b) RF_CHECK_LE(a, b)
+#define RF_DCHECK_GT(a, b) RF_CHECK_GT(a, b)
+#define RF_DCHECK_GE(a, b) RF_CHECK_GE(a, b)
+#else
+// `while (false)` makes the whole statement (including streamed message
+// operands) dead code the optimizer deletes, while keeping it syntactically
+// identical to the enabled form.
+#define RF_DCHECK(cond) \
+  while (false) RF_CHECK(cond)
+#define RF_DCHECK_EQ(a, b) \
+  while (false) RF_CHECK_EQ(a, b)
+#define RF_DCHECK_LT(a, b) \
+  while (false) RF_CHECK_LT(a, b)
+#define RF_DCHECK_LE(a, b) \
+  while (false) RF_CHECK_LE(a, b)
+#define RF_DCHECK_GT(a, b) \
+  while (false) RF_CHECK_GT(a, b)
+#define RF_DCHECK_GE(a, b) \
+  while (false) RF_CHECK_GE(a, b)
+#endif
+
+/// True when RF_DCHECK is active in this build; lets tests and validators
+/// branch on it (e.g. the autograd graph validator only walks the graph
+/// when the checks it feeds are compiled in).
+inline constexpr bool DcheckEnabled() { return RESUFORMER_DCHECK_ENABLED != 0; }
+
 }  // namespace resuformer
 
 #endif  // RESUFORMER_COMMON_LOGGING_H_

@@ -35,13 +35,19 @@ void AppendJsonKey(std::string* out, const std::string& name) {
 }  // namespace
 
 void Histogram::Record(int64_t value) {
+  // Relaxed everywhere: each field is an independent statistical tally, no
+  // other memory is published through it, and Snapshot() tolerates fields
+  // from slightly different instants (count may briefly disagree with sum).
   buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
+  // Relaxed CAS loop: min/max only ever ratchet, so a stale `seen` just
+  // retries; ordering against other fields is irrelevant (see above).
   int64_t seen = min_.load(std::memory_order_relaxed);
   while (value < seen &&
          !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
   }
+  // Relaxed for the same ratcheting-CAS reason as min_ above.
   seen = max_.load(std::memory_order_relaxed);
   while (value > seen &&
          !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
@@ -54,11 +60,14 @@ int64_t Histogram::BucketUpperBound(int b) {
 }
 
 void Histogram::Reset() {
+  // Relaxed: Reset is called from quiescent points (tests, bench setup);
+  // samples racing a reset may land on either side, which is acceptable for
+  // statistical instruments and needs no ordering.
   for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
-  min_.store(INT64_MAX, std::memory_order_relaxed);
-  max_.store(INT64_MIN, std::memory_order_relaxed);
+  min_.store(INT64_MAX, std::memory_order_relaxed);  // relaxed: see above
+  max_.store(INT64_MIN, std::memory_order_relaxed);  // relaxed: see above
 }
 
 MetricsRegistry& MetricsRegistry::Global() {

@@ -34,6 +34,8 @@ namespace metrics {
 /// Monotonic counter. Increment is a relaxed atomic add.
 class Counter {
  public:
+  // Relaxed: a counter is an independent tally — nothing is published
+  // through it and readers tolerate slightly stale values.
   void Increment(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
   int64_t value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { value_.store(0, std::memory_order_relaxed); }
@@ -45,10 +47,12 @@ class Counter {
 /// Up/down instantaneous value (outstanding buffers, cached bytes, ...).
 class Gauge {
  public:
+  // Relaxed: same contract as Counter — an isolated instantaneous value,
+  // no cross-field ordering required by any reader.
   void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
   void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
   int64_t value() const { return value_.load(std::memory_order_relaxed); }
-  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }  // see above
 
  private:
   std::atomic<int64_t> value_{0};
@@ -65,12 +69,16 @@ class Histogram {
 
   void Record(int64_t value);
 
+  // Relaxed reads: histogram fields are statistically independent tallies;
+  // a snapshot may pair a count with a sum from one sample earlier, which
+  // is acceptable for latency statistics (see the header comment).
   int64_t count() const { return count_.load(std::memory_order_relaxed); }
   int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
   /// INT64_MAX / INT64_MIN when empty.
   int64_t min() const { return min_.load(std::memory_order_relaxed); }
   int64_t max() const { return max_.load(std::memory_order_relaxed); }
   int64_t bucket_count(int b) const {
+    // Relaxed for the same reason as count()/sum() above.
     return buckets_[b].load(std::memory_order_relaxed);
   }
   /// Inclusive upper bound of bucket b: 0 for bucket 0, else 2^b - 1.
@@ -136,9 +144,13 @@ class MetricsRegistry {
   /// wait / run histograms, per-stage pipeline timers). Counters and gauges
   /// stay live regardless — see the header comment.
   void SetEnabled(bool enabled) {
+    // Relaxed: the gate is advisory — a site that reads the old value for a
+    // few more samples just times (or skips) a handful of extra records.
     enabled_.store(enabled, std::memory_order_relaxed);
   }
   static bool Enabled() {
+    // Relaxed: pairs with SetEnabled above; no data is published through
+    // the flag, so acquire would buy nothing.
     return Global().enabled_.load(std::memory_order_relaxed);
   }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <string>
 
@@ -19,22 +20,32 @@ bool ParseBoolEnv(const char* name, bool fallback) {
   return !(v == "0" || v == "false" || v == "off" || v == "no");
 }
 
-int ParseIntEnv(const char* name, int fallback, int min_value,
-                int max_value) {
+}  // namespace
+
+namespace envparse {
+
+int IntFromEnv(const char* name, int fallback, int min_value, int max_value) {
   const char* env = std::getenv(name);
   if (env == nullptr || env[0] == '\0') return fallback;
-  const int v = std::atoi(env);
-  if (v < min_value || v > max_value) return fallback;
-  return v;
+  // std::atoi is undefined on overflow; strtol reports it via ERANGE and
+  // hands back where parsing stopped, so malformed or out-of-range values
+  // ("8x", "1e3", "99999999999999999999") fall back instead of aborting or
+  // silently truncating.
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0') return fallback;  // no digits / trailing junk
+  if (errno == ERANGE || v < min_value || v > max_value) return fallback;
+  return static_cast<int>(v);
 }
 
-}  // namespace
+}  // namespace envparse
 
 RuntimeOptions RuntimeOptions::FromEnv() {
   RuntimeOptions opts;
   // threads stays 0 ("auto") unless the env names an explicit width; the
   // thread pool resolves 0 through the same variable, so either path agrees.
-  opts.threads = ParseIntEnv("RESUFORMER_THREADS", 0, 1, 256);
+  opts.threads = envparse::IntFromEnv("RESUFORMER_THREADS", 0, 1, 256);
   opts.use_fused_attention =
       ParseBoolEnv("RESUFORMER_FUSED_ATTENTION", opts.use_fused_attention);
   opts.use_tensor_arena =
@@ -43,8 +54,8 @@ RuntimeOptions RuntimeOptions::FromEnv() {
       ParseBoolEnv("RESUFORMER_METRICS", opts.enable_metrics);
   opts.enable_tracing = ParseBoolEnv("RESUFORMER_TRACE", opts.enable_tracing);
   opts.trace_buffer_capacity =
-      ParseIntEnv("RESUFORMER_TRACE_CAPACITY", opts.trace_buffer_capacity, 16,
-                  1 << 24);
+      envparse::IntFromEnv("RESUFORMER_TRACE_CAPACITY",
+                           opts.trace_buffer_capacity, 16, 1 << 24);
   return opts;
 }
 

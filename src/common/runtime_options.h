@@ -53,8 +53,20 @@ struct RuntimeOptions {
   int trace_buffer_capacity = 8192;
 
   /// Defaults overridden by the RESUFORMER_* environment variables above.
-  static RuntimeOptions FromEnv();
+  [[nodiscard]] static RuntimeOptions FromEnv();
 };
+
+namespace envparse {
+
+/// Strict base-10 parse of the environment variable `name`. Returns
+/// `fallback` when the variable is unset, empty, not a full integer
+/// (trailing garbage rejected), overflows long/int, or falls outside
+/// [min_value, max_value]. Never aborts: a malformed environment degrades
+/// to defaults. Shared by RuntimeOptions::FromEnv and DefaultThreadCount so
+/// RESUFORMER_THREADS parses identically everywhere.
+int IntFromEnv(const char* name, int fallback, int min_value, int max_value);
+
+}  // namespace envparse
 
 }  // namespace resuformer
 

@@ -1,5 +1,7 @@
 #include "common/status.h"
 
+#include "common/logging.h"
+
 namespace resuformer {
 
 namespace {
@@ -34,6 +36,10 @@ std::string Status::ToString() const {
     out += message_;
   }
   return out;
+}
+
+void WarnIfError(const Status& s, const char* context) {
+  if (!s.ok()) RF_LOG(Warning) << context << ": " << s.ToString();
 }
 
 }  // namespace resuformer

@@ -25,30 +25,37 @@ enum class StatusCode {
 /// Usage:
 ///   Status s = DoThing();
 ///   if (!s.ok()) return s;
-class Status {
+///
+/// The class itself is [[nodiscard]]: any function returning Status (or
+/// Result, below) warns when a caller drops the return value, so a silently
+/// ignored error cannot compile warning-clean. rf_lint additionally requires
+/// the per-declaration annotation on such functions (belt and braces — the
+/// class attribute covers by-value returns; the declaration attribute keeps
+/// the contract visible in headers).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status IoError(std::string msg) {
+  [[nodiscard]] static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
 
@@ -71,7 +78,7 @@ class Status {
 ///   if (!r.ok()) return r.status();
 ///   Vocab v = std::move(r).ValueOrDie();
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Implicit conversions mirror Arrow: both values and error Statuses
   // construct a Result so `return value;` and `return status;` both work.
@@ -106,6 +113,14 @@ class Result {
     ::resuformer::Status _s = (expr);      \
     if (!_s.ok()) return _s;               \
   } while (false)
+
+/// Explicitly consumes a Status at call sites where failure is tolerable
+/// (e.g. best-model snapshots inside a training loop: a failed save means
+/// the snapshot does not advance, not that the run must die). Logs the
+/// status as a warning with `context` when non-OK. Using this instead of a
+/// bare discarded call keeps the tolerance decision visible and satisfies
+/// both the [[nodiscard]] attribute and rf_lint's discarded-status rule.
+void WarnIfError(const Status& s, const char* context);
 
 }  // namespace resuformer
 

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/runtime_options.h"
 #include "common/trace.h"
 
 namespace resuformer {
@@ -34,13 +35,20 @@ metrics::Histogram* WorkerRunHistogram() {
           "threadpool.worker_run_us");
   return h;
 }
+// Counts ParallelFor calls that arrived while another dispatch was in
+// flight and therefore ran inline on the caller (see ParallelFor).
+metrics::Counter* ContendedInlineCounter() {
+  static metrics::Counter* c = metrics::MetricsRegistry::Global().GetCounter(
+      "threadpool.parallel_for.contended_inline");
+  return c;
+}
 }  // namespace
 
 int DefaultThreadCount() {
-  if (const char* env = std::getenv("RESUFORMER_THREADS")) {
-    const int n = std::atoi(env);
-    if (n >= 1) return std::min(n, 256);
-  }
+  // Strict parse: malformed or out-of-range RESUFORMER_THREADS falls back
+  // to hardware concurrency instead of riding std::atoi's overflow UB.
+  const int n = envparse::IntFromEnv("RESUFORMER_THREADS", 0, 1, 256);
+  if (n >= 1) return n;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
@@ -55,9 +63,22 @@ ThreadPool::ThreadPool() { StartWorkers(DefaultThreadCount()); }
 ThreadPool::~ThreadPool() { StopWorkers(); }
 
 void ThreadPool::SetNumThreads(int n) {
+  // Misuse detector, not a synchronization mechanism: resizing tears the
+  // worker set down, so a resize racing a dispatch (or issued from inside a
+  // ParallelFor body) is a programming error we fail fast on rather than
+  // deadlock or corrupt the job slot. The check is best-effort — a dispatch
+  // that starts after the check still races — but it catches the two
+  // realistic misuse shapes: calling from a worker and calling while another
+  // thread's ParallelFor is visibly in flight.
+  RF_CHECK(!g_in_pool_worker)
+      << "ThreadPool::SetNumThreads called from inside a ParallelFor body; "
+         "configure the pool at startup or between dispatches";
   if (n <= 0) n = DefaultThreadCount();
   {
     std::lock_guard<std::mutex> lock(mu_);
+    RF_CHECK(job_fn_ == nullptr)
+        << "ThreadPool::SetNumThreads called while a ParallelFor dispatch is "
+           "in flight on another thread";
     if (n == num_threads_) return;
   }
   StopWorkers();
@@ -99,30 +120,50 @@ void ThreadPool::Chunk(int64_t count, int workers, int w, int64_t* begin,
 
 void ThreadPool::ParallelFor(int64_t count, const RangeFn& fn) {
   if (count <= 0) return;
-  int workers;
+  // Nested call from a pool worker: always inline (no nested parallelism).
+  if (g_in_pool_worker) {
+    fn(0, 0, count);
+    return;
+  }
+  const int64_t publish_ns =
+      metrics::MetricsRegistry::Enabled() ? trace::NowNs() : 0;
+  int workers = 0;
+  bool contended = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     workers = num_threads_;
+    if (workers > count) workers = static_cast<int>(count);
+    if (workers > 1 && job_fn_ == nullptr) {
+      // Claim the pool: the job is published in the same critical section
+      // that observed it idle, so two external threads can never co-publish.
+      job_fn_ = &fn;
+      job_count_ = count;
+      job_workers_ = workers;
+      job_publish_ns_ = publish_ns;
+      pending_ = workers - 1;
+      ++generation_;
+    } else {
+      contended = workers > 1;  // busy pool, not a serial one
+      workers = 0;              // run inline below
+    }
   }
-  if (workers > count) workers = static_cast<int>(count);
-  if (workers <= 1 || g_in_pool_worker) {
+  if (workers == 0) {
+    // Serial pool, or another external thread's dispatch is in flight.
+    // Degrade to inline execution on the caller instead of blocking (or
+    // crashing, as earlier revisions did): the result is identical — the
+    // body observes worker 0 over the full range, the same partitioning a
+    // one-worker dispatch would use — and concurrent callers (e.g. two
+    // request threads both inside ParseBatch) stay correct. The body is
+    // still "inside a ParallelFor" for misuse-detection purposes, so mark
+    // the thread pool-owned while it runs (also inlines nested calls).
+    if (contended) ContendedInlineCounter()->Increment();
+    g_in_pool_worker = true;
     fn(0, 0, count);
+    g_in_pool_worker = false;
     return;
   }
   TRACE_SPAN("threadpool.parallel_for");
   DispatchCounter()->Increment();
-  const int64_t publish_ns =
-      metrics::MetricsRegistry::Enabled() ? trace::NowNs() : 0;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    RF_CHECK(job_fn_ == nullptr) << "concurrent ParallelFor on one pool";
-    job_fn_ = &fn;
-    job_count_ = count;
-    job_workers_ = workers;
-    job_publish_ns_ = publish_ns;
-    pending_ = workers - 1;
-    ++generation_;
-  }
   work_cv_.notify_all();
   int64_t begin = 0, end = 0;
   Chunk(count, workers, 0, &begin, &end);

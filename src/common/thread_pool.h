@@ -26,8 +26,17 @@ int DefaultThreadCount();
 /// With NumThreads() == 1 the body runs inline on the caller — byte-for-byte
 /// the legacy serial behavior, with no synchronization cost.
 ///
+/// Concurrent external callers are safe: the pool serves one dispatch at a
+/// time, and a ParallelFor that arrives while another thread's dispatch is
+/// in flight runs its body inline on the caller (worker 0, full range)
+/// instead of blocking. The "threadpool.parallel_for.contended_inline"
+/// counter tallies how often that happens.
+///
 /// SetNumThreads must not race with ParallelFor; callers configure the pool
-/// at startup (or between steps), not from inside kernels.
+/// at startup (or between steps), not from inside kernels. Misuse is
+/// detected and RF_CHECK-fails: calling it from inside a ParallelFor body,
+/// or while another thread's dispatch is visibly in flight, aborts with a
+/// diagnostic instead of deadlocking.
 class ThreadPool {
  public:
   /// Process-wide pool used by the tensor kernels. Sized on first use from
@@ -39,7 +48,9 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Resizes the pool. `n <= 0` resolves to DefaultThreadCount(); `1` keeps
-  /// no background workers (pure serial execution).
+  /// no background workers (pure serial execution). RF_CHECK-fails when
+  /// called from inside a ParallelFor body or while a dispatch is in flight
+  /// (see class comment).
   void SetNumThreads(int n);
   int NumThreads() const;
 

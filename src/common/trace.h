@@ -55,9 +55,13 @@ class TraceRecorder {
   static TraceRecorder& Global();
 
   void SetEnabled(bool enabled) {
+    // Relaxed: the tracing gate is advisory — a span that reads the stale
+    // value is recorded (or skipped) once more, with no integrity impact;
+    // span data itself is published under the per-thread buffer mutex.
     enabled_.store(enabled, std::memory_order_relaxed);
   }
   static bool Enabled() {
+    // Relaxed: pairs with SetEnabled above.
     return Global().enabled_.load(std::memory_order_relaxed);
   }
 
@@ -79,7 +83,7 @@ class TraceRecorder {
 
   /// Chrome trace-event JSON ("X" complete events, ts/dur in µs).
   std::string ToChromeJson() const;
-  Status WriteChromeJson(const std::string& path) const;
+  [[nodiscard]] Status WriteChromeJson(const std::string& path) const;
 
   /// Discards every retained span and the dropped tally. Thread buffers
   /// (and their tids) persist.

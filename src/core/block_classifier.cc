@@ -120,13 +120,15 @@ double FinetuneBlockClassifier(BlockClassifier* model,
     if (val_acc > best_val) {
       best_val = val_acc;
       bad_epochs = 0;
-      nn::SaveParameters(*model, snapshot);
+      WarnIfError(nn::SaveParameters(*model, snapshot),
+                  "finetune best-model snapshot save");
     } else if (++bad_epochs >= options.patience) {
       break;  // early stopping
     }
   }
   if (best_val >= 0.0) {
-    nn::LoadParameters(model, snapshot);
+    WarnIfError(nn::LoadParameters(model, snapshot),
+                "finetune best-model snapshot restore");
   }
   model->SetTraining(false);
   return best_val;

@@ -13,17 +13,17 @@ namespace nn {
 /// Writes the module's parameters (in Parameters() order) to a binary file.
 /// Format "RFP2": magic, parameter count, then per parameter its rank and
 /// dimensions followed by raw float32 data.
-Status SaveParameters(const Module& module, const std::string& path);
+[[nodiscard]] Status SaveParameters(const Module& module, const std::string& path);
 
 /// Loads parameters saved by SaveParameters into an identically-shaped
 /// module. Fails if the parameter count or any shape differs. Legacy "RFP1"
 /// files (which recorded only flattened sizes) are still readable, with the
 /// weaker size-only validation.
-Status LoadParameters(Module* module, const std::string& path);
+[[nodiscard]] Status LoadParameters(Module* module, const std::string& path);
 
 /// Copies parameters between two identically-structured modules (used to
 /// clone teacher -> student in the self-distillation loop).
-Status CopyParameters(const Module& source, Module* target);
+[[nodiscard]] Status CopyParameters(const Module& source, Module* target);
 
 }  // namespace nn
 }  // namespace resuformer

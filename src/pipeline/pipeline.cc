@@ -69,6 +69,8 @@ std::unique_ptr<ResuFormerPipeline> ResuFormerPipeline::TrainFromCorpus(
     const resumegen::Corpus& corpus, const PipelineOptions& options,
     TrainReport* report) {
   auto pipeline =
+      // Private ctor: make_unique cannot reach it; ownership is immediate.
+      // rf-lint-allow(naked-new)
       std::unique_ptr<ResuFormerPipeline>(new ResuFormerPipeline());
   pipeline->options_ = options;
   Rng rng(options.seed);
@@ -298,6 +300,8 @@ Result<std::unique_ptr<ResuFormerPipeline>> ResuFormerPipeline::Load(
   if (!vocab.ok()) return vocab.status();
 
   auto pipeline =
+      // Private ctor: make_unique cannot reach it; ownership is immediate.
+      // rf-lint-allow(naked-new)
       std::unique_ptr<ResuFormerPipeline>(new ResuFormerPipeline());
   pipeline->options_ = options;
   pipeline->tokenizer_ = std::make_unique<text::WordPieceTokenizer>(

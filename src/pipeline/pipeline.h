@@ -112,8 +112,8 @@ class ResuFormerPipeline {
   /// against it and fails with FailedPrecondition (naming the mismatched
   /// field) instead of deserializing garbage. Checkpoints predating the
   /// manifest load with a warning.
-  Status Save(const std::string& directory) const;
-  static Result<std::unique_ptr<ResuFormerPipeline>> Load(
+  [[nodiscard]] Status Save(const std::string& directory) const;
+  [[nodiscard]] static Result<std::unique_ptr<ResuFormerPipeline>> Load(
       const std::string& directory, const PipelineOptions& options);
 
   /// Renders a StructuredResume as indented JSON-like text.

@@ -101,12 +101,16 @@ double SelfDistillTrainer::TrainSupervised(
     if (f1 > best) {
       best = f1;
       bad = 0;
-      nn::SaveParameters(*model, snapshot);
+      WarnIfError(nn::SaveParameters(*model, snapshot),
+                  "teacher best-model snapshot save");
     } else if (++bad >= patience) {
       break;  // early stopping: the distant labels are noisy, don't overfit
     }
   }
-  if (best >= 0.0) nn::LoadParameters(model, snapshot);
+  if (best >= 0.0) {
+    WarnIfError(nn::LoadParameters(model, snapshot),
+                "teacher best-model snapshot restore");
+  }
   model->SetTraining(false);
   return best;
 }
@@ -210,7 +214,8 @@ SelfTrainResult SelfDistillTrainer::Train(
 
   const std::string snapshot = "/tmp/rf_ner_student_best.bin";
   double best = teacher_f1;
-  nn::SaveParameters(*student, snapshot);
+  WarnIfError(nn::SaveParameters(*student, snapshot),
+              "student initial snapshot save");
   for (int iter = 0; iter < options_.iterations; ++iter) {
     for (int e = 0; e < options_.student_epochs_per_iteration; ++e) {
       StudentEpoch(*teacher, student.get(), train, &adam);
@@ -222,13 +227,15 @@ SelfTrainResult SelfDistillTrainer::Train(
     }
     if (f1 > best) {
       best = f1;
-      nn::SaveParameters(*student, snapshot);
+      WarnIfError(nn::SaveParameters(*student, snapshot),
+                  "student best-model snapshot save");
       // Re-initialize the teacher from the improved student (Algorithm 2,
       // line 8): a better student produces a better teacher.
       RF_CHECK(nn::CopyParameters(*student, teacher.get()).ok());
     }
   }
-  nn::LoadParameters(student.get(), snapshot);
+  WarnIfError(nn::LoadParameters(student.get(), snapshot),
+              "student best-model snapshot restore");
   student->SetTraining(false);
   result.best_val_f1 = best;
   result.model = std::move(student);

@@ -63,7 +63,7 @@ class TensorArena {
   /// Zero-filled vector of size n (capacity >= n). `from_arena` (optional)
   /// reports whether the buffer must be returned via Release(..., true)
   /// for the outstanding count to balance.
-  std::vector<float> Acquire(int64_t n, bool* from_arena = nullptr);
+  [[nodiscard]] std::vector<float> Acquire(int64_t n, bool* from_arena = nullptr);
 
   /// Returns a buffer to the free lists (or frees it when disabled / over
   /// budget / below the minimum class). `was_acquired` must be the value

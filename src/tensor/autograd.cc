@@ -1,5 +1,6 @@
 #include "tensor/autograd.h"
 
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/logging.h"
@@ -35,6 +36,40 @@ std::vector<TensorImpl*> TopologicalOrder(TensorImpl* root) {
   return order;  // parents first, root last
 }
 
+void ValidateGraph(const TensorImpl* root,
+                   const std::vector<TensorImpl*>& order) {
+  if (!DcheckEnabled()) return;
+  RF_DCHECK(root != nullptr);
+  RF_DCHECK(!order.empty());
+  RF_DCHECK(order.back() == root)
+      << "topological order must end at the backward root";
+  std::unordered_map<const TensorImpl*, size_t> position;
+  position.reserve(order.size());
+  for (size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (size_t i = 0; i < order.size(); ++i) {
+    const TensorImpl* node = order[i];
+    RF_DCHECK(node != nullptr);
+    RF_DCHECK_EQ(node->size(), static_cast<int64_t>(node->data.size()))
+        << "autograd node shape product disagrees with its storage";
+    RF_DCHECK(node->grad.empty() || node->grad.size() == node->data.size())
+        << "gradient buffer size " << node->grad.size()
+        << " does not match tensor storage " << node->data.size();
+    RF_DCHECK(!node->backward_consumed)
+        << "double backward: this node's backward_fn already ran; its "
+           "closure may capture scratch buffers that were recycled after "
+           "the first pass";
+    for (const auto& parent : node->parents) {
+      if (parent == nullptr) continue;  // undefined optional input
+      auto it = position.find(parent.get());
+      RF_DCHECK(it != position.end())
+          << "parent missing from the topological order";
+      RF_DCHECK_LT(it->second, i)
+          << "parent ordered at or after its child — the autograd graph "
+             "contains a cycle";
+    }
+  }
+}
+
 }  // namespace autograd_internal
 
 void RunBackward(const std::shared_ptr<TensorImpl>& root) {
@@ -45,10 +80,16 @@ void RunBackward(const std::shared_ptr<TensorImpl>& root) {
 
   std::vector<TensorImpl*> order =
       autograd_internal::TopologicalOrder(root.get());
+  autograd_internal::ValidateGraph(root.get(), order);
   // Visit root first, then inputs: iterate the topological order in reverse.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     TensorImpl* node = *it;
-    if (node->backward_fn) node->backward_fn();
+    if (node->backward_fn) {
+      node->backward_fn();
+      // Feeds the double-backward detector above; only written when the
+      // validator that reads it is compiled in.
+      if (DcheckEnabled()) node->backward_consumed = true;
+    }
   }
 }
 

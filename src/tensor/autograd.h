@@ -17,6 +17,23 @@ namespace autograd_internal {
 /// Depth-first topological order (parents before children) of the graph
 /// reachable from root. Exposed for tests.
 std::vector<TensorImpl*> TopologicalOrder(TensorImpl* root);
+
+/// Debug-mode graph validator, run by RunBackward before executing any
+/// backward function when RF_DCHECK is compiled in (Debug builds or
+/// RESUFORMER_DCHECK=ON). `order` is the topological order of the graph
+/// under `root`. RF_DCHECK-fails on:
+///  * topological inconsistency — a parent positioned at or after its
+///    child, which is exactly what a reference cycle produces;
+///  * shape/storage disagreement — a node whose shape product no longer
+///    matches its data size;
+///  * a gradient buffer sized differently from its tensor's data (the
+///    "gradient shape matches output shape" invariant);
+///  * double backward — a node whose backward_fn already ran in an earlier
+///    RunBackward; its closure may capture arena scratch that has since
+///    been recycled, so running it again reads freed buffers.
+/// Exposed for tests; a no-op when RF_DCHECK is compiled out.
+void ValidateGraph(const TensorImpl* root,
+                   const std::vector<TensorImpl*>& order);
 }  // namespace autograd_internal
 
 }  // namespace resuformer

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/logging.h"
+
 // The generic-vector helpers below pass Vf8 values through always-inlined
 // internal functions; GCC warns that the by-value ABI would differ if AVX
 // were enabled, which is irrelevant inside one TU.
@@ -65,6 +67,11 @@ inline float DotReassoc(const float* a, const float* b, int d) {
 
 void GemmNT(const float* a, int lda, const float* b, int ldb, float* c,
             int ldc, int bn, int d, int64_t r0, int64_t r1) {
+  // Stride preconditions (debug-only; these run inside ParallelFor chunks).
+  RF_DCHECK_GE(lda, d);
+  RF_DCHECK_GE(ldb, d);
+  RF_DCHECK_GE(ldc, bn);
+  RF_DCHECK(0 <= r0 && r0 <= r1) << r0 << " vs " << r1;
   for (int64_t i = r0; i < r1; ++i) {
     const float* arow = a + i * lda;
     float* crow = c + i * ldc;
@@ -115,6 +122,10 @@ inline void AxpyRow(float av, const float* brow, float* crow, int j0,
 
 void GemmNN(const float* a, int lda, const float* b, int ldb, float* c,
             int ldc, int d, int bn, int64_t r0, int64_t r1) {
+  RF_DCHECK_GE(lda, d);
+  RF_DCHECK_GE(ldb, bn);
+  RF_DCHECK_GE(ldc, bn);
+  RF_DCHECK(0 <= r0 && r0 <= r1) << r0 << " vs " << r1;
   for (int t0 = 0; t0 < d; t0 += kKB) {
     const int t1 = std::min(d, t0 + kKB);
     for (int j0 = 0; j0 < bn; j0 += kJB) {
@@ -135,6 +146,10 @@ void GemmNN(const float* a, int lda, const float* b, int ldb, float* c,
 
 void GemmTN(const float* a, int lda, const float* b, int ldb, float* c,
             int ldc, int d, int bn, int64_t r0, int64_t r1) {
+  RF_DCHECK_GE(lda, r1);  // A is [d, *]: its rows must span the C rows used
+  RF_DCHECK_GE(ldb, bn);
+  RF_DCHECK_GE(ldc, bn);
+  RF_DCHECK(0 <= r0 && r0 <= r1) << r0 << " vs " << r1;
   for (int j0 = 0; j0 < bn; j0 += kJB) {
     const int j1 = std::min(bn, j0 + kJB);
     for (int t = 0; t < d; ++t) {
@@ -149,6 +164,10 @@ void GemmTN(const float* a, int lda, const float* b, int ldb, float* c,
 
 void GemmNTVec(const float* a, int lda, const float* b, int ldb, float* c,
                int ldc, int bn, int d, int64_t r0, int64_t r1) {
+  RF_DCHECK_GE(lda, d);
+  RF_DCHECK_GE(ldb, d);
+  RF_DCHECK_GE(ldc, bn);
+  RF_DCHECK(0 <= r0 && r0 <= r1) << r0 << " vs " << r1;
   for (int64_t i = r0; i < r1; ++i) {
     const float* arow = a + i * lda;
     float* crow = c + i * ldc;
@@ -159,6 +178,7 @@ void GemmNTVec(const float* a, int lda, const float* b, int ldb, float* c,
 }
 
 void ScaleAddSoftmaxRow(float* row, const float* bias, int n, float scale) {
+  RF_DCHECK_GT(n, 0) << "softmax over an empty row";
   if (bias != nullptr) {
     for (int j = 0; j < n; ++j) row[j] = row[j] * scale + bias[j];
   } else {
@@ -176,6 +196,7 @@ void ScaleAddSoftmaxRow(float* row, const float* bias, int n, float scale) {
 
 void SoftmaxBackwardRow(const float* y, const float* dy, float* dx, int n,
                         bool out_overwrite) {
+  RF_DCHECK_GE(n, 0);
   float dot = 0.0f;
   for (int j = 0; j < n; ++j) dot += dy[j] * y[j];
   if (out_overwrite) {

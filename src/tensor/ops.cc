@@ -173,10 +173,25 @@ Tensor MakeNode(std::vector<int> shape, std::vector<ImplPtr> parents) {
   return out;
 }
 
-/// Installs the backward closure only when the node tracks gradients.
+/// Installs the backward closure only when the node tracks gradients. In
+/// RF_DCHECK builds the closure is wrapped to assert the node's own
+/// gradient was materialized (seeded by the root or accumulated by its
+/// children) before the op's backward reads it; release builds install the
+/// closure unwrapped, so the hot path carries no extra indirection.
 template <typename Fn>
 void SetBackward(Tensor* out, Fn fn) {
-  if (out->impl()->requires_grad) out->impl()->backward_fn = std::move(fn);
+  if (!out->impl()->requires_grad) return;
+  if constexpr (DcheckEnabled()) {
+    TensorImpl* self = out->impl().get();
+    out->impl()->backward_fn = [self, fn = std::move(fn)]() {
+      RF_DCHECK_EQ(self->grad.size(), self->data.size())
+          << "op backward ran before this node's gradient buffer was "
+             "materialized — the graph below it is inconsistent";
+      fn();
+    };
+  } else {
+    out->impl()->backward_fn = std::move(fn);
+  }
 }
 
 bool SameShape(const Tensor& a, const Tensor& b) {

@@ -27,6 +27,10 @@ struct TensorImpl {
   // holds its inputs and backward_fn accumulates into their grad buffers.
   std::vector<std::shared_ptr<TensorImpl>> parents;
   std::function<void()> backward_fn;
+  // Set once backward_fn has run; read by the debug graph validator
+  // (autograd_internal::ValidateGraph) to reject double backward through
+  // closures whose captured scratch may have been recycled.
+  bool backward_consumed = false;
 
   int64_t size() const {
     int64_t n = 1;
@@ -53,22 +57,22 @@ class Tensor {
   explicit Tensor(std::shared_ptr<TensorImpl> impl) : impl_(std::move(impl)) {}
 
   /// Factory: zero-filled tensor with the given shape.
-  static Tensor Zeros(std::vector<int> shape, bool requires_grad = false);
+  [[nodiscard]] static Tensor Zeros(std::vector<int> shape, bool requires_grad = false);
 
   /// Factory: all elements set to `value`.
-  static Tensor Full(std::vector<int> shape, float value,
+  [[nodiscard]] static Tensor Full(std::vector<int> shape, float value,
                      bool requires_grad = false);
 
   /// Factory: takes ownership of `data` (size must match shape product).
-  static Tensor FromData(std::vector<int> shape, std::vector<float> data,
+  [[nodiscard]] static Tensor FromData(std::vector<int> shape, std::vector<float> data,
                          bool requires_grad = false);
 
   /// Factory: i.i.d. Gaussian entries with the given stddev.
-  static Tensor Randn(std::vector<int> shape, Rng* rng, float stddev = 1.0f,
+  [[nodiscard]] static Tensor Randn(std::vector<int> shape, Rng* rng, float stddev = 1.0f,
                       bool requires_grad = false);
 
   /// Factory: i.i.d. uniform entries in [lo, hi).
-  static Tensor Uniform(std::vector<int> shape, Rng* rng, float lo, float hi,
+  [[nodiscard]] static Tensor Uniform(std::vector<int> shape, Rng* rng, float lo, float hi,
                         bool requires_grad = false);
 
   bool defined() const { return impl_ != nullptr; }
@@ -104,7 +108,7 @@ class Tensor {
   void Backward();
 
   /// Detached copy sharing no autograd history (data is copied).
-  Tensor Detach() const;
+  [[nodiscard]] Tensor Detach() const;
 
   /// Scalar value of a 1-element tensor.
   float item() const;

@@ -43,8 +43,8 @@ class Vocab {
 
   int size() const { return static_cast<int>(tokens_.size()); }
 
-  Status Save(const std::string& path) const;
-  static Result<Vocab> Load(const std::string& path);
+  [[nodiscard]] Status Save(const std::string& path) const;
+  [[nodiscard]] static Result<Vocab> Load(const std::string& path);
 
  private:
   std::vector<std::string> tokens_;

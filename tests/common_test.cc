@@ -2,10 +2,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/runtime_options.h"
 #include "common/status.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
@@ -233,6 +236,105 @@ TEST(ThreadPoolTest, SetNumThreadsResizesAndSerialRunsInline) {
 
 TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
   EXPECT_GE(DefaultThreadCount(), 1);
+}
+
+// Sets one environment variable for the duration of a scope and restores
+// the previous value (or unsets) on exit.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value != nullptr) {
+      ::setenv(name, value, /*overwrite=*/1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), /*overwrite=*/1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+TEST(RuntimeOptionsEnvTest, UnsetAndEmptyKeepDefaults) {
+  {
+    ScopedEnv env("RESUFORMER_THREADS", nullptr);
+    EXPECT_EQ(RuntimeOptions::FromEnv().threads, 0);
+  }
+  {
+    ScopedEnv env("RESUFORMER_THREADS", "");
+    EXPECT_EQ(RuntimeOptions::FromEnv().threads, 0);
+  }
+}
+
+TEST(RuntimeOptionsEnvTest, ValidValueIsParsed) {
+  ScopedEnv env("RESUFORMER_THREADS", "8");
+  EXPECT_EQ(RuntimeOptions::FromEnv().threads, 8);
+  EXPECT_EQ(DefaultThreadCount(), 8);
+}
+
+TEST(RuntimeOptionsEnvTest, NonNumericFallsBackWithoutAborting) {
+  for (const char* bad : {"abc", "four", "1e3", "8x", "x8", "-", "+", " "}) {
+    ScopedEnv env("RESUFORMER_THREADS", bad);
+    EXPECT_EQ(RuntimeOptions::FromEnv().threads, 0) << "value: " << bad;
+    EXPECT_GE(DefaultThreadCount(), 1) << "value: " << bad;
+  }
+}
+
+TEST(RuntimeOptionsEnvTest, NegativeAndZeroFallBack) {
+  for (const char* bad : {"-4", "0", "-2147483648"}) {
+    ScopedEnv env("RESUFORMER_THREADS", bad);
+    EXPECT_EQ(RuntimeOptions::FromEnv().threads, 0) << "value: " << bad;
+    EXPECT_GE(DefaultThreadCount(), 1) << "value: " << bad;
+  }
+}
+
+TEST(RuntimeOptionsEnvTest, OverflowFallsBackInsteadOfUB) {
+  // std::atoi would be undefined here; the strict parser must fall back.
+  for (const char* bad : {"99999999999999999999", "2147483648", "1000"}) {
+    ScopedEnv env("RESUFORMER_THREADS", bad);
+    EXPECT_EQ(RuntimeOptions::FromEnv().threads, 0) << "value: " << bad;
+    EXPECT_GE(DefaultThreadCount(), 1) << "value: " << bad;
+  }
+}
+
+TEST(RuntimeOptionsEnvTest, TraceCapacityRangeChecked) {
+  {
+    ScopedEnv env("RESUFORMER_TRACE_CAPACITY", "1024");
+    EXPECT_EQ(RuntimeOptions::FromEnv().trace_buffer_capacity, 1024);
+  }
+  {
+    // Below the minimum ring size: keep the default.
+    ScopedEnv env("RESUFORMER_TRACE_CAPACITY", "2");
+    EXPECT_EQ(RuntimeOptions::FromEnv().trace_buffer_capacity, 8192);
+  }
+}
+
+TEST(RuntimeOptionsEnvTest, BoolKnobsParseCommonSpellings) {
+  {
+    ScopedEnv env("RESUFORMER_TENSOR_ARENA", "off");
+    EXPECT_FALSE(RuntimeOptions::FromEnv().use_tensor_arena);
+  }
+  {
+    ScopedEnv env("RESUFORMER_TENSOR_ARENA", "1");
+    EXPECT_TRUE(RuntimeOptions::FromEnv().use_tensor_arena);
+  }
+  {
+    ScopedEnv env("RESUFORMER_METRICS", "TRUE");
+    EXPECT_TRUE(RuntimeOptions::FromEnv().enable_metrics);
+  }
 }
 
 }  // namespace

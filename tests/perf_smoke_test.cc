@@ -194,7 +194,24 @@ TEST(PerfSmokeTest, DisabledInstrumentationIsCheap) {
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  EXPECT_LT(seconds, 1.0) << "disabled TRACE_SPAN is not near-zero cost";
+  // Sanitizers instrument every atomic load, inflating the off-path by an
+  // order of magnitude on their own; keep the guard meaningful there
+  // without making it flaky on a loaded single-core runner.
+#if !defined(RF_UNDER_SANITIZER) && defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define RF_UNDER_SANITIZER 1
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define RF_UNDER_SANITIZER 1
+#endif
+#if defined(RF_UNDER_SANITIZER)
+  constexpr double kBudgetSeconds = 10.0;
+#else
+  constexpr double kBudgetSeconds = 1.0;
+#endif
+  EXPECT_LT(seconds, kBudgetSeconds)
+      << "disabled TRACE_SPAN is not near-zero cost";
 }
 
 }  // namespace

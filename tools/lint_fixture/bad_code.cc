@@ -1,0 +1,86 @@
+// rf_lint self-test fixture (never compiled; text-only input for
+// `rf_lint --selftest`). Seeds one or more violations of every rule that
+// bad_code.h does not already cover, with exact expected counts.
+#include "bad_code.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace lint_fixture {
+
+// Both statements below drop a Status/Result return value on the floor.
+// rf-lint-selftest-expect(discarded-status=2)
+inline void DropErrors(Thing& thing) {
+  DoThing();
+  thing.Save("snapshot.bin");
+}
+
+// Consumed results must NOT fire: assigned, tested, or wrapped.
+inline bool ConsumeErrors() {
+  Status s = DoThing();
+  return s.ok();
+}
+
+// The fetch_add below uses a weakened memory order with no justification
+// comment on its line or the three lines above it (the filler statements
+// keep this comment out of the adjacency window).
+// rf-lint-selftest-expect(atomic-order-comment=1)
+inline void RecordSample(std::atomic<long>& counter) {
+  long x = 1;
+  x += 2;
+  x += 3;
+  counter.fetch_add(x, std::memory_order_relaxed);
+}
+
+// Compliant atomic access must NOT fire: the justification is adjacent.
+inline long ReadSample(const std::atomic<long>& counter) {
+  // relaxed: statistical tally, no ordering with other memory required.
+  return counter.load(std::memory_order_relaxed);
+}
+
+// rf-lint-selftest-expect(naked-new=1)
+inline int* LeakAnInt() {
+  return new int(42);
+}
+
+// The leaked-singleton idiom must NOT fire.
+inline Thing& GlobalThing() {
+  static Thing* thing = new Thing();
+  return *thing;
+}
+
+// rf-lint-selftest-expect(naked-malloc=1)
+inline void* RawBuffer() {
+  return malloc(64);
+}
+
+// One bare call counted, one suppressed: the suppression keeps the expected
+// count at 1, so a broken suppression mechanism fails the selftest with 2.
+// rf-lint-selftest-expect(std-rand=1)
+inline int UnseededRandom() {
+  return std::rand();
+}
+inline int SuppressedRandom() {
+  return std::rand();  // rf-lint-allow(std-rand) fixture: proves suppression
+}
+
+// rf-lint-selftest-expect(volatile-qualifier=1)
+inline void SpinWait() {
+  volatile int spin_flag = 0;
+  (void)spin_flag;
+}
+
+// TRACE_SPAN inside the dispatched lambda must fire; the span around the
+// dispatch in TracedDispatch must NOT.
+// rf-lint-selftest-expect(trace-span-in-parallel-for=1)
+inline void PerChunkSpan() {
+  ParallelFor(0, 100, [](int tid, long begin, long end) {
+    TRACE_SPAN("per-chunk");
+  });
+}
+inline void TracedDispatch() {
+  TRACE_SPAN("dispatch");
+  ParallelFor(0, 100, [](int tid, long begin, long end) {});
+}
+
+}  // namespace lint_fixture

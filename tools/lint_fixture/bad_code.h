@@ -1,0 +1,31 @@
+// rf_lint self-test fixture: every lint rule is violated somewhere in this
+// directory, with exact expected counts declared via
+// rf-lint-selftest-expect(rule=N) markers. These files are never compiled —
+// they exist only as text for `rf_lint --selftest`.
+//
+// Wrong guard below: the expected macro is RESUFORMER_BAD_CODE_H_.
+// rf-lint-selftest-expect(include-guard=1)
+#ifndef LINT_FIXTURE_BAD_CODE_H
+#define LINT_FIXTURE_BAD_CODE_H
+
+#include <string>
+
+namespace lint_fixture {
+
+// Both declarations below return Status/Result without [[nodiscard]].
+// rf-lint-selftest-expect(nodiscard-status=2)
+Status DoThing();
+Result<int> ComputeAnswer(const std::string& input);
+
+// Annotated declaration: must NOT be reported.
+[[nodiscard]] Status DoThingSafely();
+
+struct Thing {
+  // Annotated member declaration: must not fire either, but registers
+  // `Save` as a Status-returning function for the discarded-status rule.
+  [[nodiscard]] Status Save(const std::string& path);
+};
+
+}  // namespace lint_fixture
+
+#endif  // LINT_FIXTURE_BAD_CODE_H

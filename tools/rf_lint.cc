@@ -1,0 +1,617 @@
+// rf_lint: the ResuFormer project-invariant checker.
+//
+// A self-contained C++20 static checker (no external dependencies — plain
+// std::filesystem + std::regex over the source text) that walks src/,
+// tests/, bench/ and examples/ and enforces the project conventions that
+// the compiler cannot, or that we want diagnosed with project-specific
+// messages. It is registered as the `rf_lint` ctest test, so tier-1 runs it
+// on every build; `--selftest tools/lint_fixture` checks the checker itself
+// against seeded violations (the `rf_lint_selftest` test).
+//
+// Rules (ids are what the suppression syntax names):
+//   nodiscard-status      Every header declaration returning Status or
+//                         Result<T> must carry [[nodiscard]].
+//   discarded-status      A statement consisting solely of a call to a
+//                         Status/Result-returning function drops the error.
+//                         Consume it (assign, RF_RETURN_NOT_OK, WarnIfError,
+//                         .ok(), ...) instead.
+//   atomic-order-comment  Any explicit weakened std::memory_order
+//                         (relaxed/acquire/release/acq_rel/consume) needs a
+//                         justification comment on the same line or within
+//                         the three lines above.
+//   naked-new             No naked `new` — use make_unique/make_shared or
+//                         containers. The intentionally-leaked static
+//                         singleton idiom (`static T* x = new T...`) is
+//                         exempt.
+//   naked-malloc          No malloc/calloc/realloc/free; the tensor arena
+//                         and standard containers own all memory.
+//   std-rand              No std::rand/srand — all randomness flows through
+//                         common/rng.h so runs stay reproducible.
+//   volatile-qualifier    No volatile — it is not a threading primitive;
+//                         use std::atomic with a documented order.
+//   include-guard         Header guards must be RESUFORMER_<PATH>_<FILE>_H_
+//                         (path relative to the repo root, "src/" stripped).
+//   trace-span-in-parallel-for
+//                         No TRACE_SPAN inside a ParallelFor body: a span
+//                         per iteration floods the per-thread ring buffers;
+//                         put one span around the dispatch instead.
+//
+// Suppressions:
+//   // rf-lint-allow(rule[,rule...])        this line or the next line
+//   // rf-lint-allow-file(rule[,rule...])   the whole file
+// Each suppression should carry a short justification in the same comment.
+//
+// Self-test fixtures declare exact expectations with
+//   // rf-lint-selftest-expect(rule=N)
+// and `rf_lint --selftest <dir>` fails unless every rule's violation count
+// matches and every rule fired at least once somewhere in the fixture.
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Violation {
+  std::string file;  // path as reported (relative to the scan root)
+  int line = 0;      // 1-based
+  std::string rule;
+  std::string message;
+};
+
+struct SourceFile {
+  fs::path path;
+  std::string rel;                 // path relative to the scan root
+  std::vector<std::string> raw;    // original lines
+  std::vector<std::string> code;   // comments and literal contents blanked
+  std::vector<bool> has_comment;   // line carries (part of) a comment
+};
+
+bool HasSuffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+bool IsHeader(const std::string& rel) {
+  return HasSuffix(rel, ".h") || HasSuffix(rel, ".hpp");
+}
+
+// Blanks comments and the contents of string/char literals so the rule
+// regexes only ever see code. Keeps line lengths identical to the raw text
+// (every blanked character becomes a space) so column arithmetic holds.
+void StripCommentsAndLiterals(SourceFile* file) {
+  enum class State { kCode, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  file->code.reserve(file->raw.size());
+  file->has_comment.assign(file->raw.size(), false);
+  for (size_t li = 0; li < file->raw.size(); ++li) {
+    const std::string& in = file->raw[li];
+    std::string out(in.size(), ' ');
+    for (size_t i = 0; i < in.size(); ++i) {
+      const char c = in[i];
+      const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+      switch (state) {
+        case State::kCode:
+          if (c == '/' && next == '/') {
+            file->has_comment[li] = true;
+            i = in.size();  // rest of line is comment
+          } else if (c == '/' && next == '*') {
+            file->has_comment[li] = true;
+            state = State::kBlockComment;
+            ++i;
+          } else if (c == '"') {
+            out[i] = '"';
+            state = State::kString;
+          } else if (c == '\'') {
+            out[i] = '\'';
+            state = State::kChar;
+          } else {
+            out[i] = c;
+          }
+          break;
+        case State::kBlockComment:
+          file->has_comment[li] = true;
+          if (c == '*' && next == '/') {
+            state = State::kCode;
+            ++i;
+          }
+          break;
+        case State::kString:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '"') {
+            out[i] = '"';
+            state = State::kCode;
+          }
+          break;
+        case State::kChar:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '\'') {
+            out[i] = '\'';
+            state = State::kCode;
+          }
+          break;
+      }
+    }
+    // Literals do not span lines in this codebase; recover rather than
+    // cascade if one appears to (e.g. a stray quote in a macro).
+    if (state == State::kString || state == State::kChar) state = State::kCode;
+    file->code.push_back(std::move(out));
+  }
+}
+
+// Parses "rule[,rule...]" lists out of rf-lint-allow(...) style markers.
+std::set<std::string> ParseRuleList(const std::string& text, size_t open) {
+  std::set<std::string> rules;
+  const size_t close = text.find(')', open);
+  if (close == std::string::npos) return rules;
+  std::string inner = text.substr(open + 1, close - open - 1);
+  std::stringstream ss(inner);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    item.erase(std::remove_if(item.begin(), item.end(), ::isspace),
+               item.end());
+    if (!item.empty()) rules.insert(item);
+  }
+  return rules;
+}
+
+class Linter {
+ public:
+  void AddFile(const fs::path& path, const std::string& rel) {
+    SourceFile file;
+    file.path = path;
+    file.rel = rel;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      file.raw.push_back(line);
+    }
+    StripCommentsAndLiterals(&file);
+    files_.push_back(std::move(file));
+  }
+
+  void Run() {
+    CollectStatusFunctions();
+    for (const SourceFile& f : files_) {
+      LintNodiscardDeclarations(f);
+      LintDiscardedStatus(f);
+      LintAtomicOrderComments(f);
+      LintBannedConstructs(f);
+      LintIncludeGuard(f);
+      LintTraceSpanInParallelFor(f);
+    }
+  }
+
+  const std::vector<Violation>& violations() const { return violations_; }
+
+  // Exact per-rule expectations declared in fixture files via
+  // rf-lint-selftest-expect(rule=N).
+  std::map<std::string, int> Expectations() const {
+    std::map<std::string, int> expect;
+    const std::regex re(R"(rf-lint-selftest-expect\(([a-z-]+)=(\d+)\))");
+    for (const SourceFile& f : files_) {
+      for (const std::string& line : f.raw) {
+        auto begin = std::sregex_iterator(line.begin(), line.end(), re);
+        for (auto it = begin; it != std::sregex_iterator(); ++it) {
+          expect[(*it)[1].str()] += std::stoi((*it)[2].str());
+        }
+      }
+    }
+    return expect;
+  }
+
+  static const std::vector<std::string>& AllRules() {
+    static const std::vector<std::string> kRules = {
+        "nodiscard-status",    "discarded-status",
+        "atomic-order-comment", "naked-new",
+        "naked-malloc",        "std-rand",
+        "volatile-qualifier",  "include-guard",
+        "trace-span-in-parallel-for"};
+    return kRules;
+  }
+
+ private:
+  bool Suppressed(const SourceFile& f, size_t line_index,
+                  const std::string& rule) const {
+    const auto check = [&](const std::string& text) {
+      size_t pos = 0;
+      while ((pos = text.find("rf-lint-allow", pos)) != std::string::npos) {
+        size_t open = pos + std::strlen("rf-lint-allow");
+        bool file_scope = false;
+        if (text.compare(open, 5, "-file") == 0) {
+          open += 5;
+          file_scope = true;
+        }
+        if (open < text.size() && text[open] == '(') {
+          const std::set<std::string> rules = ParseRuleList(text, open);
+          if (rules.count(rule) != 0) return file_scope ? 2 : 1;
+        }
+        pos = open;
+      }
+      return 0;
+    };
+    // File-scope suppression anywhere in the file.
+    for (const std::string& line : f.raw) {
+      if (check(line) == 2) return true;
+    }
+    if (check(f.raw[line_index]) == 1) return true;
+    if (line_index > 0 && check(f.raw[line_index - 1]) == 1) return true;
+    return false;
+  }
+
+  void Report(const SourceFile& f, size_t line_index, const std::string& rule,
+              std::string message) {
+    if (Suppressed(f, line_index, rule)) return;
+    violations_.push_back(
+        {f.rel, static_cast<int>(line_index) + 1, rule, std::move(message)});
+  }
+
+  // Pass 1: every function name declared (anywhere) with a Status or
+  // Result<...> return type. Used by the discarded-status rule.
+  void CollectStatusFunctions() {
+    static const std::regex re(
+        R"(\b(Status|Result\s*<[^;{}=]*>)\s+([A-Za-z_]\w*)\s*\()");
+    for (const SourceFile& f : files_) {
+      for (const std::string& line : f.code) {
+        auto begin = std::sregex_iterator(line.begin(), line.end(), re);
+        for (auto it = begin; it != std::sregex_iterator(); ++it) {
+          status_functions_.insert((*it)[2].str());
+        }
+      }
+    }
+  }
+
+  void LintNodiscardDeclarations(const SourceFile& f) {
+    if (!IsHeader(f.rel)) return;
+    static const std::regex re(
+        R"(\b(Status|Result\s*<[^;{}=]*>)\s+([A-Za-z_]\w*)\s*\()");
+    for (size_t i = 0; i < f.code.size(); ++i) {
+      std::smatch m;
+      const std::string& line = f.code[i];
+      if (!std::regex_search(line, m, re)) continue;
+      // [[nodiscard]] must appear before the return type, on this line or
+      // (for declarations that wrap) the previous one.
+      const std::string before = line.substr(0, m.position(0));
+      const bool annotated =
+          before.find("[[nodiscard]]") != std::string::npos ||
+          (i > 0 && f.code[i - 1].find("[[nodiscard]]") != std::string::npos);
+      if (!annotated) {
+        Report(f, i, "nodiscard-status",
+               "declaration of '" + m[2].str() +
+                   "' returns " + m[1].str() +
+                   " but is not [[nodiscard]]; a dropped error must not "
+                   "compile warning-clean");
+      }
+    }
+  }
+
+  // A statement that is nothing but a call to a Status/Result-returning
+  // function discards the error. Heuristic: the call chain starts the line,
+  // and the first non-space character after its matching ')' is ';'.
+  void LintDiscardedStatus(const SourceFile& f) {
+    static const std::regex re(
+        R"(^\s*((?:[A-Za-z_]\w*(?:::|\.|->))*)([A-Za-z_]\w*)\s*\()");
+    for (size_t i = 0; i < f.code.size(); ++i) {
+      std::smatch m;
+      const std::string& line = f.code[i];
+      if (!std::regex_search(line, m, re)) continue;
+      const std::string name = m[2].str();
+      if (status_functions_.count(name) == 0) continue;
+      // Find the matching close paren, possibly lines below.
+      size_t li = i;
+      size_t ci = static_cast<size_t>(m.position(0)) + m.length(0) - 1;
+      int depth = 0;
+      bool matched = false;
+      char after = '\0';
+      while (li < f.code.size() && !matched) {
+        const std::string& l = f.code[li];
+        for (; ci < l.size(); ++ci) {
+          if (l[ci] == '(') ++depth;
+          if (l[ci] == ')') {
+            --depth;
+            if (depth == 0) {
+              // First non-space char after the close paren.
+              size_t lj = li, cj = ci + 1;
+              while (lj < f.code.size()) {
+                const std::string& l2 = f.code[lj];
+                while (cj < l2.size() && std::isspace(
+                           static_cast<unsigned char>(l2[cj]))) {
+                  ++cj;
+                }
+                if (cj < l2.size()) {
+                  after = l2[cj];
+                  break;
+                }
+                ++lj;
+                cj = 0;
+              }
+              matched = true;
+              break;
+            }
+          }
+        }
+        if (!matched) {
+          ++li;
+          ci = 0;
+        }
+      }
+      if (matched && after == ';') {
+        Report(f, i, "discarded-status",
+               "return value of '" + name +
+                   "' (Status/Result) is discarded; assign it, wrap it in "
+                   "RF_RETURN_NOT_OK/WarnIfError, or test .ok()");
+      }
+    }
+  }
+
+  void LintAtomicOrderComments(const SourceFile& f) {
+    static const std::regex re(
+        R"(\bmemory_order_(relaxed|acquire|release|acq_rel|consume)\b)");
+    for (size_t i = 0; i < f.code.size(); ++i) {
+      if (!std::regex_search(f.code[i], re)) continue;
+      bool commented = false;
+      const size_t lo = i >= 3 ? i - 3 : 0;
+      for (size_t j = lo; j <= i && !commented; ++j) {
+        commented = f.has_comment[j];
+      }
+      if (!commented) {
+        Report(f, i, "atomic-order-comment",
+               "weakened std::memory_order without an adjacent "
+               "justification comment (same line or the three lines above)");
+      }
+    }
+  }
+
+  void LintBannedConstructs(const SourceFile& f) {
+    static const std::regex new_re(R"(\bnew\b)");
+    static const std::regex leaked_singleton_re(
+        R"(\bstatic\b[^;]*=\s*new\b)");
+    static const std::regex malloc_re(
+        R"(\b(malloc|calloc|realloc|free)\s*\()");
+    static const std::regex rand_re(R"(\b(std::rand|rand|srand)\s*\()");
+    for (size_t i = 0; i < f.code.size(); ++i) {
+      const std::string& line = f.code[i];
+      if (std::regex_search(line, new_re) &&
+          !std::regex_search(line, leaked_singleton_re)) {
+        Report(f, i, "naked-new",
+               "naked 'new'; use std::make_unique/make_shared or a "
+               "container (static leaked singletons are exempt)");
+      }
+      std::smatch m;
+      if (std::regex_search(line, m, malloc_re)) {
+        // Skip member/namespace-qualified lookalikes (x.free(), arena_free().
+        const auto pos = static_cast<size_t>(m.position(1));
+        const char prev = pos > 0 ? line[pos - 1] : '\0';
+        if (prev != '.' && prev != '>' && prev != '_' && prev != ':' &&
+            !std::isalnum(static_cast<unsigned char>(prev))) {
+          Report(f, i, "naked-malloc",
+                 "'" + m[1].str() +
+                     "' bypasses the tensor arena and RAII ownership");
+        }
+      }
+      if (std::regex_search(line, m, rand_re)) {
+        const auto pos = static_cast<size_t>(m.position(1));
+        const char prev = pos > 0 ? line[pos - 1] : '\0';
+        if (prev != '.' && prev != '>' && prev != '_' &&
+            !std::isalnum(static_cast<unsigned char>(prev))) {
+          Report(f, i, "std-rand",
+                 "'" + m[1].str() +
+                     "' breaks reproducibility; draw from common/rng.h");
+        }
+      }
+      if (std::regex_search(line, std::regex(R"(\bvolatile\b)"))) {
+        Report(f, i, "volatile-qualifier",
+               "'volatile' is not a threading primitive; use std::atomic "
+               "with a documented memory order");
+      }
+    }
+  }
+
+  void LintIncludeGuard(const SourceFile& f) {
+    if (!IsHeader(f.rel)) return;
+    // Expected macro: RESUFORMER_<PATH>_<FILE>_H_ with the leading "src/"
+    // stripped; every non-alphanumeric path character becomes '_'.
+    std::string rel = f.rel;
+    if (rel.rfind("src/", 0) == 0) rel = rel.substr(4);
+    std::string expected = "RESUFORMER_";
+    for (char c : rel) {
+      expected += std::isalnum(static_cast<unsigned char>(c))
+                      ? static_cast<char>(
+                            std::toupper(static_cast<unsigned char>(c)))
+                      : '_';
+    }
+    expected += "_";
+    std::string ifndef_macro, define_macro;
+    size_t ifndef_line = 0;
+    for (size_t i = 0; i < f.code.size(); ++i) {
+      std::smatch m;
+      const std::string& line = f.code[i];
+      if (ifndef_macro.empty() &&
+          std::regex_search(line, m, std::regex(R"(^\s*#ifndef\s+(\w+))"))) {
+        ifndef_macro = m[1].str();
+        ifndef_line = i;
+      } else if (!ifndef_macro.empty() &&
+                 std::regex_search(line, m,
+                                   std::regex(R"(^\s*#define\s+(\w+))"))) {
+        define_macro = m[1].str();
+        break;
+      }
+    }
+    if (ifndef_macro.empty() || define_macro.empty()) {
+      Report(f, 0, "include-guard",
+             "missing include guard; expected #ifndef " + expected);
+      return;
+    }
+    if (ifndef_macro != expected || define_macro != expected) {
+      Report(f, ifndef_line, "include-guard",
+             "include guard '" + ifndef_macro + "' should be '" + expected +
+                 "' (RESUFORMER_ + path relative to the repo root, src/ "
+                 "stripped)");
+    }
+  }
+
+  // TRACE_SPAN inside the argument list of a ParallelFor call (i.e. inside
+  // the dispatched lambda) records one span per chunk per dispatch and
+  // floods the per-thread rings; trace the dispatch, not the body.
+  void LintTraceSpanInParallelFor(const SourceFile& f) {
+    for (size_t i = 0; i < f.code.size(); ++i) {
+      size_t col = f.code[i].find("ParallelFor");
+      while (col != std::string::npos) {
+        size_t li = i;
+        size_t ci = col + std::strlen("ParallelFor");
+        // Next non-space char must open the call's argument list.
+        while (li < f.code.size()) {
+          const std::string& l = f.code[li];
+          while (ci < l.size() &&
+                 std::isspace(static_cast<unsigned char>(l[ci]))) {
+            ++ci;
+          }
+          if (ci < l.size()) break;
+          ++li;
+          ci = 0;
+        }
+        if (li < f.code.size() && f.code[li][ci] == '(') {
+          int depth = 0;
+          bool done = false;
+          for (size_t lj = li; lj < f.code.size() && !done; ++lj) {
+            const std::string& l = f.code[lj];
+            for (size_t cj = (lj == li ? ci : 0); cj < l.size(); ++cj) {
+              if (l[cj] == '(') ++depth;
+              if (l[cj] == ')' && --depth == 0) {
+                done = true;
+                break;
+              }
+              if (depth > 0 && l.compare(cj, 10, "TRACE_SPAN") == 0) {
+                Report(f, lj, "trace-span-in-parallel-for",
+                       "TRACE_SPAN inside a ParallelFor body records a span "
+                       "per chunk per dispatch and floods the per-thread "
+                       "ring buffers; trace around the dispatch instead");
+              }
+            }
+          }
+        }
+        col = f.code[i].find("ParallelFor", col + 1);
+      }
+    }
+  }
+
+  std::vector<SourceFile> files_;
+  std::set<std::string> status_functions_;
+  std::vector<Violation> violations_;
+};
+
+void WalkDirectory(const fs::path& root, const fs::path& dir,
+                   Linter* linter) {
+  if (!fs::exists(dir)) return;
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (entry.is_regular_file() && IsSourceFile(entry.path())) {
+      paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const fs::path& p : paths) {
+    linter->AddFile(p, fs::relative(p, root).generic_string());
+  }
+}
+
+int Usage() {
+  std::cerr
+      << "usage: rf_lint <repo_root> [subdir...]   lint the project tree\n"
+      << "       rf_lint --selftest <fixture_dir>  verify seeded violations\n"
+      << "default subdirs: src tests bench examples\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return Usage();
+
+  const bool selftest = args[0] == "--selftest";
+  if (selftest) {
+    args.erase(args.begin());
+    if (args.size() != 1) return Usage();
+  }
+  const fs::path root = args[0];
+  if (!fs::exists(root)) {
+    std::cerr << "rf_lint: no such directory: " << root << "\n";
+    return 2;
+  }
+
+  Linter linter;
+  if (selftest) {
+    WalkDirectory(root, root, &linter);
+  } else {
+    std::vector<std::string> subdirs(args.begin() + 1, args.end());
+    if (subdirs.empty()) subdirs = {"src", "tests", "bench", "examples"};
+    for (const std::string& sub : subdirs) {
+      WalkDirectory(root, root / sub, &linter);
+    }
+  }
+  linter.Run();
+
+  if (selftest) {
+    // Every rule must fire with exactly the count the fixture declares.
+    const std::map<std::string, int> expected = linter.Expectations();
+    std::map<std::string, int> actual;
+    for (const Violation& v : linter.violations()) ++actual[v.rule];
+    bool ok = true;
+    for (const std::string& rule : Linter::AllRules()) {
+      const int want = expected.count(rule) ? expected.at(rule) : 0;
+      const int got = actual.count(rule) ? actual.at(rule) : 0;
+      if (want == 0) {
+        std::cerr << "selftest: fixture declares no expectation for rule '"
+                  << rule << "' — every rule needs a seeded violation\n";
+        ok = false;
+      } else if (want != got) {
+        std::cerr << "selftest: rule '" << rule << "' expected " << want
+                  << " violation(s), detected " << got << "\n";
+        ok = false;
+      }
+    }
+    if (!ok) {
+      for (const Violation& v : linter.violations()) {
+        std::cerr << "  detected: " << v.file << ":" << v.line << ": ["
+                  << v.rule << "]\n";
+      }
+      return 1;
+    }
+    std::cout << "rf_lint selftest: all " << Linter::AllRules().size()
+              << " rules detected with expected counts\n";
+    return 0;
+  }
+
+  for (const Violation& v : linter.violations()) {
+    std::cerr << v.file << ":" << v.line << ": [" << v.rule << "] "
+              << v.message << "\n";
+  }
+  if (!linter.violations().empty()) {
+    std::cerr << linter.violations().size()
+              << " violation(s). Suppress a deliberate exception with "
+                 "// rf-lint-allow(rule) and a justification.\n";
+    return 1;
+  }
+  std::cout << "rf_lint: clean\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over the project
+# sources using a compile_commands.json produced by CMake.
+#
+#   tools/run_clang_tidy.sh [build_dir] [-- extra clang-tidy args]
+#
+# Exits 0 with a notice when clang-tidy is not installed, so wrapper
+# scripts (scripts/check.sh) can invoke it unconditionally: the tidy pass
+# is advisory on machines without the toolchain, mandatory on CI images
+# that carry it.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+shift || true
+if [[ "${1:-}" == "--" ]]; then shift; fi
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy: clang-tidy not installed; skipping (install LLVM" \
+       "clang-tools to enable this pass)"
+  exit 0
+fi
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "run_clang_tidy: generating compile_commands.json in ${build_dir}"
+  cmake -B "${build_dir}" -S "${repo_root}" \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+# Project sources only — gtest/benchmark headers are not ours to lint.
+mapfile -t sources < <(cd "${repo_root}" &&
+    find src tests bench examples tools -name '*.cc' ! -path 'tools/lint_fixture/*' | sort)
+
+echo "run_clang_tidy: ${#sources[@]} files, config $(clang-tidy --version | head -1)"
+status=0
+for f in "${sources[@]}"; do
+  clang-tidy -p "${build_dir}" --quiet "$@" "${repo_root}/${f}" || status=1
+done
+exit "${status}"

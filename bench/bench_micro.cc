@@ -19,6 +19,7 @@
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "core/block_classifier.h"
+#include "core/inference_plan.h"
 #include "crf/linear_crf.h"
 #include "doc/sentence_assembler.h"
 #include "pipeline/pipeline.h"
@@ -341,6 +342,106 @@ void BM_ParseThroughput(benchmark::State& state) {
   ThreadPool::Global().SetNumThreads(1);
 }
 BENCHMARK(BM_ParseThroughput)->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+// --- static inference plan: trace-once replay vs the dynamic op graph ---
+
+// Table-scale emissions (the Env config): the plan's win is largest here,
+// where per-op dispatch (node construction, shape inference, arena
+// round-trips) dominates the small kernels.
+void BM_EmissionsDynamic(benchmark::State& state) {
+  Env& env = GetEnv();
+  ThreadPool::Global().SetNumThreads(1);
+  NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.classifier->Emissions(env.encoded, nullptr));
+  }
+}
+BENCHMARK(BM_EmissionsDynamic)->Unit(benchmark::kMicrosecond);
+
+void BM_EmissionsPlanReplay(benchmark::State& state) {
+  Env& env = GetEnv();
+  ThreadPool::Global().SetNumThreads(1);
+  core::InferencePlanner planner(env.classifier.get());
+  std::vector<float> emissions;
+  if (!planner.EmissionsViaPlan(env.encoded, &emissions)) {
+    state.SkipWithError("plan build failed");
+    return;
+  }
+  for (auto _ : state) {
+    planner.EmissionsViaPlan(env.encoded, &emissions);
+    benchmark::DoNotOptimize(emissions.data());
+  }
+}
+BENCHMARK(BM_EmissionsPlanReplay)->Unit(benchmark::kMicrosecond);
+
+// Paper-dimension document stage: 350 sentence positions through the
+// document Transformer at D=768/H=12 (Section V scale; ffn and the BiLSTM
+// width are kept moderate so an iteration stays affordable). Sentences are
+// short so the run is dominated by the statically-planned document stage.
+struct PlanPaperEnv {
+  PlanPaperEnv() {
+    Env& env = GetEnv();
+    cfg = env.model_cfg;
+    cfg.hidden = kPaperD;
+    cfg.num_heads = kPaperH;
+    cfg.ffn = 1024;
+    cfg.sentence_layers = 1;
+    cfg.document_layers = 1;
+    cfg.max_sentences = kPaperT;
+    cfg.max_tokens_per_sentence = 4;
+    cfg.lstm_hidden = 64;
+    Rng rng(41);
+    classifier = std::make_unique<core::BlockClassifier>(cfg, &rng);
+    classifier->SetTraining(false);
+    const core::EncodedDocument base =
+        core::EncodeForModel(env.corpus.test[0].document, *env.tokenizer, cfg);
+    encoded.sentences.reserve(kPaperT);
+    for (int i = 0; i < kPaperT; ++i) {
+      encoded.sentences.push_back(
+          base.sentences[i % base.sentences.size()]);
+    }
+  }
+  core::ResuFormerConfig cfg;
+  std::unique_ptr<core::BlockClassifier> classifier;
+  core::EncodedDocument encoded;
+};
+
+PlanPaperEnv& GetPlanPaperEnv() {
+  static PlanPaperEnv* env = new PlanPaperEnv();
+  return *env;
+}
+
+void BM_EmissionsDynamicPaperDims(benchmark::State& state) {
+  PlanPaperEnv& env = GetPlanPaperEnv();
+  ThreadPool::Global().SetNumThreads(static_cast<int>(state.range(0)));
+  NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.classifier->Emissions(env.encoded, nullptr));
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  ThreadPool::Global().SetNumThreads(1);
+}
+BENCHMARK(BM_EmissionsDynamicPaperDims)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EmissionsPlanReplayPaperDims(benchmark::State& state) {
+  PlanPaperEnv& env = GetPlanPaperEnv();
+  ThreadPool::Global().SetNumThreads(static_cast<int>(state.range(0)));
+  core::InferencePlanner planner(env.classifier.get());
+  std::vector<float> emissions;
+  if (!planner.EmissionsViaPlan(env.encoded, &emissions)) {
+    state.SkipWithError("plan build failed");
+    return;
+  }
+  for (auto _ : state) {
+    planner.EmissionsViaPlan(env.encoded, &emissions);
+    benchmark::DoNotOptimize(emissions.data());
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  ThreadPool::Global().SetNumThreads(1);
+}
+BENCHMARK(BM_EmissionsPlanReplayPaperDims)->Arg(1)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
 // --- observability overhead: the costs the instrumentation layer claims ---

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 
 namespace resuformer {
 namespace metrics {
@@ -22,14 +23,8 @@ int BucketIndex(int64_t v) {
 }
 
 void AppendJsonKey(std::string* out, const std::string& name) {
-  out->push_back('"');
-  // Instrument names are dotted identifiers; escape the two characters that
-  // could break the JSON framing anyway.
-  for (char c : name) {
-    if (c == '"' || c == '\\') out->push_back('\\');
-    out->push_back(c);
-  }
-  out->append("\": ");
+  AppendJsonQuoted(out, name);
+  out->append(": ");
 }
 
 }  // namespace

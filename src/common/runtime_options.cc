@@ -50,6 +50,8 @@ RuntimeOptions RuntimeOptions::FromEnv() {
       ParseBoolEnv("RESUFORMER_FUSED_ATTENTION", opts.use_fused_attention);
   opts.use_tensor_arena =
       ParseBoolEnv("RESUFORMER_TENSOR_ARENA", opts.use_tensor_arena);
+  opts.use_inference_plan =
+      ParseBoolEnv("RESUFORMER_USE_PLAN", opts.use_inference_plan);
   opts.enable_metrics =
       ParseBoolEnv("RESUFORMER_METRICS", opts.enable_metrics);
   opts.enable_tracing = ParseBoolEnv("RESUFORMER_TRACE", opts.enable_tracing);

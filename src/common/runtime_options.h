@@ -19,6 +19,7 @@ namespace resuformer {
 ///   RESUFORMER_THREADS          int    worker threads (>=1; 0 = auto)
 ///   RESUFORMER_FUSED_ATTENTION  0/1    fused vs composed attention path
 ///   RESUFORMER_TENSOR_ARENA     0/1    tensor-storage recycling
+///   RESUFORMER_USE_PLAN         0/1    static inference-plan replay
 ///   RESUFORMER_METRICS          0/1    timed metrics (histograms/timers)
 ///   RESUFORMER_TRACE            0/1    scoped-span tracing
 ///   RESUFORMER_TRACE_CAPACITY   int    per-thread span ring capacity
@@ -38,6 +39,12 @@ struct RuntimeOptions {
   // Recycle tensor storage through the global TensorArena free-list instead
   // of hitting the allocator on every op.
   bool use_tensor_arena = true;
+
+  // Route ResuFormerPipeline parses through the static inference-plan cache
+  // (trace once per sequence-length bucket, replay per document; see
+  // core/inference_plan.h). Output is identical to the dynamic path — any
+  // unplannable document falls back automatically. Default off.
+  bool use_inference_plan = false;
 
   // Enables the *timed* metrics (latency histograms, thread-pool queue-wait
   // sampling). Structural counters (arena hits, documents parsed, GEMM

@@ -32,6 +32,17 @@ std::string StringPrintf(const char* format, ...)
 /// True when every character is an ASCII digit (and text is non-empty).
 bool IsAsciiDigits(std::string_view text);
 
+/// JSON string-body escaping per RFC 8259: `"` and `\` get a backslash,
+/// control characters (U+0000..U+001F) become the short escapes
+/// (\n, \t, \r, \b, \f) or \u00XX. Returns the escaped body *without*
+/// surrounding quotes. Every producer of JSON output must route strings
+/// through this (or AppendJsonQuoted) — rf_lint's json-string-concat rule
+/// flags raw concatenation of quote literals elsewhere.
+std::string JsonEscape(std::string_view text);
+
+/// Appends `text` to *out as a double-quoted, escaped JSON string.
+void AppendJsonQuoted(std::string* out, std::string_view text);
+
 }  // namespace resuformer
 
 #endif  // RESUFORMER_COMMON_STRING_UTIL_H_

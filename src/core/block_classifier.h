@@ -45,6 +45,14 @@ class BlockClassifier : public nn::Module {
   HierarchicalEncoder* encoder() { return encoder_.get(); }
   const HierarchicalEncoder* encoder() const { return encoder_.get(); }
 
+  // Task-head access for the inference planner, which traces the
+  // encoder -> BiLSTM -> projection chain and Viterbi-decodes the replayed
+  // emissions through the same CRF.
+  const nn::BiLstm* bilstm() const { return bilstm_.get(); }
+  const nn::Mlp* projection() const { return projection_.get(); }
+  const crf::LinearCrf* crf() const { return crf_.get(); }
+  const ResuFormerConfig& config() const { return config_; }
+
   /// Parameters of the task head only (BiLSTM + MLP + CRF), which fine-tune
   /// at a higher learning rate than the encoder.
   std::vector<Tensor> HeadParameters() const;

@@ -6,17 +6,17 @@
 #include "common/trace.h"
 #include "doc/geometry.h"
 #include "tensor/ops.h"
+#include "tensor/plan.h"
 
 namespace resuformer {
 namespace core {
 
-namespace {
-
-/// Bucketizes a [0, 1000] coordinate into [0, buckets).
-int Bucket(int coord, int buckets) {
+int LayoutBucketIndex(int coord, int buckets) {
   const int b = coord * buckets / 1001;
   return std::clamp(b, 0, buckets - 1);
 }
+
+namespace {
 
 LayoutTuple MakeLayoutTuple(const doc::BBox& box, float page_width,
                             float page_height, int page, int num_pages) {
@@ -122,8 +122,11 @@ Tensor HierarchicalEncoder::LayoutEmbedding(
   Tensor total;
   for (int f = 0; f < 7; ++f) {
     for (size_t i = 0; i < tuples.size(); ++i) {
-      ids[i] = Bucket(tuples[i][f], config_.layout_buckets);
+      ids[i] = LayoutBucketIndex(tuples[i][f], config_.layout_buckets);
     }
+    // Capture point: layout bucket ids vary per document, so a plan trace
+    // rebinds this gather under the per-feature role.
+    plan::AnnotateNextGather(plan::kRoleLayout0 + f);
     Tensor emb = layout_embeddings_[f]->Forward(ids);
     total = total.defined() ? ops::Add(total, emb) : emb;
   }
@@ -139,11 +142,42 @@ Tensor HierarchicalEncoder::SentenceTokenStates(
   for (int i = 0; i < t_len; ++i) positions[i] = i;
   std::vector<int> segments(t_len, 0);  // single-segment sentences: [A]
 
+  // Capture point: token ids are the replay-variable input of a sentence
+  // plan. Positions and segments are T-determined, so their gathers stay
+  // literal in the trace.
+  plan::AnnotateNextGather(plan::kRoleTokenIds);
   Tensor x = token_embedding_->Forward(ids);                    // Eq. 1
   x = ops::Add(x, token_position_embedding_->Forward(positions));
   x = ops::Add(x, segment_embedding_->Forward(segments));
   x = ops::Add(x, LayoutEmbedding(sentence.token_layout));      // Eq. 2
   return sentence_encoder_->Forward(x, Tensor(), dropout_rng);
+}
+
+Tensor HierarchicalEncoder::SentenceRepresentation(
+    const EncodedSentence& sentence, const std::vector<int>& ids,
+    Rng* dropout_rng) const {
+  Tensor states = SentenceTokenStates(sentence, ids, dropout_rng);
+  // [CLS] state -> dense -> L2 normalize (Figure 2).
+  Tensor cls = ops::SliceRows(states, 0, 1);
+  return ops::L2NormalizeRows(sentence_dense_->Forward(cls));
+}
+
+Tensor HierarchicalEncoder::FuseVisual(const Tensor& h,
+                                       const Tensor& visual) const {
+  return fusion_->Forward(ops::ConcatCols({h, visual}));
+}
+
+Tensor HierarchicalEncoder::BuildVisualTensor(
+    const EncodedDocument& document) const {
+  const int m = static_cast<int>(document.sentences.size());
+  Tensor visual = Tensor::Zeros({m, doc::kVisualFeatureDim});
+  for (int i = 0; i < m; ++i) {
+    const auto& v = document.sentences[i].visual;
+    for (int j = 0; j < doc::kVisualFeatureDim; ++j) {
+      visual.at(i, j) = v[j];
+    }
+  }
+  return visual;
 }
 
 Tensor HierarchicalEncoder::EncodeSentences(const EncodedDocument& document,
@@ -153,24 +187,12 @@ Tensor HierarchicalEncoder::EncodeSentences(const EncodedDocument& document,
   std::vector<Tensor> reps;
   reps.reserve(document.sentences.size());
   for (const EncodedSentence& sentence : document.sentences) {
-    Tensor states =
-        SentenceTokenStates(sentence, sentence.token_ids, dropout_rng);
-    // [CLS] state -> dense -> L2 normalize (Figure 2).
-    Tensor cls = ops::SliceRows(states, 0, 1);
-    reps.push_back(ops::L2NormalizeRows(sentence_dense_->Forward(cls)));
+    reps.push_back(
+        SentenceRepresentation(sentence, sentence.token_ids, dropout_rng));
   }
   Tensor h = ops::ConcatRows(reps);  // [m, hidden]
-
   // Two-modal fusion h* = proj([h; v]).
-  const int m = h.rows();
-  Tensor visual = Tensor::Zeros({m, doc::kVisualFeatureDim});
-  for (int i = 0; i < m; ++i) {
-    const auto& v = document.sentences[i].visual;
-    for (int j = 0; j < doc::kVisualFeatureDim; ++j) {
-      visual.at(i, j) = v[j];
-    }
-  }
-  return fusion_->Forward(ops::ConcatCols({h, visual}));
+  return FuseVisual(h, BuildVisualTensor(document));
 }
 
 Tensor HierarchicalEncoder::EncodeDocument(const Tensor& h_star,

@@ -44,6 +44,11 @@ EncodedDocument EncodeForModel(const doc::Document& document,
                                const text::WordPieceTokenizer& tokenizer,
                                const ResuFormerConfig& config);
 
+/// Bucketizes a [0, 1000] layout coordinate into [0, buckets). Exposed so
+/// the inference planner computes the exact ids the encoder's layout
+/// embedding gathers would (core/inference_plan.cc binds them per replay).
+int LayoutBucketIndex(int coord, int buckets);
+
 /// \brief The hierarchical multi-modal Transformer encoder (Figure 2).
 ///
 /// Sentence level: token embedding + 1-D position + segment + 2-D layout
@@ -75,6 +80,21 @@ class HierarchicalEncoder : public nn::Module {
   Tensor SentenceTokenStates(const EncodedSentence& sentence,
                              const std::vector<int>& ids,
                              Rng* dropout_rng) const;
+
+  /// The full sentence-level tower for one sentence: token states -> [CLS]
+  /// state -> dense -> L2 norm, shaped [1, hidden]. This is the unit the
+  /// inference planner traces once per token-count bucket.
+  Tensor SentenceRepresentation(const EncodedSentence& sentence,
+                                const std::vector<int>& ids,
+                                Rng* dropout_rng) const;
+
+  /// Two-modal fusion h* = proj([h; v]) for h [m, hidden] and visual
+  /// features v [m, doc::kVisualFeatureDim].
+  Tensor FuseVisual(const Tensor& h, const Tensor& visual) const;
+
+  /// Stacks the per-sentence engineered visual features into a tensor
+  /// [m, doc::kVisualFeatureDim].
+  Tensor BuildVisualTensor(const EncodedDocument& document) const;
 
   /// Vocabulary logits for token states (weight-tied with the input
   /// embedding plus a learned bias).

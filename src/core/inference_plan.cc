@@ -1,0 +1,189 @@
+#include "core/inference_plan.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "doc/block_tags.h"
+#include "doc/visual_features.h"
+#include "tensor/tensor.h"
+
+namespace resuformer {
+namespace core {
+
+namespace {
+
+struct PlanMetrics {
+  metrics::Counter* cache_hits;
+  metrics::Counter* cache_misses;
+  metrics::Counter* builds;
+  metrics::Counter* fallbacks;
+  metrics::Histogram* replay_us;
+};
+
+PlanMetrics& Metrics() {
+  static PlanMetrics m = [] {
+    auto& reg = metrics::MetricsRegistry::Global();
+    return PlanMetrics{reg.GetCounter("plan.cache_hits"),
+                       reg.GetCounter("plan.cache_misses"),
+                       reg.GetCounter("plan.builds"),
+                       reg.GetCounter("plan.fallbacks"),
+                       reg.GetHistogram("plan.replay_us")};
+  }();
+  return m;
+}
+
+/// Bucket ids for one layout feature across `tuples` — the exact ids the
+/// encoder's LayoutEmbedding computes (shared LayoutBucketIndex).
+void FillLayoutIds(const std::vector<LayoutTuple>& tuples, int feature,
+                   int buckets, std::vector<int>* out) {
+  out->resize(tuples.size());
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    (*out)[i] = LayoutBucketIndex(tuples[i][feature], buckets);
+  }
+}
+
+}  // namespace
+
+InferencePlanner::InferencePlanner(const BlockClassifier* classifier)
+    : classifier_(classifier) {}
+
+std::shared_ptr<const plan::Plan> InferencePlanner::SentencePlanFor(
+    const EncodedSentence& representative) {
+  const int t_len = static_cast<int>(representative.token_ids.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sentence_plans_.find(t_len);
+    if (it != sentence_plans_.end()) {
+      Metrics().cache_hits->Increment();
+      return it->second;
+    }
+  }
+  Metrics().cache_misses->Increment();
+  TRACE_SPAN("plan.build");
+  NoGradGuard guard;
+  std::shared_ptr<const plan::Plan> built;
+  {
+    plan::Recorder recorder;
+    Tensor rep = classifier_->encoder()->SentenceRepresentation(
+        representative, representative.token_ids, nullptr);
+    built = recorder.Finish(rep);
+  }
+  if (built != nullptr) Metrics().builds->Increment();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = sentence_plans_.emplace(t_len, built);
+  return inserted ? built : it->second;  // first build wins
+}
+
+std::shared_ptr<const plan::Plan> InferencePlanner::DocumentPlanFor(
+    const EncodedDocument& document, const std::vector<float>& hidden,
+    const std::vector<float>& visual) {
+  const int m = static_cast<int>(document.sentences.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = document_plans_.find(m);
+    if (it != document_plans_.end()) {
+      Metrics().cache_hits->Increment();
+      return it->second;
+    }
+  }
+  Metrics().cache_misses->Increment();
+  TRACE_SPAN("plan.build");
+  NoGradGuard guard;
+  const int d = classifier_->config().hidden;
+  std::shared_ptr<const plan::Plan> built;
+  {
+    plan::Recorder recorder;
+    Tensor h = Tensor::FromData({m, d}, hidden);
+    Tensor v = Tensor::FromData({m, doc::kVisualFeatureDim}, visual);
+    recorder.BindInputTensor(plan::kRoleHiddenInput, h);
+    recorder.BindInputTensor(plan::kRoleVisualInput, v);
+    const HierarchicalEncoder* enc = classifier_->encoder();
+    Tensor contextual =
+        enc->EncodeDocument(enc->FuseVisual(h, v), document, nullptr);
+    Tensor emissions = classifier_->projection()->Forward(
+        classifier_->bilstm()->Forward(contextual));
+    built = recorder.Finish(emissions);
+  }
+  if (built != nullptr) Metrics().builds->Increment();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = document_plans_.emplace(m, built);
+  return inserted ? built : it->second;  // first build wins
+}
+
+bool InferencePlanner::EmissionsViaPlan(const EncodedDocument& document,
+                                        std::vector<float>* emissions) {
+  const int m = static_cast<int>(document.sentences.size());
+  if (m == 0) return false;
+  const ResuFormerConfig& cfg = classifier_->config();
+  const int d = cfg.hidden;
+
+  // Stage 1: one sentence-plan replay per sentence fills the stacked
+  // representation buffer row by row.
+  std::vector<float> hidden(static_cast<int64_t>(m) * d);
+  std::vector<std::vector<int>> layout_ids(plan::kNumLayoutFeatures);
+  for (int i = 0; i < m; ++i) {
+    const EncodedSentence& sentence = document.sentences[i];
+    if (sentence.token_ids.empty()) return false;
+    std::shared_ptr<const plan::Plan> sp = SentencePlanFor(sentence);
+    if (sp == nullptr) return false;
+    plan::BindingSet bindings;
+    bindings.indices[plan::kRoleTokenIds] = &sentence.token_ids;
+    for (int f = 0; f < plan::kNumLayoutFeatures; ++f) {
+      FillLayoutIds(sentence.token_layout, f, cfg.layout_buckets,
+                    &layout_ids[f]);
+      bindings.indices[plan::kRoleLayout0 + f] = &layout_ids[f];
+    }
+    metrics::ScopedTimerUs timer(Metrics().replay_us);
+    if (!plan::PlanExecutor::Run(
+            *sp, bindings, hidden.data() + static_cast<int64_t>(i) * d)) {
+      return false;
+    }
+  }
+
+  // Stage 2: document-plan replay over the stacked representations.
+  std::vector<float> visual(static_cast<int64_t>(m) * doc::kVisualFeatureDim);
+  std::vector<LayoutTuple> sentence_tuples(m);
+  for (int i = 0; i < m; ++i) {
+    const EncodedSentence& sentence = document.sentences[i];
+    std::copy(
+        sentence.visual.begin(), sentence.visual.end(),
+        visual.begin() + static_cast<int64_t>(i) * doc::kVisualFeatureDim);
+    sentence_tuples[i] = sentence.sentence_layout;
+  }
+  std::shared_ptr<const plan::Plan> dp =
+      DocumentPlanFor(document, hidden, visual);
+  if (dp == nullptr) return false;
+  plan::BindingSet bindings;
+  bindings.tensors[plan::kRoleHiddenInput] = hidden.data();
+  bindings.tensor_sizes[plan::kRoleHiddenInput] =
+      static_cast<int64_t>(hidden.size());
+  bindings.tensors[plan::kRoleVisualInput] = visual.data();
+  bindings.tensor_sizes[plan::kRoleVisualInput] =
+      static_cast<int64_t>(visual.size());
+  for (int f = 0; f < plan::kNumLayoutFeatures; ++f) {
+    FillLayoutIds(sentence_tuples, f, cfg.layout_buckets, &layout_ids[f]);
+    bindings.indices[plan::kRoleLayout0 + f] = &layout_ids[f];
+  }
+  emissions->resize(static_cast<int64_t>(m) * doc::kNumIobLabels);
+  metrics::ScopedTimerUs timer(Metrics().replay_us);
+  return plan::PlanExecutor::Run(*dp, bindings, emissions->data());
+}
+
+std::vector<int> InferencePlanner::Predict(const EncodedDocument& document) {
+  if (document.sentences.empty()) return {};
+  TRACE_SPAN("plan.replay");
+  std::vector<float> emissions;
+  if (!EmissionsViaPlan(document, &emissions)) {
+    Metrics().fallbacks->Increment();
+    return classifier_->Predict(document);
+  }
+  const int m = static_cast<int>(document.sentences.size());
+  NoGradGuard guard;
+  Tensor em = Tensor::FromData({m, doc::kNumIobLabels}, std::move(emissions));
+  return classifier_->crf()->Decode(em);
+}
+
+}  // namespace core
+}  // namespace resuformer

@@ -1,0 +1,77 @@
+#ifndef RESUFORMER_CORE_INFERENCE_PLAN_H_
+#define RESUFORMER_CORE_INFERENCE_PLAN_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/block_classifier.h"
+#include "tensor/plan.h"
+
+namespace resuformer {
+namespace core {
+
+/// \brief Trace-once / replay-per-document inference for the block
+/// classifier (ROADMAP item 2).
+///
+/// The forward pass decomposes into two statically-shaped stages, each
+/// cached per sequence-length bucket (the same truncation caps
+/// `EncodeForModel` enforces, so buckets are exact lengths):
+///
+///  * sentence stage, keyed by token count T: token/position/segment/layout
+///    embeddings -> sentence Transformer -> [CLS] -> dense -> L2 norm,
+///    output [1, hidden]. Replay-variable inputs: token ids and the seven
+///    layout-bucket id vectors.
+///  * document stage, keyed by sentence count m: visual fusion -> document
+///    Transformer -> BiLSTM -> projection, output [m, kNumIobLabels].
+///    Replay-variable inputs: the stacked sentence representations, the
+///    visual features, and the seven sentence-layout bucket id vectors.
+///
+/// The CRF Viterbi decode stays dynamic (data-dependent control flow).
+///
+/// Fallback semantics: a failed trace (an unsupported op ran, e.g. the model
+/// was left in training mode) is cached as a null plan, a failed replay
+/// (binding mismatch, out-of-range index) aborts the document, and both
+/// route the document to `BlockClassifier::Predict` — behaviour is always
+/// identical to the dynamic path, the plan is purely a fast path. The
+/// `plan.fallbacks` counter tallies such documents.
+///
+/// Thread safety: the cache mutex covers only map lookup/insert (first
+/// build wins); plans are immutable after build, so any number of pipeline
+/// workers replay one shared plan concurrently without locks.
+class InferencePlanner {
+ public:
+  explicit InferencePlanner(const BlockClassifier* classifier);
+
+  /// Drop-in for BlockClassifier::Predict: Viterbi-decoded IOB labels via
+  /// plan replay, falling back to the dynamic path when a plan cannot be
+  /// built or a replay is rejected.
+  std::vector<int> Predict(const EncodedDocument& document);
+
+  /// Emission scores through plan replay only (no CRF, no dynamic
+  /// fallback): returns false when any stage could not be planned or
+  /// replayed. `emissions` is resized to [m * doc::kNumIobLabels]. Exposed
+  /// for the equivalence tests and bench_micro.
+  bool EmissionsViaPlan(const EncodedDocument& document,
+                        std::vector<float>* emissions);
+
+ private:
+  /// Get-or-build the per-bucket plans. A failed build is cached as null so
+  /// a pathological bucket does not pay the trace cost per document.
+  std::shared_ptr<const plan::Plan> SentencePlanFor(
+      const EncodedSentence& representative);
+  std::shared_ptr<const plan::Plan> DocumentPlanFor(
+      const EncodedDocument& document, const std::vector<float>& hidden,
+      const std::vector<float>& visual);
+
+  const BlockClassifier* classifier_;
+  std::mutex mu_;
+  std::map<int, std::shared_ptr<const plan::Plan>> sentence_plans_;  // by T
+  std::map<int, std::shared_ptr<const plan::Plan>> document_plans_;  // by m
+};
+
+}  // namespace core
+}  // namespace resuformer
+
+#endif  // RESUFORMER_CORE_INFERENCE_PLAN_H_

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "distant/dictionary.h"
@@ -50,11 +51,16 @@ std::vector<std::pair<std::string, int64_t>> ManifestFields(
 }
 
 /// Stamps wall time and the arena hit rate over [start_ns, now] into stats.
-void FinalizeParseStats(int64_t start_ns, const TensorArena::Stats& before,
+/// The rate diffs the *calling thread's* arena counters: a parse runs
+/// entirely on one thread, so the window sees only this document's
+/// allocations even when ParseBatchWithStats parses documents concurrently
+/// (the process-wide counters would mix every worker's traffic).
+void FinalizeParseStats(int64_t start_ns,
+                        const TensorArena::ThreadStats& before,
                         ParseStats* stats) {
   stats->wall_time_us =
       static_cast<double>(trace::NowNs() - start_ns) / 1000.0;
-  const TensorArena::Stats after = TensorArena::Global().stats();
+  const TensorArena::ThreadStats after = TensorArena::thread_stats();
   const int64_t hits = after.hits - before.hits;
   const int64_t misses = after.misses - before.misses;
   if (hits + misses > 0) {
@@ -124,6 +130,11 @@ std::unique_ptr<ResuFormerPipeline> ResuFormerPipeline::TrainFromCorpus(
       trainer.Train(ner_data.train, ner_data.val);
   pipeline->ner_model_ = std::move(result.model);
 
+  if (options.model.runtime.use_inference_plan) {
+    pipeline->planner_ = std::make_unique<core::InferencePlanner>(
+        pipeline->block_classifier_.get());
+  }
+
   if (report != nullptr) {
     report->pretrain = pretrain_stats;
     report->block_val_accuracy = block_acc;
@@ -157,7 +168,7 @@ ParseResult ResuFormerPipeline::ParseWithStats(
   // encoder would record parents and backward closures just to drop them.
   NoGradGuard no_grad;
   const int64_t start_ns = trace::NowNs();
-  const TensorArena::Stats arena_before = TensorArena::Global().stats();
+  const TensorArena::ThreadStats arena_before = TensorArena::thread_stats();
   documents_counter->Increment();
 
   ParseResult result;
@@ -178,7 +189,8 @@ ParseResult ResuFormerPipeline::ParseWithStats(
   std::vector<int> labels;
   {
     TRACE_SPAN("pipeline.block_classify");
-    labels = block_classifier_->Predict(encoded);
+    labels = planner_ != nullptr ? planner_->Predict(encoded)
+                                 : block_classifier_->Predict(encoded);
   }
   std::vector<doc::Block> blocks;
   {
@@ -205,9 +217,17 @@ ParseResult ResuFormerPipeline::ParseWithStats(
                                 block.tag == doc::BlockTag::kProjExp;
     if (entity_bearing && !words.empty() && ner_model_ != nullptr) {
       TRACE_SPAN("pipeline.ner");
-      const std::vector<int> ids =
-          selftrain::EncodeWordsForNer(words, *tokenizer_, ner_cfg);
-      const std::vector<int> entity_labels = ner_model_->Predict(ids);
+      static metrics::Counter* ner_truncations_counter =
+          metrics::MetricsRegistry::Global().GetCounter(
+              "pipeline.ner_truncations");
+      // Blocks longer than one NER window were silently truncated here
+      // before PredictWords windowed them; the counter keeps that tail
+      // visible.
+      if (static_cast<int>(words.size()) > ner_cfg.max_tokens) {
+        ner_truncations_counter->Increment();
+      }
+      const std::vector<int> entity_labels =
+          ner_model_->PredictWords(words, *tokenizer_);
       // Reconstruct entity strings from IOB runs.
       size_t i = 0;
       while (i < entity_labels.size()) {
@@ -373,30 +393,41 @@ Result<std::unique_ptr<ResuFormerPipeline>> ResuFormerPipeline::Load(
     if (!s.ok()) return s;
     pipeline->ner_model_->SetTraining(false);
   }
+  if (options.model.runtime.use_inference_plan) {
+    pipeline->planner_ = std::make_unique<core::InferencePlanner>(
+        pipeline->block_classifier_.get());
+  }
   return pipeline;
 }
 
 std::string ResuFormerPipeline::ToPrettyString(const StructuredResume& resume) {
-  std::string out = "{\n";
-  for (const StructuredBlock& block : resume.blocks) {
-    out += "  \"" + doc::BlockTagName(block.tag) + "\": {\n";
-    if (!block.entities.empty()) {
-      out += "    \"entities\": {";
-      for (size_t i = 0; i < block.entities.size(); ++i) {
-        if (i > 0) out += ", ";
-        out += "\"" + doc::EntityTagName(block.entities[i].tag) + "\": \"" +
-               block.entities[i].text + "\"";
-      }
-      out += "},\n";
-    }
-    out += "    \"lines\": [";
+  // Blocks are an array (tags repeat: two kWorkExp blocks are common), and
+  // every string routes through AppendJsonQuoted, so the result is strictly
+  // valid JSON — resume text with quotes, backslashes or newlines cannot
+  // break the framing.
+  std::string out = "{\n  \"blocks\": [";
+  for (size_t b = 0; b < resume.blocks.size(); ++b) {
+    const StructuredBlock& block = resume.blocks[b];
+    out.append(b == 0 ? "\n" : ",\n");
+    out.append("    {\n      \"tag\": ");
+    AppendJsonQuoted(&out, doc::BlockTagName(block.tag));
+    out.append(",\n      \"lines\": [");
     for (size_t i = 0; i < block.lines.size(); ++i) {
-      if (i > 0) out += ", ";
-      out += "\"" + block.lines[i] + "\"";
+      if (i > 0) out.append(", ");
+      AppendJsonQuoted(&out, block.lines[i]);
     }
-    out += "]\n  },\n";
+    out.append("],\n      \"entities\": [");
+    for (size_t i = 0; i < block.entities.size(); ++i) {
+      if (i > 0) out.append(", ");
+      out.append("{\"tag\": ");
+      AppendJsonQuoted(&out, doc::EntityTagName(block.entities[i].tag));
+      out.append(", \"text\": ");
+      AppendJsonQuoted(&out, block.entities[i].text);
+      out.push_back('}');
+    }
+    out.append("]\n    }");
   }
-  out += "}\n";
+  out.append(resume.blocks.empty() ? "]\n}\n" : "\n  ]\n}\n");
   return out;
 }
 

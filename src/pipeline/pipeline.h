@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/block_classifier.h"
+#include "core/inference_plan.h"
 #include "core/pretrainer.h"
 #include "distant/ner_dataset.h"
 #include "resumegen/corpus.h"
@@ -33,10 +34,10 @@ struct StructuredResume {
 };
 
 /// Per-document measurements captured alongside a parse. Counts are exact;
-/// arena_hit_rate is read from the process-wide arena counters over the
-/// parse window, so when several documents parse concurrently
-/// (ParseBatchWithStats) it reflects the mixed traffic of that window
-/// rather than this document alone.
+/// arena_hit_rate is computed from the *calling thread's* arena counters
+/// over the parse window, so it describes this document's own allocations
+/// even when several documents parse concurrently (ParseBatchWithStats runs
+/// each document entirely on one worker).
 struct ParseStats {
   double wall_time_us = 0.0;
   int num_sentences = 0;  // sentences after encoding truncation
@@ -116,7 +117,9 @@ class ResuFormerPipeline {
   [[nodiscard]] static Result<std::unique_ptr<ResuFormerPipeline>> Load(
       const std::string& directory, const PipelineOptions& options);
 
-  /// Renders a StructuredResume as indented JSON-like text.
+  /// Renders a StructuredResume as indented, strictly valid JSON:
+  /// {"blocks": [{"tag": ..., "lines": [...], "entities":
+  /// [{"tag": ..., "text": ...}]}]}. All strings are escaped.
   static std::string ToPrettyString(const StructuredResume& resume);
 
   const text::WordPieceTokenizer& tokenizer() const { return *tokenizer_; }
@@ -132,6 +135,9 @@ class ResuFormerPipeline {
   std::unique_ptr<text::WordPieceTokenizer> tokenizer_;
   std::unique_ptr<core::BlockClassifier> block_classifier_;
   std::unique_ptr<selftrain::NerModel> ner_model_;
+  // Non-null only when options_.model.runtime.use_inference_plan is set;
+  // ParseWithStats then routes block prediction through the plan cache.
+  std::unique_ptr<core::InferencePlanner> planner_;
 };
 
 }  // namespace pipeline

@@ -82,6 +82,26 @@ std::vector<int> NerModel::Predict(const std::vector<int>& token_ids) const {
   return labels;
 }
 
+std::vector<int> NerModel::PredictWords(
+    const std::vector<std::string>& words,
+    const text::WordPieceTokenizer& tokenizer) const {
+  std::vector<int> labels;
+  labels.reserve(words.size());
+  const size_t window = static_cast<size_t>(config_.max_tokens);
+  for (size_t begin = 0; begin < words.size(); begin += window) {
+    const size_t end = std::min(begin + window, words.size());
+    std::vector<int> ids;
+    ids.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      const std::vector<int> pieces = tokenizer.Encode(words[i]);
+      ids.push_back(pieces.empty() ? text::kUnkId : pieces[0]);
+    }
+    const std::vector<int> chunk = Predict(ids);
+    labels.insert(labels.end(), chunk.begin(), chunk.end());
+  }
+  return labels;
+}
+
 std::vector<Tensor> NerModel::HeadParameters() const {
   std::vector<Tensor> head = bilstm_->Parameters();
   for (const Tensor& p : head_->Parameters()) head.push_back(p);

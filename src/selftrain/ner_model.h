@@ -61,6 +61,17 @@ class NerModel : public nn::Module {
   /// Argmax labels (MLP head decodes independently per token).
   std::vector<int> Predict(const std::vector<int>& token_ids) const;
 
+  /// Word-level prediction for arbitrarily long inputs: encodes each word
+  /// to its first WordPiece id (the convention EncodeWordsForNer uses) and
+  /// windows the sequence into consecutive non-overlapping chunks of at
+  /// most max_tokens, predicting each chunk independently and
+  /// concatenating. Returns exactly words.size() labels — nothing is
+  /// silently truncated. An IOB run crossing a chunk boundary stays one
+  /// run: the continuation labels concatenate in order, so downstream
+  /// IOB-run reconstruction stitches it back together.
+  std::vector<int> PredictWords(const std::vector<std::string>& words,
+                                const text::WordPieceTokenizer& tokenizer) const;
+
   const NerModelConfig& config() const { return config_; }
 
   /// Head (BiLSTM + MLP) parameters for the higher learning-rate group.

@@ -25,6 +25,11 @@ int FloorClassIndex(int64_t capacity, int min_log2, int max_log2) {
   return idx;
 }
 
+/// Per-thread mirrors of the hit/miss counters (see thread_stats()).
+/// Plain int64_t: only the owning thread touches them, no lock needed.
+thread_local int64_t t_hits = 0;
+thread_local int64_t t_misses = 0;
+
 }  // namespace
 
 TensorArena& TensorArena::Global() {
@@ -63,6 +68,7 @@ std::vector<float> TensorArena::Acquire(int64_t n, bool* from_arena) {
         cached_bytes_->Add(-static_cast<int64_t>(buf.capacity()) *
                            static_cast<int64_t>(sizeof(float)));
         hits_->Increment();
+        ++t_hits;
         outstanding_->Add(1);
         bytes_recycled_->Increment(n * static_cast<int64_t>(sizeof(float)));
         if (from_arena != nullptr) *from_arena = true;
@@ -71,6 +77,7 @@ std::vector<float> TensorArena::Acquire(int64_t n, bool* from_arena) {
         return buf;
       }
       misses_->Increment();
+      ++t_misses;
       outstanding_->Add(1);
       if (from_arena != nullptr) *from_arena = true;
       // Reserve the full class so the buffer files back into the same
@@ -82,6 +89,7 @@ std::vector<float> TensorArena::Acquire(int64_t n, bool* from_arena) {
       return buf;
     }
     misses_->Increment();
+    ++t_misses;
   }
   return std::vector<float>(static_cast<size_t>(n), 0.0f);
 }
@@ -98,6 +106,10 @@ void TensorArena::Release(std::vector<float>&& buffer, bool was_acquired) {
   if (cached_bytes_->value() + bytes > budget_bytes_) return;
   cached_bytes_->Add(bytes);
   free_lists_[cls].push_back(std::move(local));
+}
+
+TensorArena::ThreadStats TensorArena::thread_stats() {
+  return ThreadStats{t_hits, t_misses};
 }
 
 TensorArena::Stats TensorArena::stats() const {

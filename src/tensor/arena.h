@@ -55,6 +55,17 @@ class TensorArena {
     int64_t cached_bytes = 0;    // bytes currently parked
   };
 
+  /// Hit/miss tallies of the *calling thread* since thread start (never
+  /// reset; diff two reads to scope a window). A pipeline parse runs
+  /// entirely on one thread, so diffing around it isolates that document's
+  /// arena traffic even while other workers allocate concurrently — the
+  /// process-wide Stats counters cannot make that distinction.
+  struct ThreadStats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+  };
+  static ThreadStats thread_stats();
+
   /// Enables/disables recycling. Disabled, Acquire degrades to a plain
   /// zero-filled allocation (still counted as a miss) and Release frees.
   void SetEnabled(bool enabled);

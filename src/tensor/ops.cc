@@ -10,6 +10,8 @@
 #include "common/trace.h"
 #include "tensor/arena.h"
 #include "tensor/kernels.h"
+#include "tensor/op_compute.h"
+#include "tensor/plan.h"
 
 namespace resuformer {
 namespace ops {
@@ -19,83 +21,27 @@ namespace {
 using ImplPtr = std::shared_ptr<TensorImpl>;
 
 // ---------------------------------------------------------------------------
-// Parallel substrate. Kernels route through ThreadPool::Global() with static
-// row partitioning once the work exceeds a threshold; below it (or with a
-// single-thread pool) they run the serial path inline. Partitions are over
-// *output* rows wherever possible so no two workers ever write the same
-// element, and per-element accumulation order matches the serial loops —
-// which keeps results bit-identical to the legacy kernels at any thread
-// count for those paths. The only reductions that need per-worker buffers
-// (LayerNorm dgamma/dbeta, CrossEntropy loss) reduce the buffers in worker
-// order, so they are deterministic for a fixed thread count.
+// Parallel substrate. The forward loops and partitioning helpers live in
+// tensor/op_compute.h so the static-plan executor (tensor/plan.cc) replays
+// the exact code the dynamic ops run — see the contract comment there.
+// Kernels route through ThreadPool::Global() with static row partitioning
+// once the work exceeds a threshold; below it (or with a single-thread
+// pool) they run the serial path inline. Partitions are over *output* rows
+// wherever possible so no two workers ever write the same element, and
+// per-element accumulation order matches the serial loops — which keeps
+// results bit-identical to the legacy kernels at any thread count for those
+// paths. The only reductions that need per-worker buffers (LayerNorm
+// dgamma/dbeta, CrossEntropy loss) reduce the buffers in worker order, so
+// they are deterministic for a fixed thread count.
 // ---------------------------------------------------------------------------
 
-// Minimum multiply-accumulate count (m*k*n) before a GEMM goes parallel.
-constexpr int64_t kGemmParallelWork = 1 << 16;
-// Minimum element count before row-wise ops (softmax/layernorm/losses) and
-// elementwise ops go parallel.
-constexpr int64_t kRowParallelWork = 1 << 14;
-constexpr int64_t kElemwiseParallelWork = 1 << 15;
-
-bool ShouldParallelize(int64_t work, int64_t threshold) {
-  return work >= threshold && ThreadPool::Global().NumThreads() > 1;
-}
-
-/// Runs fn(worker, row_begin, row_end) over [0, rows), parallel when `work`
-/// crosses `threshold`, inline otherwise.
-template <typename Fn>
-void ForRows(int64_t rows, int64_t work, int64_t threshold, Fn&& fn) {
-  if (ShouldParallelize(work, threshold)) {
-    ThreadPool::Global().ParallelFor(
-        rows, [&fn](int worker, int64_t begin, int64_t end) {
-          fn(worker, begin, end);
-        });
-  } else {
-    fn(0, 0, rows);
-  }
-}
-
-/// Runs fn(begin, end) over [0, n), chunked across the pool for large n.
-template <typename Fn>
-void ForElems(int64_t n, Fn&& fn) {
-  if (ShouldParallelize(n, kElemwiseParallelWork)) {
-    ThreadPool::Global().ParallelFor(
-        n, [&fn](int /*worker*/, int64_t begin, int64_t end) {
-          fn(begin, end);
-        });
-  } else {
-    fn(0, n);
-  }
-}
-
-// Cache tile sizes for the blocked GEMM: a KB x JB tile of B (~16 KiB) stays
-// L1-resident while successive A rows stream over it.
-constexpr int kGemmKB = 32;
-constexpr int kGemmJB = 128;
-
-/// C[r0:r1, :] += A[r0:r1, :] * B for row-major A[m,k], B[k,n], C[m,n].
-/// k-tiles are visited in ascending order, so each C element accumulates its
-/// k products in the same order as the naive ikj loop (bit-identical).
-void GemmAccRows(const float* a, const float* b, float* c, int k, int n,
-                 int64_t r0, int64_t r1) {
-  for (int kk0 = 0; kk0 < k; kk0 += kGemmKB) {
-    const int kk1 = std::min(k, kk0 + kGemmKB);
-    for (int j0 = 0; j0 < n; j0 += kGemmJB) {
-      const int j1 = std::min(n, j0 + kGemmJB);
-      for (int64_t i = r0; i < r1; ++i) {
-        const float* arow = a + i * k;
-        float* crow = c + i * n;
-        for (int kk = kk0; kk < kk1; ++kk) {
-          // No zero-skip here: 0 * NaN must stay NaN so divergence during
-          // pre-training is not silently suppressed.
-          const float av = arow[kk];
-          const float* brow = b + static_cast<int64_t>(kk) * n;
-          for (int j = j0; j < j1; ++j) crow[j] += av * brow[j];
-        }
-      }
-    }
-  }
-}
+using opcompute::ForElems;
+using opcompute::ForRows;
+using opcompute::GemmAccRows;
+using opcompute::kGemmJB;
+using opcompute::kGemmParallelWork;
+using opcompute::kRowParallelWork;
+using opcompute::ShouldParallelize;
 
 /// dA[r0:r1, :] += dC[r0:r1, :] * B^T for dC[m,n], B[k,n], dA[m,k].
 /// Four dot products against consecutive B rows share one pass over the dC
@@ -156,6 +102,10 @@ void GemmAccRowsTN(const float* a, const float* dc, float* db, int64_t m,
 /// Creates the result node of an op: allocates storage, records parents, and
 /// decides whether the node participates in autograd.
 Tensor MakeNode(std::vector<int> shape, std::vector<ImplPtr> parents) {
+  // Count every node against the plan recorder's instruction count: an op
+  // without a recording hook (losses, training-mode dropout, reductions)
+  // makes the counts diverge and Finish rejects the trace.
+  plan::NoteNode();
   Tensor out = Tensor::Zeros(std::move(shape));
   bool needs_grad = false;
   if (NoGradGuard::GradEnabled()) {
@@ -225,14 +175,12 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       metrics::MetricsRegistry::Global().GetCounter("ops.gemm_nn.calls");
   CountGemm(calls, static_cast<int64_t>(m) * k * n);
   Tensor out = MakeNode({m, n}, {a.impl(), b.impl()});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = out.data();
+  opcompute::MatMulNNForward(a.data(), b.data(), out.data(), m, k, n);
+  if (plan::RecordingActive()) {
+    plan::Recorder::Active()->RecordGemm(plan::GetExecFns().matmul_nn,
+                                         "matmul_nn", a, b, out, m, k, n);
+  }
   const int64_t work = static_cast<int64_t>(m) * k * n;
-  ForRows(m, work, kGemmParallelWork,
-          [&](int /*worker*/, int64_t r0, int64_t r1) {
-            GemmAccRows(pa, pb, pc, k, n, r0, r1);
-          });
   TensorImpl* self = out.impl().get();
   auto ai = a.impl(), bi = b.impl();
   SetBackward(&out, [self, ai, bi, m, k, n, work]() {
@@ -272,14 +220,12 @@ Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
       metrics::MetricsRegistry::Global().GetCounter("ops.gemm_nt.calls");
   CountGemm(calls, static_cast<int64_t>(m) * k * n);
   Tensor out = MakeNode({m, n}, {a.impl(), b.impl()});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = out.data();
+  opcompute::MatMulNTForward(a.data(), b.data(), out.data(), m, k, n);
+  if (plan::RecordingActive()) {
+    plan::Recorder::Active()->RecordGemm(plan::GetExecFns().matmul_nt,
+                                         "matmul_nt", a, b, out, m, k, n);
+  }
   const int64_t work = static_cast<int64_t>(m) * k * n;
-  ForRows(m, work, kGemmParallelWork,
-          [&](int /*worker*/, int64_t r0, int64_t r1) {
-            kernels::GemmNT(pa, k, pb, k, pc, n, n, k, r0, r1);
-          });
   TensorImpl* self = out.impl().get();
   auto ai = a.impl(), bi = b.impl();
   SetBackward(&out, [self, ai, bi, m, k, n, work]() {
@@ -318,14 +264,12 @@ Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
       metrics::MetricsRegistry::Global().GetCounter("ops.gemm_tn.calls");
   CountGemm(calls, static_cast<int64_t>(m) * k * n);
   Tensor out = MakeNode({m, n}, {a.impl(), b.impl()});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = out.data();
+  opcompute::MatMulTNForward(a.data(), b.data(), out.data(), m, k, n);
+  if (plan::RecordingActive()) {
+    plan::Recorder::Active()->RecordGemm(plan::GetExecFns().matmul_tn,
+                                         "matmul_tn", a, b, out, m, k, n);
+  }
   const int64_t work = static_cast<int64_t>(m) * k * n;
-  ForRows(m, work, kGemmParallelWork,
-          [&](int /*worker*/, int64_t r0, int64_t r1) {
-            kernels::GemmTN(pa, m, pb, n, pc, n, k, n, r0, r1);
-          });
   TensorImpl* self = out.impl().get();
   auto ai = a.impl(), bi = b.impl();
   SetBackward(&out, [self, ai, bi, m, k, n, work]() {
@@ -358,8 +302,10 @@ Tensor Transpose(const Tensor& a) {
   RF_CHECK_EQ(a.rank(), 2);
   const int m = a.dim(0), n = a.dim(1);
   Tensor out = MakeNode({n, m}, {a.impl()});
-  for (int i = 0; i < m; ++i) {
-    for (int j = 0; j < n; ++j) out.at(j, i) = a.at(i, j);
+  opcompute::TransposeForward(a.data(), out.data(), m, n);
+  if (plan::RecordingActive()) {
+    plan::Recorder::Active()->RecordUnary(plan::GetExecFns().transpose,
+                                          "transpose", a, out);
   }
   TensorImpl* self = out.impl().get();
   auto ai = a.impl();
@@ -385,15 +331,13 @@ Tensor AddSubImpl(const Tensor& a, const Tensor& b, float sign) {
   Tensor out = MakeNode(a.shape(), {a.impl(), b.impl()});
   const int64_t n = a.size();
   const int cols = a.cols();
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  ForElems(n, [pa, pb, po, cols, broadcast, sign](int64_t begin, int64_t end) {
-    for (int64_t i = begin; i < end; ++i) {
-      const float bv = broadcast ? pb[i % cols] : pb[i];
-      po[i] = pa[i] + sign * bv;
-    }
-  });
+  opcompute::AddSubForward(a.data(), b.data(), out.data(), n, cols, broadcast,
+                           sign);
+  if (plan::RecordingActive()) {
+    plan::Recorder::Active()->RecordBinary(plan::GetExecFns().add_sub,
+                                           sign > 0.0f ? "add" : "sub", a, b,
+                                           out, sign, broadcast);
+  }
   TensorImpl* self = out.impl().get();
   auto ai = a.impl(), bi = b.impl();
   SetBackward(&out, [self, ai, bi, n, cols, broadcast, sign]() {
@@ -431,12 +375,11 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   RF_CHECK(SameShape(a, b));
   Tensor out = MakeNode(a.shape(), {a.impl(), b.impl()});
   const int64_t n = a.size();
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  ForElems(n, [pa, pb, po](int64_t begin, int64_t end) {
-    for (int64_t i = begin; i < end; ++i) po[i] = pa[i] * pb[i];
-  });
+  opcompute::MulForward(a.data(), b.data(), out.data(), n);
+  if (plan::RecordingActive()) {
+    plan::Recorder::Active()->RecordBinary(plan::GetExecFns().mul, "mul", a, b,
+                                           out);
+  }
   TensorImpl* self = out.impl().get();
   auto ai = a.impl(), bi = b.impl();
   SetBackward(&out, [self, ai, bi, n]() {
@@ -463,11 +406,11 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
 Tensor Scale(const Tensor& a, float s) {
   Tensor out = MakeNode(a.shape(), {a.impl()});
   const int64_t n = a.size();
-  const float* pa = a.data();
-  float* po = out.data();
-  ForElems(n, [pa, po, s](int64_t begin, int64_t end) {
-    for (int64_t i = begin; i < end; ++i) po[i] = pa[i] * s;
-  });
+  opcompute::ScaleForward(a.data(), out.data(), n, s);
+  if (plan::RecordingActive()) {
+    plan::Recorder::Active()->RecordUnary(plan::GetExecFns().scale, "scale", a,
+                                          out, s);
+  }
   TensorImpl* self = out.impl().get();
   auto ai = a.impl();
   SetBackward(&out, [self, ai, n, s]() {
@@ -483,7 +426,11 @@ Tensor Scale(const Tensor& a, float s) {
 Tensor AddScalar(const Tensor& a, float s) {
   Tensor out = MakeNode(a.shape(), {a.impl()});
   const int64_t n = a.size();
-  for (int64_t i = 0; i < n; ++i) out.data()[i] = a.data()[i] + s;
+  opcompute::AddScalarForward(a.data(), out.data(), n, s);
+  if (plan::RecordingActive()) {
+    plan::Recorder::Active()->RecordUnary(plan::GetExecFns().add_scalar,
+                                          "add_scalar", a, out, s);
+  }
   TensorImpl* self = out.impl().get();
   auto ai = a.impl();
   SetBackward(&out, [self, ai, n]() {
@@ -500,11 +447,7 @@ template <typename FwdFn, typename BwdFn>
 Tensor Elementwise(const Tensor& a, FwdFn fwd, BwdFn dydx) {
   Tensor out = MakeNode(a.shape(), {a.impl()});
   const int64_t n = a.size();
-  const float* pa = a.data();
-  float* po = out.data();
-  ForElems(n, [pa, po, fwd](int64_t begin, int64_t end) {
-    for (int64_t i = begin; i < end; ++i) po[i] = fwd(pa[i]);
-  });
+  opcompute::ElementwiseForward(a.data(), out.data(), n, fwd);
   TensorImpl* self = out.impl().get();
   auto ai = a.impl();
   SetBackward(&out, [self, ai, n, dydx]() {
@@ -521,60 +464,59 @@ Tensor Elementwise(const Tensor& a, FwdFn fwd, BwdFn dydx) {
 }  // namespace
 
 Tensor Relu(const Tensor& a) {
-  return Elementwise(
-      a, [](float x) { return x > 0.0f ? x : 0.0f; },
-      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+  Tensor out = Elementwise(a, opcompute::ReluScalar,
+                           [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+  if (plan::RecordingActive()) {
+    plan::Recorder::Active()->RecordUnary(plan::GetExecFns().relu, "relu", a,
+                                          out);
+  }
+  return out;
 }
 
 Tensor Tanh(const Tensor& a) {
-  return Elementwise(
-      a, [](float x) { return std::tanh(x); },
-      [](float, float y) { return 1.0f - y * y; });
+  Tensor out = Elementwise(a, opcompute::TanhScalar,
+                           [](float, float y) { return 1.0f - y * y; });
+  if (plan::RecordingActive()) {
+    plan::Recorder::Active()->RecordUnary(plan::GetExecFns().tanh, "tanh", a,
+                                          out);
+  }
+  return out;
 }
 
 Tensor Sigmoid(const Tensor& a) {
-  return Elementwise(
-      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
-      [](float, float y) { return y * (1.0f - y); });
+  Tensor out = Elementwise(a, opcompute::SigmoidScalar,
+                           [](float, float y) { return y * (1.0f - y); });
+  if (plan::RecordingActive()) {
+    plan::Recorder::Active()->RecordUnary(plan::GetExecFns().sigmoid, "sigmoid",
+                                          a, out);
+  }
+  return out;
 }
 
 Tensor Gelu(const Tensor& a) {
-  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
-  return Elementwise(
-      a,
-      [](float x) {
-        const float u = kC * (x + 0.044715f * x * x * x);
-        return 0.5f * x * (1.0f + std::tanh(u));
-      },
-      [](float x, float) {
-        const float u = kC * (x + 0.044715f * x * x * x);
-        const float t = std::tanh(u);
-        const float du = kC * (1.0f + 3.0f * 0.044715f * x * x);
-        return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
-      });
+  Tensor out = Elementwise(a, opcompute::GeluScalar, [](float x, float) {
+    constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+    const float u = kC * (x + 0.044715f * x * x * x);
+    const float t = std::tanh(u);
+    const float du = kC * (1.0f + 3.0f * 0.044715f * x * x);
+    return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+  });
+  if (plan::RecordingActive()) {
+    plan::Recorder::Active()->RecordUnary(plan::GetExecFns().gelu, "gelu", a,
+                                          out);
+  }
+  return out;
 }
 
 Tensor Softmax(const Tensor& a) {
   const int m = a.rows(), n = a.cols();
   Tensor out = MakeNode(a.shape(), {a.impl()});
   const int64_t work = static_cast<int64_t>(m) * n;
-  const float* pa = a.data();
-  float* po = out.data();
-  ForRows(m, work, kRowParallelWork,
-          [pa, po, n](int /*worker*/, int64_t r0, int64_t r1) {
-            for (int64_t i = r0; i < r1; ++i) {
-              const float* row = pa + i * n;
-              float* orow = po + i * n;
-              float mx = row[0];
-              for (int j = 1; j < n; ++j) mx = std::max(mx, row[j]);
-              float total = 0.0f;
-              for (int j = 0; j < n; ++j) {
-                orow[j] = std::exp(row[j] - mx);
-                total += orow[j];
-              }
-              for (int j = 0; j < n; ++j) orow[j] /= total;
-            }
-          });
+  opcompute::SoftmaxForward(a.data(), out.data(), m, n);
+  if (plan::RecordingActive()) {
+    plan::Recorder::Active()->RecordUnary(plan::GetExecFns().softmax, "softmax",
+                                          a, out);
+  }
   TensorImpl* self = out.impl().get();
   auto ai = a.impl();
   SetBackward(&out, [self, ai, m, n, work]() {
@@ -599,21 +541,11 @@ Tensor LogSoftmax(const Tensor& a) {
   const int m = a.rows(), n = a.cols();
   Tensor out = MakeNode(a.shape(), {a.impl()});
   const int64_t work = static_cast<int64_t>(m) * n;
-  const float* pa = a.data();
-  float* po = out.data();
-  ForRows(m, work, kRowParallelWork,
-          [pa, po, n](int /*worker*/, int64_t r0, int64_t r1) {
-            for (int64_t i = r0; i < r1; ++i) {
-              const float* row = pa + i * n;
-              float* orow = po + i * n;
-              float mx = row[0];
-              for (int j = 1; j < n; ++j) mx = std::max(mx, row[j]);
-              float total = 0.0f;
-              for (int j = 0; j < n; ++j) total += std::exp(row[j] - mx);
-              const float lse = mx + std::log(total);
-              for (int j = 0; j < n; ++j) orow[j] = row[j] - lse;
-            }
-          });
+  opcompute::LogSoftmaxForward(a.data(), out.data(), m, n);
+  if (plan::RecordingActive()) {
+    plan::Recorder::Active()->RecordUnary(plan::GetExecFns().log_softmax,
+                                          "log_softmax", a, out);
+  }
   TensorImpl* self = out.impl().get();
   auto ai = a.impl();
   SetBackward(&out, [self, ai, m, n, work]() {
@@ -653,19 +585,13 @@ Tensor ScaleAddSoftmax(const Tensor& a, float scale, const Tensor& bias) {
   if (has_bias) parents.push_back(bias.impl());
   Tensor out = MakeNode(a.shape(), std::move(parents));
   const int64_t work = static_cast<int64_t>(m) * n;
-  const float* pa = a.data();
-  const float* pb = has_bias ? bias.data() : nullptr;
-  float* po = out.data();
-  ForRows(m, work, kRowParallelWork,
-          [&](int /*worker*/, int64_t r0, int64_t r1) {
-            for (int64_t i = r0; i < r1; ++i) {
-              float* orow = po + i * n;
-              std::copy(pa + i * n, pa + (i + 1) * n, orow);
-              const float* brow =
-                  pb == nullptr ? nullptr : (bias_broadcast ? pb : pb + i * n);
-              kernels::ScaleAddSoftmaxRow(orow, brow, n, scale);
-            }
-          });
+  opcompute::ScaleAddSoftmaxForward(a.data(),
+                                    has_bias ? bias.data() : nullptr,
+                                    bias_broadcast, out.data(), m, n, scale);
+  if (plan::RecordingActive()) {
+    plan::Recorder::Active()->RecordScaleAddSoftmax(a, bias, out, scale,
+                                                    bias_broadcast);
+  }
   TensorImpl* self = out.impl().get();
   auto ai = a.impl();
   auto bi = has_bias ? bias.impl() : ImplPtr();
@@ -740,38 +666,20 @@ Tensor FusedMultiHeadAttention(const Tensor& q, const Tensor& k,
   // otherwise. shared_ptr because std::function requires copyability.
   auto attn = std::make_shared<ArenaBuffer>(static_cast<int64_t>(num_heads) *
                                             t_len * t_len);
-  const float* pq = q.data();
-  const float* pk = k.data();
-  const float* pv = v.data();
-  const float* pbias = has_bias ? bias.data() : nullptr;
-  float* pattn = attn->data();
-  float* po = out.data();
   const int64_t rows = static_cast<int64_t>(num_heads) * t_len;
   const int64_t work = 2 * rows * t_len * head_dim;
   static metrics::Counter* calls =
       metrics::MetricsRegistry::Global().GetCounter(
           "ops.fused_attention.calls");
   CountGemm(calls, work);  // scores + output GEMMs: 2·H·T·T·head_dim MACs
-  // One fork for the whole op; each (head, row) pair computes its score
-  // row, softmaxes it in place, and accumulates its slice of the output —
-  // no transposes, slices or concats, and no worker shares an output row.
-  ForRows(rows, work, kGemmParallelWork,
-          [&](int /*worker*/, int64_t r0, int64_t r1) {
-            for (int64_t idx = r0; idx < r1; ++idx) {
-              const int h = static_cast<int>(idx / t_len);
-              const int64_t i = idx % t_len;
-              const int off = h * head_dim;
-              float* ahead = pattn + static_cast<int64_t>(h) * t_len * t_len;
-              kernels::GemmNTVec(pq + off, dim, pk + off, dim, ahead,
-                                 t_len, t_len, head_dim, i, i + 1);
-              kernels::ScaleAddSoftmaxRow(
-                  ahead + i * t_len,
-                  pbias == nullptr ? nullptr : pbias + i * t_len, t_len,
-                  scale);
-              kernels::GemmNN(ahead, t_len, pv + off, dim, po + off, dim,
-                              t_len, head_dim, i, i + 1);
-            }
-          });
+  opcompute::FusedAttentionForward(q.data(), k.data(), v.data(),
+                                   has_bias ? bias.data() : nullptr,
+                                   attn->data(), out.data(), t_len, dim,
+                                   num_heads);
+  if (plan::RecordingActive()) {
+    plan::Recorder::Active()->RecordFusedAttention(q, k, v, bias, out, t_len,
+                                                   dim, num_heads);
+  }
 
   TensorImpl* self = out.impl().get();
   auto qi = q.impl(), ki = k.impl(), vi = v.impl();
@@ -1047,6 +955,10 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
               out.data() + static_cast<int64_t>(row) * n);
     row += p.rows();
   }
+  if (plan::RecordingActive()) {
+    plan::Recorder::Active()->RecordConcat(plan::GetExecFns().concat_rows,
+                                           "concat_rows", parts, out);
+  }
   TensorImpl* self = out.impl().get();
   std::vector<ImplPtr> srcs;
   srcs.reserve(parts.size());
@@ -1089,6 +1001,10 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
     }
     col += pc;
   }
+  if (plan::RecordingActive()) {
+    plan::Recorder::Active()->RecordConcat(plan::GetExecFns().concat_cols,
+                                           "concat_cols", parts, out);
+  }
   TensorImpl* self = out.impl().get();
   std::vector<ImplPtr> srcs;
   std::vector<int> widths;
@@ -1125,6 +1041,10 @@ Tensor SliceRows(const Tensor& a, int start, int len) {
   Tensor out = MakeNode({len, n}, {a.impl()});
   std::copy(a.data() + static_cast<int64_t>(start) * n,
             a.data() + static_cast<int64_t>(start + len) * n, out.data());
+  if (plan::RecordingActive()) {
+    plan::Recorder::Active()->RecordSlice(plan::GetExecFns().slice_rows,
+                                          "slice_rows", a, out, start, len);
+  }
   TensorImpl* self = out.impl().get();
   auto ai = a.impl();
   SetBackward(&out, [self, ai, start, len, n]() {
@@ -1147,6 +1067,10 @@ Tensor SliceCols(const Tensor& a, int start, int len) {
     std::copy(a.data() + static_cast<int64_t>(i) * n + start,
               a.data() + static_cast<int64_t>(i) * n + start + len,
               out.data() + static_cast<int64_t>(i) * len);
+  }
+  if (plan::RecordingActive()) {
+    plan::Recorder::Active()->RecordSlice(plan::GetExecFns().slice_cols,
+                                          "slice_cols", a, out, start, len);
   }
   TensorImpl* self = out.impl().get();
   auto ai = a.impl();
@@ -1175,6 +1099,9 @@ Tensor GatherRows(const Tensor& a, const std::vector<int>& indices) {
               a.data() + static_cast<int64_t>(indices[i] + 1) * n,
               out.data() + static_cast<int64_t>(i) * n);
   }
+  if (plan::RecordingActive()) {
+    plan::Recorder::Active()->RecordGather(a, indices, out);
+  }
   TensorImpl* self = out.impl().get();
   auto ai = a.impl();
   SetBackward(&out, [self, ai, indices, m, n]() {
@@ -1202,31 +1129,11 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   std::vector<float> inv_std(m);
   std::vector<float> means(m);
   const int64_t work = static_cast<int64_t>(m) * n;
-  const float* px = x.data();
-  const float* pg = gamma.data();
-  const float* pbeta = beta.data();
-  float* po = out.data();
-  ForRows(m, work, kRowParallelWork,
-          [&](int /*worker*/, int64_t r0, int64_t r1) {
-            for (int64_t i = r0; i < r1; ++i) {
-              const float* row = px + i * n;
-              float mean = 0.0f;
-              for (int j = 0; j < n; ++j) mean += row[j];
-              mean /= n;
-              float var = 0.0f;
-              for (int j = 0; j < n; ++j) {
-                var += (row[j] - mean) * (row[j] - mean);
-              }
-              var /= n;
-              const float is = 1.0f / std::sqrt(var + eps);
-              means[i] = mean;
-              inv_std[i] = is;
-              float* orow = po + i * n;
-              for (int j = 0; j < n; ++j) {
-                orow[j] = (row[j] - mean) * is * pg[j] + pbeta[j];
-              }
-            }
-          });
+  opcompute::LayerNormForward(x.data(), gamma.data(), beta.data(), out.data(),
+                              m, n, eps, means.data(), inv_std.data());
+  if (plan::RecordingActive()) {
+    plan::Recorder::Active()->RecordLayerNorm(x, gamma, beta, out, eps);
+  }
   TensorImpl* self = out.impl().get();
   auto xi = x.impl(), gi = gamma.impl(), bi = beta.impl();
   SetBackward(&out, [self, xi, gi, bi, m, n, work, means = std::move(means),
@@ -1366,14 +1273,11 @@ Tensor L2NormalizeRows(const Tensor& a, float eps) {
   const int m = a.rows(), n = a.cols();
   Tensor out = MakeNode(a.shape(), {a.impl()});
   std::vector<float> inv_norm(m);
-  for (int i = 0; i < m; ++i) {
-    const float* row = a.data() + static_cast<int64_t>(i) * n;
-    float sq = 0.0f;
-    for (int j = 0; j < n; ++j) sq += row[j] * row[j];
-    const float in = 1.0f / (std::sqrt(sq) + eps);
-    inv_norm[i] = in;
-    float* orow = out.data() + static_cast<int64_t>(i) * n;
-    for (int j = 0; j < n; ++j) orow[j] = row[j] * in;
+  opcompute::L2NormalizeForward(a.data(), out.data(), m, n, eps,
+                                inv_norm.data());
+  if (plan::RecordingActive()) {
+    plan::Recorder::Active()->RecordUnary(plan::GetExecFns().l2_normalize,
+                                          "l2_normalize", a, out, eps);
   }
   TensorImpl* self = out.impl().get();
   auto ai = a.impl();
@@ -1400,6 +1304,10 @@ Tensor Reshape(const Tensor& a, std::vector<int> shape) {
   RF_CHECK_EQ(prod, a.size());
   Tensor out = MakeNode(shape, {a.impl()});
   std::copy(a.data(), a.data() + a.size(), out.data());
+  if (plan::RecordingActive()) {
+    plan::Recorder::Active()->RecordUnary(plan::GetExecFns().reshape, "reshape",
+                                          a, out);
+  }
   TensorImpl* self = out.impl().get();
   auto ai = a.impl();
   const int64_t n = a.size();

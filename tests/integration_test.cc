@@ -1,13 +1,178 @@
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdio>
 #include <fstream>
+#include <string>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "pipeline/pipeline.h"
 
 namespace resuformer {
 namespace pipeline {
 namespace {
+
+/// Strict recursive-descent JSON parser (RFC 8259 grammar, no extensions):
+/// rejects trailing commas, unquoted keys, unescaped control characters and
+/// trailing garbage. Decoded strings are collected in encounter order so
+/// tests can assert round-tripping of escaped text.
+class StrictJsonParser {
+ public:
+  explicit StrictJsonParser(const std::string& text) : text_(text) {}
+
+  /// Parses the whole input as one JSON value; false on any violation.
+  bool Parse() {
+    pos_ = 0;
+    strings_.clear();
+    if (!ParseValue()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+  const std::vector<std::string>& strings() const { return strings_; }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString(nullptr);
+      default:
+        return ParseLiteralOrNumber();
+    }
+  }
+
+  bool ParseObject() {
+    if (!Consume('{')) return false;
+    SkipWs();
+    if (Consume('}')) return true;
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+      if (!ParseString(nullptr)) return false;
+      if (!Consume(':')) return false;
+      if (!ParseValue()) return false;
+      if (Consume(',')) continue;
+      return Consume('}');
+    }
+  }
+
+  bool ParseArray() {
+    if (!Consume('[')) return false;
+    SkipWs();
+    if (Consume(']')) return true;
+    while (true) {
+      if (!ParseValue()) return false;
+      if (Consume(',')) continue;
+      return Consume(']');
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    std::string decoded;
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        strings_.push_back(decoded);
+        if (out != nullptr) *out = decoded;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control characters are invalid
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) return false;
+        const char esc = text_[pos_ + 1];
+        pos_ += 2;
+        switch (esc) {
+          case '"': decoded.push_back('"'); break;
+          case '\\': decoded.push_back('\\'); break;
+          case '/': decoded.push_back('/'); break;
+          case 'b': decoded.push_back('\b'); break;
+          case 'f': decoded.push_back('\f'); break;
+          case 'n': decoded.push_back('\n'); break;
+          case 'r': decoded.push_back('\r'); break;
+          case 't': decoded.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            int code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_ + i];
+              if (!std::isxdigit(static_cast<unsigned char>(h))) return false;
+              code = code * 16 + (std::isdigit(static_cast<unsigned char>(h))
+                                      ? h - '0'
+                                      : (std::tolower(h) - 'a' + 10));
+            }
+            pos_ += 4;
+            if (code > 0x7f) return false;  // tests only emit ASCII escapes
+            decoded.push_back(static_cast<char>(code));
+            break;
+          }
+          default:
+            return false;
+        }
+        continue;
+      }
+      decoded.push_back(static_cast<char>(c));
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseLiteralOrNumber() {
+    static const char* kLiterals[] = {"true", "false", "null"};
+    for (const char* lit : kLiterals) {
+      const size_t n = std::string(lit).size();
+      if (text_.compare(pos_, n, lit) == 0) {
+        pos_ += n;
+        return true;
+      }
+    }
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::vector<std::string> strings_;
+};
+
+bool Contains(const std::vector<std::string>& haystack,
+              const std::string& needle) {
+  for (const std::string& s : haystack) {
+    if (s == needle) return true;
+  }
+  return false;
+}
 
 PipelineOptions TinyOptions() {
   PipelineOptions options;
@@ -38,6 +203,47 @@ PipelineOptions TinyOptions() {
   return options;
 }
 
+TEST(PipelineJsonTest, PrettyStringIsStrictJsonAndRoundTripsEscapes) {
+  // Every class of character the escaper must handle: quotes, backslashes,
+  // newlines, tabs, and a raw control byte. The old renderer spliced these
+  // into the output verbatim, producing unparseable JSON.
+  const std::string nasty_line =
+      "C++ \"wizard\" \\ backslash\nnewline\ttab \x01 ctl";
+  const std::string nasty_entity = "Acme \"Corp\" \\ Inc.";
+  StructuredResume resume;
+  StructuredBlock work;
+  work.tag = doc::BlockTag::kWorkExp;
+  work.lines = {nasty_line, "plain line"};
+  work.entities.push_back(
+      StructuredEntity{doc::EntityTag::kCompany, nasty_entity});
+  resume.blocks.push_back(work);
+  // A second block with the same tag: tags repeat in real resumes, which is
+  // why blocks must be an array, not object keys.
+  StructuredBlock work2;
+  work2.tag = doc::BlockTag::kWorkExp;
+  work2.lines = {"second stint"};
+  resume.blocks.push_back(work2);
+
+  const std::string pretty = ResuFormerPipeline::ToPrettyString(resume);
+  StrictJsonParser parser(pretty);
+  ASSERT_TRUE(parser.Parse()) << pretty;
+
+  // The escaped strings must decode back to the original bytes.
+  EXPECT_TRUE(Contains(parser.strings(), nasty_line)) << pretty;
+  EXPECT_TRUE(Contains(parser.strings(), nasty_entity)) << pretty;
+  EXPECT_TRUE(Contains(parser.strings(), "plain line"));
+  EXPECT_TRUE(Contains(parser.strings(), "second stint"));
+  EXPECT_TRUE(Contains(parser.strings(), "blocks"));
+  EXPECT_TRUE(Contains(parser.strings(), doc::BlockTagName(work.tag)));
+  EXPECT_TRUE(
+      Contains(parser.strings(), doc::EntityTagName(doc::EntityTag::kCompany)));
+
+  // Empty resume is valid JSON too.
+  const std::string empty_pretty = ResuFormerPipeline::ToPrettyString({});
+  StrictJsonParser empty_parser(empty_pretty);
+  EXPECT_TRUE(empty_parser.Parse()) << empty_pretty;
+}
+
 TEST(PipelineIntegrationTest, EndToEndTrainAndParse) {
   resumegen::CorpusConfig ccfg;
   ccfg.pretrain_docs = 6;
@@ -66,6 +272,8 @@ TEST(PipelineIntegrationTest, EndToEndTrainAndParse) {
 
   const std::string pretty = ResuFormerPipeline::ToPrettyString(parsed);
   EXPECT_NE(pretty.find("lines"), std::string::npos);
+  StrictJsonParser pretty_parser(pretty);
+  EXPECT_TRUE(pretty_parser.Parse()) << pretty;
 
   // Save/Load round-trip: the reloaded pipeline must reproduce the same
   // parse on the same document.
@@ -80,6 +288,31 @@ TEST(PipelineIntegrationTest, EndToEndTrainAndParse) {
     EXPECT_EQ(reparsed.blocks[i].tag, parsed.blocks[i].tag);
     EXPECT_EQ(reparsed.blocks[i].entities.size(),
               parsed.blocks[i].entities.size());
+  }
+
+  // Static inference-plan path: a pipeline loaded with the plan knob on
+  // must produce a bit-identical StructuredResume at a serial pool.
+  ThreadPool::Global().SetNumThreads(1);
+  PipelineOptions plan_options = TinyOptions();
+  plan_options.model.runtime.use_inference_plan = true;
+  auto planned = ResuFormerPipeline::Load(dir, plan_options);
+  ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+  for (const auto& labeled : corpus.test) {
+    const StructuredResume dynamic_parse = (*loaded)->Parse(labeled.document);
+    const StructuredResume plan_parse = (*planned)->Parse(labeled.document);
+    ASSERT_EQ(plan_parse.blocks.size(), dynamic_parse.blocks.size());
+    for (size_t i = 0; i < plan_parse.blocks.size(); ++i) {
+      EXPECT_EQ(plan_parse.blocks[i].tag, dynamic_parse.blocks[i].tag);
+      EXPECT_EQ(plan_parse.blocks[i].lines, dynamic_parse.blocks[i].lines);
+      ASSERT_EQ(plan_parse.blocks[i].entities.size(),
+                dynamic_parse.blocks[i].entities.size());
+      for (size_t e = 0; e < plan_parse.blocks[i].entities.size(); ++e) {
+        EXPECT_EQ(plan_parse.blocks[i].entities[e].tag,
+                  dynamic_parse.blocks[i].entities[e].tag);
+        EXPECT_EQ(plan_parse.blocks[i].entities[e].text,
+                  dynamic_parse.blocks[i].entities[e].text);
+      }
+    }
   }
 
   // Save wrote an architecture manifest alongside the parameters.

@@ -1,0 +1,214 @@
+// Static inference-plan equivalence suite (ctest label: plan).
+//
+// The plan layer promises "purely a fast path": for every sequence-length
+// bucket, replaying the traced plan must produce the same numbers the
+// dynamic op graph produces. These tests pin that contract:
+//
+//  * bit-identical emissions and labels at a serial thread pool,
+//  * <= 1e-6 agreement across thread-pool widths,
+//  * zero arena misses in steady-state replay (the workspace comes from
+//    the free lists every time),
+//  * one planner shared by concurrent reader threads (plans are immutable;
+//    the tsan preset runs this suite).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/block_classifier.h"
+#include "core/hierarchical_encoder.h"
+#include "core/inference_plan.h"
+#include "doc/block_tags.h"
+#include "resumegen/corpus.h"
+#include "tensor/arena.h"
+
+namespace resuformer {
+namespace core {
+namespace {
+
+/// Tiny config (mirrors core_test): exercises every op the plan records
+/// while keeping trace + replay fast.
+ResuFormerConfig TinyConfig(int vocab) {
+  ResuFormerConfig cfg;
+  cfg.hidden = 16;
+  cfg.sentence_layers = 1;
+  cfg.document_layers = 1;
+  cfg.num_heads = 2;
+  cfg.ffn = 32;
+  cfg.max_tokens_per_sentence = 12;
+  cfg.max_sentences = 24;
+  cfg.vocab_size = vocab;
+  cfg.lstm_hidden = 12;
+  return cfg;
+}
+
+struct Fixture {
+  Fixture() : corpus(MakeCorpus()), tokenizer(MakeTokenizer(corpus)) {
+    config = TinyConfig(tokenizer.vocab().size());
+    Rng rng(11);
+    classifier = std::make_unique<BlockClassifier>(config, &rng);
+    classifier->SetTraining(false);
+    for (const resumegen::GeneratedResume& r : corpus.train) {
+      documents.push_back(EncodeForModel(r.document, tokenizer, config));
+    }
+  }
+
+  static resumegen::Corpus MakeCorpus() {
+    resumegen::CorpusConfig cfg;
+    cfg.pretrain_docs = 2;
+    cfg.train_docs = 6;
+    cfg.val_docs = 2;
+    cfg.test_docs = 2;
+    cfg.seed = 13;
+    return resumegen::GenerateCorpus(cfg);
+  }
+  static text::WordPieceTokenizer MakeTokenizer(
+      const resumegen::Corpus& corpus) {
+    return resumegen::TrainTokenizer(corpus, 400);
+  }
+
+  resumegen::Corpus corpus;
+  text::WordPieceTokenizer tokenizer;
+  ResuFormerConfig config;
+  std::unique_ptr<BlockClassifier> classifier;
+  std::vector<EncodedDocument> documents;
+};
+
+Fixture& GetFixture() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+/// Dynamic-path emissions flattened row-major (the layout EmissionsViaPlan
+/// writes).
+std::vector<float> DynamicEmissions(const BlockClassifier& classifier,
+                                    const EncodedDocument& document) {
+  NoGradGuard guard;
+  Tensor em = classifier.Emissions(document, nullptr);
+  std::vector<float> out;
+  out.reserve(static_cast<size_t>(em.rows()) * em.cols());
+  for (int r = 0; r < em.rows(); ++r) {
+    for (int c = 0; c < em.cols(); ++c) out.push_back(em.at(r, c));
+  }
+  return out;
+}
+
+TEST(InferencePlanTest, ReplayMatchesDynamicEmissionsBitExactSerial) {
+  auto& fx = GetFixture();
+  ThreadPool::Global().SetNumThreads(1);
+  InferencePlanner planner(fx.classifier.get());
+  ASSERT_FALSE(fx.documents.empty());
+  for (size_t d = 0; d < fx.documents.size(); ++d) {
+    const EncodedDocument& document = fx.documents[d];
+    const std::vector<float> want =
+        DynamicEmissions(*fx.classifier, document);
+    // Two replays per document: the first builds the bucket's plans, the
+    // second takes the pure cache-hit path. Both must be bit-identical.
+    for (int pass = 0; pass < 2; ++pass) {
+      std::vector<float> got;
+      ASSERT_TRUE(planner.EmissionsViaPlan(document, &got))
+          << "document " << d << " pass " << pass;
+      ASSERT_EQ(got.size(), want.size()) << "document " << d;
+      for (size_t i = 0; i < want.size(); ++i) {
+        ASSERT_EQ(got[i], want[i])
+            << "document " << d << " pass " << pass << " element " << i;
+      }
+    }
+  }
+}
+
+TEST(InferencePlanTest, PredictMatchesDynamicLabels) {
+  auto& fx = GetFixture();
+  ThreadPool::Global().SetNumThreads(1);
+  InferencePlanner planner(fx.classifier.get());
+  for (size_t d = 0; d < fx.documents.size(); ++d) {
+    const std::vector<int> want = fx.classifier->Predict(fx.documents[d]);
+    const std::vector<int> got = planner.Predict(fx.documents[d]);
+    EXPECT_EQ(got, want) << "document " << d;
+  }
+}
+
+TEST(InferencePlanTest, ReplayAgreesAcrossThreadCounts) {
+  auto& fx = GetFixture();
+  const EncodedDocument& document = fx.documents[0];
+
+  ThreadPool::Global().SetNumThreads(1);
+  InferencePlanner serial_planner(fx.classifier.get());
+  std::vector<float> serial;
+  ASSERT_TRUE(serial_planner.EmissionsViaPlan(document, &serial));
+
+  for (int threads : {2, 4}) {
+    ThreadPool::Global().SetNumThreads(threads);
+    InferencePlanner planner(fx.classifier.get());
+    std::vector<float> got;
+    ASSERT_TRUE(planner.EmissionsViaPlan(document, &got)) << threads;
+    ASSERT_EQ(got.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_NEAR(got[i], serial[i], 1e-6)
+          << "threads=" << threads << " element " << i;
+    }
+  }
+  ThreadPool::Global().SetNumThreads(1);
+}
+
+TEST(InferencePlanTest, SteadyStateReplayNeverMissesTheArena) {
+  auto& fx = GetFixture();
+  ThreadPool::Global().SetNumThreads(1);
+  TensorArena::Global().SetEnabled(true);
+  InferencePlanner planner(fx.classifier.get());
+  const EncodedDocument& document = fx.documents[0];
+
+  // Warm-up: builds the plans and seeds the workspace size classes.
+  std::vector<float> emissions;
+  ASSERT_TRUE(planner.EmissionsViaPlan(document, &emissions));
+
+  // Steady state: replay allocates exactly one arena workspace per plan
+  // run, and every one of them must come from the free lists.
+  const TensorArena::ThreadStats before = TensorArena::thread_stats();
+  for (int pass = 0; pass < 3; ++pass) {
+    ASSERT_TRUE(planner.EmissionsViaPlan(document, &emissions));
+  }
+  const TensorArena::ThreadStats after = TensorArena::thread_stats();
+  EXPECT_EQ(after.misses - before.misses, 0);
+  EXPECT_GT(after.hits - before.hits, 0);
+}
+
+TEST(InferencePlanTest, ConcurrentRepliesShareOnePlanner) {
+  auto& fx = GetFixture();
+  ThreadPool::Global().SetNumThreads(1);
+  InferencePlanner planner(fx.classifier.get());
+
+  std::vector<std::vector<int>> want(fx.documents.size());
+  for (size_t d = 0; d < fx.documents.size(); ++d) {
+    want[d] = fx.classifier->Predict(fx.documents[d]);
+  }
+
+  // Reader threads race the first builds and then replay shared immutable
+  // plans; every result must match the dynamic labels.
+  constexpr int kThreads = 4;
+  constexpr int kItersPerThread = 8;
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int iter = 0; iter < kItersPerThread; ++iter) {
+        const size_t d = (t + iter) % fx.documents.size();
+        if (planner.Predict(fx.documents[d]) != want[d]) ++mismatches[t];
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace resuformer

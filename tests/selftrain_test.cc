@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "distant/dictionary.h"
 #include "distant/ner_dataset.h"
 #include "resumegen/corpus.h"
@@ -68,6 +70,42 @@ TEST(EncodeWordsForNerTest, TruncatesToMaxTokens) {
   cfg.max_tokens = 4;
   std::vector<std::string> words(20, "work");
   EXPECT_EQ(EncodeWordsForNer(words, *fx.tokenizer, cfg).size(), 4u);
+}
+
+TEST(NerModelTest, PredictWordsCoversBlocksLongerThanMaxTokens) {
+  auto& fx = GetFixture();
+  NerModelConfig cfg = TinyNerConfig(fx.tokenizer->vocab().size());
+  cfg.max_tokens = 8;
+  Rng rng(21);
+  NerModel model(cfg, &rng);
+  model.SetTraining(false);
+
+  // 3.5 windows' worth of words: Predict() alone can only see the first 8,
+  // PredictWords must label every one.
+  std::vector<std::string> words;
+  for (int i = 0; i < 28; ++i) {
+    words.push_back(i % 3 == 0 ? "work" : (i % 3 == 1 ? "at" : "acme"));
+  }
+  const std::vector<int> labels = model.PredictWords(words, *fx.tokenizer);
+  ASSERT_EQ(labels.size(), words.size());
+  for (int label : labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, cfg.num_labels);
+  }
+
+  // Within each window, PredictWords agrees with a direct Predict on that
+  // window's encoding: windowing only partitions, it never re-contextualizes.
+  for (size_t begin = 0; begin < words.size();
+       begin += static_cast<size_t>(cfg.max_tokens)) {
+    const size_t end =
+        std::min(begin + static_cast<size_t>(cfg.max_tokens), words.size());
+    const std::vector<std::string> window(words.begin() + begin,
+                                          words.begin() + end);
+    const std::vector<int> ids = EncodeWordsForNer(window, *fx.tokenizer, cfg);
+    const std::vector<int> want = model.Predict(ids);
+    const std::vector<int> got(labels.begin() + begin, labels.begin() + end);
+    EXPECT_EQ(got, want) << "window at " << begin;
+  }
 }
 
 TEST(NerModelTest, LogitsShape) {

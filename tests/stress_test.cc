@@ -322,10 +322,40 @@ TEST(StressPipeline, ConcurrentParseBatchWithStatsMatchesSerialParse) {
   std::vector<doc::Document> documents;
   for (const auto& labeled : corpus.test) documents.push_back(labeled.document);
 
-  // Serial ground truth with a serial pool.
+  // Serial ground truth with a serial pool. The first pass warms the arena;
+  // the second records per-document stats in steady state.
   ThreadPool::Global().SetNumThreads(1);
   std::vector<pipeline::StructuredResume> expected;
   for (const doc::Document& d : documents) expected.push_back(pl->Parse(d));
+  std::vector<pipeline::ParseResult> serial_stats;
+  for (const doc::Document& d : documents) {
+    serial_stats.push_back(pl->ParseWithStats(d));
+  }
+
+  // Per-document arena_hit_rate diffs *thread-local* counters, so a
+  // document's rate only reflects its own traffic. Hammer the arena with
+  // guaranteed misses from another thread mid-parse: the parse's rate must
+  // match the quiet serial rate (the old process-wide diff dragged it down
+  // with the noise thread's misses).
+  {
+    std::atomic<bool> stop{false};
+    std::thread noise([&]() {
+      while (!stop.load()) {
+        // Acquired but never Released: the size class never refills, so
+        // every acquire after the first few is a miss on the noise thread.
+        std::vector<float> buf =
+            TensorArena::Global().Acquire(int64_t{1} << 18);
+        buf.clear();
+      }
+    });
+    const pipeline::ParseResult noisy = pl->ParseWithStats(documents[0]);
+    stop.store(true);
+    noise.join();
+    ExpectSameResume(noisy.resume, expected[0]);
+    EXPECT_NEAR(noisy.stats.arena_hit_rate,
+                serial_stats[0].stats.arena_hit_rate, 1e-12);
+    EXPECT_GT(noisy.stats.arena_hit_rate, 0.9);
+  }
 
   // Two external request threads batch-parse concurrently while the pool
   // fans documents out; one claims the pool, the other degrades to inline.
@@ -349,6 +379,18 @@ TEST(StressPipeline, ConcurrentParseBatchWithStatsMatchesSerialParse) {
                 static_cast<int>(results[r][i].resume.blocks.size()));
       EXPECT_GT(results[r][i].stats.num_sentences, 0);
       EXPECT_GT(results[r][i].stats.wall_time_us, 0.0);
+      // Batch stats must match the serial stats document for document:
+      // identical counts, and a per-document hit rate (thread-local
+      // counters) that stays high even with four workers allocating at
+      // once.
+      EXPECT_EQ(results[r][i].stats.num_sentences,
+                serial_stats[i].stats.num_sentences);
+      EXPECT_EQ(results[r][i].stats.num_blocks,
+                serial_stats[i].stats.num_blocks);
+      EXPECT_EQ(results[r][i].stats.num_entities,
+                serial_stats[i].stats.num_entities);
+      EXPECT_GE(results[r][i].stats.arena_hit_rate, 0.0);
+      EXPECT_LE(results[r][i].stats.arena_hit_rate, 1.0);
     }
   }
 }

@@ -83,4 +83,20 @@ inline void TracedDispatch() {
   ParallelFor(0, 100, [](int tid, long begin, long end) {});
 }
 
+// Hand-rolled JSON concatenation: the first line glues a literal that ends
+// with an escaped quote onto a value, the second glues `+` onto a literal
+// that opens with one. Each shape fires once.
+// rf-lint-selftest-expect(json-string-concat=2)
+inline std::string JsonByHand(const std::string& name) {
+  std::string json = "{\"name\": \"" + name;
+  json = json + "\", \"ok\": true}";
+  return json;
+}
+
+// Concatenation with no JSON quoting involved must NOT fire, and neither
+// must escaped quotes mentioned inside comments: "\"" + like that.
+inline std::string PlainConcat(const std::string& name) {
+  return "resume: " + name;
+}
+
 }  // namespace lint_fixture

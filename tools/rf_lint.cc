@@ -35,6 +35,12 @@
 //                         No TRACE_SPAN inside a ParallelFor body: a span
 //                         per iteration floods the per-thread ring buffers;
 //                         put one span around the dispatch instead.
+//   json-string-concat    No hand-rolled JSON via string concatenation — a
+//                         literal ending in an escaped quote glued to a
+//                         value with `+` (or `+` glued to a literal opening
+//                         with an escaped quote) emits unescaped payloads.
+//                         Quote through JsonEscape/AppendJsonQuoted in
+//                         common/string_util (itself exempt) instead.
 //
 // Suppressions:
 //   // rf-lint-allow(rule[,rule...])        this line or the next line
@@ -198,6 +204,7 @@ class Linter {
       LintBannedConstructs(f);
       LintIncludeGuard(f);
       LintTraceSpanInParallelFor(f);
+      LintJsonStringConcat(f);
     }
   }
 
@@ -225,7 +232,7 @@ class Linter {
         "atomic-order-comment", "naked-new",
         "naked-malloc",        "std-rand",
         "volatile-qualifier",  "include-guard",
-        "trace-span-in-parallel-for"};
+        "trace-span-in-parallel-for", "json-string-concat"};
     return kRules;
   }
 
@@ -510,6 +517,43 @@ class Linter {
           }
         }
         col = f.code[i].find("ParallelFor", col + 1);
+      }
+    }
+  }
+
+  // Hand-rolled JSON: a string literal whose last character is an escaped
+  // quote concatenated onto a value with `+`, or `+` followed by a literal
+  // opening with an escaped quote. Either shape means a runtime value is
+  // being spliced between JSON quotes without escaping; route it through
+  // JsonEscape/AppendJsonQuoted instead. This rule must look at the RAW
+  // lines (the escaped quotes live inside literals, which `code` blanks),
+  // so each match's `+` is cross-checked against the blanked line to make
+  // sure it is real code and not part of a comment or literal.
+  void LintJsonStringConcat(const SourceFile& f) {
+    // common/string_util implements the escape helper itself.
+    if (f.rel.find("common/string_util") != std::string::npos) return;
+    static const std::regex close_then_plus_re(R"(\\""\s*\+)");
+    static const std::regex plus_then_open_re(R"(\+\s*"\\")");
+    for (size_t i = 0; i < f.raw.size(); ++i) {
+      const std::string& line = f.raw[i];
+      const auto plus_is_code = [&](size_t col) {
+        return col < f.code[i].size() && f.code[i][col] == '+';
+      };
+      std::smatch m;
+      bool fired = false;
+      if (std::regex_search(line, m, close_then_plus_re) &&
+          plus_is_code(static_cast<size_t>(m.position(0)) + m.length(0) - 1)) {
+        fired = true;
+      }
+      if (!fired && std::regex_search(line, m, plus_then_open_re) &&
+          plus_is_code(static_cast<size_t>(m.position(0)))) {
+        fired = true;
+      }
+      if (fired) {
+        Report(f, i, "json-string-concat",
+               "raw concatenation into a JSON string literal leaves the "
+               "payload unescaped; quote values with JsonEscape/"
+               "AppendJsonQuoted from common/string_util");
       }
     }
   }

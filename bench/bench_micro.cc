@@ -22,10 +22,13 @@
 #include "core/inference_plan.h"
 #include "crf/linear_crf.h"
 #include "doc/sentence_assembler.h"
+#include "nn/serialize.h"
 #include "pipeline/pipeline.h"
 #include "resumegen/corpus.h"
 #include "tensor/arena.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
+#include "tensor/quant.h"
 
 namespace resuformer {
 namespace {
@@ -443,6 +446,161 @@ void BM_EmissionsPlanReplayPaperDims(benchmark::State& state) {
 }
 BENCHMARK(BM_EmissionsPlanReplayPaperDims)->Arg(1)->Arg(4)
     ->Unit(benchmark::kMillisecond);
+
+// --- int8 quantized inference (PR 7) --------------------------------------
+
+/// Same model/weights as PlanPaperEnv (same config + seed) but with
+/// runtime.use_int8, so the planner rewrites constant-weight GEMMs to the
+/// quantized kernels. Kept separate so the fp32 env's plans stay fp32.
+struct Int8PaperEnv {
+  Int8PaperEnv() {
+    PlanPaperEnv& fp32 = GetPlanPaperEnv();
+    cfg = fp32.cfg;
+    cfg.runtime.use_int8 = true;
+    Rng rng(41);
+    classifier = std::make_unique<core::BlockClassifier>(cfg, &rng);
+    classifier->SetTraining(false);
+  }
+  core::ResuFormerConfig cfg;
+  std::unique_ptr<core::BlockClassifier> classifier;
+};
+
+Int8PaperEnv& GetInt8PaperEnv() {
+  static Int8PaperEnv* env = new Int8PaperEnv();
+  return *env;
+}
+
+void BM_EmissionsPlanReplayInt8PaperDims(benchmark::State& state) {
+  Int8PaperEnv& env = GetInt8PaperEnv();
+  const core::EncodedDocument& encoded = GetPlanPaperEnv().encoded;
+  ThreadPool::Global().SetNumThreads(static_cast<int>(state.range(0)));
+  core::InferencePlanner planner(env.classifier.get());
+  std::vector<float> emissions;
+  if (!planner.EmissionsViaPlan(encoded, &emissions)) {
+    state.SkipWithError("int8 plan build failed");
+    return;
+  }
+  for (auto _ : state) {
+    planner.EmissionsViaPlan(encoded, &emissions);
+    benchmark::DoNotOptimize(emissions.data());
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  ThreadPool::Global().SetNumThreads(1);
+}
+BENCHMARK(BM_EmissionsPlanReplayInt8PaperDims)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// Kernel-level fp32 vs int8 at the paper's document-attention GEMM shape:
+// [350, 768] x [768, 768] in NT form. The fp32 row zero-fills C first
+// (the kernels accumulate); the int8 row runs the full LinearI8Forward
+// production path — dynamic activation quantization, int8 GEMM, dequant —
+// so the reported speedup includes the quantization overhead.
+void BM_GemmFp32(benchmark::State& state) {
+  const int m = kPaperT, k = kPaperD, n = kPaperD;
+  Rng rng(51);
+  std::vector<float> a(static_cast<size_t>(m) * k);
+  std::vector<float> b(static_cast<size_t>(n) * k);  // NT layout [n, k]
+  std::vector<float> c(static_cast<size_t>(m) * n);
+  for (float& v : a) v = static_cast<float>(rng.Normal());
+  for (float& v : b) v = 0.05f * static_cast<float>(rng.Normal());
+  ThreadPool::Global().SetNumThreads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::fill(c.begin(), c.end(), 0.0f);
+    ThreadPool::Global().ParallelFor(
+        m, [&](int, int64_t r0, int64_t r1) {
+          kernels::GemmNT(a.data(), k, b.data(), k, c.data(), n, n, k, r0,
+                          r1);
+        });
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  ThreadPool::Global().SetNumThreads(1);
+}
+BENCHMARK(BM_GemmFp32)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_GemmI8(benchmark::State& state) {
+  const int m = kPaperT, k = kPaperD, n = kPaperD;
+  Rng rng(51);
+  std::vector<float> a(static_cast<size_t>(m) * k);
+  std::vector<float> w(static_cast<size_t>(k) * n);
+  for (float& v : a) v = static_cast<float>(rng.Normal());
+  for (float& v : w) v = 0.05f * static_cast<float>(rng.Normal());
+  const quant::QuantizedTensor qw =
+      quant::QuantizeTransposed(w.data(), k, n);
+  std::vector<float> scratch(quant::LinearI8ScratchFloats(m, k, n));
+  std::vector<float> c(static_cast<size_t>(m) * n);
+  ThreadPool::Global().SetNumThreads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    quant::LinearI8Forward(a.data(), qw, c.data(), m, k, n, scratch.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  ThreadPool::Global().SetNumThreads(1);
+}
+BENCHMARK(BM_GemmI8)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// Cold start: load the paper-dims block classifier's parameters from each
+// checkpoint format. RFP2 stream-parses every payload into private heap
+// copies; RFP3 mmaps the file and points the tensors at the shared pages,
+// so its "load" is an index walk plus page-table setup.
+struct ColdStartEnv {
+  ColdStartEnv() {
+    PlanPaperEnv& paper = GetPlanPaperEnv();
+    const char* tmp = std::getenv("TMPDIR");
+    const std::string dir = tmp != nullptr ? tmp : "/tmp";
+    rfp2_path = dir + "/rf_bench_cold_v2.bin";
+    rfp3_path = dir + "/rf_bench_cold_v3.bin";
+    ok = nn::SaveParameters(*paper.classifier, rfp2_path,
+                        nn::CheckpointFormat::kRfp2)
+             .ok() &&
+         nn::SaveParameters(*paper.classifier, rfp3_path,
+                        nn::CheckpointFormat::kRfp3)
+             .ok();
+    Rng rng(41);
+    target = std::make_unique<core::BlockClassifier>(paper.cfg, &rng);
+  }
+  std::string rfp2_path;
+  std::string rfp3_path;
+  std::unique_ptr<core::BlockClassifier> target;
+  bool ok = false;
+};
+
+ColdStartEnv& GetColdStartEnv() {
+  static ColdStartEnv* env = new ColdStartEnv();
+  return *env;
+}
+
+void BM_ColdStartRfp2(benchmark::State& state) {
+  ColdStartEnv& env = GetColdStartEnv();
+  if (!env.ok) {
+    state.SkipWithError("checkpoint save failed");
+    return;
+  }
+  for (auto _ : state) {
+    const Status st = nn::LoadParameters(env.target.get(), env.rfp2_path);
+    if (!st.ok()) {
+      state.SkipWithError(st.message().c_str());
+      return;
+    }
+  }
+}
+BENCHMARK(BM_ColdStartRfp2)->Unit(benchmark::kMillisecond);
+
+void BM_ColdStartRfp3Mmap(benchmark::State& state) {
+  ColdStartEnv& env = GetColdStartEnv();
+  if (!env.ok) {
+    state.SkipWithError("checkpoint save failed");
+    return;
+  }
+  for (auto _ : state) {
+    const Status st = nn::LoadParameters(env.target.get(), env.rfp3_path);
+    if (!st.ok()) {
+      state.SkipWithError(st.message().c_str());
+      return;
+    }
+  }
+}
+BENCHMARK(BM_ColdStartRfp3Mmap)->Unit(benchmark::kMillisecond);
 
 // --- observability overhead: the costs the instrumentation layer claims ---
 

@@ -16,6 +16,9 @@
 //   --trace-out FILE     enable tracing, write a chrome://tracing JSON file
 //   --metrics-out FILE   enable timed metrics, write a metrics snapshot JSON
 //   --threads N          thread-pool width (0 = auto)
+//   --use-plan           static inference-plan replay (RESUFORMER_USE_PLAN)
+//   --use-int8           int8 GEMMs inside plan replay (RESUFORMER_USE_INT8)
+//   --save-rfp3          save mmap-able RFP3 checkpoints (RESUFORMER_SAVE_RFP3)
 // With no command, train-and-parse runs — `resuformer_cli --trace-out t.json`
 // captures a trace of the full pipeline.
 
@@ -57,6 +60,13 @@ const char* StringFlagValue(int argc, char** argv, const char* name) {
     if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
   }
   return nullptr;
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
 }
 
 int CmdGenerate(int argc, char** argv) {
@@ -189,7 +199,8 @@ int Usage() {
       stderr,
       "usage: resuformer_cli <generate|stats|annotate|train-and-parse|"
       "bench-latency> [flags]\n"
-      "global flags: --trace-out FILE  --metrics-out FILE  --threads N\n");
+      "global flags: --trace-out FILE  --metrics-out FILE  --threads N\n"
+      "              --use-plan  --use-int8  --save-rfp3\n");
   return 1;
 }
 
@@ -212,6 +223,9 @@ int Run(int argc, char** argv) {
   if (metrics_out != nullptr) g_runtime.enable_metrics = true;
   g_runtime.threads = static_cast<int>(
       FlagValue(argc, argv, "--threads", g_runtime.threads));
+  if (HasFlag(argc, argv, "--use-plan")) g_runtime.use_inference_plan = true;
+  if (HasFlag(argc, argv, "--use-int8")) g_runtime.use_int8 = true;
+  if (HasFlag(argc, argv, "--save-rfp3")) g_runtime.save_rfp3 = true;
   core::ApplyRuntimeOptions(g_runtime);
 
   // A leading flag means "no command": default to the end-to-end pipeline

@@ -36,6 +36,11 @@ tools/run_clang_tidy.sh "${repo_root}/build"
 
 if [[ "${full}" == "1" ]]; then
   run_preset asan
+  # The mmap'd RFP3 loader hands out pointers into mapped pages; run the
+  # serialize suite again by name under ASan so an out-of-bounds read of a
+  # truncated mapping can never silently drop out of the full pass.
+  echo "==> [asan] mmap-load (SerializeTest) focused rerun"
+  ctest --preset asan -R 'SerializeTest' --output-on-failure -j "${jobs}"
   run_preset tsan
 fi
 

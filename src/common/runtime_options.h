@@ -20,6 +20,8 @@ namespace resuformer {
 ///   RESUFORMER_FUSED_ATTENTION  0/1    fused vs composed attention path
 ///   RESUFORMER_TENSOR_ARENA     0/1    tensor-storage recycling
 ///   RESUFORMER_USE_PLAN         0/1    static inference-plan replay
+///   RESUFORMER_USE_INT8         0/1    int8 GEMMs inside plan replay
+///   RESUFORMER_SAVE_RFP3        0/1    save mmap-able RFP3 checkpoints
 ///   RESUFORMER_METRICS          0/1    timed metrics (histograms/timers)
 ///   RESUFORMER_TRACE            0/1    scoped-span tracing
 ///   RESUFORMER_TRACE_CAPACITY   int    per-thread span ring capacity
@@ -45,6 +47,22 @@ struct RuntimeOptions {
   // core/inference_plan.h). Output is identical to the dynamic path — any
   // unplannable document falls back automatically. Default off.
   bool use_inference_plan = false;
+
+  // Quantize plan GEMMs with constant weights (Linear layers, attention
+  // projections, LSTM gates) to per-tensor symmetric int8 with int32
+  // accumulation: weights are quantized once at plan-build time,
+  // activations dynamically per replay (see tensor/quant.h). Implies plan
+  // routing in the pipeline even when use_inference_plan is off; documents
+  // the plan cannot cover still fall back to the dynamic fp32 path. Output
+  // is NOT bit-identical to fp32 — the tier-1 accuracy gate bounds the
+  // block-accuracy / NER-F1 deltas — but is deterministic at any thread
+  // count. Default off.
+  bool use_int8 = false;
+
+  // Write checkpoints in the mmap-able RFP3 layout (64-byte-aligned raw
+  // payloads; see nn/serialize.h) instead of RFP2. Loading auto-detects
+  // the format, so this only affects Save. Default off.
+  bool save_rfp3 = false;
 
   // Enables the *timed* metrics (latency histograms, thread-pool queue-wait
   // sampling). Structural counters (arena hits, documents parsed, GEMM

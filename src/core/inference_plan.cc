@@ -66,6 +66,7 @@ std::shared_ptr<const plan::Plan> InferencePlanner::SentencePlanFor(
   std::shared_ptr<const plan::Plan> built;
   {
     plan::Recorder recorder;
+    if (classifier_->config().runtime.use_int8) recorder.EnableInt8();
     Tensor rep = classifier_->encoder()->SentenceRepresentation(
         representative, representative.token_ids, nullptr);
     built = recorder.Finish(rep);
@@ -95,6 +96,7 @@ std::shared_ptr<const plan::Plan> InferencePlanner::DocumentPlanFor(
   std::shared_ptr<const plan::Plan> built;
   {
     plan::Recorder recorder;
+    if (classifier_->config().runtime.use_int8) recorder.EnableInt8();
     Tensor h = Tensor::FromData({m, d}, hidden);
     Tensor v = Tensor::FromData({m, doc::kVisualFeatureDim}, visual);
     recorder.BindInputTensor(plan::kRoleHiddenInput, h);

@@ -123,8 +123,8 @@ Tensor FuzzyCrf::MarginalNegLogLikelihood(
   self->backward_fn = [self, ei, ti, si, ni, t_len, num_labels, full,
                        constrained]() {
     const float g = self->grad[0] / t_len;
-    const float* e = ei->data.data();
-    const float* trans = ti->data.data();
+    const float* e = ei->data_ptr();
+    const float* trans = ti->data_ptr();
 
     auto marginal = [&](const LatticeResult& r, int t, int j) {
       const double logp = r.alpha[t][j] + r.beta[t][j] - r.log_z;

@@ -116,9 +116,9 @@ Tensor LinearCrf::NegLogLikelihood(const Tensor& emissions,
   self->backward_fn = [self, ei, ti, si, ni, t_len, num_labels, labels,
                        alpha, log_z]() {
     const float g = self->grad[0] / t_len;
-    const float* e = ei->data.data();
-    const float* trans = ti->data.data();
-    const float* end = ni->data.data();
+    const float* e = ei->data_ptr();
+    const float* trans = ti->data_ptr();
+    const float* end = ni->data_ptr();
     const auto beta = BackwardMessages(e, t_len, num_labels, trans, end);
 
     // Unary marginals P(y_t = j).

@@ -12,7 +12,7 @@ namespace {
 /// size() elements would touch storage that was never allocated, and
 /// stepping it would still apply weight decay / momentum to frozen weights.
 bool HasGrad(const Tensor& p) {
-  return p.impl()->grad.size() == p.impl()->data.size();
+  return static_cast<int64_t>(p.impl()->grad.size()) == p.size();
 }
 }  // namespace
 

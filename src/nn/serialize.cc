@@ -1,9 +1,21 @@
 #include "nn/serialize.h"
 
+#include <algorithm>
 #include <cstdint>
-#include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <memory>
+#include <utility>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define RESUFORMER_HAVE_MMAP 1
+#endif
+
+#include "common/metrics.h"
 #include "common/string_util.h"
 
 namespace resuformer {
@@ -13,9 +25,17 @@ namespace {
 // RFP1 stored only flattened element counts, so two same-size parameters
 // with different shapes (e.g. a transposed projection) loaded silently into
 // the wrong layout. RFP2 stores per-tensor shapes and verifies them; RFP1
-// files remain readable with the legacy size-only check.
+// files remain readable with the legacy size-only check. RFP3 moves the
+// shape index to the front of the file and aligns every raw payload to 64
+// bytes so the whole file can be mmap'd and parameters pointed straight at
+// the page cache. All multi-byte fields are little-endian; a big-endian
+// reader rejects the magic rather than mis-reading payloads.
 constexpr uint32_t kMagicV1 = 0x52465031;  // "RFP1"
 constexpr uint32_t kMagicV2 = 0x52465032;  // "RFP2"
+constexpr uint32_t kMagicV3 = 0x52465033;  // "RFP3"
+
+constexpr uint32_t kMaxRank = 8;
+constexpr uint64_t kPayloadAlign = 64;
 
 std::string ShapeToString(const std::vector<int>& shape) {
   std::string s = "[";
@@ -25,12 +45,308 @@ std::string ShapeToString(const std::vector<int>& shape) {
   }
   return s + "]";
 }
-}  // namespace
 
-Status SaveParameters(const Module& module, const std::string& path) {
+/// Byte size of the whole file, or -1 on failure. Pre-validating payload
+/// extents against this is what keeps a corrupt header from driving huge
+/// allocations or silent short reads.
+int64_t FileSizeOf(std::ifstream* in) {
+  in->seekg(0, std::ios::end);
+  const std::streamoff size = in->tellg();
+  in->seekg(0, std::ios::beg);
+  return in->good() ? static_cast<int64_t>(size) : -1;
+}
+
+Status TruncatedRecord(size_t index, const std::string& path) {
+  return Status::FailedPrecondition(StringPrintf(
+      "parameter %zu: record header extends past end of file %s",
+      index, path.c_str()));
+}
+
+/// One parsed RFP2/RFP3 index record.
+struct ParamRecord {
+  std::vector<int> shape;
+  uint64_t elements = 0;
+  uint64_t payload_offset = 0;  // RFP3 only
+};
+
+/// Reads the shape header of one RFP2 record, bounds-checking against the
+/// remaining file bytes. Leaves the stream at the start of the payload.
+Status ReadRfp2RecordHeader(std::ifstream* in, int64_t file_size,
+                            size_t index, const std::string& path,
+                            ParamRecord* rec) {
+  uint32_t rank = 0;
+  if (static_cast<int64_t>(in->tellg()) + 4 > file_size) {
+    return TruncatedRecord(index, path);
+  }
+  in->read(reinterpret_cast<char*>(&rank), sizeof(rank));
+  if (!*in || rank > kMaxRank) {
+    return Status::FailedPrecondition(StringPrintf(
+        "parameter %zu: corrupt rank %u in %s", index, rank, path.c_str()));
+  }
+  if (static_cast<int64_t>(in->tellg()) + 4 * static_cast<int64_t>(rank) >
+      file_size) {
+    return TruncatedRecord(index, path);
+  }
+  rec->shape.resize(rank);
+  rec->elements = 1;
+  for (uint32_t d = 0; d < rank; ++d) {
+    int32_t extent = 0;
+    in->read(reinterpret_cast<char*>(&extent), sizeof(extent));
+    if (!*in || extent < 0) {
+      return Status::FailedPrecondition(StringPrintf(
+          "parameter %zu: corrupt dimension in %s", index, path.c_str()));
+    }
+    rec->shape[d] = extent;
+    rec->elements *= static_cast<uint64_t>(extent);
+  }
+  // The payload must fit inside the file *before* anything reads it.
+  const int64_t payload_bytes = static_cast<int64_t>(rec->elements) * 4;
+  if (static_cast<int64_t>(in->tellg()) + payload_bytes > file_size) {
+    return Status::FailedPrecondition(StringPrintf(
+        "parameter %zu (shape %s): payload of %lld bytes extends past end "
+        "of file %s",
+        index, ShapeToString(rec->shape).c_str(),
+        static_cast<long long>(payload_bytes), path.c_str()));
+  }
+  return Status::OK();
+}
+
+Status WriteRfp3File(const std::vector<std::vector<int>>& shapes,
+                     const std::vector<const float*>& payloads,
+                     const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IoError("cannot open for write: " + path);
+  const uint64_t count = shapes.size();
+  // Header + index size determines where the aligned payload region starts.
+  uint64_t pos = sizeof(kMagicV3) + sizeof(uint32_t) + sizeof(count);
+  for (const auto& shape : shapes) {
+    pos += sizeof(uint32_t) + 4 * shape.size() + sizeof(uint64_t);
+  }
+  std::vector<uint64_t> offsets(count);
+  std::vector<uint64_t> sizes(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t elements = 1;
+    for (int d : shapes[i]) elements *= static_cast<uint64_t>(d);
+    pos = (pos + kPayloadAlign - 1) / kPayloadAlign * kPayloadAlign;
+    offsets[i] = pos;
+    sizes[i] = elements * 4;
+    pos += sizes[i];
+  }
+  const uint32_t reserved = 0;
+  out.write(reinterpret_cast<const char*>(&kMagicV3), sizeof(kMagicV3));
+  out.write(reinterpret_cast<const char*>(&reserved), sizeof(reserved));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint32_t rank = static_cast<uint32_t>(shapes[i].size());
+    out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+    for (int d : shapes[i]) {
+      const int32_t extent = d;
+      out.write(reinterpret_cast<const char*>(&extent), sizeof(extent));
+    }
+    out.write(reinterpret_cast<const char*>(&offsets[i]),
+              sizeof(offsets[i]));
+  }
+  uint64_t written = static_cast<uint64_t>(out.tellp());
+  const char zeros[kPayloadAlign] = {};
+  for (uint64_t i = 0; i < count; ++i) {
+    if (offsets[i] > written) {
+      out.write(zeros, static_cast<std::streamsize>(offsets[i] - written));
+    }
+    out.write(reinterpret_cast<const char*>(payloads[i]),
+              static_cast<std::streamsize>(sizes[i]));
+    written = offsets[i] + sizes[i];
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+#if defined(RESUFORMER_HAVE_MMAP)
+/// Owns one whole-checkpoint mapping; every parameter's external_owner is a
+/// shared_ptr to one of these, so the pages outlive the last tensor using
+/// them and the mmap_bytes gauge tracks live mappings exactly.
+struct MmapRegion {
+  void* base = nullptr;
+  size_t bytes = 0;
+  ~MmapRegion() {
+    if (base != nullptr) {
+      ::munmap(base, bytes);
+      metrics::MetricsRegistry::Global()
+          .GetGauge("checkpoint.mmap_bytes")
+          ->Add(-static_cast<int64_t>(bytes));
+    }
+  }
+};
+#endif
+
+/// Bounds-checked little-endian cursor over an in-memory RFP3 image.
+struct ByteCursor {
+  const unsigned char* base = nullptr;
+  uint64_t size = 0;
+  uint64_t pos = 0;
+  bool Read(void* out, uint64_t n) {
+    if (pos + n > size || pos + n < pos) return false;
+    std::memcpy(out, base + pos, n);
+    pos += n;
+    return true;
+  }
+  bool ReadU32(uint32_t* v) { return Read(v, sizeof(*v)); }
+  bool ReadU64(uint64_t* v) { return Read(v, sizeof(*v)); }
+  bool ReadI32(int32_t* v) { return Read(v, sizeof(*v)); }
+};
+
+/// Parses and validates an RFP3 header+index against the module's shapes
+/// and the actual file size. On success `records` holds one fully
+/// bounds-checked entry per parameter.
+Status ParseRfp3Index(const unsigned char* base, uint64_t file_size,
+                      const std::vector<Tensor>& params,
+                      const std::string& path,
+                      std::vector<ParamRecord>* records) {
+  ByteCursor cur{base, file_size, 0};
+  uint32_t magic = 0, reserved = 0;
+  uint64_t count = 0;
+  if (!cur.ReadU32(&magic) || !cur.ReadU32(&reserved) ||
+      !cur.ReadU64(&count) || magic != kMagicV3) {
+    return Status::IoError("bad parameter file header: " + path);
+  }
+  if (count != params.size()) {
+    return Status::InvalidArgument(StringPrintf(
+        "parameter count mismatch: file has %llu, module has %zu",
+        static_cast<unsigned long long>(count), params.size()));
+  }
+  records->resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    ParamRecord& rec = (*records)[i];
+    uint32_t rank = 0;
+    if (!cur.ReadU32(&rank)) return TruncatedRecord(i, path);
+    if (rank > kMaxRank) {
+      return Status::FailedPrecondition(StringPrintf(
+          "parameter %llu: corrupt rank %u in %s",
+          static_cast<unsigned long long>(i), rank, path.c_str()));
+    }
+    rec.shape.resize(rank);
+    rec.elements = 1;
+    for (uint32_t d = 0; d < rank; ++d) {
+      int32_t extent = 0;
+      if (!cur.ReadI32(&extent) || extent < 0) {
+        return Status::FailedPrecondition(StringPrintf(
+            "parameter %llu: corrupt dimension in %s",
+            static_cast<unsigned long long>(i), path.c_str()));
+      }
+      rec.shape[d] = extent;
+      rec.elements *= static_cast<uint64_t>(extent);
+    }
+    if (!cur.ReadU64(&rec.payload_offset)) return TruncatedRecord(i, path);
+    if (rec.shape != params[i].shape()) {
+      return Status::InvalidArgument(StringPrintf(
+          "parameter %llu shape mismatch in %s: file has %s, module has %s",
+          static_cast<unsigned long long>(i), path.c_str(),
+          ShapeToString(rec.shape).c_str(),
+          ShapeToString(params[i].shape()).c_str()));
+    }
+    const uint64_t bytes = rec.elements * 4;
+    if (rec.payload_offset % kPayloadAlign != 0 ||
+        rec.payload_offset + bytes > file_size ||
+        rec.payload_offset + bytes < rec.payload_offset) {
+      return Status::FailedPrecondition(StringPrintf(
+          "parameter %llu (shape %s): payload [%llu, +%llu) is misaligned "
+          "or extends past end of file %s",
+          static_cast<unsigned long long>(i),
+          ShapeToString(rec.shape).c_str(),
+          static_cast<unsigned long long>(rec.payload_offset),
+          static_cast<unsigned long long>(bytes), path.c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+Status LoadParametersRfp3(std::vector<Tensor>* params,
+                          const std::string& path) {
+#if defined(RESUFORMER_HAVE_MMAP)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IoError("cannot open for read: " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return Status::IoError("cannot stat: " + path);
+  }
+  const uint64_t file_size = static_cast<uint64_t>(st.st_size);
+  if (file_size == 0) {
+    ::close(fd);
+    return Status::IoError("bad parameter file header: " + path);
+  }
+  // MAP_PRIVATE + PROT_READ|PROT_WRITE: reads share the page cache with
+  // every other replica mapping this checkpoint; a write (fine-tuning on
+  // loaded weights) faults in a private copy instead of crashing or
+  // corrupting the file.
+  void* base = ::mmap(nullptr, file_size, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  if (base == MAP_FAILED) return Status::IoError("mmap failed: " + path);
+  auto region = std::make_shared<MmapRegion>();
+  region->base = base;
+  region->bytes = file_size;
+
+  std::vector<ParamRecord> records;
+  const Status st_idx = ParseRfp3Index(
+      static_cast<const unsigned char*>(base), file_size, *params, path,
+      &records);
+  if (!st_idx.ok()) return st_idx;  // region unmaps on return
+
+  metrics::MetricsRegistry::Global()
+      .GetGauge("checkpoint.mmap_bytes")
+      ->Add(static_cast<int64_t>(file_size));
+  metrics::MetricsRegistry::Global()
+      .GetCounter("checkpoint.mmap_loads")
+      ->Increment();
+  char* bytes = static_cast<char*>(base);
+  for (size_t i = 0; i < params->size(); ++i) {
+    // 64-byte payload alignment (validated above) implies float alignment.
+    float* payload =
+        reinterpret_cast<float*>(bytes + records[i].payload_offset);
+    (*params)[i].AttachExternalStorage(payload, region);
+  }
+  return Status::OK();
+#else
+  // No mmap on this platform: stream the payloads into heap storage (same
+  // validation, no zero-copy).
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  const int64_t file_size = FileSizeOf(&in);
+  if (file_size < 0) return Status::IoError("cannot stat: " + path);
+  std::vector<unsigned char> image(static_cast<size_t>(file_size));
+  in.read(reinterpret_cast<char*>(image.data()), file_size);
+  if (!in) return Status::IoError("truncated parameter file: " + path);
+  std::vector<ParamRecord> records;
+  const Status st_idx = ParseRfp3Index(
+      image.data(), static_cast<uint64_t>(file_size), *params, path,
+      &records);
+  if (!st_idx.ok()) return st_idx;
+  for (size_t i = 0; i < params->size(); ++i) {
+    std::memcpy((*params)[i].data(), image.data() + records[i].payload_offset,
+                records[i].elements * 4);
+  }
+  return Status::OK();
+#endif
+}
+
+}  // namespace
+
+Status SaveParameters(const Module& module, const std::string& path,
+                      CheckpointFormat format) {
   const std::vector<Tensor> params = module.Parameters();
+  if (format == CheckpointFormat::kRfp3) {
+    std::vector<std::vector<int>> shapes;
+    std::vector<const float*> payloads;
+    shapes.reserve(params.size());
+    payloads.reserve(params.size());
+    for (const Tensor& p : params) {
+      shapes.push_back(p.shape());
+      payloads.push_back(p.data());
+    }
+    return WriteRfp3File(shapes, payloads, path);
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for write: " + path);
   const uint64_t count = params.size();
   out.write(reinterpret_cast<const char*>(&kMagicV2), sizeof(kMagicV2));
   out.write(reinterpret_cast<const char*>(&count), sizeof(count));
@@ -49,8 +365,20 @@ Status SaveParameters(const Module& module, const std::string& path) {
 }
 
 Status LoadParameters(Module* module, const std::string& path) {
+  std::vector<Tensor> params = module->Parameters();
+  {
+    std::ifstream sniff(path, std::ios::binary);
+    if (!sniff) return Status::IoError("cannot open for read: " + path);
+    uint32_t magic = 0;
+    sniff.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+    if (sniff && magic == kMagicV3) {
+      return LoadParametersRfp3(&params, path);
+    }
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open for read: " + path);
+  const int64_t file_size = FileSizeOf(&in);
+  if (file_size < 0) return Status::IoError("cannot stat: " + path);
   uint32_t magic = 0;
   uint64_t count = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
@@ -58,7 +386,6 @@ Status LoadParameters(Module* module, const std::string& path) {
   if (!in || (magic != kMagicV1 && magic != kMagicV2)) {
     return Status::IoError("bad parameter file header: " + path);
   }
-  std::vector<Tensor> params = module->Parameters();
   if (count != params.size()) {
     return Status::InvalidArgument(StringPrintf(
         "parameter count mismatch: file has %llu, module has %zu",
@@ -67,32 +394,30 @@ Status LoadParameters(Module* module, const std::string& path) {
   size_t index = 0;
   for (Tensor& p : params) {
     if (magic == kMagicV2) {
-      uint32_t rank = 0;
-      in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
-      if (!in || rank > 8) {
-        return Status::IoError("corrupt parameter record in " + path);
-      }
-      std::vector<int> shape(rank);
-      for (uint32_t d = 0; d < rank; ++d) {
-        int32_t extent = 0;
-        in.read(reinterpret_cast<char*>(&extent), sizeof(extent));
-        if (!in || extent < 0) {
-          return Status::IoError("corrupt parameter record in " + path);
-        }
-        shape[d] = extent;
-      }
-      if (shape != p.shape()) {
+      ParamRecord rec;
+      const Status st = ReadRfp2RecordHeader(&in, file_size, index, path, &rec);
+      if (!st.ok()) return st;
+      if (rec.shape != p.shape()) {
         return Status::InvalidArgument(StringPrintf(
             "parameter %zu shape mismatch in %s: file has %s, module has %s",
-            index, path.c_str(), ShapeToString(shape).c_str(),
+            index, path.c_str(), ShapeToString(rec.shape).c_str(),
             ShapeToString(p.shape()).c_str()));
       }
     } else {
       // Legacy RFP1 record: flattened element count only.
       uint64_t n = 0;
+      if (static_cast<int64_t>(in.tellg()) + 8 > file_size) {
+        return TruncatedRecord(index, path);
+      }
       in.read(reinterpret_cast<char*>(&n), sizeof(n));
       if (!in || n != static_cast<uint64_t>(p.size())) {
         return Status::InvalidArgument("parameter size mismatch in " + path);
+      }
+      if (static_cast<int64_t>(in.tellg()) + static_cast<int64_t>(n) * 4 >
+          file_size) {
+        return Status::FailedPrecondition(StringPrintf(
+            "parameter %zu: payload extends past end of file %s", index,
+            path.c_str()));
       }
     }
     in.read(reinterpret_cast<char*>(p.data()),
@@ -101,6 +426,42 @@ Status LoadParameters(Module* module, const std::string& path) {
     ++index;
   }
   return Status::OK();
+}
+
+Status ConvertRfp2ToRfp3(const std::string& src_path,
+                         const std::string& dst_path) {
+  std::ifstream in(src_path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + src_path);
+  const int64_t file_size = FileSizeOf(&in);
+  if (file_size < 0) return Status::IoError("cannot stat: " + src_path);
+  uint32_t magic = 0;
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || magic != kMagicV2) {
+    return Status::InvalidArgument("not an RFP2 checkpoint: " + src_path);
+  }
+  // RFP2 records are self-describing, so conversion needs no module — but
+  // an absurd count would only be caught record-by-record below, each of
+  // which bounds-checks against the true file size before allocating.
+  std::vector<std::vector<int>> shapes;
+  std::vector<std::vector<float>> data;
+  for (uint64_t i = 0; i < count; ++i) {
+    ParamRecord rec;
+    const Status st = ReadRfp2RecordHeader(
+        &in, file_size, static_cast<size_t>(i), src_path, &rec);
+    if (!st.ok()) return st;
+    std::vector<float> payload(rec.elements);
+    in.read(reinterpret_cast<char*>(payload.data()),
+            static_cast<std::streamsize>(rec.elements * 4));
+    if (!in) return Status::IoError("truncated parameter file: " + src_path);
+    shapes.push_back(std::move(rec.shape));
+    data.push_back(std::move(payload));
+  }
+  std::vector<const float*> payloads;
+  payloads.reserve(data.size());
+  for (const auto& d : data) payloads.push_back(d.data());
+  return WriteRfp3File(shapes, payloads, dst_path);
 }
 
 Status CopyParameters(const Module& source, Module* target) {

@@ -10,16 +10,38 @@
 namespace resuformer {
 namespace nn {
 
-/// Writes the module's parameters (in Parameters() order) to a binary file.
-/// Format "RFP2": magic, parameter count, then per parameter its rank and
-/// dimensions followed by raw float32 data.
-[[nodiscard]] Status SaveParameters(const Module& module, const std::string& path);
+/// On-disk parameter layouts. All formats are little-endian and
+/// self-describing (shapes in the file); LoadParameters sniffs the magic.
+///
+///   RFP1  legacy: flattened sizes only (read-only support).
+///   RFP2  per-tensor shapes, payloads packed inline after each record.
+///   RFP3  mmap-able: a header + index up front, then 64-byte-aligned raw
+///         float32 payloads. Loading maps the file (MAP_PRIVATE,
+///         PROT_READ|PROT_WRITE) and points each parameter at its payload
+///         pages — zero-copy, so N replicas on one host share a single
+///         physical copy of the weights and cold start is a page fault,
+///         not a parse. A write (optimizer step) copy-on-writes privately.
+enum class CheckpointFormat { kRfp2, kRfp3 };
+
+/// Writes the module's parameters (in Parameters() order) to a binary file
+/// in the requested format (RFP2 by default).
+[[nodiscard]] Status SaveParameters(const Module& module,
+                                    const std::string& path,
+                                    CheckpointFormat format = CheckpointFormat::kRfp2);
 
 /// Loads parameters saved by SaveParameters into an identically-shaped
-/// module. Fails if the parameter count or any shape differs. Legacy "RFP1"
-/// files (which recorded only flattened sizes) are still readable, with the
-/// weaker size-only validation.
+/// module; the format is detected from the file magic. Every header field
+/// is validated against the actual file size before any payload is read —
+/// a truncated or corrupt file yields FailedPrecondition naming the
+/// offending parameter, never a huge allocation or a silent short read.
+/// RFP3 files are mmap'd (see CheckpointFormat); RFP1/RFP2 stream-load.
 [[nodiscard]] Status LoadParameters(Module* module, const std::string& path);
+
+/// Rewrites an RFP2 checkpoint into the mmap-able RFP3 layout without
+/// needing the module (RFP2 records are self-describing). Validates the
+/// source like LoadParameters does.
+[[nodiscard]] Status ConvertRfp2ToRfp3(const std::string& src_path,
+                                       const std::string& dst_path);
 
 /// Copies parameters between two identically-structured modules (used to
 /// clone teacher -> student in the self-distillation loop).

@@ -130,7 +130,10 @@ std::unique_ptr<ResuFormerPipeline> ResuFormerPipeline::TrainFromCorpus(
       trainer.Train(ner_data.train, ner_data.val);
   pipeline->ner_model_ = std::move(result.model);
 
-  if (options.model.runtime.use_inference_plan) {
+  // use_int8 implies plan routing: the int8 kernels only exist inside plan
+  // replay, and unplannable documents still fall back to dynamic fp32.
+  if (options.model.runtime.use_inference_plan ||
+      options.model.runtime.use_int8) {
     pipeline->planner_ = std::make_unique<core::InferencePlanner>(
         pipeline->block_classifier_.get());
   }
@@ -291,11 +294,14 @@ std::vector<ParseResult> ResuFormerPipeline::ParseBatchWithStats(
 
 Status ResuFormerPipeline::Save(const std::string& directory) const {
   RF_RETURN_NOT_OK(tokenizer_->vocab().Save(directory + "/vocab.txt"));
-  RF_RETURN_NOT_OK(
-      nn::SaveParameters(*block_classifier_, directory + "/block.bin"));
+  const nn::CheckpointFormat format = options_.model.runtime.save_rfp3
+                                          ? nn::CheckpointFormat::kRfp3
+                                          : nn::CheckpointFormat::kRfp2;
+  RF_RETURN_NOT_OK(nn::SaveParameters(*block_classifier_,
+                                      directory + "/block.bin", format));
   if (ner_model_ != nullptr) {
     RF_RETURN_NOT_OK(
-        nn::SaveParameters(*ner_model_, directory + "/ner.bin"));
+        nn::SaveParameters(*ner_model_, directory + "/ner.bin", format));
   }
   std::ofstream manifest(ManifestPath(directory));
   if (!manifest) {
@@ -393,7 +399,10 @@ Result<std::unique_ptr<ResuFormerPipeline>> ResuFormerPipeline::Load(
     if (!s.ok()) return s;
     pipeline->ner_model_->SetTraining(false);
   }
-  if (options.model.runtime.use_inference_plan) {
+  // use_int8 implies plan routing: the int8 kernels only exist inside plan
+  // replay, and unplannable documents still fall back to dynamic fp32.
+  if (options.model.runtime.use_inference_plan ||
+      options.model.runtime.use_int8) {
     pipeline->planner_ = std::make_unique<core::InferencePlanner>(
         pipeline->block_classifier_.get());
   }

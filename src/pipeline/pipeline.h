@@ -135,8 +135,9 @@ class ResuFormerPipeline {
   std::unique_ptr<text::WordPieceTokenizer> tokenizer_;
   std::unique_ptr<core::BlockClassifier> block_classifier_;
   std::unique_ptr<selftrain::NerModel> ner_model_;
-  // Non-null only when options_.model.runtime.use_inference_plan is set;
-  // ParseWithStats then routes block prediction through the plan cache.
+  // Non-null only when options_.model.runtime.use_inference_plan or
+  // .use_int8 is set; ParseWithStats then routes block prediction through
+  // the plan cache (int8 kernels when use_int8, fp32 replay otherwise).
   std::unique_ptr<core::InferencePlanner> planner_;
 };
 

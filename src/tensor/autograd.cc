@@ -49,11 +49,13 @@ void ValidateGraph(const TensorImpl* root,
   for (size_t i = 0; i < order.size(); ++i) {
     const TensorImpl* node = order[i];
     RF_DCHECK(node != nullptr);
-    RF_DCHECK_EQ(node->size(), static_cast<int64_t>(node->data.size()))
+    RF_DCHECK(node->external_data != nullptr ||
+              node->size() == static_cast<int64_t>(node->data.size()))
         << "autograd node shape product disagrees with its storage";
-    RF_DCHECK(node->grad.empty() || node->grad.size() == node->data.size())
+    RF_DCHECK(node->grad.empty() ||
+              static_cast<int64_t>(node->grad.size()) == node->size())
         << "gradient buffer size " << node->grad.size()
-        << " does not match tensor storage " << node->data.size();
+        << " does not match tensor element count " << node->size();
     RF_DCHECK(!node->backward_consumed)
         << "double backward: this node's backward_fn already ran; its "
            "closure may capture scratch buffers that were recycled after "

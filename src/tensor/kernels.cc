@@ -177,6 +177,107 @@ void GemmNTVec(const float* a, int lda, const float* b, int ldb, float* c,
   }
 }
 
+namespace {
+#if defined(RESUFORMER_HAVE_VEC)
+// Integer lanes for the int8 GEMM family. The product of two int8 values
+// fits int16 (|127 * 127| = 16129), and the SUM OF TWO such products still
+// fits (32258 < 32767), so each 32-element step multiplies two 16-lane
+// int16 vectors, adds them pairwise in int16, and only then widens to the
+// int32 accumulator — half the widening work of a naive convert-per-lane
+// loop. Integer addition is associative, so any lane order is bit-exact.
+typedef int8_t Vi8x16 __attribute__((vector_size(16)));
+typedef int16_t Vi16x16 __attribute__((vector_size(32)));
+typedef int32_t Vi32x16 __attribute__((vector_size(64)));
+
+inline Vi16x16 LoadI8AsI16(const int8_t* p) {
+  Vi8x16 v;
+  __builtin_memcpy(&v, p, sizeof(v));
+  return __builtin_convertvector(v, Vi16x16);
+}
+#endif
+
+// Exact int32 dot product of two int8 vectors of length d.
+inline int32_t DotI8(const int8_t* a, const int8_t* b, int d) {
+  int t = 0;
+  int32_t sum = 0;
+#if defined(RESUFORMER_HAVE_VEC)
+  if (d >= 32) {
+    Vi32x16 acc = {};
+    for (; t + 32 <= d; t += 32) {
+      const Vi16x16 p0 = LoadI8AsI16(a + t) * LoadI8AsI16(b + t);
+      const Vi16x16 p1 = LoadI8AsI16(a + t + 16) * LoadI8AsI16(b + t + 16);
+      acc += __builtin_convertvector(p0 + p1, Vi32x16);
+    }
+    int32_t lanes[16];
+    __builtin_memcpy(lanes, &acc, sizeof(lanes));
+    for (int l = 0; l < 16; ++l) sum += lanes[l];
+  }
+#endif
+  for (; t < d; ++t) {
+    sum += static_cast<int32_t>(a[t]) * static_cast<int32_t>(b[t]);
+  }
+  return sum;
+}
+}  // namespace
+
+void GemmNTI8(const int8_t* a, int lda, const int8_t* b, int ldb, int32_t* c,
+              int ldc, int bn, int d, int64_t r0, int64_t r1) {
+  RF_DCHECK_GE(lda, d);
+  RF_DCHECK_GE(ldb, d);
+  RF_DCHECK_GE(ldc, bn);
+  RF_DCHECK(0 <= r0 && r0 <= r1) << r0 << " vs " << r1;
+  for (int64_t i = r0; i < r1; ++i) {
+    const int8_t* arow = a + i * lda;
+    int32_t* crow = c + i * ldc;
+    for (int j = 0; j < bn; ++j) {
+      crow[j] += DotI8(arow, b + static_cast<int64_t>(j) * ldb, d);
+    }
+  }
+}
+
+void GemmNNI8(const int8_t* a, int lda, const int8_t* b, int ldb, int32_t* c,
+              int ldc, int d, int bn, int64_t r0, int64_t r1) {
+  RF_DCHECK_GE(lda, d);
+  RF_DCHECK_GE(ldb, bn);
+  RF_DCHECK_GE(ldc, bn);
+  RF_DCHECK(0 <= r0 && r0 <= r1) << r0 << " vs " << r1;
+  for (int t0 = 0; t0 < d; t0 += kKB) {
+    const int t1 = std::min(d, t0 + kKB);
+    for (int j0 = 0; j0 < bn; j0 += kJB) {
+      const int j1 = std::min(bn, j0 + kJB);
+      for (int64_t i = r0; i < r1; ++i) {
+        const int8_t* arow = a + i * lda;
+        int32_t* crow = c + i * ldc;
+        for (int t = t0; t < t1; ++t) {
+          const int32_t av = arow[t];
+          const int8_t* brow = b + static_cast<int64_t>(t) * ldb;
+          for (int j = j0; j < j1; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void GemmTNI8(const int8_t* a, int lda, const int8_t* b, int ldb, int32_t* c,
+              int ldc, int d, int bn, int64_t r0, int64_t r1) {
+  RF_DCHECK_GE(lda, r1);  // A is [d, *]: its rows must span the C rows used
+  RF_DCHECK_GE(ldb, bn);
+  RF_DCHECK_GE(ldc, bn);
+  RF_DCHECK(0 <= r0 && r0 <= r1) << r0 << " vs " << r1;
+  for (int j0 = 0; j0 < bn; j0 += kJB) {
+    const int j1 = std::min(bn, j0 + kJB);
+    for (int t = 0; t < d; ++t) {
+      const int8_t* arow = a + static_cast<int64_t>(t) * lda;
+      const int8_t* brow = b + static_cast<int64_t>(t) * ldb;
+      for (int64_t i = r0; i < r1; ++i) {
+        const int32_t av = arow[i];
+        int32_t* crow = c + i * ldc;
+        for (int j = j0; j < j1; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
 void ScaleAddSoftmaxRow(float* row, const float* bias, int n, float scale) {
   RF_DCHECK_GT(n, 0) << "softmax over an empty row";
   if (bias != nullptr) {

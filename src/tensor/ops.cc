@@ -134,7 +134,7 @@ void SetBackward(Tensor* out, Fn fn) {
   if constexpr (DcheckEnabled()) {
     TensorImpl* self = out->impl().get();
     out->impl()->backward_fn = [self, fn = std::move(fn)]() {
-      RF_DCHECK_EQ(self->grad.size(), self->data.size())
+      RF_DCHECK_EQ(static_cast<int64_t>(self->grad.size()), self->size())
           << "op backward ran before this node's gradient buffer was "
              "materialized — the graph below it is inconsistent";
       fn();
@@ -188,7 +188,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     if (ai->requires_grad) {
       ai->EnsureGrad();
       float* da = ai->grad.data();
-      const float* pb = bi->data.data();
+      const float* pb = bi->data_ptr();
       // dA = dC * B^T, partitioned over dA rows.
       ForRows(m, work, kGemmParallelWork,
               [&](int /*worker*/, int64_t r0, int64_t r1) {
@@ -198,7 +198,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     if (bi->requires_grad) {
       bi->EnsureGrad();
       float* db = bi->grad.data();
-      const float* pa = ai->data.data();
+      const float* pa = ai->data_ptr();
       // dB = A^T * dC, partitioned over dB rows so the shared output needs
       // no atomics or per-worker buffers.
       ForRows(k, work, kGemmParallelWork,
@@ -233,7 +233,7 @@ Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
     if (ai->requires_grad) {
       ai->EnsureGrad();
       float* da = ai->grad.data();
-      const float* pb = bi->data.data();
+      const float* pb = bi->data_ptr();
       // dA = dC * B ([m,n] x [n,k]), partitioned over dA rows.
       ForRows(m, work, kGemmParallelWork,
               [&](int /*worker*/, int64_t r0, int64_t r1) {
@@ -243,7 +243,7 @@ Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
     if (bi->requires_grad) {
       bi->EnsureGrad();
       float* db = bi->grad.data();
-      const float* pa = ai->data.data();
+      const float* pa = ai->data_ptr();
       // dB = dC^T * A ([n,m] x [m,k]), partitioned over dB rows.
       ForRows(n, work, kGemmParallelWork,
               [&](int /*worker*/, int64_t r0, int64_t r1) {
@@ -277,7 +277,7 @@ Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
     if (ai->requires_grad) {
       ai->EnsureGrad();
       float* da = ai->grad.data();
-      const float* pb = bi->data.data();
+      const float* pb = bi->data_ptr();
       // dA = B * dC^T ([k,n] x [n,m]), partitioned over dA rows.
       ForRows(k, work, kGemmParallelWork,
               [&](int /*worker*/, int64_t r0, int64_t r1) {
@@ -287,7 +287,7 @@ Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
     if (bi->requires_grad) {
       bi->EnsureGrad();
       float* db = bi->grad.data();
-      const float* pa = ai->data.data();
+      const float* pa = ai->data_ptr();
       // dB = A * dC ([k,m] x [m,n]), partitioned over dB rows.
       ForRows(k, work, kGemmParallelWork,
               [&](int /*worker*/, int64_t r0, int64_t r1) {
@@ -387,7 +387,7 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
       ai->EnsureGrad();
       ForElems(n, [self, ai, bi](int64_t begin, int64_t end) {
         for (int64_t i = begin; i < end; ++i) {
-          ai->grad[i] += self->grad[i] * bi->data[i];
+          ai->grad[i] += self->grad[i] * bi->data_ptr()[i];
         }
       });
     }
@@ -395,7 +395,7 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
       bi->EnsureGrad();
       ForElems(n, [self, ai, bi](int64_t begin, int64_t end) {
         for (int64_t i = begin; i < end; ++i) {
-          bi->grad[i] += self->grad[i] * ai->data[i];
+          bi->grad[i] += self->grad[i] * ai->data_ptr()[i];
         }
       });
     }
@@ -455,7 +455,7 @@ Tensor Elementwise(const Tensor& a, FwdFn fwd, BwdFn dydx) {
     ai->EnsureGrad();
     ForElems(n, [self, ai, dydx](int64_t begin, int64_t end) {
       for (int64_t i = begin; i < end; ++i) {
-        ai->grad[i] += self->grad[i] * dydx(ai->data[i], self->data[i]);
+        ai->grad[i] += self->grad[i] * dydx(ai->data_ptr()[i], self->data_ptr()[i]);
       }
     });
   });
@@ -525,7 +525,7 @@ Tensor Softmax(const Tensor& a) {
     ForRows(m, work, kRowParallelWork,
             [self, ai, n](int /*worker*/, int64_t r0, int64_t r1) {
               for (int64_t i = r0; i < r1; ++i) {
-                const float* y = self->data.data() + i * n;
+                const float* y = self->data_ptr() + i * n;
                 const float* dy = self->grad.data() + i * n;
                 float* dx = ai->grad.data() + i * n;
                 float dot = 0.0f;
@@ -554,7 +554,7 @@ Tensor LogSoftmax(const Tensor& a) {
     ForRows(m, work, kRowParallelWork,
             [self, ai, n](int /*worker*/, int64_t r0, int64_t r1) {
               for (int64_t i = r0; i < r1; ++i) {
-                const float* y = self->data.data() + i * n;
+                const float* y = self->data_ptr() + i * n;
                 const float* dy = self->grad.data() + i * n;
                 float* dx = ai->grad.data() + i * n;
                 float total = 0.0f;
@@ -606,7 +606,7 @@ Tensor ScaleAddSoftmax(const Tensor& a, float scale, const Tensor& bias) {
       // stay serial (rare: attention biases are buffers, not parameters).
       std::vector<float> dt(n);
       for (int64_t i = 0; i < m; ++i) {
-        const float* y = self->data.data() + i * n;
+        const float* y = self->data_ptr() + i * n;
         const float* dy = self->grad.data() + i * n;
         kernels::SoftmaxBackwardRow(y, dy, dt.data(), n, /*out_overwrite=*/true);
         for (int j = 0; j < n; ++j) bi->grad[j] += dt[j];
@@ -621,7 +621,7 @@ Tensor ScaleAddSoftmax(const Tensor& a, float scale, const Tensor& bias) {
             [&](int /*worker*/, int64_t r0, int64_t r1) {
               std::vector<float> dt(n);
               for (int64_t i = r0; i < r1; ++i) {
-                const float* y = self->data.data() + i * n;
+                const float* y = self->data_ptr() + i * n;
                 const float* dy = self->grad.data() + i * n;
                 kernels::SoftmaxBackwardRow(y, dy, dt.data(), n,
                                             /*out_overwrite=*/true);
@@ -698,9 +698,9 @@ Tensor FusedMultiHeadAttention(const Tensor& q, const Tensor& k,
     if (need_dbias) bi->EnsureGrad();
     const float* pattn = attn->data();
     const float* pdy = self->grad.data();
-    const float* pq = qi->data.data();
-    const float* pk = ki->data.data();
-    const float* pv = vi->data.data();
+    const float* pq = qi->data_ptr();
+    const float* pk = ki->data_ptr();
+    const float* pv = vi->data_ptr();
     const int64_t hsz = static_cast<int64_t>(t_len) * t_len;
 
     // Phase 1: dScores[h,i,:] = softmax_backward(dAttn[h,i,:]) where
@@ -892,7 +892,7 @@ Tensor SoftCrossEntropy(const Tensor& logits, const Tensor& soft_targets,
     for (int i = 0; i < m; ++i) {
       if (weights[i] == 0.0f) continue;
       const float* prow = probs.data() + static_cast<int64_t>(i) * n;
-      const float* trow = ti->data.data() + static_cast<int64_t>(i) * n;
+      const float* trow = ti->data_ptr() + static_cast<int64_t>(i) * n;
       float* drow = li->grad.data() + static_cast<int64_t>(i) * n;
       float tsum = 0.0f;
       for (int j = 0; j < n; ++j) tsum += trow[j];
@@ -1151,7 +1151,7 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
       // Serial path accumulates straight into the shared grad buffers in the
       // legacy row order (bit-identical to the pre-pool kernel).
       for (int64_t i = 0; i < m; ++i) {
-        const float* xrow = xi->data.data() + i * n;
+        const float* xrow = xi->data_ptr() + i * n;
         const float* dy = self->grad.data() + i * n;
         const float is = inv_std[i];
         const float mean = means[i];
@@ -1166,7 +1166,7 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
         if (need_dx) {
           float s1 = 0.0f, s2 = 0.0f;
           for (int j = 0; j < n; ++j) {
-            const float gdy = dy[j] * gi->data[j];
+            const float gdy = dy[j] * gi->data_ptr()[j];
             const float xhat = (xrow[j] - mean) * is;
             s1 += gdy;
             s2 += gdy * xhat;
@@ -1175,7 +1175,7 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
           s2 /= n;
           float* dx = xi->grad.data() + i * n;
           for (int j = 0; j < n; ++j) {
-            const float gdy = dy[j] * gi->data[j];
+            const float gdy = dy[j] * gi->data_ptr()[j];
             const float xhat = (xrow[j] - mean) * is;
             dx[j] += (gdy - s1 - xhat * s2) * is;
           }
@@ -1202,7 +1202,7 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                                        static_cast<int64_t>(worker) * n
                                  : nullptr;
               for (int64_t i = r0; i < r1; ++i) {
-                const float* xrow = xi->data.data() + i * n;
+                const float* xrow = xi->data_ptr() + i * n;
                 const float* dy = self->grad.data() + i * n;
                 const float is = inv_std[i];
                 const float mean = means[i];
@@ -1218,7 +1218,7 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                   // dx = (g*dy - mean(g*dy) - xhat*mean(g*dy*xhat)) * inv_std
                   float s1 = 0.0f, s2 = 0.0f;
                   for (int j = 0; j < n; ++j) {
-                    const float gdy = dy[j] * gi->data[j];
+                    const float gdy = dy[j] * gi->data_ptr()[j];
                     const float xhat = (xrow[j] - mean) * is;
                     s1 += gdy;
                     s2 += gdy * xhat;
@@ -1227,7 +1227,7 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                   s2 /= n;
                   float* dx = xi->grad.data() + i * n;
                   for (int j = 0; j < n; ++j) {
-                    const float gdy = dy[j] * gi->data[j];
+                    const float gdy = dy[j] * gi->data_ptr()[j];
                     const float xhat = (xrow[j] - mean) * is;
                     dx[j] += (gdy - s1 - xhat * s2) * is;
                   }
@@ -1285,7 +1285,7 @@ Tensor L2NormalizeRows(const Tensor& a, float eps) {
     if (!ai->requires_grad) return;
     ai->EnsureGrad();
     for (int i = 0; i < m; ++i) {
-      const float* y = self->data.data() + static_cast<int64_t>(i) * n;
+      const float* y = self->data_ptr() + static_cast<int64_t>(i) * n;
       const float* dy = self->grad.data() + static_cast<int64_t>(i) * n;
       float* dx = ai->grad.data() + static_cast<int64_t>(i) * n;
       float dot = 0.0f;

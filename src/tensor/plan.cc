@@ -5,8 +5,10 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "tensor/arena.h"
 #include "tensor/op_compute.h"
+#include "tensor/quant.h"
 
 namespace resuformer {
 namespace plan {
@@ -46,6 +48,14 @@ void ExecMatMulTN(const Instr& ins, ExecContext& ctx) {
   std::fill(c, c + static_cast<int64_t>(ins.p0) * ins.p2, 0.0f);
   opcompute::MatMulTNForward(Src(ctx, ins.in0), Src(ctx, ins.in1), c, ins.p0,
                              ins.p1, ins.p2);
+}
+
+void ExecLinearI8(const Instr& ins, ExecContext& ctx) {
+  // No zero-fill of the output: LinearI8Forward overwrites C (the int32
+  // accumulators in scratch are what get zeroed, inside quant.cc).
+  quant::LinearI8Forward(Src(ctx, ins.in0), *ins.qweight, Dst(ctx, ins.out),
+                         ins.p0, ins.p1, ins.p2,
+                         ctx.workspace + ins.scratch_offset);
 }
 
 void ExecTranspose(const Instr& ins, ExecContext& ctx) {
@@ -436,6 +446,43 @@ void Recorder::RecordLayerNorm(const Tensor& x, const Tensor& gamma,
   ins.out = RegisterOutput(out);
 }
 
+void Recorder::RewriteGemmsToInt8() {
+  metrics::Counter* rewrites =
+      metrics::MetricsRegistry::Global().GetCounter("quant.instrs_rewritten");
+  // One quantized copy per (weight value, layout): a weight feeding several
+  // GEMMs in the same orientation (e.g. a shared embedding matrix) is
+  // quantized once and shared by shared_ptr.
+  std::unordered_map<int64_t, std::shared_ptr<const quant::QuantizedTensor>>
+      cache;
+  for (Instr& ins : instrs_) {
+    const bool nn = ins.exec == ExecMatMulNN;
+    const bool nt = ins.exec == ExecMatMulNT;
+    if ((!nn && !nt) || ins.in1 < 0) continue;
+    const Value& w = values_[ins.in1];
+    // Only plan constants qualify: their bytes are frozen for the plan's
+    // lifetime, so quantizing once at build time is sound. Dynamic operands
+    // (attention QK^T / AV) stay fp32.
+    if (w.kind != Value::kConstant) continue;
+    if (ins.p1 > quant::kMaxI8ReduceDim) continue;  // int32 would overflow
+    const int64_t key = static_cast<int64_t>(ins.in1) * 2 + (nn ? 1 : 0);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+      // NN: B is [k, n], pre-transpose to NT layout [n, k]. NT: B is
+      // already [n, k].
+      auto q = std::make_shared<quant::QuantizedTensor>(
+          nn ? quant::QuantizeTransposed(w.constant->data_ptr(), ins.p1,
+                                         ins.p2)
+             : quant::QuantizeRows(w.constant->data_ptr(), ins.p2, ins.p1));
+      it = cache.emplace(key, std::move(q)).first;
+    }
+    ins.qweight = it->second;
+    ins.exec = ExecLinearI8;
+    ins.name = nn ? "matmul_nn_i8" : "matmul_nt_i8";
+    ins.scratch_size = quant::LinearI8ScratchFloats(ins.p0, ins.p1, ins.p2);
+    rewrites->Increment();
+  }
+}
+
 std::shared_ptr<const Plan> Recorder::Finish(const Tensor& output) {
   if (poisoned_ || pending_gather_role_ != -1) return nullptr;
   // An op with no recording hook (a training-only op, or one added later
@@ -447,6 +494,10 @@ std::shared_ptr<const Plan> Recorder::Finish(const Tensor& output) {
   if (it == ids_.end()) return nullptr;
   const int out_id = it->second;
   if (values_[out_id].kind != Value::kTemp) return nullptr;
+
+  // Kernel substitution happens before liveness so the quant scratch gets a
+  // workspace slot like any other per-instruction scratch.
+  if (int8_enabled_) RewriteGemmsToInt8();
 
   // Last-use liveness over value ids; the plan output lives to the end.
   const int64_t num_instrs = static_cast<int64_t>(instrs_.size());
@@ -565,7 +616,7 @@ bool PlanExecutor::Run(const Plan& plan, const BindingSet& bindings,
     switch (v.kind) {
       case Value::kConstant:
         // const_cast is safe: exec functions only ever write kTemp slots.
-        ctx.ptrs[i] = const_cast<float*>(v.constant->data.data());
+        ctx.ptrs[i] = const_cast<float*>(v.constant->data_ptr());
         break;
       case Value::kBinding:
         ctx.ptrs[i] = const_cast<float*>(bindings.tensors[v.role]);

@@ -9,6 +9,9 @@
 #include "tensor/tensor.h"
 
 namespace resuformer {
+namespace quant {
+struct QuantizedTensor;
+}  // namespace quant
 namespace plan {
 
 /// \brief Static inference plans: trace a forward pass once, replay it per
@@ -86,8 +89,13 @@ struct Instr {
   bool flag = false;          // broadcast, op-dependent
   std::vector<int> indices;   // literal gather indices
   int index_role = -1;        // gather indices come from the BindingSet
-  int64_t scratch_offset = -1;  // fused attention [H,T,T] probability slab
+  int64_t scratch_offset = -1;  // attention prob slab / int8 quant scratch
   int64_t scratch_size = 0;
+  /// Int8 rewrite (Recorder::Finish with EnableInt8): the constant operand
+  /// quantized once at plan-build time, in NT layout [out, in]. The fp32
+  /// constant stays referenced through in1 (it is the module's own weight
+  /// storage, alive regardless), but the replay never reads it.
+  std::shared_ptr<const quant::QuantizedTensor> qweight;
 };
 
 /// Immutable replayable program. Never mutated after Finish; safe to share
@@ -150,6 +158,15 @@ class Recorder {
   /// `role` at replay instead of baking in the traced literals.
   void AnnotateNextGather(int role);
 
+  /// Makes Finish() rewrite every GEMM whose B operand is a plan constant
+  /// (Linear layers, attention projections, LSTM gates) to the int8 kernel:
+  /// the weight is quantized per-tensor once at plan-build time and cached
+  /// in the instruction; activations are quantized dynamically per replay.
+  /// Must be called before the traced forward runs. Replays are then NOT
+  /// bit-identical to the fp32 path (see the tier-1 accuracy gate), but
+  /// remain deterministic at any thread count.
+  void EnableInt8() { int8_enabled_ = true; }
+
   /// Flattens the capture into an immutable plan. Returns nullptr when the
   /// trace is unusable: an unsupported op ran (node/instruction count
   /// mismatch), a structural check failed, or `output` was never recorded.
@@ -189,7 +206,12 @@ class Recorder {
   int RegisterOutput(const Tensor& out);
   Instr& Append(ExecFn fn, const char* name);
 
+  /// Rewrites eligible GEMM instructions to int8 (called from Finish when
+  /// int8 is enabled, before liveness analysis assigns scratch offsets).
+  void RewriteGemmsToInt8();
+
   bool poisoned_ = false;
+  bool int8_enabled_ = false;
   int64_t node_count_ = 0;
   int64_t instr_count_ = 0;
   int pending_gather_role_ = -1;

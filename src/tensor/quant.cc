@@ -1,0 +1,138 @@
+#include "tensor/quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "tensor/kernels.h"
+#include "tensor/op_compute.h"
+
+namespace resuformer {
+namespace quant {
+
+namespace {
+
+struct QuantMetrics {
+  metrics::Counter* weights_quantized;
+  metrics::Counter* dynamic_quants;
+};
+
+QuantMetrics& Metrics() {
+  static QuantMetrics m = [] {
+    auto& reg = metrics::MetricsRegistry::Global();
+    return QuantMetrics{reg.GetCounter("quant.weights_quantized"),
+                        reg.GetCounter("quant.dynamic_quants")};
+  }();
+  return m;
+}
+
+/// Saturating round-half-away-from-zero to [-127, 127]. std::lround is
+/// exactly this rounding mode; the clamp makes values at max|x| (which
+/// round to +/-127 by construction) and any future out-of-range input safe.
+inline int8_t SaturateRound(float scaled) {
+  const long r = std::lround(scaled);
+  return static_cast<int8_t>(std::min(127L, std::max(-127L, r)));
+}
+
+}  // namespace
+
+float ComputeScale(const float* x, int64_t n) {
+  float amax = 0.0f;
+  for (int64_t i = 0; i < n; ++i) amax = std::max(amax, std::fabs(x[i]));
+  return amax / 127.0f;
+}
+
+void Quantize(const float* x, int64_t n, float scale, int8_t* out) {
+  RF_DCHECK_GT(scale, 0.0f);
+  const float inv = 1.0f / scale;
+  for (int64_t i = 0; i < n; ++i) out[i] = SaturateRound(x[i] * inv);
+}
+
+void Dequantize(const int8_t* q, int64_t n, float scale, float* out) {
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = static_cast<float>(q[i]) * scale;
+  }
+}
+
+QuantizedTensor QuantizeTransposed(const float* w, int k, int n) {
+  QuantizedTensor qt;
+  qt.rows = n;
+  qt.cols = k;
+  qt.scale = ComputeScale(w, static_cast<int64_t>(k) * n);
+  qt.data.assign(static_cast<size_t>(k) * n, 0);
+  if (qt.scale == 0.0f) return qt;
+  const float inv = 1.0f / qt.scale;
+  for (int t = 0; t < k; ++t) {
+    const float* wrow = w + static_cast<int64_t>(t) * n;
+    for (int j = 0; j < n; ++j) {
+      qt.data[static_cast<int64_t>(j) * k + t] = SaturateRound(wrow[j] * inv);
+    }
+  }
+  Metrics().weights_quantized->Increment();
+  return qt;
+}
+
+QuantizedTensor QuantizeRows(const float* w, int rows, int cols) {
+  QuantizedTensor qt;
+  qt.rows = rows;
+  qt.cols = cols;
+  const int64_t n = static_cast<int64_t>(rows) * cols;
+  qt.scale = ComputeScale(w, n);
+  qt.data.assign(static_cast<size_t>(n), 0);
+  if (qt.scale != 0.0f) {
+    Quantize(w, n, qt.scale, qt.data.data());
+    Metrics().weights_quantized->Increment();
+  }
+  return qt;
+}
+
+int64_t LinearI8ScratchFloats(int m, int k, int n) {
+  const int64_t acc_floats = static_cast<int64_t>(m) * n;
+  const int64_t qa_floats = (static_cast<int64_t>(m) * k + 3) / 4;
+  return acc_floats + qa_floats;
+}
+
+void LinearI8Forward(const float* a, const QuantizedTensor& w, float* c,
+                     int m, int k, int n, float* scratch) {
+  RF_DCHECK_EQ(w.rows, n);
+  RF_DCHECK_EQ(w.cols, k);
+  RF_DCHECK_LE(k, kMaxI8ReduceDim);
+  const int64_t out_elems = static_cast<int64_t>(m) * n;
+  const float sa = ComputeScale(a, static_cast<int64_t>(m) * k);
+  if (sa == 0.0f || w.scale == 0.0f) {
+    // One operand is exactly zero, so the product is exactly zero. (Unlike
+    // the fp32 kernels there is no NaN to propagate: quantization already
+    // collapsed non-finite values.)
+    std::fill(c, c + out_elems, 0.0f);
+    return;
+  }
+  Metrics().dynamic_quants->Increment();
+  // Workspace layout: the int32 accumulator block first (float-aligned is
+  // int32-aligned), then the int8 activations packed 4 per float. The casts
+  // below are the reason this TU is on rf_lint rule 11's allow-list.
+  int32_t* c32 = reinterpret_cast<int32_t*>(scratch);
+  int8_t* qa = reinterpret_cast<int8_t*>(scratch + out_elems);
+  const float dq = sa * w.scale;
+  const float inv_sa = 1.0f / sa;
+  // One fork for quantize + GEMM + dequantize: a worker's rows [r0, r1)
+  // touch only A rows [r0, r1) and C rows [r0, r1), so no cross-worker
+  // dependency exists once sa is fixed — and integer accumulation makes the
+  // result exact (identical) at any thread count or partition.
+  const int64_t work = static_cast<int64_t>(m) * k * n;
+  opcompute::ForRows(
+      m, work, opcompute::kGemmParallelWork,
+      [&](int /*worker*/, int64_t r0, int64_t r1) {
+        for (int64_t i = r0 * k; i < r1 * k; ++i) {
+          qa[i] = SaturateRound(a[i] * inv_sa);
+        }
+        std::fill(c32 + r0 * n, c32 + r1 * n, 0);
+        kernels::GemmNTI8(qa, k, w.data.data(), k, c32, n, n, k, r0, r1);
+        for (int64_t i = r0 * n; i < r1 * n; ++i) {
+          c[i] = static_cast<float>(c32[i]) * dq;
+        }
+      });
+}
+
+}  // namespace quant
+}  // namespace resuformer

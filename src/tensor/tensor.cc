@@ -102,11 +102,11 @@ int Tensor::cols() const { return rank() == 1 ? dim(0) : dim(1); }
 
 float* Tensor::data() {
   RF_CHECK(defined());
-  return impl_->data.data();
+  return impl_->data_ptr();
 }
 const float* Tensor::data() const {
   RF_CHECK(defined());
-  return impl_->data.data();
+  return impl_->data_ptr();
 }
 
 float* Tensor::grad() {
@@ -122,19 +122,19 @@ const float* Tensor::grad() const {
 
 float& Tensor::at(int r, int c) {
   RF_CHECK_EQ(rank(), 2);
-  return impl_->data[static_cast<size_t>(r) * cols() + c];
+  return impl_->data_ptr()[static_cast<size_t>(r) * cols() + c];
 }
 float Tensor::at(int r, int c) const {
   RF_CHECK_EQ(rank(), 2);
-  return impl_->data[static_cast<size_t>(r) * cols() + c];
+  return impl_->data_ptr()[static_cast<size_t>(r) * cols() + c];
 }
 float& Tensor::at(int i) {
   RF_CHECK_EQ(rank(), 1);
-  return impl_->data[i];
+  return impl_->data_ptr()[i];
 }
 float Tensor::at(int i) const {
   RF_CHECK_EQ(rank(), 1);
-  return impl_->data[i];
+  return impl_->data_ptr()[i];
 }
 
 bool Tensor::requires_grad() const {
@@ -152,7 +152,7 @@ void Tensor::set_requires_grad(bool requires_grad) {
 
 void Tensor::ZeroGrad() {
   RF_CHECK(defined());
-  impl_->grad.assign(impl_->data.size(), 0.0f);
+  impl_->grad.assign(static_cast<size_t>(impl_->size()), 0.0f);
 }
 
 void Tensor::Backward() { RunBackward(impl_); }
@@ -161,14 +161,32 @@ Tensor Tensor::Detach() const {
   RF_CHECK(defined());
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = impl_->shape;
-  impl->data = impl_->data;
+  impl->data.assign(impl_->data_ptr(), impl_->data_ptr() + impl_->size());
   impl->requires_grad = false;
   return Tensor(std::move(impl));
 }
 
+void Tensor::AttachExternalStorage(float* ptr, std::shared_ptr<void> owner) {
+  RF_CHECK(defined());
+  RF_CHECK(ptr != nullptr);
+  TensorImpl* im = impl_.get();
+  if (!im->data.empty() || im->data_from_arena) {
+    TensorArena::Global().Release(std::move(im->data), im->data_from_arena);
+    im->data.clear();
+    im->data_from_arena = false;
+  }
+  im->external_data = ptr;
+  im->external_owner = std::move(owner);
+}
+
+bool Tensor::has_external_storage() const {
+  RF_CHECK(defined());
+  return impl_->external_data != nullptr;
+}
+
 float Tensor::item() const {
   RF_CHECK_EQ(size(), 1);
-  return impl_->data[0];
+  return impl_->data_ptr()[0];
 }
 
 std::string Tensor::ShapeString() const {

@@ -17,11 +17,28 @@ struct TensorImpl {
 
   std::vector<int> shape;
   std::vector<float> data;
-  std::vector<float> grad;  // same size as data once EnsureGrad() ran
+  std::vector<float> grad;  // size() elements once EnsureGrad() ran
   bool requires_grad = false;
   // True when `data` was drawn from the TensorArena free lists; balances
   // the arena's outstanding-buffer count on destruction.
   bool data_from_arena = false;
+
+  // External storage mode (mmap'd RFP3 checkpoints): when set, `data` is
+  // empty and every element access routes through `external_data`, whose
+  // backing memory is pinned by `external_owner` (typically the munmap
+  // deleter of a whole checkpoint mapping shared by all parameters). The
+  // mapping is MAP_PRIVATE with PROT_READ|PROT_WRITE, so reads share one
+  // physical copy across processes and a write (an optimizer step) faults
+  // in a private copy-on-write page instead of crashing.
+  float* external_data = nullptr;
+  std::shared_ptr<void> external_owner;
+
+  float* data_ptr() {
+    return external_data != nullptr ? external_data : data.data();
+  }
+  const float* data_ptr() const {
+    return external_data != nullptr ? external_data : data.data();
+  }
 
   // Reverse-mode autograd: when this node was produced by an op, parents
   // holds its inputs and backward_fn accumulates into their grad buffers.
@@ -38,7 +55,9 @@ struct TensorImpl {
     return n;
   }
   void EnsureGrad() {
-    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+    if (static_cast<int64_t>(grad.size()) != size()) {
+      grad.assign(static_cast<size_t>(size()), 0.0f);
+    }
   }
 };
 
@@ -109,6 +128,15 @@ class Tensor {
 
   /// Detached copy sharing no autograd history (data is copied).
   [[nodiscard]] Tensor Detach() const;
+
+  /// Switches this tensor to external storage: element data now lives at
+  /// `ptr` (size() floats, 4-byte aligned), kept alive by `owner`. The
+  /// previous heap buffer is returned to the arena. Used by the RFP3
+  /// mmap loader to point parameters at checkpoint pages (zero-copy).
+  void AttachExternalStorage(float* ptr, std::shared_ptr<void> owner);
+
+  /// True when this tensor's elements live in external (mmap'd) storage.
+  bool has_external_storage() const;
 
   /// Scalar value of a 1-element tensor.
   float item() const;

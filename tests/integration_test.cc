@@ -1,12 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "core/block_classifier.h"
+#include "core/inference_plan.h"
 #include "pipeline/pipeline.h"
 
 namespace resuformer {
@@ -311,6 +318,122 @@ TEST(PipelineIntegrationTest, EndToEndTrainAndParse) {
                   dynamic_parse.blocks[i].entities[e].tag);
         EXPECT_EQ(plan_parse.blocks[i].entities[e].text,
                   dynamic_parse.blocks[i].entities[e].text);
+      }
+    }
+  }
+
+  // ----- Int8 accuracy gate (PR 7) -----------------------------------------
+  // Quantized inference must stay within a stated tolerance of fp32 on this
+  // corpus: block sentence-label accuracy within kBlockAccuracyTolerance
+  // (absolute), and the entity outputs — whose NER model itself never
+  // quantizes, so any drift comes from block segmentation — within
+  // kNerF1Tolerance of exact agreement with the fp32 parse.
+  constexpr double kBlockAccuracyTolerance = 0.02;
+  constexpr double kNerF1Tolerance = 0.02;
+
+  PipelineOptions int8_options = TinyOptions();
+  int8_options.model.runtime.use_int8 = true;
+  auto int8_pipe = ResuFormerPipeline::Load(dir, int8_options);
+  ASSERT_TRUE(int8_pipe.ok()) << int8_pipe.status().ToString();
+
+  std::vector<core::LabeledDocument> gate_docs;
+  for (const auto& labeled : corpus.val) {
+    gate_docs.push_back(core::MakeLabeledDocument(
+        labeled.document, (*loaded)->tokenizer(), TinyOptions().model));
+  }
+  for (const auto& labeled : corpus.test) {
+    gate_docs.push_back(core::MakeLabeledDocument(
+        labeled.document, (*loaded)->tokenizer(), TinyOptions().model));
+  }
+  const double fp32_acc =
+      core::SentenceLabelAccuracy((*loaded)->block_classifier(), gate_docs);
+  core::InferencePlanner int8_planner(&(*int8_pipe)->block_classifier());
+  int correct = 0, total = 0;
+  for (const core::LabeledDocument& ex : gate_docs) {
+    if (ex.document.sentences.empty()) continue;
+    const std::vector<int> pred = int8_planner.Predict(ex.document);
+    for (size_t i = 0; i < pred.size() && i < ex.labels.size(); ++i) {
+      correct += pred[i] == ex.labels[i];
+      ++total;
+    }
+  }
+  ASSERT_GT(total, 0);
+  const double int8_acc = static_cast<double>(correct) / total;
+  EXPECT_GE(int8_acc, fp32_acc - kBlockAccuracyTolerance)
+      << "int8 block accuracy regressed beyond tolerance: fp32=" << fp32_acc
+      << " int8=" << int8_acc << " delta=" << (fp32_acc - int8_acc);
+
+  // Entity agreement: exact (block tag, entity tag, text) matches between
+  // the int8 and fp32 parses, scored as F1 with fp32 as reference.
+  int64_t matched = 0, int8_total = 0, fp32_total = 0;
+  for (const auto& labeled : corpus.test) {
+    const StructuredResume fp = (*loaded)->Parse(labeled.document);
+    const StructuredResume qp = (*int8_pipe)->Parse(labeled.document);
+    std::vector<std::string> fp_entities, qp_entities;
+    for (const StructuredBlock& b : fp.blocks) {
+      for (const StructuredEntity& e : b.entities) {
+        fp_entities.push_back(doc::BlockTagName(b.tag) + "/" +
+                              doc::EntityTagName(e.tag) + "/" + e.text);
+      }
+    }
+    for (const StructuredBlock& b : qp.blocks) {
+      for (const StructuredEntity& e : b.entities) {
+        qp_entities.push_back(doc::BlockTagName(b.tag) + "/" +
+                              doc::EntityTagName(e.tag) + "/" + e.text);
+      }
+    }
+    std::sort(fp_entities.begin(), fp_entities.end());
+    std::sort(qp_entities.begin(), qp_entities.end());
+    std::vector<std::string> common;
+    std::set_intersection(fp_entities.begin(), fp_entities.end(),
+                          qp_entities.begin(), qp_entities.end(),
+                          std::back_inserter(common));
+    matched += static_cast<int64_t>(common.size());
+    int8_total += static_cast<int64_t>(qp_entities.size());
+    fp32_total += static_cast<int64_t>(fp_entities.size());
+  }
+  ASSERT_GT(fp32_total, 0);
+  const double precision =
+      int8_total > 0 ? static_cast<double>(matched) / int8_total : 0.0;
+  const double recall = static_cast<double>(matched) / fp32_total;
+  const double entity_f1 = (precision + recall) > 0
+                               ? 2 * precision * recall / (precision + recall)
+                               : 0.0;
+  EXPECT_GE(entity_f1, 1.0 - kNerF1Tolerance)
+      << "int8 entity agreement F1 drifted beyond tolerance: F1="
+      << entity_f1 << " delta=" << (1.0 - entity_f1) << " (" << matched
+      << " matched, " << int8_total << " int8, " << fp32_total << " fp32)";
+  // Measured values recorded in EXPERIMENTS.md; printed so a gate run
+  // always shows the deltas, not just on failure.
+  std::cout << "[int8-gate] block accuracy fp32=" << fp32_acc
+            << " int8=" << int8_acc << " entity_f1=" << entity_f1 << "\n";
+
+  // ----- RFP3 mmap'd checkpoints (PR 7) ------------------------------------
+  // Re-save with save_rfp3: the zero-copy mmap load must parse identically
+  // to the stream-loaded fp32 pipeline.
+  const std::string rfp3_dir = dir + "/rfp3_ckpt";
+  ::mkdir(rfp3_dir.c_str(), 0755);
+  PipelineOptions rfp3_options = TinyOptions();
+  rfp3_options.model.runtime.save_rfp3 = true;
+  auto rfp3_saver = ResuFormerPipeline::Load(dir, rfp3_options);
+  ASSERT_TRUE(rfp3_saver.ok()) << rfp3_saver.status().ToString();
+  ASSERT_TRUE((*rfp3_saver)->Save(rfp3_dir).ok());
+  auto mmap_pipe = ResuFormerPipeline::Load(rfp3_dir, TinyOptions());
+  ASSERT_TRUE(mmap_pipe.ok()) << mmap_pipe.status().ToString();
+  for (const auto& labeled : corpus.test) {
+    const StructuredResume stream_parse = (*loaded)->Parse(labeled.document);
+    const StructuredResume mmap_parse = (*mmap_pipe)->Parse(labeled.document);
+    ASSERT_EQ(mmap_parse.blocks.size(), stream_parse.blocks.size());
+    for (size_t i = 0; i < mmap_parse.blocks.size(); ++i) {
+      EXPECT_EQ(mmap_parse.blocks[i].tag, stream_parse.blocks[i].tag);
+      EXPECT_EQ(mmap_parse.blocks[i].lines, stream_parse.blocks[i].lines);
+      ASSERT_EQ(mmap_parse.blocks[i].entities.size(),
+                stream_parse.blocks[i].entities.size());
+      for (size_t e = 0; e < mmap_parse.blocks[i].entities.size(); ++e) {
+        EXPECT_EQ(mmap_parse.blocks[i].entities[e].tag,
+                  stream_parse.blocks[i].entities[e].tag);
+        EXPECT_EQ(mmap_parse.blocks[i].entities[e].text,
+                  stream_parse.blocks[i].entities[e].text);
       }
     }
   }

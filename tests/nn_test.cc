@@ -458,6 +458,197 @@ TEST(SerializeTest, ReadsLegacyRfp1Files) {
   std::remove(path.c_str());
 }
 
+// ---------------------------------------------------------------------------
+// RFP3 (mmap'd zero-copy) checkpoints + the PR-7 header-validation sweep.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Byte-patches `path` at `offset` (opens r+b; the file must exist).
+void PatchFile(const std::string& path, int64_t offset, const void* bytes,
+               size_t n) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.is_open()) << path;
+  f.seekp(offset);
+  f.write(static_cast<const char*>(bytes), static_cast<std::streamsize>(n));
+  ASSERT_TRUE(f.good());
+}
+
+/// Truncates `path` to `new_size` bytes by rewriting its prefix.
+void TruncateFile(const std::string& path, int64_t new_size) {
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.is_open()) << path;
+  std::vector<char> head(static_cast<size_t>(new_size));
+  in.read(head.data(), new_size);
+  ASSERT_EQ(in.gcount(), new_size);
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(head.data(), new_size);
+  ASSERT_TRUE(out.good());
+}
+
+void ExpectParametersEqual(Module& a, Module& b) {
+  auto pa = a.Parameters();
+  auto pb = b.Parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i].size(), pb[i].size()) << "parameter " << i;
+    for (int64_t j = 0; j < pa[i].size(); ++j) {
+      ASSERT_EQ(pa[i].data()[j], pb[i].data()[j])
+          << "parameter " << i << " element " << j;
+    }
+  }
+}
+
+}  // namespace
+
+TEST(SerializeTest, Rfp3SaveMmapLoadRoundTrip) {
+  Rng rng(19);
+  Mlp a({3, 5, 2}, &rng);
+  Mlp b({3, 5, 2}, &rng);
+  const std::string path = ::testing::TempDir() + "/params_v3.bin";
+  ASSERT_TRUE(SaveParameters(a, path, CheckpointFormat::kRfp3).ok());
+  ASSERT_TRUE(LoadParameters(&b, path).ok());
+  ExpectParametersEqual(a, b);
+#if defined(__unix__) || defined(__APPLE__)
+  // On mmap platforms the loaded tensors must point at the mapped pages
+  // (zero-copy), not at private heap copies.
+  for (Tensor& p : b.Parameters()) {
+    EXPECT_TRUE(p.has_external_storage());
+  }
+#endif
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, Rfp3MmapTensorsAreCopyOnWrite) {
+  // MAP_PRIVATE: an optimizer-style in-place write must not leak back into
+  // the checkpoint file (a second load still sees the saved values).
+  Rng rng(20);
+  Mlp a({2, 4, 2}, &rng);
+  Mlp b({2, 4, 2}, &rng);
+  Mlp c({2, 4, 2}, &rng);
+  const std::string path = ::testing::TempDir() + "/params_cow.bin";
+  ASSERT_TRUE(SaveParameters(a, path, CheckpointFormat::kRfp3).ok());
+  ASSERT_TRUE(LoadParameters(&b, path).ok());
+  for (Tensor& p : b.Parameters()) {
+    for (int64_t j = 0; j < p.size(); ++j) p.data()[j] = -123.0f;
+  }
+  ASSERT_TRUE(LoadParameters(&c, path).ok());
+  ExpectParametersEqual(a, c);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, Rfp3RejectsMismatchedShapes) {
+  SingleWeightModule a({3, 5});
+  SingleWeightModule b({5, 3});
+  const std::string path = ::testing::TempDir() + "/params_v3_t.bin";
+  ASSERT_TRUE(SaveParameters(a, path, CheckpointFormat::kRfp3).ok());
+  const Status status = LoadParameters(&b, path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("shape mismatch"), std::string::npos)
+      << status.message();
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, Rfp3TruncatedPayloadIsFailedPrecondition) {
+  SingleWeightModule a({8, 8});
+  SingleWeightModule b({8, 8});
+  const std::string path = ::testing::TempDir() + "/params_v3_trunc.bin";
+  ASSERT_TRUE(SaveParameters(a, path, CheckpointFormat::kRfp3).ok());
+  // Chop the tail of the (64-byte-aligned) payload region.
+  std::ifstream probe(path, std::ios::binary | std::ios::ate);
+  const int64_t full = probe.tellg();
+  probe.close();
+  TruncateFile(path, full - 32);
+  const Status status = LoadParameters(&b, path);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition)
+      << status.message();
+  EXPECT_NE(status.message().find("parameter"), std::string::npos)
+      << status.message();
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, Rfp2TruncatedPayloadNamesParameter) {
+  Rng rng(21);
+  Mlp a({3, 5, 2}, &rng);
+  Mlp b({3, 5, 2}, &rng);
+  const std::string path = ::testing::TempDir() + "/params_v2_trunc.bin";
+  ASSERT_TRUE(SaveParameters(a, path, CheckpointFormat::kRfp2).ok());
+  std::ifstream probe(path, std::ios::binary | std::ios::ate);
+  const int64_t full = probe.tellg();
+  probe.close();
+  TruncateFile(path, full - 4);
+  const Status status = LoadParameters(&b, path);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition)
+      << status.message();
+  EXPECT_NE(status.message().find("parameter"), std::string::npos)
+      << status.message();
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, Rfp2OversizedDimRejectedBeforeAllocation) {
+  // Corrupt the first record's dims[0] to ~2^31: the claimed payload
+  // (gigabytes) must be bounds-checked against the file size BEFORE any
+  // buffer is sized from it.
+  SingleWeightModule a({3, 5});
+  SingleWeightModule b({3, 5});
+  const std::string path = ::testing::TempDir() + "/params_v2_dim.bin";
+  ASSERT_TRUE(SaveParameters(a, path, CheckpointFormat::kRfp2).ok());
+  const int32_t huge = 0x7ffffff0;
+  // RFP2 layout: magic u32 + count u64, then record 0's rank u32 at 12 and
+  // dims[0] at 16.
+  PatchFile(path, 16, &huge, sizeof(huge));
+  const Status status = LoadParameters(&b, path);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition)
+      << status.message();
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, Rfp2OversizedRankRejected) {
+  SingleWeightModule a({3, 5});
+  SingleWeightModule b({3, 5});
+  const std::string path = ::testing::TempDir() + "/params_v2_rank.bin";
+  ASSERT_TRUE(SaveParameters(a, path, CheckpointFormat::kRfp2).ok());
+  const uint32_t rank = 1u << 20;
+  PatchFile(path, 12, &rank, sizeof(rank));
+  const Status status = LoadParameters(&b, path);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition)
+      << status.message();
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ConvertRfp2ToRfp3RoundTrip) {
+  Rng rng(22);
+  Mlp a({4, 6, 3}, &rng);
+  Mlp b({4, 6, 3}, &rng);
+  const std::string v2 = ::testing::TempDir() + "/conv_v2.bin";
+  const std::string v3 = ::testing::TempDir() + "/conv_v3.bin";
+  ASSERT_TRUE(SaveParameters(a, v2, CheckpointFormat::kRfp2).ok());
+  ASSERT_TRUE(ConvertRfp2ToRfp3(v2, v3).ok());
+  ASSERT_TRUE(LoadParameters(&b, v3).ok());
+  ExpectParametersEqual(a, b);
+  std::remove(v2.c_str());
+  std::remove(v3.c_str());
+}
+
+TEST(SerializeTest, ConvertValidatesSourceLikeLoad) {
+  SingleWeightModule a({3, 5});
+  const std::string v2 = ::testing::TempDir() + "/conv_bad_v2.bin";
+  const std::string v3 = ::testing::TempDir() + "/conv_bad_v3.bin";
+  ASSERT_TRUE(SaveParameters(a, v2, CheckpointFormat::kRfp2).ok());
+  const int32_t huge = 0x7ffffff0;
+  PatchFile(v2, 16, &huge, sizeof(huge));
+  const Status status = ConvertRfp2ToRfp3(v2, v3);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition)
+      << status.message();
+  std::remove(v2.c_str());
+}
+
 TEST(SerializeTest, CopyParametersClones) {
   Rng rng(18);
   Mlp a({2, 4, 2}, &rng);

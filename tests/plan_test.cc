@@ -209,6 +209,99 @@ TEST(InferencePlanTest, ConcurrentRepliesShareOnePlanner) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Int8 plan routing (PR 7): with runtime.use_int8 the recorder rewrites
+// constant-weight GEMMs to quantized kernels at plan build. The int8 path
+// must replay without fallback, stay deterministic across thread counts,
+// and track the fp32 emissions closely on this tiny model.
+// ---------------------------------------------------------------------------
+
+/// A classifier with identical weights to the fixture's (same seed/config)
+/// but runtime.use_int8 set, so its planner builds int8 plans.
+std::unique_ptr<BlockClassifier> MakeInt8Twin(const Fixture& fx) {
+  ResuFormerConfig cfg = fx.config;
+  cfg.runtime.use_int8 = true;
+  Rng rng(11);  // same seed as the fixture -> identical parameters
+  auto classifier = std::make_unique<BlockClassifier>(cfg, &rng);
+  classifier->SetTraining(false);
+  return classifier;
+}
+
+TEST(InferencePlanInt8Test, ReplayRewritesGemmsAndTracksFp32) {
+  auto& fx = GetFixture();
+  ThreadPool::Global().SetNumThreads(1);
+  std::unique_ptr<BlockClassifier> int8_cls = MakeInt8Twin(fx);
+  InferencePlanner planner(int8_cls.get());
+  auto& reg = metrics::MetricsRegistry::Global();
+  const int64_t rewrites_before = reg.GetCounter("quant.instrs_rewritten")->value();
+  const int64_t fallbacks_before = reg.GetCounter("plan.fallbacks")->value();
+
+  for (size_t d = 0; d < fx.documents.size(); ++d) {
+    const EncodedDocument& document = fx.documents[d];
+    const std::vector<float> want = DynamicEmissions(*fx.classifier, document);
+    std::vector<float> got;
+    ASSERT_TRUE(planner.EmissionsViaPlan(document, &got)) << "document " << d;
+    ASSERT_EQ(got.size(), want.size());
+    // Quantization error compounds through the encoder stack; on this tiny
+    // model the emissions stay within a small absolute band of fp32. The
+    // end-to-end accuracy gate lives in integration_test.cc.
+    float max_diff = 0.0f;
+    for (size_t i = 0; i < want.size(); ++i) {
+      ASSERT_TRUE(std::isfinite(got[i])) << "document " << d << " elt " << i;
+      max_diff = std::max(max_diff, std::abs(got[i] - want[i]));
+    }
+    EXPECT_LT(max_diff, 0.75f) << "document " << d;
+  }
+  EXPECT_GT(reg.GetCounter("quant.instrs_rewritten")->value(), rewrites_before);
+  EXPECT_EQ(reg.GetCounter("plan.fallbacks")->value(), fallbacks_before);
+}
+
+TEST(InferencePlanInt8Test, ReplayIsBitIdenticalAcrossThreadCounts) {
+  auto& fx = GetFixture();
+  std::unique_ptr<BlockClassifier> int8_cls = MakeInt8Twin(fx);
+  const EncodedDocument& document = fx.documents[0];
+
+  ThreadPool::Global().SetNumThreads(1);
+  InferencePlanner serial_planner(int8_cls.get());
+  std::vector<float> serial;
+  ASSERT_TRUE(serial_planner.EmissionsViaPlan(document, &serial));
+
+  // Int32 accumulation is exact, so unlike the fp32 path (<= 1e-6 band)
+  // the int8 replay is bit-identical at any pool width.
+  ThreadPool::Global().SetNumThreads(4);
+  InferencePlanner parallel_planner(int8_cls.get());
+  std::vector<float> parallel;
+  ASSERT_TRUE(parallel_planner.EmissionsViaPlan(document, &parallel));
+  ThreadPool::Global().SetNumThreads(1);
+
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(parallel[i], serial[i]) << "element " << i;
+  }
+}
+
+TEST(InferencePlanInt8Test, PredictLabelsMostlyAgreeWithFp32) {
+  auto& fx = GetFixture();
+  ThreadPool::Global().SetNumThreads(1);
+  std::unique_ptr<BlockClassifier> int8_cls = MakeInt8Twin(fx);
+  InferencePlanner planner(int8_cls.get());
+  int total = 0, agree = 0;
+  for (const EncodedDocument& document : fx.documents) {
+    const std::vector<int> want = fx.classifier->Predict(document);
+    const std::vector<int> got = planner.Predict(document);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      ++total;
+      if (got[i] == want[i]) ++agree;
+    }
+  }
+  ASSERT_GT(total, 0);
+  // Untrained tiny model: logits sit near ties, so perfect agreement is not
+  // expected — but wholesale divergence means the int8 path is broken.
+  EXPECT_GE(static_cast<double>(agree) / total, 0.9)
+      << agree << "/" << total << " labels agree";
+}
+
 }  // namespace
 }  // namespace core
 }  // namespace resuformer

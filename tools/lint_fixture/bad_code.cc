@@ -99,4 +99,21 @@ inline std::string PlainConcat(const std::string& name) {
   return "resume: " + name;
 }
 
+// Typed reinterpret_casts of raw bytes outside the serialize/quant TUs:
+// the float* and const int32_t* views each fire once.
+// rf-lint-selftest-expect(mmap-payload-cast=2)
+inline float ReadPayloadWrong(unsigned char* bytes) {
+  float* floats = reinterpret_cast<float*>(bytes);
+  const int32_t* words = reinterpret_cast<const int32_t*>(bytes + 4);
+  return floats[0] + static_cast<float>(words[0]);
+}
+
+// Byte-level views stay allowed: stream-IO casts to the char family,
+// std::byte and uintptr_t must NOT fire.
+inline const char* ReadPayloadOk(unsigned char* bytes) {
+  uintptr_t addr = reinterpret_cast<uintptr_t>(bytes);
+  (void)addr;
+  return reinterpret_cast<const char*>(bytes);
+}
+
 }  // namespace lint_fixture

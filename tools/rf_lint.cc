@@ -41,6 +41,14 @@
 //                         with an escaped quote) emits unescaped payloads.
 //                         Quote through JsonEscape/AppendJsonQuoted in
 //                         common/string_util (itself exempt) instead.
+//   mmap-payload-cast     No reinterpret_cast to a non-byte pointer type
+//                         outside nn/serialize.cc and tensor/quant.cc.
+//                         Those two TUs own every typed view of raw payload
+//                         bytes (mmap'd RFP3 pages, int8 GEMM scratch) and
+//                         carry the alignment/lifetime proofs; a cast
+//                         elsewhere bypasses them. Byte-level casts
+//                         (char*/unsigned char*/std::byte*/uintptr_t) for
+//                         stream IO remain allowed everywhere.
 //
 // Suppressions:
 //   // rf-lint-allow(rule[,rule...])        this line or the next line
@@ -205,6 +213,7 @@ class Linter {
       LintIncludeGuard(f);
       LintTraceSpanInParallelFor(f);
       LintJsonStringConcat(f);
+      LintMmapPayloadCast(f);
     }
   }
 
@@ -232,7 +241,8 @@ class Linter {
         "atomic-order-comment", "naked-new",
         "naked-malloc",        "std-rand",
         "volatile-qualifier",  "include-guard",
-        "trace-span-in-parallel-for", "json-string-concat"};
+        "trace-span-in-parallel-for", "json-string-concat",
+        "mmap-payload-cast"};
     return kRules;
   }
 
@@ -554,6 +564,33 @@ class Linter {
                "raw concatenation into a JSON string literal leaves the "
                "payload unescaped; quote values with JsonEscape/"
                "AppendJsonQuoted from common/string_util");
+      }
+    }
+  }
+
+  // Typed views of raw bytes are confined to the two TUs that own the
+  // mmap'd-payload and int8-scratch alignment proofs. Byte-pointer casts
+  // (char family, std::byte, uintptr_t) are ordinary stream-IO idiom and
+  // stay allowed everywhere.
+  void LintMmapPayloadCast(const SourceFile& f) {
+    if (HasSuffix(f.rel, "nn/serialize.cc") ||
+        HasSuffix(f.rel, "tensor/quant.cc")) {
+      return;
+    }
+    static const std::regex re(R"(\breinterpret_cast\s*<([^>]*)>)");
+    static const std::regex byte_target_re(
+        R"(\b(char|std\s*::\s*byte|uintptr_t|intptr_t|void)\b)");
+    for (size_t i = 0; i < f.code.size(); ++i) {
+      const std::string& line = f.code[i];
+      auto begin = std::sregex_iterator(line.begin(), line.end(), re);
+      for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        const std::string target = (*it)[1].str();
+        if (std::regex_search(target, byte_target_re)) continue;
+        Report(f, i, "mmap-payload-cast",
+               "reinterpret_cast to '" + target +
+                   "' outside nn/serialize.cc / tensor/quant.cc; typed "
+                   "views of raw payload bytes live only in those TUs "
+                   "(byte-pointer casts are exempt)");
       }
     }
   }

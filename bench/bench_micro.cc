@@ -10,8 +10,10 @@
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <future>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baselines/layout_token_model.h"
@@ -25,6 +27,7 @@
 #include "nn/serialize.h"
 #include "pipeline/pipeline.h"
 #include "resumegen/corpus.h"
+#include "serve/server.h"
 #include "tensor/arena.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
@@ -346,6 +349,57 @@ void BM_ParseThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_ParseThroughput)->Arg(0)->Arg(1)->Arg(2)->Arg(3)
     ->Unit(benchmark::kMillisecond);
+
+// Serve-path throughput (docs/sec) and tail latency: Arg concurrent
+// submitter threads push the 8-document set through the ParseServer
+// admission queue and block on their futures, so cross-request coalescing
+// and the micro-batch flush policy are on the measured path. p99_us is the
+// admission-to-response-ready e2e latency from serve.e2e_us (log2-bucket
+// resolution, see Histogram::ApproxPercentile).
+void BM_ServerThroughput(benchmark::State& state) {
+  ParseEnv& env = GetParseEnv();
+  const int submitters = static_cast<int>(state.range(0));
+  ThreadPool::Global().SetNumThreads(4);
+  metrics::MetricsRegistry::Global().SetEnabled(true);
+  metrics::Histogram* e2e =
+      metrics::MetricsRegistry::Global().GetHistogram("serve.e2e_us");
+  e2e->Reset();
+
+  serve::ServerOptions options;
+  options.max_batch = 8;
+  options.max_queue_delay_ms = 2;
+  options.queue_capacity = 1024;
+  options.workers = 2;
+  serve::ParseServer server(env.fused.get(), options);
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(submitters));
+    for (int t = 0; t < submitters; ++t) {
+      threads.emplace_back([&server, &env] {
+        std::vector<std::future<pipeline::ParseResponse>> futures;
+        futures.reserve(env.documents.size());
+        for (const doc::Document& document : env.documents) {
+          pipeline::ParseRequest request;
+          request.document = document;
+          futures.push_back(server.Submit(std::move(request)));
+        }
+        for (auto& future : futures) benchmark::DoNotOptimize(future.get());
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  server.Shutdown();
+  state.SetItemsProcessed(state.iterations() * submitters *
+                          static_cast<int64_t>(env.documents.size()));
+  state.counters["submitters"] = static_cast<double>(submitters);
+  state.counters["p99_us"] = static_cast<double>(e2e->ApproxPercentile(0.99));
+  metrics::MetricsRegistry::Global().SetEnabled(false);
+  ThreadPool::Global().SetNumThreads(1);
+}
+// UseRealTime: the main thread only joins submitters, so CPU time would
+// wildly overstate throughput — rates must come from wall time.
+BENCHMARK(BM_ServerThroughput)->Arg(1)->Arg(4)->Arg(8)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
 
 // --- static inference plan: trace-once replay vs the dynamic op graph ---
 

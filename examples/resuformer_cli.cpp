@@ -1,32 +1,50 @@
 // Command-line front end for the library — the surface a downstream user
-// scripts against.
+// scripts against. Explicit subcommands, parsed once against a per-command
+// flag table: an unknown subcommand or flag fails with usage and a nonzero
+// exit instead of being silently ignored.
 //
+// Core subcommands:
+//   resuformer_cli train --out DIR [--seed N]     train the full pipeline and
+//                                                 save a checkpoint
+//   resuformer_cli parse [--model DIR]            parse resume text (--input
+//            [--input FILE] [--stats]             FILE or stdin) to JSON
+//   resuformer_cli bench                          per-resume latency of the
+//                                                 hierarchical vs token paths
+//   resuformer_cli serve [--port N] [--model DIR] long-lived parse daemon on
+//            [--max-batch N] [--max-delay-ms N]   127.0.0.1 speaking the
+//            [--queue-capacity N] [--workers N]   length-prefixed framing
+//                                                 protocol (src/serve)
+//
+// Demo subcommands (kept from the pre-daemon CLI):
 //   resuformer_cli generate --docs 5 --seed 42        render resumes to stdout
 //   resuformer_cli stats --docs 100                   corpus statistics
 //   resuformer_cli annotate "Email: a@b.com Age: 27"  distant annotation demo
-//   resuformer_cli train-and-parse [--seed N]         train the pipeline on a
-//                                                     small corpus and parse a
-//                                                     held-out resume
-//   resuformer_cli bench-latency                      per-resume latency of the
-//                                                     untrained hierarchical
-//                                                     vs token-level paths
+//   resuformer_cli train-and-parse [--seed N]         train + parse a held-out
+//                                                     resume in one process
+//   resuformer_cli bench-latency                      alias of bench
 //
-// Global observability flags (any command; see common/runtime_options.h for
-// the matching RESUFORMER_* environment overrides):
+// Global flags (any subcommand; see common/runtime_options.h for the
+// matching RESUFORMER_* environment overrides, including the
+// RESUFORMER_SERVE_* admission-queue knobs):
 //   --trace-out FILE     enable tracing, write a chrome://tracing JSON file
 //   --metrics-out FILE   enable timed metrics, write a metrics snapshot JSON
 //   --threads N          thread-pool width (0 = auto)
 //   --use-plan           static inference-plan replay (RESUFORMER_USE_PLAN)
 //   --use-int8           int8 GEMMs inside plan replay (RESUFORMER_USE_INT8)
 //   --save-rfp3          save mmap-able RFP3 checkpoints (RESUFORMER_SAVE_RFP3)
-// With no command, train-and-parse runs — `resuformer_cli --trace-out t.json`
-// captures a trace of the full pipeline.
+// With no subcommand, train-and-parse runs — `resuformer_cli --trace-out
+// t.json` captures a trace of the full pipeline.
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "baselines/layout_token_model.h"
 #include "common/metrics.h"
@@ -37,41 +55,219 @@
 #include "eval/timing.h"
 #include "pipeline/pipeline.h"
 #include "resumegen/corpus.h"
+#include "serve/endpoint.h"
+#include "serve/server.h"
+#include "serve/text_document.h"
 
 namespace resuformer {
 namespace {
 
-// Resolved once in main (env, then flags) and injected into every model
-// config a command builds: model constructors re-apply their config's
+// Resolved once in Run (env, then global flags) and injected into every
+// model config a command builds: model constructors re-apply their config's
 // runtime options, so a config built from defaults would silently switch
 // tracing/metrics back off.
 RuntimeOptions g_runtime;
 
-int64_t FlagValue(int argc, char** argv, const char* name,
-                  int64_t fallback) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) return std::atoll(argv[i + 1]);
-  }
-  return fallback;
+// ---------------------------------------------------------------------------
+// Argument parsing: one pass, against an explicit per-command flag table.
+
+struct FlagSpec {
+  const char* name;
+  bool takes_value;
+};
+
+struct CommandSpec {
+  const char* name;
+  const char* summary;
+  std::vector<FlagSpec> flags;
+  bool allows_positional;  // bare words after the command (annotate text)
+};
+
+// Accepted by every command, stripped before command flags are checked.
+const std::vector<FlagSpec>& GlobalFlags() {
+  static const std::vector<FlagSpec> kGlobal = {
+      {"--trace-out", true}, {"--metrics-out", true}, {"--threads", true},
+      {"--use-plan", false}, {"--use-int8", false},   {"--save-rfp3", false},
+  };
+  return kGlobal;
 }
 
-const char* StringFlagValue(int argc, char** argv, const char* name) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+const std::vector<CommandSpec>& Commands() {
+  static const std::vector<CommandSpec> kCommands = {
+      {"train", "train the full pipeline and save a checkpoint",
+       {{"--out", true}, {"--seed", true}}, false},
+      {"parse", "parse resume text (--input FILE or stdin) to JSON",
+       {{"--model", true}, {"--input", true}, {"--seed", true},
+        {"--stats", false}}, false},
+      {"bench", "per-resume latency of the hierarchical vs token paths",
+       {}, false},
+      {"serve", "long-lived parse daemon on 127.0.0.1 (framing protocol)",
+       {{"--port", true}, {"--model", true}, {"--seed", true},
+        {"--max-batch", true}, {"--max-delay-ms", true},
+        {"--queue-capacity", true}, {"--workers", true}}, false},
+      {"generate", "render synthetic resumes to stdout",
+       {{"--docs", true}, {"--seed", true}}, false},
+      {"stats", "corpus statistics",
+       {{"--docs", true}, {"--seed", true}}, false},
+      {"annotate", "distant annotation demo over the argument text",
+       {}, true},
+      {"train-and-parse", "train + parse a held-out resume in one process",
+       {{"--seed", true}}, false},
+      {"bench-latency", "alias of bench", {}, false},
+  };
+  return kCommands;
+}
+
+struct ParsedArgs {
+  std::string command;
+  std::map<std::string, std::string> flags;  // "--name" -> value ("" = set)
+  std::vector<std::string> positional;
+};
+
+int Usage() {
+  std::fprintf(stderr, "usage: resuformer_cli <command> [flags]\n\ncommands:\n");
+  for (const CommandSpec& cmd : Commands()) {
+    std::fprintf(stderr, "  %-16s %s\n", cmd.name, cmd.summary);
+  }
+  std::fprintf(stderr,
+               "\nglobal flags: --trace-out FILE  --metrics-out FILE"
+               "  --threads N\n"
+               "              --use-plan  --use-int8  --save-rfp3\n");
+  return 2;
+}
+
+const FlagSpec* FindFlag(const std::vector<FlagSpec>& specs,
+                         const char* name) {
+  for (const FlagSpec& spec : specs) {
+    if (std::strcmp(spec.name, name) == 0) return &spec;
   }
   return nullptr;
 }
 
-bool HasFlag(int argc, char** argv, const char* name) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) return true;
+/// Parses everything after the command name. Returns false (after printing
+/// the error and usage) on an unknown flag, a flag missing its value, or an
+/// unexpected bare word.
+bool ParseArgs(const CommandSpec& cmd, int argc, char** argv, int first,
+               ParsedArgs* out) {
+  for (int i = first; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (arg[0] != '-') {
+      if (!cmd.allows_positional) {
+        std::fprintf(stderr, "error: unexpected argument \"%s\" for %s\n\n",
+                     arg, cmd.name);
+        Usage();
+        return false;
+      }
+      out->positional.push_back(arg);
+      continue;
+    }
+    const FlagSpec* spec = FindFlag(GlobalFlags(), arg);
+    if (spec == nullptr) spec = FindFlag(cmd.flags, arg);
+    if (spec == nullptr) {
+      std::fprintf(stderr, "error: unknown flag \"%s\" for %s\n\n", arg,
+                   cmd.name);
+      Usage();
+      return false;
+    }
+    if (spec->takes_value) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: flag \"%s\" requires a value\n\n", arg);
+        Usage();
+        return false;
+      }
+      out->flags[arg] = argv[++i];
+    } else {
+      out->flags[arg] = "";
+    }
   }
-  return false;
+  return true;
 }
 
-int CmdGenerate(int argc, char** argv) {
-  const int docs = static_cast<int>(FlagValue(argc, argv, "--docs", 1));
-  Rng rng(static_cast<uint64_t>(FlagValue(argc, argv, "--seed", 42)));
+bool HasFlag(const ParsedArgs& args, const char* name) {
+  return args.flags.count(name) > 0;
+}
+
+const char* StringFlag(const ParsedArgs& args, const char* name) {
+  const auto it = args.flags.find(name);
+  return it == args.flags.end() ? nullptr : it->second.c_str();
+}
+
+/// Strict base-10 integer flag: the whole value must parse, or the command
+/// fails with usage. `*ok` is only ever cleared.
+int64_t IntFlag(const ParsedArgs& args, const char* name, int64_t fallback,
+                bool* ok) {
+  const auto it = args.flags.find(name);
+  if (it == args.flags.end()) return fallback;
+  const char* text = it->second.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') {
+    std::fprintf(stderr, "error: flag \"%s\" expects an integer, got \"%s\"\n",
+                 name, text);
+    *ok = false;
+    return fallback;
+  }
+  return value;
+}
+
+// ---------------------------------------------------------------------------
+// Shared pipeline construction. train/parse/serve must build identical
+// PipelineOptions: Load() verifies the checkpoint manifest against them.
+
+pipeline::PipelineOptions DemoPipelineOptions() {
+  pipeline::PipelineOptions options;
+  options.model.runtime = g_runtime;
+  options.pretrain_epochs = 2;
+  options.finetune.epochs = 10;
+  options.finetune.patience = 4;
+  options.selftrain.teacher_epochs = 6;
+  options.selftrain.iterations = 3;
+  options.ner_data.train_sequences = 300;
+  options.ner_data.val_sequences = 50;
+  options.ner_data.test_sequences = 50;
+  return options;
+}
+
+resumegen::Corpus DemoCorpus(uint64_t seed) {
+  resumegen::CorpusConfig ccfg;
+  ccfg.pretrain_docs = 60;
+  ccfg.train_docs = 10;
+  ccfg.val_docs = 6;
+  ccfg.test_docs = 2;
+  ccfg.seed = seed;
+  return resumegen::GenerateCorpus(ccfg);
+}
+
+/// Loads `--model DIR` when given, otherwise trains in-process from the
+/// demo corpus (seeded by --seed). Null on load failure (already reported).
+std::unique_ptr<pipeline::ResuFormerPipeline> LoadOrTrain(
+    const ParsedArgs& args, uint64_t seed) {
+  const char* model_dir = StringFlag(args, "--model");
+  if (model_dir != nullptr) {
+    auto loaded = pipeline::ResuFormerPipeline::Load(model_dir,
+                                                     DemoPipelineOptions());
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+      return nullptr;
+    }
+    return std::move(loaded).ValueOrDie();
+  }
+  std::fprintf(stderr,
+               "no --model given: training in-process (this takes a "
+               "minute)...\n");
+  return pipeline::ResuFormerPipeline::TrainFromCorpus(DemoCorpus(seed),
+                                                       DemoPipelineOptions());
+}
+
+// ---------------------------------------------------------------------------
+// Subcommands.
+
+int CmdGenerate(const ParsedArgs& args) {
+  bool ok = true;
+  const int docs = static_cast<int>(IntFlag(args, "--docs", 1, &ok));
+  Rng rng(static_cast<uint64_t>(IntFlag(args, "--seed", 42, &ok)));
+  if (!ok) return 2;
   for (int i = 0; i < docs; ++i) {
     const resumegen::GeneratedResume r = resumegen::GenerateResume(&rng);
     std::printf("--- resume %d: %s (template %d, %d pages) ---\n%s\n", i + 1,
@@ -83,13 +279,15 @@ int CmdGenerate(int argc, char** argv) {
   return 0;
 }
 
-int CmdStats(int argc, char** argv) {
+int CmdStats(const ParsedArgs& args) {
+  bool ok = true;
   resumegen::CorpusConfig cfg;
-  cfg.pretrain_docs = static_cast<int>(FlagValue(argc, argv, "--docs", 100));
+  cfg.pretrain_docs = static_cast<int>(IntFlag(args, "--docs", 100, &ok));
   cfg.train_docs = 0;
   cfg.val_docs = 0;
   cfg.test_docs = 0;
-  cfg.seed = static_cast<uint64_t>(FlagValue(argc, argv, "--seed", 17));
+  cfg.seed = static_cast<uint64_t>(IntFlag(args, "--seed", 17, &ok));
+  if (!ok) return 2;
   const resumegen::Corpus corpus = resumegen::GenerateCorpus(cfg);
   const resumegen::SplitStats stats =
       resumegen::ComputeStats(corpus.pretrain);
@@ -99,16 +297,15 @@ int CmdStats(int argc, char** argv) {
   return 0;
 }
 
-int CmdAnnotate(int argc, char** argv) {
+int CmdAnnotate(const ParsedArgs& args) {
   std::string text;
-  for (int i = 2; i < argc; ++i) {
-    if (argv[i][0] == '-') break;
+  for (const std::string& word : args.positional) {
     if (!text.empty()) text += " ";
-    text += argv[i];
+    text += word;
   }
   if (text.empty()) {
     std::fprintf(stderr, "usage: resuformer_cli annotate <text...>\n");
-    return 1;
+    return 2;
   }
   const distant::EntityDictionary dict =
       distant::BuildDictionaries(distant::DictionaryConfig{});
@@ -122,38 +319,98 @@ int CmdAnnotate(int argc, char** argv) {
   return 0;
 }
 
-int CmdTrainAndParse(int argc, char** argv) {
-  resumegen::CorpusConfig ccfg;
-  ccfg.pretrain_docs = 60;
-  ccfg.train_docs = 10;
-  ccfg.val_docs = 6;
-  ccfg.test_docs = 2;
-  ccfg.seed = static_cast<uint64_t>(FlagValue(argc, argv, "--seed", 7));
-  const resumegen::Corpus corpus = resumegen::GenerateCorpus(ccfg);
-  pipeline::PipelineOptions options;
-  options.model.runtime = g_runtime;
-  options.pretrain_epochs = 2;
-  options.finetune.epochs = 10;
-  options.finetune.patience = 4;
-  options.selftrain.teacher_epochs = 6;
-  options.selftrain.iterations = 3;
-  options.ner_data.train_sequences = 300;
-  options.ner_data.val_sequences = 50;
-  options.ner_data.test_sequences = 50;
+int CmdTrain(const ParsedArgs& args) {
+  bool ok = true;
+  const char* out_dir = StringFlag(args, "--out");
+  const uint64_t seed = static_cast<uint64_t>(IntFlag(args, "--seed", 7, &ok));
+  if (!ok) return 2;
+  if (out_dir == nullptr) {
+    std::fprintf(stderr, "error: train requires --out DIR\n");
+    return 2;
+  }
   std::printf("training pipeline (this takes a minute)...\n");
   pipeline::TrainReport report;
-  auto p = pipeline::ResuFormerPipeline::TrainFromCorpus(corpus, options,
-                                                         &report);
-  std::printf("trained: block val acc %.3f, NER val F1 %.3f\n\n",
+  auto p = pipeline::ResuFormerPipeline::TrainFromCorpus(
+      DemoCorpus(seed), DemoPipelineOptions(), &report);
+  std::printf("trained: block val acc %.3f, NER val F1 %.3f\n",
               report.block_val_accuracy, report.ner_val_f1);
-  const pipeline::StructuredResume parsed =
-      p->Parse(corpus.test[0].document);
-  std::printf("%s", pipeline::ResuFormerPipeline::ToPrettyString(parsed)
-                        .c_str());
+  const Status saved = p->Save(out_dir);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "error: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("checkpoint written to %s\n", out_dir);
   return 0;
 }
 
-int CmdBenchLatency(int argc, char** argv) {
+int CmdParse(const ParsedArgs& args) {
+  bool ok = true;
+  const uint64_t seed = static_cast<uint64_t>(IntFlag(args, "--seed", 7, &ok));
+  if (!ok) return 2;
+
+  std::string text;
+  const char* input = StringFlag(args, "--input");
+  if (input != nullptr) {
+    std::ifstream in(input);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot read %s\n", input);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  }
+  if (text.empty()) {
+    std::fprintf(stderr, "error: empty input (give --input FILE or stdin)\n");
+    return 2;
+  }
+
+  auto p = LoadOrTrain(args, seed);
+  if (p == nullptr) return 1;
+
+  pipeline::ParseRequest request;
+  request.document = serve::DocumentFromText(text);
+  request.want_stats = HasFlag(args, "--stats");
+  const pipeline::ParseResponse response = p->Parse(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "error: %s\n", response.status.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", pipeline::ResuFormerPipeline::ToPrettyString(
+                        response.resume).c_str());
+  if (request.want_stats) {
+    std::fprintf(stderr,
+                 "parse: %.0f us, %d sentences, %d blocks, %d entities\n",
+                 response.stats.wall_time_us, response.stats.num_sentences,
+                 response.stats.num_blocks, response.stats.num_entities);
+  }
+  return 0;
+}
+
+int CmdTrainAndParse(const ParsedArgs& args) {
+  bool ok = true;
+  const uint64_t seed = static_cast<uint64_t>(IntFlag(args, "--seed", 7, &ok));
+  if (!ok) return 2;
+  const resumegen::Corpus corpus = DemoCorpus(seed);
+  std::printf("training pipeline (this takes a minute)...\n");
+  pipeline::TrainReport report;
+  auto p = pipeline::ResuFormerPipeline::TrainFromCorpus(
+      corpus, DemoPipelineOptions(), &report);
+  std::printf("trained: block val acc %.3f, NER val F1 %.3f\n\n",
+              report.block_val_accuracy, report.ner_val_f1);
+  pipeline::ParseRequest request;
+  request.document = corpus.test[0].document;
+  const pipeline::ParseResponse response = p->Parse(request);
+  std::printf("%s", pipeline::ResuFormerPipeline::ToPrettyString(
+                        response.resume).c_str());
+  return 0;
+}
+
+int CmdBench(const ParsedArgs&) {
   resumegen::CorpusConfig ccfg;
   ccfg.pretrain_docs = 0;
   ccfg.train_docs = 0;
@@ -194,45 +451,112 @@ int CmdBenchLatency(int argc, char** argv) {
   return 0;
 }
 
-int Usage() {
-  std::fprintf(
-      stderr,
-      "usage: resuformer_cli <generate|stats|annotate|train-and-parse|"
-      "bench-latency> [flags]\n"
-      "global flags: --trace-out FILE  --metrics-out FILE  --threads N\n"
-      "              --use-plan  --use-int8  --save-rfp3\n");
-  return 1;
+int CmdServe(const ParsedArgs& args) {
+  bool ok = true;
+  const int port = static_cast<int>(IntFlag(args, "--port", 0, &ok));
+  const uint64_t seed = static_cast<uint64_t>(IntFlag(args, "--seed", 7, &ok));
+
+  // Flag overrides stack on the RESUFORMER_SERVE_* env knobs already parsed
+  // into g_runtime; ServerOptions::Validate rejects out-of-range values.
+  serve::ServerOptions options = serve::ServerOptions::FromRuntime(g_runtime);
+  options.max_batch = static_cast<int>(
+      IntFlag(args, "--max-batch", options.max_batch, &ok));
+  options.max_queue_delay_ms = static_cast<int>(
+      IntFlag(args, "--max-delay-ms", options.max_queue_delay_ms, &ok));
+  options.queue_capacity = static_cast<int>(
+      IntFlag(args, "--queue-capacity", options.queue_capacity, &ok));
+  options.workers = static_cast<int>(
+      IntFlag(args, "--workers", options.workers, &ok));
+  if (!ok) return 2;
+  const Status valid = options.Validate();
+  if (!valid.ok()) {
+    std::fprintf(stderr, "error: %s\n", valid.ToString().c_str());
+    return 2;
+  }
+
+  auto p = LoadOrTrain(args, seed);
+  if (p == nullptr) return 1;
+
+  serve::ParseServer server(p.get(), options);
+  serve::SocketEndpoint endpoint(&server);
+  const Result<int> bound = endpoint.Start(port);
+  if (!bound.ok()) {
+    std::fprintf(stderr, "error: %s\n", bound.status().ToString().c_str());
+    return 1;
+  }
+  // stdout and flushed: scripts block on this line to learn the port.
+  std::printf("serving on 127.0.0.1:%d (max_batch=%d max_delay_ms=%d "
+              "queue_capacity=%d workers=%d)\n",
+              bound.value(), options.max_batch, options.max_queue_delay_ms,
+              options.queue_capacity, options.workers);
+  std::fflush(stdout);
+
+  endpoint.WaitForShutdownRequest();
+  std::fprintf(stderr, "shutdown requested: draining...\n");
+  endpoint.Stop();
+  server.Shutdown();
+  std::fprintf(stderr, "drained.\n");
+  return 0;
 }
 
-int Dispatch(const std::string& cmd, int argc, char** argv) {
-  if (cmd == "generate") return CmdGenerate(argc, argv);
-  if (cmd == "stats") return CmdStats(argc, argv);
-  if (cmd == "annotate") return CmdAnnotate(argc, argv);
-  if (cmd == "train-and-parse") return CmdTrainAndParse(argc, argv);
-  if (cmd == "bench-latency") return CmdBenchLatency(argc, argv);
+int Dispatch(const CommandSpec& cmd, const ParsedArgs& args) {
+  const std::string name = cmd.name;
+  if (name == "generate") return CmdGenerate(args);
+  if (name == "stats") return CmdStats(args);
+  if (name == "annotate") return CmdAnnotate(args);
+  if (name == "train") return CmdTrain(args);
+  if (name == "parse") return CmdParse(args);
+  if (name == "train-and-parse") return CmdTrainAndParse(args);
+  if (name == "bench" || name == "bench-latency") return CmdBench(args);
+  if (name == "serve") return CmdServe(args);
   return Usage();
 }
 
 int Run(int argc, char** argv) {
   if (argc < 2) return Usage();
 
-  g_runtime = RuntimeOptions::FromEnv();
-  const char* trace_out = StringFlagValue(argc, argv, "--trace-out");
-  const char* metrics_out = StringFlagValue(argc, argv, "--metrics-out");
-  if (trace_out != nullptr) g_runtime.enable_tracing = true;
-  if (metrics_out != nullptr) g_runtime.enable_metrics = true;
-  g_runtime.threads = static_cast<int>(
-      FlagValue(argc, argv, "--threads", g_runtime.threads));
-  if (HasFlag(argc, argv, "--use-plan")) g_runtime.use_inference_plan = true;
-  if (HasFlag(argc, argv, "--use-int8")) g_runtime.use_int8 = true;
-  if (HasFlag(argc, argv, "--save-rfp3")) g_runtime.save_rfp3 = true;
-  core::ApplyRuntimeOptions(g_runtime);
-
   // A leading flag means "no command": default to the end-to-end pipeline
   // demo, the most useful thing to capture a trace of.
-  const std::string cmd =
-      argv[1][0] == '-' ? std::string("train-and-parse") : argv[1];
-  const int rc = Dispatch(cmd, argc, argv);
+  const bool has_command = argv[1][0] != '-';
+  const std::string name = has_command ? argv[1] : "train-and-parse";
+  const CommandSpec* cmd = nullptr;
+  for (const CommandSpec& candidate : Commands()) {
+    if (name == candidate.name) {
+      cmd = &candidate;
+      break;
+    }
+  }
+  if (cmd == nullptr) {
+    std::fprintf(stderr, "error: unknown command \"%s\"\n\n", name.c_str());
+    return Usage();
+  }
+
+  ParsedArgs args;
+  args.command = name;
+  if (!ParseArgs(*cmd, argc, argv, has_command ? 2 : 1, &args)) return 2;
+
+  // Globals: env first, then flags on top; strict-parsed serve knobs
+  // surface their error instead of silently falling back.
+  Status serve_env_error = Status::OK();
+  g_runtime = RuntimeOptions::FromEnv(&serve_env_error);
+  if (!serve_env_error.ok()) {
+    std::fprintf(stderr, "error: %s\n", serve_env_error.ToString().c_str());
+    return 2;
+  }
+  bool ok = true;
+  const char* trace_out = StringFlag(args, "--trace-out");
+  const char* metrics_out = StringFlag(args, "--metrics-out");
+  if (trace_out != nullptr) g_runtime.enable_tracing = true;
+  if (metrics_out != nullptr) g_runtime.enable_metrics = true;
+  g_runtime.threads =
+      static_cast<int>(IntFlag(args, "--threads", g_runtime.threads, &ok));
+  if (!ok) return 2;
+  if (HasFlag(args, "--use-plan")) g_runtime.use_inference_plan = true;
+  if (HasFlag(args, "--use-int8")) g_runtime.use_int8 = true;
+  if (HasFlag(args, "--save-rfp3")) g_runtime.save_rfp3 = true;
+  core::ApplyRuntimeOptions(g_runtime);
+
+  const int rc = Dispatch(*cmd, args);
 
   if (metrics_out != nullptr) {
     std::ofstream out(metrics_out);

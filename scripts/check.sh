@@ -3,10 +3,12 @@
 #
 #   scripts/check.sh          tier-1: release build, full test suite
 #                             (includes the rf_lint checker + its selftest),
-#                             plus the advisory clang-tidy pass
+#                             a focused `serve`-label rerun, plus the
+#                             advisory clang-tidy pass
 #   scripts/check.sh --full   tier-1, then the ASan+UBSan and TSan suites
 #                             (separate build trees via CMakePresets.json;
-#                             TSan also runs the `stress` label)
+#                             TSan also runs the `stress` label and reruns
+#                             the `serve` label)
 #
 # Every build tree is a preset from CMakePresets.json, so this script and
 # `cmake --preset <name>` always agree on flags.
@@ -31,6 +33,12 @@ run_preset() {
 
 run_preset release
 
+# The serve suite exercises the admission queue, socket endpoint, and the
+# loopback e2e path; rerun it by label with failure output so a daemon-path
+# regression is loud even when the full pass above already covered it.
+echo "==> [release] serve-label focused rerun"
+ctest --preset release -L serve --output-on-failure -j "${jobs}"
+
 echo "==> clang-tidy (advisory; skipped when not installed)"
 tools/run_clang_tidy.sh "${repo_root}/build"
 
@@ -42,6 +50,12 @@ if [[ "${full}" == "1" ]]; then
   echo "==> [asan] mmap-load (SerializeTest) focused rerun"
   ctest --preset asan -R 'SerializeTest' --output-on-failure -j "${jobs}"
   run_preset tsan
+  # Cross-request batching is the most concurrency-dense code in the repo
+  # (admission queue + worker pool + per-connection handler threads); rerun
+  # the serve suite under TSan explicitly so it cannot silently fall out of
+  # the stress label.
+  echo "==> [tsan] serve-label focused rerun"
+  ctest --preset tsan -L serve --output-on-failure -j "${jobs}"
 fi
 
 echo "==> all checks passed"

@@ -1,6 +1,7 @@
 #include "common/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -52,6 +53,22 @@ void Histogram::Record(int64_t value) {
 int64_t Histogram::BucketUpperBound(int b) {
   if (b <= 0) return 0;
   return (int64_t{1} << b) - 1;
+}
+
+int64_t Histogram::ApproxPercentile(double q) const {
+  const int64_t total = count();
+  if (total <= 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Ceil so q=1.0 needs every sample and q=0.0 still needs the first one.
+  const int64_t needed =
+      std::max<int64_t>(1, static_cast<int64_t>(std::ceil(q * total)));
+  int64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += bucket_count(b);
+    if (seen >= needed) return BucketUpperBound(b);
+  }
+  return BucketUpperBound(kNumBuckets - 1);
 }
 
 void Histogram::Reset() {

@@ -85,6 +85,12 @@ class Histogram {
   static int64_t BucketUpperBound(int b);
   void Reset();
 
+  /// Approximate percentile (q in [0, 1]): the upper bound of the first
+  /// bucket whose cumulative count reaches q * count(). Resolution is the
+  /// log2 bucket width — good enough for p50/p99 latency reporting. Returns
+  /// 0 on an empty histogram. Reads are relaxed (same contract as count()).
+  int64_t ApproxPercentile(double q) const;
+
  private:
   std::atomic<int64_t> buckets_[kNumBuckets]{};
   std::atomic<int64_t> count_{0};

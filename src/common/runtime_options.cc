@@ -24,6 +24,21 @@ bool ParseBoolEnv(const char* name, bool fallback) {
 
 namespace envparse {
 
+namespace {
+
+/// Shared strict base-10 parse: full-string integer, overflow rejected.
+bool ParseFullInt(const char* text, long* out) {
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0') return false;  // no digits / trailing junk
+  if (errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
 int IntFromEnv(const char* name, int fallback, int min_value, int max_value) {
   const char* env = std::getenv(name);
   if (env == nullptr || env[0] == '\0') return fallback;
@@ -31,17 +46,31 @@ int IntFromEnv(const char* name, int fallback, int min_value, int max_value) {
   // hands back where parsing stopped, so malformed or out-of-range values
   // ("8x", "1e3", "99999999999999999999") fall back instead of aborting or
   // silently truncating.
-  errno = 0;
-  char* end = nullptr;
-  const long v = std::strtol(env, &end, 10);
-  if (end == env || *end != '\0') return fallback;  // no digits / trailing junk
-  if (errno == ERANGE || v < min_value || v > max_value) return fallback;
+  long v = 0;
+  if (!ParseFullInt(env, &v)) return fallback;
+  if (v < min_value || v > max_value) return fallback;
   return static_cast<int>(v);
+}
+
+int StrictIntFromEnv(const char* name, int fallback, int min_value,
+                     int max_value, Status* error) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return fallback;
+  long v = 0;
+  const bool parsed = ParseFullInt(env, &v);
+  if (parsed && v >= min_value && v <= max_value) return static_cast<int>(v);
+  if (error != nullptr && error->ok()) {  // first error wins
+    *error = Status::InvalidArgument(
+        std::string(name) + " must be an integer in [" +
+        std::to_string(min_value) + ", " + std::to_string(max_value) +
+        "], got '" + env + "'");
+  }
+  return fallback;
 }
 
 }  // namespace envparse
 
-RuntimeOptions RuntimeOptions::FromEnv() {
+RuntimeOptions RuntimeOptions::FromEnv(Status* serve_error) {
   RuntimeOptions opts;
   // threads stays 0 ("auto") unless the env names an explicit width; the
   // thread pool resolves 0 through the same variable, so either path agrees.
@@ -60,6 +89,25 @@ RuntimeOptions RuntimeOptions::FromEnv() {
   opts.trace_buffer_capacity =
       envparse::IntFromEnv("RESUFORMER_TRACE_CAPACITY",
                            opts.trace_buffer_capacity, 16, 1 << 24);
+
+  // Serving knobs are strict (see the header): zero/negative or malformed
+  // values keep the default and surface an error naming the variable.
+  Status strict;
+  opts.serve_max_batch = envparse::StrictIntFromEnv(
+      "RESUFORMER_SERVE_MAX_BATCH", opts.serve_max_batch, 1, 4096, &strict);
+  opts.serve_max_queue_delay_ms = envparse::StrictIntFromEnv(
+      "RESUFORMER_SERVE_MAX_QUEUE_DELAY_MS", opts.serve_max_queue_delay_ms, 1,
+      60 * 1000, &strict);
+  opts.serve_queue_capacity = envparse::StrictIntFromEnv(
+      "RESUFORMER_SERVE_QUEUE_CAPACITY", opts.serve_queue_capacity, 1,
+      1 << 20, &strict);
+  opts.serve_workers = envparse::StrictIntFromEnv(
+      "RESUFORMER_SERVE_WORKERS", opts.serve_workers, 1, 256, &strict);
+  if (serve_error != nullptr) {
+    *serve_error = strict;
+  } else {
+    WarnIfError(strict, "RuntimeOptions::FromEnv");
+  }
   return opts;
 }
 

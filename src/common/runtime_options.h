@@ -1,6 +1,8 @@
 #ifndef RESUFORMER_COMMON_RUNTIME_OPTIONS_H_
 #define RESUFORMER_COMMON_RUNTIME_OPTIONS_H_
 
+#include "common/status.h"
+
 namespace resuformer {
 
 /// \brief Every process-level runtime knob in one struct.
@@ -25,6 +27,15 @@ namespace resuformer {
 ///   RESUFORMER_METRICS          0/1    timed metrics (histograms/timers)
 ///   RESUFORMER_TRACE            0/1    scoped-span tracing
 ///   RESUFORMER_TRACE_CAPACITY   int    per-thread span ring capacity
+///
+/// Serving knobs (src/serve admission queue; strict-parsed — a set but
+/// malformed or non-positive value is an error naming the variable, not a
+/// silent clamp; see FromEnv):
+///
+///   RESUFORMER_SERVE_MAX_BATCH       int >= 1  micro-batch flush size
+///   RESUFORMER_SERVE_MAX_QUEUE_DELAY_MS int >= 1  micro-batch flush deadline
+///   RESUFORMER_SERVE_QUEUE_CAPACITY  int >= 1  admission-queue bound
+///   RESUFORMER_SERVE_WORKERS         int >= 1  server worker threads
 struct RuntimeOptions {
   // Worker threads for the tensor kernels (GEMM, softmax, layernorm, ...).
   // 0 = the RESUFORMER_THREADS env var when set, else hardware concurrency;
@@ -77,8 +88,28 @@ struct RuntimeOptions {
   // Per-thread span ring capacity (most recent spans are kept).
   int trace_buffer_capacity = 8192;
 
+  // --- serving (src/serve admission queue) ---------------------------------
+  // A micro-batch flushes when it holds serve_max_batch requests or when its
+  // oldest request has waited serve_max_queue_delay_ms, whichever comes
+  // first. All four are strictly positive; FromEnv rejects a zero/negative
+  // or malformed override with a named-parameter error.
+  int serve_max_batch = 8;
+  int serve_max_queue_delay_ms = 5;
+  // Admitted-but-unclaimed requests beyond this bound are rejected with
+  // ResourceExhausted (backpressure), never silently queued.
+  int serve_queue_capacity = 256;
+  // Server worker threads draining the queue. Each worker replays the shared
+  // plan cache; per-document tensor kernels run inline on the worker.
+  int serve_workers = 2;
+
   /// Defaults overridden by the RESUFORMER_* environment variables above.
-  [[nodiscard]] static RuntimeOptions FromEnv();
+  /// The RESUFORMER_SERVE_* knobs are strict: when one is set but malformed,
+  /// zero or negative, the knob keeps its default and `serve_error` (when
+  /// non-null) receives InvalidArgument naming the variable — a serving
+  /// entry point can refuse to start instead of running misconfigured.
+  /// Passing nullptr logs the error as a warning (non-serving callers never
+  /// read these knobs). Only the first serve error is kept.
+  [[nodiscard]] static RuntimeOptions FromEnv(Status* serve_error = nullptr);
 };
 
 namespace envparse {
@@ -90,6 +121,14 @@ namespace envparse {
 /// to defaults. Shared by RuntimeOptions::FromEnv and DefaultThreadCount so
 /// RESUFORMER_THREADS parses identically everywhere.
 int IntFromEnv(const char* name, int fallback, int min_value, int max_value);
+
+/// Strict variant for knobs where misconfiguration must be loud: parses like
+/// IntFromEnv, but a *set* variable that is malformed or outside
+/// [min_value, max_value] keeps `fallback` AND reports InvalidArgument
+/// naming the variable through `error` (first error wins; `error` must be
+/// non-null). Unset/empty still silently yields `fallback`.
+int StrictIntFromEnv(const char* name, int fallback, int min_value,
+                     int max_value, Status* error);
 
 }  // namespace envparse
 

@@ -18,6 +18,12 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kIoError,
+  // Serving-path codes (src/serve): a request missed its deadline, the
+  // admission queue is full, or the server is draining and no longer
+  // accepts work.
+  kDeadlineExceeded,
+  kResourceExhausted,
+  kUnavailable,
 };
 
 /// \brief Lightweight success/failure result for operations without a value.
@@ -57,6 +63,15 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  [[nodiscard]] static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  [[nodiscard]] static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  [[nodiscard]] static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -146,12 +146,53 @@ std::unique_ptr<ResuFormerPipeline> ResuFormerPipeline::TrainFromCorpus(
   return pipeline;
 }
 
+ParseResponse ResuFormerPipeline::Parse(const ParseRequest& request) const {
+  ParseResponse response;
+  if (request.deadline_ns != 0 && trace::NowNs() > request.deadline_ns) {
+    static metrics::Counter* deadline_counter =
+        metrics::MetricsRegistry::Global().GetCounter(
+            "pipeline.rejected.deadline");
+    deadline_counter->Increment();
+    response.status = Status::DeadlineExceeded(
+        "parse deadline passed before the document was parsed");
+    return response;
+  }
+  ParseResult result = ParseDocument(request.document);
+  response.resume = std::move(result.resume);
+  if (request.want_stats) response.stats = result.stats;
+  return response;
+}
+
+std::vector<ParseResponse> ResuFormerPipeline::Parse(
+    const std::vector<ParseRequest>& requests) const {
+  TRACE_SPAN("pipeline.parse_batch");
+  std::vector<ParseResponse> out(requests.size());
+  // Parallelism moves up a level for batches: each worker takes a chunk of
+  // requests, and the per-request tensor kernels run inline (ParallelFor
+  // from a pool worker does not nest). NoGradGuard state is thread-local,
+  // so each worker needs its own guard.
+  ThreadPool::Global().ParallelFor(
+      static_cast<int64_t>(requests.size()),
+      [&](int /*worker*/, int64_t begin, int64_t end) {
+        NoGradGuard no_grad;
+        for (int64_t i = begin; i < end; ++i) {
+          out[i] = Parse(requests[i]);
+        }
+      });
+  return out;
+}
+
 StructuredResume ResuFormerPipeline::Parse(
     const doc::Document& document) const {
-  return ParseWithStats(document).resume;
+  return ParseDocument(document).resume;
 }
 
 ParseResult ResuFormerPipeline::ParseWithStats(
+    const doc::Document& document) const {
+  return ParseDocument(document);
+}
+
+ParseResult ResuFormerPipeline::ParseDocument(
     const doc::Document& document) const {
   TRACE_SPAN("pipeline.parse");
   auto& registry = metrics::MetricsRegistry::Global();
@@ -276,17 +317,16 @@ std::vector<StructuredResume> ResuFormerPipeline::ParseBatch(
 std::vector<ParseResult> ResuFormerPipeline::ParseBatchWithStats(
     const std::vector<doc::Document>& documents) const {
   TRACE_SPAN("pipeline.parse_batch");
+  // Same fan-out as the ParseRequest batch overload, but straight over the
+  // borrowed documents — wrapping them in ParseRequests would copy every
+  // document just to unwrap it again.
   std::vector<ParseResult> out(documents.size());
-  // Parallelism moves up a level for batches: each worker takes a chunk of
-  // documents, and the per-document kernels run inline (ParallelFor from a
-  // pool worker does not nest). NoGradGuard state is thread-local, so each
-  // worker needs its own guard.
   ThreadPool::Global().ParallelFor(
       static_cast<int64_t>(documents.size()),
       [&](int /*worker*/, int64_t begin, int64_t end) {
         NoGradGuard no_grad;
         for (int64_t i = begin; i < end; ++i) {
-          out[i] = ParseWithStats(documents[i]);
+          out[i] = ParseDocument(documents[i]);
         }
       });
   return out;

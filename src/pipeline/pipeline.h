@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/block_classifier.h"
 #include "core/inference_plan.h"
 #include "core/pretrainer.h"
@@ -52,6 +53,34 @@ struct ParseResult {
   ParseStats stats;
 };
 
+/// \brief The one parse input every consumer builds — CLI, batch jobs and
+/// the serve admission queue all speak this.
+///
+/// `deadline_ns` is an *absolute* steady-clock timestamp on the
+/// trace::NowNs() timebase (0 = no deadline). A request whose deadline has
+/// passed before its parse starts is answered with DeadlineExceeded instead
+/// of being parsed; a parse already underway is never aborted mid-flight
+/// (documents parse in milliseconds — cancellation points inside the
+/// encoder would cost more than they save).
+struct ParseRequest {
+  doc::Document document;
+  int64_t deadline_ns = 0;
+  bool want_stats = false;
+};
+
+/// \brief The one parse output: a Status plus the payload. `resume` and
+/// `stats` are meaningful only when `status.ok()`; `stats` is additionally
+/// zeroed unless the request set `want_stats`. Server-side rejections
+/// (DeadlineExceeded, ResourceExhausted, Unavailable) arrive through
+/// `status` rather than an exception or a crash.
+struct ParseResponse {
+  Status status = Status::OK();
+  StructuredResume resume;
+  ParseStats stats;
+
+  bool ok() const { return status.ok(); }
+};
+
 /// Training budgets for the end-to-end pipeline.
 struct PipelineOptions {
   core::ResuFormerConfig model;
@@ -84,25 +113,39 @@ class ResuFormerPipeline {
       const resumegen::Corpus& corpus, const PipelineOptions& options,
       TrainReport* report = nullptr);
 
-  /// Full parse: segment into blocks, then extract entities inside the
-  /// entity-bearing blocks. Inference-only: runs under NoGradGuard, so no
-  /// autograd tape is built.
+  /// The unified parse entry point: full parse (block segmentation +
+  /// intra-block NER) under the request's deadline/stats policy.
+  /// Inference-only: runs under NoGradGuard, so no autograd tape is built.
+  /// Never throws — failures (currently only DeadlineExceeded) come back in
+  /// `ParseResponse::status`.
+  [[nodiscard]] ParseResponse Parse(const ParseRequest& request) const;
+
+  /// Batched form: fans `requests` across the global tensor thread pool
+  /// (one contiguous chunk of requests per worker, each worker under its
+  /// own NoGradGuard; per-request tensor kernels then run inline). Output
+  /// order matches input order, and every request produces the same
+  /// response as a serial Parse(request) call. Per-request deadlines are
+  /// honored individually — one expired request does not poison its batch.
+  [[nodiscard]] std::vector<ParseResponse> Parse(
+      const std::vector<ParseRequest>& requests) const;
+
+  // --- deprecated pre-ParseRequest surface ---------------------------------
+  // Thin wrappers over Parse(ParseRequest)/Parse(vector<ParseRequest>),
+  // kept so existing callers compile unchanged. New code should build a
+  // ParseRequest.
+
+  /// \deprecated Use Parse(const ParseRequest&).
   StructuredResume Parse(const doc::Document& document) const;
 
-  /// Parse plus per-document measurements (wall time, sentence/block/entity
-  /// counts, arena hit rate). Same output as Parse — Parse delegates here
-  /// and drops the stats.
+  /// \deprecated Use Parse(const ParseRequest&) with want_stats = true.
   ParseResult ParseWithStats(const doc::Document& document) const;
 
-  /// Batched inference: parses `documents` by fanning them across the global
-  /// tensor thread pool (one contiguous chunk of documents per worker, each
-  /// worker under its own NoGradGuard; per-document tensor kernels then run
-  /// inline). Output order matches input order, and every document produces
-  /// the same StructuredResume as a serial Parse call.
+  /// \deprecated Use Parse(const std::vector<ParseRequest>&).
   std::vector<StructuredResume> ParseBatch(
       const std::vector<doc::Document>& documents) const;
 
-  /// ParseBatch with per-document stats, same fan-out and ordering.
+  /// \deprecated Use Parse(const std::vector<ParseRequest>&) with
+  /// want_stats = true.
   std::vector<ParseResult> ParseBatchWithStats(
       const std::vector<doc::Document>& documents) const;
 
@@ -130,6 +173,10 @@ class ResuFormerPipeline {
 
  private:
   ResuFormerPipeline() = default;
+
+  /// The actual parse implementation (always computes stats; callers that
+  /// don't want them drop them). Everything public funnels here.
+  ParseResult ParseDocument(const doc::Document& document) const;
 
   PipelineOptions options_;
   std::unique_ptr<text::WordPieceTokenizer> tokenizer_;

@@ -1,0 +1,198 @@
+#include "serve/endpoint.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/trace.h"
+#include "serve/framing.h"
+#include "serve/text_document.h"
+
+namespace resuformer {
+namespace serve {
+
+namespace {
+
+Status SysError(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+SocketEndpoint::SocketEndpoint(ParseServer* server) : server_(server) {
+  RF_CHECK(server_ != nullptr);
+}
+
+SocketEndpoint::~SocketEndpoint() { Stop(); }
+
+Result<int> SocketEndpoint::Start(int port) {
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("port must be in [0, 65535], got " +
+                                   std::to_string(port));
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return SysError("socket");
+  const int one = 1;
+  // Best effort: lets a restarted daemon rebind a port in TIME_WAIT.
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  // The sockaddr_in -> sockaddr cast below is the POSIX sockets calling
+  // convention, not a payload-byte view.
+  // rf-lint-allow(mmap-payload-cast): POSIX calling convention.
+  const sockaddr* addr_ptr = reinterpret_cast<const sockaddr*>(&addr);
+  if (::bind(listen_fd_, addr_ptr, sizeof(addr)) < 0) {
+    const Status error = SysError("bind 127.0.0.1:" + std::to_string(port));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return error;
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    const Status error = SysError("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return error;
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  // rf-lint-allow(mmap-payload-cast): POSIX calling convention, as above.
+  sockaddr* bound_ptr = reinterpret_cast<sockaddr*>(&bound);
+  if (::getsockname(listen_fd_, bound_ptr, &bound_len) < 0) {
+    const Status error = SysError("getsockname");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return error;
+  }
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return port_;
+}
+
+void SocketEndpoint::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Listener shut down by Stop() (or a fatal socket error): exit.
+      return;
+    }
+    Conn* conn = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        ::close(fd);
+        return;
+      }
+      conns_.emplace_back();
+      conn = &conns_.back();
+      conn->fd = fd;
+    }
+    conn->thread = std::thread([this, conn, fd] { HandleConnection(conn, fd); });
+  }
+}
+
+void SocketEndpoint::HandleConnection(Conn* conn, int fd) {
+  for (;;) {
+    Frame request;
+    const Status read = ReadFrame(fd, &request);
+    if (!read.ok()) break;  // clean EOF, peer reset, or malformed frame
+
+    Frame reply;
+    switch (request.kind) {
+      case FrameKind::kParse: {
+        pipeline::ParseRequest parse;
+        parse.document = DocumentFromText(request.payload);
+        if (request.deadline_ms > 0) {
+          parse.deadline_ns =
+              trace::NowNs() +
+              static_cast<int64_t>(request.deadline_ms) * 1'000'000;
+        }
+        pipeline::ParseResponse response = server_->ParseSync(std::move(parse));
+        if (response.ok()) {
+          reply.kind = FrameKind::kOk;
+          reply.payload =
+              pipeline::ResuFormerPipeline::ToPrettyString(response.resume);
+        } else {
+          reply.kind = FrameKind::kError;
+          reply.payload = response.status.ToString();
+        }
+        break;
+      }
+      case FrameKind::kShutdown: {
+        reply.kind = FrameKind::kOk;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          shutdown_requested_ = true;
+        }
+        shutdown_cv_.notify_all();
+        break;
+      }
+      default: {
+        reply.kind = FrameKind::kError;
+        reply.payload =
+            Status::InvalidArgument("unexpected frame kind from client")
+                .ToString();
+        break;
+      }
+    }
+    if (!WriteFrame(fd, reply).ok()) break;
+  }
+  // Hide the fd from Stop()'s shutdown pass before closing, so Stop never
+  // touches a recycled descriptor.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conn->fd = -1;
+  }
+  ::close(fd);
+}
+
+void SocketEndpoint::WaitForShutdownRequest() {
+  std::unique_lock<std::mutex> lock(mu_);
+  shutdown_cv_.wait(lock, [this] { return shutdown_requested_ || stopping_; });
+}
+
+void SocketEndpoint::Stop() {
+  std::call_once(stop_once_, [this] {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    shutdown_cv_.notify_all();
+    if (listen_fd_ >= 0) {
+      // Unblocks the accept() the accept thread is parked in.
+      (void)::shutdown(listen_fd_, SHUT_RDWR);
+    }
+    if (accept_thread_.joinable()) accept_thread_.join();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (Conn& conn : conns_) {
+        // Unblocks handlers parked in ReadFrame; they then close their fd.
+        if (conn.fd >= 0) (void)::shutdown(conn.fd, SHUT_RDWR);
+      }
+    }
+    // The accept thread is joined, so conns_ no longer grows; handlers only
+    // touch their own fd field (under mu_), never the thread handles.
+    for (Conn& conn : conns_) {
+      if (conn.thread.joinable()) conn.thread.join();
+    }
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+  });
+}
+
+}  // namespace serve
+}  // namespace resuformer

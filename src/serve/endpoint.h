@@ -1,0 +1,80 @@
+#ifndef RESUFORMER_SERVE_ENDPOINT_H_
+#define RESUFORMER_SERVE_ENDPOINT_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "common/status.h"
+#include "serve/server.h"
+
+namespace resuformer {
+namespace serve {
+
+/// \brief Loopback TCP front end for a ParseServer: accepts connections on
+/// 127.0.0.1 and speaks the framing.h protocol.
+///
+/// Each connection gets a handler thread that reads frames in lockstep:
+/// kParse (payload = resume text) is turned into a doc::Document via
+/// DocumentFromText, submitted through the ParseServer admission queue —
+/// so concurrent connections coalesce into micro-batches — and answered
+/// with kOk (ToPrettyString JSON) or kError (the Status). A non-zero
+/// request deadline_ms becomes an absolute pipeline deadline relative to
+/// receipt. kShutdown is acked with an empty kOk and flips the flag that
+/// WaitForShutdownRequest blocks on; the caller then runs Stop() and
+/// drains the ParseServer.
+///
+/// The endpoint deliberately binds the loopback interface only — it is a
+/// local daemon protocol, not an internet-facing service.
+class SocketEndpoint {
+ public:
+  /// `server` must outlive the endpoint.
+  explicit SocketEndpoint(ParseServer* server);
+  ~SocketEndpoint();
+  SocketEndpoint(const SocketEndpoint&) = delete;
+  SocketEndpoint& operator=(const SocketEndpoint&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port), starts
+  /// the accept thread, and returns the bound port.
+  [[nodiscard]] Result<int> Start(int port);
+
+  /// Blocks until a client sends kShutdown, or Stop() is called.
+  void WaitForShutdownRequest();
+
+  /// Closes the listener, unblocks and joins every connection handler.
+  /// Idempotent; also called by the destructor. In-flight requests already
+  /// admitted to the ParseServer still complete (its drain handles them) —
+  /// Stop only tears down the socket layer.
+  void Stop();
+
+  /// Bound port after a successful Start().
+  int port() const { return port_; }
+
+ private:
+  struct Conn {
+    int fd = -1;  // guarded by mu_; -1 once the handler has closed it
+    std::thread thread;
+  };
+
+  void AcceptLoop();
+  void HandleConnection(Conn* conn, int fd);
+
+  ParseServer* server_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+
+  std::mutex mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;  // guarded by mu_
+  bool stopping_ = false;            // guarded by mu_
+  // deque: handler threads hold stable Conn pointers across growth.
+  std::deque<Conn> conns_;  // guarded by mu_ (appends); threads joined in Stop
+  std::once_flag stop_once_;
+};
+
+}  // namespace serve
+}  // namespace resuformer
+
+#endif  // RESUFORMER_SERVE_ENDPOINT_H_

@@ -1,0 +1,116 @@
+#include "serve/framing.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace resuformer {
+namespace serve {
+
+namespace {
+
+// 4 (length) + 1 (kind) + 4 (deadline_ms), written/read as one block so a
+// frame costs two syscalls, not four.
+constexpr size_t kHeaderBytes = 9;
+
+void PutU32Le(unsigned char* out, uint32_t v) {
+  out[0] = static_cast<unsigned char>(v);
+  out[1] = static_cast<unsigned char>(v >> 8);
+  out[2] = static_cast<unsigned char>(v >> 16);
+  out[3] = static_cast<unsigned char>(v >> 24);
+}
+
+uint32_t GetU32Le(const unsigned char* in) {
+  return static_cast<uint32_t>(in[0]) | (static_cast<uint32_t>(in[1]) << 8) |
+         (static_cast<uint32_t>(in[2]) << 16) |
+         (static_cast<uint32_t>(in[3]) << 24);
+}
+
+/// Writes exactly `count` bytes, retrying short writes and EINTR.
+[[nodiscard]] Status WriteAll(int fd, const void* data, size_t count) {
+  const char* p = static_cast<const char*>(data);
+  while (count > 0) {
+    const ssize_t n = ::write(fd, p, count);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("write: ") + std::strerror(errno));
+    }
+    p += n;
+    count -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Reads exactly `count` bytes. `*eof_at_start` reports a clean EOF before
+/// the first byte; EOF mid-block is an IoError (truncated frame).
+[[nodiscard]] Status ReadAll(int fd, void* data, size_t count,
+                             bool* eof_at_start) {
+  if (eof_at_start != nullptr) *eof_at_start = false;
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < count) {
+    const ssize_t n = ::read(fd, p + got, count - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("read: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      if (got == 0 && eof_at_start != nullptr) {
+        *eof_at_start = true;
+        return Status::NotFound("peer closed the connection");
+      }
+      return Status::IoError("connection closed mid-frame");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, const Frame& frame) {
+  if (frame.payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument(
+        "frame payload of " + std::to_string(frame.payload.size()) +
+        " bytes exceeds the " + std::to_string(kMaxFramePayload) +
+        "-byte frame limit");
+  }
+  unsigned char header[kHeaderBytes];
+  PutU32Le(header, static_cast<uint32_t>(frame.payload.size()));
+  header[4] = static_cast<unsigned char>(frame.kind);
+  PutU32Le(header + 5, frame.deadline_ms);
+  RF_RETURN_NOT_OK(WriteAll(fd, header, sizeof(header)));
+  if (!frame.payload.empty()) {
+    RF_RETURN_NOT_OK(WriteAll(fd, frame.payload.data(),
+                              frame.payload.size()));
+  }
+  return Status::OK();
+}
+
+Status ReadFrame(int fd, Frame* frame) {
+  unsigned char header[kHeaderBytes];
+  bool eof = false;
+  RF_RETURN_NOT_OK(ReadAll(fd, header, sizeof(header), &eof));
+  const uint32_t length = GetU32Le(header);
+  if (length > kMaxFramePayload) {
+    return Status::InvalidArgument(
+        "frame length prefix " + std::to_string(length) + " exceeds the " +
+        std::to_string(kMaxFramePayload) + "-byte frame limit");
+  }
+  const uint8_t kind = header[4];
+  if (kind > static_cast<uint8_t>(FrameKind::kShutdown)) {
+    return Status::InvalidArgument("unknown frame kind " +
+                                   std::to_string(kind));
+  }
+  frame->kind = static_cast<FrameKind>(kind);
+  frame->deadline_ms = GetU32Le(header + 5);
+  frame->payload.resize(length);
+  if (length > 0) {
+    RF_RETURN_NOT_OK(ReadAll(fd, frame->payload.data(), length, nullptr));
+  }
+  return Status::OK();
+}
+
+}  // namespace serve
+}  // namespace resuformer

@@ -1,0 +1,57 @@
+#ifndef RESUFORMER_SERVE_FRAMING_H_
+#define RESUFORMER_SERVE_FRAMING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace resuformer {
+namespace serve {
+
+/// \brief The length-prefixed wire protocol the parse server speaks.
+///
+/// Every frame, both directions, is:
+///
+///   u32 LE payload length | u8 kind | u32 LE deadline_ms | payload bytes
+///
+/// `deadline_ms` is a request-side latency budget relative to server
+/// receipt (0 = none); responses always carry 0. Requests are kParse
+/// (payload = resume text, one visual line per text line) or kShutdown
+/// (payload empty; asks the server to drain and exit). Responses are kOk
+/// (payload = the ToPrettyString JSON of the parse, or empty for a
+/// kShutdown ack) or kError (payload = the Status rendered as
+/// "Code: message"). One connection carries any number of frames in
+/// lockstep: the client writes a request, reads one response, repeats.
+enum class FrameKind : uint8_t {
+  kParse = 0,
+  kOk = 1,
+  kError = 2,
+  kShutdown = 3,
+};
+
+struct Frame {
+  FrameKind kind = FrameKind::kParse;
+  uint32_t deadline_ms = 0;
+  std::string payload;
+};
+
+/// Frames larger than this are refused on both ends — a corrupt or hostile
+/// length prefix must not drive a multi-gigabyte allocation.
+constexpr uint32_t kMaxFramePayload = 16u * 1024 * 1024;
+
+/// Writes one frame, looping over short writes and EINTR. IoError on any
+/// socket failure, InvalidArgument when the payload exceeds
+/// kMaxFramePayload.
+[[nodiscard]] Status WriteFrame(int fd, const Frame& frame);
+
+/// Reads one frame. NotFound on clean EOF at a frame boundary (the peer
+/// closed between frames — the normal end of a connection), IoError on a
+/// mid-frame EOF or socket failure, InvalidArgument on an oversized length
+/// prefix or unknown kind.
+[[nodiscard]] Status ReadFrame(int fd, Frame* frame);
+
+}  // namespace serve
+}  // namespace resuformer
+
+#endif  // RESUFORMER_SERVE_FRAMING_H_

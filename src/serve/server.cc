@@ -1,0 +1,206 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/trace.h"
+
+namespace resuformer {
+namespace serve {
+
+namespace {
+
+std::future<pipeline::ParseResponse> ReadyResponse(Status status) {
+  std::promise<pipeline::ParseResponse> promise;
+  pipeline::ParseResponse response;
+  response.status = std::move(status);
+  promise.set_value(std::move(response));
+  return promise.get_future();
+}
+
+}  // namespace
+
+ServerOptions ServerOptions::FromRuntime(const RuntimeOptions& rt) {
+  ServerOptions options;
+  options.max_batch = rt.serve_max_batch;
+  options.max_queue_delay_ms = rt.serve_max_queue_delay_ms;
+  options.queue_capacity = rt.serve_queue_capacity;
+  options.workers = rt.serve_workers;
+  return options;
+}
+
+Status ServerOptions::Validate() const {
+  if (max_batch < 1) {
+    return Status::InvalidArgument("ServerOptions.max_batch must be >= 1, got " +
+                                   std::to_string(max_batch));
+  }
+  if (max_queue_delay_ms < 1) {
+    return Status::InvalidArgument(
+        "ServerOptions.max_queue_delay_ms must be >= 1, got " +
+        std::to_string(max_queue_delay_ms));
+  }
+  if (queue_capacity < 1) {
+    return Status::InvalidArgument(
+        "ServerOptions.queue_capacity must be >= 1, got " +
+        std::to_string(queue_capacity));
+  }
+  if (workers < 1) {
+    return Status::InvalidArgument("ServerOptions.workers must be >= 1, got " +
+                                   std::to_string(workers));
+  }
+  return Status::OK();
+}
+
+ParseServer::ParseServer(const pipeline::ResuFormerPipeline* pipeline,
+                         const ServerOptions& options)
+    : pipeline_(pipeline), options_(options) {
+  RF_CHECK(pipeline_ != nullptr);
+  const Status valid = options_.Validate();
+  RF_CHECK(valid.ok()) << "ParseServer: " << valid.ToString();
+  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Global();
+  queue_depth_gauge_ = registry.GetGauge("serve.queue_depth");
+  requests_counter_ = registry.GetCounter("serve.requests");
+  batches_counter_ = registry.GetCounter("serve.batches");
+  rejected_queue_full_ = registry.GetCounter("serve.rejected.queue_full");
+  rejected_deadline_ = registry.GetCounter("serve.rejected.deadline");
+  rejected_unavailable_ = registry.GetCounter("serve.rejected.unavailable");
+  batch_size_hist_ = registry.GetHistogram("serve.batch_size");
+  queue_wait_hist_ = registry.GetHistogram("serve.queue_wait_us");
+  e2e_hist_ = registry.GetHistogram("serve.e2e_us");
+
+  workers_.reserve(static_cast<size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ParseServer::~ParseServer() { Shutdown(); }
+
+std::future<pipeline::ParseResponse> ParseServer::Submit(
+    pipeline::ParseRequest request) {
+  requests_counter_->Increment();
+  Pending pending;
+  pending.request = std::move(request);
+  pending.admit_ns = trace::NowNs();
+  pending.admit_tp = std::chrono::steady_clock::now();
+  std::future<pipeline::ParseResponse> future = pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      rejected_unavailable_->Increment();
+      return ReadyResponse(
+          Status::Unavailable("parse server is shutting down"));
+    }
+    if (queue_.size() >= static_cast<size_t>(options_.queue_capacity)) {
+      rejected_queue_full_->Increment();
+      return ReadyResponse(Status::ResourceExhausted(
+          "parse server queue is full (" +
+          std::to_string(options_.queue_capacity) + " requests)"));
+    }
+    queue_.push_back(std::move(pending));
+    queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+pipeline::ParseResponse ParseServer::ParseSync(pipeline::ParseRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+std::vector<ParseServer::Pending> ParseServer::NextBatch() {
+  const auto delay = std::chrono::milliseconds(options_.max_queue_delay_ms);
+  const size_t max_batch = static_cast<size_t>(options_.max_batch);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    // Park until there is anything to consider (or we are draining).
+    queue_cv_.wait(lock, [this] { return draining_ || !queue_.empty(); });
+    if (queue_.empty()) return {};  // draining_ && empty: worker exits.
+
+    // Flush immediately on a full batch, or flush whatever is queued when
+    // draining — drain never waits out the delay timer.
+    if (queue_.size() >= max_batch || draining_) break;
+
+    // Otherwise wait until the oldest request's delay budget elapses; a
+    // wakeup before then (new arrival, drain) re-evaluates the policy.
+    const auto flush_at = queue_.front().admit_tp + delay;
+    if (std::chrono::steady_clock::now() >= flush_at) break;
+    queue_cv_.wait_until(lock, flush_at);
+    // Loop re-evaluates the policy: new arrivals may fill the batch, drain
+    // flushes immediately, timer expiry breaks above, or a sibling worker
+    // emptied the queue and this one re-parks.
+  }
+
+  std::vector<Pending> batch;
+  const size_t take = std::min(queue_.size(), max_batch);
+  batch.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
+  // A partial flush can leave more than max_batch behind (burst while this
+  // worker slept): hand the remainder to a sibling immediately.
+  if (!queue_.empty()) queue_cv_.notify_one();
+  return batch;
+}
+
+void ParseServer::WorkerLoop() {
+  for (;;) {
+    std::vector<Pending> batch = NextBatch();
+    if (batch.empty()) return;
+
+    TRACE_SPAN("serve.batch");
+    batches_counter_->Increment();
+    const int64_t claim_ns = trace::NowNs();
+    if (metrics::MetricsRegistry::Enabled()) {
+      batch_size_hist_->Record(static_cast<int64_t>(batch.size()));
+      for (const Pending& p : batch) {
+        queue_wait_hist_->Record((claim_ns - p.admit_ns) / 1000);
+      }
+    }
+
+    std::vector<pipeline::ParseRequest> requests;
+    requests.reserve(batch.size());
+    for (Pending& p : batch) requests.push_back(std::move(p.request));
+    std::vector<pipeline::ParseResponse> responses = pipeline_->Parse(requests);
+
+    const int64_t done_ns = trace::NowNs();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (responses[i].status.code() == StatusCode::kDeadlineExceeded) {
+        rejected_deadline_->Increment();
+      }
+      if (metrics::MetricsRegistry::Enabled()) {
+        e2e_hist_->Record((done_ns - batch[i].admit_ns) / 1000);
+      }
+      batch[i].promise.set_value(std::move(responses[i]));
+    }
+  }
+}
+
+void ParseServer::Shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      draining_ = true;
+    }
+    queue_cv_.notify_all();
+    for (std::thread& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
+    // Workers flush everything before exiting (NextBatch only returns
+    // empty when draining with an empty queue), so nothing is lost.
+    std::lock_guard<std::mutex> lock(mu_);
+    RF_DCHECK(queue_.empty());
+  });
+}
+
+int64_t ParseServer::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(queue_.size());
+}
+
+}  // namespace serve
+}  // namespace resuformer

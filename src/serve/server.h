@@ -1,0 +1,154 @@
+#ifndef RESUFORMER_SERVE_SERVER_H_
+#define RESUFORMER_SERVE_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/runtime_options.h"
+#include "common/status.h"
+#include "pipeline/pipeline.h"
+
+namespace resuformer {
+namespace serve {
+
+/// Admission-queue policy knobs. Defaults mirror RuntimeOptions'
+/// serve_* fields; FromRuntime copies them over so env overrides
+/// (RESUFORMER_SERVE_*) flow through one struct.
+struct ServerOptions {
+  // Flush a micro-batch at this many requests...
+  int max_batch = 8;
+  // ...or when its oldest request has waited this long, whichever first.
+  int max_queue_delay_ms = 5;
+  // Admitted-but-unclaimed requests beyond this bound are rejected with
+  // ResourceExhausted (fail-fast backpressure).
+  int queue_capacity = 256;
+  // Worker threads draining the queue. Each worker claims one micro-batch
+  // at a time and parses it through the pipeline's batched entry point.
+  int workers = 2;
+
+  [[nodiscard]] static ServerOptions FromRuntime(const RuntimeOptions& rt);
+
+  /// Every knob must be >= 1; the error names the offending parameter.
+  [[nodiscard]] Status Validate() const;
+};
+
+/// \brief The resume parse server: a long-lived admission queue that
+/// coalesces concurrently-arriving ParseRequests into micro-batches under
+/// a size x latency-deadline policy and parses them on N resident worker
+/// threads.
+///
+/// Lifecycle: construction spawns the workers; Shutdown() (or the
+/// destructor) stops admission, drains every queued request, and joins.
+/// Drain is lossless by construction — a request either completes with a
+/// parse, completes with a non-OK Status (DeadlineExceeded /
+/// ResourceExhausted / Unavailable), or is flushed during drain; its
+/// future ALWAYS becomes ready.
+///
+/// Batching policy: a worker claims min(queue depth, max_batch) requests
+/// when either the queue holds a full batch or the oldest queued request
+/// has waited max_queue_delay_ms. Workers park on a condition variable in
+/// between — the admission loop never sleeps or does I/O while holding the
+/// queue lock (enforced by rf_lint's blocking-in-critical-section rule).
+///
+/// Deadlines: a request whose deadline_ns expires while it waits in the
+/// queue is answered DeadlineExceeded by the claiming worker (via the
+/// pipeline's own deadline check) without being parsed; the worker itself
+/// never dies — the next request in the batch proceeds normally.
+///
+/// Concurrency: multiple workers may parse batches concurrently. Each
+/// worker calls the pipeline's batched Parse, which dispatches documents
+/// over the global tensor ThreadPool; the pool's claim-or-inline semantics
+/// make concurrent external dispatches safe (one worker's batch fans out,
+/// the others run their documents inline).
+///
+/// Metrics (always-live counters/gauges; histograms need enable_metrics):
+///   serve.queue_depth            gauge      queued requests right now
+///   serve.requests               counter    admissions attempted
+///   serve.batches                counter    micro-batches parsed
+///   serve.rejected.queue_full    counter    ResourceExhausted rejections
+///   serve.rejected.deadline      counter    DeadlineExceeded rejections
+///   serve.rejected.unavailable   counter    submitted after shutdown
+///   serve.batch_size             histogram  requests per micro-batch
+///   serve.queue_wait_us          histogram  admission -> batch claim
+///   serve.e2e_us                 histogram  admission -> response ready
+class ParseServer {
+ public:
+  /// `pipeline` must outlive the server. Options must Validate().
+  ParseServer(const pipeline::ResuFormerPipeline* pipeline,
+              const ServerOptions& options);
+  ~ParseServer();
+  ParseServer(const ParseServer&) = delete;
+  ParseServer& operator=(const ParseServer&) = delete;
+
+  /// Admits one request. Returns a future that ALWAYS becomes ready:
+  /// with the parse, or with ResourceExhausted (queue at capacity) /
+  /// Unavailable (server shutting down) — both of those fail fast, the
+  /// future is ready on return.
+  [[nodiscard]] std::future<pipeline::ParseResponse> Submit(
+      pipeline::ParseRequest request);
+
+  /// Submit + wait: the synchronous convenience the CLI uses.
+  [[nodiscard]] pipeline::ParseResponse ParseSync(
+      pipeline::ParseRequest request);
+
+  /// Graceful drain: stops admission (subsequent Submits fail with
+  /// Unavailable), flushes every queued request into final micro-batches
+  /// (no delay waiting), joins the workers. Idempotent; also called by the
+  /// destructor.
+  void Shutdown();
+
+  /// Queued (admitted, unclaimed) requests right now. Test/ops visibility.
+  int64_t queue_depth() const;
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    pipeline::ParseRequest request;
+    std::promise<pipeline::ParseResponse> promise;
+    // Both clocks captured at admission: NowNs for metrics/deadlines,
+    // steady_clock for the flush-timer wait.
+    int64_t admit_ns = 0;
+    std::chrono::steady_clock::time_point admit_tp;
+  };
+
+  void WorkerLoop();
+  /// Blocks until a micro-batch is ready under the flush policy (or drain
+  /// flushes the remainder) and claims it. Empty result = queue drained and
+  /// server shutting down: the worker exits.
+  std::vector<Pending> NextBatch();
+
+  const pipeline::ResuFormerPipeline* pipeline_;
+  const ServerOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;   // guarded by mu_
+  bool draining_ = false;       // guarded by mu_
+
+  std::vector<std::thread> workers_;
+  std::once_flag shutdown_once_;
+
+  // Stable instrument pointers, resolved once at construction.
+  metrics::Gauge* queue_depth_gauge_;
+  metrics::Counter* requests_counter_;
+  metrics::Counter* batches_counter_;
+  metrics::Counter* rejected_queue_full_;
+  metrics::Counter* rejected_deadline_;
+  metrics::Counter* rejected_unavailable_;
+  metrics::Histogram* batch_size_hist_;
+  metrics::Histogram* queue_wait_hist_;
+  metrics::Histogram* e2e_hist_;
+};
+
+}  // namespace serve
+}  // namespace resuformer
+
+#endif  // RESUFORMER_SERVE_SERVER_H_

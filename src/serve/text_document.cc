@@ -1,0 +1,92 @@
+#include "serve/text_document.h"
+
+#include <string_view>
+
+#include "common/string_util.h"
+
+namespace resuformer {
+namespace serve {
+
+namespace {
+
+// Synthetic monospaced layout, matching the resumegen renderer's scale: US
+// letter pages, ~10pt body text, glyph advance ~0.6em.
+constexpr float kPageWidth = 612.0f;
+constexpr float kPageHeight = 792.0f;
+constexpr float kMargin = 54.0f;
+constexpr float kFontSize = 10.0f;
+constexpr float kLeading = 14.0f;
+constexpr float kGlyphWidth = 6.0f;
+constexpr float kWordGap = 6.0f;
+
+}  // namespace
+
+doc::Document DocumentFromText(const std::string& text) {
+  doc::Document document;
+  document.page_width = kPageWidth;
+  document.page_height = kPageHeight;
+
+  int page = 0;
+  float y = kMargin;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    std::string_view line(text.data() + start, end - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    // A trailing newline produces a final empty "line"; skip it without
+    // advancing the cursor.
+    const bool last = end == text.size();
+    if (!(last && line.empty())) {
+      if (y + kLeading > kPageHeight - kMargin) {
+        ++page;
+        y = kMargin;
+      }
+      const std::vector<std::string> words = SplitString(line);
+      if (!words.empty()) {
+        doc::Sentence sentence;
+        sentence.page = page;
+        float x = kMargin;
+        for (const std::string& word : words) {
+          // Clamp long tokens at the right margin rather than wrapping:
+          // a wrapped token would split one word across "lines" the text
+          // never had.
+          float advance = kGlyphWidth * static_cast<float>(word.size());
+          if (x + advance > kPageWidth - kMargin) {
+            advance = kPageWidth - kMargin - x;
+            if (advance < kGlyphWidth) advance = kGlyphWidth;
+          }
+          doc::Token token;
+          token.word = word;
+          token.page = page;
+          token.font_size = kFontSize;
+          token.box = doc::BBox{x, y, x + advance, y + kFontSize};
+          sentence.tokens.push_back(std::move(token));
+          x += advance + kWordGap;
+        }
+        sentence.box = sentence.tokens.front().box;
+        for (const doc::Token& t : sentence.tokens) {
+          sentence.box = doc::Union(sentence.box, t.box);
+        }
+        document.sentences.push_back(std::move(sentence));
+      }
+      y += kLeading;
+    }
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  document.num_pages = page + 1;
+  return document;
+}
+
+std::string DocumentToText(const doc::Document& document) {
+  std::string out;
+  for (const doc::Sentence& sentence : document.sentences) {
+    if (!out.empty()) out.push_back('\n');
+    out += sentence.Text();
+  }
+  return out;
+}
+
+}  // namespace serve
+}  // namespace resuformer

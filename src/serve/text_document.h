@@ -1,0 +1,33 @@
+#ifndef RESUFORMER_SERVE_TEXT_DOCUMENT_H_
+#define RESUFORMER_SERVE_TEXT_DOCUMENT_H_
+
+#include <string>
+
+#include "doc/document.h"
+
+namespace resuformer {
+namespace serve {
+
+/// \brief Builds a doc::Document from plain resume text — the serve wire
+/// format, where a client has text but no PDF layout.
+///
+/// Each text line ("\n"-separated; a trailing "\r" is stripped) becomes one
+/// visual line / doc::Sentence, and each whitespace-separated word becomes
+/// a token with a synthetic monospaced bounding box: lines flow top-down at
+/// a fixed leading inside US-letter pages and wrap to a new page when the
+/// bottom margin is reached. Blank lines advance the cursor (paragraph
+/// gaps) but produce no sentence. The geometry is deterministic — the same
+/// text always produces the same Document, so serve-path parses are
+/// reproducible and comparable against direct Parse calls.
+doc::Document DocumentFromText(const std::string& text);
+
+/// The inverse convenience for tests and clients that hold a rendered
+/// Document (e.g. from resumegen): its sentences joined with "\n", each
+/// sentence as its space-joined words. DocumentFromText(DocumentToText(d))
+/// preserves sentence count and token text (not the original geometry).
+std::string DocumentToText(const doc::Document& document);
+
+}  // namespace serve
+}  // namespace resuformer
+
+#endif  // RESUFORMER_SERVE_TEXT_DOCUMENT_H_

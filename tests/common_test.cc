@@ -337,5 +337,114 @@ TEST(RuntimeOptionsEnvTest, BoolKnobsParseCommonSpellings) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Strict serving knobs (RESUFORMER_SERVE_*): unlike the lenient knobs above,
+// malformed or out-of-range values surface an error naming the variable.
+// ---------------------------------------------------------------------------
+
+TEST(RuntimeOptionsServeEnvTest, UnsetKeepsDefaultsWithoutError) {
+  ScopedEnv a("RESUFORMER_SERVE_MAX_BATCH", nullptr);
+  ScopedEnv b("RESUFORMER_SERVE_MAX_QUEUE_DELAY_MS", nullptr);
+  ScopedEnv c("RESUFORMER_SERVE_QUEUE_CAPACITY", nullptr);
+  ScopedEnv d("RESUFORMER_SERVE_WORKERS", nullptr);
+  Status error;
+  const RuntimeOptions opts = RuntimeOptions::FromEnv(&error);
+  EXPECT_TRUE(error.ok()) << error.ToString();
+  EXPECT_EQ(opts.serve_max_batch, 8);
+  EXPECT_EQ(opts.serve_max_queue_delay_ms, 5);
+  EXPECT_EQ(opts.serve_queue_capacity, 256);
+  EXPECT_EQ(opts.serve_workers, 2);
+}
+
+TEST(RuntimeOptionsServeEnvTest, ValidValuesPopulateEveryKnob) {
+  ScopedEnv a("RESUFORMER_SERVE_MAX_BATCH", "32");
+  ScopedEnv b("RESUFORMER_SERVE_MAX_QUEUE_DELAY_MS", "12");
+  ScopedEnv c("RESUFORMER_SERVE_QUEUE_CAPACITY", "1024");
+  ScopedEnv d("RESUFORMER_SERVE_WORKERS", "4");
+  Status error;
+  const RuntimeOptions opts = RuntimeOptions::FromEnv(&error);
+  EXPECT_TRUE(error.ok()) << error.ToString();
+  EXPECT_EQ(opts.serve_max_batch, 32);
+  EXPECT_EQ(opts.serve_max_queue_delay_ms, 12);
+  EXPECT_EQ(opts.serve_queue_capacity, 1024);
+  EXPECT_EQ(opts.serve_workers, 4);
+}
+
+TEST(RuntimeOptionsServeEnvTest, MalformedValueNamesTheVariable) {
+  for (const char* bad : {"0", "-1", "8x", "abc", "99999999999999999999"}) {
+    ScopedEnv env("RESUFORMER_SERVE_MAX_BATCH", bad);
+    Status error;
+    const RuntimeOptions opts = RuntimeOptions::FromEnv(&error);
+    EXPECT_EQ(opts.serve_max_batch, 8) << "value: " << bad;  // fallback kept
+    ASSERT_FALSE(error.ok()) << "value: " << bad;
+    EXPECT_NE(error.ToString().find("RESUFORMER_SERVE_MAX_BATCH"),
+              std::string::npos)
+        << error.ToString();
+    EXPECT_NE(error.ToString().find(std::string("'") + bad + "'"),
+              std::string::npos)
+        << error.ToString();
+  }
+}
+
+TEST(RuntimeOptionsServeEnvTest, ErrorMessageStatesTheAllowedRange) {
+  ScopedEnv env("RESUFORMER_SERVE_WORKERS", "0");
+  Status error;
+  (void)RuntimeOptions::FromEnv(&error);
+  ASSERT_FALSE(error.ok());
+  EXPECT_NE(error.ToString().find("[1, 256]"), std::string::npos)
+      << error.ToString();
+}
+
+TEST(RuntimeOptionsServeEnvTest, FirstErrorWinsAcrossKnobs) {
+  ScopedEnv a("RESUFORMER_SERVE_MAX_BATCH", "bogus");
+  ScopedEnv b("RESUFORMER_SERVE_WORKERS", "also-bogus");
+  Status error;
+  const RuntimeOptions opts = RuntimeOptions::FromEnv(&error);
+  ASSERT_FALSE(error.ok());
+  // The first strict knob in declaration order reports; the rest still fall
+  // back to their defaults rather than compounding.
+  EXPECT_NE(error.ToString().find("RESUFORMER_SERVE_MAX_BATCH"),
+            std::string::npos)
+      << error.ToString();
+  EXPECT_EQ(opts.serve_max_batch, 8);
+  EXPECT_EQ(opts.serve_workers, 2);
+}
+
+TEST(RuntimeOptionsServeEnvTest, NullErrorPointerDoesNotCrash) {
+  ScopedEnv env("RESUFORMER_SERVE_QUEUE_CAPACITY", "-7");
+  // Without an out-param the error is logged as a warning, not fatal.
+  EXPECT_EQ(RuntimeOptions::FromEnv().serve_queue_capacity, 256);
+}
+
+TEST(StrictIntFromEnvTest, DirectParseAndRangeChecks) {
+  {
+    ScopedEnv env("RESUFORMER_TEST_STRICT_KNOB", "17");
+    Status error;
+    EXPECT_EQ(envparse::StrictIntFromEnv("RESUFORMER_TEST_STRICT_KNOB", 3, 1,
+                                         100, &error),
+              17);
+    EXPECT_TRUE(error.ok());
+  }
+  {
+    ScopedEnv env("RESUFORMER_TEST_STRICT_KNOB", "101");
+    Status error;
+    EXPECT_EQ(envparse::StrictIntFromEnv("RESUFORMER_TEST_STRICT_KNOB", 3, 1,
+                                         100, &error),
+              3);
+    ASSERT_FALSE(error.ok());
+    EXPECT_NE(error.ToString().find("[1, 100]"), std::string::npos)
+        << error.ToString();
+  }
+  {
+    // An already-set error is preserved: first error wins.
+    ScopedEnv env("RESUFORMER_TEST_STRICT_KNOB", "junk");
+    Status error = Status::InvalidArgument("earlier failure");
+    EXPECT_EQ(envparse::StrictIntFromEnv("RESUFORMER_TEST_STRICT_KNOB", 3, 1,
+                                         100, &error),
+              3);
+    EXPECT_NE(error.ToString().find("earlier failure"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace resuformer

@@ -1,0 +1,47 @@
+// rf_lint self-test fixture (never compiled; text-only input for
+// `rf_lint --selftest`). Lives under a serve/ directory because the
+// blocking-in-critical-section rule is scoped to serving-path files: it
+// seeds blocking calls inside lock critical sections, with exact expected
+// counts, plus compliant shapes that must NOT fire.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace lint_fixture {
+
+// A sleep between the lock declaration and the end of its block stalls
+// every thread serialized behind the mutex, and a raw socket read inside
+// the same region blocks for as long as the peer stays silent.
+// rf-lint-selftest-expect(blocking-in-critical-section=2)
+inline void BlockWhileHoldingTheLock(std::mutex& mu, int fd) {
+  char byte = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ::read(fd, &byte, 1);
+  }
+}
+
+// Condition-variable waits must NOT fire: they release the lock while
+// parked, which is exactly the admission loop's idiom.
+inline void ParkOnTheQueue(std::mutex& mu, std::condition_variable& cv,
+                           bool& ready) {
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&ready] { return ready; });
+  cv.wait_until(lock, std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(5));
+}
+
+// Blocking calls outside any lock region must NOT fire.
+inline void BlockWithoutTheLock(int fd) {
+  char byte = 0;
+  ::read(fd, &byte, 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+}  // namespace lint_fixture

@@ -49,6 +49,15 @@
 //                         elsewhere bypasses them. Byte-level casts
 //                         (char*/unsigned char*/std::byte*/uintptr_t) for
 //                         stream IO remain allowed everywhere.
+//   blocking-in-critical-section
+//                         (scoped to serve/) No sleep or blocking I/O
+//                         syscall between a std::lock_guard/unique_lock/
+//                         scoped_lock declaration and the end of its
+//                         enclosing block: a blocked admission-queue
+//                         critical section stalls every submitter and
+//                         worker behind the mutex. Condition-variable
+//                         waits are exempt — they release the lock while
+//                         parked.
 //
 // Suppressions:
 //   // rf-lint-allow(rule[,rule...])        this line or the next line
@@ -214,6 +223,7 @@ class Linter {
       LintTraceSpanInParallelFor(f);
       LintJsonStringConcat(f);
       LintMmapPayloadCast(f);
+      LintBlockingInCriticalSection(f);
     }
   }
 
@@ -242,7 +252,7 @@ class Linter {
         "naked-malloc",        "std-rand",
         "volatile-qualifier",  "include-guard",
         "trace-span-in-parallel-for", "json-string-concat",
-        "mmap-payload-cast"};
+        "mmap-payload-cast",   "blocking-in-critical-section"};
     return kRules;
   }
 
@@ -591,6 +601,48 @@ class Linter {
                    "' outside nn/serialize.cc / tensor/quant.cc; typed "
                    "views of raw payload bytes live only in those TUs "
                    "(byte-pointer casts are exempt)");
+      }
+    }
+  }
+
+  // The serve admission loop must never block while holding a lock: a sleep
+  // or blocking socket/file syscall inside the queue's critical section
+  // stalls every submitter and worker serialized behind that mutex, and the
+  // micro-batch flush deadline drifts by the blocked time. Scoped to serve/
+  // where the admission-queue critical sections live. The region is
+  // approximated as lock declaration -> close of its enclosing brace block;
+  // condition-variable waits (wait/wait_for/wait_until) are exempt because
+  // they release the lock while parked, as are non-blocking fd calls
+  // (close/shutdown).
+  void LintBlockingInCriticalSection(const SourceFile& f) {
+    if (f.rel.find("serve/") == std::string::npos) return;
+    static const std::regex lock_re(
+        R"(\bstd\s*::\s*(lock_guard|unique_lock|scoped_lock)\s*<)");
+    static const std::regex blocking_re(
+        R"((\b(sleep_for|sleep_until|usleep|nanosleep|ReadFrame|WriteFrame)|::\s*(read|write|recv|send|accept|connect|poll|select))\s*\()");
+    for (size_t i = 0; i < f.code.size(); ++i) {
+      if (!std::regex_search(f.code[i], lock_re)) continue;
+      int depth = 0;
+      for (size_t lj = i; lj < f.code.size(); ++lj) {
+        const std::string& l = f.code[lj];
+        bool closed = false;
+        for (char c : l) {
+          if (c == '{') ++depth;
+          if (c == '}' && --depth < 0) {
+            closed = true;
+            break;
+          }
+        }
+        std::smatch m;
+        if (std::regex_search(l, m, blocking_re)) {
+          Report(f, lj, "blocking-in-critical-section",
+                 "blocking call inside the critical section of the lock "
+                 "taken on line " + std::to_string(i + 1) +
+                     "; every submitter and worker stalls behind that "
+                     "mutex — move the call outside the lock (cv waits "
+                     "are exempt: they release the lock)");
+        }
+        if (closed) break;
       }
     }
   }

@@ -701,6 +701,22 @@ void BM_HistogramRecord(benchmark::State& state) {
 }
 BENCHMARK(BM_HistogramRecord)->Unit(benchmark::kNanosecond);
 
+// The always-live record behind the serve plane's windowed p50/p99: a plain
+// Histogram::Record plus one relaxed epoch-sequence check. Compare against
+// BM_HistogramRecord to see the rolling overhead; the synthetic clock steps
+// one microsecond per record, so epoch rotation stays on its real cadence.
+void BM_RollingHistogramRecord(benchmark::State& state) {
+  metrics::RollingHistogram rolling(10, 1'000'000'000);  // 10 x 1s epochs
+  int64_t now_ns = 0;
+  int64_t v = 0;
+  for (auto _ : state) {
+    rolling.Record(v++ & 0xfff, now_ns);
+    now_ns += 1'000;
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_RollingHistogramRecord)->Unit(benchmark::kNanosecond);
+
 void BM_TokenLevelPredict(benchmark::State& state) {
   Env& env = GetEnv();
   for (auto _ : state) {

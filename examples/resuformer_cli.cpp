@@ -13,11 +13,18 @@
 //   resuformer_cli serve [--port N] [--model DIR] long-lived parse daemon on
 //            [--max-batch N] [--max-delay-ms N]   127.0.0.1 speaking the
 //            [--queue-capacity N] [--workers N]   length-prefixed framing
-//                                                 protocol (src/serve)
+//            [--stats-window-ms N]                protocol (src/serve);
+//            [--slow-trace-us N]                  SIGINT/SIGTERM or a client
+//            [--slow-trace-dir DIR]               kShutdown frame drains
+//                                                 gracefully
+//   resuformer_cli stats --port N [--prom|--json] live admin stats of a
+//                                                 running serve daemon
+//                                                 (kStats frame), rendered
+//                                                 as a table by default
 //
 // Demo subcommands (kept from the pre-daemon CLI):
 //   resuformer_cli generate --docs 5 --seed 42        render resumes to stdout
-//   resuformer_cli stats --docs 100                   corpus statistics
+//   resuformer_cli corpus-stats --docs 100            corpus statistics
 //   resuformer_cli annotate "Email: a@b.com Age: 27"  distant annotation demo
 //   resuformer_cli train-and-parse [--seed N]         train + parse a held-out
 //                                                     resume in one process
@@ -35,7 +42,15 @@
 // With no subcommand, train-and-parse runs — `resuformer_cli --trace-out
 // t.json` captures a trace of the full pipeline.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,18 +59,21 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baselines/layout_token_model.h"
 #include "common/metrics.h"
 #include "common/runtime_options.h"
 #include "common/string_util.h"
+#include "common/table_printer.h"
 #include "common/trace.h"
 #include "distant/dictionary.h"
 #include "eval/timing.h"
 #include "pipeline/pipeline.h"
 #include "resumegen/corpus.h"
 #include "serve/endpoint.h"
+#include "serve/framing.h"
 #include "serve/server.h"
 #include "serve/text_document.h"
 
@@ -104,10 +122,14 @@ const std::vector<CommandSpec>& Commands() {
       {"serve", "long-lived parse daemon on 127.0.0.1 (framing protocol)",
        {{"--port", true}, {"--model", true}, {"--seed", true},
         {"--max-batch", true}, {"--max-delay-ms", true},
-        {"--queue-capacity", true}, {"--workers", true}}, false},
+        {"--queue-capacity", true}, {"--workers", true},
+        {"--stats-window-ms", true}, {"--slow-trace-us", true},
+        {"--slow-trace-dir", true}}, false},
+      {"stats", "live admin stats of a running serve daemon",
+       {{"--port", true}, {"--prom", false}, {"--json", false}}, false},
       {"generate", "render synthetic resumes to stdout",
        {{"--docs", true}, {"--seed", true}}, false},
-      {"stats", "corpus statistics",
+      {"corpus-stats", "corpus statistics",
        {{"--docs", true}, {"--seed", true}}, false},
       {"annotate", "distant annotation demo over the argument text",
        {}, true},
@@ -279,7 +301,7 @@ int CmdGenerate(const ParsedArgs& args) {
   return 0;
 }
 
-int CmdStats(const ParsedArgs& args) {
+int CmdCorpusStats(const ParsedArgs& args) {
   bool ok = true;
   resumegen::CorpusConfig cfg;
   cfg.pretrain_docs = static_cast<int>(IntFlag(args, "--docs", 100, &ok));
@@ -451,6 +473,54 @@ int CmdBench(const ParsedArgs&) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Observability outputs (--metrics-out / --trace-out). Written by CmdServe
+// right after a graceful drain (so a SIGTERM'd daemon still leaves its
+// artifacts) and by Run's epilogue for every other command; the flag keeps
+// the two call sites from double-writing.
+
+const char* g_metrics_out = nullptr;
+const char* g_trace_out = nullptr;
+bool g_observability_written = false;
+
+int WriteObservabilityOutputs() {
+  if (g_observability_written) return 0;
+  g_observability_written = true;
+  if (g_metrics_out != nullptr) {
+    std::ofstream out(g_metrics_out);
+    out << metrics::MetricsRegistry::Global().Snapshot().ToJson() << '\n';
+    if (!out.flush()) {
+      std::fprintf(stderr, "error: cannot write %s\n", g_metrics_out);
+      return 1;
+    }
+    std::fprintf(stderr, "metrics snapshot written to %s\n", g_metrics_out);
+  }
+  if (g_trace_out != nullptr) {
+    const Status s =
+        trace::TraceRecorder::Global().WriteChromeJson(g_trace_out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.message().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "trace written to %s (load via chrome://tracing)\n",
+                 g_trace_out);
+  }
+  return 0;
+}
+
+// SIGINT/SIGTERM -> graceful drain. The handler only stores a flag
+// (async-signal-safe); a watcher thread in CmdServe polls it and routes it
+// into SocketEndpoint::RequestShutdown — the same path as a client
+// kShutdown frame.
+std::atomic<int> g_shutdown_signal{0};
+
+void OnShutdownSignal(int sig) {
+  // Relaxed: the watcher thread only needs to eventually observe the store;
+  // no other memory is published by the handler.
+  g_shutdown_signal.store(sig, std::memory_order_relaxed);
+}
+
 int CmdServe(const ParsedArgs& args) {
   bool ok = true;
   const int port = static_cast<int>(IntFlag(args, "--port", 0, &ok));
@@ -467,6 +537,12 @@ int CmdServe(const ParsedArgs& args) {
       IntFlag(args, "--queue-capacity", options.queue_capacity, &ok));
   options.workers = static_cast<int>(
       IntFlag(args, "--workers", options.workers, &ok));
+  options.stats_window_ms = static_cast<int>(
+      IntFlag(args, "--stats-window-ms", options.stats_window_ms, &ok));
+  options.slow_trace_us = static_cast<int>(
+      IntFlag(args, "--slow-trace-us", options.slow_trace_us, &ok));
+  const char* slow_trace_dir = StringFlag(args, "--slow-trace-dir");
+  if (slow_trace_dir != nullptr) options.slow_trace_dir = slow_trace_dir;
   if (!ok) return 2;
   const Status valid = options.Validate();
   if (!valid.ok()) {
@@ -491,18 +567,180 @@ int CmdServe(const ParsedArgs& args) {
               options.queue_capacity, options.workers);
   std::fflush(stdout);
 
+  // Route SIGINT/SIGTERM into the same graceful drain as a kShutdown frame.
+  g_shutdown_signal.store(0, std::memory_order_relaxed);
+  std::signal(SIGINT, OnShutdownSignal);
+  std::signal(SIGTERM, OnShutdownSignal);
+  std::atomic<bool> serving_done{false};
+  std::thread signal_watcher([&endpoint, &serving_done] {
+    // Relaxed loads: plain flag polls, no memory published through them.
+    while (!serving_done.load(std::memory_order_relaxed)) {
+      if (g_shutdown_signal.load(std::memory_order_relaxed) != 0) {
+        endpoint.RequestShutdown();
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
+
   endpoint.WaitForShutdownRequest();
   std::fprintf(stderr, "shutdown requested: draining...\n");
   endpoint.Stop();
   server.Shutdown();
+  // Relaxed store: the watcher only reads the flag, nothing else.
+  serving_done.store(true, std::memory_order_relaxed);
+  signal_watcher.join();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
   std::fprintf(stderr, "drained.\n");
+  // Write --metrics-out / --trace-out now, while the drained counters and
+  // spans are final — a SIGTERM'd daemon must not lose its artifacts.
+  return WriteObservabilityOutputs();
+}
+
+// ---------------------------------------------------------------------------
+// `stats`: a kStats admin client for a running serve daemon.
+
+/// Connects to 127.0.0.1:`port`. Returns -1 after printing the error.
+int ConnectLoopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "error: socket: %s\n", std::strerror(errno));
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  // rf-lint-allow(mmap-payload-cast): POSIX sockets calling convention.
+  const sockaddr* addr_ptr = reinterpret_cast<const sockaddr*>(&addr);
+  if (::connect(fd, addr_ptr, sizeof(addr)) < 0) {
+    std::fprintf(stderr, "error: connect 127.0.0.1:%d: %s\n", port,
+                 std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// First occurrence of `"key": <int>` in `json`. Safe against StatsJson
+/// because its "server" section leads and its keys are unique there.
+int64_t FindJsonInt(const std::string& json, const char* key, bool* found) {
+  std::string needle = "\"";
+  needle += key;
+  needle += "\": ";
+  const size_t at = json.find(needle);
+  if (at == std::string::npos) {
+    *found = false;
+    return 0;
+  }
+  return std::strtoll(json.c_str() + at + needle.size(), nullptr, 10);
+}
+
+/// First occurrence of `"key": "<value>"`.
+std::string FindJsonString(const std::string& json, const char* key) {
+  std::string needle = "\"";
+  needle += key;
+  needle += "\": \"";
+  const size_t at = json.find(needle);
+  if (at == std::string::npos) return "?";
+  const size_t start = at + needle.size();
+  const size_t end = json.find('"', start);
+  if (end == std::string::npos) return "?";
+  return json.substr(start, end - start);
+}
+
+int CmdServerStats(const ParsedArgs& args) {
+  bool ok = true;
+  const int port = static_cast<int>(IntFlag(args, "--port", 0, &ok));
+  if (!ok) return 2;
+  if (port <= 0) {
+    std::fprintf(stderr, "error: stats requires --port N of a running "
+                         "serve daemon\n");
+    return 2;
+  }
+  const bool prom = HasFlag(args, "--prom");
+
+  const int fd = ConnectLoopback(port);
+  if (fd < 0) return 1;
+  serve::Frame request;
+  request.kind = serve::FrameKind::kStats;
+  if (prom) request.payload = "prometheus";
+  Status s = serve::WriteFrame(fd, request);
+  serve::Frame reply;
+  if (s.ok()) s = serve::ReadFrame(fd, &reply);
+  ::close(fd);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (reply.kind != serve::FrameKind::kOk) {
+    std::fprintf(stderr, "error: server answered kind %d: %s\n",
+                 static_cast<int>(reply.kind), reply.payload.c_str());
+    return 1;
+  }
+
+  if (prom || HasFlag(args, "--json")) {
+    // Raw payload for scripting (Prometheus scrape shims, jq).
+    std::printf("%s\n", reply.payload.c_str());
+    return 0;
+  }
+
+  const std::string& json = reply.payload;
+  bool found = true;
+  const auto Int = [&json, &found](const char* key) {
+    return FindJsonInt(json, key, &found);
+  };
+  const auto Row = [](const char* label, int64_t value) {
+    return std::vector<std::string>{label, std::to_string(value)};
+  };
+  const int64_t window_ms = Int("window_ms");
+  TablePrinter table({"stat", "value"});
+  table.AddRow({"state", FindJsonString(json, "state")});
+  table.AddRow({"uptime_s",
+                std::to_string(Int("uptime_us") / 1'000'000)});
+  table.AddRow(Row("queue_depth", Int("queue_depth")));
+  table.AddRow(Row("workers", Int("workers")));
+  table.AddRow(Row("max_batch", Int("max_batch")));
+  table.AddSeparator();
+  table.AddRow(Row("requests", Int("requests")));
+  table.AddRow(Row("batches", Int("batches")));
+  table.AddRow(Row("rejected_queue_full", Int("rejected_queue_full")));
+  table.AddRow(Row("rejected_deadline", Int("rejected_deadline")));
+  table.AddRow(Row("rejected_unavailable", Int("rejected_unavailable")));
+  table.AddRow(Row("slow_traces", Int("slow_traces")));
+  table.AddSeparator();
+  const std::string window = "window(" + std::to_string(window_ms) + "ms)";
+  table.AddRow(Row((window + " e2e_count").c_str(),
+                   Int("window_e2e_count")));
+  table.AddRow(Row((window + " e2e_p50_us").c_str(),
+                   Int("window_e2e_p50_us")));
+  table.AddRow(Row((window + " e2e_p99_us").c_str(),
+                   Int("window_e2e_p99_us")));
+  table.AddRow(Row((window + " queue_wait_p50_us").c_str(),
+                   Int("window_queue_wait_p50_us")));
+  table.AddRow(Row((window + " queue_wait_p99_us").c_str(),
+                   Int("window_queue_wait_p99_us")));
+  table.AddSeparator();
+  table.AddRow(Row("cumulative e2e_count", Int("e2e_count")));
+  table.AddRow(Row("cumulative e2e_p50_us", Int("e2e_p50_us")));
+  table.AddRow(Row("cumulative e2e_p99_us", Int("e2e_p99_us")));
+  if (!found) {
+    // Version skew (older/newer daemon): show what we got instead of a
+    // half-empty table.
+    std::fprintf(stderr, "warning: unrecognized stats payload; raw JSON:\n");
+    std::printf("%s\n", json.c_str());
+    return 0;
+  }
+  std::printf("%s", table.ToString().c_str());
   return 0;
 }
 
 int Dispatch(const CommandSpec& cmd, const ParsedArgs& args) {
   const std::string name = cmd.name;
   if (name == "generate") return CmdGenerate(args);
-  if (name == "stats") return CmdStats(args);
+  if (name == "corpus-stats") return CmdCorpusStats(args);
+  if (name == "stats") return CmdServerStats(args);
   if (name == "annotate") return CmdAnnotate(args);
   if (name == "train") return CmdTrain(args);
   if (name == "parse") return CmdParse(args);
@@ -544,10 +782,10 @@ int Run(int argc, char** argv) {
     return 2;
   }
   bool ok = true;
-  const char* trace_out = StringFlag(args, "--trace-out");
-  const char* metrics_out = StringFlag(args, "--metrics-out");
-  if (trace_out != nullptr) g_runtime.enable_tracing = true;
-  if (metrics_out != nullptr) g_runtime.enable_metrics = true;
+  g_trace_out = StringFlag(args, "--trace-out");
+  g_metrics_out = StringFlag(args, "--metrics-out");
+  if (g_trace_out != nullptr) g_runtime.enable_tracing = true;
+  if (g_metrics_out != nullptr) g_runtime.enable_metrics = true;
   g_runtime.threads =
       static_cast<int>(IntFlag(args, "--threads", g_runtime.threads, &ok));
   if (!ok) return 2;
@@ -558,27 +796,10 @@ int Run(int argc, char** argv) {
 
   const int rc = Dispatch(*cmd, args);
 
-  if (metrics_out != nullptr) {
-    std::ofstream out(metrics_out);
-    out << metrics::MetricsRegistry::Global().Snapshot().ToJson() << '\n';
-    if (!out.flush()) {
-      std::fprintf(stderr, "error: cannot write %s\n", metrics_out);
-      return 1;
-    }
-    std::fprintf(stderr, "metrics snapshot written to %s\n", metrics_out);
-  }
-  if (trace_out != nullptr) {
-    const Status s =
-        trace::TraceRecorder::Global().WriteChromeJson(trace_out);
-    if (!s.ok()) {
-      std::fprintf(stderr, "error: %s\n", s.message().c_str());
-      return 1;
-    }
-    std::fprintf(stderr,
-                 "trace written to %s (load via chrome://tracing)\n",
-                 trace_out);
-  }
-  return rc;
+  // CmdServe writes these itself right after its drain; for every other
+  // command this is the first (and only) writer.
+  const int write_rc = WriteObservabilityOutputs();
+  return rc != 0 ? rc : write_rc;
 }
 
 }  // namespace

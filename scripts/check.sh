@@ -8,7 +8,7 @@
 #   scripts/check.sh --full   tier-1, then the ASan+UBSan and TSan suites
 #                             (separate build trees via CMakePresets.json;
 #                             TSan also runs the `stress` label and reruns
-#                             the `serve` label)
+#                             the `serve` and `observability` labels)
 #
 # Every build tree is a preset from CMakePresets.json, so this script and
 # `cmake --preset <name>` always agree on flags.
@@ -51,11 +51,13 @@ if [[ "${full}" == "1" ]]; then
   ctest --preset asan -R 'SerializeTest' --output-on-failure -j "${jobs}"
   run_preset tsan
   # Cross-request batching is the most concurrency-dense code in the repo
-  # (admission queue + worker pool + per-connection handler threads); rerun
-  # the serve suite under TSan explicitly so it cannot silently fall out of
-  # the stress label.
-  echo "==> [tsan] serve-label focused rerun"
-  ctest --preset tsan -L serve --output-on-failure -j "${jobs}"
+  # (admission queue + worker pool + per-connection handler threads), and
+  # the observability plane (lock-free metrics, rolling histograms, tracer
+  # rings) is read concurrently by the kStats admin path; rerun both suites
+  # under TSan explicitly so they cannot silently fall out of the stress
+  # label.
+  echo "==> [tsan] serve+observability focused rerun"
+  ctest --preset tsan -L 'serve|observability' --output-on-failure -j "${jobs}"
 fi
 
 echo "==> all checks passed"

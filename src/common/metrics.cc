@@ -1,7 +1,9 @@
 #include "common/metrics.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
+#include <cstdio>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -23,12 +25,127 @@ int BucketIndex(int64_t v) {
   return b;
 }
 
+/// Shared percentile kernel over a full bucket-count array (used by both
+/// Histogram::ApproxPercentile and RollingHistogram::Window). The total is
+/// summed from the buckets themselves so the target rank is always
+/// reachable, even when a concurrent Record has bumped count_ and a bucket
+/// at different instants. Implements the boundary contract documented on
+/// Histogram::ApproxPercentile.
+int64_t PercentileFromBucketCounts(const int64_t* buckets, double q) {
+  int64_t total = 0;
+  for (int b = 0; b < Histogram::kNumBuckets; ++b) total += buckets[b];
+  if (total <= 0) return 0;
+  // NaN fails both comparisons below, and feeding it onward would make the
+  // ceil-cast undefined — fold it into the q>=1 "coarse maximum" case.
+  if (std::isnan(q) || q > 1.0) q = 1.0;
+  if (q < 0.0) q = 0.0;
+  // Ceil so q=1.0 needs every sample and q=0.0 still needs the first one.
+  const int64_t needed = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(q * static_cast<double>(total))));
+  int64_t seen = 0;
+  int last_nonempty = 0;
+  for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+    if (buckets[b] <= 0) continue;
+    seen += buckets[b];
+    last_nonempty = b;
+    if (seen >= needed) return Histogram::BucketUpperBound(b);
+  }
+  return Histogram::BucketUpperBound(last_nonempty);
+}
+
 void AppendJsonKey(std::string* out, const std::string& name) {
   AppendJsonQuoted(out, name);
   out->append(": ");
 }
 
+/// Prometheus metric names allow only [a-zA-Z0-9_:] (and must not start
+/// with a digit — the "resuformer_" prefix guarantees that). Our dotted
+/// lowercase names map dots to underscores; anything else hostile maps to
+/// '_' as well.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "resuformer_";
+  for (char c : name) {
+    const bool ok =
+        std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+/// "# HELP" line escaping per the text exposition format 0.0.4: backslash
+/// and newline only.
+std::string PrometheusHelpEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void AppendPrometheusHeader(std::string* out, const std::string& prom_name,
+                            const char* type, const std::string& original) {
+  out->append("# HELP " + prom_name + " resuformer metric " +
+              PrometheusHelpEscape(original) + "\n");
+  out->append("# TYPE " + prom_name + " " + type + "\n");
+}
+
 }  // namespace
+
+RollingHistogram::RollingHistogram(int num_epochs, int64_t epoch_ns)
+    : num_epochs_(num_epochs), epoch_ns_(epoch_ns) {
+  RF_CHECK(num_epochs_ >= 2) << "RollingHistogram needs >= 2 epochs";
+  RF_CHECK(epoch_ns_ > 0) << "RollingHistogram needs a positive epoch";
+  epochs_.reserve(static_cast<size_t>(num_epochs_));
+  for (int i = 0; i < num_epochs_; ++i) {
+    epochs_.push_back(std::make_unique<Epoch>());
+  }
+}
+
+void RollingHistogram::Record(int64_t value, int64_t now_ns) {
+  const int64_t seq = now_ns / epoch_ns_;
+  Epoch& e = *epochs_[static_cast<size_t>(seq % num_epochs_)];
+  // Relaxed load/CAS: the sequence number is a statistical epoch tag, not a
+  // publication point. The CAS winner resets the slot for the new epoch; a
+  // loser whose sample lands just before that Reset loses the sample, which
+  // is the documented (and statistically irrelevant) rotation race.
+  int64_t cur = e.seq.load(std::memory_order_relaxed);
+  while (cur < seq) {
+    if (e.seq.compare_exchange_weak(cur, seq, std::memory_order_relaxed)) {
+      e.hist.Reset();
+      break;
+    }
+  }
+  e.hist.Record(value);
+}
+
+RollingHistogram::WindowSnapshot RollingHistogram::Window(int64_t now_ns) const {
+  const int64_t cur_seq = now_ns / epoch_ns_;
+  const int64_t min_seq = cur_seq - num_epochs_ + 1;
+  int64_t buckets[Histogram::kNumBuckets] = {};
+  WindowSnapshot out;
+  for (const auto& e : epochs_) {
+    // Relaxed: pairs with the tag updates in Record (see above).
+    const int64_t seq = e->seq.load(std::memory_order_relaxed);
+    if (seq < min_seq || seq > cur_seq) continue;
+    out.sum += e->hist.sum();
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      buckets[b] += e->hist.bucket_count(b);
+    }
+  }
+  for (int b = 0; b < Histogram::kNumBuckets; ++b) out.count += buckets[b];
+  if (out.count > 0) {
+    out.p50 = PercentileFromBucketCounts(buckets, 0.50);
+    out.p99 = PercentileFromBucketCounts(buckets, 0.99);
+  }
+  return out;
+}
 
 void Histogram::Record(int64_t value) {
   // Relaxed everywhere: each field is an independent statistical tally, no
@@ -56,19 +173,9 @@ int64_t Histogram::BucketUpperBound(int b) {
 }
 
 int64_t Histogram::ApproxPercentile(double q) const {
-  const int64_t total = count();
-  if (total <= 0) return 0;
-  if (q < 0.0) q = 0.0;
-  if (q > 1.0) q = 1.0;
-  // Ceil so q=1.0 needs every sample and q=0.0 still needs the first one.
-  const int64_t needed =
-      std::max<int64_t>(1, static_cast<int64_t>(std::ceil(q * total)));
-  int64_t seen = 0;
-  for (int b = 0; b < kNumBuckets; ++b) {
-    seen += bucket_count(b);
-    if (seen >= needed) return BucketUpperBound(b);
-  }
-  return BucketUpperBound(kNumBuckets - 1);
+  int64_t buckets[kNumBuckets];
+  for (int b = 0; b < kNumBuckets; ++b) buckets[b] = bucket_count(b);
+  return PercentileFromBucketCounts(buckets, q);
 }
 
 void Histogram::Reset() {
@@ -181,6 +288,43 @@ std::string MetricsSnapshot::ToJson() const {
   }
   out += histograms.empty() ? "}\n" : "\n  }\n";
   out += "}";
+  return out;
+}
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::string out;
+  char line[160];
+  for (const CounterValue& c : counters) {
+    const std::string name = PrometheusName(c.name);
+    AppendPrometheusHeader(&out, name, "counter", c.name);
+    out += name + " " + std::to_string(c.value) + "\n";
+  }
+  for (const GaugeValue& g : gauges) {
+    const std::string name = PrometheusName(g.name);
+    AppendPrometheusHeader(&out, name, "gauge", g.name);
+    out += name + " " + std::to_string(g.value) + "\n";
+  }
+  for (const HistogramValue& h : histograms) {
+    const std::string name = PrometheusName(h.name);
+    AppendPrometheusHeader(&out, name, "histogram", h.name);
+    // Prometheus buckets are cumulative; ours are per-bucket counts.
+    int64_t cumulative = 0;
+    for (const HistogramValue::Bucket& b : h.buckets) {
+      cumulative += b.count;
+      std::snprintf(line, sizeof(line), "%s_bucket{le=\"%lld\"} %lld\n",
+                    name.c_str(), static_cast<long long>(b.upper_bound),
+                    static_cast<long long>(cumulative));
+      out += line;
+    }
+    // +Inf must dominate every bucket; h.count can lag the bucket sum by a
+    // racing sample, so take the max.
+    const int64_t total = std::max(cumulative, h.count);
+    std::snprintf(line, sizeof(line), "%s_bucket{le=\"+Inf\"} %lld\n",
+                  name.c_str(), static_cast<long long>(total));
+    out += line;
+    out += name + "_sum " + std::to_string(h.sum) + "\n";
+    out += name + "_count " + std::to_string(total) + "\n";
+  }
   return out;
 }
 

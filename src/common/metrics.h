@@ -85,10 +85,21 @@ class Histogram {
   static int64_t BucketUpperBound(int b);
   void Reset();
 
-  /// Approximate percentile (q in [0, 1]): the upper bound of the first
-  /// bucket whose cumulative count reaches q * count(). Resolution is the
-  /// log2 bucket width — good enough for p50/p99 latency reporting. Returns
-  /// 0 on an empty histogram. Reads are relaxed (same contract as count()).
+  /// Approximate percentile: the inclusive upper bound of the bucket holding
+  /// the q-th sample, so resolution is the log2 bucket width — good enough
+  /// for p50/p99 latency reporting. The total is derived from the bucket
+  /// counts themselves (not count_), so a concurrent Record can never leave
+  /// the target rank unreachable. Boundary contract:
+  ///  * empty histogram        -> 0 for every q
+  ///  * q <= 0                 -> upper bound of the first non-empty bucket
+  ///                              (the coarse minimum)
+  ///  * q >= 1 (and NaN)       -> upper bound of the last non-empty bucket
+  ///                              (the coarse maximum)
+  ///  * a single sample        -> its bucket's upper bound for every q
+  ///  * samples <= 0           -> land in bucket 0, whose bound is 0; a
+  ///                              histogram holding only such samples
+  ///                              returns 0 for every q
+  /// Reads are relaxed (same contract as count()).
   int64_t ApproxPercentile(double q) const;
 
  private:
@@ -97,6 +108,62 @@ class Histogram {
   std::atomic<int64_t> sum_{0};
   std::atomic<int64_t> min_{INT64_MAX};
   std::atomic<int64_t> max_{INT64_MIN};
+};
+
+/// Sliding-window histogram: a ring of `num_epochs` rotating Histogram
+/// epochs of `epoch_ns` each. Record() is lock-free and costs the same as a
+/// plain Histogram::Record plus one relaxed load (and, once per epoch roll,
+/// one CAS + Reset) — cheap enough to run unconditionally on paths that
+/// already hold a timestamp, matching the counters-always-live cost model.
+///
+/// Window(now_ns) merges every epoch still inside the window into one bucket
+/// array and reports count/sum/p50/p99 over it. The window covers between
+/// (num_epochs - 1) and num_epochs full epochs depending on where `now_ns`
+/// falls inside the current epoch, so configure num_epochs for the
+/// granularity/error trade-off (10 epochs -> the window is accurate to 10%).
+///
+/// Epoch rotation is racy by design: a recorder that loses the reset CAS for
+/// a fresh epoch may land its sample just before the winner's Reset() wipes
+/// it. At most a handful of samples per epoch roll are lost, which is
+/// statistically irrelevant for latency percentiles and keeps the record
+/// path free of locks.
+class RollingHistogram {
+ public:
+  /// `num_epochs` >= 2 rotating epochs of `epoch_ns` > 0 nanoseconds each.
+  RollingHistogram(int num_epochs, int64_t epoch_ns);
+
+  /// Records `value` into the epoch containing `now_ns` (caller supplies the
+  /// timestamp — the serve path already has it in hand, so recording never
+  /// reads a clock).
+  void Record(int64_t value, int64_t now_ns);
+
+  struct WindowSnapshot {
+    int64_t count = 0;
+    int64_t sum = 0;
+    int64_t p50 = 0;  ///< same bucket-bound contract as ApproxPercentile
+    int64_t p99 = 0;
+  };
+  /// Merged statistics over the epochs still inside the window ending at
+  /// `now_ns`. Empty window -> all zeros.
+  WindowSnapshot Window(int64_t now_ns) const;
+
+  int num_epochs() const { return num_epochs_; }
+  int64_t epoch_ns() const { return epoch_ns_; }
+  /// Upper bound of the history the window can cover.
+  int64_t window_ns() const { return static_cast<int64_t>(num_epochs_) * epoch_ns_; }
+
+ private:
+  struct Epoch {
+    Histogram hist;
+    /// Epoch sequence number (now_ns / epoch_ns) of the samples currently
+    /// stored; -1 until first use.
+    std::atomic<int64_t> seq{-1};
+  };
+
+  const int num_epochs_;
+  const int64_t epoch_ns_;
+  /// unique_ptr ring because Histogram (atomics) is not movable.
+  std::vector<std::unique_ptr<Epoch>> epochs_;
 };
 
 /// Plain-struct materialization of the registry (see Snapshot()).
@@ -130,6 +197,15 @@ struct MetricsSnapshot {
   /// "histograms": {"name": {"count":..,"sum":..,"min":..,"max":..,
   /// "buckets":[{"le":..,"count":..},...]}, ...}}.
   std::string ToJson() const;
+
+  /// Prometheus text exposition (format 0.0.4) of the snapshot. Metric
+  /// names are prefixed with "resuformer_" and sanitized (every character
+  /// outside [a-zA-Z0-9_:] becomes '_' — our dotted names turn into
+  /// underscore names); the original registry name is preserved on the
+  /// "# HELP" line with spec escaping (backslash and newline). Histograms
+  /// render as cumulative "_bucket{le=...}" series plus "+Inf", "_sum" and
+  /// "_count". Served by the kStats admin frame with payload "prometheus".
+  std::string ToPrometheusText() const;
 };
 
 class MetricsRegistry {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <cstdint>
 #include <cstdlib>
 #include <string>
 
@@ -70,8 +71,9 @@ int StrictIntFromEnv(const char* name, int fallback, int min_value,
 
 }  // namespace envparse
 
-RuntimeOptions RuntimeOptions::FromEnv(Status* serve_error) {
+RuntimeOptions RuntimeOptions::FromEnv(Status* strict_error) {
   RuntimeOptions opts;
+  Status strict;
   // threads stays 0 ("auto") unless the env names an explicit width; the
   // thread pool resolves 0 through the same variable, so either path agrees.
   opts.threads = envparse::IntFromEnv("RESUFORMER_THREADS", 0, 1, 256);
@@ -86,13 +88,15 @@ RuntimeOptions RuntimeOptions::FromEnv(Status* serve_error) {
   opts.enable_metrics =
       ParseBoolEnv("RESUFORMER_METRICS", opts.enable_metrics);
   opts.enable_tracing = ParseBoolEnv("RESUFORMER_TRACE", opts.enable_tracing);
+  // Strict: a mis-sized span ring silently shrinking to the default would
+  // make a capture look complete when it is not.
   opts.trace_buffer_capacity =
-      envparse::IntFromEnv("RESUFORMER_TRACE_CAPACITY",
-                           opts.trace_buffer_capacity, 16, 1 << 24);
+      envparse::StrictIntFromEnv("RESUFORMER_TRACE_CAPACITY",
+                                 opts.trace_buffer_capacity, 16, 1 << 24,
+                                 &strict);
 
   // Serving knobs are strict (see the header): zero/negative or malformed
   // values keep the default and surface an error naming the variable.
-  Status strict;
   opts.serve_max_batch = envparse::StrictIntFromEnv(
       "RESUFORMER_SERVE_MAX_BATCH", opts.serve_max_batch, 1, 4096, &strict);
   opts.serve_max_queue_delay_ms = envparse::StrictIntFromEnv(
@@ -103,8 +107,18 @@ RuntimeOptions RuntimeOptions::FromEnv(Status* serve_error) {
       1 << 20, &strict);
   opts.serve_workers = envparse::StrictIntFromEnv(
       "RESUFORMER_SERVE_WORKERS", opts.serve_workers, 1, 256, &strict);
-  if (serve_error != nullptr) {
-    *serve_error = strict;
+  opts.serve_stats_window_ms = envparse::StrictIntFromEnv(
+      "RESUFORMER_SERVE_STATS_WINDOW_MS", opts.serve_stats_window_ms, 10,
+      24 * 60 * 60 * 1000, &strict);
+  opts.serve_slow_trace_us = envparse::StrictIntFromEnv(
+      "RESUFORMER_SERVE_SLOW_TRACE_US", opts.serve_slow_trace_us, 0,
+      INT32_MAX, &strict);
+  const char* slow_dir = std::getenv("RESUFORMER_SERVE_SLOW_TRACE_DIR");
+  if (slow_dir != nullptr && slow_dir[0] != '\0') {
+    opts.serve_slow_trace_dir = slow_dir;
+  }
+  if (strict_error != nullptr) {
+    *strict_error = strict;
   } else {
     WarnIfError(strict, "RuntimeOptions::FromEnv");
   }

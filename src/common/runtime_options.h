@@ -1,6 +1,8 @@
 #ifndef RESUFORMER_COMMON_RUNTIME_OPTIONS_H_
 #define RESUFORMER_COMMON_RUNTIME_OPTIONS_H_
 
+#include <string>
+
 #include "common/status.h"
 
 namespace resuformer {
@@ -26,16 +28,18 @@ namespace resuformer {
 ///   RESUFORMER_SAVE_RFP3        0/1    save mmap-able RFP3 checkpoints
 ///   RESUFORMER_METRICS          0/1    timed metrics (histograms/timers)
 ///   RESUFORMER_TRACE            0/1    scoped-span tracing
-///   RESUFORMER_TRACE_CAPACITY   int    per-thread span ring capacity
 ///
-/// Serving knobs (src/serve admission queue; strict-parsed — a set but
-/// malformed or non-positive value is an error naming the variable, not a
-/// silent clamp; see FromEnv):
+/// Strict knobs (a set but malformed or out-of-range value is an
+/// InvalidArgument naming the variable, not a silent clamp; see FromEnv):
 ///
+///   RESUFORMER_TRACE_CAPACITY        int >= 16 per-thread span ring capacity
 ///   RESUFORMER_SERVE_MAX_BATCH       int >= 1  micro-batch flush size
 ///   RESUFORMER_SERVE_MAX_QUEUE_DELAY_MS int >= 1  micro-batch flush deadline
 ///   RESUFORMER_SERVE_QUEUE_CAPACITY  int >= 1  admission-queue bound
 ///   RESUFORMER_SERVE_WORKERS         int >= 1  server worker threads
+///   RESUFORMER_SERVE_STATS_WINDOW_MS int >= 10 sliding stats window
+///   RESUFORMER_SERVE_SLOW_TRACE_US   int >= 0  slow-trace threshold (0 = off)
+///   RESUFORMER_SERVE_SLOW_TRACE_DIR  string    slow-trace exemplar directory
 struct RuntimeOptions {
   // Worker threads for the tensor kernels (GEMM, softmax, layernorm, ...).
   // 0 = the RESUFORMER_THREADS env var when set, else hardware concurrency;
@@ -102,14 +106,25 @@ struct RuntimeOptions {
   // plan cache; per-document tensor kernels run inline on the worker.
   int serve_workers = 2;
 
+  // --- serving observability plane (PR 9) ----------------------------------
+  // Sliding window for the live p50/p99 surfaced by the kStats admin frame.
+  // The window is split into 10 rotating epochs, so it must be >= 10 ms.
+  int serve_stats_window_ms = 60'000;
+  // A served request whose e2e latency reaches this many microseconds has
+  // its span window captured as an on-disk Chrome-trace exemplar
+  // (rate-limited and bounded; see serve/server.h). 0 disables capture.
+  int serve_slow_trace_us = 0;
+  // Directory receiving slow-trace exemplars (created on first capture).
+  std::string serve_slow_trace_dir = "slow-traces";
+
   /// Defaults overridden by the RESUFORMER_* environment variables above.
-  /// The RESUFORMER_SERVE_* knobs are strict: when one is set but malformed,
-  /// zero or negative, the knob keeps its default and `serve_error` (when
-  /// non-null) receives InvalidArgument naming the variable — a serving
-  /// entry point can refuse to start instead of running misconfigured.
-  /// Passing nullptr logs the error as a warning (non-serving callers never
-  /// read these knobs). Only the first serve error is kept.
-  [[nodiscard]] static RuntimeOptions FromEnv(Status* serve_error = nullptr);
+  /// The strict knobs (RESUFORMER_SERVE_*, RESUFORMER_TRACE_CAPACITY) keep
+  /// their default when a set value is malformed or out of range, and
+  /// `strict_error` (when non-null) receives InvalidArgument naming the
+  /// variable — a serving entry point can refuse to start instead of
+  /// running misconfigured. Passing nullptr logs the error as a warning.
+  /// Only the first strict error is kept.
+  [[nodiscard]] static RuntimeOptions FromEnv(Status* strict_error = nullptr);
 };
 
 namespace envparse {

@@ -83,15 +83,15 @@ int TraceRecorder::buffer_capacity() const {
   return capacity_;
 }
 
-void TraceRecorder::Record(const char* name, int64_t start_ns,
-                           int64_t dur_ns) {
+void TraceRecorder::Record(const char* name, int64_t start_ns, int64_t dur_ns,
+                           int64_t request_id) {
   ThreadBuffer* buffer = BufferForThisThread();
   std::lock_guard<std::mutex> lock(buffer->mu);
   if (buffer->total >= static_cast<int64_t>(buffer->ring.size())) {
     ++buffer->dropped;  // this write overwrites the oldest retained span
   }
   buffer->ring[buffer->total % buffer->ring.size()] =
-      SpanRecord{name, start_ns, dur_ns, buffer->tid};
+      SpanRecord{name, start_ns, dur_ns, buffer->tid, request_id};
   ++buffer->total;
 }
 
@@ -116,6 +116,21 @@ std::vector<SpanRecord> TraceRecorder::Collect() const {
   return out;
 }
 
+std::vector<SpanRecord> TraceRecorder::CollectWindow(int64_t start_ns,
+                                                     int64_t end_ns) const {
+  std::vector<SpanRecord> out = Collect();
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [start_ns, end_ns](const SpanRecord& s) {
+                             // Keep spans overlapping the window: a span
+                             // that started before it counts if it was
+                             // still running when the window opened.
+                             return s.start_ns + s.dur_ns < start_ns ||
+                                    s.start_ns > end_ns;
+                           }),
+            out.end());
+  return out;
+}
+
 int64_t TraceRecorder::dropped() const {
   int64_t dropped = 0;
   std::lock_guard<std::mutex> lock(mu_);
@@ -126,30 +141,44 @@ int64_t TraceRecorder::dropped() const {
   return dropped;
 }
 
-std::string TraceRecorder::ToChromeJson() const {
-  const std::vector<SpanRecord> spans = Collect();
+std::string ChromeTraceJson(const std::vector<SpanRecord>& spans) {
   std::string out = "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
-  char buf[256];
+  char buf[320];
+  char args[64];
   for (size_t i = 0; i < spans.size(); ++i) {
     const SpanRecord& s = spans[i];
+    args[0] = '\0';
+    if (s.request_id != 0) {
+      std::snprintf(args, sizeof(args), ", \"args\": {\"request_id\": %lld}",
+                    static_cast<long long>(s.request_id));
+    }
     std::snprintf(buf, sizeof(buf),
                   "%s\n  {\"name\": \"%s\", \"cat\": \"resuformer\", "
                   "\"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, "
-                  "\"pid\": 1, \"tid\": %d}",
+                  "\"pid\": 1, \"tid\": %d%s}",
                   i == 0 ? "" : ",", s.name, s.start_ns / 1000.0,
-                  s.dur_ns / 1000.0, s.tid);
+                  s.dur_ns / 1000.0, s.tid, args);
     out += buf;
   }
   out += "\n]}\n";
   return out;
 }
 
-Status TraceRecorder::WriteChromeJson(const std::string& path) const {
+Status WriteChromeTraceJson(const std::string& path,
+                            const std::vector<SpanRecord>& spans) {
   std::ofstream file(path);
   if (!file) return Status::IoError("cannot open trace output: " + path);
-  file << ToChromeJson();
+  file << ChromeTraceJson(spans);
   if (!file.good()) return Status::IoError("short write to " + path);
   return Status::OK();
+}
+
+std::string TraceRecorder::ToChromeJson() const {
+  return ChromeTraceJson(Collect());
+}
+
+Status TraceRecorder::WriteChromeJson(const std::string& path) const {
+  return WriteChromeTraceJson(path, Collect());
 }
 
 void TraceRecorder::Reset() {

@@ -42,6 +42,10 @@ struct SpanRecord {
   int64_t start_ns = 0;  // relative to the process trace epoch
   int64_t dur_ns = 0;
   int tid = 0;  // sequential trace thread id (not the OS id)
+  /// Serving request id the span belongs to (0 = none). Exported as a
+  /// Chrome-trace "args" annotation so slow-trace exemplars correlate wire
+  /// frames with pipeline spans.
+  int64_t request_id = 0;
 };
 
 /// Nanoseconds since the process trace epoch (steady clock; first call
@@ -73,10 +77,16 @@ class TraceRecorder {
 
   /// Appends one finished span to the calling thread's ring buffer.
   /// Normally called by ~TraceSpan, not directly.
-  void Record(const char* name, int64_t start_ns, int64_t dur_ns);
+  void Record(const char* name, int64_t start_ns, int64_t dur_ns,
+              int64_t request_id = 0);
 
   /// All retained spans across threads, ordered by start time.
   std::vector<SpanRecord> Collect() const;
+
+  /// Retained spans overlapping [start_ns, end_ns] (trace-epoch
+  /// nanoseconds), same ordering as Collect(). Used by the serve-path
+  /// slow-trace capture to cut one request's window out of the ring.
+  std::vector<SpanRecord> CollectWindow(int64_t start_ns, int64_t end_ns) const;
 
   /// Spans overwritten by ring wraparound since the last Reset().
   int64_t dropped() const;
@@ -105,15 +115,19 @@ class TraceRecorder {
 /// enabled at construction; records on destruction.
 class TraceSpan {
  public:
-  explicit TraceSpan(const char* name) {
+  explicit TraceSpan(const char* name) : TraceSpan(name, 0) {}
+  /// Span annotated with a serving request id (see SpanRecord::request_id).
+  TraceSpan(const char* name, int64_t request_id) {
     if (TraceRecorder::Enabled()) {
       name_ = name;
+      request_id_ = request_id;
       start_ns_ = NowNs();
     }
   }
   ~TraceSpan() {
     if (name_ != nullptr) {
-      TraceRecorder::Global().Record(name_, start_ns_, NowNs() - start_ns_);
+      TraceRecorder::Global().Record(name_, start_ns_, NowNs() - start_ns_,
+                                     request_id_);
     }
   }
   TraceSpan(const TraceSpan&) = delete;
@@ -122,7 +136,16 @@ class TraceSpan {
  private:
   const char* name_ = nullptr;
   int64_t start_ns_ = 0;
+  int64_t request_id_ = 0;
 };
+
+/// Chrome trace-event JSON for an explicit span list ("X" complete events,
+/// ts/dur in µs, request ids as args). TraceRecorder::ToChromeJson() is
+/// ChromeTraceJson(Collect()).
+std::string ChromeTraceJson(const std::vector<SpanRecord>& spans);
+/// Writes ChromeTraceJson(spans) to `path` (IoError on failure).
+[[nodiscard]] Status WriteChromeTraceJson(const std::string& path,
+                                          const std::vector<SpanRecord>& spans);
 
 }  // namespace trace
 }  // namespace resuformer
@@ -134,5 +157,10 @@ class TraceSpan {
 #define TRACE_SPAN(name)                                      \
   ::resuformer::trace::TraceSpan RF_TRACE_CONCAT(rf_trace_span_, \
                                                  __LINE__)(name)
+
+/// TRACE_SPAN annotated with a serving request id (0 = unannotated).
+#define TRACE_SPAN_ID(name, request_id)                          \
+  ::resuformer::trace::TraceSpan RF_TRACE_CONCAT(rf_trace_span_, \
+                                                 __LINE__)(name, request_id)
 
 #endif  // RESUFORMER_COMMON_TRACE_H_

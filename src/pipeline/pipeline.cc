@@ -147,7 +147,11 @@ std::unique_ptr<ResuFormerPipeline> ResuFormerPipeline::TrainFromCorpus(
 }
 
 ParseResponse ResuFormerPipeline::Parse(const ParseRequest& request) const {
+  // Request-scoped span annotated with the serving id (0 outside the
+  // server), so a slow-trace exemplar ties wire frames to pipeline spans.
+  TRACE_SPAN_ID("pipeline.request", request.request_id);
   ParseResponse response;
+  response.request_id = request.request_id;
   if (request.deadline_ns != 0 && trace::NowNs() > request.deadline_ns) {
     static metrics::Counter* deadline_counter =
         metrics::MetricsRegistry::Global().GetCounter(
@@ -159,7 +163,10 @@ ParseResponse ResuFormerPipeline::Parse(const ParseRequest& request) const {
   }
   ParseResult result = ParseDocument(request.document);
   response.resume = std::move(result.resume);
-  if (request.want_stats) response.stats = result.stats;
+  if (request.want_stats) {
+    response.stats = result.stats;
+    response.stats.request_id = request.request_id;
+  }
   return response;
 }
 

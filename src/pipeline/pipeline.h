@@ -45,6 +45,7 @@ struct ParseStats {
   int num_blocks = 0;
   int num_entities = 0;
   double arena_hit_rate = 0.0;  // hits / (hits + misses); 0 when no traffic
+  int64_t request_id = 0;       // echoed from the ParseRequest (0 = none)
 };
 
 /// A parse plus its measurements — returned by the *WithStats entry points.
@@ -66,6 +67,10 @@ struct ParseRequest {
   doc::Document document;
   int64_t deadline_ns = 0;
   bool want_stats = false;
+  /// Serving correlation id (0 = unassigned). ParseServer::Submit assigns a
+  /// process-monotonic id; it is echoed on the response, annotated onto the
+  /// request's trace spans, and prefixed onto kOkV2/kErrorV2 wire payloads.
+  int64_t request_id = 0;
 };
 
 /// \brief The one parse output: a Status plus the payload. `resume` and
@@ -77,6 +82,9 @@ struct ParseResponse {
   Status status = Status::OK();
   StructuredResume resume;
   ParseStats stats;
+  /// Echo of ParseRequest::request_id — set on every response, including
+  /// rejections, so a client can correlate out-of-band.
+  int64_t request_id = 0;
 
   bool ok() const { return status.ok(); }
 };

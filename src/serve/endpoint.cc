@@ -111,7 +111,9 @@ void SocketEndpoint::HandleConnection(Conn* conn, int fd) {
 
     Frame reply;
     switch (request.kind) {
-      case FrameKind::kParse: {
+      case FrameKind::kParse:
+      case FrameKind::kParseV2: {
+        const bool v2 = request.kind == FrameKind::kParseV2;
         pipeline::ParseRequest parse;
         parse.document = DocumentFromText(request.payload);
         if (request.deadline_ms > 0) {
@@ -121,22 +123,36 @@ void SocketEndpoint::HandleConnection(Conn* conn, int fd) {
         }
         pipeline::ParseResponse response = server_->ParseSync(std::move(parse));
         if (response.ok()) {
-          reply.kind = FrameKind::kOk;
+          reply.kind = v2 ? FrameKind::kOkV2 : FrameKind::kOk;
           reply.payload =
               pipeline::ResuFormerPipeline::ToPrettyString(response.resume);
         } else {
-          reply.kind = FrameKind::kError;
+          reply.kind = v2 ? FrameKind::kErrorV2 : FrameKind::kError;
           reply.payload = response.status.ToString();
         }
+        if (v2) {
+          reply.payload =
+              EncodeIdPayload(response.request_id, std::move(reply.payload));
+        }
+        break;
+      }
+      // Admin frames are answered inline — never through the admission
+      // queue — so stats/health stay responsive under full parse load.
+      case FrameKind::kStats: {
+        reply.kind = FrameKind::kOk;
+        reply.payload = request.payload == "prometheus"
+                            ? server_->StatsPrometheus()
+                            : server_->StatsJson();
+        break;
+      }
+      case FrameKind::kHealth: {
+        reply.kind = FrameKind::kOk;
+        reply.payload = ServerStateName(server_->state());
         break;
       }
       case FrameKind::kShutdown: {
         reply.kind = FrameKind::kOk;
-        {
-          std::lock_guard<std::mutex> lock(mu_);
-          shutdown_requested_ = true;
-        }
-        shutdown_cv_.notify_all();
+        RequestShutdown();
         break;
       }
       default: {
@@ -161,6 +177,14 @@ void SocketEndpoint::HandleConnection(Conn* conn, int fd) {
 void SocketEndpoint::WaitForShutdownRequest() {
   std::unique_lock<std::mutex> lock(mu_);
   shutdown_cv_.wait(lock, [this] { return shutdown_requested_ || stopping_; });
+}
+
+void SocketEndpoint::RequestShutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
 }
 
 void SocketEndpoint::Stop() {

@@ -19,11 +19,19 @@ namespace serve {
 /// kParse (payload = resume text) is turned into a doc::Document via
 /// DocumentFromText, submitted through the ParseServer admission queue —
 /// so concurrent connections coalesce into micro-batches — and answered
-/// with kOk (ToPrettyString JSON) or kError (the Status). A non-zero
+/// with kOk (ToPrettyString JSON) or kError (the Status). kParseV2 parses
+/// identically but is answered with kOkV2/kErrorV2, whose payloads carry
+/// the server-assigned request id (framing.h EncodeIdPayload). A non-zero
 /// request deadline_ms becomes an absolute pipeline deadline relative to
 /// receipt. kShutdown is acked with an empty kOk and flips the flag that
 /// WaitForShutdownRequest blocks on; the caller then runs Stop() and
 /// drains the ParseServer.
+///
+/// Admin frames bypass the admission queue entirely — the handler answers
+/// them inline from ParseServer accessors, so stats/health stay responsive
+/// while every worker is busy and the queue is full: kStats returns
+/// StatsJson() (payload "prometheus" selects the text exposition) and
+/// kHealth returns "ok" / "draining" / "unavailable".
 ///
 /// The endpoint deliberately binds the loopback interface only — it is a
 /// local daemon protocol, not an internet-facing service.
@@ -39,8 +47,14 @@ class SocketEndpoint {
   /// the accept thread, and returns the bound port.
   [[nodiscard]] Result<int> Start(int port);
 
-  /// Blocks until a client sends kShutdown, or Stop() is called.
+  /// Blocks until a client sends kShutdown, RequestShutdown() is called,
+  /// or Stop() is called.
   void WaitForShutdownRequest();
+
+  /// Out-of-band graceful-drain trigger: unblocks WaitForShutdownRequest
+  /// exactly like a client kShutdown frame. Lets a signal-watcher thread
+  /// route SIGINT/SIGTERM into the same drain path.
+  void RequestShutdown();
 
   /// Closes the listener, unblocks and joins every connection handler.
   /// Idempotent; also called by the destructor. In-flight requests already

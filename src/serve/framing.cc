@@ -99,7 +99,7 @@ Status ReadFrame(int fd, Frame* frame) {
         std::to_string(kMaxFramePayload) + "-byte frame limit");
   }
   const uint8_t kind = header[4];
-  if (kind > static_cast<uint8_t>(FrameKind::kShutdown)) {
+  if (kind > static_cast<uint8_t>(FrameKind::kErrorV2)) {
     return Status::InvalidArgument("unknown frame kind " +
                                    std::to_string(kind));
   }
@@ -109,6 +109,31 @@ Status ReadFrame(int fd, Frame* frame) {
   if (length > 0) {
     RF_RETURN_NOT_OK(ReadAll(fd, frame->payload.data(), length, nullptr));
   }
+  return Status::OK();
+}
+
+std::string EncodeIdPayload(int64_t request_id, std::string body) {
+  unsigned char prefix[8];
+  const uint64_t id = static_cast<uint64_t>(request_id);
+  PutU32Le(prefix, static_cast<uint32_t>(id));
+  PutU32Le(prefix + 4, static_cast<uint32_t>(id >> 32));
+  body.insert(0, reinterpret_cast<const char*>(prefix), sizeof(prefix));
+  return body;
+}
+
+Status DecodeIdPayload(const std::string& payload, int64_t* request_id,
+                       std::string* body) {
+  if (payload.size() < 8) {
+    return Status::InvalidArgument(
+        "v2 payload of " + std::to_string(payload.size()) +
+        " bytes is shorter than the 8-byte request-id prefix");
+  }
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(payload.data());
+  const uint64_t id = static_cast<uint64_t>(GetU32Le(p)) |
+                      (static_cast<uint64_t>(GetU32Le(p + 4)) << 32);
+  *request_id = static_cast<int64_t>(id);
+  body->assign(payload, 8, payload.size() - 8);
   return Status::OK();
 }
 

@@ -23,11 +23,31 @@ namespace serve {
 /// kShutdown ack) or kError (payload = the Status rendered as
 /// "Code: message"). One connection carries any number of frames in
 /// lockstep: the client writes a request, reads one response, repeats.
+///
+/// Protocol v2 (PR 9) adds the admin plane and request-id correlation on
+/// top, with graceful degradation instead of a version handshake:
+///  * kStats / kHealth are admin requests answered inline by the endpoint —
+///    they never enter the admission queue, so they stay responsive under
+///    full parse load. kStats with an empty payload returns the combined
+///    server+metrics JSON (ParseServer::StatsJson); payload "prometheus"
+///    returns the text exposition. kHealth returns kOk with payload
+///    "ok" / "draining" / "unavailable".
+///  * kParseV2 parses like kParse but is answered with kOkV2 / kErrorV2,
+///    whose payloads are prefixed with the server-assigned request id
+///    (EncodeIdPayload) for client-side correlation.
+/// A v1 client never sends the new kinds and never sees them in a response;
+/// a v1 server rejects them with InvalidArgument ("unknown frame kind"),
+/// which a v2 client treats as "speak v1".
 enum class FrameKind : uint8_t {
   kParse = 0,
   kOk = 1,
   kError = 2,
   kShutdown = 3,
+  kStats = 4,
+  kHealth = 5,
+  kParseV2 = 6,
+  kOkV2 = 7,
+  kErrorV2 = 8,
 };
 
 struct Frame {
@@ -50,6 +70,14 @@ constexpr uint32_t kMaxFramePayload = 16u * 1024 * 1024;
 /// mid-frame EOF or socket failure, InvalidArgument on an oversized length
 /// prefix or unknown kind.
 [[nodiscard]] Status ReadFrame(int fd, Frame* frame);
+
+/// kOkV2/kErrorV2 payload layout: u64 LE request id | body bytes.
+std::string EncodeIdPayload(int64_t request_id, std::string body);
+
+/// Splits a v2 payload back into id + body. InvalidArgument when the
+/// payload is shorter than the 8-byte id prefix.
+[[nodiscard]] Status DecodeIdPayload(const std::string& payload,
+                                     int64_t* request_id, std::string* body);
 
 }  // namespace serve
 }  // namespace resuformer

@@ -1,10 +1,13 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
 #include <string>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 #include "common/trace.h"
 
 namespace resuformer {
@@ -12,15 +15,51 @@ namespace serve {
 
 namespace {
 
-std::future<pipeline::ParseResponse> ReadyResponse(Status status) {
+/// Slow-trace capture policy: at most one exemplar per second and at most
+/// this many files per server lifetime — a pathological load spike must not
+/// turn the exemplar directory into a disk filler.
+constexpr int64_t kSlowTraceMinGapNs = 1'000'000'000;
+constexpr int kMaxSlowTraceFiles = 32;
+
+/// The sliding stats window is split into this many rotating epochs (the
+/// window is accurate to 1/kStatsEpochs of its span).
+constexpr int kStatsEpochs = 10;
+
+std::future<pipeline::ParseResponse> ReadyResponse(Status status,
+                                                   int64_t request_id) {
   std::promise<pipeline::ParseResponse> promise;
   pipeline::ParseResponse response;
   response.status = std::move(status);
+  response.request_id = request_id;
   promise.set_value(std::move(response));
   return promise.get_future();
 }
 
+void AppendStatsKey(std::string* out, bool first, const char* key) {
+  out->append(first ? "\n    " : ",\n    ");
+  AppendJsonQuoted(out, key);
+  out->append(": ");
+}
+
+void AppendStatsInt(std::string* out, bool first, const char* key,
+                    int64_t value) {
+  AppendStatsKey(out, first, key);
+  out->append(std::to_string(value));
+}
+
 }  // namespace
+
+const char* ServerStateName(ServerState state) {
+  switch (state) {
+    case ServerState::kServing:
+      return "ok";
+    case ServerState::kDraining:
+      return "draining";
+    case ServerState::kStopped:
+      return "unavailable";
+  }
+  return "unavailable";
+}
 
 ServerOptions ServerOptions::FromRuntime(const RuntimeOptions& rt) {
   ServerOptions options;
@@ -28,6 +67,9 @@ ServerOptions ServerOptions::FromRuntime(const RuntimeOptions& rt) {
   options.max_queue_delay_ms = rt.serve_max_queue_delay_ms;
   options.queue_capacity = rt.serve_queue_capacity;
   options.workers = rt.serve_workers;
+  options.stats_window_ms = rt.serve_stats_window_ms;
+  options.slow_trace_us = rt.serve_slow_trace_us;
+  options.slow_trace_dir = rt.serve_slow_trace_dir;
   return options;
 }
 
@@ -50,15 +92,36 @@ Status ServerOptions::Validate() const {
     return Status::InvalidArgument("ServerOptions.workers must be >= 1, got " +
                                    std::to_string(workers));
   }
+  if (stats_window_ms < 10) {
+    return Status::InvalidArgument(
+        "ServerOptions.stats_window_ms must be >= 10, got " +
+        std::to_string(stats_window_ms));
+  }
+  if (slow_trace_us < 0) {
+    return Status::InvalidArgument(
+        "ServerOptions.slow_trace_us must be >= 0, got " +
+        std::to_string(slow_trace_us));
+  }
   return Status::OK();
 }
 
 ParseServer::ParseServer(const pipeline::ResuFormerPipeline* pipeline,
                          const ServerOptions& options)
-    : pipeline_(pipeline), options_(options) {
+    : pipeline_(pipeline),
+      options_(options),
+      start_ns_(trace::NowNs()),
+      // Seeded so the very first capture passes the min-gap check without
+      // the subtraction underflowing (NowNs starts near 0).
+      last_slow_capture_ns_(-kSlowTraceMinGapNs) {
   RF_CHECK(pipeline_ != nullptr);
   const Status valid = options_.Validate();
   RF_CHECK(valid.ok()) << "ParseServer: " << valid.ToString();
+  const int64_t window_ns =
+      static_cast<int64_t>(options_.stats_window_ms) * 1'000'000;
+  rolling_e2e_ = std::make_unique<metrics::RollingHistogram>(
+      kStatsEpochs, window_ns / kStatsEpochs);
+  rolling_queue_wait_ = std::make_unique<metrics::RollingHistogram>(
+      kStatsEpochs, window_ns / kStatsEpochs);
   metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Global();
   queue_depth_gauge_ = registry.GetGauge("serve.queue_depth");
   requests_counter_ = registry.GetCounter("serve.requests");
@@ -66,6 +129,7 @@ ParseServer::ParseServer(const pipeline::ResuFormerPipeline* pipeline,
   rejected_queue_full_ = registry.GetCounter("serve.rejected.queue_full");
   rejected_deadline_ = registry.GetCounter("serve.rejected.deadline");
   rejected_unavailable_ = registry.GetCounter("serve.rejected.unavailable");
+  slow_traces_counter_ = registry.GetCounter("serve.slow_traces");
   batch_size_hist_ = registry.GetHistogram("serve.batch_size");
   queue_wait_hist_ = registry.GetHistogram("serve.queue_wait_us");
   e2e_hist_ = registry.GetHistogram("serve.e2e_us");
@@ -81,8 +145,15 @@ ParseServer::~ParseServer() { Shutdown(); }
 std::future<pipeline::ParseResponse> ParseServer::Submit(
     pipeline::ParseRequest request) {
   requests_counter_->Increment();
+  // Relaxed: the id only needs to be unique and monotonic; nothing is
+  // published through it. Assigned before any rejection check so rejected
+  // responses are correlatable too.
+  const int64_t request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  request.request_id = request_id;
   Pending pending;
   pending.request = std::move(request);
+  pending.request_id = request_id;
   pending.admit_ns = trace::NowNs();
   pending.admit_tp = std::chrono::steady_clock::now();
   std::future<pipeline::ParseResponse> future = pending.promise.get_future();
@@ -91,13 +162,15 @@ std::future<pipeline::ParseResponse> ParseServer::Submit(
     if (draining_) {
       rejected_unavailable_->Increment();
       return ReadyResponse(
-          Status::Unavailable("parse server is shutting down"));
+          Status::Unavailable("parse server is shutting down"), request_id);
     }
     if (queue_.size() >= static_cast<size_t>(options_.queue_capacity)) {
       rejected_queue_full_->Increment();
-      return ReadyResponse(Status::ResourceExhausted(
-          "parse server queue is full (" +
-          std::to_string(options_.queue_capacity) + " requests)"));
+      return ReadyResponse(
+          Status::ResourceExhausted(
+              "parse server queue is full (" +
+              std::to_string(options_.queue_capacity) + " requests)"),
+          request_id);
     }
     queue_.push_back(std::move(pending));
     queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
@@ -155,6 +228,11 @@ void ParseServer::WorkerLoop() {
     TRACE_SPAN("serve.batch");
     batches_counter_->Increment();
     const int64_t claim_ns = trace::NowNs();
+    for (const Pending& p : batch) {
+      // The rolling window is always live — the timestamps are already in
+      // hand, so this is a few relaxed atomics, no clock read.
+      rolling_queue_wait_->Record((claim_ns - p.admit_ns) / 1000, claim_ns);
+    }
     if (metrics::MetricsRegistry::Enabled()) {
       batch_size_hist_->Record(static_cast<int64_t>(batch.size()));
       for (const Pending& p : batch) {
@@ -172,12 +250,64 @@ void ParseServer::WorkerLoop() {
       if (responses[i].status.code() == StatusCode::kDeadlineExceeded) {
         rejected_deadline_->Increment();
       }
+      const int64_t e2e_us = (done_ns - batch[i].admit_ns) / 1000;
+      rolling_e2e_->Record(e2e_us, done_ns);  // always live, see above
       if (metrics::MetricsRegistry::Enabled()) {
-        e2e_hist_->Record((done_ns - batch[i].admit_ns) / 1000);
+        e2e_hist_->Record(e2e_us);
+      }
+      if (options_.slow_trace_us > 0 && e2e_us >= options_.slow_trace_us) {
+        // Captured before the promise resolves so an observer that has seen
+        // the response can rely on the exemplar existing (tests, ops
+        // tooling). The request is already past its latency budget and
+        // captures are rate-limited, so the file write cost is acceptable.
+        MaybeCaptureSlowTrace(batch[i].request_id, batch[i].admit_ns,
+                              done_ns);
       }
       batch[i].promise.set_value(std::move(responses[i]));
     }
   }
+}
+
+void ParseServer::MaybeCaptureSlowTrace(int64_t request_id, int64_t admit_ns,
+                                        int64_t done_ns) {
+  // Relaxed loads/CAS throughout: the limiter is advisory — two workers
+  // racing it can at worst write one extra exemplar.
+  if (slow_traces_started_.load(std::memory_order_relaxed) >=
+      kMaxSlowTraceFiles) {
+    return;
+  }
+  // relaxed: the min-gap limiter is advisory; no memory is published
+  // through this pair, the CAS only elects one capturing worker.
+  int64_t last = last_slow_capture_ns_.load(std::memory_order_relaxed);
+  if (done_ns - last < kSlowTraceMinGapNs) return;
+  if (!last_slow_capture_ns_.compare_exchange_strong(
+          // relaxed: the CAS only elects a capturing worker (see above).
+          last, done_ns, std::memory_order_relaxed)) {
+    return;  // a sibling worker claimed this capture slot
+  }
+  if (slow_traces_started_.fetch_add(1, std::memory_order_relaxed) >=
+      kMaxSlowTraceFiles) {
+    return;
+  }
+
+  // File I/O runs on the worker thread, outside every lock (the batch's
+  // promises are still pending, but this path is rate-limited to once per
+  // second and only fires for requests already past their budget).
+  std::error_code ec;
+  std::filesystem::create_directories(options_.slow_trace_dir, ec);
+  if (ec) {
+    RF_LOG(Warning) << "slow-trace capture: cannot create "
+                    << options_.slow_trace_dir << ": " << ec.message();
+    return;
+  }
+  const std::string path = options_.slow_trace_dir + "/slow-req-" +
+                           std::to_string(request_id) + "-" +
+                           std::to_string((done_ns - admit_ns) / 1000) +
+                           "us.json";
+  const Status written = trace::WriteChromeTraceJson(
+      path, trace::TraceRecorder::Global().CollectWindow(admit_ns, done_ns));
+  WarnIfError(written, "slow-trace capture");
+  if (written.ok()) slow_traces_counter_->Increment();
 }
 
 void ParseServer::Shutdown() {
@@ -194,12 +324,92 @@ void ParseServer::Shutdown() {
     // empty when draining with an empty queue), so nothing is lost.
     std::lock_guard<std::mutex> lock(mu_);
     RF_DCHECK(queue_.empty());
+    stopped_ = true;
   });
 }
 
 int64_t ParseServer::queue_depth() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int64_t>(queue_.size());
+}
+
+ServerState ParseServer::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopped_) return ServerState::kStopped;
+  return draining_ ? ServerState::kDraining : ServerState::kServing;
+}
+
+int64_t ParseServer::uptime_ns() const { return trace::NowNs() - start_ns_; }
+
+std::string ParseServer::StatsJson() const {
+  const int64_t now_ns = trace::NowNs();
+  const metrics::RollingHistogram::WindowSnapshot e2e_win =
+      rolling_e2e_->Window(now_ns);
+  const metrics::RollingHistogram::WindowSnapshot wait_win =
+      rolling_queue_wait_->Window(now_ns);
+
+  std::string out = "{\n  \"server\": {";
+  AppendStatsInt(&out, true, "uptime_us", (now_ns - start_ns_) / 1000);
+  AppendStatsKey(&out, false, "state");
+  AppendJsonQuoted(&out, ServerStateName(state()));
+  AppendStatsInt(&out, false, "queue_depth", queue_depth());
+  AppendStatsInt(&out, false, "workers", options_.workers);
+  AppendStatsInt(&out, false, "max_batch", options_.max_batch);
+  AppendStatsInt(&out, false, "requests", requests_counter_->value());
+  AppendStatsInt(&out, false, "batches", batches_counter_->value());
+  AppendStatsInt(&out, false, "rejected_queue_full",
+                 rejected_queue_full_->value());
+  AppendStatsInt(&out, false, "rejected_deadline",
+                 rejected_deadline_->value());
+  AppendStatsInt(&out, false, "rejected_unavailable",
+                 rejected_unavailable_->value());
+  AppendStatsInt(&out, false, "slow_traces", slow_traces_counter_->value());
+  // Cumulative e2e needs enable_metrics; the window rows below are always
+  // live (see the class comment).
+  AppendStatsInt(&out, false, "e2e_count", e2e_hist_->count());
+  AppendStatsInt(&out, false, "e2e_p50_us", e2e_hist_->ApproxPercentile(0.5));
+  AppendStatsInt(&out, false, "e2e_p99_us",
+                 e2e_hist_->ApproxPercentile(0.99));
+  AppendStatsInt(&out, false, "window_ms", options_.stats_window_ms);
+  AppendStatsInt(&out, false, "window_e2e_count", e2e_win.count);
+  AppendStatsInt(&out, false, "window_e2e_p50_us", e2e_win.p50);
+  AppendStatsInt(&out, false, "window_e2e_p99_us", e2e_win.p99);
+  AppendStatsInt(&out, false, "window_queue_wait_p50_us", wait_win.p50);
+  AppendStatsInt(&out, false, "window_queue_wait_p99_us", wait_win.p99);
+  out += "\n  },\n  \"metrics\": ";
+  out += metrics::MetricsRegistry::Global().Snapshot().ToJson();
+  out += "\n}";
+  return out;
+}
+
+std::string ParseServer::StatsPrometheus() const {
+  const int64_t now_ns = trace::NowNs();
+  const metrics::RollingHistogram::WindowSnapshot e2e_win =
+      rolling_e2e_->Window(now_ns);
+  const metrics::RollingHistogram::WindowSnapshot wait_win =
+      rolling_queue_wait_->Window(now_ns);
+  std::string out =
+      metrics::MetricsRegistry::Global().Snapshot().ToPrometheusText();
+  const ServerState st = state();
+  char line[128];
+  std::snprintf(line, sizeof(line),
+                "# TYPE resuformer_serve_uptime_seconds gauge\n"
+                "resuformer_serve_uptime_seconds %.3f\n",
+                static_cast<double>(now_ns - start_ns_) / 1e9);
+  out += line;
+  out += "# TYPE resuformer_serve_draining gauge\n";
+  out += "resuformer_serve_draining ";
+  out += st == ServerState::kServing ? "0\n" : "1\n";
+  out += "# TYPE resuformer_serve_window_e2e_p50_us gauge\n";
+  out += "resuformer_serve_window_e2e_p50_us " + std::to_string(e2e_win.p50) +
+         "\n";
+  out += "# TYPE resuformer_serve_window_e2e_p99_us gauge\n";
+  out += "resuformer_serve_window_e2e_p99_us " + std::to_string(e2e_win.p99) +
+         "\n";
+  out += "# TYPE resuformer_serve_window_queue_wait_p99_us gauge\n";
+  out += "resuformer_serve_window_queue_wait_p99_us " +
+         std::to_string(wait_win.p99) + "\n";
+  return out;
 }
 
 }  // namespace serve

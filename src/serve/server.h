@@ -1,12 +1,15 @@
 #ifndef RESUFORMER_SERVE_SERVER_H_
 #define RESUFORMER_SERVE_SERVER_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -33,11 +36,33 @@ struct ServerOptions {
   // at a time and parses it through the pipeline's batched entry point.
   int workers = 2;
 
+  // Sliding window for the live p50/p99 the kStats admin frame reports for
+  // e2e latency and queue wait. Split into 10 rotating epochs, so >= 10 ms.
+  int stats_window_ms = 60'000;
+  // A request whose e2e latency reaches this many microseconds has its span
+  // window captured to `slow_trace_dir` as a Chrome-trace exemplar
+  // (rate-limited to one per second, at most 32 files per server; counted
+  // by serve.slow_traces). 0 disables capture. Captures only contain spans
+  // when tracing (enable_tracing / RESUFORMER_TRACE) is on.
+  int slow_trace_us = 0;
+  std::string slow_trace_dir = "slow-traces";
+
   [[nodiscard]] static ServerOptions FromRuntime(const RuntimeOptions& rt);
 
-  /// Every knob must be >= 1; the error names the offending parameter.
+  /// Every knob must be in range (batching knobs >= 1, stats_window_ms >=
+  /// 10, slow_trace_us >= 0); the error names the offending parameter.
   [[nodiscard]] Status Validate() const;
 };
+
+/// Health states surfaced by the kHealth admin frame and StatsJson.
+enum class ServerState {
+  kServing,
+  kDraining,
+  kStopped,
+};
+
+/// Wire/JSON names: "ok", "draining", "unavailable".
+const char* ServerStateName(ServerState state);
 
 /// \brief The resume parse server: a long-lived admission queue that
 /// coalesces concurrently-arriving ParseRequests into micro-batches under
@@ -68,6 +93,12 @@ struct ServerOptions {
 /// make concurrent external dispatches safe (one worker's batch fans out,
 /// the others run their documents inline).
 ///
+/// Request identity: Submit assigns each request a process-monotonic id
+/// (starting at 1) — rejected requests get one too, so every response
+/// carries a correlatable ParseResponse::request_id. The id is annotated
+/// onto the request's pipeline trace spans and prefixed onto kOkV2/kErrorV2
+/// wire payloads.
+///
 /// Metrics (always-live counters/gauges; histograms need enable_metrics):
 ///   serve.queue_depth            gauge      queued requests right now
 ///   serve.requests               counter    admissions attempted
@@ -75,9 +106,16 @@ struct ServerOptions {
 ///   serve.rejected.queue_full    counter    ResourceExhausted rejections
 ///   serve.rejected.deadline      counter    DeadlineExceeded rejections
 ///   serve.rejected.unavailable   counter    submitted after shutdown
+///   serve.slow_traces            counter    slow-trace exemplars written
 ///   serve.batch_size             histogram  requests per micro-batch
 ///   serve.queue_wait_us          histogram  admission -> batch claim
 ///   serve.e2e_us                 histogram  admission -> response ready
+///
+/// The sliding-window e2e / queue-wait percentiles (RollingHistogram) are
+/// ALWAYS live, unlike the cumulative histograms: the worker loop already
+/// holds the needed timestamps for deadline accounting, so recording costs
+/// a few relaxed atomics and no clock read — the kStats admin surface stays
+/// useful without enable_metrics.
 class ParseServer {
  public:
   /// `pipeline` must outlive the server. Options must Validate().
@@ -107,6 +145,25 @@ class ParseServer {
   /// Queued (admitted, unclaimed) requests right now. Test/ops visibility.
   int64_t queue_depth() const;
 
+  /// Live health: serving, draining (Shutdown started), or stopped
+  /// (Shutdown finished). Answers the kHealth admin frame.
+  ServerState state() const;
+
+  /// Nanoseconds since construction (trace::NowNs timebase).
+  int64_t uptime_ns() const;
+
+  /// The kStats admin payload: {"server": {uptime_us, state, queue_depth,
+  /// workers, max_batch, requests, batches, rejected_*, slow_traces,
+  /// cumulative e2e stats, window_ms, windowed e2e / queue-wait
+  /// percentiles}, "metrics": <MetricsSnapshot::ToJson()>}. The "server"
+  /// section leads and its keys are unique, so a flat first-occurrence
+  /// scanner (the CLI stats table) needs no JSON parser.
+  std::string StatsJson() const;
+
+  /// Prometheus text exposition: the global snapshot plus server-plane
+  /// gauges (uptime, draining flag, windowed percentiles).
+  std::string StatsPrometheus() const;
+
   const ServerOptions& options() const { return options_; }
 
  private:
@@ -117,6 +174,8 @@ class ParseServer {
     // steady_clock for the flush-timer wait.
     int64_t admit_ns = 0;
     std::chrono::steady_clock::time_point admit_tp;
+    // Copy of request.request_id that survives the move into the pipeline.
+    int64_t request_id = 0;
   };
 
   void WorkerLoop();
@@ -125,16 +184,35 @@ class ParseServer {
   /// server shutting down: the worker exits.
   std::vector<Pending> NextBatch();
 
+  /// Writes the [admit_ns, done_ns] span window of an over-threshold
+  /// request to options_.slow_trace_dir (rate-limited + bounded; see
+  /// ServerOptions::slow_trace_us).
+  void MaybeCaptureSlowTrace(int64_t request_id, int64_t admit_ns,
+                             int64_t done_ns);
+
   const pipeline::ResuFormerPipeline* pipeline_;
   const ServerOptions options_;
+  const int64_t start_ns_;
 
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;
   std::deque<Pending> queue_;   // guarded by mu_
   bool draining_ = false;       // guarded by mu_
+  bool stopped_ = false;        // guarded by mu_; set when Shutdown finishes
 
   std::vector<std::thread> workers_;
   std::once_flag shutdown_once_;
+
+  std::atomic<int64_t> next_request_id_{0};
+
+  // Slow-trace rate limiting (MaybeCaptureSlowTrace).
+  std::atomic<int64_t> last_slow_capture_ns_;
+  std::atomic<int> slow_traces_started_{0};
+
+  // Always-live sliding windows behind the kStats percentiles (see the
+  // class comment). unique_ptr: sized from options at construction.
+  std::unique_ptr<metrics::RollingHistogram> rolling_e2e_;
+  std::unique_ptr<metrics::RollingHistogram> rolling_queue_wait_;
 
   // Stable instrument pointers, resolved once at construction.
   metrics::Gauge* queue_depth_gauge_;
@@ -143,6 +221,7 @@ class ParseServer {
   metrics::Counter* rejected_queue_full_;
   metrics::Counter* rejected_deadline_;
   metrics::Counter* rejected_unavailable_;
+  metrics::Counter* slow_traces_counter_;
   metrics::Histogram* batch_size_hist_;
   metrics::Histogram* queue_wait_hist_;
   metrics::Histogram* e2e_hist_;

@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -346,6 +349,295 @@ TEST(RuntimeOptionsTest, OutOfRangeEnvValuesAreIgnored) {
   EXPECT_EQ(options.trace_buffer_capacity, 8192);
   unsetenv("RESUFORMER_THREADS");
   unsetenv("RESUFORMER_TRACE_CAPACITY");
+}
+
+TEST(RuntimeOptionsTest, TraceCapacityIsStrictlyParsed) {
+  // RESUFORMER_TRACE_CAPACITY is a strict knob: a set-but-bad value still
+  // falls back (above) but surfaces an InvalidArgument naming the variable
+  // when the caller asks.
+  setenv("RESUFORMER_TRACE_CAPACITY", "lots", 1);
+  Status strict = Status::OK();
+  const RuntimeOptions options = RuntimeOptions::FromEnv(&strict);
+  EXPECT_EQ(options.trace_buffer_capacity, 8192);
+  EXPECT_FALSE(strict.ok());
+  EXPECT_NE(strict.ToString().find("RESUFORMER_TRACE_CAPACITY"),
+            std::string::npos);
+  unsetenv("RESUFORMER_TRACE_CAPACITY");
+
+  setenv("RESUFORMER_TRACE_CAPACITY", "4", 1);  // below the minimum of 16
+  strict = Status::OK();
+  (void)RuntimeOptions::FromEnv(&strict);
+  EXPECT_FALSE(strict.ok());
+  EXPECT_NE(strict.ToString().find("RESUFORMER_TRACE_CAPACITY"),
+            std::string::npos);
+  unsetenv("RESUFORMER_TRACE_CAPACITY");
+
+  setenv("RESUFORMER_TRACE_CAPACITY", "1024", 1);
+  strict = Status::OK();
+  const RuntimeOptions good = RuntimeOptions::FromEnv(&strict);
+  EXPECT_TRUE(strict.ok());
+  EXPECT_EQ(good.trace_buffer_capacity, 1024);
+  unsetenv("RESUFORMER_TRACE_CAPACITY");
+}
+
+TEST(RuntimeOptionsTest, ServeObservabilityKnobsParse) {
+  setenv("RESUFORMER_SERVE_STATS_WINDOW_MS", "500", 1);
+  setenv("RESUFORMER_SERVE_SLOW_TRACE_US", "2500", 1);
+  setenv("RESUFORMER_SERVE_SLOW_TRACE_DIR", "/tmp/my-traces", 1);
+  Status strict = Status::OK();
+  const RuntimeOptions options = RuntimeOptions::FromEnv(&strict);
+  EXPECT_TRUE(strict.ok()) << strict.ToString();
+  EXPECT_EQ(options.serve_stats_window_ms, 500);
+  EXPECT_EQ(options.serve_slow_trace_us, 2500);
+  EXPECT_EQ(options.serve_slow_trace_dir, "/tmp/my-traces");
+  unsetenv("RESUFORMER_SERVE_STATS_WINDOW_MS");
+  unsetenv("RESUFORMER_SERVE_SLOW_TRACE_US");
+  unsetenv("RESUFORMER_SERVE_SLOW_TRACE_DIR");
+}
+
+// ---------------------------------------------------------------------------
+// ApproxPercentile boundary contract (see the doc block in metrics.h).
+
+TEST(MetricsPercentileTest, EmptyHistogramIsZeroEverywhere) {
+  metrics::Histogram* hist =
+      MetricsRegistry::Global().GetHistogram("test.pct_empty");
+  hist->Reset();
+  EXPECT_EQ(hist->ApproxPercentile(0.0), 0);
+  EXPECT_EQ(hist->ApproxPercentile(0.5), 0);
+  EXPECT_EQ(hist->ApproxPercentile(1.0), 0);
+}
+
+TEST(MetricsPercentileTest, SingleSampleAnswersItsBucketBoundForAllQ) {
+  metrics::Histogram* hist =
+      MetricsRegistry::Global().GetHistogram("test.pct_single");
+  hist->Reset();
+  hist->Record(100);  // bucket 7: [64, 128), bound 127
+  EXPECT_EQ(hist->ApproxPercentile(0.0), 127);
+  EXPECT_EQ(hist->ApproxPercentile(0.5), 127);
+  EXPECT_EQ(hist->ApproxPercentile(0.99), 127);
+  EXPECT_EQ(hist->ApproxPercentile(1.0), 127);
+}
+
+TEST(MetricsPercentileTest, QueriesOutsideUnitIntervalClamp) {
+  metrics::Histogram* hist =
+      MetricsRegistry::Global().GetHistogram("test.pct_clamp");
+  hist->Reset();
+  hist->Record(1);     // bucket 1, bound 1
+  hist->Record(1000);  // bucket 10, bound 1023
+  EXPECT_EQ(hist->ApproxPercentile(-0.5), 1);    // q<=0: first non-empty
+  EXPECT_EQ(hist->ApproxPercentile(2.0), 1023);  // q>=1: last non-empty
+  // NaN folds into the q>=1 case rather than invoking ceil-of-NaN UB.
+  EXPECT_EQ(hist->ApproxPercentile(std::nan("")), 1023);
+}
+
+TEST(MetricsPercentileTest, AllSamplesInBucketZeroAnswerZero) {
+  metrics::Histogram* hist =
+      MetricsRegistry::Global().GetHistogram("test.pct_zero_bucket");
+  hist->Reset();
+  hist->Record(0);
+  hist->Record(-7);
+  EXPECT_EQ(hist->ApproxPercentile(0.5), 0);
+  EXPECT_EQ(hist->ApproxPercentile(1.0), 0);
+}
+
+TEST(MetricsPercentileTest, MedianLandsInTheMiddleBucket) {
+  metrics::Histogram* hist =
+      MetricsRegistry::Global().GetHistogram("test.pct_median");
+  hist->Reset();
+  for (int i = 0; i < 100; ++i) hist->Record(10);    // bucket 4, bound 15
+  for (int i = 0; i < 100; ++i) hist->Record(1000);  // bucket 10, bound 1023
+  EXPECT_EQ(hist->ApproxPercentile(0.5), 15);
+  EXPECT_EQ(hist->ApproxPercentile(0.99), 1023);
+}
+
+// ---------------------------------------------------------------------------
+// RollingHistogram: windowed percentiles with explicit timestamps.
+
+TEST(RollingHistogramTest, WindowMergesLiveEpochs) {
+  // 4 epochs x 1s. Record into three consecutive epochs and read back.
+  metrics::RollingHistogram rolling(4, 1'000'000'000);
+  const int64_t t0 = 100'000'000'000;  // arbitrary epoch-aligned origin
+  rolling.Record(10, t0);
+  rolling.Record(20, t0 + 1'000'000'000);
+  rolling.Record(1000, t0 + 2'000'000'000);
+  const auto window = rolling.Window(t0 + 2'500'000'000);
+  EXPECT_EQ(window.count, 3);
+  EXPECT_EQ(window.sum, 1030);
+  EXPECT_EQ(window.p50, 31);    // bucket of 20: [16, 32)
+  EXPECT_EQ(window.p99, 1023);  // bucket of 1000: [512, 1024)
+}
+
+TEST(RollingHistogramTest, OldEpochsExpireFromTheWindow) {
+  metrics::RollingHistogram rolling(4, 1'000'000'000);
+  const int64_t t0 = 100'000'000'000;
+  rolling.Record(500, t0);
+  // Still visible one epoch later...
+  EXPECT_EQ(rolling.Window(t0 + 1'000'000'000).count, 1);
+  // ...gone once the window (4 epochs) has rolled past it.
+  EXPECT_EQ(rolling.Window(t0 + 4'000'000'000).count, 0);
+  EXPECT_EQ(rolling.Window(t0 + 4'000'000'000).p99, 0);
+}
+
+TEST(RollingHistogramTest, SlotReuseDropsStaleSamples) {
+  // With 2 epochs, t0 and t0+2s share a ring slot: the newer epoch must
+  // reset the slot rather than inherit the stale count.
+  metrics::RollingHistogram rolling(2, 1'000'000'000);
+  const int64_t t0 = 100'000'000'000;
+  rolling.Record(7, t0);
+  rolling.Record(9, t0 + 2'000'000'000);
+  const auto window = rolling.Window(t0 + 2'000'000'000);
+  EXPECT_EQ(window.count, 1);
+  EXPECT_EQ(window.sum, 9);
+}
+
+TEST(RollingHistogramTest, ConcurrentRecordsWithinOneEpochAreLossless) {
+  metrics::RollingHistogram rolling(4, 1'000'000'000);
+  const int64_t t0 = 100'000'000'000;
+  constexpr int kThreads = 4;
+  constexpr int kRecords = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rolling, t0]() {
+      // Same epoch for every record: no rotation race, so counts are exact.
+      for (int i = 0; i < kRecords; ++i) rolling.Record(3, t0 + i);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const auto window = rolling.Window(t0);
+  EXPECT_EQ(window.count, int64_t{kThreads} * kRecords);
+  EXPECT_EQ(window.sum, int64_t{kThreads} * kRecords * 3);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition.
+
+TEST(PrometheusTextTest, RendersCountersGaugesAndHistograms) {
+  metrics::MetricsSnapshot snap;
+  snap.counters.push_back({"serve.requests", 42});
+  snap.gauges.push_back({"serve.queue_depth", 3});
+  metrics::MetricsSnapshot::HistogramValue h;
+  h.name = "serve.e2e_us";
+  h.count = 3;
+  h.sum = 1300;
+  h.buckets.push_back({127, 2});
+  h.buckets.push_back({1023, 1});
+  snap.histograms.push_back(h);
+
+  const std::string text = snap.ToPrometheusText();
+  // Dotted names sanitize to underscores under the resuformer_ prefix.
+  EXPECT_NE(text.find("resuformer_serve_requests 42"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE resuformer_serve_requests counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("resuformer_serve_queue_depth 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE resuformer_serve_queue_depth gauge"),
+            std::string::npos);
+  // Histogram: cumulative buckets, +Inf, _sum, _count.
+  EXPECT_NE(text.find("resuformer_serve_e2e_us_bucket{le=\"127\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("resuformer_serve_e2e_us_bucket{le=\"1023\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("resuformer_serve_e2e_us_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("resuformer_serve_e2e_us_sum 1300"), std::string::npos);
+  EXPECT_NE(text.find("resuformer_serve_e2e_us_count 3"), std::string::npos);
+  // Original registry name survives on the HELP line.
+  EXPECT_NE(text.find(
+                "# HELP resuformer_serve_requests resuformer metric "
+                "serve.requests"),
+            std::string::npos);
+  // Every line is a comment or `name{labels} value`; the exposition ends
+  // with a newline.
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(PrometheusTextTest, HostileNamesAreSanitizedAndHelpEscaped) {
+  metrics::MetricsSnapshot snap;
+  snap.counters.push_back({"weird-name with\nnewline\\slash\"quote", 1});
+  const std::string text = snap.ToPrometheusText();
+  // Sample line: every hostile character became '_' (no raw newline can
+  // break the exposition).
+  EXPECT_NE(
+      text.find("resuformer_weird_name_with_newline_slash_quote 1"),
+      std::string::npos);
+  // HELP line: backslash and newline escaped per the 0.0.4 spec.
+  EXPECT_NE(text.find("weird-name with\\nnewline\\\\slash\"quote"),
+            std::string::npos);
+  // No line in the output starts mid-name (raw newline leak).
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    EXPECT_TRUE(line[0] == '#' || line.rfind("resuformer_", 0) == 0)
+        << "unexpected line: " << line;
+  }
+}
+
+TEST(PrometheusTextTest, GlobalSnapshotRoundTrips) {
+  auto& registry = MetricsRegistry::Global();
+  registry.GetCounter("test.prom_counter")->Reset();
+  registry.GetCounter("test.prom_counter")->Increment(7);
+  const std::string text = registry.Snapshot().ToPrometheusText();
+  EXPECT_NE(text.find("resuformer_test_prom_counter 7"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Request-id span annotation + windowed collection.
+
+TEST_F(TraceTest, SpanIdAnnotatesRecordsAndChromeArgs) {
+  {
+    TRACE_SPAN_ID("serve.request", 42);
+  }
+  {
+    TRACE_SPAN("unannotated");
+  }
+  const std::vector<trace::SpanRecord> spans =
+      trace::TraceRecorder::Global().Collect();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].request_id, 42);
+  EXPECT_EQ(spans[1].request_id, 0);
+  const std::string json = trace::ChromeTraceJson(spans);
+  // Annotated span carries args.request_id; unannotated spans stay clean.
+  EXPECT_NE(json.find("\"request_id\": 42"), std::string::npos);
+  EXPECT_EQ(json.find("\"request_id\": 0"), std::string::npos);
+}
+
+TEST_F(TraceTest, CollectWindowKeepsOnlyOverlappingSpans) {
+  {
+    TRACE_SPAN("windowed");
+  }
+  const std::vector<trace::SpanRecord> all =
+      trace::TraceRecorder::Global().Collect();
+  ASSERT_EQ(all.size(), 1u);
+  const int64_t start = all[0].start_ns;
+  const int64_t end = all[0].start_ns + all[0].dur_ns;
+  // Overlapping window keeps it; disjoint windows on both sides drop it.
+  EXPECT_EQ(trace::TraceRecorder::Global().CollectWindow(start, end).size(),
+            1u);
+  EXPECT_TRUE(
+      trace::TraceRecorder::Global().CollectWindow(end + 10, end + 20)
+          .empty());
+  EXPECT_TRUE(
+      trace::TraceRecorder::Global().CollectWindow(start - 20, start - 10)
+          .empty());
+}
+
+TEST_F(TraceTest, WriteChromeTraceJsonProducesLoadableFile) {
+  {
+    TRACE_SPAN_ID("exemplar.span", 9);
+  }
+  const std::string path =
+      ::testing::TempDir() + "/observability_exemplar.json";
+  const Status s = trace::WriteChromeTraceJson(
+      path, trace::TraceRecorder::Global().Collect());
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"exemplar.span\""), std::string::npos);
+  EXPECT_NE(json.find("\"request_id\": 9"), std::string::npos);
 }
 
 }  // namespace

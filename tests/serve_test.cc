@@ -11,8 +11,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <future>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -106,6 +111,20 @@ int64_t MultiRequestBatches(const metrics::Histogram* hist) {
   return total;
 }
 
+/// Loopback client connection to 127.0.0.1:`port` (asserts on failure).
+int ConnectTo(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  // rf-lint-allow(mmap-payload-cast): POSIX sockets calling convention.
+  const sockaddr* addr_ptr = reinterpret_cast<const sockaddr*>(&addr);
+  EXPECT_EQ(::connect(fd, addr_ptr, sizeof(addr)), 0);
+  return fd;
+}
+
 // ---------------------------------------------------------------------------
 // ServerOptions
 
@@ -127,6 +146,14 @@ TEST(ServerOptionsTest, ValidateNamesTheOffendingParameter) {
   options = ServerOptions{};
   options.workers = 0;
   EXPECT_NE(options.Validate().ToString().find("workers"), std::string::npos);
+  options = ServerOptions{};
+  options.stats_window_ms = 5;  // below the 10ms epoch-split floor
+  EXPECT_NE(options.Validate().ToString().find("stats_window_ms"),
+            std::string::npos);
+  options = ServerOptions{};
+  options.slow_trace_us = -1;
+  EXPECT_NE(options.Validate().ToString().find("slow_trace_us"),
+            std::string::npos);
 }
 
 TEST(ServerOptionsTest, FromRuntimeCopiesTheServeKnobs) {
@@ -135,11 +162,17 @@ TEST(ServerOptionsTest, FromRuntimeCopiesTheServeKnobs) {
   rt.serve_max_queue_delay_ms = 17;
   rt.serve_queue_capacity = 99;
   rt.serve_workers = 5;
+  rt.serve_stats_window_ms = 1234;
+  rt.serve_slow_trace_us = 777;
+  rt.serve_slow_trace_dir = "/tmp/exemplars";
   const ServerOptions options = ServerOptions::FromRuntime(rt);
   EXPECT_EQ(options.max_batch, 31);
   EXPECT_EQ(options.max_queue_delay_ms, 17);
   EXPECT_EQ(options.queue_capacity, 99);
   EXPECT_EQ(options.workers, 5);
+  EXPECT_EQ(options.stats_window_ms, 1234);
+  EXPECT_EQ(options.slow_trace_us, 777);
+  EXPECT_EQ(options.slow_trace_dir, "/tmp/exemplars");
 }
 
 // ---------------------------------------------------------------------------
@@ -231,6 +264,51 @@ TEST(FramingTest, OversizedLengthPrefixIsRejectedWithoutAllocating) {
   oversized.kind = FrameKind::kOk;
   oversized.payload.resize(kMaxFramePayload + 1);
   EXPECT_EQ(WriteFrame(-1, oversized).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FramingTest, ProtocolV2KindsRoundTrip) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  for (const FrameKind kind : {FrameKind::kStats, FrameKind::kHealth,
+                               FrameKind::kParseV2, FrameKind::kOkV2,
+                               FrameKind::kErrorV2}) {
+    Frame out;
+    out.kind = kind;
+    out.payload = "payload";
+    ASSERT_TRUE(WriteFrame(fds[1], out).ok());
+    Frame in;
+    ASSERT_TRUE(ReadFrame(fds[0], &in).ok());
+    EXPECT_EQ(in.kind, kind);
+    EXPECT_EQ(in.payload, "payload");
+  }
+  // One past the newest kind is still a malformed frame.
+  const unsigned char unknown_kind[9] = {0, 0, 0, 0, 9, 0, 0, 0, 0};
+  ASSERT_EQ(::write(fds[1], unknown_kind, sizeof(unknown_kind)),
+            static_cast<ssize_t>(sizeof(unknown_kind)));
+  Frame in;
+  EXPECT_EQ(ReadFrame(fds[0], &in).code(), StatusCode::kInvalidArgument);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(FramingTest, IdPayloadRoundTrips) {
+  const std::string encoded =
+      EncodeIdPayload(0x0123456789abcdef, "resume body");
+  ASSERT_EQ(encoded.size(), 8u + 11u);
+  int64_t id = 0;
+  std::string body;
+  ASSERT_TRUE(DecodeIdPayload(encoded, &id, &body).ok());
+  EXPECT_EQ(id, 0x0123456789abcdef);
+  EXPECT_EQ(body, "resume body");
+
+  // Empty body and id 0 both survive.
+  ASSERT_TRUE(DecodeIdPayload(EncodeIdPayload(0, ""), &id, &body).ok());
+  EXPECT_EQ(id, 0);
+  EXPECT_TRUE(body.empty());
+
+  // A payload shorter than the id prefix is malformed, not a crash.
+  EXPECT_EQ(DecodeIdPayload("1234567", &id, &body).code(),
+            StatusCode::kInvalidArgument);
 }
 
 // ---------------------------------------------------------------------------
@@ -353,6 +431,145 @@ TEST(ParseServerTest, GracefulDrainReturnsEveryInFlightResponse) {
   server.reset();
 }
 
+TEST(ParseServerTest, AssignsMonotonicRequestIds) {
+  const ServeEnv& env = GetEnv();
+  ServerOptions options;
+  options.max_batch = 4;
+  options.max_queue_delay_ms = 1;
+  options.workers = 1;
+  ParseServer server(env.pipeline.get(), options);
+
+  const ParseResponse first = server.ParseSync(RequestFor(env.documents[0]));
+  const ParseResponse second = server.ParseSync(RequestFor(env.documents[1]));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(first.request_id, 0);
+  EXPECT_GT(second.request_id, first.request_id);
+
+  // Rejected requests carry ids too: correlatable failures.
+  server.Shutdown();
+  const ParseResponse late = server.ParseSync(RequestFor(env.documents[0]));
+  EXPECT_EQ(late.status.code(), StatusCode::kUnavailable);
+  EXPECT_GT(late.request_id, second.request_id);
+}
+
+TEST(ParseServerTest, StatsJsonReportsStateAndWindowedPercentiles) {
+  const ServeEnv& env = GetEnv();
+  metrics::MetricsRegistry::Global().SetEnabled(true);
+  ServerOptions options;
+  options.max_batch = 4;
+  options.max_queue_delay_ms = 1;
+  options.workers = 1;
+  options.stats_window_ms = 100;  // 10 epochs x 10ms: expires fast
+  ParseServer server(env.pipeline.get(), options);
+
+  ASSERT_TRUE(server.ParseSync(RequestFor(env.documents[0])).ok());
+  EXPECT_EQ(server.state(), ServerState::kServing);
+  EXPECT_GT(server.uptime_ns(), 0);
+
+  std::string json = server.StatsJson();
+  const auto IntOf = [&json](const char* key) {
+    std::string needle = "\"";
+    needle += key;
+    needle += "\": ";
+    const size_t at = json.find(needle);
+    EXPECT_NE(at, std::string::npos) << key << " missing in " << json;
+    if (at == std::string::npos) return int64_t{-1};
+    return static_cast<int64_t>(
+        std::strtoll(json.c_str() + at + needle.size(), nullptr, 10));
+  };
+  EXPECT_NE(json.find("\"state\": \"ok\""), std::string::npos);
+  EXPECT_GE(IntOf("requests"), 1);
+  EXPECT_EQ(IntOf("window_ms"), 100);
+  // The parse just happened: it is inside the 100ms window, and the rolling
+  // percentiles are live even though they come from the always-on path.
+  EXPECT_GE(IntOf("window_e2e_count"), 1);
+  EXPECT_GT(IntOf("window_e2e_p99_us"), 0);
+  const int64_t cumulative = IntOf("e2e_count");
+  EXPECT_GE(cumulative, 1);
+
+  // Windowed percentiles reflect ONLY the window: after it rolls past, the
+  // windowed count returns to zero while the cumulative stats persist.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  json = server.StatsJson();
+  EXPECT_EQ(IntOf("window_e2e_count"), 0);
+  EXPECT_EQ(IntOf("window_e2e_p99_us"), 0);
+  EXPECT_GE(IntOf("e2e_count"), cumulative);
+
+  // Prometheus rendition of the same plane.
+  const std::string prom = server.StatsPrometheus();
+  EXPECT_NE(prom.find("resuformer_serve_uptime_seconds"), std::string::npos);
+  EXPECT_NE(prom.find("resuformer_serve_draining 0"), std::string::npos);
+  EXPECT_NE(prom.find("resuformer_serve_window_e2e_p99_us"),
+            std::string::npos);
+
+  server.Shutdown();
+  EXPECT_EQ(server.state(), ServerState::kStopped);
+  EXPECT_NE(server.StatsJson().find("\"state\": \"unavailable\""),
+            std::string::npos);
+}
+
+TEST(ParseServerTest, SlowTraceThresholdWritesALoadableExemplar) {
+  const ServeEnv& env = GetEnv();
+  trace::TraceRecorder::Global().SetEnabled(true);
+  trace::TraceRecorder::Global().Reset();
+
+  const std::string dir = ::testing::TempDir() + "/slow-trace-exemplars";
+  std::filesystem::remove_all(dir);
+
+  ServerOptions options;
+  options.max_batch = 4;
+  options.max_queue_delay_ms = 1;
+  options.workers = 1;
+  options.slow_trace_us = 1;  // every request is "slow"
+  options.slow_trace_dir = dir;
+  ParseServer server(env.pipeline.get(), options);
+
+  const ParseResponse response =
+      server.ParseSync(RequestFor(env.documents[0]));
+  ASSERT_TRUE(response.ok());
+
+  // Capture runs before the response future is fulfilled, so the exemplar
+  // is on disk by the time ParseSync returns.
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    files.push_back(entry.path());
+  }
+  ASSERT_EQ(files.size(), 1u);
+  const std::string name = files[0].filename().string();
+  EXPECT_EQ(name.rfind("slow-req-", 0), 0u) << name;
+  EXPECT_NE(name.find("us.json"), std::string::npos) << name;
+
+  std::ifstream in(files[0]);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // The request's pipeline span, annotated with its id.
+  EXPECT_NE(json.find("\"pipeline.request\""), std::string::npos);
+  EXPECT_NE(json.find("\"request_id\": " +
+                      std::to_string(response.request_id)),
+            std::string::npos);
+
+  // Counted, and rate-limited: an immediate second slow request inside the
+  // 1s min-gap does not produce a second file.
+  EXPECT_GE(metrics::MetricsRegistry::Global()
+                .GetCounter("serve.slow_traces")
+                ->value(),
+            1);
+  ASSERT_TRUE(server.ParseSync(RequestFor(env.documents[1])).ok());
+  files.clear();
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    files.push_back(entry.path());
+  }
+  EXPECT_EQ(files.size(), 1u);
+
+  server.Shutdown();
+  trace::TraceRecorder::Global().SetEnabled(false);
+  trace::TraceRecorder::Global().Reset();
+  std::filesystem::remove_all(dir);
+}
+
 TEST(ParseServerTest, ServePathMatchesDirectBatchParse) {
   const ServeEnv& env = GetEnv();
   ServerOptions options;
@@ -413,18 +630,40 @@ TEST(LoopbackEndToEndTest, ConcurrentClientsMatchOneShotParses) {
     expected.push_back(ResuFormerPipeline::ToPrettyString(direct.resume));
   }
 
-  auto connect = [port]() {
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    EXPECT_GE(fd, 0);
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(static_cast<uint16_t>(port));
-    // rf-lint-allow(mmap-payload-cast): POSIX sockets calling convention.
-    const sockaddr* addr_ptr = reinterpret_cast<const sockaddr*>(&addr);
-    EXPECT_EQ(::connect(fd, addr_ptr, sizeof(addr)), 0);
-    return fd;
-  };
+  auto connect = [port]() { return ConnectTo(port); };
+
+  // Admin poller: hammers kStats / kHealth on its own connection while all
+  // 16 clients parse. Admin frames bypass the admission queue, so every
+  // poll must answer promptly and well-formed even under full parse load.
+  std::atomic<bool> polling_done{false};
+  std::atomic<int> poll_failures{0};
+  std::atomic<int> polls{0};
+  std::thread poller([&] {
+    const int fd = connect();
+    // acquire: pairs with the release store after the clients join.
+    while (!polling_done.load(std::memory_order_acquire)) {
+      Frame stats;
+      stats.kind = FrameKind::kStats;
+      Frame reply;
+      if (!WriteFrame(fd, stats).ok() || !ReadFrame(fd, &reply).ok() ||
+          reply.kind != FrameKind::kOk ||
+          reply.payload.find("\"queue_depth\"") == std::string::npos ||
+          reply.payload.find("\"window_e2e_p99_us\"") == std::string::npos) {
+        poll_failures.fetch_add(1);
+        break;
+      }
+      Frame health;
+      health.kind = FrameKind::kHealth;
+      if (!WriteFrame(fd, health).ok() || !ReadFrame(fd, &reply).ok() ||
+          reply.kind != FrameKind::kOk || reply.payload != "ok") {
+        poll_failures.fetch_add(1);
+        break;
+      }
+      polls.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ::close(fd);
+  });
 
   constexpr int kClients = 16;
   constexpr int kRequestsPerClient = 4;  // 64 total
@@ -456,8 +695,13 @@ TEST(LoopbackEndToEndTest, ConcurrentClientsMatchOneShotParses) {
     });
   }
   for (std::thread& client : clients) client.join();
+  // release: pairs with the poller's acquire poll of the done flag.
+  polling_done.store(true, std::memory_order_release);
+  poller.join();
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(poll_failures.load(), 0);
+  EXPECT_GE(polls.load(), 1);
   // 64 concurrent requests against a 25ms flush window: cross-request
   // batching must have produced at least one batch of more than one.
   EXPECT_GT(MultiRequestBatches(batch_size), multi_before);
@@ -504,6 +748,59 @@ TEST(LoopbackEndToEndTest, ConcurrentClientsMatchOneShotParses) {
   endpoint.Stop();
   server.Shutdown();
   EXPECT_EQ(server.queue_depth(), 0);
+}
+
+TEST(LoopbackEndToEndTest, ParseV2EchoesMonotonicRequestIds) {
+  const ServeEnv& env = GetEnv();
+  ServerOptions options;
+  options.max_batch = 4;
+  options.max_queue_delay_ms = 1;
+  options.workers = 1;
+  ParseServer server(env.pipeline.get(), options);
+  SocketEndpoint endpoint(&server);
+  const Result<int> bound = endpoint.Start(0);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+
+  const std::string text = DocumentToText(env.documents[0]);
+  ParseRequest direct_request;
+  direct_request.document = DocumentFromText(text);
+  const ParseResponse direct = env.pipeline->Parse(direct_request);
+  ASSERT_TRUE(direct.ok());
+  const std::string expected =
+      ResuFormerPipeline::ToPrettyString(direct.resume);
+
+  const int fd = ConnectTo(bound.value());
+  int64_t previous_id = 0;
+  for (int i = 0; i < 3; ++i) {
+    Frame request;
+    request.kind = FrameKind::kParseV2;
+    request.payload = text;
+    ASSERT_TRUE(WriteFrame(fd, request).ok());
+    Frame response;
+    ASSERT_TRUE(ReadFrame(fd, &response).ok());
+    ASSERT_EQ(response.kind, FrameKind::kOkV2);
+    int64_t id = 0;
+    std::string body;
+    ASSERT_TRUE(DecodeIdPayload(response.payload, &id, &body).ok());
+    EXPECT_EQ(body, expected);
+    EXPECT_GT(id, previous_id);  // server-assigned, strictly increasing
+    previous_id = id;
+  }
+
+  // Both protocol versions coexist on one connection: a v1 kParse after
+  // the v2 exchanges still answers plain kOk with no id prefix.
+  Frame v1;
+  v1.kind = FrameKind::kParse;
+  v1.payload = text;
+  ASSERT_TRUE(WriteFrame(fd, v1).ok());
+  Frame v1_response;
+  ASSERT_TRUE(ReadFrame(fd, &v1_response).ok());
+  EXPECT_EQ(v1_response.kind, FrameKind::kOk);
+  EXPECT_EQ(v1_response.payload, expected);  // no id prefix on v1
+
+  ::close(fd);
+  endpoint.Stop();
+  server.Shutdown();
 }
 
 }  // namespace

@@ -116,4 +116,23 @@ inline const char* ReadPayloadOk(unsigned char* bytes) {
   return reinterpret_cast<const char*>(bytes);
 }
 
+// Metric-name lookups: the first builds the name at runtime (allocates and
+// re-hashes per call), the second passes a literal outside the lowercase
+// dotted convention. Each fires once.
+// rf-lint-selftest-expect(metric-name-literal=2)
+inline void BadMetricNames(Registry& registry, const std::string& shard) {
+  registry.GetCounter("serve.requests." + shard)->Increment();
+  registry.GetHistogram("Serve.E2E-Latency")->Record(1);
+}
+
+// Compliant lookups must NOT fire: one lowercase dotted literal, resolved
+// once into a stable pointer — including an argument that wraps lines.
+inline void GoodMetricNames(Registry& registry) {
+  static Counter* counter = registry.GetCounter("serve.requests");
+  static Counter* wrapped = registry.GetCounter(
+      "serve.rejected.deadline");
+  counter->Increment();
+  wrapped->Increment();
+}
+
 }  // namespace lint_fixture

@@ -58,6 +58,15 @@
 //                         worker behind the mutex. Condition-variable
 //                         waits are exempt — they release the lock while
 //                         parked.
+//   metric-name-literal   Every MetricsRegistry::GetCounter/GetGauge/
+//                         GetHistogram call site must pass one lowercase
+//                         dotted string literal ([a-z][a-z0-9_.]*). A name
+//                         built at runtime allocates and re-hashes on every
+//                         call in hot paths and defeats the resolve-once
+//                         stable-pointer idiom; a name outside the dotted
+//                         convention breaks the dotted -> Prometheus-
+//                         underscore mapping. The registry itself and
+//                         tests/ are exempt.
 //
 // Suppressions:
 //   // rf-lint-allow(rule[,rule...])        this line or the next line
@@ -224,6 +233,7 @@ class Linter {
       LintJsonStringConcat(f);
       LintMmapPayloadCast(f);
       LintBlockingInCriticalSection(f);
+      LintMetricNameLiteral(f);
     }
   }
 
@@ -252,7 +262,8 @@ class Linter {
         "naked-malloc",        "std-rand",
         "volatile-qualifier",  "include-guard",
         "trace-span-in-parallel-for", "json-string-concat",
-        "mmap-payload-cast",   "blocking-in-critical-section"};
+        "mmap-payload-cast",   "blocking-in-critical-section",
+        "metric-name-literal"};
     return kRules;
   }
 
@@ -643,6 +654,80 @@ class Linter {
                      "are exempt: they release the lock)");
         }
         if (closed) break;
+      }
+    }
+  }
+
+  // Metric names are compile-time identity. Every registry lookup must pass
+  // one lowercase dotted literal: a runtime-built name allocates and
+  // re-hashes per call in hot paths (the resolve-once stable-pointer idiom
+  // exists to avoid exactly that), and a name outside [a-z0-9_.] breaks the
+  // dotted -> Prometheus-underscore mapping. The argument may wrap onto the
+  // next line (the literal is matched from the RAW text; `code` blanks
+  // literal contents, so paren matching there is literal-safe).
+  void LintMetricNameLiteral(const SourceFile& f) {
+    // The registry implements these functions (string parameters), and
+    // tests exercise snapshot plumbing with synthetic names.
+    if (f.rel.find("common/metrics.") != std::string::npos) return;
+    if (f.rel.rfind("tests/", 0) == 0) return;
+    static const std::regex call_re(R"(\bGet(Counter|Gauge|Histogram)\s*\()");
+    static const std::regex literal_re(R"re(^"([^"]*)"$)re");
+    static const std::regex name_re(R"(^[a-z][a-z0-9_.]*$)");
+    for (size_t i = 0; i < f.code.size(); ++i) {
+      auto begin =
+          std::sregex_iterator(f.code[i].begin(), f.code[i].end(), call_re);
+      for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        const std::string kind = (*it)[1].str();
+        // Collect the raw argument text up to the matching ')'.
+        size_t li = i;
+        size_t ci = static_cast<size_t>((*it).position(0)) + (*it).length(0);
+        int depth = 1;
+        std::string arg;
+        bool matched = false;
+        while (li < f.code.size() && !matched) {
+          const std::string& l = f.code[li];
+          const std::string& r = f.raw[li];
+          for (; ci < l.size(); ++ci) {
+            const char c = l[ci];
+            if (c == '(') {
+              ++depth;
+            } else if (c == ')') {
+              --depth;
+              if (depth == 0) {
+                matched = true;
+                break;
+              }
+            }
+            arg += ci < r.size() ? r[ci] : ' ';
+          }
+          if (!matched) {
+            arg += ' ';
+            ++li;
+            ci = 0;
+          }
+        }
+        const size_t first = arg.find_first_not_of(" \t");
+        const size_t last = arg.find_last_not_of(" \t");
+        arg = first == std::string::npos
+                  ? std::string()
+                  : arg.substr(first, last - first + 1);
+        std::smatch lm;
+        if (!std::regex_match(arg, lm, literal_re)) {
+          Report(f, i, "metric-name-literal",
+                 "Get" + kind +
+                     " argument is not a single string literal; a "
+                     "runtime-built metric name allocates and re-hashes on "
+                     "every call — look the instrument up once from a "
+                     "literal and cache the stable pointer");
+          continue;
+        }
+        const std::string name = lm[1].str();
+        if (!std::regex_match(name, name_re)) {
+          Report(f, i, "metric-name-literal",
+                 "metric name '" + name +
+                     "' must be lowercase dotted ([a-z][a-z0-9_.]*) so the "
+                     "dotted -> Prometheus-underscore mapping stays stable");
+        }
       }
     }
   }

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Live stats watch-loop for a running `resuformer_cli serve` daemon:
+# fetches the kStats admin frame every INTERVAL seconds and re-renders the
+# table in place.
+#
+#   tools/serve_stats.sh PORT [INTERVAL] [CLI]
+#
+#   PORT      the daemon's loopback port (printed on its "serving on" line)
+#   INTERVAL  seconds between polls (default 2)
+#   CLI       path to resuformer_cli (default build/examples/resuformer_cli)
+#
+# Exits nonzero when the daemon becomes unreachable (drained or killed).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+port="${1:?usage: tools/serve_stats.sh PORT [INTERVAL] [CLI]}"
+interval="${2:-2}"
+cli="${3:-${repo_root}/build/examples/resuformer_cli}"
+
+if [[ ! -x "${cli}" ]]; then
+  echo "serve_stats: ${cli} not found or not executable (build first, or" \
+       "pass the CLI path as the third argument)" >&2
+  exit 1
+fi
+
+while true; do
+  output="$("${cli}" stats --port "${port}")" || {
+    echo "serve_stats: daemon on port ${port} unreachable; exiting" >&2
+    exit 1
+  }
+  clear
+  echo "resuformer serve @ 127.0.0.1:${port}  (every ${interval}s, ctrl-c to quit)"
+  echo "${output}"
+  sleep "${interval}"
+done

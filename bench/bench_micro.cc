@@ -7,8 +7,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <future>
 #include <memory>
@@ -27,6 +29,7 @@
 #include "nn/serialize.h"
 #include "pipeline/pipeline.h"
 #include "resumegen/corpus.h"
+#include "rf_lint/rules.h"
 #include "serve/server.h"
 #include "tensor/arena.h"
 #include "tensor/kernels.h"
@@ -792,6 +795,39 @@ void BM_GenerateResume(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GenerateResume)->Unit(benchmark::kMicrosecond);
+
+// Full-tree rf_lint scan (lex -> scope facts -> call graph -> rule families
+// over src/tests/bench/examples), the same work the tier-1 `rf_lint` ctest
+// does. Budget: well under 5 s, so the lint gate stays cheap enough to run
+// on every build.
+void BM_RfLintFullScan(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  const fs::path root = RESUFORMER_REPO_ROOT;
+  int64_t violations = 0;
+  for (auto _ : state) {
+    rflint::Linter linter;
+    for (const char* sub : {"src", "tests", "bench", "examples"}) {
+      const fs::path dir = root / sub;
+      if (!fs::exists(dir)) continue;
+      std::vector<fs::path> paths;
+      for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+        const std::string ext = entry.path().extension().string();
+        if (entry.is_regular_file() &&
+            (ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp")) {
+          paths.push_back(entry.path());
+        }
+      }
+      std::sort(paths.begin(), paths.end());
+      for (const fs::path& p : paths) {
+        linter.AddFile(p, fs::relative(p, root).generic_string());
+      }
+    }
+    linter.Run();
+    violations += static_cast<int64_t>(linter.violations().size());
+    benchmark::DoNotOptimize(violations);
+  }
+}
+BENCHMARK(BM_RfLintFullScan)->Unit(benchmark::kMillisecond);
 
 // Machine-readable sidecar: one JSON record per benchmark run with the
 // fields CI trend-lines need (op, size, threads, ns/op). Written next to

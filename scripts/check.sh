@@ -4,11 +4,16 @@
 #   scripts/check.sh          tier-1: release build, full test suite
 #                             (includes the rf_lint checker + its selftest),
 #                             a focused `serve`-label rerun, plus the
-#                             advisory clang-tidy pass
+#                             enforced clang-tidy pass (skipped without the
+#                             toolchain)
 #   scripts/check.sh --full   tier-1, then the ASan+UBSan and TSan suites
 #                             (separate build trees via CMakePresets.json;
 #                             TSan also runs the `stress` label and reruns
 #                             the `serve` and `observability` labels)
+#   scripts/check.sh --lint-only
+#                             fast path: build only rf_lint, run it over the
+#                             tree plus its selftest, then the enforced
+#                             clang-tidy pass — no test suite
 #
 # Every build tree is a preset from CMakePresets.json, so this script and
 # `cmake --preset <name>` always agree on flags.
@@ -18,8 +23,25 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "${repo_root}"
 
 full=0
+lint_only=0
 if [[ "${1:-}" == "--full" ]]; then full=1; shift; fi
+if [[ "${1:-}" == "--lint-only" ]]; then lint_only=1; shift; fi
 jobs="$(nproc 2>/dev/null || echo 2)"
+
+if [[ "${lint_only}" == 1 ]]; then
+  echo "==> [release] configure"
+  cmake --preset release >/dev/null
+  echo "==> [release] build rf_lint"
+  cmake --build --preset release --target rf_lint -j "${jobs}"
+  echo "==> rf_lint (src tests bench examples)"
+  build/tools/rf_lint "${repo_root}" src tests bench examples
+  echo "==> rf_lint selftest"
+  build/tools/rf_lint --selftest "${repo_root}/tools/lint_fixture"
+  echo "==> clang-tidy --enforce (skipped when not installed)"
+  tools/run_clang_tidy.sh --enforce "${repo_root}/build"
+  echo "==> lint checks passed"
+  exit 0
+fi
 
 run_preset() {
   local preset="$1"
@@ -39,8 +61,8 @@ run_preset release
 echo "==> [release] serve-label focused rerun"
 ctest --preset release -L serve --output-on-failure -j "${jobs}"
 
-echo "==> clang-tidy (advisory; skipped when not installed)"
-tools/run_clang_tidy.sh "${repo_root}/build"
+echo "==> clang-tidy --enforce (skipped when not installed)"
+tools/run_clang_tidy.sh --enforce "${repo_root}/build"
 
 if [[ "${full}" == "1" ]]; then
   run_preset asan

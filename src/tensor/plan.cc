@@ -26,8 +26,8 @@ thread_local Recorder* g_active_recorder = nullptr;
 // ---------------------------------------------------------------------------
 
 const Value& Val(const ExecContext& ctx, int id) { return ctx.plan->values[id]; }
-const float* Src(const ExecContext& ctx, int id) { return ctx.ptrs[id]; }
-float* Dst(ExecContext& ctx, int id) { return ctx.ptrs[id]; }
+const float* Src(const ExecContext& ctx, int id) { return (*ctx.ptrs)[id]; }
+float* Dst(ExecContext& ctx, int id) { return (*ctx.ptrs)[id]; }
 
 void ExecMatMulNN(const Instr& ins, ExecContext& ctx) {
   float* c = Dst(ctx, ins.out);
@@ -606,23 +606,28 @@ bool PlanExecutor::Run(const Plan& plan, const BindingSet& bindings,
   // One arena buffer per replay: after the first replay of a bucket the
   // acquire is a free-list hit, so steady state performs no allocation.
   ArenaBuffer workspace(plan.workspace_floats);
+  // Pointer table reused across replays on this thread: `assign` rewrites
+  // the contents in place, so after the first replay of the largest bucket
+  // the table never reallocates.
+  thread_local std::vector<float*> value_ptrs;
+  value_ptrs.assign(plan.values.size(), nullptr);
   ExecContext ctx;
   ctx.plan = &plan;
   ctx.bindings = &bindings;
   ctx.workspace = workspace.data();
-  ctx.ptrs.resize(plan.values.size(), nullptr);
+  ctx.ptrs = &value_ptrs;
   for (size_t i = 0; i < plan.values.size(); ++i) {
     const Value& v = plan.values[i];
     switch (v.kind) {
       case Value::kConstant:
         // const_cast is safe: exec functions only ever write kTemp slots.
-        ctx.ptrs[i] = const_cast<float*>(v.constant->data_ptr());
+        value_ptrs[i] = const_cast<float*>(v.constant->data_ptr());
         break;
       case Value::kBinding:
-        ctx.ptrs[i] = const_cast<float*>(bindings.tensors[v.role]);
+        value_ptrs[i] = const_cast<float*>(bindings.tensors[v.role]);
         break;
       case Value::kTemp:
-        ctx.ptrs[i] = workspace.data() + v.offset;
+        value_ptrs[i] = workspace.data() + v.offset;
         break;
     }
   }
@@ -630,7 +635,7 @@ bool PlanExecutor::Run(const Plan& plan, const BindingSet& bindings,
     ins.exec(ins, ctx);
     if (ctx.failed) return false;
   }
-  const float* result = ctx.ptrs[plan.output];
+  const float* result = value_ptrs[plan.output];
   std::copy(result, result + plan.output_size, out);
   return true;
 }

@@ -130,8 +130,10 @@ struct ExecContext {
   const BindingSet* bindings = nullptr;
   float* workspace = nullptr;
   /// Resolved base pointer per value id (constant storage, binding pointer,
-  /// or workspace slot), filled once at the top of Run.
-  std::vector<float*> ptrs;
+  /// or workspace slot), filled once at the top of Run. Points at a
+  /// thread-local table owned by Run: replays reuse its capacity, so the
+  /// steady state performs no per-call allocation here.
+  const std::vector<float*>* ptrs = nullptr;
   bool failed = false;  // set by an instruction on a binding mismatch
 };
 

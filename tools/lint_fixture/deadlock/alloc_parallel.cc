@@ -1,0 +1,46 @@
+// rf_lint self-test fixture (never compiled; text-only input for
+// `rf_lint --selftest`). Seeds the alloc-in-parallel-for rule: the
+// dispatched body grows a vector directly (one finding) and reaches a
+// second growth site through a helper call (one finding via the call
+// graph). Writing into pre-sized storage must NOT fire — `assign` and
+// index stores reuse capacity, which is the steady-state idiom the
+// zero-alloc invariant protects.
+// rf-lint-selftest-expect(alloc-in-parallel-for=2)
+
+#include <vector>
+
+namespace lint_fixture {
+
+inline void GrowScratch(std::vector<int>& scratch) {
+  scratch.reserve(128);
+}
+
+inline void CollectInParallel(std::vector<int>& out) {
+  ParallelFor(0, 100, [&](int tid, long begin, long end) {
+    out.push_back(static_cast<int>(begin));
+    GrowScratch(out);
+  });
+}
+
+// Pre-sized writes and capacity-reusing assign must NOT fire.
+inline void FillInParallel(std::vector<int>& out) {
+  ParallelFor(0, 100, [&](int tid, long begin, long end) {
+    for (long i = begin; i < end; ++i) {
+      out[static_cast<unsigned long>(i)] = static_cast<int>(i);
+    }
+  });
+}
+
+inline void ResetInParallel(std::vector<int>& out) {
+  ParallelFor(0, 4, [&](int tid, long begin, long end) {
+    out.assign(out.size(), 0);
+  });
+}
+
+// Growth outside any parallel body must NOT fire this rule.
+inline void GrowSequentially(std::vector<int>& out) {
+  out.push_back(1);
+  GrowScratch(out);
+}
+
+}  // namespace lint_fixture

@@ -1,0 +1,91 @@
+// rf_lint self-test fixture (never compiled; text-only input for
+// `rf_lint --selftest`). Seeds exactly one lock-order cycle: TransferAB
+// nests mu_a_ -> mu_b_ inside one function, while TransferBA holds mu_b_
+// and reaches mu_a_ through a callee — so the cycle needs both the
+// within-function edge and the cross-function (call-graph) edge to be
+// detected, and the finding must carry a witness path for each direction.
+// rf-lint-selftest-expect(lock-order-cycle=1)
+
+#include <mutex>
+
+namespace lint_fixture {
+
+class PairedState {
+ public:
+  void TransferAB() {
+    std::lock_guard<std::mutex> a(mu_a_);
+    std::lock_guard<std::mutex> b(mu_b_);
+    ++balance_;
+  }
+
+  void TransferBA() {
+    std::lock_guard<std::mutex> b(mu_b_);
+    GrabA();
+  }
+
+ private:
+  void GrabA() {
+    std::lock_guard<std::mutex> a(mu_a_);
+    --balance_;
+  }
+
+  std::mutex mu_a_;
+  std::mutex mu_b_;
+  int balance_ = 0;
+};
+
+// A consistent acquisition order everywhere must NOT fire, even when both
+// orders of *textual* appearance exist: only the acquisition graph counts.
+class OrderedState {
+ public:
+  void Deposit() {
+    std::lock_guard<std::mutex> a(mu_a_);
+    std::lock_guard<std::mutex> b(mu_b_);
+    ++total_;
+  }
+
+  void Withdraw() {
+    std::lock_guard<std::mutex> a(mu_a_);
+    std::lock_guard<std::mutex> b(mu_b_);
+    --total_;
+  }
+
+ private:
+  std::mutex mu_a_;
+  std::mutex mu_b_;
+  int total_ = 0;
+};
+
+// Sequential (non-nested) acquisition must NOT create order edges: the
+// first guard's scope closes before the second opens.
+class SequentialState {
+ public:
+  void Tick() {
+    {
+      std::lock_guard<std::mutex> b(mu_b_);
+      ++ticks_;
+    }
+    {
+      std::lock_guard<std::mutex> a(mu_a_);
+      ++ticks_;
+    }
+  }
+
+  void Tock() {
+    {
+      std::lock_guard<std::mutex> a(mu_a_);
+      --ticks_;
+    }
+    {
+      std::lock_guard<std::mutex> b(mu_b_);
+      --ticks_;
+    }
+  }
+
+ private:
+  std::mutex mu_a_;
+  std::mutex mu_b_;
+  int ticks_ = 0;
+};
+
+}  // namespace lint_fixture

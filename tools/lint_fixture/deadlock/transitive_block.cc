@@ -1,0 +1,73 @@
+// rf_lint self-test fixture (never compiled; text-only input for
+// `rf_lint --selftest`). Seeds exactly one *transitive* blocking chain:
+// PumpOnce holds mu_ and calls DrainPeer -> ReadByte -> ::read, two hops
+// away from the critical section — invisible to a textual scanner, caught
+// by the call-graph pass, and reported with the full chain. The compliant
+// shapes below (cv-wait, a designated nonblocking I/O endpoint, and
+// blocking reached with no lock held) must NOT fire.
+// rf-lint-selftest-expect(blocking-reachable-under-lock=1)
+
+#include <condition_variable>
+#include <mutex>
+#include <unistd.h>
+
+namespace lint_fixture {
+
+class FrameRelay {
+ public:
+  void PumpOnce() {
+    std::lock_guard<std::mutex> lock(mu_);
+    DrainPeer();
+    pending_ = 0;
+  }
+
+  // Calling the same chain with no lock held must NOT fire.
+  void PumpUnlocked() { DrainPeer(); }
+
+ private:
+  void DrainPeer() { ReadByte(); }
+
+  int ReadByte() {
+    char byte = 0;
+    return static_cast<int>(::read(fd_, &byte, 1));
+  }
+
+  std::mutex mu_;
+  int fd_ = -1;
+  int pending_ = 0;
+};
+
+// Condition-variable waits release the lock while parked and must NOT
+// fire, including through the predicate-lambda form.
+class ParkedConsumer {
+ public:
+  void AwaitWork() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return ready_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool ready_ = false;
+};
+
+// A designated non-blocking I/O endpoint: the attribute comment vouches
+// that the fd is O_NONBLOCK, so chains through it must NOT fire.
+class StatusBeacon {
+ public:
+  void Publish() {
+    std::lock_guard<std::mutex> lock(mu_);
+    WriteBeacon();
+  }
+
+ private:
+  // rf-lint-attr(nonblocking) beacon fd is opened O_NONBLOCK; this write
+  // returns EAGAIN instead of parking.
+  void WriteBeacon() { ::write(fd_, "x", 1); }
+
+  std::mutex mu_;
+  int fd_ = -1;
+};
+
+}  // namespace lint_fixture

@@ -1,8 +1,10 @@
 // rf_lint self-test fixture (never compiled; text-only input for
 // `rf_lint --selftest`). Lives under a serve/ directory because the
-// blocking-in-critical-section rule is scoped to serving-path files: it
-// seeds blocking calls inside lock critical sections, with exact expected
-// counts, plus compliant shapes that must NOT fire.
+// blocking-reachable-under-lock rule roots in serving-path files: it seeds
+// blocking calls directly inside lock critical sections, with exact
+// expected counts, plus compliant shapes that must NOT fire. The
+// *transitive* chains the rule also catches are seeded in
+// ../deadlock/transitive_block.cc.
 
 #include <chrono>
 #include <condition_variable>
@@ -14,7 +16,7 @@ namespace lint_fixture {
 // A sleep between the lock declaration and the end of its block stalls
 // every thread serialized behind the mutex, and a raw socket read inside
 // the same region blocks for as long as the peer stays silent.
-// rf-lint-selftest-expect(blocking-in-critical-section=2)
+// rf-lint-selftest-expect(blocking-reachable-under-lock=2)
 inline void BlockWhileHoldingTheLock(std::mutex& mu, int fd) {
   char byte = 0;
   {

@@ -1,0 +1,30 @@
+// rf_lint --fix: mechanical rewrites for the two rules whose remedy is
+// unambiguous text surgery.
+//
+//   include-guard         Rewrites the #ifndef/#define pair (and a matching
+//                         #endif trailer comment) to the canonical macro, or
+//                         inserts a whole guard when the header has none.
+//   atomic-order-comment  Appends a TODO justification stub to the flagged
+//                         line so the gap is visible in the diff instead of
+//                         invisible in the lint log.
+//
+// Fixes are idempotent: a second run over fixed files applies zero edits,
+// because both rewrites make the rule that produced them pass.
+
+#ifndef RESUFORMER_TOOLS_RF_LINT_FIXIT_H_
+#define RESUFORMER_TOOLS_RF_LINT_FIXIT_H_
+
+#include <vector>
+
+#include "rf_lint/rules.h"
+
+namespace rflint {
+
+/// Applies fixes for fixable violations, rewriting files in place.
+/// Returns the number of files modified.
+int ApplyFixes(const std::vector<LintedFile>& files,
+               const std::vector<Violation>& violations);
+
+}  // namespace rflint
+
+#endif  // RESUFORMER_TOOLS_RF_LINT_FIXIT_H_

@@ -1,0 +1,356 @@
+#include "rf_lint/lexer.h"
+
+#include <cctype>
+
+namespace rflint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+// Cursor over the source with 1-based line tracking.
+struct Cursor {
+  const std::string& src;
+  size_t i = 0;
+  int line = 1;
+
+  explicit Cursor(const std::string& s) : src(s) {}
+
+  bool Done() const { return i >= src.size(); }
+  char At(size_t off = 0) const {
+    return i + off < src.size() ? src[i + off] : '\0';
+  }
+  void Advance() {
+    if (src[i] == '\n') ++line;
+    ++i;
+  }
+  void Advance(size_t n) {
+    for (size_t k = 0; k < n && !Done(); ++k) Advance();
+  }
+};
+
+void MarkCommentLines(LexedFile* out, int first, int last) {
+  if (static_cast<int>(out->line_has_comment.size()) <= last) {
+    out->line_has_comment.resize(static_cast<size_t>(last) + 1, false);
+  }
+  for (int l = first; l <= last; ++l) out->line_has_comment[l] = true;
+}
+
+// Consumes a // comment (cursor on the first '/').
+void LexLineComment(Cursor* c, LexedFile* out) {
+  const int start_line = c->line;
+  c->Advance(2);
+  std::string text;
+  while (!c->Done() && c->At() != '\n') {
+    text += c->At();
+    c->Advance();
+  }
+  out->comments.push_back({text, start_line, start_line});
+  MarkCommentLines(out, start_line, start_line);
+}
+
+// Consumes a /* */ comment (cursor on the '/').
+void LexBlockComment(Cursor* c, LexedFile* out) {
+  const int start_line = c->line;
+  c->Advance(2);
+  std::string text;
+  while (!c->Done() && !(c->At() == '*' && c->At(1) == '/')) {
+    text += c->At();
+    c->Advance();
+  }
+  const int end_line = c->line;
+  c->Advance(2);  // the terminating */ (no-op at EOF)
+  out->comments.push_back({text, start_line, end_line});
+  MarkCommentLines(out, start_line, end_line);
+}
+
+// Consumes a quoted literal with escapes (cursor on the opening quote).
+// A bare newline terminates the literal: real code never spans lines, and
+// recovering here keeps one stray quote from cascading over the whole file.
+std::string LexQuoted(Cursor* c, char quote) {
+  std::string text(1, quote);
+  c->Advance();
+  while (!c->Done() && c->At() != '\n') {
+    const char ch = c->At();
+    text += ch;
+    c->Advance();
+    if (ch == '\\' && !c->Done() && c->At() != '\n') {
+      text += c->At();
+      c->Advance();
+      continue;
+    }
+    if (ch == quote) break;
+  }
+  return text;
+}
+
+// Consumes a raw string literal (cursor on the 'R'; caller verified R").
+std::string LexRawString(Cursor* c) {
+  std::string text;
+  text += c->At();  // R
+  c->Advance();
+  text += c->At();  // "
+  c->Advance();
+  std::string delim;
+  while (!c->Done() && c->At() != '(' && c->At() != '\n' &&
+         delim.size() < 16) {
+    delim += c->At();
+    text += c->At();
+    c->Advance();
+  }
+  if (c->Done() || c->At() != '(') return text;  // malformed: recover
+  text += '(';
+  c->Advance();
+  const std::string close = ")" + delim + "\"";
+  size_t matched = 0;
+  while (!c->Done()) {
+    const char ch = c->At();
+    text += ch;
+    c->Advance();
+    matched = ch == close[matched] ? matched + 1 : (ch == ')' ? 1 : 0);
+    if (matched == close.size()) break;
+  }
+  return text;
+}
+
+// Consumes a numeric literal, including hex/exponent forms and C++14 digit
+// separators (1'000'000).
+std::string LexNumber(Cursor* c) {
+  std::string text;
+  while (!c->Done()) {
+    const char ch = c->At();
+    if (IsIdentChar(ch) || ch == '.') {
+      text += ch;
+      c->Advance();
+      // Exponent signs: 1e+5, 0x1p-3.
+      if ((ch == 'e' || ch == 'E' || ch == 'p' || ch == 'P') &&
+          (c->At() == '+' || c->At() == '-') && text.size() > 1 &&
+          IsDigit(text[0])) {
+        text += c->At();
+        c->Advance();
+      }
+    } else if (ch == '\'' && IsIdentChar(c->At(1))) {
+      text += ch;  // digit separator
+      c->Advance();
+    } else {
+      break;
+    }
+  }
+  return text;
+}
+
+// Joins a preprocessor directive's physical lines (backslash continuations)
+// into one string; consumes through the final newline's preceding content.
+std::string LexDirective(Cursor* c, LexedFile* out) {
+  std::string text;
+  while (!c->Done()) {
+    const char ch = c->At();
+    if (ch == '\n') {
+      if (!text.empty() && text.back() == '\\') {
+        text.back() = ' ';  // continuation: join lines
+        c->Advance();
+        continue;
+      }
+      break;
+    }
+    if (ch == '/' && c->At(1) == '/') {
+      LexLineComment(c, out);
+      break;
+    }
+    if (ch == '/' && c->At(1) == '*') {
+      LexBlockComment(c, out);
+      text += ' ';
+      continue;
+    }
+    text += ch;
+    c->Advance();
+  }
+  // Trailing \r from CRLF files.
+  while (!text.empty() && (text.back() == '\r' || text.back() == ' ')) {
+    text.pop_back();
+  }
+  return text;
+}
+
+// Normalized directive keyword: "# if" -> "if", "#ifndef" -> "ifndef".
+std::string DirectiveKeyword(const std::string& directive) {
+  size_t i = 0;
+  while (i < directive.size() &&
+         std::isspace(static_cast<unsigned char>(directive[i]))) {
+    ++i;
+  }
+  if (i >= directive.size() || directive[i] != '#') return "";
+  ++i;
+  while (i < directive.size() &&
+         std::isspace(static_cast<unsigned char>(directive[i]))) {
+    ++i;
+  }
+  std::string kw;
+  while (i < directive.size() && IsIdentChar(directive[i])) {
+    kw += directive[i++];
+  }
+  return kw;
+}
+
+// True for `#if 0` (and `#if 0L` etc.): the canonical disabled region.
+bool IsIfZero(const std::string& directive) {
+  if (DirectiveKeyword(directive) != "if") return false;
+  size_t i = directive.find("if");
+  i += 2;
+  while (i < directive.size() &&
+         std::isspace(static_cast<unsigned char>(directive[i]))) {
+    ++i;
+  }
+  if (i >= directive.size() || directive[i] != '0') return false;
+  ++i;
+  // 0, 0L, 0u are disabled; 0x1 / 01 are not literally zero-only but
+  // nobody writes those as condition spellings worth honoring.
+  return i >= directive.size() ||
+         !std::isalnum(static_cast<unsigned char>(directive[i])) ||
+         directive[i] == 'L' || directive[i] == 'l' || directive[i] == 'u' ||
+         directive[i] == 'U';
+}
+
+bool IsLineStart(const Cursor& c) {
+  // Only horizontal whitespace may precede a directive's '#'.
+  size_t j = c.i;
+  while (j > 0) {
+    const char prev = c.src[j - 1];
+    if (prev == '\n') return true;
+    if (prev != ' ' && prev != '\t') return false;
+    --j;
+  }
+  return true;  // start of file
+}
+
+}  // namespace
+
+std::string StringInner(const Token& token) {
+  const std::string& t = token.text;
+  if (t.size() >= 2 && t.front() == '"' && t.back() == '"') {
+    return t.substr(1, t.size() - 2);
+  }
+  // Raw string / prefixed literal: find R"delim( ... )delim" bounds.
+  const size_t open_quote = t.find('"');
+  if (open_quote == std::string::npos) return "";
+  if (open_quote > 0 && t[open_quote - 1] == 'R') {
+    const size_t open_paren = t.find('(', open_quote);
+    if (open_paren == std::string::npos) return "";
+    const size_t delim_len = open_paren - open_quote - 1;
+    const size_t body = open_paren + 1;
+    const size_t tail = t.size() >= body + delim_len + 2
+                            ? t.size() - (delim_len + 2)
+                            : body;
+    return tail >= body ? t.substr(body, tail - body) : "";
+  }
+  return t.size() > open_quote + 1 ? t.substr(open_quote + 1,
+                                              t.size() - open_quote - 2)
+                                   : "";
+}
+
+LexedFile Lex(const std::string& source) {
+  LexedFile out;
+  Cursor c(source);
+  int skip_depth = 0;  // > 0 while inside an `#if 0` region
+
+  while (!c.Done()) {
+    const char ch = c.At();
+
+    if (ch == '/' && c.At(1) == '/') {
+      LexLineComment(&c, &out);
+      continue;
+    }
+    if (ch == '/' && c.At(1) == '*') {
+      LexBlockComment(&c, &out);
+      continue;
+    }
+    if (ch == '#' && IsLineStart(c)) {
+      const int line = c.line;
+      const std::string directive = LexDirective(&c, &out);
+      const std::string kw = DirectiveKeyword(directive);
+      if (skip_depth > 0) {
+        // Inside #if 0: only track the conditional nesting; emit nothing.
+        if (kw == "if" || kw == "ifdef" || kw == "ifndef") {
+          ++skip_depth;
+        } else if (kw == "endif") {
+          --skip_depth;
+        } else if (skip_depth == 1 && (kw == "else" || kw == "elif")) {
+          // The branch after `#if 0 ... #else` is the live one.
+          skip_depth = 0;
+          out.tokens.push_back({TokKind::kPp, directive, line});
+        }
+        continue;
+      }
+      if (IsIfZero(directive)) skip_depth = 1;
+      out.tokens.push_back({TokKind::kPp, directive, line});
+      continue;
+    }
+    if (skip_depth > 0) {
+      c.Advance();
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      c.Advance();
+      continue;
+    }
+    const int line = c.line;
+    if (ch == '"') {
+      out.tokens.push_back({TokKind::kString, LexQuoted(&c, '"'), line});
+      continue;
+    }
+    if (ch == 'R' && c.At(1) == '"') {
+      out.tokens.push_back({TokKind::kString, LexRawString(&c), line});
+      continue;
+    }
+    // Encoding-prefixed literals (u8"x", L"x") lex as ident + string via
+    // the paths below; no rule misreads that split.
+    if (ch == '\'') {
+      out.tokens.push_back({TokKind::kChar, LexQuoted(&c, '\''), line});
+      continue;
+    }
+    if (IsIdentStart(ch)) {
+      std::string text;
+      while (!c.Done() && IsIdentChar(c.At())) {
+        text += c.At();
+        c.Advance();
+      }
+      out.tokens.push_back({TokKind::kIdent, std::move(text), line});
+      continue;
+    }
+    if (IsDigit(ch) || (ch == '.' && IsDigit(c.At(1)))) {
+      out.tokens.push_back({TokKind::kNumber, LexNumber(&c), line});
+      continue;
+    }
+    // Punctuation. Only "::" and "->" are folded: those are the two the
+    // scope tracker needs as units; every other operator is fine split.
+    if (ch == ':' && c.At(1) == ':') {
+      out.tokens.push_back({TokKind::kPunct, "::", line});
+      c.Advance(2);
+      continue;
+    }
+    if (ch == '-' && c.At(1) == '>') {
+      out.tokens.push_back({TokKind::kPunct, "->", line});
+      c.Advance(2);
+      continue;
+    }
+    out.tokens.push_back({TokKind::kPunct, std::string(1, ch), line});
+    c.Advance();
+  }
+
+  out.num_lines = c.line;
+  if (static_cast<int>(out.line_has_comment.size()) <= out.num_lines) {
+    out.line_has_comment.resize(static_cast<size_t>(out.num_lines) + 1,
+                                false);
+  }
+  return out;
+}
+
+}  // namespace rflint

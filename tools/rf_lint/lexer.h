@@ -1,0 +1,61 @@
+// rf_lint lexer: a real C++ tokenizer for the analysis engine.
+//
+// Replaces the blank-out heuristics of the original line-regex checker with
+// an actual token stream: comments and literal *contents* never reach the
+// rules, string/char/raw-string boundaries are exact, preprocessor
+// directives are folded (with their line continuations) into single tokens,
+// and `#if 0` regions produce no tokens at all. Tokens carry 1-based line
+// numbers so findings and suppressions stay line-addressable.
+//
+// Deliberately not a preprocessor: macros are not expanded, and the live
+// branch of a non-zero `#if` is tokenized as-is (soundness caveats are
+// documented in DESIGN.md section 4k).
+
+#ifndef RESUFORMER_TOOLS_RF_LINT_LEXER_H_
+#define RESUFORMER_TOOLS_RF_LINT_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace rflint {
+
+enum class TokKind {
+  kIdent,   // identifiers and keywords (rules match by spelling)
+  kNumber,  // numeric literals, digit separators included
+  kString,  // string literal, spelling includes quotes/prefix ("x", R"(x)")
+  kChar,    // character literal, spelling includes quotes
+  kPunct,   // operators/punctuation; only "::" and "->" are multi-char
+  kPp,      // whole preprocessor directive, continuations joined
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;  // exact source spelling (kPp: joined directive text)
+  int line = 0;      // 1-based line of the token's first character
+};
+
+struct Comment {
+  std::string text;  // spelling without the // or /* */ markers
+  int line = 0;      // 1-based first line
+  int end_line = 0;  // 1-based last line (== line for // comments)
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  // 1-based per-line flag: line carries (part of) a comment. Index 0 unused.
+  std::vector<bool> line_has_comment;
+  int num_lines = 0;
+};
+
+/// Tokenizes `source`. Never fails: unterminated constructs are closed at
+/// end of file so a hostile input degrades to odd tokens, not a crash.
+LexedFile Lex(const std::string& source);
+
+/// For a kString token: the spelling between the outermost quotes (escape
+/// sequences NOT decoded; raw strings lose prefix/delimiters only).
+std::string StringInner(const Token& token);
+
+}  // namespace rflint
+
+#endif  // RESUFORMER_TOOLS_RF_LINT_LEXER_H_

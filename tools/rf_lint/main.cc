@@ -1,0 +1,175 @@
+// rf_lint entry point: the ResuFormer project-invariant checker.
+//
+// A self-contained C++20 analysis tool (no external dependencies) that walks
+// src/, tests/, bench/ and examples/ and enforces the project conventions
+// the compiler cannot check — including the cross-file lock-order and
+// blocking-reachability families that need a project call graph. Registered
+// as the `rf_lint` ctest test, so tier-1 runs it on every build;
+// `--selftest tools/lint_fixture` checks the checker itself against seeded
+// violations (the `rf_lint_selftest` test). See rules.h for the rule list
+// and DESIGN.md section 4k for the architecture.
+
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rf_lint/fixit.h"
+#include "rf_lint/rules.h"
+#include "rf_lint/sarif.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+void WalkDirectory(const fs::path& root, const fs::path& dir,
+                   rflint::Linter* linter) {
+  if (!fs::exists(dir)) return;
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (entry.is_regular_file() && IsSourceFile(entry.path())) {
+      paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const fs::path& p : paths) {
+    linter->AddFile(p, fs::relative(p, root).generic_string());
+  }
+}
+
+int Usage() {
+  std::cerr
+      << "usage: rf_lint [--sarif <path>] [--fix] <repo_root> [subdir...]\n"
+      << "       rf_lint [--sarif <path>] --selftest <fixture_dir>\n"
+      << "default subdirs: src tests bench examples\n"
+      << "--fix applies mechanical rewrites for include-guard and\n"
+      << "      atomic-order-comment, then reports what remains\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  bool selftest = false;
+  bool fix = false;
+  std::string sarif_path;
+  std::vector<std::string> positional;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--selftest") {
+      selftest = true;
+    } else if (args[i] == "--fix") {
+      fix = true;
+    } else if (args[i] == "--sarif") {
+      if (i + 1 >= args.size()) return Usage();
+      sarif_path = args[++i];
+    } else if (args[i].rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      positional.push_back(args[i]);
+    }
+  }
+  if (positional.empty() || (selftest && positional.size() != 1)) {
+    return Usage();
+  }
+  const fs::path root = positional[0];
+  if (!fs::exists(root)) {
+    std::cerr << "rf_lint: no such directory: " << root << "\n";
+    return 2;
+  }
+
+  rflint::Linter linter;
+  if (selftest) {
+    WalkDirectory(root, root, &linter);
+  } else {
+    std::vector<std::string> subdirs(positional.begin() + 1,
+                                     positional.end());
+    if (subdirs.empty()) subdirs = {"src", "tests", "bench", "examples"};
+    for (const std::string& sub : subdirs) {
+      WalkDirectory(root, root / sub, &linter);
+    }
+  }
+  linter.Run();
+
+  if (!sarif_path.empty() &&
+      !rflint::WriteSarif(sarif_path, linter.violations())) {
+    std::cerr << "rf_lint: cannot write SARIF log: " << sarif_path << "\n";
+    return 2;
+  }
+
+  if (selftest) {
+    // Every rule must fire with exactly the count the fixture declares.
+    const std::map<std::string, int> expected = linter.Expectations();
+    std::map<std::string, int> actual;
+    for (const rflint::Violation& v : linter.violations()) ++actual[v.rule];
+    bool ok = true;
+    for (const std::string& rule : rflint::Linter::AllRules()) {
+      const int want = expected.count(rule) ? expected.at(rule) : 0;
+      const int got = actual.count(rule) ? actual.at(rule) : 0;
+      if (want == 0) {
+        std::cerr << "selftest: fixture declares no expectation for rule '"
+                  << rule << "' — every rule needs a seeded violation\n";
+        ok = false;
+      } else if (want != got) {
+        std::cerr << "selftest: rule '" << rule << "' expected " << want
+                  << " violation(s), detected " << got << "\n";
+        ok = false;
+      }
+    }
+    if (!ok) {
+      for (const rflint::Violation& v : linter.violations()) {
+        std::cerr << "  detected: " << v.file << ":" << v.line << ": ["
+                  << v.rule << "]\n";
+      }
+      return 1;
+    }
+    std::cout << "rf_lint selftest: all " << rflint::Linter::AllRules().size()
+              << " rules detected with expected counts\n";
+    return 0;
+  }
+
+  if (fix) {
+    const int modified =
+        rflint::ApplyFixes(linter.files(), linter.violations());
+    std::cout << "rf_lint --fix: rewrote " << modified << " file(s)\n";
+    // Re-lint from scratch so the report reflects the post-fix tree.
+    rflint::Linter after;
+    std::vector<std::string> subdirs(positional.begin() + 1,
+                                     positional.end());
+    if (subdirs.empty()) subdirs = {"src", "tests", "bench", "examples"};
+    for (const std::string& sub : subdirs) {
+      WalkDirectory(root, root / sub, &after);
+    }
+    after.Run();
+    for (const rflint::Violation& v : after.violations()) {
+      std::cerr << v.file << ":" << v.line << ": [" << v.rule << "] "
+                << v.message << "\n";
+    }
+    if (!after.violations().empty()) {
+      std::cerr << after.violations().size()
+                << " violation(s) remain after --fix\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  for (const rflint::Violation& v : linter.violations()) {
+    std::cerr << v.file << ":" << v.line << ": [" << v.rule << "] "
+              << v.message << "\n";
+  }
+  if (!linter.violations().empty()) {
+    std::cerr << linter.violations().size()
+              << " violation(s). Suppress a deliberate exception with "
+                 "// rf-lint-allow(rule) and a justification.\n";
+    return 1;
+  }
+  std::cout << "rf_lint: clean\n";
+  return 0;
+}

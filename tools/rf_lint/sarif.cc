@@ -1,0 +1,89 @@
+#include "rf_lint/sarif.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace rflint {
+
+namespace {
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string SarifDocument(const std::vector<Violation>& violations) {
+  std::string out;
+  out +=
+      "{\"$schema\":"
+      "\"https://json.schemastore.org/sarif-2.1.0.json\","
+      "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+      "\"name\":\"rf_lint\",\"informationUri\":"
+      "\"https://github.com/resuformer/resuformer\",\"rules\":[";
+  bool first = true;
+  for (const std::string& rule : Linter::AllRules()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"id\":";
+    AppendJsonString(&out, rule);
+    out += '}';
+  }
+  out += "]}},\"results\":[";
+  first = true;
+  for (const Violation& v : violations) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ruleId\":";
+    AppendJsonString(&out, v.rule);
+    out += ",\"level\":\"error\",\"message\":{\"text\":";
+    AppendJsonString(&out, v.message);
+    out +=
+        "},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":"
+        "{\"uri\":";
+    AppendJsonString(&out, v.file);
+    out += "},\"region\":{\"startLine\":";
+    out += std::to_string(v.line > 0 ? v.line : 1);
+    out += "}}}]}";
+  }
+  out += "]}]}\n";
+  return out;
+}
+
+bool WriteSarif(const std::string& path,
+                const std::vector<Violation>& violations) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << SarifDocument(violations);
+  return static_cast<bool>(out);
+}
+
+}  // namespace rflint

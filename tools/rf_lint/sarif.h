@@ -1,0 +1,24 @@
+// rf_lint SARIF emitter: writes findings as a minimal SARIF 2.1.0 log so
+// editors and CI annotate from the same machine-readable stream the human
+// output comes from.
+
+#ifndef RESUFORMER_TOOLS_RF_LINT_SARIF_H_
+#define RESUFORMER_TOOLS_RF_LINT_SARIF_H_
+
+#include <string>
+#include <vector>
+
+#include "rf_lint/rules.h"
+
+namespace rflint {
+
+/// Serializes the SARIF 2.1.0 document (one run, one result per violation).
+std::string SarifDocument(const std::vector<Violation>& violations);
+
+/// Writes SarifDocument() to `path`. Returns false on I/O failure.
+bool WriteSarif(const std::string& path,
+                const std::vector<Violation>& violations);
+
+}  // namespace rflint
+
+#endif  // RESUFORMER_TOOLS_RF_LINT_SARIF_H_

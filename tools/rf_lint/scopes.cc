@@ -1,0 +1,861 @@
+#include "rf_lint/scopes.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace rflint {
+
+namespace {
+
+const std::set<std::string>& GuardClasses() {
+  static const std::set<std::string> kSet = {"lock_guard", "unique_lock",
+                                             "scoped_lock"};
+  return kSet;
+}
+
+const std::set<std::string>& SleepCalls() {
+  static const std::set<std::string> kSet = {"sleep_for", "sleep_until",
+                                             "usleep", "nanosleep", "sleep"};
+  return kSet;
+}
+
+// Blocking only when spelled with the global qualifier (::read). Unqualified
+// `read`/`write` are far too common as member names to treat as syscalls.
+const std::set<std::string>& GlobalIoCalls() {
+  static const std::set<std::string> kSet = {
+      "read", "write", "recv",    "send",    "accept",  "connect",
+      "poll", "select", "recvfrom", "sendto", "recvmsg", "sendmsg"};
+  return kSet;
+}
+
+// Container members that may grow the allocation. `assign`/`clear` are
+// deliberately absent: reusing existing capacity is the steady-state idiom
+// the zero-alloc invariant is built on.
+const std::set<std::string>& GrowthMembers() {
+  static const std::set<std::string> kSet = {
+      "push_back", "emplace_back", "push_front", "emplace_front", "resize",
+      "reserve",   "insert",       "emplace",    "append"};
+  return kSet;
+}
+
+const std::set<std::string>& ControlKeywords() {
+  static const std::set<std::string> kSet = {"if",    "for",   "while",
+                                             "switch", "catch", "constexpr"};
+  return kSet;
+}
+
+// Identifier-keywords after which `Name(` is an expression, not a decl.
+const std::set<std::string>& StatementKeywords() {
+  static const std::set<std::string> kSet = {"return",    "co_return",
+                                             "co_await",  "co_yield",
+                                             "throw",     "else",
+                                             "do",        "case"};
+  return kSet;
+}
+
+const std::set<std::string>& PostQualifiers() {
+  static const std::set<std::string> kSet = {"const",  "noexcept", "override",
+                                             "final",  "mutable",  "try"};
+  return kSet;
+}
+
+// Idents that never open a call fact even when followed by '('.
+const std::set<std::string>& NonCallKeywords() {
+  static const std::set<std::string> kSet = {
+      "if",     "for",     "while",   "switch",        "return", "sizeof",
+      "alignof", "catch",  "new",     "delete",        "throw",  "decltype",
+      "noexcept", "static_assert",    "alignas",       "typeid", "case",
+      "co_await", "co_return",        "co_yield",      "defined"};
+  return kSet;
+}
+
+std::string FileStem(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+  size_t dot = base.find_last_of('.');
+  return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+class Tracker {
+ public:
+  Tracker(const std::string& file, const LexedFile& lex) : file_(file) {
+    toks_.reserve(lex.tokens.size());
+    for (const Token& t : lex.tokens) {
+      if (t.kind != TokKind::kPp) toks_.push_back(&t);
+    }
+    for (const Comment& c : lex.comments) {
+      for (int l = c.line; l <= c.end_line; ++l) {
+        comment_by_line_[l] += c.text;
+      }
+    }
+  }
+
+  ScopeAnalysis Run() {
+    const int n = static_cast<int>(toks_.size());
+    for (int i = 0; i < n; ++i) {
+      const Token& t = Tok(i);
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == "{") {
+          OpenBrace(i);
+        } else if (t.text == "}") {
+          CloseBrace();
+        } else if (t.text == "(") {
+          parens_.push_back(next_paren_parallel_);
+          next_paren_parallel_ = false;
+        } else if (t.text == ")") {
+          if (!parens_.empty()) parens_.pop_back();
+        }
+        continue;
+      }
+      if (t.kind == TokKind::kIdent) HandleIdent(i);
+    }
+    ScopeAnalysis out;
+    out.functions = std::move(functions_);
+    return out;
+  }
+
+ private:
+  struct Frame {
+    enum Kind { kNamespace, kClass, kEnum, kFunction, kLambda, kBlock };
+    Kind kind = kBlock;
+    std::string name;               // namespace / class name
+    int func = -1;                  // enclosing function index (-1 at type scope)
+    bool one_time = false;          // body of `if (tl_var == nullptr)` init
+    std::vector<int> locks;         // active lock indices owned by this frame
+    std::vector<std::string> guards;  // guard vars declared in this frame
+  };
+
+  struct GuardState {
+    std::string mutex;  // qualified identity ("" for a guard with no target)
+  };
+
+  struct Classified {
+    Frame::Kind kind = Frame::kBlock;
+    std::vector<std::string> name_chain;  // for kFunction
+    int name_line = 0;
+  };
+
+  const Token& Tok(int i) const { return *toks_[i]; }
+  int Count() const { return static_cast<int>(toks_.size()); }
+  const std::string& Text(int i) const { return Tok(i).text; }
+  bool IsIdent(int i) const { return Tok(i).kind == TokKind::kIdent; }
+  bool Is(int i, const char* s) const { return Tok(i).text == s; }
+
+  int CurrentFunc() const {
+    for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+      if (it->kind == Frame::kFunction || it->kind == Frame::kLambda ||
+          it->kind == Frame::kBlock) {
+        return it->func;
+      }
+      return -1;  // hit a class/namespace/enum boundary first
+    }
+    return -1;
+  }
+
+  std::string EnclosingClass() const {
+    for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+      if (it->kind == Frame::kClass) return it->name;
+    }
+    return "";
+  }
+
+  std::vector<int> ActiveLocks(int func) const {
+    std::vector<int> out;
+    for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+      if (it->func != func &&
+          (it->kind == Frame::kFunction || it->kind == Frame::kLambda)) {
+        break;
+      }
+      if (it->func != func) break;
+      for (int idx : it->locks) out.push_back(idx);
+      if (it->kind == Frame::kFunction || it->kind == Frame::kLambda) break;
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  // ---- brace bookkeeping -------------------------------------------------
+
+  void OpenBrace(int i) {
+    auto pending = pending_braces_.find(i);
+    if (pending != pending_braces_.end()) {
+      frames_.push_back(pending->second);
+      frames_.back().func = -1;
+      pending_braces_.erase(pending);
+      return;
+    }
+    Classified c = Classify(i);
+    if (c.kind == Frame::kFunction || c.kind == Frame::kLambda) {
+      const int f = static_cast<int>(functions_.size());
+      functions_.push_back(
+          MakeFunction(c, Tok(i).line, c.kind == Frame::kLambda));
+      Frame frame;
+      frame.kind = c.kind;
+      frame.func = f;
+      frames_.push_back(frame);
+      return;
+    }
+    Frame frame;
+    frame.kind = Frame::kBlock;
+    frame.func = CurrentFunc();
+    frame.one_time = IsOneTimeInitBody(i);
+    frames_.push_back(frame);
+  }
+
+  // `{` at token i opens the body of `if (V == nullptr)` / `if (!V)` where V
+  // is a function-local thread_local: the canonical once-per-thread
+  // registration idiom. Facts inside are one-time init, not steady state.
+  bool IsOneTimeInitBody(int i) const {
+    const int f = CurrentFunc();
+    if (f < 0 || i < 1 || !Is(i - 1, ")")) return false;
+    auto vars = tl_vars_.find(f);
+    if (vars == tl_vars_.end()) return false;
+    const int open = MatchBack(i - 1, "(", ")");
+    if (open <= 0 || !IsIdent(open - 1) || Text(open - 1) != "if") {
+      return false;
+    }
+    const int a = open + 1, b = i - 2;  // condition tokens, inclusive
+    const int n = b - a + 1;
+    if (n == 4 && Is(a + 1, "=") && Is(a + 2, "=")) {
+      if (IsIdent(a) && Text(b) == "nullptr" && vars->second.count(Text(a))) {
+        return true;
+      }
+      if (Text(a) == "nullptr" && IsIdent(b) && vars->second.count(Text(b))) {
+        return true;
+      }
+    }
+    if (n == 2 && Is(a, "!") && IsIdent(b) && vars->second.count(Text(b))) {
+      return true;
+    }
+    return false;
+  }
+
+  bool InOneTimeInit() const {
+    for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+      if (it->one_time) return true;
+      if (it->kind == Frame::kFunction || it->kind == Frame::kLambda) break;
+    }
+    return false;
+  }
+
+  void CloseBrace() {
+    if (frames_.empty()) return;
+    for (const std::string& g : frames_.back().guards) guard_map_.erase(g);
+    frames_.pop_back();
+  }
+
+  FunctionInfo MakeFunction(const Classified& c, int brace_line,
+                            bool is_lambda) {
+    FunctionInfo f;
+    f.file = file_;
+    f.is_lambda = is_lambda;
+    f.line = c.name_line;
+    if (is_lambda) {
+      const int outer = CurrentFunc();
+      const std::string outer_name =
+          outer >= 0 ? functions_[outer].qualified_name : "";
+      f.simple_name = "<lambda@" + std::to_string(c.name_line) + ">";
+      f.qualified_name =
+          outer_name.empty() ? f.simple_name : outer_name + "::" + f.simple_name;
+      f.owner_class = outer >= 0 ? functions_[outer].owner_class : "";
+      for (bool parallel : parens_) {
+        if (parallel) f.is_parallel_body = true;
+      }
+      return f;
+    }
+    f.simple_name = c.name_chain.empty() ? "?" : c.name_chain.back();
+    if (c.name_chain.size() > 1) {
+      f.owner_class = c.name_chain[c.name_chain.size() - 2];
+    } else {
+      f.owner_class = EnclosingClass();
+    }
+    std::string qual;
+    if (c.name_chain.size() == 1 && !f.owner_class.empty()) {
+      qual = f.owner_class + "::";
+    }
+    for (size_t k = 0; k < c.name_chain.size(); ++k) {
+      if (k) qual += "::";
+      qual += c.name_chain[k];
+    }
+    f.qualified_name = qual;
+    for (int l = c.name_line - 2; l <= brace_line; ++l) {
+      auto it = comment_by_line_.find(l);
+      if (it != comment_by_line_.end() &&
+          it->second.find("rf-lint-attr(nonblocking)") != std::string::npos) {
+        f.attr_nonblocking = true;
+      }
+    }
+    return f;
+  }
+
+  // ---- brace classification ---------------------------------------------
+
+  // Backward bracket matching with a step cap so a confused region degrades
+  // to "block" instead of scanning the whole file.
+  int MatchBack(int i, const char* open, const char* close) const {
+    int depth = 0;
+    for (int steps = 0; i >= 0 && steps < 2000; --i, ++steps) {
+      if (Tok(i).kind != TokKind::kPunct) continue;
+      if (Text(i) == close) {
+        ++depth;
+      } else if (Text(i) == open) {
+        if (--depth == 0) return i;
+      }
+    }
+    return -1;
+  }
+
+  int MatchAngleBack(int i) const {
+    int depth = 0;
+    for (int steps = 0; i >= 0 && steps < 200; --i, ++steps) {
+      if (Text(i) == ">") {
+        ++depth;
+      } else if (Text(i) == "<") {
+        if (--depth == 0) return i;
+      } else if (Text(i) == ";" || Text(i) == "{" || Text(i) == "}") {
+        return -1;
+      }
+    }
+    return -1;
+  }
+
+  bool LambdaIntroAt(int lb) const {
+    if (lb == 0) return true;
+    const Token& p = Tok(lb - 1);
+    if (p.kind == TokKind::kIdent) {
+      return StatementKeywords().count(p.text) > 0;
+    }
+    if (p.kind != TokKind::kPunct) return false;
+    static const std::set<std::string> kBefore = {"(", ",", "=", "{", ";",
+                                                 ":",  "&", "|", "?", "<"};
+    return kBefore.count(p.text) > 0;
+  }
+
+  Classified Classify(int brace) const {
+    Classified out;
+    int j = brace - 1;
+    // Walk back over post-signature qualifiers and trailing return types.
+    for (int guard = 0; guard < 40 && j >= 0; ++guard) {
+      const Token& t = Tok(j);
+      if (t.kind == TokKind::kIdent && PostQualifiers().count(t.text)) {
+        --j;
+        continue;
+      }
+      // Trailing return: `) -> Type {` — probe back over type tokens.
+      static const std::set<std::string> kTypeTok = {"::", "<", ">", "*",
+                                                     "&",  "[", "]", ","};
+      if (t.kind == TokKind::kIdent ||
+          (t.kind == TokKind::kPunct && kTypeTok.count(t.text))) {
+        int k = j;
+        for (int steps = 0; k >= 0 && steps < 30; --k, ++steps) {
+          const Token& tk = Tok(k);
+          const bool type_like =
+              tk.kind == TokKind::kIdent ||
+              (tk.kind == TokKind::kPunct && kTypeTok.count(tk.text));
+          if (!type_like) break;
+        }
+        if (k >= 0 && Is(k, "->")) {
+          j = k - 1;
+          continue;
+        }
+      }
+      break;
+    }
+    if (j < 0) return out;
+    if (Is(j, ")")) return ClassifyFromParamClose(j);
+    if (Is(j, "]")) {
+      const int lb = MatchBack(j, "[", "]");
+      if (lb > 0 && Is(lb - 1, "[")) return out;  // attribute [[...]]
+      if (lb >= 0 && LambdaIntroAt(lb)) {
+        out.kind = Frame::kLambda;
+        out.name_line = Tok(lb).line;
+      }
+    }
+    return out;
+  }
+
+  Classified ClassifyFromParamClose(int close) const {
+    Classified out;
+    const int open = MatchBack(close, "(", ")");
+    if (open <= 0) return out;
+    int k = open - 1;
+    if (Is(k, "]")) {
+      const int lb = MatchBack(k, "[", "]");
+      if (lb >= 0 && LambdaIntroAt(lb)) {
+        out.kind = Frame::kLambda;
+        out.name_line = Tok(lb).line;
+      }
+      return out;
+    }
+    if (Is(k, ">")) {  // templated name: Foo<T>(...)
+      const int ab = MatchAngleBack(k);
+      if (ab <= 0) return out;
+      k = ab - 1;
+    }
+    if (!IsIdent(k)) return out;
+    if (ControlKeywords().count(Text(k))) return out;
+    if (Text(k) == "noexcept") {
+      return k >= 1 && Is(k - 1, ")") ? ClassifyFromParamClose(k - 1) : out;
+    }
+    // Assemble the (possibly qualified) name chain.
+    std::vector<std::string> chain;
+    int m = k;
+    bool dtor = false;
+    if (m >= 1 && Is(m - 1, "~")) {
+      dtor = true;
+      --m;
+    }
+    chain.push_back((dtor ? "~" : "") + Text(k));
+    while (m >= 2 && Is(m - 1, "::") && IsIdent(m - 2)) {
+      chain.insert(chain.begin(), Text(m - 2));
+      m -= 2;
+    }
+    if (m >= 1) {
+      const Token& before = Tok(m - 1);
+      if (before.text == "." || before.text == "->") return out;
+      if (before.text == "," || before.text == ":") {
+        // Possibly a constructor initializer-list entry; walk back to the
+        // parameter list the list hangs off.
+        const int params = WalkInitList(m - 1);
+        return params >= 0 ? ClassifyFromParamClose(params) : out;
+      }
+    }
+    out.kind = Frame::kFunction;
+    out.name_chain = std::move(chain);
+    out.name_line = Tok(k).line;
+    return out;
+  }
+
+  // `sep` points at the ',' or ':' preceding an initializer entry already
+  // consumed. Returns the index of the ')' closing the ctor's parameter
+  // list, or -1 when the shape doesn't match an init list.
+  int WalkInitList(int sep) const {
+    int m = sep;
+    for (int guard = 0; guard < 60 && m >= 0; ++guard) {
+      if (Is(m, ":")) {
+        int j = m - 1;
+        while (j >= 0 && IsIdent(j) && Text(j) == "noexcept") --j;
+        return j >= 0 && Is(j, ")") ? j : -1;
+      }
+      if (!Is(m, ",")) return -1;
+      int e = m - 1;
+      if (e < 0) return -1;
+      if (Is(e, ")")) {
+        e = MatchBack(e, "(", ")");
+      } else if (Is(e, "}")) {
+        e = MatchBack(e, "{", "}");
+      } else {
+        return -1;
+      }
+      if (e <= 0) return -1;
+      --e;  // the member name
+      if (e < 0 || !IsIdent(e)) return -1;
+      m = e - 1;
+    }
+    return -1;
+  }
+
+  // ---- type headers (namespace / class / enum) ---------------------------
+
+  void ScanNamespaceHeader(int i) {
+    std::string name;
+    for (int j = i + 1, steps = 0; j < Count() && steps < 40; ++j, ++steps) {
+      if (IsIdent(j) || Is(j, "::")) {
+        name += Text(j);
+        continue;
+      }
+      if (Is(j, "{")) {
+        Frame f;
+        f.kind = Frame::kNamespace;
+        f.name = name.empty() ? "<anon>" : name;
+        pending_braces_[j] = f;
+      }
+      return;  // ';' (alias/using) or '=' or anything else: not a block
+    }
+  }
+
+  void ScanClassHeader(int i) {
+    // Skip `template <class T>` parameters and `enum class`.
+    if (i >= 1 && (Is(i - 1, "<") || Is(i - 1, ",") || Is(i - 1, "enum"))) {
+      return;
+    }
+    if (!parens_.empty()) return;  // `f(struct stat* s)` etc.
+    std::string name;
+    int angle = 0, paren = 0;
+    for (int j = i + 1, steps = 0; j < Count() && steps < 200; ++j, ++steps) {
+      const std::string& t = Text(j);
+      if (t == "<") ++angle;
+      if (t == ">" && angle > 0) --angle;
+      if (t == "(") ++paren;
+      if (t == ")" && paren > 0) --paren;
+      if (angle > 0 || paren > 0) continue;
+      if (name.empty() && IsIdent(j) && t != "final" && t != "alignas") {
+        name = t;
+        continue;
+      }
+      if (t == ";" || t == "=") return;  // fwd decl / alias
+      if (t == "{") {
+        Frame f;
+        f.kind = Frame::kClass;
+        f.name = name.empty() ? "<anon>" : name;
+        pending_braces_[j] = f;
+        return;
+      }
+    }
+  }
+
+  void ScanEnumHeader(int i) {
+    for (int j = i + 1, steps = 0; j < Count() && steps < 40; ++j, ++steps) {
+      if (Is(j, ";")) return;
+      if (Is(j, "{")) {
+        Frame f;
+        f.kind = Frame::kEnum;
+        pending_braces_[j] = f;
+        return;
+      }
+    }
+  }
+
+  // ---- facts -------------------------------------------------------------
+
+  void HandleIdent(int i) {
+    const std::string& t = Text(i);
+    if (t == "namespace") {
+      ScanNamespaceHeader(i);
+      return;
+    }
+    if (t == "class" || t == "struct" || t == "union") {
+      ScanClassHeader(i);
+      return;
+    }
+    if (t == "enum") {
+      ScanEnumHeader(i);
+      return;
+    }
+
+    const int f = CurrentFunc();
+    if (f < 0) return;  // facts only matter inside function bodies
+
+    if (t == "thread_local") {
+      // Function-local thread_local declaration: remember the variable name
+      // so a following `if (var == nullptr)` block reads as one-time init.
+      int last_ident = -1;
+      for (int j = i + 1, steps = 0; j < Count() && steps < 16; ++j, ++steps) {
+        if (Is(j, ";") || Is(j, "=") || Is(j, "{") || Is(j, "(")) break;
+        if (IsIdent(j)) last_ident = j;
+      }
+      if (last_ident >= 0) tl_vars_[f].insert(Text(last_ident));
+      return;
+    }
+
+    const bool next_open =
+        i + 1 < Count() && Tok(i + 1).kind == TokKind::kPunct &&
+        Text(i + 1) == "(";
+    const bool member_recv =
+        i >= 1 && (Is(i - 1, ".") || Is(i - 1, "->"));
+
+    if (GuardClasses().count(t) && !member_recv) {
+      HandleGuardDecl(i, f);
+      return;
+    }
+    if ((t == "ParallelFor" || t == "ForRows" || t == "ForElems") &&
+        next_open) {
+      next_paren_parallel_ = true;
+      RecordCall(i, f, member_recv);
+      return;
+    }
+    if (next_open && SleepCalls().count(t)) {
+      functions_[f].blocking.push_back({t, Tok(i).line, ActiveLocks(f)});
+      return;
+    }
+    if (next_open && GlobalIoCalls().count(t) && i >= 1 && Is(i - 1, "::")) {
+      // Global qualification only: `::read(...)`, not `Foo::read(...)`.
+      const bool global = i < 2 || (!IsIdent(i - 2) && !Is(i - 2, ">"));
+      if (global) {
+        functions_[f].blocking.push_back(
+            {"::" + t, Tok(i).line, ActiveLocks(f)});
+        return;
+      }
+    }
+    if (next_open && member_recv &&
+        (t == "wait" || t == "wait_for" || t == "wait_until")) {
+      functions_[f].cv_wait_lines.push_back(Tok(i).line);
+      return;
+    }
+    if (next_open && member_recv &&
+        (t == "lock" || t == "unlock" || t == "try_lock")) {
+      HandleLockCall(i, f, t);
+      return;
+    }
+    if (t == "new" && !(i >= 1 && Is(i - 1, "operator"))) {
+      // `static T* x = new T...` initializes once, not per call — mirror the
+      // naked-new rule's leaked-singleton exemption so the reachability pass
+      // doesn't tag every chain through a Meyers-singleton accessor.
+      bool static_init = false;
+      if (i >= 1 && Is(i - 1, "=")) {
+        for (int j = i - 2; j >= 0 && j >= i - 14; --j) {
+          if (IsIdent(j) && Text(j) == "static") static_init = true;
+          if (Is(j, ";") || Is(j, "{") || Is(j, "}")) break;
+        }
+      }
+      if (!static_init && !InOneTimeInit()) {
+        functions_[f].allocs.push_back({"new", Tok(i).line, ActiveLocks(f)});
+      }
+      return;
+    }
+    if ((t == "make_unique" || t == "make_shared") &&
+        (next_open || (i + 1 < Count() && Is(i + 1, "<")))) {
+      if (!InOneTimeInit()) {
+        functions_[f].allocs.push_back({t, Tok(i).line, ActiveLocks(f)});
+      }
+      return;
+    }
+    if (next_open && !member_recv &&
+        (t == "malloc" || t == "calloc" || t == "realloc" || t == "strdup")) {
+      if (!InOneTimeInit()) {
+        functions_[f].allocs.push_back({t, Tok(i).line, ActiveLocks(f)});
+      }
+      return;
+    }
+    if (next_open && member_recv && GrowthMembers().count(t)) {
+      if (!InOneTimeInit()) {
+        const std::string recv = ReceiverChain(i - 2);
+        const std::string what = recv.empty() ? t : recv + "." + t;
+        functions_[f].allocs.push_back({what, Tok(i).line, ActiveLocks(f)});
+      }
+      return;
+    }
+    if (next_open) RecordCall(i, f, member_recv);
+  }
+
+  void RecordCall(int i, int f, bool member_recv) {
+    const std::string& t = Text(i);
+    if (NonCallKeywords().count(t)) return;
+    std::string qualifier;
+    if (!member_recv && i >= 2 && Is(i - 1, "::") && IsIdent(i - 2)) {
+      qualifier = Text(i - 2);
+    } else if (!member_recv && i >= 1) {
+      const Token& prev = Tok(i - 1);
+      // `Type Name(` / `Foo* Name(` is a declaration, not a call.
+      if (prev.kind == TokKind::kIdent &&
+          !StatementKeywords().count(prev.text)) {
+        return;
+      }
+      if (prev.kind == TokKind::kPunct &&
+          (prev.text == ">" || prev.text == "*" || prev.text == "&")) {
+        return;
+      }
+    }
+    // A call inside a function-local static initializer runs once per
+    // process (scan back to the statement boundary for `static`); a call
+    // inside a thread_local null-check block runs once per thread.
+    bool static_init = InOneTimeInit();
+    for (int j = i - 1; !static_init && j >= 0 && j >= i - 24; --j) {
+      if (Is(j, ";") || Is(j, "{") || Is(j, "}")) break;
+      if (IsIdent(j) && Text(j) == "static") {
+        static_init = true;
+        break;
+      }
+    }
+    functions_[f].calls.push_back(
+        {t, qualifier, member_recv, static_init, Tok(i).line, ActiveLocks(f)});
+  }
+
+  // Receiver expression ending at token index `last` (inclusive): walks back
+  // over ident / :: / . / -> / this chains.
+  std::string ReceiverChain(int last) const {
+    int first = last;
+    for (int steps = 0; first >= 0 && steps < 12; --first, ++steps) {
+      const Token& t = Tok(first);
+      const bool chain =
+          t.kind == TokKind::kIdent ||
+          (t.kind == TokKind::kPunct &&
+           (t.text == "::" || t.text == "." || t.text == "->"));
+      if (!chain) break;
+    }
+    ++first;
+    std::string out;
+    for (int k = first; k <= last; ++k) out += Text(k);
+    return out;
+  }
+
+  std::string Qualify(std::string expr, int f) const {
+    while (!expr.empty() && (expr[0] == '*' || expr[0] == '&')) {
+      expr.erase(expr.begin());
+    }
+    if (expr.rfind("this->", 0) == 0) expr = expr.substr(6);
+    if (expr.find("->") != std::string::npos ||
+        expr.find('.') != std::string::npos ||
+        expr.find("::") != std::string::npos) {
+      return expr;
+    }
+    const std::string& cls = functions_[f].owner_class;
+    if (!cls.empty()) return cls + "::" + expr;
+    return FileStem(file_) + "::" + expr;
+  }
+
+  int AcquireLock(int f, const std::string& mutex, const std::string& var,
+                  const std::string& kind, int line, bool function_scope) {
+    LockSite site;
+    site.mutex = mutex;
+    site.guard_var = var;
+    site.kind = kind;
+    site.line = line;
+    site.held_at_acquire = ActiveLocks(f);
+    const int idx = static_cast<int>(functions_[f].locks.size());
+    functions_[f].locks.push_back(site);
+    Frame* target = &frames_.back();
+    if (function_scope) {
+      for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+        if (it->kind == Frame::kFunction || it->kind == Frame::kLambda) {
+          target = &*it;
+          break;
+        }
+      }
+    }
+    target->locks.push_back(idx);
+    return idx;
+  }
+
+  void Deactivate(int idx) {
+    for (Frame& fr : frames_) {
+      auto it = std::find(fr.locks.begin(), fr.locks.end(), idx);
+      if (it != fr.locks.end()) {
+        fr.locks.erase(it);
+        return;
+      }
+    }
+  }
+
+  void HandleGuardDecl(int i, int f) {
+    const std::string kind = Text(i);
+    int j = i + 1;
+    if (j < Count() && Is(j, "<")) {
+      int depth = 0;
+      for (int steps = 0; j < Count() && steps < 60; ++j, ++steps) {
+        if (Is(j, "<")) ++depth;
+        if (Is(j, ">") && --depth == 0) {
+          ++j;
+          break;
+        }
+      }
+    }
+    if (j >= Count() || !IsIdent(j)) return;  // not a declaration
+    const std::string var = Text(j);
+    const int line = Tok(j).line;
+    ++j;
+    if (j < Count() && Is(j, ";")) {  // `std::unique_lock<std::mutex> lk;`
+      guard_map_[var] = {""};
+      frames_.back().guards.push_back(var);
+      return;
+    }
+    const char* open = nullptr;
+    const char* close = nullptr;
+    if (j < Count() && Is(j, "(")) {
+      open = "(";
+      close = ")";
+    } else if (j < Count() && Is(j, "{")) {
+      open = "{";
+      close = "}";
+    } else {
+      return;
+    }
+    // Split constructor args on top-level commas.
+    std::vector<std::string> args;
+    std::string cur;
+    int depth = 0;
+    for (int steps = 0; j < Count() && steps < 120; ++j, ++steps) {
+      const std::string& t = Text(j);
+      if (t == open || t == "(" || t == "[") {
+        ++depth;
+        if (depth > 1) cur += t;
+        continue;
+      }
+      if (t == close || t == ")" || t == "]") {
+        --depth;
+        if (depth == 0) break;
+        cur += t;
+        continue;
+      }
+      if (t == "," && depth == 1) {
+        args.push_back(cur);
+        cur.clear();
+        continue;
+      }
+      cur += t;
+    }
+    if (!cur.empty()) args.push_back(cur);
+    // Tag arguments (defer/adopt/try) trail the mutex, so scan the whole
+    // list for them before deciding which args are mutexes.
+    bool deferred = false, adopted = false;
+    std::vector<std::string> mutex_args;
+    for (const std::string& a : args) {
+      if (a.find("defer_lock") != std::string::npos) {
+        deferred = true;
+      } else if (a.find("adopt_lock") != std::string::npos ||
+                 a.find("try_to_lock") != std::string::npos) {
+        adopted = true;  // already held (acquisition recorded at .lock())
+      } else {
+        mutex_args.push_back(a);
+      }
+    }
+    frames_.back().guards.push_back(var);
+    for (const std::string& m : mutex_args) {
+      const std::string qualified = Qualify(m, f);
+      guard_map_[var] = {qualified};
+      if (!deferred && !adopted) {
+        AcquireLock(f, qualified, var, kind, line, /*function_scope=*/false);
+      }
+      if (kind != "scoped_lock") break;  // only the first arg is the mutex
+    }
+    if (mutex_args.empty()) guard_map_[var] = {""};
+  }
+
+  void HandleLockCall(int i, int f, const std::string& which) {
+    const std::string recv = ReceiverChain(i - 2);
+    if (recv.empty()) return;
+    if (which == "unlock") {
+      // Release by guard var name or by mutex identity.
+      const std::string qualified = Qualify(recv, f);
+      auto& locks = functions_[f].locks;
+      for (int idx = static_cast<int>(locks.size()) - 1; idx >= 0; --idx) {
+        if (locks[idx].guard_var == recv || locks[idx].mutex == qualified) {
+          Deactivate(idx);
+          return;
+        }
+      }
+      return;
+    }
+    // lock() / try_lock(): re-arm a known guard, else treat the receiver as
+    // the mutex itself. Raw locks live until unlock or function end.
+    auto guard = guard_map_.find(recv);
+    if (guard != guard_map_.end()) {
+      if (guard->second.mutex.empty()) return;  // guard with unknown target
+      AcquireLock(f, guard->second.mutex, recv, "lock()", Tok(i).line,
+                  /*function_scope=*/true);
+      return;
+    }
+    AcquireLock(f, Qualify(recv, f), "", "lock()", Tok(i).line,
+                /*function_scope=*/true);
+  }
+
+  const std::string file_;
+  std::vector<const Token*> toks_;
+  std::vector<Frame> frames_;
+  std::vector<bool> parens_;  // one entry per open paren: parallel-call args?
+  bool next_paren_parallel_ = false;
+  std::vector<FunctionInfo> functions_;
+  std::map<int, Frame> pending_braces_;     // token index of '{' -> frame
+  std::map<int, std::set<std::string>> tl_vars_;  // func -> thread_local vars
+  std::map<std::string, GuardState> guard_map_;
+  std::map<int, std::string> comment_by_line_;
+};
+
+}  // namespace
+
+ScopeAnalysis AnalyzeScopes(const std::string& file_rel, const LexedFile& lex) {
+  return Tracker(file_rel, lex).Run();
+}
+
+}  // namespace rflint

@@ -1,0 +1,96 @@
+// rf_lint scope tracker: brace/function structure + per-function facts.
+//
+// Consumes the token stream from lexer.h and produces one FunctionInfo per
+// function definition (including lambdas, which become standalone
+// pseudo-functions named `Outer::<lambda@LINE>`), each carrying the facts
+// the cross-file rule families need:
+//
+//   * mutexes acquired: std::lock_guard/unique_lock/scoped_lock declarations
+//     and raw `.lock()` calls, with the guarded expression resolved to a
+//     qualified identity ("ParseServer::mu_", "buffer->mu") and RAII
+//     lifetime tracked via the enclosing brace scope (explicit `.unlock()`
+//     releases early; `std::defer_lock` guards only arm on `.lock()`);
+//   * condition-variable waits (`.wait/wait_for/wait_until`) — recorded
+//     separately because they release the lock while parked;
+//   * blocking syscalls (sleeps, and globally-qualified ::read/::write/
+//     ::recv/::send/::accept/::connect/::poll/::select);
+//   * heap allocation sites (`new`, make_unique/make_shared, malloc family,
+//     container-growth member calls, local container construction);
+//   * outgoing calls by simple name, each annotated with the set of locks
+//     held at the call site.
+//
+// Lambdas passed (textually) inside the argument list of a ParallelFor /
+// ForRows / ForElems call are flagged `is_parallel_body` — those are the
+// roots of the alloc-in-parallel-for rule. An attribute comment
+// `rf-lint-attr(nonblocking)` on or just above a function's signature marks
+// it as a designated non-blocking endpoint for the reachability pass.
+
+#ifndef RESUFORMER_TOOLS_RF_LINT_SCOPES_H_
+#define RESUFORMER_TOOLS_RF_LINT_SCOPES_H_
+
+#include <string>
+#include <vector>
+
+#include "rf_lint/lexer.h"
+
+namespace rflint {
+
+struct LockSite {
+  std::string mutex;      // qualified identity, e.g. "ParseServer::mu_"
+  std::string guard_var;  // RAII guard variable name; "" for raw .lock()
+  std::string kind;       // lock_guard | unique_lock | scoped_lock | lock()
+  int line = 0;
+  std::vector<int> held_at_acquire;  // indices of locks already held
+};
+
+struct CallSite {
+  std::string name;       // simple callee name (last identifier)
+  std::string qualifier;  // preceding Foo:: qualifier if present, else ""
+  bool member = false;    // receiver call (obj.f / ptr->f)
+  // One-time initialization: the initializer of a function-local static
+  // (`static T* x = Lookup();`) or the body of a thread_local null-check
+  // (`thread_local T* b = nullptr; if (b == nullptr) {...}`). Runs once per
+  // process/thread, so the reachability families (blocking/alloc) skip the
+  // edge; lock-order keeps it (a first-call deadlock still hangs).
+  bool static_init = false;
+  int line = 0;
+  std::vector<int> locks_held;  // indices into FunctionInfo::locks
+};
+
+struct BlockingSite {
+  std::string what;  // e.g. "sleep_for", "::read"
+  int line = 0;
+  std::vector<int> locks_held;
+};
+
+struct AllocSite {
+  std::string what;  // e.g. "new", "make_unique", "x.push_back"
+  int line = 0;
+  std::vector<int> locks_held;
+};
+
+struct FunctionInfo {
+  std::string qualified_name;  // Namespace::Class::Name or Outer::<lambda@N>
+  std::string simple_name;     // Name (lambdas: "<lambda@N>")
+  std::string owner_class;     // innermost class, or "" for free functions
+  std::string file;            // path as given to AnalyzeScopes
+  int line = 0;                // line of the name token (lambdas: of '[')
+  bool is_lambda = false;
+  bool is_parallel_body = false;  // lambda inside ParallelFor/ForRows/ForElems args
+  bool attr_nonblocking = false;  // rf-lint-attr(nonblocking) on signature
+  std::vector<LockSite> locks;
+  std::vector<CallSite> calls;
+  std::vector<BlockingSite> blocking;
+  std::vector<AllocSite> allocs;
+  std::vector<int> cv_wait_lines;
+};
+
+struct ScopeAnalysis {
+  std::vector<FunctionInfo> functions;
+};
+
+ScopeAnalysis AnalyzeScopes(const std::string& file_rel, const LexedFile& lex);
+
+}  // namespace rflint
+
+#endif  // RESUFORMER_TOOLS_RF_LINT_SCOPES_H_
